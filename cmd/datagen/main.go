@@ -1,0 +1,79 @@
+// Command datagen generates the synthetic evaluation datasets and writes
+// them to disk in the plain-text formats used by the public originals:
+// whitespace-separated matrices and CSV traces (time,src,dst,value).
+//
+// Usage:
+//
+//	datagen -dataset meridian -n 500 -out meridian.txt
+//	datagen -dataset harvard -out harvard.txt -trace harvard_trace.csv
+//	datagen -dataset hp-s3 -out abw.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmfsgd/internal/dataset"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "meridian", "dataset to generate: harvard | meridian | hp-s3")
+		n     = flag.Int("n", 0, "node count (0 = paper size)")
+		meas  = flag.Int("measurements", 0, "trace length for harvard (0 = default)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output file for the ground-truth matrix (default stdout)")
+		trace = flag.String("trace", "", "output file for the dynamic trace (harvard only)")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	switch *name {
+	case "meridian":
+		ds = dataset.Meridian(dataset.MeridianConfig{N: *n, Seed: *seed})
+	case "harvard":
+		ds = dataset.Harvard(dataset.HarvardConfig{N: *n, Measurements: *meas, Seed: *seed})
+	case "hp-s3", "hps3":
+		ds = dataset.HPS3(dataset.HPS3Config{N: *n, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *name)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteMatrix(w, ds.Matrix); err != nil {
+		fatal(err)
+	}
+
+	if *trace != "" {
+		if ds.Trace == nil {
+			fmt.Fprintln(os.Stderr, "datagen: dataset has no dynamic trace")
+			os.Exit(2)
+		}
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := dataset.WriteTrace(f, ds.Trace); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "datagen: %s n=%d median=%.1f %s missing=%.1f%%\n",
+		ds.Name, ds.N(), ds.Median(), ds.Metric.Unit(), ds.Matrix.MissingFraction()*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

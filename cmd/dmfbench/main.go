@@ -1,0 +1,94 @@
+// Command dmfbench regenerates the tables and figures of the paper's
+// evaluation section (§6) from synthetic datasets and prints them as
+// aligned ASCII tables.
+//
+// Usage:
+//
+//	dmfbench                  # run every experiment at default scale
+//	dmfbench -exp fig5        # one experiment (see -list)
+//	dmfbench -full            # paper-scale datasets (Meridian 2500 nodes)
+//	dmfbench -seed 7          # different random universe
+//
+// The experiment IDs map one-to-one to the paper's tables and figures; see
+// DESIGN.md §4 for the index and EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dmfsgd/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment ID to run (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		full    = flag.Bool("full", false, "paper-scale datasets (slow: Meridian 2500 nodes)")
+		quick   = flag.Bool("quick", false, "small datasets (fast smoke run)")
+		seed    = flag.Int64("seed", 1, "random seed for all generators and runs")
+		merN    = flag.Int("meridian-n", 0, "override Meridian node count")
+		harN    = flag.Int("harvard-n", 0, "override Harvard node count")
+		hpN     = flag.Int("hps3-n", 0, "override HP-S3 node count")
+		harMeas = flag.Int("harvard-measurements", 0, "override Harvard trace length")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	opts := experiments.Default()
+	if *full {
+		opts = experiments.Full()
+	}
+	if *quick {
+		opts = experiments.Quick()
+	}
+	opts.Seed = *seed
+	if *merN > 0 {
+		opts.MeridianN = *merN
+	}
+	if *harN > 0 {
+		opts.HarvardN = *harN
+	}
+	if *hpN > 0 {
+		opts.HPS3N = *hpN
+	}
+	if *harMeas > 0 {
+		opts.HarvardMeasurements = *harMeas
+	}
+
+	bundle := experiments.NewBundle(opts)
+
+	run := func(id string, fn func(*experiments.Bundle) []experiments.Table) {
+		start := time.Now()
+		tables := fn(bundle)
+		fmt.Printf("== %s (%.1fs) ==\n\n", id, time.Since(start).Seconds())
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry() {
+			run(e.ID, e.Run)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		fn, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dmfbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		run(id, fn)
+	}
+}

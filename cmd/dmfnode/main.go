@@ -1,0 +1,157 @@
+// Command dmfnode runs one DMFSGD node over real UDP: it joins a swarm
+// through any known peer, discovers neighbors via the membership protocol,
+// probes them periodically, and refines its coordinates from the replies.
+//
+// Start a bootstrap node, then join others to it:
+//
+//	dmfnode -id 1 -listen 127.0.0.1:9001
+//	dmfnode -id 2 -listen 127.0.0.1:9002 -join 127.0.0.1:9001
+//	dmfnode -id 3 -listen 127.0.0.1:9003 -join 127.0.0.1:9001
+//
+// Each node prints its status once per second: neighbor count, probes,
+// updates, and its current coordinates' norm. RTTs are measured by wall
+// clock (localhost RTTs are sub-millisecond, so with the default τ of
+// 1ms everything on one machine classifies "good"; use -tau to
+// experiment, or -delay-ms to have this node delay its replies and appear
+// slow to its peers).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/member"
+	"dmfsgd/internal/runtime"
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/transport"
+	"dmfsgd/internal/vec"
+)
+
+func main() {
+	var (
+		id       = flag.Uint("id", 0, "node ID (unique in the swarm, required)")
+		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		join     = flag.String("join", "", "bootstrap peer address (empty = first node)")
+		tau      = flag.Float64("tau", 1.0, "RTT classification threshold (ms)")
+		rank     = flag.Int("rank", 10, "factorization rank r")
+		eta      = flag.Float64("eta", 0.1, "SGD learning rate")
+		lambda   = flag.Float64("lambda", 0.1, "regularization coefficient")
+		k        = flag.Int("k", 32, "maximum neighbor count")
+		interval = flag.Duration("interval", 100*time.Millisecond, "probe interval")
+		delayMS  = flag.Float64("delay-ms", 0, "artificial reply delay in ms (simulates a slow node)")
+		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
+	)
+	flag.Parse()
+	if *id == 0 {
+		fmt.Fprintln(os.Stderr, "dmfnode: -id is required and must be nonzero")
+		os.Exit(2)
+	}
+
+	udp, err := transport.ListenUDP(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer udp.Close()
+
+	var tr transport.Transport = udp
+	if *delayMS > 0 {
+		tr = &delayedTransport{Transport: udp, delay: time.Duration(*delayMS * float64(time.Millisecond))}
+	}
+	mux := member.NewMux(tr)
+
+	cfg := sgd.Config{Rank: *rank, LearningRate: *eta, Lambda: *lambda, Loss: sgd.Defaults().Loss}
+	node, err := runtime.NewNode(runtime.Config{
+		ID:            uint32(*id),
+		Metric:        dataset.RTT,
+		SGD:           cfg,
+		Tau:           *tau,
+		Neighbors:     map[uint32]string{},
+		ProbeInterval: *interval,
+		AllowDynamic:  true,
+		MaxNeighbors:  *k,
+		Seed:          int64(*id),
+	}, mux)
+	if err != nil {
+		fatal(err)
+	}
+
+	dir := member.NewDirectory(uint32(*id), mux, int64(*id))
+	dir.OnPeer(func(p member.Peer) {
+		if node.AddNeighbor(p.ID, p.Addr) {
+			fmt.Printf("dmfnode: learned peer %d at %s\n", p.ID, p.Addr)
+		}
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if *duration > 0 {
+		go func() {
+			time.Sleep(*duration)
+			cancel()
+		}()
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case <-sig:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	go dir.Run(ctx, 2*time.Second)
+	if *join != "" {
+		if err := dir.Join(*join); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("dmfnode: id=%d listening on %s (tau=%.2fms, rank=%d)\n", *id, udp.Addr(), *tau, *rank)
+
+	go statusLoop(ctx, node)
+	node.Run(ctx)
+	st := node.Stats()
+	fmt.Printf("dmfnode: done. probes=%d replies=%d updates=%d rejected=%d stale=%d decode-errors=%d\n",
+		st.ProbesSent, st.RepliesReceived, st.Updates, st.Rejected, st.Stale, st.DecodeErrors)
+}
+
+func statusLoop(ctx context.Context, node *runtime.Node) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			st := node.Stats()
+			c := node.Coordinates()
+			fmt.Printf("dmfnode: neighbors=%d probes=%d updates=%d |u|=%.3f |v|=%.3f\n",
+				node.NeighborCount(), st.ProbesSent, st.Updates,
+				vec.Norm2(c.U), vec.Norm2(c.V))
+		}
+	}
+}
+
+// delayedTransport delays outgoing probe replies so this node appears
+// distant to its peers (wall-clock RTT measurement sees the delay).
+type delayedTransport struct {
+	transport.Transport
+	delay time.Duration
+}
+
+func (d *delayedTransport) Send(to string, data []byte) error {
+	time.Sleep(d.delay)
+	return d.Transport.Send(to, data)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmfnode:", err)
+	os.Exit(1)
+}

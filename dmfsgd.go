@@ -1,0 +1,183 @@
+package dmfsgd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/loss"
+	"dmfsgd/internal/sgd"
+)
+
+// Class is a binary performance class: Good (+1) or Bad (−1).
+type Class = classify.Class
+
+// Class values.
+const (
+	// Good marks a well-performing path.
+	Good = classify.Good
+	// Bad marks a poorly-performing path.
+	Bad = classify.Bad
+)
+
+// Metric identifies the measured quantity.
+type Metric = dataset.Metric
+
+// Metrics.
+const (
+	// RTT is round-trip time (ms): symmetric, good = small.
+	RTT = dataset.RTT
+	// ABW is available bandwidth (Mbps): asymmetric, good = large.
+	ABW = dataset.ABW
+)
+
+// Loss selects the training loss function.
+type Loss = loss.Kind
+
+// Losses.
+const (
+	// LossLogistic is the paper's recommended classification loss.
+	LossLogistic = loss.Logistic
+	// LossHinge is the max-margin classification loss.
+	LossHinge = loss.Hinge
+	// LossL2 is the square loss for quantity-based (regression) training.
+	LossL2 = loss.L2
+)
+
+// Config carries the DMFSGD hyper-parameters. The zero value of each field
+// is replaced by the paper's default (§6.2.4): Rank 10, LearningRate 0.1,
+// Lambda 0.1, LossLogistic.
+type Config struct {
+	// Rank is r, the coordinate dimensionality.
+	Rank int
+	// LearningRate is η, the SGD step size.
+	LearningRate float64
+	// Lambda is λ, the regularization coefficient.
+	Lambda float64
+	// Loss is the training loss.
+	Loss Loss
+	// lossSet distinguishes "unset" from an explicit LossL2 (which is the
+	// zero Kind). Use WithLoss to set it explicitly.
+	lossSet bool
+}
+
+// WithLoss returns a copy of c with the loss set explicitly (needed to
+// select LossL2, whose value coincides with the zero Kind).
+func (c Config) WithLoss(l Loss) Config {
+	c.Loss = l
+	c.lossSet = true
+	return c
+}
+
+// DefaultConfig returns the paper's recommended configuration.
+func DefaultConfig() Config {
+	return Config{}.normalize()
+}
+
+// normalize fills zero fields with paper defaults.
+func (c Config) normalize() Config {
+	if c.Rank == 0 {
+		c.Rank = 10
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 0.1
+	}
+	if !c.lossSet && c.Loss == loss.L2 {
+		c.Loss = loss.Logistic
+	}
+	c.lossSet = true
+	return c
+}
+
+// sgdConfig converts to the internal representation.
+func (c Config) sgdConfig() sgd.Config {
+	n := c.normalize()
+	return sgd.Config{
+		Rank:         n.Rank,
+		LearningRate: n.LearningRate,
+		Lambda:       n.Lambda,
+		Loss:         n.Loss,
+	}
+}
+
+// Node is an embeddable DMFSGD participant for applications that bring
+// their own measurement and messaging: feed it observations, ask it for
+// predictions. A Node is the complete per-host state of the decentralized
+// system — two rank-r vectors — so it costs O(r) memory regardless of
+// network size.
+//
+// Node is not safe for concurrent use; guard it externally or confine it
+// to one goroutine (the runtime package does the latter).
+type Node struct {
+	cfg    sgd.Config
+	coords *sgd.Coordinates
+}
+
+// NewNode creates a node with randomly initialized coordinates.
+func NewNode(cfg Config, seed int64) (*Node, error) {
+	sc := cfg.sgdConfig()
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("dmfsgd: %w", err)
+	}
+	return &Node{
+		cfg:    sc,
+		coords: sgd.NewCoordinates(sc.Rank, rand.New(rand.NewSource(seed))),
+	}, nil
+}
+
+// U returns a copy of the node's out-coordinate (its row of U).
+// Applications piggyback it on ABW probes (Algorithm 2).
+func (n *Node) U() []float64 { return append([]float64(nil), n.coords.U...) }
+
+// V returns a copy of the node's in-coordinate (its row of V).
+// Applications piggyback it on probe replies.
+func (n *Node) V() []float64 { return append([]float64(nil), n.coords.V...) }
+
+// ObserveRTT records one symmetric class measurement to a peer whose
+// coordinates (peerU, peerV) came back with the probe reply (Algorithm 1).
+// Returns false when the peer coordinates are invalid (NaN/Inf); the node
+// is untouched in that case.
+func (n *Node) ObserveRTT(peerU, peerV []float64, c Class) bool {
+	return n.cfg.UpdateRTT(n.coords, peerU, peerV, c.Value())
+}
+
+// ObserveABWAsSender records the class returned by an ABW probe target
+// along with the target's in-coordinate (Algorithm 2 step 5).
+func (n *Node) ObserveABWAsSender(peerV []float64, c Class) bool {
+	return n.cfg.UpdateABWSender(n.coords, peerV, c.Value())
+}
+
+// ObserveABWAsTarget records a class this node inferred for an incoming
+// probe carrying the sender's out-coordinate (Algorithm 2 step 4).
+func (n *Node) ObserveABWAsTarget(peerU []float64, c Class) bool {
+	return n.cfg.UpdateABWTarget(n.coords, peerU, c.Value())
+}
+
+// Score returns the raw prediction x̂ = u·peerVᵀ for the path from this
+// node to the peer owning peerV. Larger means more likely good; use it
+// directly to rank candidate peers (§6.4 does exactly this).
+func (n *Node) Score(peerV []float64) float64 { return n.coords.PredictTo(peerV) }
+
+// PredictClass returns the predicted class of the path to the peer owning
+// peerV (the sign of Score).
+func (n *Node) PredictClass(peerV []float64) Class {
+	return classify.FromValue(n.Score(peerV))
+}
+
+// ScoreFrom returns the prediction for the reverse path (from the peer
+// owning peerU to this node).
+func (n *Node) ScoreFrom(peerU []float64) float64 { return n.coords.PredictFrom(peerU) }
+
+// Healthy reports whether the node's coordinates are finite.
+func (n *Node) Healthy() bool { return n.coords.Valid() }
+
+// ClassOf classifies a raw metric measurement against a threshold τ under
+// the metric's polarity: RTT ≤ τ or ABW ≥ τ is Good. Applications use it
+// to turn their own measurements into classes before calling Observe*.
+func ClassOf(m Metric, value, tau float64) Class {
+	return classify.Of(m, value, tau)
+}

@@ -1,0 +1,47 @@
+// Package dmfsgd is a Go implementation of Decentralized Matrix
+// Factorization by Stochastic Gradient Descent (DMFSGD) for predicting
+// end-to-end network performance *classes*, reproducing
+//
+//	Liao, Du, Geurts, Leduc — "Decentralized Prediction of End-to-End
+//	Network Performance Classes", ACM CoNEXT 2011.
+//
+// # The idea
+//
+// Full-mesh probing of n² network paths does not scale. DMFSGD measures
+// only k·n pairs (each node probes k random neighbors) and predicts the
+// rest by low-rank matrix completion: the matrix of pairwise performance
+// classes ("good" = +1, "bad" = −1) factorizes as X ≈ U·Vᵀ with rank
+// r ≪ n because Internet paths share infrastructure. Every node stores
+// only its own rows uᵢ and vᵢ of the factors and refines them by
+// stochastic gradient descent on each measurement, exchanging coordinates
+// piggybacked on probes. No landmarks, no central server, no matrix is
+// ever materialized.
+//
+// The estimate of the path i→j is the scalar x̂ᵢⱼ = uᵢ·vⱼᵀ; its sign is
+// the predicted class, and its magnitude orders candidate peers from most
+// to least likely good.
+//
+// # Package layout
+//
+// This root package is the stable public API:
+//
+//   - Node: an embeddable DMFSGD participant for applications that bring
+//     their own networking (observe measurements, predict classes).
+//   - Simulation: deterministic experiments over generated or loaded
+//     datasets (this is what reproduces the paper's figures).
+//   - Swarm: a live concurrent deployment of goroutine nodes exchanging
+//     real protocol messages over in-memory or UDP transports.
+//   - Dataset constructors for the three evaluation workloads (Harvard,
+//     Meridian, HP-S3 — synthetic equivalents; see DESIGN.md).
+//
+// Implementation packages live under internal/ (sgd, sim, runtime, wire,
+// transport, eval, …); cmd/dmfbench regenerates every table and figure of
+// the paper, and examples/ contains runnable walkthroughs.
+//
+// # Quick start
+//
+//	ds := dmfsgd.NewMeridianDataset(200, 42)   // synthetic RTT matrix
+//	sim, _ := dmfsgd.Simulate(ds, dmfsgd.SimulationConfig{})
+//	sim.Run(0)                                  // paper's default budget
+//	fmt.Printf("AUC=%.3f\n", sim.AUC())
+package dmfsgd

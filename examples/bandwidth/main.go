@@ -1,0 +1,103 @@
+// Bandwidth classes without bandwidth measurements: the §3.2 insight.
+//
+// Estimating available bandwidth (ABW) precisely is expensive — long UDP
+// trains, repeated runs. But answering "is the ABW above τ?" needs only
+// ONE train sent at rate τ: congestion observed means "no". This example
+// drives Algorithm 2 of the paper at the application level through the
+// embeddable Node API: every node keeps two small vectors, probes a few
+// random neighbors with binary trains, and afterwards predicts the
+// class of every pair it never probed.
+//
+//	go run ./examples/bandwidth
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd"
+)
+
+func main() {
+	// Ground truth: a 120-host network whose pairwise ABW follows a
+	// capacity-weighted tree (bottlenecks shared between paths).
+	ds := dmfsgd.NewHPS3Dataset(120, 11)
+	tau := ds.Median()
+	n := ds.N()
+	fmt.Printf("network: %d hosts, probe rate tau = %.1f Mbps (median ABW)\n", n, tau)
+
+	// One embeddable Node per host: this is all the state DMFSGD needs.
+	nodes := make([]*dmfsgd.Node, n)
+	for i := range nodes {
+		node, err := dmfsgd.NewNode(dmfsgd.DefaultConfig(), int64(i))
+		if err != nil {
+			panic(err)
+		}
+		nodes[i] = node
+	}
+
+	// Each host picks k random neighbors.
+	const k = 10
+	rng := rand.New(rand.NewSource(11))
+	neighbors := make([][]int, n)
+	for i := range neighbors {
+		for len(neighbors[i]) < k {
+			j := rng.Intn(n)
+			if j != i {
+				neighbors[i] = append(neighbors[i], j)
+			}
+		}
+	}
+
+	// The probe loop of Algorithm 2. sendTrain simulates one pathload-
+	// style UDP train: the *target* observes whether it congests.
+	sendTrain := func(sender, target int, rate float64) (dmfsgd.Class, bool) {
+		if ds.Matrix.IsMissing(sender, target) {
+			return dmfsgd.Bad, false // unmeasurable pair (dataset hole)
+		}
+		return dmfsgd.ClassOf(dmfsgd.ABW, ds.Matrix.At(sender, target), rate), true
+	}
+	probes := 20 * k * n
+	for step := 0; step < probes; step++ {
+		i := rng.Intn(n)
+		j := neighbors[i][rng.Intn(k)]
+		class, ok := sendTrain(i, j, tau)
+		if !ok {
+			continue
+		}
+		// Algorithm 2: the target j updates v_j with the sender's u_i and
+		// replies with (class, v_j as it was before the update); the
+		// sender then updates u_i.
+		vPre := nodes[j].V()
+		nodes[j].ObserveABWAsTarget(nodes[i].U(), class)
+		nodes[i].ObserveABWAsSender(vPre, class)
+	}
+	fmt.Printf("sent %d binary trains (%.1f%% of full-mesh precise measurement cost)\n",
+		probes, 100*float64(k)/float64(n-1))
+
+	// Evaluate on pairs outside every neighbor set.
+	isNeighbor := func(i, j int) bool {
+		for _, p := range neighbors[i] {
+			if p == j {
+				return true
+			}
+		}
+		return false
+	}
+	var correct, total int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || isNeighbor(i, j) || ds.Matrix.IsMissing(i, j) {
+				continue
+			}
+			pred := nodes[i].PredictClass(nodes[j].V())
+			truth := dmfsgd.ClassOf(dmfsgd.ABW, ds.Matrix.At(i, j), tau)
+			if pred == truth {
+				correct++
+			}
+			total++
+		}
+	}
+	fmt.Printf("\npredicted classes for %d never-probed pairs\n", total)
+	fmt.Printf("accuracy: %.1f%%\n", 100*float64(correct)/float64(total))
+}

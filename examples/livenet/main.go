@@ -1,0 +1,45 @@
+// Live swarm: the concurrent runtime in action. Eighty goroutine nodes
+// exchange real protocol messages (probe requests and replies carrying
+// coordinates) over an in-memory datagram transport with 5% packet loss,
+// while this program watches the swarm-wide prediction quality converge.
+//
+// The same node implementation runs over UDP across processes — see
+// cmd/dmfnode for a multi-process deployment.
+//
+//	go run ./examples/livenet
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dmfsgd"
+)
+
+func main() {
+	ds := dmfsgd.NewMeridianDataset(80, 3)
+	fmt.Printf("starting %d concurrent nodes (k=%d neighbors each, 5%% packet loss)\n",
+		ds.N(), ds.DefaultK)
+
+	swarm, err := dmfsgd.StartSwarm(ds, dmfsgd.SwarmConfig{
+		K:                16,
+		ProbeInterval:    300 * time.Microsecond,
+		MeasurementNoise: 0.05,
+		DropRate:         0.05,
+		Seed:             3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer swarm.Stop()
+
+	fmt.Println("\n   time    updates      AUC (unmeasured pairs)")
+	start := time.Now()
+	for elapsed := time.Duration(0); elapsed < 3*time.Second; {
+		time.Sleep(500 * time.Millisecond)
+		elapsed = time.Since(start)
+		fmt.Printf("  %5.1fs  %9d    %.3f\n",
+			elapsed.Seconds(), swarm.Updates(), swarm.AUC(20000))
+	}
+	fmt.Println("\nnodes never shared a matrix — only O(rank) coordinates per probe.")
+}

@@ -1,0 +1,54 @@
+// Multiclass rating: the paper's §7 future-work extension. Instead of
+// "good"/"bad", paths are rated into four ordered classes — the kind of
+// labels a video-streaming application maps to quality tiers (4K / HD /
+// SD / audio-only). Each class boundary is one binary DMFSGD problem;
+// nodes carry one coordinate pair per boundary and stay fully
+// decentralized.
+//
+//	go run ./examples/multiclass
+package main
+
+import (
+	"fmt"
+
+	"dmfsgd"
+)
+
+func main() {
+	ds := dmfsgd.NewMeridianDataset(200, 5)
+	// Class boundaries from the dataset quartiles: <Q1 excellent,
+	// <median good, <Q3 fair, else poor.
+	q1 := ds.TauForGoodPortion(0.25)
+	q2 := ds.TauForGoodPortion(0.50)
+	q3 := ds.TauForGoodPortion(0.75)
+	names := []string{"excellent", "good", "fair", "poor"}
+	fmt.Printf("rating %d-node network into 4 classes: <%.0fms / <%.0fms / <%.0fms / rest\n\n",
+		ds.N(), q1, q2, q3)
+
+	res, err := dmfsgd.SimulateMulticlass(ds, []float64{q1, q2, q3}, dmfsgd.DefaultConfig(), 5)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("exact-class accuracy:   %.1f%%  (chance: 25%%)\n", 100*res.Exact)
+	fmt.Printf("within-one accuracy:    %.1f%%\n", 100*res.WithinOne)
+	fmt.Printf("mean absolute error:    %.2f classes\n\n", res.MAE)
+
+	fmt.Println("confusion (rows = truth, cols = predicted):")
+	fmt.Printf("%11s", "")
+	for _, n := range names {
+		fmt.Printf("%11s", n)
+	}
+	fmt.Println()
+	for t, row := range res.Confusion {
+		fmt.Printf("%11s", names[t])
+		total := 0
+		for _, c := range row {
+			total += c
+		}
+		for _, c := range row {
+			fmt.Printf("%10.1f%%", 100*float64(c)/float64(total))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,80 @@
+// Peer selection: the §6.4 scenario. A P2P streaming application must
+// pick, for each node, one peer to download from among m random
+// candidates — using only predicted performance. This example compares
+// random choice against class-based DMFSGD selection and reports the two
+// criteria from the paper: optimality (stretch) and satisfaction
+// (fraction of nodes stuck with a "bad" peer while a "good" one existed).
+//
+//	go run ./examples/peerselection
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd"
+)
+
+func main() {
+	ds := dmfsgd.NewMeridianDataset(250, 7)
+	tau := ds.Median()
+	fmt.Printf("P2P network: %d nodes, a peer is 'good' when RTT <= %.1f ms\n\n", ds.N(), tau)
+
+	sim, err := dmfsgd.Simulate(ds, dmfsgd.SimulationConfig{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	sim.Run(0)
+	fmt.Printf("trained: AUC %.3f over unmeasured paths\n\n", sim.AUC())
+
+	fmt.Println("peers  random-stretch  dmfsgd-stretch  random-unsat  dmfsgd-unsat")
+	for _, m := range []int{10, 20, 40, 60} {
+		stretch, unsat := sim.SelectPeers(m, int64(m))
+		rndStretch, rndUnsat := randomBaseline(ds, tau, m, int64(m))
+		fmt.Printf("%5d  %14.2f  %14.2f  %11.1f%%  %11.1f%%\n",
+			m, rndStretch, stretch, 100*rndUnsat, 100*unsat)
+	}
+	fmt.Println("\nstretch = chosen RTT / best available RTT (1.0 is optimal)")
+	fmt.Println("unsat   = nodes that picked a bad peer although a good one existed")
+}
+
+// randomBaseline evaluates uniform-random peer choice over fresh random
+// peer sets, using only the public dataset surface.
+func randomBaseline(ds *dmfsgd.Dataset, tau float64, m int, seed int64) (stretch, unsat float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := ds.N()
+	var stretchSum float64
+	var stretchN, unsatN, satN int
+	for i := 0; i < n; i++ {
+		// Sample m distinct candidates != i.
+		seen := map[int]bool{i: true}
+		var set []int
+		for len(set) < m && len(set) < n-1 {
+			j := rng.Intn(n)
+			if !seen[j] {
+				seen[j] = true
+				set = append(set, j)
+			}
+		}
+		pick := set[rng.Intn(len(set))]
+		best := set[0]
+		hasGood := false
+		for _, p := range set {
+			if ds.Matrix.At(i, p) < ds.Matrix.At(i, best) {
+				best = p
+			}
+			if ds.Matrix.At(i, p) <= tau {
+				hasGood = true
+			}
+		}
+		stretchSum += ds.Matrix.At(i, pick) / ds.Matrix.At(i, best)
+		stretchN++
+		if hasGood {
+			satN++
+			if ds.Matrix.At(i, pick) > tau {
+				unsatN++
+			}
+		}
+	}
+	return stretchSum / float64(stretchN), float64(unsatN) / float64(satN)
+}

@@ -1,0 +1,60 @@
+// Quickstart: generate a synthetic wide-area RTT dataset, run the
+// decentralized class prediction protocol with the paper's default
+// parameters, and inspect the resulting accuracy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dmfsgd"
+)
+
+func main() {
+	// A 200-node Meridian-like network: clustered wide-area RTTs.
+	ds := dmfsgd.NewMeridianDataset(200, 42)
+	tau := ds.Median()
+	fmt.Printf("dataset: %d nodes, median RTT %.1f ms (tau)\n", ds.N(), tau)
+
+	// Each node picks k random neighbors and only ever measures those:
+	// k·n of the n·(n−1) paths. Everything else is predicted.
+	sim, err := dmfsgd.Simulate(ds, dmfsgd.SimulationConfig{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	measured := ds.DefaultK * ds.N()
+	total := ds.N() * (ds.N() - 1)
+	fmt.Printf("measuring %d of %d paths (%.1f%%), predicting the rest\n",
+		measured, total, 100*float64(measured)/float64(total))
+
+	// Train with the paper's convergence budget (20·k measurements per
+	// node on average).
+	sim.Run(0)
+
+	// How well do the predicted classes match reality on the ~98% of
+	// paths that were never measured?
+	fmt.Printf("\nAUC over unmeasured paths: %.3f\n", sim.AUC())
+	c := sim.Confusion()
+	fmt.Printf("accuracy (sign rule):      %.1f%%\n", 100*c.Accuracy())
+	fmt.Printf("            predicted good   predicted bad\n")
+	fmt.Printf("actual good      %5.1f%%          %5.1f%%\n", 100*c.TPR(), 100*c.FNR())
+	fmt.Printf("actual bad       %5.1f%%          %5.1f%%\n", 100*c.FPR(), 100*c.TNR())
+
+	// Individual predictions: positive score = "good" (RTT under tau).
+	fmt.Println("\nsample predictions (path: score -> class | truth):")
+	for _, pair := range [][2]int{{0, 50}, {10, 150}, {42, 7}, {199, 3}} {
+		i, j := pair[0], pair[1]
+		score := sim.Predict(i, j)
+		pred := "bad"
+		if score > 0 {
+			pred = "good"
+		}
+		truth := "bad"
+		if ds.Matrix.At(i, j) <= tau {
+			truth = "good"
+		}
+		fmt.Printf("  %3d->%3d: %+6.2f -> %-4s | truth: %-4s (%.1f ms)\n",
+			i, j, score, pred, truth, ds.Matrix.At(i, j))
+	}
+}

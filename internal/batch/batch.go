@@ -1,0 +1,137 @@
+// Package batch implements the centralized matrix-factorization
+// architecture of §4.3 (Figure 2): all class measurements are collected at
+// one place, and U, V are fitted by full passes of (mini-batched
+// stochastic) gradient descent over the known entries.
+//
+// The paper's contribution is precisely to *remove* this central node
+// (§5); package batch exists as the reference the decentralized algorithms
+// are measured against. Its factorization quality is an upper bound for
+// DMFSGD at the same measurement budget, and the integration tests assert
+// the decentralized runs land close to it.
+package batch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd/internal/loss"
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/vec"
+)
+
+// Config parameterizes a centralized factorization.
+type Config struct {
+	// Rank, LearningRate, Lambda, Loss as in sgd.Config.
+	Rank         int
+	LearningRate float64
+	Lambda       float64
+	Loss         loss.Kind
+	// Epochs is the number of full passes over the observed entries.
+	Epochs int
+	// Seed drives initialization and the per-epoch shuffle.
+	Seed int64
+}
+
+// Defaults returns a configuration matching the paper's decentralized
+// defaults plus 30 epochs.
+func Defaults() Config {
+	return Config{Rank: 10, LearningRate: 0.1, Lambda: 0.1, Loss: loss.Logistic, Epochs: 30}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Rank <= 0 {
+		return fmt.Errorf("batch: rank must be positive, got %d", c.Rank)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("batch: learning rate must be positive, got %v", c.LearningRate)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("batch: lambda must be non-negative, got %v", c.Lambda)
+	}
+	if c.Epochs <= 0 {
+		return fmt.Errorf("batch: epochs must be positive, got %d", c.Epochs)
+	}
+	return nil
+}
+
+// Model is a fitted factorization: row i of U and of V per node.
+type Model struct {
+	U, V [][]float64
+}
+
+// Predict returns x̂ᵢⱼ = uᵢ·vⱼᵀ.
+func (m *Model) Predict(i, j int) float64 { return vec.Dot(m.U[i], m.V[j]) }
+
+// Fit factorizes the observed entries of labels (NaN = unobserved,
+// diagonal ignored) under the mask semantics of eq. 1. The optimization is
+// stochastic gradient descent over a reshuffled entry list each epoch —
+// the centralized twin of the DMFSGD updates, using the identical
+// gradients from package loss.
+func Fit(labels *mat.Dense, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if labels.Rows() != labels.Cols() {
+		return nil, fmt.Errorf("batch: labels must be square, got %dx%d", labels.Rows(), labels.Cols())
+	}
+	n := labels.Rows()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	model := &Model{U: make([][]float64, n), V: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		model.U[i] = vec.NewRandUniform(rng, cfg.Rank)
+		model.V[i] = vec.NewRandUniform(rng, cfg.Rank)
+	}
+
+	// Collect observed entries once.
+	var entries []mat.Pair
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && !labels.IsMissing(i, j) {
+				entries = append(entries, mat.Pair{I: i, J: j})
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("batch: no observed entries")
+	}
+
+	shrink := 1 - cfg.LearningRate*cfg.Lambda
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(entries), func(a, b int) { entries[a], entries[b] = entries[b], entries[a] })
+		for _, e := range entries {
+			x := labels.At(e.I, e.J)
+			u, v := model.U[e.I], model.V[e.J]
+			g := cfg.Loss.Scalar(x, vec.Dot(u, v))
+			// Both factor rows move per sample — the central node holds
+			// everything, so unlike DMFSGD no information constraint
+			// applies. Both gradients use the pre-update rows.
+			step := -cfg.LearningRate * g
+			uPre := append([]float64(nil), u...)
+			vPre := append([]float64(nil), v...)
+			vec.ScaleAxpy(shrink, u, step, vPre)
+			vec.ScaleAxpy(shrink, v, step, uPre)
+		}
+	}
+	return model, nil
+}
+
+// ObjectiveValue returns the regularized empirical loss of eq. 3 over the
+// observed entries — used by tests to verify that training decreases it.
+func ObjectiveValue(labels *mat.Dense, m *Model, cfg Config) float64 {
+	n := labels.Rows()
+	var total float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || labels.IsMissing(i, j) {
+				continue
+			}
+			total += cfg.Loss.Value(labels.At(i, j), m.Predict(i, j))
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cfg.Lambda * (vec.SqNorm(m.U[i]) + vec.SqNorm(m.V[i]))
+	}
+	return total
+}

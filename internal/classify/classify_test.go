@@ -1,0 +1,211 @@
+package classify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/mat"
+)
+
+func TestClassBasics(t *testing.T) {
+	if Good.Value() != 1 || Bad.Value() != -1 {
+		t.Error("class numeric labels must be ±1")
+	}
+	if Good.String() != "good" || Bad.String() != "bad" {
+		t.Error("class names")
+	}
+	if FromValue(0.3) != Good || FromValue(-2) != Bad || FromValue(0) != Bad {
+		t.Error("FromValue sign rule")
+	}
+}
+
+func TestOfPolarity(t *testing.T) {
+	// RTT: small is good.
+	if Of(dataset.RTT, 50, 100) != Good || Of(dataset.RTT, 150, 100) != Bad {
+		t.Error("RTT polarity")
+	}
+	// ABW: large is good.
+	if Of(dataset.ABW, 50, 40) != Good || Of(dataset.ABW, 30, 40) != Bad {
+		t.Error("ABW polarity")
+	}
+}
+
+func testDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Meridian(dataset.MeridianConfig{N: 30, Seed: 21})
+}
+
+func TestMatrix(t *testing.T) {
+	d := testDataset(t)
+	tau := d.Median()
+	cm := Matrix(d, tau)
+	if cm.Rows() != d.N() {
+		t.Fatal("dims")
+	}
+	var good, bad int
+	for i := 0; i < cm.Rows(); i++ {
+		for j := 0; j < cm.Cols(); j++ {
+			if i == j {
+				if !cm.IsMissing(i, j) {
+					t.Fatal("diagonal must stay missing")
+				}
+				continue
+			}
+			switch cm.At(i, j) {
+			case 1:
+				good++
+			case -1:
+				bad++
+			default:
+				t.Fatalf("entry (%d,%d) = %v not ±1", i, j, cm.At(i, j))
+			}
+		}
+	}
+	// τ = median → roughly balanced classes.
+	total := good + bad
+	if math.Abs(float64(good)/float64(total)-0.5) > 0.05 {
+		t.Errorf("median threshold should balance classes: %d good / %d bad", good, bad)
+	}
+	// Original dataset must be untouched.
+	if d.Matrix.At(0, 1) == 1 || d.Matrix.At(0, 1) == -1 {
+		t.Error("Matrix mutated the dataset")
+	}
+}
+
+func TestExactProber(t *testing.T) {
+	d := testDataset(t)
+	tau := d.Median()
+	p := NewExactProber(d, tau)
+	if p.Tau() != tau {
+		t.Error("Tau accessor")
+	}
+	cm := Matrix(d, tau)
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			c, ok := p.ProbeClass(i, j)
+			if i == j {
+				if ok {
+					t.Fatal("diagonal should be unmeasurable")
+				}
+				continue
+			}
+			if !ok {
+				t.Fatalf("pair (%d,%d) unmeasurable", i, j)
+			}
+			if c.Value() != cm.At(i, j) {
+				t.Fatalf("prober disagrees with Matrix at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestExactProberMissing(t *testing.T) {
+	d := dataset.HPS3(dataset.HPS3Config{N: 40, MissingFraction: 0.2, Seed: 2})
+	p := NewExactProber(d, d.Median())
+	var missing int
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			if i == j {
+				continue
+			}
+			if _, ok := p.ProbeClass(i, j); !ok {
+				missing++
+				if !d.Matrix.IsMissing(i, j) {
+					t.Fatal("prober reported missing for present entry")
+				}
+			}
+		}
+	}
+	if missing == 0 {
+		t.Error("expected some missing pairs")
+	}
+}
+
+func TestNoisyProberErrorLocalization(t *testing.T) {
+	// Errors must concentrate near τ: paths at τ flip ~50% of the time,
+	// paths far away essentially never.
+	d := testDataset(t)
+	tau := d.Median()
+	rng := rand.New(rand.NewSource(33))
+	p := NewNoisyProber(d, tau, 0.1, rng)
+
+	var nearFlips, nearTotal, farFlips, farTotal int
+	for trial := 0; trial < 200; trial++ {
+		for i := 0; i < d.N(); i++ {
+			for j := 0; j < d.N(); j++ {
+				if i == j {
+					continue
+				}
+				v := d.Matrix.At(i, j)
+				rel := math.Abs(v-tau) / tau
+				truth := Of(d.Metric, v, tau)
+				got, ok := p.ProbeClass(i, j)
+				if !ok {
+					continue
+				}
+				if rel < 0.02 {
+					nearTotal++
+					if got != truth {
+						nearFlips++
+					}
+				} else if rel > 1.0 {
+					farTotal++
+					if got != truth {
+						farFlips++
+					}
+				}
+			}
+		}
+	}
+	if nearTotal > 0 {
+		rate := float64(nearFlips) / float64(nearTotal)
+		if rate < 0.3 || rate > 0.6 {
+			t.Errorf("near-τ flip rate = %v, want ≈0.5", rate)
+		}
+	}
+	if farTotal > 0 {
+		rate := float64(farFlips) / float64(farTotal)
+		if rate > 0.01 {
+			t.Errorf("far-from-τ flip rate = %v, want ≈0", rate)
+		}
+	}
+}
+
+func TestNoisyProberPanicsOnBadWidth(t *testing.T) {
+	d := testDataset(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNoisyProber(d, 50, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestTraceClassifier(t *testing.T) {
+	tc := NewTraceClassifier(dataset.RTT, 100)
+	if tc.Classify(dataset.Measurement{Value: 50}) != Good {
+		t.Error("fast RTT should be good")
+	}
+	if tc.Classify(dataset.Measurement{Value: 200}) != Bad {
+		t.Error("slow RTT should be bad")
+	}
+	tcA := NewTraceClassifier(dataset.ABW, 40)
+	if tcA.Classify(dataset.Measurement{Value: 50}) != Good {
+		t.Error("high ABW should be good")
+	}
+}
+
+func TestMatrixPreservesMissing(t *testing.T) {
+	m := mat.NewMissing(3, 3)
+	m.Set(0, 1, 10)
+	d := dataset.FromMatrix("t", dataset.RTT, m, 2)
+	cm := Matrix(d, 20)
+	if cm.At(0, 1) != 1 {
+		t.Error("present entry should classify")
+	}
+	if !cm.IsMissing(1, 2) {
+		t.Error("missing entry should stay missing")
+	}
+}

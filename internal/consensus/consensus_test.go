@@ -1,0 +1,184 @@
+package consensus
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmfsgd/internal/classify"
+)
+
+func TestNewFilterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFilter(0)
+}
+
+func TestUnknownPeerIsBad(t *testing.T) {
+	f := NewFilter(5)
+	if f.Current(42) != classify.Bad {
+		t.Error("unknown peer should default to Bad")
+	}
+	if f.Observations(42) != 0 {
+		t.Error("unknown peer has observations")
+	}
+}
+
+func TestMajorityBasic(t *testing.T) {
+	f := NewFilter(5)
+	f.Observe(1, classify.Good)
+	f.Observe(1, classify.Good)
+	got := f.Observe(1, classify.Bad)
+	if got != classify.Good {
+		t.Errorf("2G+1B majority = %v, want good", got)
+	}
+	f.Observe(1, classify.Bad)
+	if f.Current(1) != classify.Bad { // 2-2 tie resolves conservative
+		t.Error("tie should resolve to Bad")
+	}
+	f.Observe(1, classify.Bad)
+	if f.Current(1) != classify.Bad {
+		t.Error("majority bad")
+	}
+	if f.Observations(1) != 5 {
+		t.Errorf("observations = %d", f.Observations(1))
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	f := NewFilter(3)
+	for i := 0; i < 3; i++ {
+		f.Observe(1, classify.Bad)
+	}
+	if f.Current(1) != classify.Bad {
+		t.Fatal("all-bad window")
+	}
+	// Three fresh goods push all bads out.
+	f.Observe(1, classify.Good)
+	f.Observe(1, classify.Good)
+	if f.Current(1) != classify.Good { // 2G 1B
+		t.Error("sliding window did not update majority")
+	}
+	f.Observe(1, classify.Good)
+	if f.Current(1) != classify.Good {
+		t.Error("full good window")
+	}
+	if f.Observations(1) != 3 {
+		t.Errorf("window should cap at 3, got %d", f.Observations(1))
+	}
+}
+
+func TestPerPeerIsolation(t *testing.T) {
+	f := NewFilter(3)
+	f.Observe(1, classify.Good)
+	f.Observe(2, classify.Bad)
+	if f.Current(1) != classify.Good || f.Current(2) != classify.Bad {
+		t.Error("peer histories leaked")
+	}
+	if f.Peers() != 2 {
+		t.Errorf("Peers = %d", f.Peers())
+	}
+	f.Reset(1)
+	if f.Current(1) != classify.Bad || f.Peers() != 1 {
+		t.Error("Reset failed")
+	}
+}
+
+// The core robustness claim: a malicious peer flipping 20% of its labels
+// is outvoted — after a window of 15 fills, the majority is wrong only
+// when ≥8 of 15 observations flipped, P ≈ 0.004 for Binomial(15, 0.2).
+func TestOutvotesMinorityFlips(t *testing.T) {
+	const window = 15
+	f := NewFilter(window)
+	rng := rand.New(rand.NewSource(91))
+	truth := classify.Good
+	wrong := 0
+	const total = 5000
+	for i := 0; i < total; i++ {
+		obs := truth
+		if rng.Float64() < 0.2 {
+			obs = -truth
+		}
+		got := f.Observe(7, obs)
+		if i >= window && got != truth {
+			wrong++
+		}
+	}
+	if rate := float64(wrong) / total; rate > 0.02 {
+		t.Errorf("filtered error rate %v, want < 0.02", rate)
+	}
+	// Contrast: the unfiltered error rate would be ≈0.2.
+}
+
+func TestTracksHonestChange(t *testing.T) {
+	// A genuine label change must propagate within ~window observations.
+	f := NewFilter(5)
+	for i := 0; i < 5; i++ {
+		f.Observe(1, classify.Good)
+	}
+	flipAfter := -1
+	for i := 0; i < 5; i++ {
+		if f.Observe(1, classify.Bad) == classify.Bad {
+			flipAfter = i + 1
+			break
+		}
+	}
+	if flipAfter < 0 {
+		t.Fatal("filter never tracked the honest change")
+	}
+	if flipAfter > 3 {
+		t.Errorf("change took %d observations, want <= 3 (window 5)", flipAfter)
+	}
+}
+
+// Property: Current always equals the sign of the window sum, computed
+// independently.
+func TestPropertyMajorityMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 1 + rng.Intn(8)
+		flt := NewFilter(w)
+		var window []int8
+		for i := 0; i < 50; i++ {
+			c := classify.Good
+			if rng.Intn(2) == 0 {
+				c = classify.Bad
+			}
+			flt.Observe(3, c)
+			window = append(window, int8(c))
+			if len(window) > w {
+				window = window[1:]
+			}
+			sum := 0
+			for _, v := range window {
+				sum += int(v)
+			}
+			want := classify.Bad
+			if sum > 0 {
+				want = classify.Good
+			}
+			if flt.Current(3) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	f := NewFilter(9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := classify.Good
+		if i&3 == 0 {
+			c = classify.Bad
+		}
+		f.Observe(i%64, c)
+	}
+}

@@ -1,0 +1,270 @@
+// Package corrupt injects erroneous class labels into a class matrix,
+// implementing the four error types of §6.3:
+//
+//	Type 1 (FlipNearTau):  flip, with probability 0.5, the labels of paths
+//	                       whose quantity lies within [τ−δ, τ+δ]. Models
+//	                       inaccurate measurement tools.
+//	Type 2 (Underestimation): for ABW, label paths with quantity within
+//	                       [τ, τ+δ] as "bad". Models the systematic
+//	                       underestimation bias of pathload/pathchirp.
+//	Type 3 (FlipRandom):   choose p% of paths at random and flip their
+//	                       labels. Models malicious ABW targets that lie in
+//	                       both directions.
+//	Type 4 (GoodToBad):    choose p% of paths at random among the "good"
+//	                       ones and label them "bad". Models anomalies that
+//	                       degrade paths.
+//
+// Corruption is applied to labels, not to probes: a corrupted pair returns
+// the same wrong label every time it is measured, which is what "erroneous
+// class labels" means in the paper. For symmetric metrics (RTT) a path
+// (i,j)/(j,i) is a single label and is corrupted as a unit; for ABW each
+// direction is independent.
+//
+// Error levels are expressed as the fraction of all labels that end up
+// wrong (the x-axis of Figure 6). CalibrateDelta inverts the δ parameter of
+// Types 1 and 2 to hit a target level, reproducing Table 3.
+package corrupt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/mat"
+)
+
+// Type identifies one of the paper's four error models.
+type Type uint8
+
+const (
+	// FlipNearTau is Type 1.
+	FlipNearTau Type = 1
+	// Underestimation is Type 2 (ABW only).
+	Underestimation Type = 2
+	// FlipRandom is Type 3 (ABW only, per the paper's threat model).
+	FlipRandom Type = 3
+	// GoodToBad is Type 4.
+	GoodToBad Type = 4
+)
+
+// String names the error type as in the paper.
+func (t Type) String() string {
+	switch t {
+	case FlipNearTau:
+		return "type1/flip-near-tau"
+	case Underestimation:
+		return "type2/underestimation"
+	case FlipRandom:
+		return "type3/flip-random"
+	case GoodToBad:
+		return "type4/good-to-bad"
+	default:
+		return fmt.Sprintf("corrupt.Type(%d)", uint8(t))
+	}
+}
+
+// Params carries the knobs of one corruption run.
+type Params struct {
+	// Type selects the error model.
+	Type Type
+	// Tau is the classification threshold used to build the class matrix.
+	Tau float64
+	// Delta is the half-width of the perturbation band for Types 1 and 2.
+	// Ignored by Types 3 and 4.
+	Delta float64
+	// Level is the target fraction of erroneous labels for Types 3 and 4.
+	// Ignored by Types 1 and 2 (their level is set through Delta).
+	Level float64
+}
+
+// Apply returns a corrupted copy of the class matrix cm. The dataset
+// supplies quantities (for the band types) and metric polarity. rng drives
+// the randomness; the input matrices are not modified.
+func Apply(d *dataset.Dataset, cm *mat.Dense, p Params, rng *rand.Rand) *mat.Dense {
+	out := cm.Clone()
+	switch p.Type {
+	case FlipNearTau:
+		forEachPath(d, func(i, j int) {
+			v := d.Matrix.At(i, j)
+			if math.Abs(v-p.Tau) <= p.Delta && rng.Float64() < 0.5 {
+				flip(out, i, j, d.Metric.Symmetric())
+			}
+		})
+	case Underestimation:
+		forEachPath(d, func(i, j int) {
+			v := d.Matrix.At(i, j)
+			if v >= p.Tau && v <= p.Tau+p.Delta {
+				setBad(out, i, j, d.Metric.Symmetric())
+			}
+		})
+	case FlipRandom:
+		paths := collectPaths(d, out, nil)
+		n := int(math.Round(p.Level * float64(len(paths))))
+		for _, idx := range rng.Perm(len(paths))[:min(n, len(paths))] {
+			pp := paths[idx]
+			flip(out, pp.I, pp.J, d.Metric.Symmetric())
+		}
+	case GoodToBad:
+		good := collectPaths(d, out, func(i, j int) bool {
+			return out.At(i, j) == classify.Good.Value()
+		})
+		total := len(collectPaths(d, out, nil))
+		n := int(math.Round(p.Level * float64(total)))
+		if n > len(good) {
+			n = len(good)
+		}
+		for _, idx := range rng.Perm(len(good))[:n] {
+			pp := good[idx]
+			setBad(out, pp.I, pp.J, d.Metric.Symmetric())
+		}
+	default:
+		panic(fmt.Sprintf("corrupt: unknown type %v", p.Type))
+	}
+	return out
+}
+
+// forEachPath visits each label unit once: undirected pairs for symmetric
+// metrics, directed pairs otherwise. Missing entries are skipped.
+func forEachPath(d *dataset.Dataset, fn func(i, j int)) {
+	n := d.N()
+	sym := d.Metric.Symmetric()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || d.Matrix.IsMissing(i, j) {
+				continue
+			}
+			if sym && j < i {
+				continue
+			}
+			fn(i, j)
+		}
+	}
+}
+
+func collectPaths(d *dataset.Dataset, cm *mat.Dense, keep func(i, j int) bool) []mat.Pair {
+	var out []mat.Pair
+	forEachPath(d, func(i, j int) {
+		if cm.IsMissing(i, j) {
+			return
+		}
+		if keep == nil || keep(i, j) {
+			out = append(out, mat.Pair{I: i, J: j})
+		}
+	})
+	return out
+}
+
+func flip(cm *mat.Dense, i, j int, symmetric bool) {
+	cm.Set(i, j, -cm.At(i, j))
+	if symmetric {
+		cm.Set(j, i, -cm.At(j, i))
+	}
+}
+
+func setBad(cm *mat.Dense, i, j int, symmetric bool) {
+	cm.Set(i, j, classify.Bad.Value())
+	if symmetric {
+		cm.Set(j, i, classify.Bad.Value())
+	}
+}
+
+// ErrorRate returns the fraction of present off-diagonal labels on which
+// the two class matrices disagree.
+func ErrorRate(clean, corrupted *mat.Dense) float64 {
+	if clean.Rows() != corrupted.Rows() || clean.Cols() != corrupted.Cols() {
+		panic("corrupt: dimension mismatch")
+	}
+	var diff, total int
+	for i := 0; i < clean.Rows(); i++ {
+		for j := 0; j < clean.Cols(); j++ {
+			if i == j || clean.IsMissing(i, j) || corrupted.IsMissing(i, j) {
+				continue
+			}
+			total++
+			if clean.At(i, j) != corrupted.At(i, j) {
+				diff++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diff) / float64(total)
+}
+
+// CalibrateDelta returns the δ that makes the *expected* erroneous-label
+// fraction equal to level for band-based error types:
+//
+//   - Type 1 flips paths in [τ−δ, τ+δ] with probability ½, so δ is chosen
+//     to put a 2·level mass of paths inside the band;
+//   - Type 2 mislabels the good paths in [τ, τ+δ], so δ is chosen to put a
+//     level mass of paths inside that band.
+//
+// This reproduces Table 3 of the paper, which lists the δ values that lead
+// to 5/10/15% error levels on each dataset. Deltas are found by bisection
+// over the empirical quantity distribution.
+func CalibrateDelta(d *dataset.Dataset, typ Type, tau, level float64) float64 {
+	if level <= 0 || level >= 1 {
+		panic(fmt.Sprintf("corrupt: level %v out of (0,1)", level))
+	}
+	var targetMass float64
+	var massAt func(delta float64) float64
+	vals := pathValues(d)
+	switch typ {
+	case FlipNearTau:
+		targetMass = 2 * level
+		massAt = func(delta float64) float64 {
+			var c int
+			for _, v := range vals {
+				if math.Abs(v-tau) <= delta {
+					c++
+				}
+			}
+			return float64(c) / float64(len(vals))
+		}
+	case Underestimation:
+		targetMass = level
+		massAt = func(delta float64) float64 {
+			var c int
+			for _, v := range vals {
+				if v >= tau && v <= tau+delta {
+					c++
+				}
+			}
+			return float64(c) / float64(len(vals))
+		}
+	default:
+		panic(fmt.Sprintf("corrupt: CalibrateDelta undefined for %v", typ))
+	}
+	lo, hi := 0.0, d.Matrix.MaxAbs()
+	if massAt(hi) < targetMass {
+		return hi // not enough mass even with the whole range
+	}
+	for it := 0; it < 80; it++ {
+		mid := (lo + hi) / 2
+		if massAt(mid) < targetMass {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// pathValues lists one quantity per label unit (undirected for RTT).
+func pathValues(d *dataset.Dataset) []float64 {
+	var out []float64
+	forEachPath(d, func(i, j int) {
+		out = append(out, d.Matrix.At(i, j))
+	})
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

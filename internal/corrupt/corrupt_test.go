@@ -1,0 +1,249 @@
+package corrupt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+)
+
+func rttDS(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.Meridian(dataset.MeridianConfig{N: 60, Seed: 31})
+}
+
+func abwDS(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	return dataset.HPS3(dataset.HPS3Config{N: 60, Seed: 31})
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		FlipNearTau:     "type1/flip-near-tau",
+		Underestimation: "type2/underestimation",
+		FlipRandom:      "type3/flip-random",
+		GoodToBad:       "type4/good-to-bad",
+		Type(9):         "corrupt.Type(9)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestFlipNearTauOnlyPerturbsBand(t *testing.T) {
+	d := rttDS(t)
+	tau := d.Median()
+	cm := classify.Matrix(d, tau)
+	delta := CalibrateDelta(d, FlipNearTau, tau, 0.10)
+	out := Apply(d, cm, Params{Type: FlipNearTau, Tau: tau, Delta: delta}, rand.New(rand.NewSource(1)))
+
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			if i == j || cm.IsMissing(i, j) {
+				continue
+			}
+			if out.At(i, j) != cm.At(i, j) {
+				v := d.Matrix.At(i, j)
+				if math.Abs(v-tau) > delta+1e-9 {
+					t.Fatalf("flip outside band at (%d,%d): v=%v tau=%v delta=%v", i, j, v, tau, delta)
+				}
+			}
+		}
+	}
+	// Input untouched.
+	if ErrorRate(cm, classify.Matrix(d, tau)) != 0 {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestFlipNearTauHitsTargetLevel(t *testing.T) {
+	d := rttDS(t)
+	tau := d.Median()
+	cm := classify.Matrix(d, tau)
+	for _, level := range []float64{0.05, 0.10, 0.15} {
+		delta := CalibrateDelta(d, FlipNearTau, tau, level)
+		// Average realized error over several seeds (flips are Bernoulli ½).
+		var sum float64
+		const trials = 10
+		for s := int64(0); s < trials; s++ {
+			out := Apply(d, cm, Params{Type: FlipNearTau, Tau: tau, Delta: delta}, rand.New(rand.NewSource(s)))
+			sum += ErrorRate(cm, out)
+		}
+		got := sum / trials
+		if math.Abs(got-level) > 0.03 {
+			t.Errorf("level %v: realized error %v", level, got)
+		}
+	}
+}
+
+func TestCalibrateDeltaMonotone(t *testing.T) {
+	d := rttDS(t)
+	tau := d.Median()
+	d5 := CalibrateDelta(d, FlipNearTau, tau, 0.05)
+	d10 := CalibrateDelta(d, FlipNearTau, tau, 0.10)
+	d15 := CalibrateDelta(d, FlipNearTau, tau, 0.15)
+	if !(d5 < d10 && d10 < d15) {
+		t.Errorf("delta not monotone in level: %v %v %v", d5, d10, d15)
+	}
+	if d5 <= 0 {
+		t.Errorf("delta should be positive, got %v", d5)
+	}
+}
+
+func TestUnderestimationOnlyGoodToBadInBand(t *testing.T) {
+	d := abwDS(t)
+	tau := d.Median()
+	cm := classify.Matrix(d, tau)
+	delta := CalibrateDelta(d, Underestimation, tau, 0.10)
+	out := Apply(d, cm, Params{Type: Underestimation, Tau: tau, Delta: delta}, rand.New(rand.NewSource(2)))
+
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			if i == j || cm.IsMissing(i, j) {
+				continue
+			}
+			if out.At(i, j) != cm.At(i, j) {
+				// Changed labels must be good→bad with quantity in [τ, τ+δ].
+				if cm.At(i, j) != classify.Good.Value() || out.At(i, j) != classify.Bad.Value() {
+					t.Fatalf("non good→bad change at (%d,%d)", i, j)
+				}
+				v := d.Matrix.At(i, j)
+				if v < tau-1e-9 || v > tau+delta+1e-9 {
+					t.Fatalf("change outside [τ,τ+δ] at (%d,%d): v=%v", i, j, v)
+				}
+			}
+		}
+	}
+	got := ErrorRate(cm, out)
+	if math.Abs(got-0.10) > 0.02 {
+		t.Errorf("realized error %v, want ≈0.10", got)
+	}
+}
+
+func TestFlipRandomHitsExactLevel(t *testing.T) {
+	d := abwDS(t)
+	tau := d.Median()
+	cm := classify.Matrix(d, tau)
+	for _, level := range []float64{0.05, 0.10, 0.15} {
+		out := Apply(d, cm, Params{Type: FlipRandom, Tau: tau, Level: level}, rand.New(rand.NewSource(3)))
+		got := ErrorRate(cm, out)
+		if math.Abs(got-level) > 0.005 {
+			t.Errorf("level %v: realized %v", level, got)
+		}
+	}
+}
+
+func TestGoodToBadOnlyDegradesGood(t *testing.T) {
+	d := abwDS(t)
+	tau := d.Median()
+	cm := classify.Matrix(d, tau)
+	out := Apply(d, cm, Params{Type: GoodToBad, Tau: tau, Level: 0.10}, rand.New(rand.NewSource(4)))
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < d.N(); j++ {
+			if i == j || cm.IsMissing(i, j) {
+				continue
+			}
+			if out.At(i, j) != cm.At(i, j) {
+				if cm.At(i, j) != classify.Good.Value() {
+					t.Fatalf("bad label changed at (%d,%d)", i, j)
+				}
+				if out.At(i, j) != classify.Bad.Value() {
+					t.Fatalf("good label not set to bad at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+	got := ErrorRate(cm, out)
+	if math.Abs(got-0.10) > 0.01 {
+		t.Errorf("realized error %v, want ≈0.10", got)
+	}
+}
+
+func TestGoodToBadCapsAtGoodCount(t *testing.T) {
+	// Requesting more errors than there are good paths must not panic.
+	d := abwDS(t)
+	tau := d.TauForGoodPortion(0.10) // only 10% good
+	cm := classify.Matrix(d, tau)
+	out := Apply(d, cm, Params{Type: GoodToBad, Tau: tau, Level: 0.5}, rand.New(rand.NewSource(5)))
+	if got := ErrorRate(cm, out); got > 0.11 {
+		t.Errorf("error rate %v exceeds available good paths", got)
+	}
+}
+
+func TestSymmetricCorruptionKeepsSymmetry(t *testing.T) {
+	d := rttDS(t)
+	tau := d.Median()
+	cm := classify.Matrix(d, tau)
+	for _, p := range []Params{
+		{Type: FlipNearTau, Tau: tau, Delta: CalibrateDelta(d, FlipNearTau, tau, 0.1)},
+		{Type: GoodToBad, Tau: tau, Level: 0.1},
+	} {
+		out := Apply(d, cm, p, rand.New(rand.NewSource(6)))
+		for i := 0; i < d.N(); i++ {
+			for j := i + 1; j < d.N(); j++ {
+				if out.IsMissing(i, j) {
+					continue
+				}
+				if out.At(i, j) != out.At(j, i) {
+					t.Fatalf("%v broke symmetry at (%d,%d)", p.Type, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestApplyPanicsOnUnknownType(t *testing.T) {
+	d := rttDS(t)
+	cm := classify.Matrix(d, d.Median())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Apply(d, cm, Params{Type: Type(77)}, rand.New(rand.NewSource(1)))
+}
+
+func TestCalibrateDeltaPanics(t *testing.T) {
+	d := rttDS(t)
+	for _, level := range []float64{0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("level %v should panic", level)
+				}
+			}()
+			CalibrateDelta(d, FlipNearTau, d.Median(), level)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Type 3 calibration should panic")
+			}
+		}()
+		CalibrateDelta(d, FlipRandom, d.Median(), 0.1)
+	}()
+}
+
+func TestErrorRateIdentity(t *testing.T) {
+	d := rttDS(t)
+	cm := classify.Matrix(d, d.Median())
+	if got := ErrorRate(cm, cm); got != 0 {
+		t.Errorf("self error rate = %v", got)
+	}
+}
+
+func TestErrorRateDimensionMismatchPanics(t *testing.T) {
+	d := rttDS(t)
+	cm := classify.Matrix(d, d.Median())
+	small := classify.Matrix(dataset.Meridian(dataset.MeridianConfig{N: 10, Seed: 1}), 50)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ErrorRate(cm, small)
+}

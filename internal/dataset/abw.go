@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmfsgd/internal/mat"
+)
+
+// HPS3Config parameterizes the HP-S3-like available-bandwidth dataset.
+type HPS3Config struct {
+	// N is the node count (paper: dense 231-node extraction).
+	N int
+	// MissingFraction is the fraction of off-diagonal entries masked as
+	// unmeasured (paper: 4%).
+	MissingFraction float64
+	// NoiseSigma is the lognormal measurement noise of the pathchirp-style
+	// estimator.
+	NoiseSigma float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// HPS3 generates the HP-S3-like dataset: pairwise available bandwidth in
+// Mbit/s between hosts attached to a capacity-weighted random tree.
+//
+// The generative model follows the observation (Ramasubramanian et al.,
+// SIGMETRICS 2009 — reference [16] of the paper) that Internet bandwidth is
+// well approximated by a tree metric: ABW(i,j) is the minimum available
+// bandwidth over the links of the unique tree path between i and j. Shared
+// links induce exactly the inter-path correlations that make the ABW matrix
+// low-rank (paper Fig. 1). Directional utilization makes the matrix
+// asymmetric, as pathchirp measurements are (§3.1.2).
+func HPS3(cfg HPS3Config) *Dataset {
+	if cfg.N == 0 {
+		cfg.N = 231
+	}
+	if cfg.MissingFraction == 0 {
+		cfg.MissingFraction = 0.04
+	}
+	if cfg.NoiseSigma == 0 {
+		cfg.NoiseSigma = 0.08
+	}
+	if cfg.N < 2 {
+		panic(fmt.Sprintf("dataset: HPS3 needs at least 2 nodes, got %d", cfg.N))
+	}
+	rng := rngFor(cfg.Seed)
+	tree := buildBandwidthTree(cfg.N, rng)
+	m := tree.pairwiseABW(cfg, rng)
+	return &Dataset{
+		Name:     "hp-s3",
+		Metric:   ABW,
+		Matrix:   m,
+		DefaultK: 10,
+	}
+}
+
+// bwTree is a rooted tree whose leaves are hosts. Each non-root vertex has
+// an uplink with a capacity and per-direction utilizations.
+type bwTree struct {
+	parent []int // parent[v] = parent vertex, -1 for root
+	// upAvail[v] / downAvail[v]: available bandwidth on the link from v to
+	// parent(v), in the v→parent and parent→v directions.
+	upAvail   []float64
+	downAvail []float64
+	leaves    []int // vertex id of each host
+	depth     []int
+}
+
+// capacity tiers, Mbit/s. Interior links (aggregation, core) are faster than
+// access links; available bandwidth is capacity × (1 − utilization).
+var (
+	accessCapacities = []float64{20, 45, 100, 155, 250}
+	accessWeights    = []float64{0.1, 0.2, 0.3, 0.3, 0.1}
+	coreCapacities   = []float64{155, 622, 1000, 2500}
+	coreWeights      = []float64{0.25, 0.35, 0.3, 0.1}
+)
+
+func pickWeighted(vals, weights []float64, rng *rand.Rand) float64 {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		if r < w {
+			return vals[i]
+		}
+		r -= w
+	}
+	return vals[len(vals)-1]
+}
+
+// buildBandwidthTree grows a random hierarchy: a root, a layer of core
+// switches, a layer of aggregation nodes, and host leaves attached with
+// preferential randomness (some aggregations serve many hosts). The depth
+// and fan-out are randomized so paths share varying numbers of links.
+func buildBandwidthTree(nHosts int, rng *rand.Rand) *bwTree {
+	t := &bwTree{}
+	add := func(parent int) int {
+		id := len(t.parent)
+		t.parent = append(t.parent, parent)
+		t.upAvail = append(t.upAvail, 0)
+		t.downAvail = append(t.downAvail, 0)
+		if parent < 0 {
+			t.depth = append(t.depth, 0)
+		} else {
+			t.depth = append(t.depth, t.depth[parent]+1)
+		}
+		return id
+	}
+	root := add(-1)
+
+	nCore := 2 + rng.Intn(3) // 2..4 core switches
+	cores := make([]int, nCore)
+	for i := range cores {
+		cores[i] = add(root)
+	}
+	nAgg := nHosts/12 + 2
+	aggs := make([]int, nAgg)
+	for i := range aggs {
+		aggs[i] = add(cores[rng.Intn(nCore)])
+	}
+	for h := 0; h < nHosts; h++ {
+		// Preferential-ish: square the random index distribution so a few
+		// aggregation nodes are crowded (shared bottlenecks).
+		idx := int(math.Pow(rng.Float64(), 1.6) * float64(nAgg))
+		if idx >= nAgg {
+			idx = nAgg - 1
+		}
+		leaf := add(aggs[idx])
+		t.leaves = append(t.leaves, leaf)
+	}
+
+	// Assign capacities and utilizations. Leaf uplinks are access links;
+	// everything else is core/aggregation.
+	for v := 1; v < len(t.parent); v++ {
+		isLeaf := t.depth[v] == 3
+		var capacity float64
+		if isLeaf {
+			capacity = pickWeighted(accessCapacities, accessWeights, rng)
+		} else {
+			capacity = pickWeighted(coreCapacities, coreWeights, rng)
+		}
+		// Utilization per direction: concentrated mid-range with occasional
+		// near-saturated links; busy links leave little headroom.
+		t.upAvail[v] = capacity * availFraction(rng)
+		t.downAvail[v] = capacity * availFraction(rng)
+	}
+	return t
+}
+
+// availFraction draws the available fraction of a link's capacity,
+// uniform over a busy-but-usable band with occasional congested links that
+// become shared bottlenecks.
+func availFraction(rng *rand.Rand) float64 {
+	if rng.Float64() < 0.05 { // congested link
+		return 0.03 + 0.10*rng.Float64()
+	}
+	return 0.25 + 0.65*rng.Float64()
+}
+
+// pairwiseABW computes the directed bottleneck available bandwidth between
+// every pair of hosts, with measurement noise and missing entries.
+func (t *bwTree) pairwiseABW(cfg HPS3Config, rng *rand.Rand) *mat.Dense {
+	n := len(t.leaves)
+	m := mat.NewMissing(n, n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			abw := t.pathABW(t.leaves[a], t.leaves[b])
+			// pathchirp-style noise: lognormal, mild.
+			if cfg.NoiseSigma > 0 {
+				abw *= math.Exp(rng.NormFloat64()*cfg.NoiseSigma - cfg.NoiseSigma*cfg.NoiseSigma/2)
+			}
+			if abw < 0.1 {
+				abw = 0.1
+			}
+			m.Set(a, b, abw)
+		}
+	}
+	// Mask MissingFraction of the off-diagonal entries.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && rng.Float64() < cfg.MissingFraction {
+				m.SetMissing(a, b)
+			}
+		}
+	}
+	return m
+}
+
+// pathABW walks the tree path src→dst and returns the minimum directional
+// available bandwidth. Uplinks of the source side are traversed upward;
+// downlinks of the destination side downward.
+func (t *bwTree) pathABW(src, dst int) float64 {
+	// Climb both vertices to their common ancestor, tracking the minimum.
+	min := math.Inf(1)
+	a, b := src, dst
+	for t.depth[a] > t.depth[b] {
+		if t.upAvail[a] < min {
+			min = t.upAvail[a]
+		}
+		a = t.parent[a]
+	}
+	for t.depth[b] > t.depth[a] {
+		if t.downAvail[b] < min {
+			min = t.downAvail[b]
+		}
+		b = t.parent[b]
+	}
+	for a != b {
+		if t.upAvail[a] < min {
+			min = t.upAvail[a]
+		}
+		if t.downAvail[b] < min {
+			min = t.downAvail[b]
+		}
+		a = t.parent[a]
+		b = t.parent[b]
+	}
+	return min
+}

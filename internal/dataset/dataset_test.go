@@ -1,0 +1,466 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/svd"
+)
+
+func TestMetricProperties(t *testing.T) {
+	if !RTT.GoodIsLow() || ABW.GoodIsLow() {
+		t.Error("polarity wrong: RTT good=low, ABW good=high")
+	}
+	if !RTT.Symmetric() || ABW.Symmetric() {
+		t.Error("symmetry wrong: RTT symmetric, ABW asymmetric")
+	}
+	if RTT.String() != "rtt" || ABW.String() != "abw" {
+		t.Error("metric names")
+	}
+	if RTT.Unit() != "ms" || ABW.Unit() != "Mbps" {
+		t.Error("metric units")
+	}
+}
+
+func TestIsGood(t *testing.T) {
+	tests := []struct {
+		m          Metric
+		value, tau float64
+		want       bool
+	}{
+		{RTT, 50, 100, true},
+		{RTT, 150, 100, false},
+		{RTT, 100, 100, true}, // boundary counts as good for RTT
+		{ABW, 50, 40, true},
+		{ABW, 30, 40, false},
+		{ABW, 40, 40, true},
+	}
+	for _, tt := range tests {
+		if got := IsGood(tt.m, tt.value, tt.tau); got != tt.want {
+			t.Errorf("IsGood(%v, %v, %v) = %v, want %v", tt.m, tt.value, tt.tau, got, tt.want)
+		}
+	}
+}
+
+func TestGenerateRTTMatrixBasics(t *testing.T) {
+	cfg := RTTConfig{N: 40, Clusters: 4, Dim: 5, Spread: 100, Jitter: 5, HeightMean: 5, NoiseSigma: 0.1, MinRTT: 0.5, Seed: 1}
+	m := GenerateRTTMatrix(cfg)
+	if m.Rows() != 40 || m.Cols() != 40 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 40; i++ {
+		if !m.IsMissing(i, i) {
+			t.Fatal("diagonal must be missing")
+		}
+		for j := 0; j < 40; j++ {
+			if i == j {
+				continue
+			}
+			v := m.At(i, j)
+			if math.IsNaN(v) || v < cfg.MinRTT {
+				t.Fatalf("entry (%d,%d) = %v invalid", i, j, v)
+			}
+			if v != m.At(j, i) {
+				t.Fatalf("RTT matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateRTTMatrixDeterministic(t *testing.T) {
+	cfg := RTTConfig{N: 20, Clusters: 3, Dim: 4, Spread: 80, Jitter: 5, HeightMean: 5, NoiseSigma: 0.1, MinRTT: 0.5, Seed: 42}
+	a := GenerateRTTMatrix(cfg)
+	b := GenerateRTTMatrix(cfg)
+	for i := range a.Data() {
+		av, bv := a.Data()[i], b.Data()[i]
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			t.Fatal("same seed must give identical matrices")
+		}
+	}
+	cfg.Seed = 43
+	c := GenerateRTTMatrix(cfg)
+	diff := false
+	for i := range a.Data() {
+		if a.Data()[i] != c.Data()[i] && !math.IsNaN(a.Data()[i]) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different matrices")
+	}
+}
+
+func TestRTTConfigValidate(t *testing.T) {
+	good := RTTConfig{N: 10, Clusters: 2, Dim: 3, Spread: 10, Jitter: 1, HeightMean: 1, NoiseSigma: 0.1, MinRTT: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []RTTConfig{
+		{N: 1, Clusters: 1, Dim: 1, Spread: 1},
+		{N: 10, Clusters: 0, Dim: 1, Spread: 1},
+		{N: 10, Clusters: 11, Dim: 1, Spread: 1},
+		{N: 10, Clusters: 2, Dim: 0, Spread: 1},
+		{N: 10, Clusters: 2, Dim: 1, Spread: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestMeridianShape(t *testing.T) {
+	d := Meridian(MeridianConfig{N: 120, Seed: 7})
+	if d.Name != "meridian" || d.Metric != RTT || d.DefaultK != 32 {
+		t.Errorf("metadata: %+v", d)
+	}
+	if d.N() != 120 {
+		t.Errorf("N = %d", d.N())
+	}
+	med := d.Median()
+	// The real Meridian median is 56.4 ms; the generator should land in a
+	// plausible wide-area band.
+	if med < 20 || med > 150 {
+		t.Errorf("median RTT = %v ms, outside plausible band", med)
+	}
+	if d.Trace != nil {
+		t.Error("Meridian is static, should have no trace")
+	}
+}
+
+func TestMeridianLowRank(t *testing.T) {
+	// The core premise of the paper (Fig 1): the RTT matrix has low
+	// effective rank. Check that few singular values capture >=95% of the
+	// Frobenius energy on a 100-node instance (diagonal imputed).
+	d := Meridian(MeridianConfig{N: 100, Seed: 3})
+	dense := imputeColumnMedian(d.Matrix)
+	sv := svd.Values(dense)
+	if r := svd.EffectiveRank(sv, 0.95); r > 20 {
+		t.Errorf("RTT effective rank (95%% energy) = %d of 100; expected low-rank structure", r)
+	}
+}
+
+func TestHarvardTrace(t *testing.T) {
+	d := Harvard(HarvardConfig{N: 40, Measurements: 20000, Duration: 3600, Seed: 5})
+	if d.Name != "harvard" || d.Metric != RTT || d.DefaultK != 10 {
+		t.Errorf("metadata: %+v", d)
+	}
+	if len(d.Trace) != 20000 {
+		t.Fatalf("trace length = %d", len(d.Trace))
+	}
+	prev := -1.0
+	for idx, m := range d.Trace {
+		if m.T < prev {
+			t.Fatalf("trace not sorted at %d", idx)
+		}
+		prev = m.T
+		if m.T < 0 || m.T > 3600 {
+			t.Fatalf("timestamp %v outside duration", m.T)
+		}
+		if m.I == m.J || m.I < 0 || m.I >= 40 || m.J < 0 || m.J >= 40 {
+			t.Fatalf("bad endpoints (%d,%d)", m.I, m.J)
+		}
+		if m.Value <= 0 || math.IsNaN(m.Value) {
+			t.Fatalf("bad value %v", m.Value)
+		}
+	}
+	// Ground truth must be dense off-diagonal and symmetric.
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			if i == j {
+				if !d.Matrix.IsMissing(i, j) {
+					t.Fatal("diagonal should be missing")
+				}
+				continue
+			}
+			if d.Matrix.IsMissing(i, j) {
+				t.Fatalf("ground truth missing at (%d,%d)", i, j)
+			}
+			if d.Matrix.At(i, j) != d.Matrix.At(j, i) {
+				t.Fatalf("ground truth not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestHarvardUnevenFrequencies(t *testing.T) {
+	// Footnote 4: Harvard pairs are probed with uneven frequencies. The
+	// busiest node must see many more measurements than the quietest.
+	d := Harvard(HarvardConfig{N: 30, Measurements: 30000, Duration: 3600, Seed: 9})
+	count := make([]int, 30)
+	for _, m := range d.Trace {
+		count[m.I]++
+	}
+	min, max := count[0], count[0]
+	for _, c := range count {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*min {
+		t.Errorf("activity skew too small: min=%d max=%d", min, max)
+	}
+}
+
+func TestHPS3Shape(t *testing.T) {
+	d := HPS3(HPS3Config{N: 60, Seed: 11})
+	if d.Name != "hp-s3" || d.Metric != ABW || d.DefaultK != 10 {
+		t.Errorf("metadata: %+v", d)
+	}
+	if d.N() != 60 {
+		t.Errorf("N = %d", d.N())
+	}
+	frac := d.Matrix.MissingFraction()
+	if frac < 0.01 || frac > 0.08 {
+		t.Errorf("missing fraction = %v, want ≈0.04", frac)
+	}
+	vals := d.Values()
+	med := mat.Median(vals)
+	// Real HP-S3 median is 43 Mbps; accept a plausible band.
+	if med < 10 || med > 120 {
+		t.Errorf("median ABW = %v Mbps, outside plausible band", med)
+	}
+	for _, v := range vals {
+		if v <= 0 {
+			t.Fatalf("non-positive ABW %v", v)
+		}
+	}
+}
+
+func TestHPS3Asymmetric(t *testing.T) {
+	d := HPS3(HPS3Config{N: 40, Seed: 13})
+	asym := 0
+	total := 0
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			if d.Matrix.IsMissing(i, j) || d.Matrix.IsMissing(j, i) {
+				continue
+			}
+			total++
+			if math.Abs(d.Matrix.At(i, j)-d.Matrix.At(j, i)) > 1e-9 {
+				asym++
+			}
+		}
+	}
+	if total == 0 || float64(asym)/float64(total) < 0.5 {
+		t.Errorf("ABW should be asymmetric: %d/%d pairs differ", asym, total)
+	}
+}
+
+func TestHPS3SharedBottleneckCorrelation(t *testing.T) {
+	// Tree structure implies: if i and j hang off the same congested
+	// aggregation link, their ABW to any remote node is similar. Weak
+	// global check: the matrix has low effective rank.
+	d := HPS3(HPS3Config{N: 50, NoiseSigma: 0.01, Seed: 17})
+	dense := imputeColumnMedian(d.Matrix)
+	sv := svd.Values(dense)
+	r := svd.EffectiveRank(sv, 0.95)
+	if r > 25 {
+		t.Errorf("ABW effective rank (95%% energy) = %d of 50; expected low-rank structure", r)
+	}
+}
+
+func TestTauForGoodPortionMatchesGoodPortion(t *testing.T) {
+	for _, d := range []*Dataset{
+		Meridian(MeridianConfig{N: 80, Seed: 19}),
+		HPS3(HPS3Config{N: 80, Seed: 19}),
+	} {
+		for _, p := range []float64{0.10, 0.25, 0.50, 0.75, 0.90} {
+			tau := d.TauForGoodPortion(p)
+			got := d.GoodPortion(tau)
+			if math.Abs(got-p) > 0.03 {
+				t.Errorf("%s: portion %v -> tau %v -> portion %v", d.Name, p, tau, got)
+			}
+		}
+		// Monotonicity of τ in the portion follows metric polarity.
+		t10 := d.TauForGoodPortion(0.10)
+		t90 := d.TauForGoodPortion(0.90)
+		if d.Metric.GoodIsLow() && t10 >= t90 {
+			t.Errorf("%s: RTT tau should grow with portion: %v vs %v", d.Name, t10, t90)
+		}
+		if !d.Metric.GoodIsLow() && t10 <= t90 {
+			t.Errorf("%s: ABW tau should shrink with portion: %v vs %v", d.Name, t10, t90)
+		}
+	}
+}
+
+func TestTauForGoodPortionPanics(t *testing.T) {
+	d := Meridian(MeridianConfig{N: 20, Seed: 1})
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("portion %v should panic", p)
+				}
+			}()
+			d.TauForGoodPortion(p)
+		}()
+	}
+}
+
+func TestMatrixRoundTrip(t *testing.T) {
+	m := mat.NewMissing(3, 3)
+	m.Set(0, 1, 1.5)
+	m.Set(1, 0, 2.25)
+	m.Set(2, 1, 100)
+	var buf bytes.Buffer
+	if err := WriteMatrix(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 3 || got.Cols() != 3 {
+		t.Fatalf("dims %dx%d", got.Rows(), got.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			a, b := m.At(i, j), got.At(i, j)
+			if a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("(%d,%d): %v != %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestReadMatrixFormats(t *testing.T) {
+	in := "# comment line\n1 2 nan\n-1 5 6\n7 8 9\n"
+	m, err := ReadMatrix(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsMissing(0, 2) {
+		t.Error("nan should parse as missing")
+	}
+	if !m.IsMissing(1, 0) {
+		t.Error("negative should parse as missing (P2PSim convention)")
+	}
+	if m.At(2, 2) != 9 {
+		t.Error("value parse")
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	cases := []string{
+		"",           // empty
+		"1 2\n3\n",   // ragged
+		"1 x\n3 4\n", // unparsable
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrix(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	trace := []Measurement{
+		{T: 0.5, I: 1, J: 2, Value: 10.25},
+		{T: 1.5, I: 2, J: 0, Value: 99},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("length %d", len(got))
+	}
+	for i := range trace {
+		if got[i].I != trace[i].I || got[i].J != trace[i].J ||
+			math.Abs(got[i].T-trace[i].T) > 1e-6 ||
+			math.Abs(got[i].Value-trace[i].Value) > 1e-6 {
+			t.Errorf("record %d: %+v != %+v", i, got[i], trace[i])
+		}
+	}
+}
+
+func TestReadTraceSortsAndRejects(t *testing.T) {
+	got, err := ReadTrace(strings.NewReader("5,0,1,10\n1,1,0,20\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].T != 1 {
+		t.Error("ReadTrace should sort by time")
+	}
+	if _, err := ReadTrace(strings.NewReader("1,2,3\n")); err == nil {
+		t.Error("short record should fail")
+	}
+	if _, err := ReadTrace(strings.NewReader("x,0,1,10\n")); err == nil {
+		t.Error("bad time should fail")
+	}
+}
+
+func TestFromMatrix(t *testing.T) {
+	small := FromMatrix("x", RTT, mat.NewMissing(100, 100), 0)
+	if small.DefaultK != 10 {
+		t.Errorf("small defaultK = %d", small.DefaultK)
+	}
+	big := FromMatrix("y", RTT, mat.NewMissing(1500, 1500), 0)
+	if big.DefaultK != 32 {
+		t.Errorf("big defaultK = %d", big.DefaultK)
+	}
+	explicit := FromMatrix("z", ABW, mat.NewMissing(10, 10), 4)
+	if explicit.DefaultK != 4 {
+		t.Errorf("explicit defaultK = %d", explicit.DefaultK)
+	}
+}
+
+// imputeColumnMedian fills missing entries with their column median —
+// the same preprocessing the Figure-1 harness applies before SVD.
+func imputeColumnMedian(m *mat.Dense) *mat.Dense {
+	out := m.Clone()
+	for j := 0; j < m.Cols(); j++ {
+		var col []float64
+		for i := 0; i < m.Rows(); i++ {
+			if !m.IsMissing(i, j) {
+				col = append(col, m.At(i, j))
+			}
+		}
+		fill := 0.0
+		if len(col) > 0 {
+			fill = mat.Median(col)
+		}
+		for i := 0; i < m.Rows(); i++ {
+			if out.IsMissing(i, j) {
+				out.Set(i, j, fill)
+			}
+		}
+	}
+	return out
+}
+
+func TestPickWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := map[float64]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pickWeighted([]float64{1, 2}, []float64{0.9, 0.1}, rng)]++
+	}
+	if counts[1] < 8500 || counts[1] > 9500 {
+		t.Errorf("weighted pick skewed: %v", counts)
+	}
+}
+
+func BenchmarkMeridianGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Meridian(MeridianConfig{N: 200, Seed: int64(i)})
+	}
+}
+
+func BenchmarkHPS3Generate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HPS3(HPS3Config{N: 100, Seed: int64(i)})
+	}
+}

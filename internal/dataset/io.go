@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dmfsgd/internal/mat"
+)
+
+// WriteMatrix writes a matrix in the plain text format used by the public
+// RTT datasets (Meridian, P2PSim): one row per line, whitespace-separated
+// values, missing entries written as "nan".
+func WriteMatrix(w io.Writer, m *mat.Dense) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.Rows(); i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			var s string
+			if math.IsNaN(v) {
+				s = "nan"
+			} else {
+				s = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if _, err := bw.WriteString(s); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix parses a whitespace-separated matrix. Lines may have differing
+// leading/trailing whitespace; "nan", "NaN", "-1" (the P2PSim missing
+// marker) and empty trailing fields are treated as missing when negative
+// values are impossible for the metric. All rows must have equal length.
+func ReadMatrix(r io.Reader) (*mat.Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var rows [][]float64
+	cols := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if cols == -1 {
+			cols = len(fields)
+		} else if len(fields) != cols {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(fields), cols)
+		}
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			switch strings.ToLower(f) {
+			case "nan", "na", "-":
+				row[j] = math.NaN()
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d: %v", line, j+1, err)
+			}
+			if v < 0 {
+				v = math.NaN() // P2PSim convention: negative = unmeasured
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty matrix")
+	}
+	data := make([]float64, 0, len(rows)*cols)
+	for _, row := range rows {
+		data = append(data, row...)
+	}
+	return mat.NewDenseFrom(len(rows), cols, data), nil
+}
+
+// WriteTrace writes a dynamic trace as CSV: time,src,dst,value — the shape
+// of the published Harvard trace files.
+func WriteTrace(w io.Writer, trace []Measurement) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range trace {
+		if _, err := fmt.Fprintf(bw, "%.6f,%d,%d,%.6f\n", m.T, m.I, m.J, m.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a CSV trace written by WriteTrace (or the equivalent
+// external format). Records are sorted by timestamp before returning.
+func ReadTrace(r io.Reader) ([]Measurement, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var out []Measurement
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("dataset: trace line %d has %d fields, want 4", line, len(parts))
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: trace line %d time: %v", line, err)
+		}
+		i, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: trace line %d src: %v", line, err)
+		}
+		j, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: trace line %d dst: %v", line, err)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: trace line %d value: %v", line, err)
+		}
+		out = append(out, Measurement{T: t, I: i, J: j, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].T < out[b].T })
+	return out, nil
+}
+
+// FromMatrix wraps an externally loaded matrix as a Dataset. defaultK
+// follows the paper's guidance (≈10 for a few hundred nodes, 32 for
+// thousands) when zero is passed.
+func FromMatrix(name string, metric Metric, m *mat.Dense, defaultK int) *Dataset {
+	if defaultK == 0 {
+		if m.Rows() >= 1000 {
+			defaultK = 32
+		} else {
+			defaultK = 10
+		}
+	}
+	return &Dataset{Name: name, Metric: metric, Matrix: m, DefaultK: defaultK}
+}

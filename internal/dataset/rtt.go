@@ -1,0 +1,252 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmfsgd/internal/mat"
+)
+
+// RTTConfig parameterizes the synthetic RTT matrix generator shared by the
+// Meridian-like and Harvard-like datasets.
+//
+// The generative model follows what is known about Internet delay spaces
+// (and what makes the paper's experiments work): nodes cluster by geography
+// and provider, giving a delay matrix that is approximately block-structured
+// and therefore of low effective rank; per-node access links add a "height"
+// component (as in Vivaldi's height model); and measurements carry
+// multiplicative noise plus mild triangle-inequality violations.
+type RTTConfig struct {
+	// N is the number of nodes.
+	N int
+	// Clusters is the number of geographic/provider clusters.
+	Clusters int
+	// Dim is the dimensionality of the latent embedding space.
+	Dim int
+	// Spread scales inter-cluster distances (ms). Median inter-cluster RTT
+	// grows with Spread.
+	Spread float64
+	// Jitter is the intra-cluster standard deviation (ms).
+	Jitter float64
+	// HeightMean is the mean of the exponential per-node access delay (ms).
+	HeightMean float64
+	// NoiseSigma is the standard deviation of the lognormal measurement
+	// noise (0 disables noise).
+	NoiseSigma float64
+	// MinRTT floors every entry (ms).
+	MinRTT float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c RTTConfig) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("dataset: need at least 2 nodes, got %d", c.N)
+	}
+	if c.Clusters < 1 || c.Clusters > c.N {
+		return fmt.Errorf("dataset: clusters %d out of [1,%d]", c.Clusters, c.N)
+	}
+	if c.Dim < 1 {
+		return fmt.Errorf("dataset: dim must be >=1, got %d", c.Dim)
+	}
+	if c.Spread <= 0 || c.Jitter < 0 || c.HeightMean < 0 || c.NoiseSigma < 0 || c.MinRTT < 0 {
+		return fmt.Errorf("dataset: negative or zero scale parameter: %+v", c)
+	}
+	return nil
+}
+
+// GenerateRTTMatrix produces a symmetric RTT matrix (ms) with NaN diagonal
+// according to cfg.
+func GenerateRTTMatrix(cfg RTTConfig) *mat.Dense {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rngFor(cfg.Seed)
+	pos, height := embedNodes(cfg, rng)
+
+	m := mat.NewMissing(cfg.N, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		for j := i + 1; j < cfg.N; j++ {
+			base := dist(pos[i], pos[j]) + height[i] + height[j]
+			noise := 1.0
+			if cfg.NoiseSigma > 0 {
+				noise = math.Exp(rng.NormFloat64()*cfg.NoiseSigma - cfg.NoiseSigma*cfg.NoiseSigma/2)
+			}
+			rtt := base * noise
+			if rtt < cfg.MinRTT {
+				rtt = cfg.MinRTT
+			}
+			m.Set(i, j, rtt)
+			m.Set(j, i, rtt)
+		}
+	}
+	return m
+}
+
+// embedNodes places N nodes around cluster centers and draws their access
+// heights. Shared by the static generator and the Harvard trace generator.
+func embedNodes(cfg RTTConfig, rng *rand.Rand) (pos [][]float64, height []float64) {
+	centers := make([][]float64, cfg.Clusters)
+	for c := range centers {
+		p := make([]float64, cfg.Dim)
+		for d := range p {
+			p[d] = rng.Float64() * cfg.Spread
+		}
+		centers[c] = p
+	}
+	// Cluster sizes follow a Zipf-ish skew: big providers have many nodes.
+	weights := make([]float64, cfg.Clusters)
+	var wsum float64
+	for c := range weights {
+		weights[c] = 1 / float64(c+1)
+		wsum += weights[c]
+	}
+	pos = make([][]float64, cfg.N)
+	height = make([]float64, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		r := rng.Float64() * wsum
+		c := 0
+		for acc := weights[0]; acc < r && c < cfg.Clusters-1; {
+			c++
+			acc += weights[c]
+		}
+		p := make([]float64, cfg.Dim)
+		for d := range p {
+			p[d] = centers[c][d] + rng.NormFloat64()*cfg.Jitter
+		}
+		pos[i] = p
+		height[i] = rng.ExpFloat64() * cfg.HeightMean
+	}
+	return pos, height
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return math.Sqrt(s)
+}
+
+// MeridianConfig parameterizes the Meridian-like static RTT dataset.
+type MeridianConfig struct {
+	// N is the node count. The real dataset has 2500 nodes; experiments in
+	// this repository default to a smaller N for wall-clock reasons and can
+	// be scaled up (cmd/dmfbench -full).
+	N int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Meridian generates the Meridian-like dataset: a static, symmetric RTT
+// matrix between infrastructure nodes. Scales are tuned so the median RTT
+// lands near the paper's 56 ms (Table 1: 56.4 ms at the 50th percentile).
+func Meridian(cfg MeridianConfig) *Dataset {
+	if cfg.N == 0 {
+		cfg.N = 2500
+	}
+	clusters := cfg.N / 50
+	if clusters < 8 {
+		clusters = 8
+	}
+	m := GenerateRTTMatrix(RTTConfig{
+		N:          cfg.N,
+		Clusters:   clusters,
+		Dim:        5,
+		Spread:     68,
+		Jitter:     5,
+		HeightMean: 3,
+		NoiseSigma: 0.10,
+		MinRTT:     0.5,
+		Seed:       cfg.Seed,
+	})
+	return &Dataset{
+		Name:     "meridian",
+		Metric:   RTT,
+		Matrix:   m,
+		DefaultK: 32,
+	}
+}
+
+// HarvardConfig parameterizes the Harvard-like dynamic RTT dataset.
+type HarvardConfig struct {
+	// N is the node count (paper: 226 Azureus clients).
+	N int
+	// Measurements is the total number of dynamic measurements to emit
+	// (paper: 2,492,546 over 4 hours; default here 250,000 — the
+	// convergence experiments use far fewer than the full trace).
+	Measurements int
+	// Duration is the trace length in seconds (paper: 4 hours).
+	Duration float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Harvard generates the Harvard-like dataset: application-level RTTs
+// between peer-to-peer clients, as a dynamic timestamped trace. Ground
+// truth is the per-pair median of the stream, exactly as §6.1 builds its
+// static matrix for evaluation. Application-level RTTs sit on top of
+// network RTT (overlay processing, scheduling), hence larger heights and
+// noise than Meridian; the median lands near the paper's 132 ms.
+func Harvard(cfg HarvardConfig) *Dataset {
+	if cfg.N == 0 {
+		cfg.N = 226
+	}
+	if cfg.Measurements == 0 {
+		cfg.Measurements = 250000
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 4 * 3600
+	}
+	rttCfg := RTTConfig{
+		N:          cfg.N,
+		Clusters:   6,
+		Dim:        5,
+		Spread:     160,
+		Jitter:     5,
+		HeightMean: 12,
+		NoiseSigma: 0, // base matrix noiseless; the trace carries the noise
+		MinRTT:     1,
+		Seed:       cfg.Seed,
+	}
+	base := GenerateRTTMatrix(rttCfg)
+	trace := generateTrace(base, cfg, rngFor(cfg.Seed+1))
+
+	// Ground truth = per-pair median of the observed stream (§6.1).
+	truth := medianMatrix(base.Rows(), trace)
+	// Pairs never probed fall back to the base value so the evaluation
+	// ground truth is dense, and stay symmetric like the paper's matrix.
+	for i := 0; i < truth.Rows(); i++ {
+		for j := 0; j < truth.Cols(); j++ {
+			if i != j && truth.IsMissing(i, j) {
+				truth.Set(i, j, base.At(i, j))
+			}
+		}
+	}
+	truth.Symmetrize()
+
+	return &Dataset{
+		Name:     "harvard",
+		Metric:   RTT,
+		Matrix:   truth,
+		DefaultK: 10,
+		Trace:    trace,
+	}
+}
+
+// medianMatrix computes the per-ordered-pair median of the trace.
+func medianMatrix(n int, trace []Measurement) *mat.Dense {
+	byPair := make(map[[2]int][]float64)
+	for _, ms := range trace {
+		key := [2]int{ms.I, ms.J}
+		byPair[key] = append(byPair[key], ms.Value)
+	}
+	m := mat.NewMissing(n, n)
+	for key, vals := range byPair {
+		m.Set(key[0], key[1], mat.Median(vals))
+	}
+	return m
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// generateTrace emits a timestamped stream of application-level RTT
+// measurements over the base matrix, reproducing the properties of the
+// Harvard trace that matter to the experiments (§6.1 and footnote 4):
+//
+//   - measurements are passive, so pairs are probed with uneven
+//     frequencies: each node gets a Zipf-like activity weight and pairs are
+//     sampled proportionally to the product of endpoint activities;
+//   - per-pair values fluctuate around a stable long-term level: an AR(1)
+//     jitter process modulates the base RTT, plus occasional queueing
+//     spikes (heavy-tailed bursts);
+//   - timestamps are uniform over the trace duration, sorted.
+//
+// The per-pair median of the emitted stream is therefore close to (but not
+// identical to) the base matrix, just as the paper's ground-truth matrix is
+// a median extraction from noisy streams.
+func generateTrace(base interface {
+	Rows() int
+	At(i, j int) float64
+}, cfg HarvardConfig, rng *rand.Rand) []Measurement {
+	n := base.Rows()
+	// Node activity: Zipf-ish weights, shuffled so node IDs carry no order.
+	activity := make([]float64, n)
+	for i := range activity {
+		activity[i] = 1 / math.Sqrt(float64(i+1))
+	}
+	rng.Shuffle(n, func(i, j int) { activity[i], activity[j] = activity[j], activity[i] })
+	cum := make([]float64, n)
+	var total float64
+	for i, a := range activity {
+		total += a
+		cum[i] = total
+	}
+	pick := func() int {
+		r := rng.Float64() * total
+		idx := sort.SearchFloat64s(cum, r)
+		if idx >= n {
+			idx = n - 1
+		}
+		return idx
+	}
+
+	// AR(1) jitter state per pair, created lazily.
+	type pairState struct{ jitter float64 }
+	states := make(map[[2]int]*pairState)
+	const (
+		arCoeff   = 0.85 // temporal correlation of jitter
+		jitterStd = 0.07 // stationary std of multiplicative log-jitter
+		spikeProb = 0.01 // probability of a queueing burst
+		spikeMean = 2.0  // mean burst multiplier minus one
+	)
+	innovStd := jitterStd * math.Sqrt(1-arCoeff*arCoeff)
+
+	trace := make([]Measurement, 0, cfg.Measurements)
+	for len(trace) < cfg.Measurements {
+		i := pick()
+		j := pick()
+		if i == j {
+			continue
+		}
+		key := [2]int{i, j}
+		st := states[key]
+		if st == nil {
+			st = &pairState{jitter: rng.NormFloat64() * jitterStd}
+			states[key] = st
+		}
+		st.jitter = arCoeff*st.jitter + rng.NormFloat64()*innovStd
+		v := base.At(i, j) * math.Exp(st.jitter)
+		if rng.Float64() < spikeProb {
+			v *= 1 + rng.ExpFloat64()*spikeMean
+		}
+		trace = append(trace, Measurement{
+			T:     rng.Float64() * cfg.Duration,
+			I:     i,
+			J:     j,
+			Value: v,
+		})
+	}
+	sort.Slice(trace, func(a, b int) bool { return trace[a].T < trace[b].T })
+	return trace
+}

@@ -1,0 +1,263 @@
+// Package eval implements the evaluation criteria of §6.1: ROC curves and
+// the area under them (AUC), precision-recall curves, and the confusion
+// matrices / accuracy rates of Table 2.
+//
+// All functions take parallel slices: labels (±1 ground-truth classes) and
+// scores (the real-valued predictions x̂ᵢⱼ = uᵢ·vⱼᵀ). The ROC and
+// precision-recall curves are obtained by sweeping a discrimination
+// threshold τc over the scores, exactly as the paper describes: "for a
+// given τc, x̂ᵢⱼ is turned into 1 if x̂ᵢⱼ > τc and into −1 otherwise".
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one point of a ROC curve.
+type Point struct {
+	// FPR is the false positive rate at this threshold.
+	FPR float64
+	// TPR is the true positive rate (recall) at this threshold.
+	TPR float64
+	// Threshold is the τc that produced this point.
+	Threshold float64
+}
+
+// PRPoint is one point of a precision-recall curve.
+type PRPoint struct {
+	// Recall is the true positive rate.
+	Recall float64
+	// Precision is TP / (TP + FP).
+	Precision float64
+	// Threshold is the τc that produced this point.
+	Threshold float64
+}
+
+// checkInput validates parallel label/score slices.
+func checkInput(labels, scores []float64) {
+	if len(labels) != len(scores) {
+		panic(fmt.Sprintf("eval: %d labels vs %d scores", len(labels), len(scores)))
+	}
+	for i, l := range labels {
+		if l != 1 && l != -1 {
+			panic(fmt.Sprintf("eval: label[%d] = %v, want ±1", i, l))
+		}
+		if math.IsNaN(scores[i]) {
+			panic(fmt.Sprintf("eval: score[%d] is NaN", i))
+		}
+	}
+}
+
+// counts returns the number of positive and negative labels.
+func counts(labels []float64) (pos, neg int) {
+	for _, l := range labels {
+		if l == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	return pos, neg
+}
+
+// AUC returns the area under the ROC curve, computed as the normalized
+// Mann-Whitney U statistic with midrank tie correction: the probability
+// that a random positive scores above a random negative (ties count ½).
+// Returns NaN when either class is absent.
+func AUC(labels, scores []float64) float64 {
+	checkInput(labels, scores)
+	pos, neg := counts(labels)
+	if pos == 0 || neg == 0 {
+		return math.NaN()
+	}
+	type ls struct {
+		score float64
+		label float64
+	}
+	items := make([]ls, len(labels))
+	for i := range labels {
+		items[i] = ls{scores[i], labels[i]}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a].score < items[b].score })
+
+	// Sum of midranks of the positive samples.
+	var rankSum float64
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].score == items[i].score {
+			j++
+		}
+		// items[i:j] are tied; midrank is the average of 1-based ranks.
+		midrank := float64(i+j+1) / 2
+		for t := i; t < j; t++ {
+			if items[t].label == 1 {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	u := rankSum - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}
+
+// ROC returns the ROC curve points ordered from (0,0) to (1,1), one point
+// per distinct score threshold plus the two endpoints.
+func ROC(labels, scores []float64) []Point {
+	checkInput(labels, scores)
+	pos, neg := counts(labels)
+	if pos == 0 || neg == 0 {
+		return nil
+	}
+	idx := sortedByScoreDesc(scores)
+
+	out := make([]Point, 0, len(idx)+2)
+	out = append(out, Point{FPR: 0, TPR: 0, Threshold: math.Inf(1)})
+	var tp, fp int
+	i := 0
+	for i < len(idx) {
+		j := i
+		thr := scores[idx[i]]
+		for j < len(idx) && scores[idx[j]] == thr {
+			if labels[idx[j]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		out = append(out, Point{
+			FPR:       float64(fp) / float64(neg),
+			TPR:       float64(tp) / float64(pos),
+			Threshold: thr,
+		})
+		i = j
+	}
+	return out
+}
+
+// AUCFromROC integrates a ROC curve with the trapezoid rule. Primarily a
+// cross-check for AUC; the two agree up to floating point.
+func AUCFromROC(curve []Point) float64 {
+	if len(curve) < 2 {
+		return math.NaN()
+	}
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// PrecisionRecall returns the precision-recall curve ordered by increasing
+// recall, one point per distinct threshold.
+func PrecisionRecall(labels, scores []float64) []PRPoint {
+	checkInput(labels, scores)
+	pos, _ := counts(labels)
+	if pos == 0 {
+		return nil
+	}
+	idx := sortedByScoreDesc(scores)
+
+	out := make([]PRPoint, 0, len(idx))
+	var tp, fp int
+	i := 0
+	for i < len(idx) {
+		j := i
+		thr := scores[idx[i]]
+		for j < len(idx) && scores[idx[j]] == thr {
+			if labels[idx[j]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		out = append(out, PRPoint{
+			Recall:    float64(tp) / float64(pos),
+			Precision: float64(tp) / float64(tp+fp),
+			Threshold: thr,
+		})
+		i = j
+	}
+	return out
+}
+
+func sortedByScoreDesc(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+// Confusion is a 2×2 confusion matrix for binary classes.
+type Confusion struct {
+	// TP: actual good, predicted good. FN: actual good, predicted bad.
+	// FP: actual bad, predicted good. TN: actual bad, predicted bad.
+	TP, FN, FP, TN int
+}
+
+// ConfusionAt builds the confusion matrix for the decision rule
+// "predict good iff score > threshold". Table 2 uses threshold 0
+// ("computed by taking the sign of x̂ᵢⱼ").
+func ConfusionAt(labels, scores []float64, threshold float64) Confusion {
+	checkInput(labels, scores)
+	var c Confusion
+	for i, l := range labels {
+		predGood := scores[i] > threshold
+		if l == 1 {
+			if predGood {
+				c.TP++
+			} else {
+				c.FN++
+			}
+		} else {
+			if predGood {
+				c.FP++
+			} else {
+				c.TN++
+			}
+		}
+	}
+	return c
+}
+
+// Total returns the number of samples.
+func (c Confusion) Total() int { return c.TP + c.FN + c.FP + c.TN }
+
+// Accuracy returns the fraction of correct predictions.
+func (c Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return math.NaN()
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// TPR returns the true positive rate TP/(TP+FN) — the "Good predicted
+// Good" cell of Table 2.
+func (c Confusion) TPR() float64 { return ratio(c.TP, c.TP+c.FN) }
+
+// FNR returns FN/(TP+FN) — "Good predicted Bad".
+func (c Confusion) FNR() float64 { return ratio(c.FN, c.TP+c.FN) }
+
+// FPR returns FP/(FP+TN) — "Bad predicted Good".
+func (c Confusion) FPR() float64 { return ratio(c.FP, c.FP+c.TN) }
+
+// TNR returns TN/(FP+TN) — "Bad predicted Bad".
+func (c Confusion) TNR() float64 { return ratio(c.TN, c.FP+c.TN) }
+
+// Precision returns TP/(TP+FP).
+func (c Confusion) Precision() float64 { return ratio(c.TP, c.TP+c.FP) }
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		return math.NaN()
+	}
+	return float64(num) / float64(den)
+}

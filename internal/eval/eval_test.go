@@ -1,0 +1,342 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	labels := []float64{1, 1, -1, -1}
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	if got := AUC(labels, scores); got != 1 {
+		t.Errorf("perfect AUC = %v, want 1", got)
+	}
+}
+
+func TestAUCAntiPerfect(t *testing.T) {
+	labels := []float64{1, 1, -1, -1}
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	if got := AUC(labels, scores); got != 0 {
+		t.Errorf("anti-perfect AUC = %v, want 0", got)
+	}
+}
+
+func TestAUCRandomTies(t *testing.T) {
+	// All scores identical: AUC must be exactly 0.5 (ties count half).
+	labels := []float64{1, -1, 1, -1, 1}
+	scores := []float64{3, 3, 3, 3, 3}
+	if got := AUC(labels, scores); got != 0.5 {
+		t.Errorf("all-tied AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// Hand-computed: pos scores {0.8, 0.4}, neg scores {0.6, 0.2}.
+	// Pairs: (0.8>0.6)+(0.8>0.2)+(0.4<0.6 → 0)+(0.4>0.2) = 3 of 4 → 0.75.
+	labels := []float64{1, -1, 1, -1}
+	scores := []float64{0.8, 0.6, 0.4, 0.2}
+	if got := AUC(labels, scores); got != 0.75 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if !math.IsNaN(AUC([]float64{1, 1}, []float64{0.5, 0.6})) {
+		t.Error("single-class AUC should be NaN")
+	}
+	if !math.IsNaN(AUC([]float64{-1}, []float64{0.5})) {
+		t.Error("single-class AUC should be NaN")
+	}
+}
+
+func TestAUCPanics(t *testing.T) {
+	cases := []struct {
+		name           string
+		labels, scores []float64
+	}{
+		{"length mismatch", []float64{1}, []float64{1, 2}},
+		{"bad label", []float64{0.5}, []float64{1}},
+		{"nan score", []float64{1}, []float64{math.NaN()}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			AUC(tt.labels, tt.scores)
+		})
+	}
+}
+
+func TestROCEndpointsAndMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	labels := make([]float64, 200)
+	scores := make([]float64, 200)
+	for i := range labels {
+		if rng.Intn(2) == 0 {
+			labels[i] = 1
+			scores[i] = rng.NormFloat64() + 1
+		} else {
+			labels[i] = -1
+			scores[i] = rng.NormFloat64()
+		}
+	}
+	curve := ROC(labels, scores)
+	if len(curve) < 2 {
+		t.Fatal("curve too short")
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("curve must start at origin, got %+v", first)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve must end at (1,1), got %+v", last)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("curve not monotone at %d", i)
+		}
+		if curve[i].Threshold > curve[i-1].Threshold {
+			t.Fatalf("thresholds not decreasing at %d", i)
+		}
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	if ROC([]float64{1, 1}, []float64{1, 2}) != nil {
+		t.Error("single-class ROC should be nil")
+	}
+}
+
+func TestAUCFromROCAgreesWithRankAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(100)
+		labels := make([]float64, n)
+		scores := make([]float64, n)
+		for i := range labels {
+			if rng.Intn(2) == 0 {
+				labels[i] = 1
+				scores[i] = rng.NormFloat64() + 0.5
+			} else {
+				labels[i] = -1
+				scores[i] = rng.NormFloat64()
+			}
+		}
+		// Quantize scores to force some ties.
+		for i := range scores {
+			scores[i] = math.Round(scores[i]*4) / 4
+		}
+		a1 := AUC(labels, scores)
+		a2 := AUCFromROC(ROC(labels, scores))
+		if math.Abs(a1-a2) > 1e-9 {
+			t.Fatalf("trial %d: rank AUC %v != trapezoid AUC %v", trial, a1, a2)
+		}
+	}
+}
+
+func TestAUCFromROCDegenerate(t *testing.T) {
+	if !math.IsNaN(AUCFromROC(nil)) {
+		t.Error("nil curve should give NaN")
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	labels := []float64{1, -1, 1, -1}
+	scores := []float64{0.9, 0.8, 0.7, 0.1}
+	pr := PrecisionRecall(labels, scores)
+	// Thresholds descending: 0.9 → TP=1 FP=0 (P=1, R=0.5);
+	// 0.8 → TP=1 FP=1 (P=0.5, R=0.5); 0.7 → TP=2 FP=1 (P=2/3, R=1);
+	// 0.1 → TP=2 FP=2 (P=0.5, R=1).
+	want := []PRPoint{
+		{Recall: 0.5, Precision: 1, Threshold: 0.9},
+		{Recall: 0.5, Precision: 0.5, Threshold: 0.8},
+		{Recall: 1, Precision: 2.0 / 3, Threshold: 0.7},
+		{Recall: 1, Precision: 0.5, Threshold: 0.1},
+	}
+	if len(pr) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pr), len(want))
+	}
+	for i := range want {
+		if math.Abs(pr[i].Recall-want[i].Recall) > 1e-12 ||
+			math.Abs(pr[i].Precision-want[i].Precision) > 1e-12 {
+			t.Errorf("point %d = %+v, want %+v", i, pr[i], want[i])
+		}
+	}
+}
+
+func TestPrecisionRecallDegenerate(t *testing.T) {
+	if PrecisionRecall([]float64{-1}, []float64{1}) != nil {
+		t.Error("no positives should give nil")
+	}
+}
+
+func TestConfusionAt(t *testing.T) {
+	labels := []float64{1, 1, -1, -1, 1}
+	scores := []float64{0.5, -0.5, 0.5, -0.5, 0.1}
+	c := ConfusionAt(labels, scores, 0)
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 0.6", got)
+	}
+	if got := c.TPR(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("TPR = %v", got)
+	}
+	if got := c.FNR(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("FNR = %v", got)
+	}
+	if got := c.FPR(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FPR = %v", got)
+	}
+	if got := c.TNR(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("TNR = %v", got)
+	}
+	if got := c.Precision(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Precision = %v", got)
+	}
+}
+
+func TestConfusionZeroDenominators(t *testing.T) {
+	var c Confusion
+	if !math.IsNaN(c.Accuracy()) || !math.IsNaN(c.TPR()) || !math.IsNaN(c.FPR()) || !math.IsNaN(c.Precision()) {
+		t.Error("empty confusion rates should be NaN")
+	}
+}
+
+func TestConfusionRowsSumToOne(t *testing.T) {
+	labels := []float64{1, 1, 1, -1, -1}
+	scores := []float64{1, -1, 1, 1, -1}
+	c := ConfusionAt(labels, scores, 0)
+	if math.Abs(c.TPR()+c.FNR()-1) > 1e-12 {
+		t.Error("TPR+FNR != 1")
+	}
+	if math.Abs(c.FPR()+c.TNR()-1) > 1e-12 {
+		t.Error("FPR+TNR != 1")
+	}
+}
+
+// Property: AUC is in [0,1] and flipping all scores' signs with labels
+// reversed gives the same AUC (symmetry).
+func TestAUCPropertyRangeAndSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		labels := make([]float64, n)
+		scores := make([]float64, n)
+		labels[0], labels[1] = 1, -1 // guarantee both classes
+		scores[0], scores[1] = rng.NormFloat64(), rng.NormFloat64()
+		for i := 2; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				labels[i] = 1
+			} else {
+				labels[i] = -1
+			}
+			scores[i] = rng.NormFloat64()
+		}
+		a := AUC(labels, scores)
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			return false
+		}
+		// Negate scores and labels: AUC invariant.
+		nl := make([]float64, n)
+		ns := make([]float64, n)
+		for i := range labels {
+			nl[i] = -labels[i]
+			ns[i] = -scores[i]
+		}
+		b := AUC(nl, ns)
+		return math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AUC is invariant under any strictly monotone transform of the
+// scores (it only depends on the ranking).
+func TestAUCPropertyMonotoneInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		labels := make([]float64, n)
+		scores := make([]float64, n)
+		labels[0], labels[1] = 1, -1
+		scores[0], scores[1] = rng.NormFloat64(), rng.NormFloat64()
+		for i := 2; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				labels[i] = 1
+			} else {
+				labels[i] = -1
+			}
+			scores[i] = rng.NormFloat64()
+		}
+		transformed := make([]float64, n)
+		for i, s := range scores {
+			transformed[i] = math.Exp(s/2) + 3
+		}
+		return math.Abs(AUC(labels, scores)-AUC(labels, transformed)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: accuracy from ConfusionAt(0) equals direct sign-match counting.
+func TestConfusionPropertyAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		labels := make([]float64, n)
+		scores := make([]float64, n)
+		var correct int
+		for i := range labels {
+			if rng.Intn(2) == 0 {
+				labels[i] = 1
+			} else {
+				labels[i] = -1
+			}
+			scores[i] = rng.NormFloat64()
+			pred := -1.0
+			if scores[i] > 0 {
+				pred = 1
+			}
+			if pred == labels[i] {
+				correct++
+			}
+		}
+		c := ConfusionAt(labels, scores, 0)
+		return math.Abs(c.Accuracy()-float64(correct)/float64(n)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAUC(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	labels := make([]float64, n)
+	scores := make([]float64, n)
+	for i := range labels {
+		if rng.Intn(2) == 0 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+		scores[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AUC(labels, scores)
+	}
+}

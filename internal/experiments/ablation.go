@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/eval"
+	"dmfsgd/internal/loss"
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/vivaldi"
+)
+
+// Ablations quantifies the design choices DESIGN.md §5 calls out, on the
+// Meridian dataset (the largest static one):
+//
+//   - loss function: logistic vs hinge vs L2-on-classes;
+//   - regularization: λ = 0.1 vs λ = 0 (coordinate drift);
+//   - RTT symmetry trick: Algorithm-1 double update vs one-sided updates;
+//   - class-based inputs vs quantity-based inputs at equal budget;
+//   - DMFSGD vs the Vivaldi baseline (metric-space embedding).
+func Ablations(b *Bundle) []Table {
+	ds := b.Meridian()
+	tau := ds.Median()
+
+	t := Table{
+		Title:  "Ablations (meridian, defaults unless noted): test AUC",
+		Header: []string{"variant", "AUC"},
+	}
+
+	run := func(name string, mutate func(*RunSpec)) {
+		spec := RunSpec{DS: ds, Tau: tau}
+		spec.SGD = defaultSGD()
+		if mutate != nil {
+			mutate(&spec)
+		}
+		drv, err := b.Train(spec)
+		if err != nil {
+			panic(err)
+		}
+		auc := drv.AUCSample(b.O.EvalPairs)
+		if spec.Quantity {
+			// Quantity predictions rank in metric units: negate for RTT so
+			// larger score = better, as the AUC convention expects.
+			labels, scores := drv.EvalSet(b.O.EvalPairs)
+			if ds.Metric.GoodIsLow() {
+				for i := range scores {
+					scores[i] = -scores[i]
+				}
+			}
+			auc = eval.AUC(labels, scores)
+		}
+		t.AddRow(name, f(auc))
+	}
+
+	run("logistic (default)", nil)
+	run("hinge", func(s *RunSpec) { s.SGD.Loss = loss.Hinge })
+	run("l2 on classes", func(s *RunSpec) { s.SGD.Loss = loss.L2 })
+	run("lambda=0 (no regularization)", func(s *RunSpec) {
+		s.SGD.Lambda = 0
+		s.SGD.MaxCoord = 1e6
+	})
+	run("asymmetric updates only", func(s *RunSpec) { s.ForceAsymmetric = true })
+	run("quantity-based (L2 on raw values)", func(s *RunSpec) {
+		s.Quantity = true
+		s.SGD.Loss = loss.L2
+	})
+	t.AddRow("vivaldi baseline", f(vivaldiAUC(b, ds, tau)))
+	return []Table{t}
+}
+
+// vivaldiAUC trains a Vivaldi system with the same neighbor budget and
+// evaluates its RTT predictions as a classifier at τ.
+func vivaldiAUC(b *Bundle, ds *dataset.Dataset, tau float64) float64 {
+	cfg := vivaldi.Defaults()
+	rng := rand.New(rand.NewSource(b.O.Seed + 999))
+	k := b.K(ds)
+	_, neighbors := mat.NeighborMask(ds.N(), k, true, rng)
+	nodes := make([]*vivaldi.Coordinates, ds.N())
+	for i := range nodes {
+		nodes[i] = vivaldi.NewCoordinates(cfg, rng)
+	}
+	budget := b.O.BudgetPerNode * k * ds.N()
+	for step := 0; step < budget; step++ {
+		i := rng.Intn(ds.N())
+		j := neighbors[i][rng.Intn(k)]
+		if ds.Matrix.IsMissing(i, j) {
+			continue
+		}
+		cfg.Update(nodes[i], nodes[j], ds.Matrix.At(i, j))
+	}
+	// Evaluate on random non-neighbor pairs: score = −predicted RTT.
+	var labels, scores []float64
+	sub := rand.New(rand.NewSource(b.O.Seed + 998))
+	target := b.O.EvalPairs
+	if target <= 0 {
+		target = 50000
+	}
+	for len(labels) < target {
+		i, j := sub.Intn(ds.N()), sub.Intn(ds.N())
+		if i == j || ds.Matrix.IsMissing(i, j) {
+			continue
+		}
+		labels = append(labels, classify.Of(ds.Metric, ds.Matrix.At(i, j), tau).Value())
+		scores = append(scores, -vivaldi.Predict(nodes[i], nodes[j]))
+	}
+	return eval.AUC(labels, scores)
+}
+
+// ConsensusAblation measures the benefit of the §6.3 consensus heuristic
+// under per-probe malicious flips: the same training run with and without
+// a majority filter in front of the labels. Returns (withoutFilter,
+// withFilter) AUC. Exposed for the ablation benchmark.
+func ConsensusAblation(b *Bundle, flipRate float64, window int) (plain, filtered float64) {
+	ds := b.Meridian()
+	tau := ds.Median()
+	run := func(useFilter bool) float64 {
+		drv, err := b.Train(RunSpec{DS: ds, Tau: tau, Labels: flippedLabels(b, ds, tau, flipRate, useFilter, window)})
+		if err != nil {
+			panic(err)
+		}
+		return drv.AUCSample(b.O.EvalPairs)
+	}
+	return run(false), run(true)
+}
+
+// flippedLabels simulates per-pair malicious flips and optional majority
+// recovery: with a filter of window W observing each pair multiple times,
+// the recovered label matrix approaches the truth; without it, flipped
+// labels persist. The simulation draws W observations per pair and applies
+// the majority (W=1 without filter).
+func flippedLabels(b *Bundle, ds *dataset.Dataset, tau, flipRate float64, useFilter bool, window int) *mat.Dense {
+	clean := classify.Matrix(ds, tau)
+	out := clean.Clone()
+	rng := rand.New(rand.NewSource(b.O.Seed + 777))
+	w := 1
+	if useFilter {
+		w = window
+	}
+	out.Apply(func(i, j int, v float64) float64 {
+		votes := 0
+		for o := 0; o < w; o++ {
+			x := v
+			if rng.Float64() < flipRate {
+				x = -x
+			}
+			votes += int(x)
+		}
+		if votes > 0 {
+			return 1
+		}
+		return -1
+	})
+	return out
+}

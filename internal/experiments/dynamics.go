@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/eval"
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/sim"
+)
+
+// DynamicsTracking probes the paper's claim that DMFSGD is "suitable for
+// dealing with dynamic measurements in large-scale networks" (§1, §7):
+// after the system converges, a fraction of nodes "move" (their rows and
+// columns of the ground truth change — new provider, new route), and the
+// nodes simply keep probing. The experiment reports the AUC against the
+// *new* ground truth before the change, right after it, and as the system
+// re-converges, all without any restart or re-initialization.
+//
+// This is an extension experiment (not a figure in the paper); it is
+// registered as "dynamics" in cmd/dmfbench and exercised by
+// BenchmarkDynamicsTracking.
+func DynamicsTracking(b *Bundle) []Table {
+	before := b.Meridian()
+	after, moved := moveNodes(before, 0.2, b.O.Seed+31)
+	tau := before.Median()
+
+	k := b.K(before)
+	cfg := sim.Config{SGD: sgd.Defaults(), K: k, Tau: tau, Seed: b.O.Seed}
+	drv, err := sim.New(before, classify.Matrix(before, tau), cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	evalAgainst := func(truth *dataset.Dataset) float64 {
+		labels, scores := drv.EvalSet(b.O.EvalPairs)
+		// EvalSet labels come from the driver's dataset; recompute against
+		// the requested truth over the same deterministic pair sample.
+		_ = labels
+		pairs := samplePairs(drv, truth, b.O.EvalPairs)
+		ls := make([]float64, len(pairs))
+		ss := make([]float64, len(pairs))
+		for idx, p := range pairs {
+			ls[idx] = classify.Of(truth.Metric, truth.Matrix.At(p.I, p.J), tau).Value()
+			ss[idx] = drv.Predict(p.I, p.J)
+		}
+		_ = scores
+		return eval.AUC(ls, ss)
+	}
+
+	t := Table{
+		Title: fmt.Sprintf("Dynamics: %d%% of nodes change paths after convergence (moved=%d)",
+			20, moved),
+		Header: []string{"phase", "meas/node (xk)", "AUC vs old truth", "AUC vs new truth"},
+	}
+
+	budget := b.O.BudgetPerNode * k * before.N()
+	drv.Run(budget)
+	t.AddRow("converged", fmt.Sprintf("%d", b.O.BudgetPerNode), f(evalAgainst(before)), f(evalAgainst(after)))
+
+	// The network changes: from now on measurements come from the new
+	// ground truth.
+	drv.SwapLabels(classify.Matrix(after, tau))
+	for _, extra := range []int{2, 5, 10, 20} {
+		target := (b.O.BudgetPerNode + extra) * k * before.N()
+		drv.Run(target - drv.Steps())
+		t.AddRow(fmt.Sprintf("+%d xk after change", extra), fmt.Sprintf("%d", b.O.BudgetPerNode+extra),
+			f(evalAgainst(before)), f(evalAgainst(after)))
+	}
+	return []Table{t}
+}
+
+// samplePairs returns the deterministic evaluation pair sample shared by
+// both truth matrices (pairs must exist in both).
+func samplePairs(drv *sim.Driver, truth *dataset.Dataset, maxPairs int) []mat.Pair {
+	test := drv.TrainMask().Complement()
+	pairs := test.Pairs()
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if !truth.Matrix.IsMissing(p.I, p.J) {
+			kept = append(kept, p)
+		}
+	}
+	pairs = kept
+	if maxPairs > 0 && len(pairs) > maxPairs {
+		pairs = pairs[:maxPairs]
+	}
+	return pairs
+}
+
+// moveNodes returns a copy of ds where a fraction of nodes have new
+// rows/columns, drawn from an independently generated network of the same
+// size. Returns the new dataset and the number of moved nodes.
+func moveNodes(ds *dataset.Dataset, fraction float64, seed int64) (*dataset.Dataset, int) {
+	other := dataset.Meridian(dataset.MeridianConfig{N: ds.N(), Seed: seed})
+	out := ds.Matrix.Clone()
+	n := ds.N()
+	moved := 0
+	step := int(1 / fraction)
+	for i := 0; i < n; i += step {
+		moved++
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := other.Matrix.At(i, j)
+			out.Set(i, j, v)
+			out.Set(j, i, v) // RTT symmetry
+		}
+	}
+	return dataset.FromMatrix(ds.Name+"-moved", ds.Metric, out, ds.DefaultK), moved
+}

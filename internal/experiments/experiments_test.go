@@ -1,0 +1,422 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickBundle shares datasets across tests in this package.
+var sharedBundle = NewBundle(Quick())
+
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTableString(t *testing.T) {
+	tbl := Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	out := tbl.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Errorf("table render:\n%s", out)
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	d, q, full := Default(), Quick(), Full()
+	if d.MeridianN <= q.MeridianN {
+		t.Error("default should exceed quick")
+	}
+	if full.MeridianN != 2500 {
+		t.Errorf("full Meridian = %d, want paper's 2500", full.MeridianN)
+	}
+}
+
+func TestBundleCachesDatasets(t *testing.T) {
+	b := NewBundle(Quick())
+	if b.Meridian() != b.Meridian() {
+		t.Error("dataset not cached")
+	}
+	if b.K(b.Meridian()) != Quick().MeridianK {
+		t.Error("K lookup")
+	}
+	if len(b.All()) != 3 {
+		t.Error("All should return three datasets")
+	}
+}
+
+func TestFigure1SpectraDecay(t *testing.T) {
+	tables := Figure1(sharedBundle)
+	if len(tables) != 1 {
+		t.Fatal("one table expected")
+	}
+	tbl := tables[0]
+	if len(tbl.Rows) != 20 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// All four spectra start at 1 and decay fast: by index 10 every
+	// spectrum must be below 0.5 (the paper's plot collapses by ~5).
+	for col := 1; col <= 4; col++ {
+		first := parse(t, tbl.Rows[0][col])
+		if math.Abs(first-1) > 1e-9 {
+			t.Errorf("col %d: first singular value %v, want 1 (normalized)", col, first)
+		}
+		tenth := parse(t, tbl.Rows[9][col])
+		if tenth > 0.5 {
+			t.Errorf("col %d: 10th singular value %v, spectrum not low-rank", col, tenth)
+		}
+		// Monotone non-increasing.
+		prev := first
+		for r := 1; r < 20; r++ {
+			v := parse(t, tbl.Rows[r][col])
+			if v > prev+1e-9 {
+				t.Errorf("col %d: spectrum not sorted at row %d", col, r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFigure3DefaultsNearOptimal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	tables := Figure3(sharedBundle)
+	if len(tables) != 2 {
+		t.Fatal("two tables expected")
+	}
+	// In each sweep, the η=0.1 / λ=0.1 row (index 2) must be within 0.08
+	// AUC of the column max — "λ = 0.1 and η = 0.1 work well for all
+	// three datasets".
+	for ti, tbl := range tables {
+		if len(tbl.Rows) != 4 {
+			t.Fatalf("table %d rows = %d", ti, len(tbl.Rows))
+		}
+		for col := 1; col < len(tbl.Header); col++ {
+			best := 0.0
+			for _, row := range tbl.Rows {
+				if v := parse(t, row[col]); v > best {
+					best = v
+				}
+			}
+			def := parse(t, tbl.Rows[2][col])
+			if def < best-0.08 {
+				t.Errorf("table %d col %s: default 0.1 gives %v, best %v",
+					ti, tbl.Header[col], def, best)
+			}
+		}
+	}
+}
+
+func TestFigure4aRankTenSufficient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	tbl := Figure4a(sharedBundle)[0]
+	// r=10 (row 1) must be within 0.05 of the best rank for every dataset
+	// ("a pair of relatively small k and r can already provide sufficient
+	// classification accuracy").
+	for col := 1; col <= 3; col++ {
+		best := 0.0
+		for _, row := range tbl.Rows {
+			if v := parse(t, row[col]); v > best {
+				best = v
+			}
+		}
+		r10 := parse(t, tbl.Rows[1][col])
+		if r10 < best-0.05 {
+			t.Errorf("col %d: r=10 gives %v, best %v", col, r10, best)
+		}
+	}
+}
+
+func TestFigure4bMoreNeighborsHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	tbl := Figure4b(sharedBundle)[0]
+	// Largest k must beat smallest k on every dataset (AUC columns are
+	// 2, 4, 6).
+	for _, col := range []int{2, 4, 6} {
+		lo := parse(t, tbl.Rows[0][col])
+		hi := parse(t, tbl.Rows[len(tbl.Rows)-1][col])
+		if hi < lo-0.02 {
+			t.Errorf("col %d: k-max AUC %v worse than k-min %v", col, hi, lo)
+		}
+	}
+}
+
+func TestFigure4cRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	tbl := Figure4c(sharedBundle)[0]
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Every cell is a valid AUC above chance.
+	for _, row := range tbl.Rows {
+		for col := 1; col <= 3; col++ {
+			v := parse(t, row[col])
+			if v < 0.55 || v > 1 {
+				t.Errorf("portion %s col %d: AUC %v out of plausible band", row[0], col, v)
+			}
+		}
+	}
+}
+
+func TestFigure5CurvesAndConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	tables := Figure5(sharedBundle)
+	if len(tables) != 3 {
+		t.Fatal("three tables expected")
+	}
+	roc, _, conv := tables[0], tables[1], tables[2]
+	// ROC: TPR at FPR=1 must be 1; TPR non-decreasing in FPR.
+	for col := 1; col <= 3; col++ {
+		last := parse(t, roc.Rows[len(roc.Rows)-1][col])
+		if math.Abs(last-1) > 1e-6 {
+			t.Errorf("ROC col %d must reach TPR 1, got %v", col, last)
+		}
+		prev := -1.0
+		for _, row := range roc.Rows {
+			v := parse(t, row[col])
+			if v < prev-1e-9 {
+				t.Errorf("ROC col %d not monotone", col)
+				break
+			}
+			prev = v
+		}
+	}
+	// Convergence: final AUC >= first AUC and >= 0.75 everywhere
+	// ("converges fast after ... no more than 20×k measurements").
+	for col := 1; col <= 3; col++ {
+		first := parse(t, conv.Rows[0][col])
+		final := parse(t, conv.Rows[len(conv.Rows)-1][col])
+		if final < first-0.02 {
+			t.Errorf("conv col %d: AUC fell %v -> %v", col, first, final)
+		}
+		if final < 0.75 {
+			t.Errorf("conv col %d: final AUC %v too low", col, final)
+		}
+	}
+}
+
+func TestFigure6RandomErrorsHurtMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	tables := Figure6(sharedBundle)
+	if len(tables) != 3 {
+		t.Fatal("three tables expected")
+	}
+	for _, tbl := range tables {
+		// AUC at 0% error must be the column max (within noise), and the
+		// near-τ flip column must degrade less at 15% than good-to-bad
+		// (the paper's main robustness finding).
+		nearCol, g2bCol := 1, len(tbl.Header)-1
+		clean := parse(t, tbl.Rows[0][nearCol])
+		near15 := parse(t, tbl.Rows[len(tbl.Rows)-1][nearCol])
+		g2b15 := parse(t, tbl.Rows[len(tbl.Rows)-1][g2bCol])
+		if near15 < g2b15-0.03 {
+			t.Errorf("%s: near-τ flips (%v) hurt more than good-to-bad (%v)",
+				tbl.Title, near15, g2b15)
+		}
+		if clean < near15-0.02 {
+			t.Errorf("%s: clean AUC %v below corrupted %v", tbl.Title, clean, near15)
+		}
+	}
+}
+
+func TestFigure7SelectionOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	tables := Figure7(sharedBundle)
+	if len(tables) != 6 {
+		t.Fatalf("tables = %d, want 6 (stretch+satisfaction × 3 datasets)", len(tables))
+	}
+	for i := 0; i < len(tables); i += 2 {
+		stretch, satisf := tables[i], tables[i+1]
+		isABW := strings.Contains(stretch.Title, "hp-s3")
+		for _, row := range satisf.Rows {
+			rnd := parse(t, row[1])
+			cls := parse(t, row[2])
+			if cls > rnd+2 { // percentage points
+				t.Errorf("%s peers=%s: classification unsatisfied %v%% worse than random %v%%",
+					satisf.Title, row[0], cls, rnd)
+			}
+		}
+		// Stretch: regression (col 3) at the largest peer count must beat
+		// random (col 1).
+		last := stretch.Rows[len(stretch.Rows)-1]
+		rnd, reg := parse(t, last[1]), parse(t, last[3])
+		if isABW {
+			if reg < rnd-0.02 {
+				t.Errorf("%s: ABW regression stretch %v below random %v", stretch.Title, reg, rnd)
+			}
+		} else if reg > rnd+0.02 {
+			t.Errorf("%s: RTT regression stretch %v above random %v", stretch.Title, reg, rnd)
+		}
+	}
+}
+
+func TestTable1MatchesDatasetPercentiles(t *testing.T) {
+	tbl := Table1(sharedBundle)[0]
+	if len(tbl.Rows) != 5 {
+		t.Fatal("five portions expected")
+	}
+	// RTT thresholds ascend with portion; ABW thresholds descend.
+	prevH, prevM, prevA := -1.0, -1.0, math.Inf(1)
+	for _, row := range tbl.Rows {
+		h, m, a := parse(t, row[1]), parse(t, row[2]), parse(t, row[3])
+		if h < prevH || m < prevM {
+			t.Error("RTT thresholds must ascend with portion")
+		}
+		if a > prevA {
+			t.Error("ABW thresholds must descend with portion")
+		}
+		prevH, prevM, prevA = h, m, a
+	}
+}
+
+func TestTable2AccuracyAboveChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training runs")
+	}
+	tables := Table2(sharedBundle)
+	if len(tables) != 3 {
+		t.Fatal("three confusion matrices expected")
+	}
+	for _, tbl := range tables {
+		// Diagonal cells (TPR, TNR) must dominate their rows.
+		tpr := parse(t, tbl.Rows[0][1])
+		fnr := parse(t, tbl.Rows[0][2])
+		fpr := parse(t, tbl.Rows[1][1])
+		tnr := parse(t, tbl.Rows[1][2])
+		if tpr < fnr || tnr < fpr {
+			t.Errorf("%s: confusion diagonal does not dominate: %v/%v %v/%v",
+				tbl.Title, tpr, fnr, fpr, tnr)
+		}
+		if math.Abs(tpr+fnr-100) > 0.2 || math.Abs(fpr+tnr-100) > 0.2 {
+			t.Errorf("%s: confusion rows must sum to 100%%", tbl.Title)
+		}
+	}
+}
+
+func TestTable3DeltasGrowWithLevel(t *testing.T) {
+	tbl := Table3(sharedBundle)[0]
+	if len(tbl.Rows) != 3 {
+		t.Fatal("three levels expected")
+	}
+	for col := 1; col < len(tbl.Header); col++ {
+		prev := -1.0
+		for _, row := range tbl.Rows {
+			v := parse(t, row[col])
+			if v < prev {
+				t.Errorf("col %d: delta not monotone in error level", col)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestAblationsOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training runs")
+	}
+	tbl := Ablations(sharedBundle)[0]
+	get := func(name string) float64 {
+		for _, row := range tbl.Rows {
+			if row[0] == name {
+				return parse(t, row[1])
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return 0
+	}
+	def := get("logistic (default)")
+	if def < 0.8 {
+		t.Errorf("default AUC %v too low", def)
+	}
+	if asym := get("asymmetric updates only"); asym > def+0.03 {
+		t.Errorf("symmetric trick should not hurt: sym %v vs asym %v", def, asym)
+	}
+	if viv := get("vivaldi baseline"); viv < 0.6 {
+		t.Errorf("vivaldi baseline AUC %v implausibly low", viv)
+	}
+}
+
+func TestConsensusAblationHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training runs")
+	}
+	plain, filtered := ConsensusAblation(sharedBundle, 0.30, 9)
+	if filtered < plain {
+		t.Errorf("consensus filter should help: plain %v filtered %v", plain, filtered)
+	}
+	if filtered < 0.8 {
+		t.Errorf("filtered AUC %v too low", filtered)
+	}
+}
+
+func TestDynamicsTrackingRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training runs")
+	}
+	tbl := DynamicsTracking(sharedBundle)[0]
+	if len(tbl.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Row 0: converged on the old truth — high vs old, lower vs new.
+	oldAUC0 := parse(t, tbl.Rows[0][2])
+	newAUC0 := parse(t, tbl.Rows[0][3])
+	if oldAUC0 < 0.85 {
+		t.Errorf("pre-change AUC vs old truth = %v", oldAUC0)
+	}
+	if newAUC0 >= oldAUC0 {
+		t.Errorf("moved nodes should hurt new-truth AUC: old %v new %v", oldAUC0, newAUC0)
+	}
+	// Final row: recovering on the new truth without restart, while the
+	// stale model decays.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	newAUCEnd := parse(t, last[3])
+	oldAUCEnd := parse(t, last[2])
+	if newAUCEnd < newAUC0+0.02 {
+		t.Errorf("no recovery: %v -> %v", newAUC0, newAUCEnd)
+	}
+	if newAUCEnd < 0.8 {
+		t.Errorf("recovered AUC %v too low", newAUCEnd)
+	}
+	if oldAUCEnd >= oldAUC0 {
+		t.Errorf("old-truth AUC should decay after the change: %v -> %v", oldAUC0, oldAUCEnd)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "table1", "table2", "table3", "ablation", "dynamics"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+	}
+	if _, ok := Lookup("fig5"); !ok {
+		t.Error("Lookup(fig5) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) should fail")
+	}
+}

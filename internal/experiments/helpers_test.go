@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"dmfsgd/internal/eval"
+	"dmfsgd/internal/mat"
+)
+
+func TestImputeColumnMedian(t *testing.T) {
+	m := mat.NewMissing(3, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 3)
+	// column 0: median of {1,3} = 2 fills row 2; column 1 all missing → 0.
+	out := ImputeColumnMedian(m)
+	if out.At(2, 0) != 2 {
+		t.Errorf("imputed (2,0) = %v, want 2", out.At(2, 0))
+	}
+	if out.At(0, 1) != 0 {
+		t.Errorf("all-missing column should impute 0, got %v", out.At(0, 1))
+	}
+	// present entries untouched; input unmodified.
+	if out.At(0, 0) != 1 || !m.IsMissing(2, 0) {
+		t.Error("Impute modified present entries or its input")
+	}
+}
+
+func TestInterpROC(t *testing.T) {
+	curve := []eval.Point{
+		{FPR: 0, TPR: 0},
+		{FPR: 0.5, TPR: 0.8},
+		{FPR: 1, TPR: 1},
+	}
+	if got := interpROC(curve, 0); got != 0 {
+		t.Errorf("at 0: %v", got)
+	}
+	if got := interpROC(curve, 0.25); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("at 0.25: %v, want 0.4", got)
+	}
+	if got := interpROC(curve, 1); got != 1 {
+		t.Errorf("at 1: %v", got)
+	}
+	if got := interpROC(nil, 0.5); got != 0 {
+		t.Errorf("empty curve: %v", got)
+	}
+	// Vertical segment (same FPR twice): returns the best achievable TPR
+	// at that FPR (the upper point).
+	vert := []eval.Point{{FPR: 0, TPR: 0}, {FPR: 0, TPR: 0.5}, {FPR: 1, TPR: 1}}
+	if got := interpROC(vert, 0); got != 0.5 {
+		t.Errorf("vertical at 0: %v, want 0.5", got)
+	}
+}
+
+func TestInterpPR(t *testing.T) {
+	curve := []eval.PRPoint{
+		{Recall: 0.2, Precision: 1},
+		{Recall: 0.6, Precision: 0.8},
+		{Recall: 1, Precision: 0.5},
+	}
+	if got := interpPR(curve, 0.1); got != 1 {
+		t.Errorf("below first recall: %v", got)
+	}
+	if got := interpPR(curve, 0.5); got != 0.8 {
+		t.Errorf("mid: %v", got)
+	}
+	if got := interpPR(curve, 1); got != 0.5 {
+		t.Errorf("end: %v", got)
+	}
+	if got := interpPR(nil, 0.5); got != 0 {
+		t.Errorf("empty: %v", got)
+	}
+}
+
+func TestConvergenceCheckpoints(t *testing.T) {
+	cps := convergenceCheckpoints()
+	if cps[len(cps)-1] != 50 {
+		t.Errorf("last checkpoint = %d, want 50 (Fig 5c x-axis)", cps[len(cps)-1])
+	}
+	for i := 1; i < len(cps); i++ {
+		if cps[i] <= cps[i-1] {
+			t.Error("checkpoints must increase")
+		}
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f(math.NaN()) != "n/a" || f1(math.NaN()) != "n/a" || pct(math.NaN()) != "n/a" {
+		t.Error("NaN formatting")
+	}
+	if f(0.12345) != "0.123" {
+		t.Errorf("f = %q", f(0.12345))
+	}
+	if f1(12.34) != "12.3" {
+		t.Errorf("f1 = %q", f1(12.34))
+	}
+	if pct(0.123) != "12.3%" {
+		t.Errorf("pct = %q", pct(0.123))
+	}
+}
+
+func TestMoveNodes(t *testing.T) {
+	ds := sharedBundle.Meridian()
+	after, moved := moveNodes(ds, 0.2, 99)
+	if moved < ds.N()/6 || moved > ds.N()/3 {
+		t.Errorf("moved = %d of %d, want ≈20%%", moved, ds.N())
+	}
+	// Changed rows must stay symmetric; unchanged rows identical.
+	changed := 0
+	for i := 0; i < ds.N(); i++ {
+		for j := i + 1; j < ds.N(); j++ {
+			if after.Matrix.At(i, j) != after.Matrix.At(j, i) {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+			if after.Matrix.At(i, j) != ds.Matrix.At(i, j) {
+				changed++
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("moveNodes changed nothing")
+	}
+	// Original untouched.
+	if ds.Matrix.At(0, 1) != sharedBundle.Meridian().Matrix.At(0, 1) {
+		t.Error("moveNodes mutated the source dataset")
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dmfsgd/internal/corrupt"
+	"dmfsgd/internal/dataset"
+)
+
+// Table1 reproduces the paper's Table 1: the classification thresholds τ
+// that produce 10/25/50/75/90% portions of "good" paths in each dataset.
+// (Paper values for reference: Harvard 27.5/59.9/131.6/249.6/324.2 ms,
+// Meridian 19.4/36.2/56.4/88.1/155.2 ms, HP-S3 88.2/72.2/43.1/14.4/10.4
+// Mbps.)
+func Table1(b *Bundle) []Table {
+	t := Table{
+		Title:  "Table 1: tau for given portions of good paths",
+		Header: []string{"good%", "harvard (ms)", "meridian (ms)", "hp-s3 (Mbps)"},
+	}
+	for _, portion := range []float64{0.10, 0.25, 0.50, 0.75, 0.90} {
+		row := []string{pct(portion)}
+		for _, ds := range b.All() {
+			row = append(row, f1(ds.TauForGoodPortion(portion)))
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}
+}
+
+// Table2 reproduces the accuracy rates and confusion matrices under the
+// default parameters, decided by sign(x̂). (Paper: accuracy 89.4% Harvard,
+// 85.4% Meridian, 87.3% HP-S3.)
+func Table2(b *Bundle) []Table {
+	var tables []Table
+	for _, ds := range b.All() {
+		drv, err := b.Train(RunSpec{DS: ds})
+		if err != nil {
+			panic(err)
+		}
+		c := drv.Confusion()
+		t := Table{
+			Title:  fmt.Sprintf("Table 2 (%s): accuracy = %s", ds.Name, pct(c.Accuracy())),
+			Header: []string{"actual \\ predicted", "good", "bad"},
+		}
+		t.AddRow("good", pct(c.TPR()), pct(c.FNR()))
+		t.AddRow("bad", pct(c.FPR()), pct(c.TNR()))
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Table3 reproduces the δ calibration table: the δ values that produce
+// 5/10/15% erroneous labels for Type-1 errors (all datasets) and Type-2
+// errors (HP-S3). (Paper: e.g. Harvard Type 1 at 5% → δ=24.4 ms; HP-S3
+// Type 2 at 15% → δ=10.0 Mbps.)
+func Table3(b *Bundle) []Table {
+	t := Table{
+		Title: "Table 3: delta producing each error level (tau = median)",
+		Header: []string{
+			"error%",
+			"harvard type1 (ms)", "meridian type1 (ms)",
+			"hp-s3 type1 (Mbps)", "hp-s3 type2 (Mbps)",
+		},
+	}
+	for _, level := range []float64{0.05, 0.10, 0.15} {
+		row := []string{pct(level)}
+		for _, ds := range b.All() {
+			tau := ds.Median()
+			row = append(row, f1(corrupt.CalibrateDelta(ds, corrupt.FlipNearTau, tau, level)))
+			if ds.Metric == dataset.ABW {
+				row = append(row, f1(corrupt.CalibrateDelta(ds, corrupt.Underestimation, tau, level)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return []Table{t}
+}
+
+// Registry maps experiment IDs (as accepted by cmd/dmfbench -exp) to their
+// runners, in paper order.
+func Registry() []struct {
+	ID  string
+	Run func(*Bundle) []Table
+} {
+	return []struct {
+		ID  string
+		Run func(*Bundle) []Table
+	}{
+		{"fig1", Figure1},
+		{"fig3", Figure3},
+		{"fig4a", Figure4a},
+		{"fig4b", Figure4b},
+		{"fig4c", Figure4c},
+		{"fig5", Figure5},
+		{"fig6", Figure6},
+		{"fig7", Figure7},
+		{"table1", Table1},
+		{"table2", Table2},
+		{"table3", Table3},
+		{"ablation", Ablations},
+		{"dynamics", DynamicsTracking},
+	}
+}
+
+// Lookup finds one experiment runner by ID.
+func Lookup(id string) (func(*Bundle) []Table, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,150 @@
+package mat
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pair identifies a directed node pair (I → J), i.e. one matrix entry.
+type Pair struct {
+	I, J int
+}
+
+// Mask is the explicit weight matrix W of eq. 1: wᵢⱼ = 1 where the entry is
+// observed (used for training) and 0 elsewhere. It is stored as a bitset.
+type Mask struct {
+	rows, cols int
+	bits       []uint64
+}
+
+// NewMask allocates an all-zero rows×cols mask.
+func NewMask(rows, cols int) *Mask {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative mask dimensions %dx%d", rows, cols))
+	}
+	n := rows * cols
+	return &Mask{rows: rows, cols: cols, bits: make([]uint64, (n+63)/64)}
+}
+
+// Rows returns the number of rows.
+func (w *Mask) Rows() int { return w.rows }
+
+// Cols returns the number of columns.
+func (w *Mask) Cols() int { return w.cols }
+
+// Set marks (i, j) as observed.
+func (w *Mask) Set(i, j int) {
+	k := w.index(i, j)
+	w.bits[k>>6] |= 1 << (k & 63)
+}
+
+// Clear marks (i, j) as unobserved.
+func (w *Mask) Clear(i, j int) {
+	k := w.index(i, j)
+	w.bits[k>>6] &^= 1 << (k & 63)
+}
+
+// At reports whether (i, j) is observed.
+func (w *Mask) At(i, j int) bool {
+	k := w.index(i, j)
+	return w.bits[k>>6]&(1<<(k&63)) != 0
+}
+
+// Count returns the number of observed entries.
+func (w *Mask) Count() int {
+	var c int
+	for _, b := range w.bits {
+		c += popcount(b)
+	}
+	return c
+}
+
+// Pairs returns every observed (i, j) in row-major order.
+func (w *Mask) Pairs() []Pair {
+	out := make([]Pair, 0, w.Count())
+	for i := 0; i < w.rows; i++ {
+		for j := 0; j < w.cols; j++ {
+			if w.At(i, j) {
+				out = append(out, Pair{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Complement returns the mask of off-diagonal entries NOT observed in w.
+// This is the test set of the matrix-completion problem: the evaluation in
+// §6 predicts exactly the entries that were never measured.
+func (w *Mask) Complement() *Mask {
+	out := NewMask(w.rows, w.cols)
+	for i := 0; i < w.rows; i++ {
+		for j := 0; j < w.cols; j++ {
+			if i != j && !w.At(i, j) {
+				out.Set(i, j)
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the mask.
+func (w *Mask) Clone() *Mask {
+	out := NewMask(w.rows, w.cols)
+	copy(out.bits, w.bits)
+	return out
+}
+
+func (w *Mask) index(i, j int) int {
+	if i < 0 || i >= w.rows || j < 0 || j >= w.cols {
+		panic(fmt.Sprintf("mat: mask index (%d,%d) out of range %dx%d", i, j, w.rows, w.cols))
+	}
+	return i*w.cols + j
+}
+
+func popcount(x uint64) int {
+	var c int
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// NeighborMask builds the observation mask induced by the paper's protocol:
+// every node i independently selects k distinct random neighbors (§5.3) and
+// only pairs (i, neighbor) are ever measured. When symmetric is true the
+// reverse direction is marked too (RTT: xᵢⱼ = xⱼᵢ, so a measurement of
+// (i, j) also trains entry (j, i)).
+//
+// The returned neighbor lists drive the simulation; the mask is its matrix
+// view used to derive the evaluation test set.
+func NeighborMask(n, k int, symmetric bool, rng *rand.Rand) (*Mask, [][]int) {
+	if k >= n {
+		panic(fmt.Sprintf("mat: neighbor count k=%d must be < n=%d", k, n))
+	}
+	w := NewMask(n, n)
+	neighbors := make([][]int, n)
+	perm := make([]int, n)
+	for i := 0; i < n; i++ {
+		// Sample k distinct nodes ≠ i via a partial Fisher-Yates shuffle.
+		for p := range perm {
+			perm[p] = p
+		}
+		// Move i out of the way.
+		perm[i], perm[n-1] = perm[n-1], perm[i]
+		chosen := make([]int, 0, k)
+		for c := 0; c < k; c++ {
+			idx := c + rng.Intn(n-1-c)
+			perm[c], perm[idx] = perm[idx], perm[c]
+			chosen = append(chosen, perm[c])
+		}
+		neighbors[i] = chosen
+		for _, j := range chosen {
+			w.Set(i, j)
+			if symmetric {
+				w.Set(j, i)
+			}
+		}
+	}
+	return w, neighbors
+}

@@ -1,0 +1,294 @@
+// Package mat provides the dense matrix and observation-mask types used by
+// the dataset generators, the evaluation code and the experiment harness.
+//
+// The DMFSGD algorithm itself never materializes a matrix (that is the whole
+// point of the paper); matrices appear only on the experiment side, where the
+// ground truth X and the weight matrix W of eq. 1 live.
+//
+// A Dense matrix is stored row-major in a single backing slice. NaN marks a
+// missing entry, matching how the raw HP-S3 dataset is distributed (55%
+// missing values); the Mask type provides the explicit wᵢⱼ ∈ {0,1} view of
+// eq. 1 when needed.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dense is a row-major n×m matrix of float64. Missing entries are NaN.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates a rows×cols matrix of zeros.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewDenseFrom wraps existing data (length must equal rows*cols) without
+// copying. The caller must not alias the slice afterwards.
+func NewDenseFrom(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: data}
+}
+
+// NewMissing allocates a rows×cols matrix with every entry missing (NaN).
+func NewMissing(rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := range m.data {
+		m.data[i] = math.NaN()
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the entry at (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set stores v at (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// SetMissing marks (i, j) as a missing observation.
+func (m *Dense) SetMissing(i, j int) { m.Set(i, j, math.NaN()) }
+
+// IsMissing reports whether (i, j) holds no observation.
+func (m *Dense) IsMissing(i, j int) bool { return math.IsNaN(m.At(i, j)) }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range [0,%d)", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Data returns the backing slice (row-major). Mutating it mutates the matrix.
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Apply replaces every present (non-missing) entry with f(i, j, v).
+func (m *Dense) Apply(f func(i, j int, v float64) float64) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if !math.IsNaN(v) {
+				row[j] = f(i, j, v)
+			}
+		}
+	}
+}
+
+// Present returns all present (non-missing, finite) values in row-major
+// order. Diagonal entries are included; callers who need off-diagonal values
+// only should use PresentOffDiag.
+func (m *Dense) Present() []float64 {
+	out := make([]float64, 0, len(m.data))
+	for _, v := range m.data {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PresentOffDiag returns present values excluding the diagonal. Performance
+// matrices have empty diagonals (a node does not probe itself, Fig. 2), so
+// dataset statistics such as the classification threshold τ are computed
+// over these values.
+func (m *Dense) PresentOffDiag() []float64 {
+	out := make([]float64, 0, len(m.data))
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if i != j && !math.IsNaN(v) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// MissingFraction returns the fraction of off-diagonal entries that are
+// missing.
+func (m *Dense) MissingFraction() float64 {
+	if m.rows == 0 || m.cols == 0 {
+		return 0
+	}
+	var missing, total int
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if i == j {
+				continue
+			}
+			total++
+			if math.IsNaN(v) {
+				missing++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(missing) / float64(total)
+}
+
+// Symmetrize sets every entry to the average of itself and its transpose
+// partner, propagating present values over missing ones. RTT matrices are
+// treated as symmetric (§3.1.1).
+func (m *Dense) Symmetrize() {
+	if m.rows != m.cols {
+		panic("mat: Symmetrize requires a square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			a, b := m.At(i, j), m.At(j, i)
+			switch {
+			case math.IsNaN(a) && math.IsNaN(b):
+				// both missing: leave as is
+			case math.IsNaN(a):
+				m.Set(i, j, b)
+			case math.IsNaN(b):
+				m.Set(j, i, a)
+			default:
+				avg := (a + b) / 2
+				m.Set(i, j, avg)
+				m.Set(j, i, avg)
+			}
+		}
+	}
+}
+
+// MaxAbs returns the largest absolute present value, or 0 if none.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Mul returns m × other (no missing entries allowed in either operand).
+func (m *Dense) Mul(other *Dense) *Dense {
+	if m.cols != other.rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d × %dx%d", m.rows, m.cols, other.rows, other.cols))
+	}
+	out := NewDense(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		mrow := m.Row(i)
+		orow := out.Row(i)
+		for kk, mv := range mrow {
+			if mv == 0 {
+				continue
+			}
+			brow := other.Row(kk)
+			for j, bv := range brow {
+				orow[j] += mv * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.data[j*out.cols+i] = v
+		}
+	}
+	return out
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Median returns the median of vals. It sorts a copy. Panics on empty input.
+func Median(vals []float64) float64 { return Percentile(vals, 50) }
+
+// Percentile returns the p-th percentile (0..100) of vals using linear
+// interpolation between closest ranks. It sorts a copy. Panics on empty
+// input. Table 1 of the paper is generated from these percentiles.
+func Percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		panic("mat: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("mat: Percentile %v out of [0,100]", p))
+	}
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean of vals. Panics on empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		panic("mat: Mean of empty slice")
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// Stddev returns the population standard deviation of vals.
+func Stddev(vals []float64) float64 {
+	if len(vals) == 0 {
+		panic("mat: Stddev of empty slice")
+	}
+	mu := Mean(vals)
+	var s float64
+	for _, v := range vals {
+		d := v - mu
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(vals)))
+}

@@ -1,0 +1,386 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZero(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("entry (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Set(1, 0, -1)
+	if m.At(0, 1) != 3.5 || m.At(1, 0) != -1 || m.At(0, 0) != 0 {
+		t.Errorf("unexpected entries: %v %v %v", m.At(0, 1), m.At(1, 0), m.At(0, 0))
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := NewDense(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) should panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestMissing(t *testing.T) {
+	m := NewMissing(2, 2)
+	if !m.IsMissing(0, 0) || !m.IsMissing(1, 1) {
+		t.Error("NewMissing entries should be missing")
+	}
+	m.Set(0, 0, 5)
+	if m.IsMissing(0, 0) {
+		t.Error("set entry should not be missing")
+	}
+	m.SetMissing(0, 0)
+	if !m.IsMissing(0, 0) {
+		t.Error("SetMissing should mark entry missing")
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := NewDense(2, 3)
+	r := m.Row(1)
+	r[2] = 42
+	if m.At(1, 2) != 42 {
+		t.Error("Row should alias matrix storage")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone should be independent")
+	}
+}
+
+func TestApplySkipsMissing(t *testing.T) {
+	m := NewMissing(2, 2)
+	m.Set(0, 1, 10)
+	m.Apply(func(i, j int, v float64) float64 { return v * 2 })
+	if m.At(0, 1) != 20 {
+		t.Errorf("Apply did not transform present entry: %v", m.At(0, 1))
+	}
+	if !m.IsMissing(0, 0) {
+		t.Error("Apply should skip missing entries")
+	}
+}
+
+func TestPresentOffDiag(t *testing.T) {
+	m := NewMissing(3, 3)
+	m.Set(0, 0, 100) // diagonal: excluded
+	m.Set(0, 1, 1)
+	m.Set(1, 2, 2)
+	got := m.PresentOffDiag()
+	if len(got) != 2 {
+		t.Fatalf("PresentOffDiag = %v, want 2 values", got)
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Errorf("PresentOffDiag = %v", got)
+	}
+	if n := len(m.Present()); n != 3 {
+		t.Errorf("Present = %d values, want 3", n)
+	}
+}
+
+func TestMissingFraction(t *testing.T) {
+	m := NewMissing(3, 3) // 6 off-diagonal entries
+	if got := m.MissingFraction(); got != 1 {
+		t.Errorf("all-missing fraction = %v", got)
+	}
+	m.Set(0, 1, 5)
+	m.Set(1, 0, 5)
+	m.Set(2, 0, 5)
+	if got := m.MissingFraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("fraction = %v, want 0.5", got)
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	m := NewMissing(3, 3)
+	m.Set(0, 1, 10)
+	m.Set(1, 0, 20) // both present: average
+	m.Set(0, 2, 30) // only one side: propagate
+	m.Symmetrize()
+	if m.At(0, 1) != 15 || m.At(1, 0) != 15 {
+		t.Errorf("average failed: %v %v", m.At(0, 1), m.At(1, 0))
+	}
+	if m.At(2, 0) != 30 {
+		t.Errorf("propagation failed: %v", m.At(2, 0))
+	}
+	if !m.IsMissing(1, 2) || !m.IsMissing(2, 1) {
+		t.Error("both-missing pair should stay missing")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := a.Mul(b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range c.Data() {
+		if v != want[i] {
+			t.Fatalf("Mul = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("Transpose dims = %dx%d", at.Rows(), at.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := NewMissing(2, 2)
+	if m.MaxAbs() != 0 {
+		t.Error("MaxAbs of all-missing should be 0")
+	}
+	m.Set(0, 0, -7)
+	m.Set(1, 1, 3)
+	if m.MaxAbs() != 7 {
+		t.Errorf("MaxAbs = %v, want 7", m.MaxAbs())
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	if got := Median(vals); got != 2 {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	// input untouched
+	if vals[0] != 3 {
+		t.Error("Median sorted the input in place")
+	}
+	four := []float64{1, 2, 3, 4}
+	if got := Median(four); got != 2.5 {
+		t.Errorf("Median even = %v, want 2.5", got)
+	}
+	if got := Percentile(four, 0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := Percentile(four, 100); got != 4 {
+		t.Errorf("P100 = %v, want 4", got)
+	}
+	if got := Percentile(four, 25); math.Abs(got-1.75) > 1e-12 {
+		t.Errorf("P25 = %v, want 1.75", got)
+	}
+	if got := Percentile([]float64{9}, 73); got != 9 {
+		t.Errorf("single-element percentile = %v, want 9", got)
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vals); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Stddev(vals); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentilePropertyMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(vals, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskBasics(t *testing.T) {
+	w := NewMask(3, 3)
+	if w.Count() != 0 {
+		t.Error("new mask should be empty")
+	}
+	w.Set(0, 1)
+	w.Set(2, 2)
+	if !w.At(0, 1) || !w.At(2, 2) || w.At(1, 1) {
+		t.Error("Set/At inconsistent")
+	}
+	if w.Count() != 2 {
+		t.Errorf("Count = %d, want 2", w.Count())
+	}
+	w.Clear(0, 1)
+	if w.At(0, 1) || w.Count() != 1 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestMaskSetIdempotent(t *testing.T) {
+	w := NewMask(2, 2)
+	w.Set(0, 0)
+	w.Set(0, 0)
+	if w.Count() != 1 {
+		t.Errorf("double Set should count once, got %d", w.Count())
+	}
+}
+
+func TestMaskPairs(t *testing.T) {
+	w := NewMask(2, 3)
+	w.Set(1, 2)
+	w.Set(0, 0)
+	pairs := w.Pairs()
+	if len(pairs) != 2 || pairs[0] != (Pair{0, 0}) || pairs[1] != (Pair{1, 2}) {
+		t.Errorf("Pairs = %v", pairs)
+	}
+}
+
+func TestMaskComplement(t *testing.T) {
+	w := NewMask(3, 3)
+	w.Set(0, 1)
+	c := w.Complement()
+	// 3x3 has 6 off-diagonal entries; one observed -> 5 in complement.
+	if c.Count() != 5 {
+		t.Errorf("Complement count = %d, want 5", c.Count())
+	}
+	if c.At(0, 1) {
+		t.Error("observed entry must not be in complement")
+	}
+	for i := 0; i < 3; i++ {
+		if c.At(i, i) {
+			t.Error("diagonal must not be in complement")
+		}
+	}
+}
+
+func TestMaskClone(t *testing.T) {
+	w := NewMask(2, 2)
+	w.Set(0, 0)
+	c := w.Clone()
+	c.Set(1, 1)
+	if w.At(1, 1) {
+		t.Error("Clone should be independent")
+	}
+}
+
+func TestNeighborMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 20, 5
+	w, neighbors := NeighborMask(n, k, false, rng)
+	if len(neighbors) != n {
+		t.Fatalf("neighbors length = %d", len(neighbors))
+	}
+	for i, ns := range neighbors {
+		if len(ns) != k {
+			t.Fatalf("node %d has %d neighbors, want %d", i, len(ns), k)
+		}
+		seen := map[int]bool{}
+		for _, j := range ns {
+			if j == i {
+				t.Fatalf("node %d has itself as neighbor", i)
+			}
+			if seen[j] {
+				t.Fatalf("node %d has duplicate neighbor %d", i, j)
+			}
+			seen[j] = true
+			if !w.At(i, j) {
+				t.Fatalf("mask missing observed pair (%d,%d)", i, j)
+			}
+		}
+	}
+	// Asymmetric: mask count equals n*k only if no (i,j)+(j,i) coincidence
+	// collapses (entries are directed, so count is exactly n*k).
+	if w.Count() != n*k {
+		t.Errorf("mask count = %d, want %d", w.Count(), n*k)
+	}
+}
+
+func TestNeighborMaskSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w, _ := NeighborMask(15, 4, true, rng)
+	for i := 0; i < 15; i++ {
+		for j := 0; j < 15; j++ {
+			if w.At(i, j) != w.At(j, i) {
+				t.Fatalf("symmetric mask asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNeighborMaskPanicsWhenKTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k >= n")
+		}
+	}()
+	NeighborMask(5, 5, false, rand.New(rand.NewSource(1)))
+}
+
+// Property: complement and original partition the off-diagonal entries.
+func TestMaskPropertyComplementPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		w := NewMask(n, n)
+		for e := 0; e < rng.Intn(n*n); e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				w.Set(i, j)
+			}
+		}
+		c := w.Complement()
+		return w.Count()+c.Count() == n*(n-1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMaskCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w, _ := NeighborMask(500, 32, true, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = w.Count()
+	}
+}

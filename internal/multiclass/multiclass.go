@@ -1,0 +1,181 @@
+// Package multiclass extends the paper's binary classification to M > 2
+// ordered performance classes — the extension the authors name as future
+// work in §7 ("our framework could be extended to the prediction of more
+// than two performance classes, i.e., multiclass classification").
+//
+// The construction follows the standard ordinal-decomposition: M ordered
+// classes (best = 0 … worst = M−1) are separated by M−1 thresholds
+// τ₁ ≻ τ₂ ≻ … (ordered from strict to lax in the metric's polarity). Each
+// threshold level ℓ defines the binary question "is this path at least as
+// good as level ℓ demands?", answered by an independent DMFSGD
+// factorization. A node therefore keeps M−1 coordinate pairs and updates
+// each level from the same measurement — the protocol messages simply carry
+// M−1 coordinate blocks instead of one, preserving full decentralization.
+//
+// The predicted class counts the levels answered positively, with the
+// standard monotonic repair (a stricter level answered "good" while a laxer
+// one says "bad" is resolved by cumulative voting).
+package multiclass
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/sgd"
+)
+
+// Config parameterizes a multiclass predictor.
+type Config struct {
+	// SGD is applied independently at every threshold level.
+	SGD sgd.Config
+	// Thresholds are the M−1 class boundaries in metric units, ordered
+	// from the strictest (hardest to satisfy) to the laxest. For RTT that
+	// means ascending values (e.g. 30ms, 100ms, 300ms → classes
+	// <30, <100, <300, ≥300); for ABW descending (e.g. 100, 40, 10 Mbps).
+	Thresholds []float64
+	// Metric fixes the polarity.
+	Metric dataset.Metric
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if err := c.SGD.Validate(); err != nil {
+		return err
+	}
+	if len(c.Thresholds) < 1 {
+		return fmt.Errorf("multiclass: need at least one threshold")
+	}
+	for i := 1; i < len(c.Thresholds); i++ {
+		ascending := c.Thresholds[i] > c.Thresholds[i-1]
+		if c.Metric.GoodIsLow() && !ascending {
+			return fmt.Errorf("multiclass: RTT thresholds must ascend (strict→lax)")
+		}
+		if !c.Metric.GoodIsLow() && ascending {
+			return fmt.Errorf("multiclass: ABW thresholds must descend (strict→lax)")
+		}
+	}
+	return nil
+}
+
+// Classes returns the number of classes (len(Thresholds)+1).
+func (c Config) Classes() int { return len(c.Thresholds) + 1 }
+
+// Label maps a metric quantity to its true class index: 0 for paths
+// satisfying the strictest threshold, Classes()−1 for paths satisfying
+// none.
+func (c Config) Label(value float64) int {
+	for level, tau := range c.Thresholds {
+		if dataset.IsGood(c.Metric, value, tau) {
+			return level
+		}
+	}
+	return len(c.Thresholds)
+}
+
+// Coordinates is a node's state: one coordinate pair per threshold level.
+type Coordinates struct {
+	Levels []*sgd.Coordinates
+}
+
+// NewCoordinates initializes all levels randomly.
+func NewCoordinates(cfg Config, rng *rand.Rand) *Coordinates {
+	levels := make([]*sgd.Coordinates, len(cfg.Thresholds))
+	for i := range levels {
+		levels[i] = sgd.NewCoordinates(cfg.SGD.Rank, rng)
+	}
+	return &Coordinates{Levels: levels}
+}
+
+// UpdateRTT applies the symmetric (Algorithm 1) update at every level,
+// deriving each level's binary label from the measured quantity.
+func (cfg Config) UpdateRTT(self, peer *Coordinates, value float64) {
+	for level, tau := range cfg.Thresholds {
+		x := binLabel(cfg.Metric, value, tau)
+		cfg.SGD.UpdateRTT(self.Levels[level], peer.Levels[level].U, peer.Levels[level].V, x)
+	}
+}
+
+// UpdateABW applies the asymmetric (Algorithm 2) update pair at every
+// level: target updates its V with the sender's U, sender updates its U
+// with the target's (pre-update) V.
+func (cfg Config) UpdateABW(sender, target *Coordinates, value float64) {
+	for level, tau := range cfg.Thresholds {
+		x := binLabel(cfg.Metric, value, tau)
+		vPre := append([]float64(nil), target.Levels[level].V...)
+		cfg.SGD.UpdateABWTarget(target.Levels[level], sender.Levels[level].U, x)
+		cfg.SGD.UpdateABWSender(sender.Levels[level], vPre, x)
+	}
+}
+
+func binLabel(m dataset.Metric, value, tau float64) float64 {
+	if dataset.IsGood(m, value, tau) {
+		return 1
+	}
+	return -1
+}
+
+// PredictClass returns the predicted class index for the path from self to
+// the peer: cumulative voting over levels. Level ℓ votes "at least this
+// good" when its score is positive; the class is the number of leading
+// positive votes would be brittle, so instead the standard ordinal sum
+// M−1−Σ[scoreℓ>0] is used, which is robust to single-level inversions.
+func (cfg Config) PredictClass(self, peer *Coordinates) int {
+	votes := 0
+	for level := range cfg.Thresholds {
+		if sgd.Predict(self.Levels[level].U, peer.Levels[level].V) > 0 {
+			votes++
+		}
+	}
+	return len(cfg.Thresholds) - votes
+}
+
+// PredictScores returns the raw per-level scores (diagnostics, ROC per
+// level).
+func (cfg Config) PredictScores(self, peer *Coordinates) []float64 {
+	out := make([]float64, len(cfg.Thresholds))
+	for level := range cfg.Thresholds {
+		out[level] = sgd.Predict(self.Levels[level].U, peer.Levels[level].V)
+	}
+	return out
+}
+
+// Accuracy summarizes a multiclass evaluation: exact-class accuracy,
+// within-one-class accuracy, and mean absolute class error.
+type Accuracy struct {
+	Exact     float64
+	WithinOne float64
+	MAE       float64
+	Samples   int
+}
+
+// Score tallies predictions against true classes.
+func Score(pred, truth []int, classes int) Accuracy {
+	if len(pred) != len(truth) {
+		panic("multiclass: length mismatch")
+	}
+	var acc Accuracy
+	acc.Samples = len(pred)
+	if acc.Samples == 0 {
+		return acc
+	}
+	var exact, within int
+	var absSum float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		if d < 0 {
+			d = -d
+		}
+		if d == 0 {
+			exact++
+		}
+		if d <= 1 {
+			within++
+		}
+		absSum += float64(d)
+	}
+	acc.Exact = float64(exact) / float64(acc.Samples)
+	acc.WithinOne = float64(within) / float64(acc.Samples)
+	acc.MAE = absSum / float64(acc.Samples)
+	return acc
+}

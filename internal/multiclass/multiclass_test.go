@@ -1,0 +1,183 @@
+package multiclass
+
+import (
+	"math/rand"
+	"testing"
+
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/sgd"
+)
+
+func rttCfg() Config {
+	return Config{
+		SGD:        sgd.Defaults(),
+		Thresholds: []float64{30, 100, 300}, // 4 classes
+		Metric:     dataset.RTT,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := rttCfg().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	empty := rttCfg()
+	empty.Thresholds = nil
+	if err := empty.Validate(); err == nil {
+		t.Error("no thresholds accepted")
+	}
+	unordered := rttCfg()
+	unordered.Thresholds = []float64{100, 30}
+	if err := unordered.Validate(); err == nil {
+		t.Error("descending RTT thresholds accepted")
+	}
+	abw := Config{SGD: sgd.Defaults(), Thresholds: []float64{100, 40, 10}, Metric: dataset.ABW}
+	if err := abw.Validate(); err != nil {
+		t.Errorf("valid ABW config rejected: %v", err)
+	}
+	abwBad := Config{SGD: sgd.Defaults(), Thresholds: []float64{10, 40}, Metric: dataset.ABW}
+	if err := abwBad.Validate(); err == nil {
+		t.Error("ascending ABW thresholds accepted")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	cfg := rttCfg()
+	if cfg.Classes() != 4 {
+		t.Fatalf("classes = %d", cfg.Classes())
+	}
+	tests := []struct {
+		value float64
+		want  int
+	}{
+		{10, 0},   // < 30ms: best
+		{30, 0},   // boundary good
+		{50, 1},   // < 100ms
+		{250, 2},  // < 300ms
+		{1000, 3}, // worst
+	}
+	for _, tt := range tests {
+		if got := cfg.Label(tt.value); got != tt.want {
+			t.Errorf("Label(%v) = %d, want %d", tt.value, got, tt.want)
+		}
+	}
+	// ABW polarity.
+	abw := Config{SGD: sgd.Defaults(), Thresholds: []float64{100, 40}, Metric: dataset.ABW}
+	if abw.Label(150) != 0 || abw.Label(50) != 1 || abw.Label(10) != 2 {
+		t.Error("ABW labels wrong")
+	}
+}
+
+func TestTwoNodeLearnsClass(t *testing.T) {
+	cfg := rttCfg()
+	rng := rand.New(rand.NewSource(81))
+	for _, trueVal := range []float64{10, 60, 200, 500} {
+		a := NewCoordinates(cfg, rng)
+		b := NewCoordinates(cfg, rng)
+		for i := 0; i < 1500; i++ {
+			cfg.UpdateRTT(a, b, trueVal)
+			cfg.UpdateRTT(b, a, trueVal)
+		}
+		want := cfg.Label(trueVal)
+		if got := cfg.PredictClass(a, b); got != want {
+			t.Errorf("value %v: predicted class %d, want %d", trueVal, got, want)
+		}
+	}
+}
+
+func TestABWUpdateLearns(t *testing.T) {
+	cfg := Config{SGD: sgd.Defaults(), Thresholds: []float64{100, 40, 10}, Metric: dataset.ABW}
+	rng := rand.New(rand.NewSource(82))
+	a := NewCoordinates(cfg, rng)
+	b := NewCoordinates(cfg, rng)
+	const val = 60.0 // class 1: between 40 and 100
+	for i := 0; i < 2500; i++ {
+		cfg.UpdateABW(a, b, val)
+	}
+	if got := cfg.PredictClass(a, b); got != 1 {
+		t.Errorf("predicted class %d, want 1", got)
+	}
+}
+
+// System test: a small network with 4 RTT classes must reach decent
+// exact accuracy and near-perfect within-one accuracy on held-out pairs.
+func TestSystemMulticlassAccuracy(t *testing.T) {
+	ds := dataset.Meridian(dataset.MeridianConfig{N: 60, Seed: 83})
+	vals := ds.Values()
+	cfg := Config{
+		SGD: sgd.Defaults(),
+		Thresholds: []float64{
+			mat.Percentile(vals, 25),
+			mat.Percentile(vals, 50),
+			mat.Percentile(vals, 75),
+		},
+		Metric: dataset.RTT,
+	}
+	rng := rand.New(rand.NewSource(84))
+	nodes := make([]*Coordinates, ds.N())
+	for i := range nodes {
+		nodes[i] = NewCoordinates(cfg, rng)
+	}
+	k := 10
+	trainMask, neighbors := mat.NeighborMask(ds.N(), k, true, rng)
+	for step := 0; step < 30*k*ds.N(); step++ {
+		i := rng.Intn(ds.N())
+		j := neighbors[i][rng.Intn(k)]
+		cfg.UpdateRTT(nodes[i], nodes[j], ds.Matrix.At(i, j))
+	}
+	var pred, truth []int
+	test := trainMask.Complement()
+	for _, p := range test.Pairs() {
+		if ds.Matrix.IsMissing(p.I, p.J) {
+			continue
+		}
+		pred = append(pred, cfg.PredictClass(nodes[p.I], nodes[p.J]))
+		truth = append(truth, cfg.Label(ds.Matrix.At(p.I, p.J)))
+	}
+	acc := Score(pred, truth, cfg.Classes())
+	if acc.Exact < 0.5 {
+		t.Errorf("exact accuracy = %v, want >= 0.5 (4-class chance is 0.25)", acc.Exact)
+	}
+	if acc.WithinOne < 0.85 {
+		t.Errorf("within-one accuracy = %v, want >= 0.85", acc.WithinOne)
+	}
+	if acc.MAE > 0.8 {
+		t.Errorf("MAE = %v, want <= 0.8", acc.MAE)
+	}
+}
+
+func TestScore(t *testing.T) {
+	acc := Score([]int{0, 1, 2, 3}, []int{0, 1, 3, 0}, 4)
+	if acc.Exact != 0.5 {
+		t.Errorf("Exact = %v", acc.Exact)
+	}
+	if acc.WithinOne != 0.75 {
+		t.Errorf("WithinOne = %v", acc.WithinOne)
+	}
+	if acc.MAE != 1.0 { // |0|+|0|+|1|+|3| = 4 over 4
+		t.Errorf("MAE = %v", acc.MAE)
+	}
+	empty := Score(nil, nil, 4)
+	if empty.Samples != 0 || empty.Exact != 0 {
+		t.Error("empty score")
+	}
+}
+
+func TestScorePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Score([]int{1}, []int{1, 2}, 3)
+}
+
+func TestPredictScoresLength(t *testing.T) {
+	cfg := rttCfg()
+	rng := rand.New(rand.NewSource(85))
+	a := NewCoordinates(cfg, rng)
+	b := NewCoordinates(cfg, rng)
+	if got := cfg.PredictScores(a, b); len(got) != 3 {
+		t.Errorf("scores length = %d", len(got))
+	}
+}

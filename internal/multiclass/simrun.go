@@ -1,0 +1,80 @@
+package multiclass
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/mat"
+)
+
+// SimResult is the outcome of a multiclass simulation.
+type SimResult struct {
+	// Accuracy aggregates exact / within-one / MAE over the test pairs.
+	Accuracy Accuracy
+	// Confusion[t][p] counts test pairs of true class t predicted as p.
+	Confusion [][]int
+}
+
+// RunSim trains an M-class predictor over a dataset with the k-neighbor
+// protocol (random measurement order) and evaluates it on the unmeasured
+// pairs. budgetPerNode is in units of k, like the binary experiments
+// (paper default: 20).
+func RunSim(ds *dataset.Dataset, cfg Config, k, budgetPerNode int, seed int64) (SimResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if k <= 0 || k >= ds.N() {
+		return SimResult{}, fmt.Errorf("multiclass: k=%d out of (0,%d)", k, ds.N())
+	}
+	if budgetPerNode <= 0 {
+		budgetPerNode = 20
+	}
+	rng := rand.New(rand.NewSource(seed))
+	trainMask, neighbors := mat.NeighborMask(ds.N(), k, ds.Metric.Symmetric(), rng)
+	nodes := make([]*Coordinates, ds.N())
+	for i := range nodes {
+		nodes[i] = NewCoordinates(cfg, rng)
+	}
+
+	total := budgetPerNode * k * ds.N()
+	for done := 0; done < total; {
+		i := rng.Intn(ds.N())
+		j := neighbors[i][rng.Intn(k)]
+		if ds.Matrix.IsMissing(i, j) {
+			continue
+		}
+		v := ds.Matrix.At(i, j)
+		if ds.Metric.Symmetric() {
+			nodes[i].updateRTTAt(cfg, nodes[j], v)
+		} else {
+			cfg.UpdateABW(nodes[i], nodes[j], v)
+		}
+		done++
+	}
+
+	m := cfg.Classes()
+	conf := make([][]int, m)
+	for t := range conf {
+		conf[t] = make([]int, m)
+	}
+	var pred, truth []int
+	for _, p := range trainMask.Complement().Pairs() {
+		if ds.Matrix.IsMissing(p.I, p.J) {
+			continue
+		}
+		pr := cfg.PredictClass(nodes[p.I], nodes[p.J])
+		tr := cfg.Label(ds.Matrix.At(p.I, p.J))
+		pred = append(pred, pr)
+		truth = append(truth, tr)
+		conf[tr][pr]++
+	}
+	return SimResult{Accuracy: Score(pred, truth, m), Confusion: conf}, nil
+}
+
+// updateRTTAt applies the Algorithm-1 update at the probing node only
+// (matching the information constraint of the decentralized protocol: the
+// probed node j is not updated).
+func (c *Coordinates) updateRTTAt(cfg Config, peer *Coordinates, value float64) {
+	cfg.UpdateRTT(c, peer, value)
+}

@@ -1,0 +1,117 @@
+// Package oracle provides the measurement ground truth for simulated
+// deployments: when a runtime node "pings" a peer or "sends a UDP train at
+// rate τ", an oracle backed by a dataset decides what the tool would have
+// observed.
+//
+// This is the substitution for real measurement tools (ping, pathload,
+// pathchirp) described in DESIGN.md: the paper's §3.2 reduces the tools to
+// their observable behavior — a quantity with noise, or a binary
+// congestion response that is unreliable near τ — and that is exactly what
+// these oracles produce. All oracles are safe for concurrent use by many
+// node goroutines.
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/mat"
+)
+
+// RTT serves round-trip-time measurements from a ground-truth matrix with
+// optional lognormal noise (ping jitter).
+type RTT struct {
+	m     *mat.Dense
+	sigma float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRTT builds an RTT oracle over matrix m (ms). sigma is the lognormal
+// noise parameter; 0 disables noise.
+func NewRTT(m *mat.Dense, sigma float64, seed int64) *RTT {
+	return &RTT{m: m, sigma: sigma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// MeasureRTT returns one measured RTT from i to j, or false when the pair
+// has no ground truth.
+func (o *RTT) MeasureRTT(i, j int) (float64, bool) {
+	if i < 0 || j < 0 || i >= o.m.Rows() || j >= o.m.Cols() || o.m.IsMissing(i, j) {
+		return 0, false
+	}
+	v := o.m.At(i, j)
+	if o.sigma > 0 {
+		o.mu.Lock()
+		n := o.rng.NormFloat64()
+		o.mu.Unlock()
+		v *= math.Exp(n*o.sigma - o.sigma*o.sigma/2)
+	}
+	return v, true
+}
+
+// ABWClass serves the binary congestion responses of a pathload-style
+// probe: "did a UDP train at rate τ congest the path i→j?" The answer is
+// derived from ground-truth ABW, optionally with the near-τ flip noise of
+// real tools.
+type ABWClass struct {
+	ds    *dataset.Dataset
+	width float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewABWClass builds the oracle. width > 0 enables near-τ measurement
+// error with the given relative resolution (see classify.NoisyProber);
+// width = 0 gives exact responses.
+func NewABWClass(ds *dataset.Dataset, width float64, seed int64) *ABWClass {
+	return &ABWClass{ds: ds, width: width, rng: rand.New(rand.NewSource(seed))}
+}
+
+// MeasureClass returns the class the target of path sender→target would
+// infer when probed at the given rate, or false for unmeasurable pairs.
+func (o *ABWClass) MeasureClass(sender, target int, rate float64) (classify.Class, bool) {
+	m := o.ds.Matrix
+	if sender < 0 || target < 0 || sender >= m.Rows() || target >= m.Cols() || m.IsMissing(sender, target) {
+		return classify.Bad, false
+	}
+	v := m.At(sender, target)
+	c := classify.Of(dataset.ABW, v, rate)
+	if o.width > 0 {
+		scale := o.width * math.Abs(rate)
+		if scale > 0 {
+			p := 0.5 * math.Exp(-math.Abs(v-rate)/scale)
+			o.mu.Lock()
+			flip := o.rng.Float64() < p
+			o.mu.Unlock()
+			if flip {
+				c = -c
+			}
+		}
+	}
+	return c, true
+}
+
+// ClassMatrix serves persistent class labels from a precomputed (possibly
+// corrupted) class matrix. Unlike ABWClass, repeated probes of a pair
+// always return the same label — this is how the erroneous-label
+// experiments (§6.3) are wired into the concurrent runtime.
+type ClassMatrix struct {
+	m *mat.Dense
+}
+
+// NewClassMatrix wraps a ±1 class matrix.
+func NewClassMatrix(m *mat.Dense) *ClassMatrix { return &ClassMatrix{m: m} }
+
+// MeasureClass returns the stored label of (sender, target); rate is
+// ignored (labels are pre-thresholded).
+func (o *ClassMatrix) MeasureClass(sender, target int, rate float64) (classify.Class, bool) {
+	if sender < 0 || target < 0 || sender >= o.m.Rows() || target >= o.m.Cols() || o.m.IsMissing(sender, target) {
+		return classify.Bad, false
+	}
+	return classify.FromValue(o.m.At(sender, target)), true
+}

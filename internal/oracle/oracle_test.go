@@ -1,0 +1,181 @@
+package oracle
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/mat"
+)
+
+func TestRTTExact(t *testing.T) {
+	m := mat.NewMissing(3, 3)
+	m.Set(0, 1, 100)
+	o := NewRTT(m, 0, 1)
+	v, ok := o.MeasureRTT(0, 1)
+	if !ok || v != 100 {
+		t.Errorf("MeasureRTT = %v, %v", v, ok)
+	}
+	if _, ok := o.MeasureRTT(1, 2); ok {
+		t.Error("missing pair should be unmeasurable")
+	}
+	if _, ok := o.MeasureRTT(-1, 0); ok {
+		t.Error("out of range should be unmeasurable")
+	}
+	if _, ok := o.MeasureRTT(0, 5); ok {
+		t.Error("out of range should be unmeasurable")
+	}
+}
+
+func TestRTTNoiseUnbiased(t *testing.T) {
+	m := mat.NewMissing(2, 2)
+	m.Set(0, 1, 100)
+	o := NewRTT(m, 0.2, 7)
+	var sum float64
+	const n = 20000
+	seenDifferent := false
+	var prev float64
+	for i := 0; i < n; i++ {
+		v, ok := o.MeasureRTT(0, 1)
+		if !ok {
+			t.Fatal("measurable pair failed")
+		}
+		if i > 0 && v != prev {
+			seenDifferent = true
+		}
+		prev = v
+		sum += v
+	}
+	if !seenDifferent {
+		t.Error("noise produced identical samples")
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 2 {
+		t.Errorf("noisy mean = %v, want ≈100 (lognormal corrected)", mean)
+	}
+}
+
+func TestRTTConcurrentSafety(t *testing.T) {
+	m := mat.NewMissing(2, 2)
+	m.Set(0, 1, 50)
+	o := NewRTT(m, 0.1, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if _, ok := o.MeasureRTT(0, 1); !ok {
+					t.Error("measure failed")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestABWClassExact(t *testing.T) {
+	ds := dataset.HPS3(dataset.HPS3Config{N: 30, Seed: 5})
+	o := NewABWClass(ds, 0, 1)
+	tau := ds.Median()
+	for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
+			if i == j || ds.Matrix.IsMissing(i, j) {
+				if i != j {
+					continue
+				}
+				if _, ok := o.MeasureClass(i, j, tau); ok {
+					t.Fatal("diagonal measurable")
+				}
+				continue
+			}
+			c, ok := o.MeasureClass(i, j, tau)
+			if !ok {
+				t.Fatalf("pair (%d,%d) unmeasurable", i, j)
+			}
+			want := classify.Of(dataset.ABW, ds.Matrix.At(i, j), tau)
+			if c != want {
+				t.Fatalf("class mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestABWClassNoiseNearTau(t *testing.T) {
+	ds := dataset.HPS3(dataset.HPS3Config{N: 40, Seed: 6})
+	tau := ds.Median()
+	o := NewABWClass(ds, 0.15, 9)
+	// Find a pair essentially at tau and one far away.
+	nearI, nearJ, farI, farJ := -1, -1, -1, -1
+	for i := 0; i < 40 && (nearI < 0 || farI < 0); i++ {
+		for j := 0; j < 40; j++ {
+			if i == j || ds.Matrix.IsMissing(i, j) {
+				continue
+			}
+			v := ds.Matrix.At(i, j)
+			rel := math.Abs(v-tau) / tau
+			if rel < 0.03 && nearI < 0 {
+				nearI, nearJ = i, j
+			}
+			if rel > 1.5 && farI < 0 {
+				farI, farJ = i, j
+			}
+		}
+	}
+	if nearI < 0 || farI < 0 {
+		t.Skip("dataset instance lacks suitable pairs")
+	}
+	flips := func(i, j int) float64 {
+		truth := classify.Of(dataset.ABW, ds.Matrix.At(i, j), tau)
+		n := 0
+		const trials = 3000
+		for k := 0; k < trials; k++ {
+			c, _ := o.MeasureClass(i, j, tau)
+			if c != truth {
+				n++
+			}
+		}
+		return float64(n) / trials
+	}
+	if f := flips(nearI, nearJ); f < 0.2 {
+		t.Errorf("near-τ flip rate %v too low", f)
+	}
+	if f := flips(farI, farJ); f > 0.02 {
+		t.Errorf("far-τ flip rate %v too high", f)
+	}
+}
+
+func TestClassMatrix(t *testing.T) {
+	m := mat.NewMissing(3, 3)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, -1)
+	o := NewClassMatrix(m)
+	if c, ok := o.MeasureClass(0, 1, 99); !ok || c != classify.Good {
+		t.Errorf("got %v %v", c, ok)
+	}
+	if c, ok := o.MeasureClass(1, 0, 0); !ok || c != classify.Bad {
+		t.Errorf("got %v %v", c, ok)
+	}
+	if _, ok := o.MeasureClass(2, 1, 0); ok {
+		t.Error("missing entry measurable")
+	}
+	if _, ok := o.MeasureClass(5, 0, 0); ok {
+		t.Error("out of range measurable")
+	}
+}
+
+func TestClassMatrixStability(t *testing.T) {
+	// Labels must be persistent: same answer every probe.
+	m := mat.NewMissing(2, 2)
+	m.Set(0, 1, -1)
+	o := NewClassMatrix(m)
+	for i := 0; i < 100; i++ {
+		c, _ := o.MeasureClass(0, 1, 0)
+		if c != classify.Bad {
+			t.Fatal("label changed between probes")
+		}
+	}
+}

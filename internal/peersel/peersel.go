@@ -1,0 +1,227 @@
+// Package peersel implements the peer-selection evaluation of §6.4: each
+// node must pick, from a random peer set, a node to interact with, using
+// only predicted performance. The paper contrasts:
+//
+//   - Random selection (baseline);
+//   - Class-based selection: pick the peer with the largest raw prediction
+//     x̂ᵢⱼ = uᵢ·vⱼᵀ from a classifier-trained factorization ("the most
+//     likely to be good"), without thresholding;
+//   - Quantity-based selection: pick the predicted best performer from an
+//     L2-trained factorization (smallest x̂ for RTT, largest for ABW).
+//
+// Two criteria are reported (Figure 7):
+//
+//   - Optimality: the stretch sᵢ = xᵢ•/xᵢ∘, measured value of the selected
+//     peer over the true best peer in the set (≥1 for RTT, ≤1 for ABW;
+//     closer to 1 is better).
+//   - Satisfaction: the fraction of unsatisfied nodes — nodes that selected
+//     a "bad" peer although a "good" peer existed in their peer set. Nodes
+//     whose peer set contains no good peer are excluded.
+package peersel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd/internal/dataset"
+)
+
+// Strategy selects how a node ranks its candidate peers.
+type Strategy uint8
+
+const (
+	// Random picks a peer uniformly at random.
+	Random Strategy = iota
+	// ClassBased picks the peer with the largest raw classifier output.
+	ClassBased
+	// QuantityBased picks the predicted best performer under the metric
+	// polarity (min predicted RTT / max predicted ABW).
+	QuantityBased
+)
+
+// String names the strategy as in Figure 7's legend.
+func (s Strategy) String() string {
+	switch s {
+	case Random:
+		return "random"
+	case ClassBased:
+		return "classification"
+	case QuantityBased:
+		return "regression"
+	default:
+		return fmt.Sprintf("peersel.Strategy(%d)", uint8(s))
+	}
+}
+
+// Predictor supplies pairwise predictions; *sim.Driver satisfies it.
+type Predictor interface {
+	Predict(i, j int) float64
+}
+
+// Result aggregates the two Figure-7 criteria over all nodes.
+type Result struct {
+	// MeanStretch is the average stretch over nodes with a usable peer set.
+	MeanStretch float64
+	// Unsatisfied is the fraction of nodes that picked a bad peer while a
+	// good one was available.
+	Unsatisfied float64
+	// Nodes is the number of nodes contributing to MeanStretch.
+	Nodes int
+	// SatisfactionNodes is the number contributing to Unsatisfied (nodes
+	// with at least one good peer).
+	SatisfactionNodes int
+}
+
+// Config parameterizes an evaluation.
+type Config struct {
+	// PeerSetSize is the number of candidate peers per node (Figure 7
+	// sweeps 10..60).
+	PeerSetSize int
+	// Tau is the threshold defining good/bad for the satisfaction
+	// criterion.
+	Tau float64
+	// Exclude lists, per node, nodes that may not appear in its peer set
+	// (§6.4: "the nodes in the peer set are forced to be different from
+	// those in the neighbor set"). Nil disables exclusion.
+	Exclude [][]int
+	// Seed drives peer-set sampling and random selection.
+	Seed int64
+}
+
+// BuildPeerSets samples a peer set per node: PeerSetSize distinct nodes,
+// not the node itself, not excluded, and with present ground truth for the
+// directed pair (i, peer) so stretch is computable.
+func BuildPeerSets(ds *dataset.Dataset, cfg Config) [][]int {
+	n := ds.N()
+	if cfg.PeerSetSize <= 0 {
+		panic(fmt.Sprintf("peersel: peer set size %d", cfg.PeerSetSize))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sets := make([][]int, n)
+	for i := 0; i < n; i++ {
+		banned := make(map[int]bool, 8)
+		banned[i] = true
+		if cfg.Exclude != nil {
+			for _, e := range cfg.Exclude[i] {
+				banned[e] = true
+			}
+		}
+		var candidates []int
+		for j := 0; j < n; j++ {
+			if !banned[j] && !ds.Matrix.IsMissing(i, j) {
+				candidates = append(candidates, j)
+			}
+		}
+		rng.Shuffle(len(candidates), func(a, b int) {
+			candidates[a], candidates[b] = candidates[b], candidates[a]
+		})
+		if len(candidates) > cfg.PeerSetSize {
+			candidates = candidates[:cfg.PeerSetSize]
+		}
+		sets[i] = candidates
+	}
+	return sets
+}
+
+// Evaluate runs one strategy over given peer sets. pred may be nil for
+// Random. Returns the aggregate criteria.
+func Evaluate(ds *dataset.Dataset, sets [][]int, strat Strategy, pred Predictor, cfg Config) Result {
+	if strat != Random && pred == nil {
+		panic("peersel: strategy requires a Predictor")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var (
+		stretchSum float64
+		stretchN   int
+		unsat      int
+		satN       int
+	)
+	for i, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		sel := selectPeer(ds, i, set, strat, pred, rng)
+		best := truBest(ds, i, set)
+
+		xs := ds.Matrix.At(i, sel)
+		xb := ds.Matrix.At(i, best)
+		if xb > 0 {
+			stretchSum += xs / xb
+			stretchN++
+		}
+
+		// Satisfaction: is there a good peer at all?
+		hasGood := false
+		for _, p := range set {
+			if dataset.IsGood(ds.Metric, ds.Matrix.At(i, p), cfg.Tau) {
+				hasGood = true
+				break
+			}
+		}
+		if hasGood {
+			satN++
+			if !dataset.IsGood(ds.Metric, xs, cfg.Tau) {
+				unsat++
+			}
+		}
+	}
+	res := Result{Nodes: stretchN, SatisfactionNodes: satN}
+	if stretchN > 0 {
+		res.MeanStretch = stretchSum / float64(stretchN)
+	}
+	if satN > 0 {
+		res.Unsatisfied = float64(unsat) / float64(satN)
+	}
+	return res
+}
+
+// selectPeer applies the strategy for node i.
+func selectPeer(ds *dataset.Dataset, i int, set []int, strat Strategy, pred Predictor, rng *rand.Rand) int {
+	switch strat {
+	case Random:
+		return set[rng.Intn(len(set))]
+	case ClassBased:
+		// jp = argmax x̂ᵢⱼ: "directly use the output without taking its
+		// sign or thresholding it" (§6.4).
+		best, bestScore := set[0], pred.Predict(i, set[0])
+		for _, p := range set[1:] {
+			if s := pred.Predict(i, p); s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+		return best
+	case QuantityBased:
+		best, bestScore := set[0], pred.Predict(i, set[0])
+		for _, p := range set[1:] {
+			s := pred.Predict(i, p)
+			if ds.Metric.GoodIsLow() && s < bestScore || !ds.Metric.GoodIsLow() && s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+		return best
+	default:
+		panic(fmt.Sprintf("peersel: unknown strategy %v", strat))
+	}
+}
+
+// truBest returns the true best-performing peer by ground truth.
+func truBest(ds *dataset.Dataset, i int, set []int) int {
+	best, bestVal := set[0], ds.Matrix.At(i, set[0])
+	for _, p := range set[1:] {
+		v := ds.Matrix.At(i, p)
+		if ds.Metric.GoodIsLow() && v < bestVal || !ds.Metric.GoodIsLow() && v > bestVal {
+			best, bestVal = p, v
+		}
+	}
+	return best
+}
+
+// NeighborExclusion adapts a driver's neighbor lists into the Exclude field
+// of Config (peer sets must avoid training neighbors).
+func NeighborExclusion(n int, neighbors func(i int) []int) [][]int {
+	out := make([][]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = append([]int(nil), neighbors(i)...)
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/transport"
+	"dmfsgd/internal/vec"
+	"dmfsgd/internal/wire"
+)
+
+// fixedABW always reports the same class for any pair.
+type fixedABW struct{ c classify.Class }
+
+func (f fixedABW) MeasureClass(sender, target int, rate float64) (classify.Class, bool) {
+	return f.c, true
+}
+
+// TestABWProtocolMessageLevel drives one complete Algorithm-2 exchange by
+// hand and verifies each step against the update equations:
+//
+//	step 1: probe carries the sender's uᵢ and the rate τ;
+//	steps 2-4: the target infers x, replies with (x, vⱼ pre-update),
+//	           then updates vⱼ per eq. 13;
+//	step 5: the sender updates uᵢ per eq. 12 using the reply.
+func TestABWProtocolMessageLevel(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	epTarget := net.Attach("target")
+	epProbe := net.Attach("prober")
+	defer epProbe.Close()
+
+	cfg := sgd.Defaults()
+	target, err := NewNode(Config{
+		ID:            9,
+		Metric:        dataset.ABW,
+		SGD:           cfg,
+		Tau:           43,
+		Neighbors:     map[uint32]string{1: "prober"},
+		ProbeInterval: time.Hour,
+		ABW:           fixedABW{c: classify.Bad},
+		Seed:          3,
+	}, epTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBefore := target.Coordinates().V
+	uBefore := target.Coordinates().U
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		target.Run(ctx)
+	}()
+
+	// Step 1: a hand-rolled probe carrying senderU and rate.
+	senderU := []float64{1, 0.5, -0.25, 0, 0, 0, 0, 0, 0, 0}
+	req, _ := wire.AppendProbeRequest(nil, &wire.ProbeRequest{
+		Seq: 77, From: 1, Rate: 43, SenderU: senderU,
+	})
+	if err := epProbe.Send("target", req); err != nil {
+		t.Fatal(err)
+	}
+
+	var rep wire.ProbeReply
+	select {
+	case pkt := <-epProbe.Recv():
+		if err := wire.DecodeProbeReply(pkt.Data, &rep); err != nil {
+			t.Fatalf("bad reply: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply")
+	}
+	cancel()
+	epTarget.Close()
+	<-done
+
+	// Steps 2-3: the reply carries the inferred class and the PRE-update
+	// vⱼ (step 3 precedes step 4 in Algorithm 2).
+	if rep.Seq != 77 || rep.From != 9 {
+		t.Errorf("reply header: %+v", rep)
+	}
+	if rep.Class != int8(classify.Bad) {
+		t.Errorf("reply class = %d, want %d", rep.Class, int8(classify.Bad))
+	}
+	if len(rep.U) != 0 {
+		t.Errorf("ABW reply must not carry U, got %d elements", len(rep.U))
+	}
+	if !vec.Equal(rep.V, vBefore, 0) {
+		t.Error("reply V must be the pre-update coordinates")
+	}
+
+	// Step 4 verification: the target's vⱼ moved exactly per eq. 13.
+	want := append([]float64(nil), vBefore...)
+	g := cfg.Loss.Scalar(classify.Bad.Value(), vec.Dot(senderU, vBefore))
+	vec.ScaleAxpy(1-cfg.LearningRate*cfg.Lambda, want, -cfg.LearningRate*g, senderU)
+	after := target.Coordinates()
+	if !vec.Equal(after.V, want, 1e-12) {
+		t.Errorf("target v after update = %v, want %v", after.V, want)
+	}
+	// uⱼ untouched: Algorithm 2 never updates the target's u.
+	if !vec.Equal(after.U, uBefore, 0) {
+		t.Error("target u must not move in ABW exchange")
+	}
+	if st := target.Stats(); st.Updates != 1 {
+		t.Errorf("updates = %d, want 1", st.Updates)
+	}
+}
+
+// TestABWUnmeasurablePairYieldsNoReply: a probe for a pair the target
+// cannot measure produces no reply and no update.
+func TestABWUnmeasurablePair(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	epTarget := net.Attach("target")
+	epProbe := net.Attach("prober")
+	defer epProbe.Close()
+
+	ds := dataset.HPS3(dataset.HPS3Config{N: 4, MissingFraction: 0.0001, Seed: 1})
+	// Make pair (1, 0) unmeasurable.
+	ds.Matrix.SetMissing(1, 0)
+	target, err := NewNode(Config{
+		ID:            0,
+		Metric:        dataset.ABW,
+		SGD:           sgd.Defaults(),
+		Tau:           ds.Median(),
+		Neighbors:     map[uint32]string{1: "prober"},
+		ProbeInterval: time.Hour,
+		ABW:           dsOracle{ds},
+		Seed:          5,
+	}, epTarget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		target.Run(ctx)
+	}()
+
+	req, _ := wire.AppendProbeRequest(nil, &wire.ProbeRequest{
+		Seq: 1, From: 1, Rate: ds.Median(), SenderU: make([]float64, 10),
+	})
+	if err := epProbe.Send("target", req); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-epProbe.Recv():
+		t.Fatal("unmeasurable pair should produce no reply")
+	case <-time.After(150 * time.Millisecond):
+	}
+	cancel()
+	epTarget.Close()
+	<-done
+	if st := target.Stats(); st.Updates != 0 {
+		t.Errorf("updates = %d, want 0", st.Updates)
+	}
+}
+
+// dsOracle adapts a dataset to ABWClassSource for these tests.
+type dsOracle struct{ ds *dataset.Dataset }
+
+func (o dsOracle) MeasureClass(sender, target int, rate float64) (classify.Class, bool) {
+	if o.ds.Matrix.IsMissing(sender, target) {
+		return classify.Bad, false
+	}
+	return classify.Of(dataset.ABW, o.ds.Matrix.At(sender, target), rate), true
+}
+
+// TestABWSenderRejectsInvalidClass: a malicious reply with class 0 or 7
+// must be rejected without touching coordinates.
+func TestABWSenderRejectsInvalidClass(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	epSender := net.Attach("sender")
+	epEvil := net.Attach("evil")
+	defer epEvil.Close()
+
+	sender, err := NewNode(Config{
+		ID:            1,
+		Metric:        dataset.ABW,
+		SGD:           sgd.Defaults(),
+		Tau:           43,
+		Neighbors:     map[uint32]string{2: "evil"},
+		ProbeInterval: 20 * time.Millisecond,
+		ABW:           fixedABW{c: classify.Good},
+		Seed:          6,
+	}, epSender)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sender.Coordinates()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sender.Run(ctx)
+	}()
+
+	// Answer the sender's probes with invalid classes.
+	deadline := time.After(2 * time.Second)
+	answered := 0
+	for answered < 3 {
+		select {
+		case pkt := <-epEvil.Recv():
+			var req wire.ProbeRequest
+			if err := wire.DecodeProbeRequest(pkt.Data, &req); err != nil {
+				continue
+			}
+			rep, _ := wire.AppendProbeReply(nil, &wire.ProbeReply{
+				Seq: req.Seq, From: 2, Class: int8(7 * (answered%2*2 - 1)), // ±7
+				V: make([]float64, 10),
+			})
+			if err := epEvil.Send("sender", rep); err != nil {
+				t.Fatal(err)
+			}
+			answered++
+		case <-deadline:
+			t.Fatal("sender never probed")
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	epSender.Close()
+	<-done
+
+	st := sender.Stats()
+	if st.Rejected < 3 {
+		t.Errorf("rejected = %d, want >= 3", st.Rejected)
+	}
+	if st.Updates != 0 {
+		t.Errorf("updates = %d, want 0", st.Updates)
+	}
+	after := sender.Coordinates()
+	if !vec.Equal(before.U, after.U, 0) {
+		t.Error("invalid classes moved the sender's coordinates")
+	}
+}

@@ -1,0 +1,406 @@
+// Package runtime is the concurrent, message-passing implementation of the
+// DMFSGD protocol: each node is a goroutine owning nothing but its two
+// rank-r coordinate vectors, a neighbor list, and a transport endpoint.
+// Nodes exchange the wire messages of Algorithms 1 and 2 and update their
+// coordinates with the rules of package sgd.
+//
+// This is the "fully decentralized" system the paper claims: there is no
+// central component, no landmark, and no materialized matrix anywhere in
+// this package. The sequential driver in package sim exists only to make
+// experiments deterministic; the runtime is the deployable artifact and
+// works identically over the in-memory transport (tests, simulations) and
+// UDP (cmd/dmfnode, examples/livenet).
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/transport"
+	"dmfsgd/internal/wire"
+)
+
+// RTTSource measures round-trip times (the "ping" of Algorithm 1).
+type RTTSource interface {
+	// MeasureRTT returns the measured RTT in ms from node self to peer.
+	MeasureRTT(self, peer int) (float64, bool)
+}
+
+// ABWClassSource measures ABW classes at the target (Algorithm 2 step 2).
+type ABWClassSource interface {
+	// MeasureClass returns the class the target infers for the path
+	// sender→target when probed at the given rate.
+	MeasureClass(sender, target int, rate float64) (classify.Class, bool)
+}
+
+// Config parameterizes one node.
+type Config struct {
+	// ID is this node's identifier, unique within the swarm.
+	ID uint32
+	// Metric selects Algorithm 1 (RTT) or Algorithm 2 (ABW).
+	Metric dataset.Metric
+	// SGD carries rank, η, λ and the loss.
+	SGD sgd.Config
+	// Tau is the classification threshold: the ping cutoff for RTT, the
+	// probe train rate for ABW.
+	Tau float64
+	// Neighbors maps neighbor IDs to transport addresses. Per §5.3 each
+	// node picks k random neighbors; the swarm constructor does that.
+	Neighbors map[uint32]string
+	// ProbeInterval is the time between outgoing probes (one random
+	// neighbor each tick).
+	ProbeInterval time.Duration
+	// RTT supplies RTT measurements. If nil for an RTT node, the node
+	// falls back to wall-clock timing of the probe exchange divided by
+	// WallClockUnit (real deployments).
+	RTT RTTSource
+	// ABW supplies class measurements for ABW targets. Required for ABW
+	// nodes.
+	ABW ABWClassSource
+	// WallClockUnit is the real duration representing one millisecond of
+	// network time when measuring RTT by wall clock (default 1ms, i.e.
+	// real time).
+	WallClockUnit time.Duration
+	// AllowDynamic permits starting with an empty neighbor set, to be
+	// filled later through AddNeighbor (UDP deployments discover peers via
+	// the membership protocol).
+	AllowDynamic bool
+	// MaxNeighbors caps the neighbor set size for dynamic membership
+	// (0 = unlimited). The paper's k.
+	MaxNeighbors int
+	// Seed drives this node's private randomness (neighbor choice order,
+	// coordinate init).
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if err := c.SGD.Validate(); err != nil {
+		return err
+	}
+	if len(c.Neighbors) == 0 && !c.AllowDynamic {
+		return fmt.Errorf("runtime: node %d has no neighbors", c.ID)
+	}
+	if c.ProbeInterval <= 0 {
+		return fmt.Errorf("runtime: node %d has no probe interval", c.ID)
+	}
+	if c.Metric == dataset.ABW && c.ABW == nil {
+		return fmt.Errorf("runtime: ABW node %d needs an ABWClassSource", c.ID)
+	}
+	return nil
+}
+
+// Stats counts a node's protocol activity. Retrieve with Node.Stats.
+type Stats struct {
+	// ProbesSent counts outgoing probe requests.
+	ProbesSent int
+	// RepliesReceived counts matching probe replies.
+	RepliesReceived int
+	// Updates counts successful coordinate updates.
+	Updates int
+	// Rejected counts updates refused (NaN-poisoned peers, bad classes).
+	Rejected int
+	// Stale counts replies that matched no pending probe (late, duplicated
+	// or forged).
+	Stale int
+	// DecodeErrors counts undecodable datagrams.
+	DecodeErrors int
+}
+
+// pendingProbe tracks an outstanding request.
+type pendingProbe struct {
+	peer   uint32
+	sentAt time.Time
+}
+
+// Node is one DMFSGD participant.
+type Node struct {
+	cfg Config
+	tr  transport.Transport
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	coords *sgd.Coordinates
+	stats  Stats
+	// neighborIDs and neighborAddrs are guarded by mu: dynamic membership
+	// (AddNeighbor) may race with the node loop's probe().
+	neighborIDs   []uint32
+	neighborAddrs map[uint32]string
+
+	pending map[uint32]pendingProbe
+	seq     uint32
+
+	// scratch decode targets, reused across packets (single handler
+	// goroutine), in the spirit of preallocated decoding layers.
+	req wire.ProbeRequest
+	rep wire.ProbeReply
+}
+
+// NewNode builds a node bound to the transport endpoint.
+func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.WallClockUnit <= 0 {
+		cfg.WallClockUnit = time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids := make([]uint32, 0, len(cfg.Neighbors))
+	addrs := make(map[uint32]string, len(cfg.Neighbors))
+	for id, addr := range cfg.Neighbors {
+		ids = append(ids, id)
+		addrs[id] = addr
+	}
+	// Deterministic order for the rng to act on.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return &Node{
+		cfg:           cfg,
+		tr:            tr,
+		rng:           rng,
+		coords:        sgd.NewCoordinates(cfg.SGD.Rank, rng),
+		neighborIDs:   ids,
+		neighborAddrs: addrs,
+		pending:       make(map[uint32]pendingProbe),
+	}, nil
+}
+
+// AddNeighbor inserts or updates a neighbor at runtime (membership layer).
+// Returns false when the set is full (MaxNeighbors reached) and the ID is
+// new, honoring the paper's fixed-k architecture.
+func (n *Node) AddNeighbor(id uint32, addr string) bool {
+	if id == n.cfg.ID {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.neighborAddrs[id]; ok {
+		n.neighborAddrs[id] = addr
+		return true
+	}
+	if n.cfg.MaxNeighbors > 0 && len(n.neighborIDs) >= n.cfg.MaxNeighbors {
+		return false
+	}
+	n.neighborIDs = append(n.neighborIDs, id)
+	n.neighborAddrs[id] = addr
+	return true
+}
+
+// NeighborCount returns the current neighbor set size.
+func (n *Node) NeighborCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.neighborIDs)
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() uint32 { return n.cfg.ID }
+
+// Coordinates returns a snapshot copy of the node's current coordinates.
+func (n *Node) Coordinates() *sgd.Coordinates {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.coords.Clone()
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Run executes the node loop until ctx is cancelled or the transport
+// closes. It owns the transport's receive side; callers must not read it.
+func (n *Node) Run(ctx context.Context) {
+	ticker := time.NewTicker(n.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case pkt, ok := <-n.tr.Recv():
+			if !ok {
+				return
+			}
+			n.handle(pkt)
+		case <-ticker.C:
+			n.probe()
+		}
+	}
+}
+
+// probe sends one probe request to a uniformly random neighbor (§5.3:
+// "randomly probes one of its neighbors at each time").
+func (n *Node) probe() {
+	n.mu.Lock()
+	if len(n.neighborIDs) == 0 {
+		n.mu.Unlock()
+		return // dynamic node still waiting for membership
+	}
+	peer := n.neighborIDs[n.rng.Intn(len(n.neighborIDs))]
+	addr := n.neighborAddrs[peer]
+	nNbrs := len(n.neighborIDs)
+	n.mu.Unlock()
+	n.seq++
+	req := wire.ProbeRequest{Seq: n.seq, From: n.cfg.ID}
+	if n.cfg.Metric == dataset.ABW {
+		// Algorithm 2 step 1: the probe carries uᵢ and the train rate τ.
+		req.Rate = n.cfg.Tau
+		n.mu.Lock()
+		req.SenderU = append(req.SenderU[:0], n.coords.U...)
+		n.mu.Unlock()
+	}
+	buf, err := wire.AppendProbeRequest(nil, &req)
+	if err != nil {
+		return
+	}
+	n.pending[n.seq] = pendingProbe{peer: peer, sentAt: time.Now()}
+	// Cap the pending table: stale entries from lost replies must not
+	// accumulate forever.
+	if len(n.pending) > 4*nNbrs+16 {
+		for s := range n.pending {
+			if s != n.seq {
+				delete(n.pending, s)
+				break
+			}
+		}
+	}
+	if err := n.tr.Send(addr, buf); err != nil {
+		delete(n.pending, n.seq)
+		return
+	}
+	n.mu.Lock()
+	n.stats.ProbesSent++
+	n.mu.Unlock()
+}
+
+// handle dispatches one inbound datagram.
+func (n *Node) handle(pkt transport.Packet) {
+	typ, err := wire.PeekType(pkt.Data)
+	if err != nil {
+		n.mu.Lock()
+		n.stats.DecodeErrors++
+		n.mu.Unlock()
+		return
+	}
+	switch typ {
+	case wire.TypeProbeRequest:
+		if err := wire.DecodeProbeRequest(pkt.Data, &n.req); err != nil {
+			n.countDecodeError()
+			return
+		}
+		n.handleRequest(pkt.From, &n.req)
+	case wire.TypeProbeReply:
+		if err := wire.DecodeProbeReply(pkt.Data, &n.rep); err != nil {
+			n.countDecodeError()
+			return
+		}
+		n.handleReply(&n.rep)
+	default:
+		// Join/Peers are handled by the membership layer (cmd/dmfnode);
+		// the core node ignores them.
+	}
+}
+
+func (n *Node) countDecodeError() {
+	n.mu.Lock()
+	n.stats.DecodeErrors++
+	n.mu.Unlock()
+}
+
+// handleRequest answers a probe.
+func (n *Node) handleRequest(from string, req *wire.ProbeRequest) {
+	rep := wire.ProbeReply{Seq: req.Seq, From: n.cfg.ID}
+	switch n.cfg.Metric {
+	case dataset.RTT:
+		// Algorithm 1 step 2: reply with both coordinates.
+		n.mu.Lock()
+		rep.U = append(rep.U[:0], n.coords.U...)
+		rep.V = append(rep.V[:0], n.coords.V...)
+		n.mu.Unlock()
+	case dataset.ABW:
+		// Algorithm 2 steps 2-4: infer the class of sender→self, reply
+		// with (x, vⱼ) *then* update vⱼ (the reply carries the pre-update
+		// coordinates, as step 3 precedes step 4).
+		c, ok := n.cfg.ABW.MeasureClass(int(req.From), int(n.cfg.ID), req.Rate)
+		if !ok {
+			return // unmeasurable pair: the probe yields nothing
+		}
+		rep.Class = int8(c)
+		n.mu.Lock()
+		rep.V = append(rep.V[:0], n.coords.V...)
+		if n.cfg.SGD.UpdateABWTarget(n.coords, req.SenderU, c.Value()) {
+			n.stats.Updates++
+		} else {
+			n.stats.Rejected++
+		}
+		n.mu.Unlock()
+	}
+	if buf, err := wire.AppendProbeReply(nil, &rep); err == nil {
+		_ = n.tr.Send(from, buf)
+	}
+}
+
+// handleReply completes a measurement exchange.
+func (n *Node) handleReply(rep *wire.ProbeReply) {
+	p, ok := n.pending[rep.Seq]
+	if !ok || p.peer != rep.From {
+		n.mu.Lock()
+		n.stats.Stale++
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, rep.Seq)
+	n.mu.Lock()
+	n.stats.RepliesReceived++
+	n.mu.Unlock()
+
+	switch n.cfg.Metric {
+	case dataset.RTT:
+		// Algorithm 1 steps 3-4: infer the RTT, classify at τ, update both
+		// coordinate vectors.
+		var rtt float64
+		if n.cfg.RTT != nil {
+			v, ok := n.cfg.RTT.MeasureRTT(int(n.cfg.ID), int(rep.From))
+			if !ok {
+				return
+			}
+			rtt = v
+		} else {
+			rtt = float64(time.Since(p.sentAt)) / float64(n.cfg.WallClockUnit)
+		}
+		x := classify.Of(dataset.RTT, rtt, n.cfg.Tau).Value()
+		n.mu.Lock()
+		if n.cfg.SGD.UpdateRTT(n.coords, rep.U, rep.V, x) {
+			n.stats.Updates++
+		} else {
+			n.stats.Rejected++
+		}
+		n.mu.Unlock()
+	case dataset.ABW:
+		// Algorithm 2 step 5: update uᵢ with the class inferred by the
+		// target and its vⱼ.
+		if rep.Class != 1 && rep.Class != -1 {
+			n.mu.Lock()
+			n.stats.Rejected++
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Lock()
+		if n.cfg.SGD.UpdateABWSender(n.coords, rep.V, float64(rep.Class)) {
+			n.stats.Updates++
+		} else {
+			n.stats.Rejected++
+		}
+		n.mu.Unlock()
+	}
+}

@@ -1,0 +1,293 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/transport"
+	"dmfsgd/internal/wire"
+)
+
+func TestNodeConfigValidation(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	ep := net.Attach("x")
+	defer ep.Close()
+
+	base := Config{
+		ID:            1,
+		Metric:        dataset.RTT,
+		SGD:           sgd.Defaults(),
+		Tau:           100,
+		Neighbors:     map[uint32]string{2: "y"},
+		ProbeInterval: time.Millisecond,
+	}
+	if _, err := NewNode(base, ep); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+
+	noNbr := base
+	noNbr.Neighbors = nil
+	if _, err := NewNode(noNbr, ep); err == nil {
+		t.Error("no neighbors accepted")
+	}
+	noTick := base
+	noTick.ProbeInterval = 0
+	if _, err := NewNode(noTick, ep); err == nil {
+		t.Error("zero probe interval accepted")
+	}
+	abwNoSrc := base
+	abwNoSrc.Metric = dataset.ABW
+	if _, err := NewNode(abwNoSrc, ep); err == nil {
+		t.Error("ABW node without class source accepted")
+	}
+	badSGD := base
+	badSGD.SGD.Rank = 0
+	if _, err := NewNode(badSGD, ep); err == nil {
+		t.Error("bad SGD config accepted")
+	}
+}
+
+func runSwarm(t *testing.T, cfg SwarmConfig, d time.Duration) *Swarm {
+	t.Helper()
+	s, err := NewSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	time.Sleep(d)
+	s.Stop()
+	return s
+}
+
+func TestSwarmRTTLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent integration test")
+	}
+	ds := dataset.Meridian(dataset.MeridianConfig{N: 40, Seed: 61})
+	s := runSwarm(t, SwarmConfig{
+		Dataset:       ds,
+		SGD:           sgd.Defaults(),
+		K:             8,
+		Tau:           ds.Median(),
+		ProbeInterval: 200 * time.Microsecond,
+		Seed:          1,
+	}, 1500*time.Millisecond)
+
+	st := s.TotalStats()
+	if st.Updates < 1000 {
+		t.Fatalf("too few updates to judge: %+v", st)
+	}
+	if auc := s.AUC(0); auc < 0.75 {
+		t.Errorf("swarm RTT AUC = %v, want >= 0.75 (stats %+v)", auc, st)
+	}
+}
+
+func TestSwarmABWLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent integration test")
+	}
+	ds := dataset.HPS3(dataset.HPS3Config{N: 40, Seed: 62})
+	s := runSwarm(t, SwarmConfig{
+		Dataset:       ds,
+		SGD:           sgd.Defaults(),
+		K:             8,
+		Tau:           ds.Median(),
+		ProbeInterval: 200 * time.Microsecond,
+		Seed:          2,
+	}, 1500*time.Millisecond)
+
+	st := s.TotalStats()
+	if st.Updates < 1000 {
+		t.Fatalf("too few updates: %+v", st)
+	}
+	if auc := s.AUC(0); auc < 0.7 {
+		t.Errorf("swarm ABW AUC = %v, want >= 0.7 (stats %+v)", auc, st)
+	}
+}
+
+func TestSwarmSurvivesLossAndDuplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent integration test")
+	}
+	// 20% loss + 10% duplication: the protocol must still learn — lost
+	// probes are just missed updates, duplicates must be ignored via the
+	// pending-table match.
+	ds := dataset.Meridian(dataset.MeridianConfig{N: 30, Seed: 63})
+	s := runSwarm(t, SwarmConfig{
+		Dataset:       ds,
+		SGD:           sgd.Defaults(),
+		K:             6,
+		Tau:           ds.Median(),
+		ProbeInterval: 200 * time.Microsecond,
+		DropRate:      0.2,
+		DupRate:       0.1,
+		Seed:          3,
+	}, 1500*time.Millisecond)
+
+	st := s.TotalStats()
+	if st.Updates < 500 {
+		t.Fatalf("too few updates under loss: %+v", st)
+	}
+	if st.Stale == 0 {
+		t.Error("duplication should produce stale replies")
+	}
+	if auc := s.AUC(0); auc < 0.7 {
+		t.Errorf("AUC under loss = %v, want >= 0.7", auc)
+	}
+}
+
+func TestSwarmWallClockRTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent integration test")
+	}
+	// Full pipeline: messages delayed by RTT/2 per hop, nodes measure by
+	// wall clock. Scheduling jitter makes this noisier; the classifier
+	// must still clearly beat chance.
+	ds := dataset.Meridian(dataset.MeridianConfig{N: 25, Seed: 64})
+	s := runSwarm(t, SwarmConfig{
+		Dataset:       ds,
+		SGD:           sgd.Defaults(),
+		K:             6,
+		Tau:           ds.Median(),
+		ProbeInterval: 400 * time.Microsecond,
+		NetworkDelay:  true,
+		WallClockUnit: 20 * time.Microsecond,
+		Seed:          4,
+	}, 2500*time.Millisecond)
+
+	st := s.TotalStats()
+	if st.Updates < 300 {
+		t.Fatalf("too few updates: %+v", st)
+	}
+	if auc := s.AUC(0); auc < 0.65 {
+		t.Errorf("wall-clock AUC = %v, want >= 0.65 (stats %+v)", auc, st)
+	}
+}
+
+func TestNodeIgnoresGarbageAndForgedReplies(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	epA := net.Attach("a")
+	epEvil := net.Attach("evil")
+	defer epEvil.Close()
+
+	ds := dataset.Meridian(dataset.MeridianConfig{N: 10, Seed: 65})
+	node, err := NewNode(Config{
+		ID:            0,
+		Metric:        dataset.RTT,
+		SGD:           sgd.Defaults(),
+		Tau:           ds.Median(),
+		Neighbors:     map[uint32]string{1: "b"},
+		ProbeInterval: time.Hour, // never probes on its own
+		RTT:           nil,
+		Seed:          1,
+	}, epA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := node.Coordinates()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		node.Run(ctx)
+	}()
+
+	// Garbage datagram.
+	if err := epEvil.Send("a", []byte{0x01, 0x02, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	// Forged reply for a probe never sent.
+	forged, _ := wire.AppendProbeReply(nil, &wire.ProbeReply{
+		Seq: 999, From: 1,
+		U: []float64{1e30, 1e30}, V: []float64{1e30, 1e30},
+	})
+	if err := epEvil.Send("a", forged); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	epA.Close()
+	<-done
+
+	st := node.Stats()
+	if st.DecodeErrors == 0 {
+		t.Error("garbage datagram not counted")
+	}
+	if st.Stale == 0 {
+		t.Error("forged reply not counted as stale")
+	}
+	after := node.Coordinates()
+	for i := range before.U {
+		if before.U[i] != after.U[i] || before.V[i] != after.V[i] {
+			t.Fatal("forged traffic modified coordinates")
+		}
+	}
+}
+
+func TestNodeAnswersProbes(t *testing.T) {
+	// A bare RTT node must answer probe requests with its coordinates.
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	epNode := net.Attach("node")
+	epProbe := net.Attach("prober")
+	defer epProbe.Close()
+
+	node, err := NewNode(Config{
+		ID:            7,
+		Metric:        dataset.RTT,
+		SGD:           sgd.Defaults(),
+		Tau:           50,
+		Neighbors:     map[uint32]string{1: "prober"},
+		ProbeInterval: time.Hour,
+		Seed:          2,
+	}, epNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		node.Run(ctx)
+	}()
+
+	req, _ := wire.AppendProbeRequest(nil, &wire.ProbeRequest{Seq: 5, From: 1})
+	if err := epProbe.Send("node", req); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-epProbe.Recv():
+		var rep wire.ProbeReply
+		if err := wire.DecodeProbeReply(pkt.Data, &rep); err != nil {
+			t.Fatalf("bad reply: %v", err)
+		}
+		if rep.Seq != 5 || rep.From != 7 {
+			t.Errorf("reply = %+v", rep)
+		}
+		if len(rep.U) != 10 || len(rep.V) != 10 {
+			t.Errorf("reply coordinates %d/%d, want rank 10", len(rep.U), len(rep.V))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply")
+	}
+	cancel()
+	epNode.Close()
+	<-done
+}
+
+func TestSwarmConfigValidation(t *testing.T) {
+	ds := dataset.Meridian(dataset.MeridianConfig{N: 10, Seed: 66})
+	if _, err := NewSwarm(SwarmConfig{Dataset: nil}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := NewSwarm(SwarmConfig{Dataset: ds, SGD: sgd.Defaults(), K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewSwarm(SwarmConfig{Dataset: ds, SGD: sgd.Defaults(), K: 10}); err == nil {
+		t.Error("k=n accepted")
+	}
+}

@@ -1,0 +1,226 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/eval"
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/oracle"
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/transport"
+)
+
+// SwarmConfig parameterizes an in-process swarm of runtime nodes wired
+// over the in-memory transport, with measurements served by dataset-backed
+// oracles. This is the concurrent counterpart of sim.Driver.
+type SwarmConfig struct {
+	// Dataset supplies ground truth (topology, metric, values).
+	Dataset *dataset.Dataset
+	// SGD carries the factorization hyper-parameters.
+	SGD sgd.Config
+	// K is the neighbor count per node.
+	K int
+	// Tau is the classification threshold.
+	Tau float64
+	// ProbeInterval is each node's probing period (default 1ms, giving
+	// roughly n probes per millisecond across the swarm).
+	ProbeInterval time.Duration
+	// MeasurementNoise is the lognormal sigma of RTT measurements and the
+	// relative width of ABW near-τ errors. 0 = exact tools.
+	MeasurementNoise float64
+	// DropRate / DupRate inject transport-level failures.
+	DropRate, DupRate float64
+	// NetworkDelay, when true, delivers messages with a one-way delay of
+	// RTT/2 scaled by WallClockUnit, and RTT nodes measure by wall clock
+	// instead of consulting the oracle — the full "real" pipeline.
+	NetworkDelay bool
+	// WallClockUnit is the real duration of one network millisecond when
+	// NetworkDelay is set (default 50µs: a 100ms path takes 5ms of real
+	// time per round trip).
+	WallClockUnit time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Swarm is a set of running nodes plus the bookkeeping to evaluate them
+// against the ground truth.
+type Swarm struct {
+	cfg       SwarmConfig
+	net       *transport.Network
+	nodes     []*Node
+	endpoints []*transport.Mem
+	trainMask *mat.Mask
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// NewSwarm builds the swarm (does not start it).
+func NewSwarm(cfg SwarmConfig) (*Swarm, error) {
+	ds := cfg.Dataset
+	if ds == nil {
+		return nil, fmt.Errorf("runtime: nil dataset")
+	}
+	n := ds.N()
+	if cfg.K <= 0 || cfg.K >= n {
+		return nil, fmt.Errorf("runtime: k=%d out of (0,%d)", cfg.K, n)
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Millisecond
+	}
+	if cfg.WallClockUnit <= 0 {
+		cfg.WallClockUnit = 50 * time.Microsecond
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trainMask, neighbors := mat.NeighborMask(n, cfg.K, ds.Metric.Symmetric(), rng)
+
+	netCfg := transport.NetworkConfig{
+		DropRate: cfg.DropRate,
+		DupRate:  cfg.DupRate,
+		QueueLen: 4096,
+		Seed:     cfg.Seed + 1,
+	}
+	if cfg.NetworkDelay {
+		unit := cfg.WallClockUnit
+		netCfg.Delay = func(from, to string) time.Duration {
+			var i, j int
+			fmt.Sscanf(from, "node-%d", &i)
+			fmt.Sscanf(to, "node-%d", &j)
+			if i < 0 || j < 0 || i >= n || j >= n || ds.Matrix.IsMissing(i, j) {
+				return unit // floor for unknown pairs
+			}
+			return time.Duration(ds.Matrix.At(i, j) / 2 * float64(unit))
+		}
+	}
+	net := transport.NewNetwork(netCfg)
+
+	var rttSrc RTTSource
+	var abwSrc ABWClassSource
+	if ds.Metric == dataset.RTT {
+		if !cfg.NetworkDelay {
+			rttSrc = oracle.NewRTT(ds.Matrix, cfg.MeasurementNoise, cfg.Seed+2)
+		}
+		// With NetworkDelay the nodes measure wall-clock elapsed time.
+	} else {
+		abwSrc = oracle.NewABWClass(ds, cfg.MeasurementNoise, cfg.Seed+2)
+	}
+
+	s := &Swarm{cfg: cfg, net: net, trainMask: trainMask}
+	for i := 0; i < n; i++ {
+		addr := swarmAddr(i)
+		ep := net.Attach(addr)
+		nbrs := make(map[uint32]string, cfg.K)
+		for _, j := range neighbors[i] {
+			nbrs[uint32(j)] = swarmAddr(j)
+		}
+		node, err := NewNode(Config{
+			ID:            uint32(i),
+			Metric:        ds.Metric,
+			SGD:           cfg.SGD,
+			Tau:           cfg.Tau,
+			Neighbors:     nbrs,
+			ProbeInterval: cfg.ProbeInterval,
+			RTT:           rttSrc,
+			ABW:           abwSrc,
+			WallClockUnit: cfg.WallClockUnit,
+			Seed:          cfg.Seed + 100 + int64(i),
+		}, ep)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = append(s.nodes, node)
+		s.endpoints = append(s.endpoints, ep)
+	}
+	return s, nil
+}
+
+func swarmAddr(i int) string { return fmt.Sprintf("node-%d", i) }
+
+// Start launches every node goroutine.
+func (s *Swarm) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	for _, node := range s.nodes {
+		s.wg.Add(1)
+		go func(nd *Node) {
+			defer s.wg.Done()
+			nd.Run(ctx)
+		}(node)
+	}
+}
+
+// Stop cancels all nodes and waits for them to exit.
+func (s *Swarm) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.wg.Wait()
+	for _, ep := range s.endpoints {
+		ep.Close()
+	}
+}
+
+// Node returns node i.
+func (s *Swarm) Node(i int) *Node { return s.nodes[i] }
+
+// N returns the swarm size.
+func (s *Swarm) N() int { return len(s.nodes) }
+
+// TotalStats aggregates all node counters.
+func (s *Swarm) TotalStats() Stats {
+	var t Stats
+	for _, nd := range s.nodes {
+		st := nd.Stats()
+		t.ProbesSent += st.ProbesSent
+		t.RepliesReceived += st.RepliesReceived
+		t.Updates += st.Updates
+		t.Rejected += st.Rejected
+		t.Stale += st.Stale
+		t.DecodeErrors += st.DecodeErrors
+	}
+	return t
+}
+
+// EvalSet snapshots all coordinates and returns ground-truth labels and
+// scores over the unmeasured pairs, like sim.Driver.EvalSet.
+func (s *Swarm) EvalSet(maxPairs int) (labels, scores []float64) {
+	ds := s.cfg.Dataset
+	coords := make([]*sgd.Coordinates, len(s.nodes))
+	for i, nd := range s.nodes {
+		coords[i] = nd.Coordinates()
+	}
+	test := s.trainMask.Complement()
+	pairs := test.Pairs()
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if !ds.Matrix.IsMissing(p.I, p.J) {
+			kept = append(kept, p)
+		}
+	}
+	pairs = kept
+	if maxPairs > 0 && len(pairs) > maxPairs {
+		sub := rand.New(rand.NewSource(s.cfg.Seed + 7919))
+		sub.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+		pairs = pairs[:maxPairs]
+	}
+	labels = make([]float64, len(pairs))
+	scores = make([]float64, len(pairs))
+	for idx, p := range pairs {
+		labels[idx] = classify.Of(ds.Metric, ds.Matrix.At(p.I, p.J), s.cfg.Tau).Value()
+		scores[idx] = sgd.Predict(coords[p.I].U, coords[p.J].V)
+	}
+	return labels, scores
+}
+
+// AUC evaluates the swarm's current prediction quality.
+func (s *Swarm) AUC(maxPairs int) float64 {
+	labels, scores := s.EvalSet(maxPairs)
+	return eval.AUC(labels, scores)
+}

@@ -1,0 +1,188 @@
+// Package sgd implements the heart of the paper: the Stochastic Gradient
+// Descent update rules that let every node maintain its own factor
+// coordinates (uᵢ, vᵢ) from local measurements only (§5).
+//
+// Node i stores two rank-r vectors:
+//
+//   - uᵢ, the i-th row of U ("out" coordinate: how i probes others),
+//   - vᵢ, the i-th row of V ("in" coordinate: how others probe i),
+//
+// and the estimate of the performance measure from i to j is x̂ᵢⱼ = uᵢ·vⱼᵀ.
+//
+// Given one measurement xᵢⱼ and the relevant peer coordinates, the updates
+// are (η learning rate, λ regularization coefficient):
+//
+//	RTT (symmetric, measured by the sender — Algorithm 1):
+//	  uᵢ ← (1−ηλ)·uᵢ − η·∂l(xᵢⱼ, uᵢvⱼᵀ)/∂uᵢ     (eq. 9)
+//	  vᵢ ← (1−ηλ)·vᵢ − η·∂l(xᵢⱼ, uⱼvᵢᵀ)/∂vᵢ     (eq. 10)
+//
+//	ABW (asymmetric, inferred by the target — Algorithm 2):
+//	  uᵢ ← (1−ηλ)·uᵢ − η·∂l(xᵢⱼ, uᵢvⱼᵀ)/∂uᵢ     (eq. 12, at sender i)
+//	  vⱼ ← (1−ηλ)·vⱼ − η·∂l(xᵢⱼ, uᵢvⱼᵀ)/∂vⱼ     (eq. 13, at target j)
+//
+// All losses in this library have gradients of the form g(x, x̂)·other, so
+// every update is one Dot plus one ScaleAxpy — no allocation on the hot path.
+package sgd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd/internal/loss"
+	"dmfsgd/internal/vec"
+)
+
+// Config carries the hyper-parameters of the DMFSGD algorithms. The zero
+// value is not usable; call Defaults or fill the fields explicitly.
+type Config struct {
+	// Rank is r, the number of columns of U and V (paper default: 10).
+	Rank int
+	// LearningRate is η, the SGD step size (paper default: 0.1).
+	LearningRate float64
+	// Lambda is λ, the regularization coefficient of eq. 3 (paper
+	// default: 0.1). It shrinks coordinates every update, preventing both
+	// overfitting and the drift allowed by the non-uniqueness of the
+	// factorization (eq. 4).
+	Lambda float64
+	// Loss selects the loss function (paper default for classes: logistic).
+	Loss loss.Kind
+	// MaxCoord, when positive, clamps every coordinate component to
+	// [−MaxCoord, MaxCoord] after each update. A safety valve for λ=0
+	// ablations; the paper's default configuration never hits it.
+	MaxCoord float64
+}
+
+// Defaults returns the paper's recommended configuration (§6.2.4):
+// r=10, η=0.1, λ=0.1, logistic loss.
+func Defaults() Config {
+	return Config{Rank: 10, LearningRate: 0.1, Lambda: 0.1, Loss: loss.Logistic}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Rank <= 0 {
+		return fmt.Errorf("sgd: rank must be positive, got %d", c.Rank)
+	}
+	if c.LearningRate <= 0 {
+		return fmt.Errorf("sgd: learning rate must be positive, got %v", c.LearningRate)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("sgd: lambda must be non-negative, got %v", c.Lambda)
+	}
+	if c.MaxCoord < 0 {
+		return fmt.Errorf("sgd: MaxCoord must be non-negative, got %v", c.MaxCoord)
+	}
+	return nil
+}
+
+// Coordinates is the per-node state: the node's rows of U and V. It is the
+// only state a node needs to participate in DMFSGD (besides its neighbor
+// list), which is what makes the system fully decentralized.
+type Coordinates struct {
+	U []float64
+	V []float64
+}
+
+// NewCoordinates draws initial coordinates uniformly from [0,1), as §5.3
+// prescribes ("initialized with random numbers uniformly distributed
+// between 0 and 1"; the algorithms are insensitive to this choice).
+func NewCoordinates(rank int, rng *rand.Rand) *Coordinates {
+	return &Coordinates{
+		U: vec.NewRandUniform(rng, rank),
+		V: vec.NewRandUniform(rng, rank),
+	}
+}
+
+// Clone returns an independent deep copy.
+func (c *Coordinates) Clone() *Coordinates {
+	return &Coordinates{U: vec.Copy(c.U), V: vec.Copy(c.V)}
+}
+
+// Rank returns the coordinate dimensionality.
+func (c *Coordinates) Rank() int { return len(c.U) }
+
+// Valid reports whether both vectors are finite (no NaN/Inf poisoning).
+func (c *Coordinates) Valid() bool {
+	return !vec.HasNaN(c.U) && !vec.HasNaN(c.V)
+}
+
+// Predict returns x̂ = u·vᵀ for arbitrary coordinate rows. For the estimate
+// from node i to node j, pass uᵢ and vⱼ.
+func Predict(u, v []float64) float64 { return vec.Dot(u, v) }
+
+// PredictTo returns this node's estimate of the path from itself to the
+// node owning peerV.
+func (c *Coordinates) PredictTo(peerV []float64) float64 {
+	return vec.Dot(c.U, peerV)
+}
+
+// PredictFrom returns this node's estimate of the path from the node owning
+// peerU to itself.
+func (c *Coordinates) PredictFrom(peerU []float64) float64 {
+	return vec.Dot(peerU, c.V)
+}
+
+// UpdateRTT applies eqs. 9 and 10 at node i after it measured x = xᵢⱼ to a
+// neighbor j whose coordinates (peerU, peerV) arrived in the probe reply
+// (Algorithm 1). Because RTT is symmetric (xᵢⱼ = xⱼᵢ), the single sample
+// updates both of i's vectors: uᵢ against vⱼ, and vᵢ against uⱼ.
+//
+// Updates are computed from the pre-update state and applied atomically; a
+// measurement with poisoned peer coordinates is rejected without modifying
+// self.
+func (cfg Config) UpdateRTT(self *Coordinates, peerU, peerV []float64, x float64) bool {
+	if vec.HasNaN(peerU) || vec.HasNaN(peerV) {
+		return false
+	}
+	shrink := 1 - cfg.LearningRate*cfg.Lambda
+	// eq. 9: uᵢ against vⱼ.
+	gU := cfg.Loss.Scalar(x, vec.Dot(self.U, peerV))
+	// eq. 10: vᵢ against uⱼ — computed before either vector moves.
+	gV := cfg.Loss.Scalar(x, vec.Dot(peerU, self.V))
+	vec.ScaleAxpy(shrink, self.U, -cfg.LearningRate*gU, peerV)
+	vec.ScaleAxpy(shrink, self.V, -cfg.LearningRate*gV, peerU)
+	cfg.clamp(self)
+	return true
+}
+
+// UpdateABWSender applies eq. 12 at the probing node i, after the target j
+// returned the inferred measurement x = xᵢⱼ together with vⱼ (Algorithm 2,
+// step 5).
+func (cfg Config) UpdateABWSender(self *Coordinates, peerV []float64, x float64) bool {
+	if vec.HasNaN(peerV) {
+		return false
+	}
+	g := cfg.Loss.Scalar(x, vec.Dot(self.U, peerV))
+	vec.ScaleAxpy(1-cfg.LearningRate*cfg.Lambda, self.U, -cfg.LearningRate*g, peerV)
+	cfg.clamp(self)
+	return true
+}
+
+// UpdateABWTarget applies eq. 13 at the target node j, which inferred
+// x = xᵢⱼ from a probe carrying the sender's uᵢ (Algorithm 2, step 4).
+func (cfg Config) UpdateABWTarget(self *Coordinates, peerU []float64, x float64) bool {
+	if vec.HasNaN(peerU) {
+		return false
+	}
+	g := cfg.Loss.Scalar(x, vec.Dot(peerU, self.V))
+	vec.ScaleAxpy(1-cfg.LearningRate*cfg.Lambda, self.V, -cfg.LearningRate*g, peerU)
+	cfg.clamp(self)
+	return true
+}
+
+// SampleLoss returns the regularized per-sample objective of eqs. 5/11 for
+// diagnostics: l(x, uᵢvⱼᵀ) + λ‖uᵢ‖² (+ λ‖vⱼ‖² when includePeer is set).
+func (cfg Config) SampleLoss(selfU, peerV []float64, x float64, includePeer bool) float64 {
+	v := cfg.Loss.Value(x, vec.Dot(selfU, peerV)) + cfg.Lambda*vec.SqNorm(selfU)
+	if includePeer {
+		v += cfg.Lambda * vec.SqNorm(peerV)
+	}
+	return v
+}
+
+func (cfg Config) clamp(c *Coordinates) {
+	if cfg.MaxCoord > 0 {
+		vec.Clamp(c.U, cfg.MaxCoord)
+		vec.Clamp(c.V, cfg.MaxCoord)
+	}
+}

@@ -1,0 +1,346 @@
+package sgd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmfsgd/internal/loss"
+	"dmfsgd/internal/vec"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	cfg := Defaults()
+	if cfg.Rank != 10 || cfg.LearningRate != 0.1 || cfg.Lambda != 0.1 || cfg.Loss != loss.Logistic {
+		t.Errorf("Defaults() = %+v, want paper §6.2.4 values", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Defaults should validate: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+		ok   bool
+	}{
+		{"defaults", func(c *Config) {}, true},
+		{"zero rank", func(c *Config) { c.Rank = 0 }, false},
+		{"negative rank", func(c *Config) { c.Rank = -1 }, false},
+		{"zero eta", func(c *Config) { c.LearningRate = 0 }, false},
+		{"negative lambda", func(c *Config) { c.Lambda = -0.1 }, false},
+		{"zero lambda ok", func(c *Config) { c.Lambda = 0 }, true},
+		{"negative clamp", func(c *Config) { c.MaxCoord = -1 }, false},
+		{"positive clamp ok", func(c *Config) { c.MaxCoord = 100 }, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Defaults()
+			tt.mut(&cfg)
+			if err := cfg.Validate(); (err == nil) != tt.ok {
+				t.Errorf("Validate() error = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestNewCoordinatesRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCoordinates(10, rng)
+	if c.Rank() != 10 || len(c.V) != 10 {
+		t.Fatalf("rank = %d / %d", len(c.U), len(c.V))
+	}
+	for i := 0; i < 10; i++ {
+		if c.U[i] < 0 || c.U[i] >= 1 || c.V[i] < 0 || c.V[i] >= 1 {
+			t.Fatalf("coordinates out of [0,1): %v %v", c.U[i], c.V[i])
+		}
+	}
+	if !c.Valid() {
+		t.Error("fresh coordinates should be valid")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	c := NewCoordinates(4, rand.New(rand.NewSource(2)))
+	d := c.Clone()
+	d.U[0] = 99
+	if c.U[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPredictConsistency(t *testing.T) {
+	a := &Coordinates{U: []float64{1, 2}, V: []float64{3, 4}}
+	b := &Coordinates{U: []float64{5, 6}, V: []float64{7, 8}}
+	// x̂(a→b) = u_a · v_b = 1*7+2*8 = 23
+	if got := a.PredictTo(b.V); got != 23 {
+		t.Errorf("PredictTo = %v, want 23", got)
+	}
+	if got := b.PredictFrom(a.U); got != 23 {
+		t.Errorf("PredictFrom = %v, want 23", got)
+	}
+	if got := Predict(a.U, b.V); got != 23 {
+		t.Errorf("Predict = %v, want 23", got)
+	}
+}
+
+// The single most important invariant: one SGD step on a sample must not
+// increase that sample's regularized loss (for a small enough step, along
+// the negative gradient). We verify the update direction decreases the
+// objective for the paper's default η.
+func TestUpdateRTTDecreasesSampleLoss(t *testing.T) {
+	for _, lk := range []loss.Kind{loss.Hinge, loss.Logistic, loss.L2} {
+		cfg := Defaults()
+		cfg.Loss = lk
+		cfg.LearningRate = 0.05
+		rng := rand.New(rand.NewSource(11))
+		for trial := 0; trial < 50; trial++ {
+			self := NewCoordinates(cfg.Rank, rng)
+			peer := NewCoordinates(cfg.Rank, rng)
+			x := float64(1)
+			if rng.Intn(2) == 0 {
+				x = -1
+			}
+			before := cfg.SampleLoss(self.U, peer.V, x, false)
+			if !cfg.UpdateRTT(self, peer.U, peer.V, x) {
+				t.Fatal("update rejected valid input")
+			}
+			after := cfg.SampleLoss(self.U, peer.V, x, false)
+			if after > before+1e-9 {
+				t.Errorf("%v trial %d: loss rose %v -> %v", lk, trial, before, after)
+			}
+		}
+	}
+}
+
+func TestUpdateRTTMovesBothVectors(t *testing.T) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(3))
+	self := NewCoordinates(cfg.Rank, rng)
+	peer := NewCoordinates(cfg.Rank, rng)
+	u0, v0 := vec.Copy(self.U), vec.Copy(self.V)
+	cfg.UpdateRTT(self, peer.U, peer.V, -1)
+	if vec.Equal(self.U, u0, 0) {
+		t.Error("u did not move")
+	}
+	if vec.Equal(self.V, v0, 0) {
+		t.Error("v did not move (RTT symmetry should update v too)")
+	}
+}
+
+func TestUpdateABWSplitsWork(t *testing.T) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(4))
+	sender := NewCoordinates(cfg.Rank, rng)
+	target := NewCoordinates(cfg.Rank, rng)
+	su0, sv0 := vec.Copy(sender.U), vec.Copy(sender.V)
+	tu0, tv0 := vec.Copy(target.U), vec.Copy(target.V)
+
+	// Algorithm 2: target updates v_j, sender updates u_i; the other two
+	// vectors stay put.
+	cfg.UpdateABWTarget(target, sender.U, 1)
+	cfg.UpdateABWSender(sender, target.V, 1)
+
+	if vec.Equal(sender.U, su0, 0) {
+		t.Error("sender u did not move")
+	}
+	if !vec.Equal(sender.V, sv0, 0) {
+		t.Error("sender v must not move in ABW update")
+	}
+	if !vec.Equal(target.U, tu0, 0) {
+		t.Error("target u must not move in ABW update")
+	}
+	if vec.Equal(target.V, tv0, 0) {
+		t.Error("target v did not move")
+	}
+}
+
+func TestUpdateRejectsPoisonedPeer(t *testing.T) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(5))
+	self := NewCoordinates(cfg.Rank, rng)
+	bad := vec.NewRandUniform(rng, cfg.Rank)
+	bad[3] = math.NaN()
+	good := vec.NewRandUniform(rng, cfg.Rank)
+	u0, v0 := vec.Copy(self.U), vec.Copy(self.V)
+
+	if cfg.UpdateRTT(self, bad, good, 1) {
+		t.Error("UpdateRTT accepted NaN peer u")
+	}
+	if cfg.UpdateRTT(self, good, bad, 1) {
+		t.Error("UpdateRTT accepted NaN peer v")
+	}
+	if cfg.UpdateABWSender(self, bad, 1) {
+		t.Error("UpdateABWSender accepted NaN")
+	}
+	if cfg.UpdateABWTarget(self, bad, 1) {
+		t.Error("UpdateABWTarget accepted NaN")
+	}
+	if !vec.Equal(self.U, u0, 0) || !vec.Equal(self.V, v0, 0) {
+		t.Error("rejected update still modified coordinates")
+	}
+	if !self.Valid() {
+		t.Error("self poisoned")
+	}
+}
+
+func TestHingeNoUpdateWhenCorrect(t *testing.T) {
+	// Hinge gradient is zero for samples beyond the margin (§5.2.3): the
+	// only change must be the regularization shrink.
+	cfg := Defaults()
+	cfg.Loss = loss.Hinge
+	self := &Coordinates{U: []float64{2, 0}, V: []float64{2, 0}}
+	peerU := []float64{2, 0}
+	peerV := []float64{2, 0}
+	// x=1, x̂ = u·v = 4 > 1: correctly classified with margin.
+	cfg.UpdateRTT(self, peerU, peerV, 1)
+	shrink := 1 - cfg.LearningRate*cfg.Lambda
+	want := []float64{2 * shrink, 0}
+	if !vec.Equal(self.U, want, 1e-12) || !vec.Equal(self.V, want, 1e-12) {
+		t.Errorf("u = %v, v = %v, want both %v", self.U, self.V, want)
+	}
+}
+
+func TestRegularizationShrinksNorms(t *testing.T) {
+	// With λ>0 and a zero-gradient sample, norms must shrink by (1−ηλ).
+	cfg := Config{Rank: 3, LearningRate: 0.1, Lambda: 0.5, Loss: loss.Hinge}
+	self := &Coordinates{U: []float64{10, 0, 0}, V: []float64{10, 0, 0}}
+	n0 := vec.Norm2(self.U)
+	cfg.UpdateRTT(self, []float64{10, 0, 0}, []float64{10, 0, 0}, 1) // margin satisfied
+	if got, want := vec.Norm2(self.U), n0*(1-0.05); math.Abs(got-want) > 1e-9 {
+		t.Errorf("norm after shrink = %v, want %v", got, want)
+	}
+}
+
+func TestMaxCoordClamps(t *testing.T) {
+	cfg := Config{Rank: 2, LearningRate: 10, Lambda: 0, Loss: loss.L2, MaxCoord: 1}
+	self := &Coordinates{U: []float64{0.5, 0.5}, V: []float64{0.5, 0.5}}
+	// Huge learning rate on L2 would explode the coordinates without clamp.
+	cfg.UpdateRTT(self, []float64{5, 5}, []float64{5, 5}, 100)
+	for _, v := range append(vec.Copy(self.U), self.V...) {
+		if math.Abs(v) > 1 {
+			t.Fatalf("coordinate %v exceeds clamp", v)
+		}
+	}
+}
+
+// Convergence test: two-node ping-pong with L2 loss on a constant target
+// must drive the prediction to the target (a fixed point of the dynamics).
+func TestTwoNodeConvergenceL2(t *testing.T) {
+	cfg := Config{Rank: 4, LearningRate: 0.05, Lambda: 0.001, Loss: loss.L2}
+	rng := rand.New(rand.NewSource(6))
+	a := NewCoordinates(cfg.Rank, rng)
+	b := NewCoordinates(cfg.Rank, rng)
+	const target = 3.0
+	for it := 0; it < 4000; it++ {
+		cfg.UpdateRTT(a, b.U, b.V, target)
+		cfg.UpdateRTT(b, a.U, a.V, target)
+	}
+	got := Predict(a.U, b.V)
+	if math.Abs(got-target) > 0.15 {
+		t.Errorf("two-node L2 fixed point = %v, want ≈%v", got, target)
+	}
+}
+
+// Convergence test: classification ping-pong must produce the right sign
+// with a comfortable margin.
+func TestTwoNodeConvergenceLogistic(t *testing.T) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(7))
+	for _, x := range []float64{1, -1} {
+		a := NewCoordinates(cfg.Rank, rng)
+		b := NewCoordinates(cfg.Rank, rng)
+		for it := 0; it < 2000; it++ {
+			cfg.UpdateRTT(a, b.U, b.V, x)
+			cfg.UpdateRTT(b, a.U, a.V, x)
+		}
+		if got := Predict(a.U, b.V); got*x <= 0 {
+			t.Errorf("class %v: prediction %v has wrong sign", x, got)
+		}
+	}
+}
+
+// Property: the update with x=+1 moves the prediction up (or keeps it) and
+// x=−1 moves it down, for classification losses — a monotonicity sanity
+// check on gradient signs.
+func TestUpdatePropertyDirection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, lk := range loss.ClassificationKinds() {
+			cfg := Config{Rank: 5, LearningRate: 0.01, Lambda: 0, Loss: lk}
+			self := NewCoordinates(cfg.Rank, rng)
+			peer := NewCoordinates(cfg.Rank, rng)
+			for _, x := range []float64{1, -1} {
+				s := self.Clone()
+				before := s.PredictTo(peer.V)
+				cfg.UpdateABWSender(s, peer.V, x)
+				after := s.PredictTo(peer.V)
+				if x > 0 && after < before-1e-12 {
+					return false
+				}
+				if x < 0 && after > before+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: updates never produce NaN from finite inputs, for any loss and
+// class label, even with extreme-but-finite coordinates.
+func TestUpdatePropertyFinite(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, lk := range loss.Kinds() {
+			cfg := Config{Rank: 3, LearningRate: 0.1, Lambda: 0.1, Loss: lk}
+			self := &Coordinates{
+				U: []float64{rng.NormFloat64() * 100, rng.NormFloat64(), rng.NormFloat64()},
+				V: []float64{rng.NormFloat64() * 100, rng.NormFloat64(), rng.NormFloat64()},
+			}
+			peerU := []float64{rng.NormFloat64() * 100, rng.NormFloat64(), rng.NormFloat64()}
+			peerV := []float64{rng.NormFloat64() * 100, rng.NormFloat64(), rng.NormFloat64()}
+			x := float64(1)
+			if rng.Intn(2) == 0 {
+				x = -1
+			}
+			cfg.UpdateRTT(self, peerU, peerV, x)
+			if !self.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUpdateRTT(b *testing.B) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(1))
+	self := NewCoordinates(cfg.Rank, rng)
+	peer := NewCoordinates(cfg.Rank, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := float64(1 - 2*(i&1))
+		cfg.UpdateRTT(self, peer.U, peer.V, x)
+	}
+}
+
+func BenchmarkUpdateABW(b *testing.B) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(1))
+	self := NewCoordinates(cfg.Rank, rng)
+	peer := NewCoordinates(cfg.Rank, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x := float64(1 - 2*(i&1))
+		cfg.UpdateABWSender(self, peer.V, x)
+	}
+}

@@ -1,0 +1,329 @@
+// Package sim provides the deterministic sequential simulation driver used
+// by all experiments (§6). It reproduces the paper's evaluation procedure:
+//
+//   - every node independently selects a random neighbor set of k nodes
+//     (§5.3, same architecture as Vivaldi);
+//   - static measurements (Meridian, HP-S3) are consumed in random order:
+//     at each step a random node probes a random neighbor and applies the
+//     DMFSGD update rules;
+//   - dynamic measurements (Harvard) are replayed in timestamp order;
+//   - evaluation predicts the entries that were never measured (the
+//     complement of the training mask) and compares them against the
+//     ground-truth classes.
+//
+// The driver is fully deterministic given a seed, which is what makes every
+// figure and table in this repository reproducible. The concurrent,
+// message-passing implementation of the same protocol lives in package
+// runtime; both share the update rules of package sgd.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/eval"
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/sgd"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// SGD carries the factorization hyper-parameters (rank, η, λ, loss).
+	SGD sgd.Config
+	// K is the neighbor count per node (§6.2.2).
+	K int
+	// Tau is the classification threshold used for ground-truth evaluation
+	// labels.
+	Tau float64
+	// TrainScale divides training labels before the SGD update. Classes
+	// (±1) use 1 (or 0, which means 1); quantity-based training uses the
+	// dataset median so the L2 loss sees O(1) targets. Scaling only changes
+	// the magnitude of predictions, not their ranking, so classification
+	// metrics and peer selection are unaffected.
+	TrainScale float64
+	// ForceAsymmetric disables the symmetric RTT trick of Algorithm 1
+	// (updating both uᵢ and vᵢ from one sample) and applies the one-sided
+	// Algorithm-2 updates instead. Used only by the ablation benchmarks
+	// that quantify the value of exploiting RTT symmetry.
+	ForceAsymmetric bool
+	// Seed drives neighbor selection, probe order and initialization.
+	Seed int64
+}
+
+// Driver runs the decentralized factorization against a dataset.
+type Driver struct {
+	ds     *dataset.Dataset
+	labels *mat.Dense // training labels: classes (±1) or quantities
+	cfg    Config
+
+	nodes     []*sgd.Coordinates
+	neighbors [][]int
+	trainMask *mat.Mask
+	rng       *rand.Rand
+
+	steps int // successful updates so far
+}
+
+// New builds a Driver.
+//
+// labels is the matrix the *measurement module* would produce: the class
+// matrix (possibly corrupted, §6.3) for class-based prediction, or the raw
+// quantity matrix for quantity-based prediction (§6.4). Ground truth for
+// evaluation always comes from the clean dataset thresholded at cfg.Tau.
+func New(ds *dataset.Dataset, labels *mat.Dense, cfg Config) (*Driver, error) {
+	if err := cfg.SGD.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K <= 0 || cfg.K >= ds.N() {
+		return nil, fmt.Errorf("sim: k=%d out of (0,%d)", cfg.K, ds.N())
+	}
+	if labels.Rows() != ds.N() || labels.Cols() != ds.N() {
+		return nil, fmt.Errorf("sim: labels %dx%d, dataset has %d nodes",
+			labels.Rows(), labels.Cols(), ds.N())
+	}
+	if cfg.TrainScale == 0 {
+		cfg.TrainScale = 1
+	}
+	if cfg.TrainScale < 0 {
+		return nil, fmt.Errorf("sim: TrainScale must be positive, got %v", cfg.TrainScale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trainMask, neighbors := mat.NeighborMask(ds.N(), cfg.K, ds.Metric.Symmetric(), rng)
+	nodes := make([]*sgd.Coordinates, ds.N())
+	for i := range nodes {
+		nodes[i] = sgd.NewCoordinates(cfg.SGD.Rank, rng)
+	}
+	return &Driver{
+		ds:        ds,
+		labels:    labels,
+		cfg:       cfg,
+		nodes:     nodes,
+		neighbors: neighbors,
+		trainMask: trainMask,
+		rng:       rng,
+	}, nil
+}
+
+// N returns the node count.
+func (d *Driver) N() int { return d.ds.N() }
+
+// TauValue returns the evaluation threshold in effect.
+func (d *Driver) TauValue() float64 { return d.cfg.Tau }
+
+// SwapLabels replaces the training label matrix mid-run, modelling a
+// network whose ground truth changes while the system keeps running (the
+// dynamics the paper's SGD formulation is designed for: measurements are
+// processed as they arrive, so a change simply shows up in future
+// samples). Dimensions must match the dataset.
+func (d *Driver) SwapLabels(labels *mat.Dense) {
+	if labels.Rows() != d.ds.N() || labels.Cols() != d.ds.N() {
+		panic(fmt.Sprintf("sim: SwapLabels %dx%d, dataset has %d nodes",
+			labels.Rows(), labels.Cols(), d.ds.N()))
+	}
+	d.labels = labels
+}
+
+// Steps returns the number of successful measurements consumed so far.
+func (d *Driver) Steps() int { return d.steps }
+
+// Neighbors returns node i's neighbor set (shared slice; do not modify).
+func (d *Driver) Neighbors(i int) []int { return d.neighbors[i] }
+
+// TrainMask returns the observation mask (shared; do not modify).
+func (d *Driver) TrainMask() *mat.Mask { return d.trainMask }
+
+// Coordinates returns node i's coordinates (live, not a copy).
+func (d *Driver) Coordinates(i int) *sgd.Coordinates { return d.nodes[i] }
+
+// Predict returns x̂ᵢⱼ = uᵢ·vⱼᵀ, the estimate of the (possibly scaled)
+// training label from i to j.
+func (d *Driver) Predict(i, j int) float64 {
+	return sgd.Predict(d.nodes[i].U, d.nodes[j].V)
+}
+
+// Step performs one protocol exchange: a random node probes one random
+// neighbor, the measurement module yields the pair's label, and the DMFSGD
+// update rules fire. Returns false when the sampled pair has no label
+// (missing data) — the probe failed and nothing was updated.
+func (d *Driver) Step() bool {
+	i := d.rng.Intn(len(d.nodes))
+	j := d.neighbors[i][d.rng.Intn(len(d.neighbors[i]))]
+	return d.apply(i, j)
+}
+
+// apply consumes the label of pair (i, j) with the metric-appropriate
+// algorithm.
+func (d *Driver) apply(i, j int) bool {
+	if d.labels.IsMissing(i, j) {
+		return false
+	}
+	x := d.labels.At(i, j) / d.cfg.TrainScale
+	if d.ds.Metric.Symmetric() && !d.cfg.ForceAsymmetric {
+		// Algorithm 1 (RTT): the sender i infers x and updates both its
+		// vectors against j's.
+		d.cfg.SGD.UpdateRTT(d.nodes[i], d.nodes[j].U, d.nodes[j].V, x)
+	} else {
+		// Algorithm 2 (ABW): the target j infers x, updates vⱼ with the uᵢ
+		// carried by the probe, and replies with (x, vⱼ); i updates uᵢ.
+		// The reply carries vⱼ as it was when sent (step 3 precedes step 4),
+		// i.e. the pre-update value.
+		vj := append([]float64(nil), d.nodes[j].V...)
+		d.cfg.SGD.UpdateABWTarget(d.nodes[j], d.nodes[i].U, x)
+		d.cfg.SGD.UpdateABWSender(d.nodes[i], vj, x)
+	}
+	d.steps++
+	return true
+}
+
+// Run performs total successful measurement steps (missing-data probes are
+// retried and do not count).
+func (d *Driver) Run(total int) {
+	for done := 0; done < total; {
+		if d.Step() {
+			done++
+		}
+	}
+}
+
+// RunCheckpoints runs total steps, invoking fn after every chunk of `every`
+// steps (and once at the end if total is not a multiple). fn receives the
+// cumulative step count. Used for the convergence curves of Fig. 5(c).
+func (d *Driver) RunCheckpoints(total, every int, fn func(step int)) {
+	if every <= 0 {
+		panic("sim: checkpoint interval must be positive")
+	}
+	done := 0
+	for done < total {
+		chunk := every
+		if done+chunk > total {
+			chunk = total - done
+		}
+		d.Run(chunk)
+		done += chunk
+		fn(done)
+	}
+}
+
+// ReplayTrace consumes up to limit dynamic measurements in trace order
+// (Harvard). Only measurements toward the observing node's neighbor set
+// are used, matching the k-neighbor architecture; other records are
+// ignored (passively probed paths outside the neighbor set). toLabel
+// converts each raw value to a training label (class or scaled quantity);
+// it may return false to skip a record (e.g. a missing corrupted label).
+//
+// Returns used, the number of measurements consumed, and scanned, the
+// number of trace records examined. Callers replaying in chunks (the
+// convergence experiment) pass trace[scanned:] on the next call.
+func (d *Driver) ReplayTrace(trace []dataset.Measurement, toLabel func(dataset.Measurement) (float64, bool), limit int) (used, scanned int) {
+	for _, m := range trace {
+		if limit > 0 && used >= limit {
+			break
+		}
+		scanned++
+		if !d.isNeighbor(m.I, m.J) {
+			continue
+		}
+		label, ok := toLabel(m)
+		if !ok {
+			continue
+		}
+		x := label / d.cfg.TrainScale
+		if d.ds.Metric.Symmetric() && !d.cfg.ForceAsymmetric {
+			d.cfg.SGD.UpdateRTT(d.nodes[m.I], d.nodes[m.J].U, d.nodes[m.J].V, x)
+		} else {
+			vj := append([]float64(nil), d.nodes[m.J].V...)
+			d.cfg.SGD.UpdateABWTarget(d.nodes[m.J], d.nodes[m.I].U, x)
+			d.cfg.SGD.UpdateABWSender(d.nodes[m.I], vj, x)
+		}
+		d.steps++
+		used++
+	}
+	return used, scanned
+}
+
+func (d *Driver) isNeighbor(i, j int) bool {
+	for _, n := range d.neighbors[i] {
+		if n == j {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalSet returns the ground-truth labels and predicted scores over the
+// evaluation pairs: the off-diagonal entries never used for training, with
+// present ground truth ("probe a few and predict many" — prediction is
+// judged on the unmeasured pairs). maxPairs > 0 subsamples the set
+// deterministically for cheap checkpoint evaluation; 0 means everything.
+func (d *Driver) EvalSet(maxPairs int) (labels, scores []float64) {
+	test := d.trainMask.Complement()
+	pairs := test.Pairs()
+	// Drop pairs with missing ground truth.
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if !d.ds.Matrix.IsMissing(p.I, p.J) {
+			kept = append(kept, p)
+		}
+	}
+	pairs = kept
+	if maxPairs > 0 && len(pairs) > maxPairs {
+		sub := rand.New(rand.NewSource(d.cfg.Seed + 7919))
+		sub.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+		pairs = pairs[:maxPairs]
+	}
+	labels = make([]float64, len(pairs))
+	scores = make([]float64, len(pairs))
+	for idx, p := range pairs {
+		labels[idx] = classify.Of(d.ds.Metric, d.ds.Matrix.At(p.I, p.J), d.cfg.Tau).Value()
+		scores[idx] = d.Predict(p.I, p.J)
+	}
+	return labels, scores
+}
+
+// AUC evaluates the classifier on the full test set.
+func (d *Driver) AUC() float64 {
+	labels, scores := d.EvalSet(0)
+	return eval.AUC(labels, scores)
+}
+
+// AUCSample evaluates on a deterministic subsample of the test set.
+func (d *Driver) AUCSample(maxPairs int) float64 {
+	labels, scores := d.EvalSet(maxPairs)
+	return eval.AUC(labels, scores)
+}
+
+// Confusion evaluates the sign decision rule on the full test set
+// (Table 2: predicted class = sign(x̂)).
+func (d *Driver) Confusion() eval.Confusion {
+	labels, scores := d.EvalSet(0)
+	return eval.ConfusionAt(labels, scores, 0)
+}
+
+// DefaultBudget returns the paper's convergence budget: each node consumes
+// on average 20·k measurements from its k neighbors ("the DMFSGD
+// algorithms converge fast after each node probes, on average, no more
+// than 20×k measurements", §6.2.4), so the total is 20·k·n.
+func DefaultBudget(n, k int) int { return 20 * k * n }
+
+// ClassDriver is the common construction for class-based experiments:
+// threshold the dataset at tau, optionally replace the clean class matrix
+// via mutate (error injection), and build the driver.
+func ClassDriver(ds *dataset.Dataset, tau float64, cfg Config, mutate func(clean *mat.Dense) *mat.Dense) (*Driver, error) {
+	cm := classify.Matrix(ds, tau)
+	if mutate != nil {
+		cm = mutate(cm)
+	}
+	cfg.Tau = tau
+	return New(ds, cm, cfg)
+}
+
+// QuantityDriver is the construction for quantity-based (regression)
+// experiments: train on raw values scaled by the dataset median, with the
+// L2 loss (§6.4).
+func QuantityDriver(ds *dataset.Dataset, tau float64, cfg Config) (*Driver, error) {
+	cfg.Tau = tau
+	cfg.TrainScale = ds.Median()
+	return New(ds, ds.Matrix, cfg)
+}

@@ -1,0 +1,292 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dmfsgd/internal/mat"
+)
+
+func TestValuesDiagonal(t *testing.T) {
+	a := mat.NewDense(3, 3)
+	a.Set(0, 0, 3)
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	sv := Values(a)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if math.Abs(sv[i]-w) > 1e-10 {
+			t.Errorf("sv[%d] = %v, want %v", i, sv[i], w)
+		}
+	}
+}
+
+func TestValuesKnown2x2(t *testing.T) {
+	// A = [[3,0],[4,5]]: AᵀA = [[25,20],[20,25]], eigenvalues 45 and 5,
+	// so the singular values are sqrt(45) and sqrt(5).
+	a := mat.NewDenseFrom(2, 2, []float64{3, 0, 4, 5})
+	sv := Values(a)
+	if math.Abs(sv[0]-math.Sqrt(45)) > 1e-10 || math.Abs(sv[1]-math.Sqrt(5)) > 1e-10 {
+		t.Errorf("sv = %v, want [%v %v]", sv, math.Sqrt(45), math.Sqrt(5))
+	}
+}
+
+func TestValuesRankOne(t *testing.T) {
+	// Outer product u·vᵀ has exactly one nonzero singular value ‖u‖‖v‖.
+	u := []float64{1, 2, 2}
+	v := []float64{3, 4}
+	a := mat.NewDense(3, 2)
+	for i := range u {
+		for j := range v {
+			a.Set(i, j, u[i]*v[j])
+		}
+	}
+	sv := Values(a)
+	if math.Abs(sv[0]-15) > 1e-9 { // ‖u‖=3, ‖v‖=5
+		t.Errorf("sv[0] = %v, want 15", sv[0])
+	}
+	if sv[1] > 1e-9 {
+		t.Errorf("sv[1] = %v, want ~0", sv[1])
+	}
+}
+
+func TestValuesWideMatrix(t *testing.T) {
+	// Wide matrices are transposed internally; spectrum must be identical.
+	rng := rand.New(rand.NewSource(5))
+	a := mat.NewDense(4, 9)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 9; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	svA := Values(a)
+	svT := Values(a.Transpose())
+	for i := range svA {
+		if math.Abs(svA[i]-svT[i]) > 1e-9 {
+			t.Fatalf("sv mismatch at %d: %v vs %v", i, svA[i], svT[i])
+		}
+	}
+}
+
+func TestValuesFrobeniusIdentity(t *testing.T) {
+	// Σσᵢ² must equal ‖A‖F².
+	rng := rand.New(rand.NewSource(6))
+	a := mat.NewDense(12, 8)
+	var frob float64
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 8; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			frob += v * v
+		}
+	}
+	var sum float64
+	for _, s := range Values(a) {
+		sum += s * s
+	}
+	if math.Abs(sum-frob) > 1e-8*frob {
+		t.Errorf("Σσ² = %v, ‖A‖F² = %v", sum, frob)
+	}
+}
+
+func TestValuesPanicsOnNaN(t *testing.T) {
+	a := mat.NewMissing(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Values should panic on NaN input")
+		}
+	}()
+	Values(a)
+}
+
+func TestTopKMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Build a matrix with controlled fast-decaying spectrum, like Figure 1.
+	n := 60
+	a := lowRankPlusNoise(n, n, []float64{100, 60, 30, 10, 4, 1.5, 0.5}, 0.01, rng)
+	exact := Values(a)
+	got := TopK(a, 5, rand.New(rand.NewSource(8)))
+	if len(got) != 5 {
+		t.Fatalf("TopK returned %d values", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		rel := math.Abs(got[i]-exact[i]) / exact[i]
+		if rel > 0.02 {
+			t.Errorf("TopK[%d] = %v, exact %v (rel err %v)", i, got[i], exact[i], rel)
+		}
+	}
+}
+
+func TestTopKClampsK(t *testing.T) {
+	a := mat.NewDense(3, 3)
+	a.Set(0, 0, 1)
+	got := TopK(a, 10, rand.New(rand.NewSource(1)))
+	if len(got) != 3 {
+		t.Errorf("TopK with k>n returned %d values, want 3", len(got))
+	}
+	if got := TopK(a, 0, rand.New(rand.NewSource(1))); got != nil {
+		t.Errorf("TopK with k=0 = %v, want nil", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{4, 2, 1})
+	want := []float64{1, 0.5, 0.25}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Normalize = %v, want %v", got, want)
+		}
+	}
+	if got := Normalize(nil); len(got) != 0 {
+		t.Error("Normalize(nil) should be empty")
+	}
+	zeros := Normalize([]float64{0, 0})
+	if zeros[0] != 0 || zeros[1] != 0 {
+		t.Error("Normalize of zero spectrum should stay zero")
+	}
+	// input untouched
+	in := []float64{4, 2}
+	Normalize(in)
+	if in[0] != 4 {
+		t.Error("Normalize mutated input")
+	}
+}
+
+func TestEffectiveRank(t *testing.T) {
+	// Spectrum 10, 1, 1: energy = 100+1+1 = 102. Top-1 holds 100/102 ≈ 0.98.
+	sv := []float64{10, 1, 1}
+	if got := EffectiveRank(sv, 0.9); got != 1 {
+		t.Errorf("EffectiveRank(0.9) = %d, want 1", got)
+	}
+	if got := EffectiveRank(sv, 0.99); got != 2 {
+		t.Errorf("EffectiveRank(0.99) = %d, want 2", got)
+	}
+	if got := EffectiveRank(sv, 1.0); got != 3 {
+		t.Errorf("EffectiveRank(1.0) = %d, want 3", got)
+	}
+	if got := EffectiveRank(nil, 0.9); got != 0 {
+		t.Errorf("EffectiveRank(nil) = %d, want 0", got)
+	}
+}
+
+func TestEffectiveRankPanicsOnBadEnergy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EffectiveRank([]float64{1}, 1.5)
+}
+
+// Property: singular values are non-negative, sorted descending, and the
+// largest is bounded by the Frobenius norm.
+func TestValuesPropertySortedNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(10)
+		n := 1 + rng.Intn(10)
+		a := mat.NewDense(m, n)
+		var frob float64
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64() * 10
+				a.Set(i, j, v)
+				frob += v * v
+			}
+		}
+		frob = math.Sqrt(frob)
+		sv := Values(a)
+		prev := math.Inf(1)
+		for _, s := range sv {
+			if s < -1e-12 || s > prev+1e-9 || s > frob+1e-6 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling the matrix scales the spectrum.
+func TestValuesPropertyScaling(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		alpha := 0.5 + rng.Float64()*3
+		a := mat.NewDense(n, n)
+		b := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				b.Set(i, j, alpha*v)
+			}
+		}
+		svA, svB := Values(a), Values(b)
+		for i := range svA {
+			if math.Abs(svB[i]-alpha*svA[i]) > 1e-8*(1+svA[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// lowRankPlusNoise builds sum_k s[k]·u_k·v_kᵀ + eps·noise with orthogonal-ish
+// random factors, giving a controlled spectrum for tests.
+func lowRankPlusNoise(m, n int, spectrum []float64, eps float64, rng *rand.Rand) *mat.Dense {
+	a := mat.NewDense(m, n)
+	for _, s := range spectrum {
+		u := make([]float64, m)
+		v := make([]float64, n)
+		var un, vn float64
+		for i := range u {
+			u[i] = rng.NormFloat64()
+			un += u[i] * u[i]
+		}
+		for j := range v {
+			v[j] = rng.NormFloat64()
+			vn += v[j] * v[j]
+		}
+		un, vn = math.Sqrt(un), math.Sqrt(vn)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, a.At(i, j)+s*(u[i]/un)*(v[j]/vn))
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, a.At(i, j)+eps*rng.NormFloat64())
+		}
+	}
+	return a
+}
+
+func BenchmarkValues100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := lowRankPlusNoise(100, 100, []float64{100, 50, 20, 5}, 0.1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Values(a)
+	}
+}
+
+func BenchmarkTopK500(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := lowRankPlusNoise(500, 500, []float64{100, 50, 20, 5, 2}, 0.1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TopK(a, 20, rand.New(rand.NewSource(2)))
+	}
+}

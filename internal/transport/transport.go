@@ -1,0 +1,299 @@
+// Package transport moves wire-encoded datagrams between DMFSGD nodes.
+//
+// Two implementations are provided behind one interface:
+//
+//   - Mem / Network: an in-process hub connecting goroutine nodes, with
+//     configurable per-pair delivery delay (driven by the ground-truth RTT
+//     of a simulated topology), probabilistic loss and duplication. This is
+//     the substrate for the concurrent-runtime experiments and for failure
+//     injection tests.
+//   - UDP: a thin wrapper over net.UDPConn for real deployments
+//     (cmd/dmfnode, examples/livenet).
+//
+// Both are datagram-oriented and unreliable by design — the DMFSGD
+// protocol tolerates loss (a lost probe is simply a missed update), so the
+// transport does not retry.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Packet is one received datagram.
+type Packet struct {
+	// From is the sender's transport address.
+	From string
+	// Data is the datagram payload. The receiver owns it.
+	Data []byte
+}
+
+// Transport sends and receives datagrams.
+type Transport interface {
+	// Addr returns this endpoint's address.
+	Addr() string
+	// Send transmits data to the given address. Delivery is best-effort.
+	Send(to string, data []byte) error
+	// Recv returns the channel of inbound packets. It is closed by Close.
+	Recv() <-chan Packet
+	// Close releases resources and closes the Recv channel.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownAddr is returned by the in-memory network for unattached
+// destinations.
+var ErrUnknownAddr = errors.New("transport: unknown address")
+
+// NetworkConfig tunes the in-memory hub.
+type NetworkConfig struct {
+	// Delay returns the one-way delivery delay from one address to
+	// another. Nil means instant delivery. Typical wiring: half the
+	// ground-truth RTT, scaled down for test speed.
+	Delay func(from, to string) time.Duration
+	// DropRate is the probability a datagram is silently lost.
+	DropRate float64
+	// DupRate is the probability a datagram is delivered twice.
+	DupRate float64
+	// QueueLen is the per-node inbound queue length (default 1024).
+	// Overflow drops the datagram, like a full socket buffer.
+	QueueLen int
+	// Seed drives loss/duplication randomness.
+	Seed int64
+}
+
+// Network is the in-memory hub. Attach endpoints, then exchange datagrams.
+// All methods are safe for concurrent use.
+type Network struct {
+	cfg NetworkConfig
+
+	mu    sync.Mutex
+	nodes map[string]*Mem
+	rng   *rand.Rand
+	// pending counts in-flight AfterFunc deliveries so Close can be clean
+	// in tests.
+	wg sync.WaitGroup
+}
+
+// NewNetwork creates a hub.
+func NewNetwork(cfg NetworkConfig) *Network {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 1024
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 || cfg.DupRate < 0 || cfg.DupRate >= 1 {
+		panic(fmt.Sprintf("transport: rates out of [0,1): drop=%v dup=%v", cfg.DropRate, cfg.DupRate))
+	}
+	return &Network{
+		cfg:   cfg,
+		nodes: make(map[string]*Mem),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Attach creates an endpoint with the given address. Panics if the address
+// is taken.
+func (n *Network) Attach(addr string) *Mem {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[addr]; ok {
+		panic(fmt.Sprintf("transport: address %q already attached", addr))
+	}
+	m := &Mem{
+		net:  n,
+		addr: addr,
+		recv: make(chan Packet, n.cfg.QueueLen),
+	}
+	n.nodes[addr] = m
+	return m
+}
+
+// Wait blocks until all in-flight delayed deliveries have fired. Useful at
+// the end of tests.
+func (n *Network) Wait() { n.wg.Wait() }
+
+// deliver routes one datagram, applying loss, duplication and delay.
+func (n *Network) deliver(from, to string, data []byte) error {
+	n.mu.Lock()
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+	drop := n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate
+	dup := n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate
+	n.mu.Unlock()
+
+	if drop {
+		return nil // silently lost, like the real network
+	}
+	copies := 1
+	if dup {
+		copies = 2
+	}
+	var delay time.Duration
+	if n.cfg.Delay != nil {
+		delay = n.cfg.Delay(from, to)
+	}
+	for c := 0; c < copies; c++ {
+		payload := append([]byte(nil), data...)
+		pkt := Packet{From: from, Data: payload}
+		if delay <= 0 {
+			dst.push(pkt)
+			continue
+		}
+		n.wg.Add(1)
+		time.AfterFunc(delay, func() {
+			defer n.wg.Done()
+			dst.push(pkt)
+		})
+	}
+	return nil
+}
+
+// Mem is an in-memory endpoint created by Network.Attach.
+type Mem struct {
+	net  *Network
+	addr string
+
+	mu     sync.Mutex
+	closed bool
+	recv   chan Packet
+}
+
+var _ Transport = (*Mem)(nil)
+
+// Addr implements Transport.
+func (m *Mem) Addr() string { return m.addr }
+
+// Send implements Transport.
+func (m *Mem) Send(to string, data []byte) error {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return m.net.deliver(m.addr, to, data)
+}
+
+// Recv implements Transport.
+func (m *Mem) Recv() <-chan Packet { return m.recv }
+
+// Close implements Transport. The endpoint stays attached (late packets to
+// it are dropped) so concurrent senders never see a missing address
+// mid-shutdown.
+func (m *Mem) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	close(m.recv)
+	return nil
+}
+
+// push enqueues a packet, dropping on overflow or after close.
+func (m *Mem) push(pkt Packet) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	select {
+	case m.recv <- pkt:
+	default:
+		// Queue overflow: drop, as a kernel socket buffer would.
+	}
+}
+
+// UDP is a Transport over a real UDP socket.
+type UDP struct {
+	conn *net.UDPConn
+	recv chan Packet
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*UDP)(nil)
+
+// MaxDatagram is the largest datagram the UDP transport accepts.
+const MaxDatagram = 64 * 1024
+
+// ListenUDP opens a UDP endpoint on addr (e.g. "127.0.0.1:0") and starts
+// its reader goroutine.
+func ListenUDP(addr string) (*UDP, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	u := &UDP{
+		conn: conn,
+		recv: make(chan Packet, 1024),
+	}
+	go u.readLoop()
+	return u, nil
+}
+
+func (u *UDP) readLoop() {
+	defer close(u.recv)
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, from, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed or fatal; channel close signals consumers
+		}
+		data := make([]byte, n)
+		copy(data, buf[:n])
+		select {
+		case u.recv <- Packet{From: from.String(), Data: data}:
+		default:
+			// Consumer too slow: drop, matching UDP semantics.
+		}
+	}
+}
+
+// Addr implements Transport.
+func (u *UDP) Addr() string { return u.conn.LocalAddr().String() }
+
+// Send implements Transport.
+func (u *UDP) Send(to string, data []byte) error {
+	u.mu.Lock()
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	ua, err := net.ResolveUDPAddr("udp", to)
+	if err != nil {
+		return fmt.Errorf("transport: resolve %q: %w", to, err)
+	}
+	_, err = u.conn.WriteToUDP(data, ua)
+	return err
+}
+
+// Recv implements Transport.
+func (u *UDP) Recv() <-chan Packet { return u.recv }
+
+// Close implements Transport.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	return u.conn.Close()
+}

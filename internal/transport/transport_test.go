@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemSendRecv(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	defer a.Close()
+	defer b.Close()
+
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-b.Recv():
+		if pkt.From != "a" || string(pkt.Data) != "hello" {
+			t.Errorf("got %+v", pkt)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestMemUnknownAddr(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	a := n.Attach("a")
+	defer a.Close()
+	if err := a.Send("nope", []byte("x")); err == nil {
+		t.Error("send to unknown address should fail")
+	}
+}
+
+func TestMemDuplicateAttachPanics(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	n.Attach("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Attach("a")
+}
+
+func TestMemSendAfterClose(t *testing.T) {
+	n := NewNetwork(NetworkConfig{})
+	a := n.Attach("a")
+	n.Attach("b")
+	a.Close()
+	if err := a.Send("b", []byte("x")); err != ErrClosed {
+		t.Errorf("got %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestMemLatePacketToClosedEndpoint(t *testing.T) {
+	n := NewNetwork(NetworkConfig{
+		Delay: func(from, to string) time.Duration { return 10 * time.Millisecond },
+	})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	if err := a.Send("b", []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	b.Close() // close before delivery fires
+	n.Wait()  // delivery must not panic on the closed channel
+	a.Close()
+}
+
+func TestMemDelay(t *testing.T) {
+	const d = 30 * time.Millisecond
+	n := NewNetwork(NetworkConfig{
+		Delay: func(from, to string) time.Duration { return d },
+	})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+		if elapsed := time.Since(start); elapsed < d {
+			t.Errorf("delivered after %v, want >= %v", elapsed, d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timeout")
+	}
+}
+
+func TestMemDropRate(t *testing.T) {
+	n := NewNetwork(NetworkConfig{DropRate: 0.5, Seed: 1})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	defer a.Close()
+	defer b.Close()
+
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Wait()
+	got := len(b.Recv())
+	if got < total/2-150 || got > total/2+150 {
+		t.Errorf("received %d of %d with 50%% drop", got, total)
+	}
+}
+
+func TestMemDupRate(t *testing.T) {
+	n := NewNetwork(NetworkConfig{DupRate: 0.5, Seed: 2, QueueLen: 4096})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	defer a.Close()
+	defer b.Close()
+
+	const total = 1000
+	for i := 0; i < total; i++ {
+		if err := a.Send("b", []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Wait()
+	got := len(b.Recv())
+	if got < total+total/2-100 || got > total+total/2+100 {
+		t.Errorf("received %d of %d with 50%% dup", got, total)
+	}
+}
+
+func TestMemQueueOverflowDrops(t *testing.T) {
+	n := NewNetwork(NetworkConfig{QueueLen: 4})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.Send("b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(b.Recv()); got != 4 {
+		t.Errorf("queue holds %d, want 4", got)
+	}
+}
+
+func TestMemPayloadIsolation(t *testing.T) {
+	// Mutating the sender's buffer after Send must not affect delivery.
+	n := NewNetwork(NetworkConfig{})
+	a := n.Attach("a")
+	b := n.Attach("b")
+	defer a.Close()
+	defer b.Close()
+
+	buf := []byte("abc")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	pkt := <-b.Recv()
+	if string(pkt.Data) != "abc" {
+		t.Errorf("payload aliased sender buffer: %q", pkt.Data)
+	}
+}
+
+func TestMemConcurrentSenders(t *testing.T) {
+	n := NewNetwork(NetworkConfig{QueueLen: 100000})
+	hub := n.Attach("hub")
+	defer hub.Close()
+	const senders, each = 16, 200
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		m := n.Attach(fmt.Sprintf("s%d", s))
+		wg.Add(1)
+		go func(m *Mem) {
+			defer wg.Done()
+			defer m.Close()
+			for i := 0; i < each; i++ {
+				if err := m.Send("hub", []byte{1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	n.Wait()
+	if got := len(hub.Recv()); got != senders*each {
+		t.Errorf("received %d, want %d", got, senders*each)
+	}
+}
+
+func TestNetworkConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad drop rate")
+		}
+	}()
+	NewNetwork(NetworkConfig{DropRate: 1.5})
+}
+
+func TestUDPLoopback(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := a.Send(b.Addr(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-b.Recv():
+		if string(pkt.Data) != "ping" {
+			t.Errorf("got %q", pkt.Data)
+		}
+		if pkt.From != a.Addr() {
+			t.Errorf("from = %q, want %q", pkt.From, a.Addr())
+		}
+		// Reply using the observed source address.
+		if err := b.Send(pkt.From, []byte("pong")); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for ping")
+	}
+	select {
+	case pkt := <-a.Recv():
+		if string(pkt.Data) != "pong" {
+			t.Errorf("got %q", pkt.Data)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for pong")
+	}
+}
+
+func TestUDPSendAfterClose(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.Addr()
+	a.Close()
+	if err := a.Send(addr, []byte("x")); err != ErrClosed {
+		t.Errorf("got %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	// Recv channel must be closed.
+	select {
+	case _, ok := <-a.Recv():
+		if ok {
+			t.Error("expected closed channel")
+		}
+	case <-time.After(time.Second):
+		t.Error("recv channel not closed")
+	}
+}
+
+func TestUDPBadAddress(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("not-an-address", []byte("x")); err == nil {
+		t.Error("bad address should fail")
+	}
+}
+
+func BenchmarkMemRoundTrip(b *testing.B) {
+	n := NewNetwork(NetworkConfig{})
+	x := n.Attach("x")
+	y := n.Attach("y")
+	defer x.Close()
+	defer y.Close()
+	payload := make([]byte, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := x.Send("y", payload); err != nil {
+			b.Fatal(err)
+		}
+		<-y.Recv()
+	}
+}

@@ -1,0 +1,205 @@
+// Package vec provides the small dense-vector kernel used throughout the
+// DMFSGD library. Coordinates of a node (the rows uᵢ and vᵢ of the factor
+// matrices U and V) are plain []float64 slices; the stochastic gradient
+// updates in the paper (eqs. 9, 10, 12, 13) reduce to a handful of
+// dot/axpy/scale primitives which live here.
+//
+// All functions panic on dimension mismatch: a mismatch is always a
+// programming error in this library, never an input error.
+package vec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dot returns the inner product a·b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(dimErr("Dot", len(a), len(b)))
+	}
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// Axpy performs dst += alpha*x element-wise.
+func Axpy(alpha float64, x, dst []float64) {
+	if len(x) != len(dst) {
+		panic(dimErr("Axpy", len(x), len(dst)))
+	}
+	for i, xv := range x {
+		dst[i] += alpha * xv
+	}
+}
+
+// Scale multiplies every element of dst by alpha in place.
+func Scale(alpha float64, dst []float64) {
+	for i := range dst {
+		dst[i] *= alpha
+	}
+}
+
+// ScaleAxpy performs dst = beta*dst + alpha*x in a single pass. This is the
+// exact shape of the SGD update rules: uᵢ ← (1−ηλ)uᵢ − η·grad.
+func ScaleAxpy(beta float64, dst []float64, alpha float64, x []float64) {
+	if len(x) != len(dst) {
+		panic(dimErr("ScaleAxpy", len(x), len(dst)))
+	}
+	for i, xv := range x {
+		dst[i] = beta*dst[i] + alpha*xv
+	}
+}
+
+// Add returns a+b as a new slice.
+func Add(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(dimErr("Add", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i, av := range a {
+		out[i] = av + b[i]
+	}
+	return out
+}
+
+// Sub returns a−b as a new slice.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(dimErr("Sub", len(a), len(b)))
+	}
+	out := make([]float64, len(a))
+	for i, av := range a {
+		out[i] = av - b[i]
+	}
+	return out
+}
+
+// Copy returns an independent copy of a.
+func Copy(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Norm2 returns the Euclidean norm ‖a‖₂, guarding against overflow for
+// large components by scaling.
+func Norm2(a []float64) float64 {
+	var scale, ssq float64
+	ssq = 1
+	for _, v := range a {
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// SqNorm returns a·a. This is the regularization term λ·uuᵀ of eq. 3.
+func SqNorm(a []float64) float64 { return Dot(a, a) }
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(dimErr("Dist", len(a), len(b)))
+	}
+	var scale, ssq float64
+	ssq = 1
+	for i := range a {
+		v := a[i] - b[i]
+		if v == 0 {
+			continue
+		}
+		av := math.Abs(v)
+		if scale < av {
+			r := scale / av
+			ssq = 1 + ssq*r*r
+			scale = av
+		} else {
+			r := av / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Zero sets every element of dst to 0.
+func Zero(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// Fill sets every element of dst to v.
+func Fill(dst []float64, v float64) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// RandUniform fills dst with independent draws from Uniform[0,1) using rng.
+// The paper initializes all node coordinates this way (§5.3).
+func RandUniform(rng *rand.Rand, dst []float64) {
+	for i := range dst {
+		dst[i] = rng.Float64()
+	}
+}
+
+// NewRandUniform allocates a length-n vector initialized from Uniform[0,1).
+func NewRandUniform(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	RandUniform(rng, out)
+	return out
+}
+
+// HasNaN reports whether any element is NaN or ±Inf. The runtime uses this
+// to reject coordinate updates poisoned by corrupted wire input.
+func HasNaN(a []float64) bool {
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clamp limits every element of dst to [−limit, +limit]. A cheap safeguard
+// against coordinate blow-up when a caller disables regularization.
+func Clamp(dst []float64, limit float64) {
+	for i, v := range dst {
+		if v > limit {
+			dst[i] = limit
+		} else if v < -limit {
+			dst[i] = -limit
+		}
+	}
+}
+
+// Equal reports element-wise equality within tolerance tol.
+func Equal(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func dimErr(op string, a, b int) string {
+	return fmt.Sprintf("vec: %s dimension mismatch: %d vs %d", op, a, b)
+}

@@ -1,0 +1,143 @@
+// Package vivaldi implements the Vivaldi decentralized network coordinate
+// system (Dabek et al., SIGCOMM 2004 — reference [7] of the paper) with
+// the height-vector model and adaptive timestep.
+//
+// The paper's DMFSGD "has the same architecture as Vivaldi" (§5.3): each
+// node keeps a small coordinate, picks k random neighbors, and updates from
+// one measurement at a time. Vivaldi is therefore the natural quantity-based
+// baseline for the ablation benchmarks: it embeds RTTs into a metric space
+// (so it cannot represent triangle-inequality violations or asymmetry,
+// which matrix factorization can), and it predicts quantities rather than
+// classes.
+package vivaldi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dmfsgd/internal/vec"
+)
+
+// Config carries the Vivaldi parameters. Defaults (from the paper [7]):
+// Dim 5 coordinates + height, Ce = Cc = 0.25.
+type Config struct {
+	// Dim is the Euclidean coordinate dimensionality.
+	Dim int
+	// Ce scales the adaptive timestep.
+	Ce float64
+	// Cc scales the error-estimate update.
+	Cc float64
+	// MinHeight floors the height component (heights are non-negative).
+	MinHeight float64
+}
+
+// Defaults returns the standard Vivaldi configuration.
+func Defaults() Config {
+	return Config{Dim: 5, Ce: 0.25, Cc: 0.25, MinHeight: 0}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Dim <= 0 {
+		return fmt.Errorf("vivaldi: dim must be positive, got %d", c.Dim)
+	}
+	if c.Ce <= 0 || c.Ce > 1 || c.Cc <= 0 || c.Cc > 1 {
+		return fmt.Errorf("vivaldi: Ce/Cc must be in (0,1], got %v/%v", c.Ce, c.Cc)
+	}
+	return nil
+}
+
+// Coordinates is one node's Vivaldi state: position, height (modeling the
+// access-link delay that every path in and out of the node crosses), and
+// the node's confidence-weighted error estimate.
+type Coordinates struct {
+	// Pos is the Euclidean position.
+	Pos []float64
+	// Height is the access-delay component (ms).
+	Height float64
+	// Error is the node's relative error estimate in [0, 1+]; starts at 1
+	// (no confidence).
+	Error float64
+}
+
+// NewCoordinates creates a starting state: a tiny random position (to break
+// symmetry, as all-zeros would trap nodes at the origin), zero height, and
+// error 1.
+func NewCoordinates(cfg Config, rng *rand.Rand) *Coordinates {
+	pos := make([]float64, cfg.Dim)
+	for i := range pos {
+		pos[i] = rng.NormFloat64() * 1e-3
+	}
+	return &Coordinates{Pos: pos, Height: 0, Error: 1}
+}
+
+// Clone returns a deep copy.
+func (c *Coordinates) Clone() *Coordinates {
+	return &Coordinates{Pos: vec.Copy(c.Pos), Height: c.Height, Error: c.Error}
+}
+
+// Predict returns the estimated RTT between two coordinate sets:
+// ‖posᵢ − posⱼ‖ + hᵢ + hⱼ.
+func Predict(a, b *Coordinates) float64 {
+	return vec.Dist(a.Pos, b.Pos) + a.Height + b.Height
+}
+
+// Update moves self toward (or away from) the peer's coordinates so the
+// predicted distance approaches the measured RTT, with the classic
+// confidence-weighted adaptive timestep:
+//
+//	w     = eᵢ / (eᵢ + eⱼ)
+//	es    = |‖xᵢ−xⱼ‖ − rtt| / rtt        (relative error of this sample)
+//	eᵢ    ← es·Cc·w + eᵢ·(1 − Cc·w)
+//	δ     = Ce·w
+//	xᵢ    ← xᵢ + δ·(rtt − ‖xᵢ−xⱼ‖)·u(xᵢ−xⱼ)
+//
+// where u is the unit vector and the height component receives the same
+// force with opposite sign convention (pushing heights up when the
+// prediction is too short). Invalid measurements (rtt <= 0, NaN) are
+// rejected.
+func (cfg Config) Update(self, peer *Coordinates, rtt float64) bool {
+	if rtt <= 0 || math.IsNaN(rtt) || math.IsInf(rtt, 0) {
+		return false
+	}
+	if vec.HasNaN(peer.Pos) || math.IsNaN(peer.Height) || math.IsNaN(peer.Error) {
+		return false
+	}
+	w := 0.5
+	if self.Error+peer.Error > 0 {
+		w = self.Error / (self.Error + peer.Error)
+	}
+	pred := Predict(self, peer)
+	sampleErr := math.Abs(pred-rtt) / rtt
+	self.Error = sampleErr*cfg.Cc*w + self.Error*(1-cfg.Cc*w)
+	if self.Error > 2 {
+		self.Error = 2
+	}
+
+	delta := cfg.Ce * w
+	force := rtt - pred
+
+	// Direction: unit vector from peer to self; random direction when
+	// colocated.
+	dir := vec.Sub(self.Pos, peer.Pos)
+	norm := vec.Norm2(dir)
+	if norm < 1e-9 {
+		for i := range dir {
+			dir[i] = math.Sin(float64(i)*12.9898+rtt) * 1e-3
+		}
+		norm = vec.Norm2(dir)
+		if norm == 0 {
+			return false
+		}
+	}
+	vec.Scale(1/norm, dir)
+	// Positions absorb the planar share of the force; the height absorbs
+	// the rest, as in the height-vector model.
+	vec.Axpy(delta*force, dir, self.Pos)
+	self.Height += delta * force * 0.5
+	if self.Height < cfg.MinHeight {
+		self.Height = cfg.MinHeight
+	}
+	return true
+}

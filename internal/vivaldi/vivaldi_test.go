@@ -1,0 +1,179 @@
+package vivaldi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmfsgd/internal/dataset"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Defaults().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := []Config{
+		{Dim: 0, Ce: 0.25, Cc: 0.25},
+		{Dim: 3, Ce: 0, Cc: 0.25},
+		{Dim: 3, Ce: 0.25, Cc: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewCoordinates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCoordinates(Defaults(), rng)
+	if len(c.Pos) != 5 || c.Error != 1 || c.Height != 0 {
+		t.Errorf("fresh coordinates: %+v", c)
+	}
+	d := c.Clone()
+	d.Pos[0] = 99
+	if c.Pos[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPredictSymmetric(t *testing.T) {
+	a := &Coordinates{Pos: []float64{0, 0}, Height: 5}
+	b := &Coordinates{Pos: []float64{3, 4}, Height: 7}
+	if got := Predict(a, b); got != 17 { // 5 + 5 + 7
+		t.Errorf("Predict = %v, want 17", got)
+	}
+	if Predict(a, b) != Predict(b, a) {
+		t.Error("prediction must be symmetric")
+	}
+}
+
+func TestUpdateRejectsBadInput(t *testing.T) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(2))
+	self := NewCoordinates(cfg, rng)
+	peer := NewCoordinates(cfg, rng)
+	for _, rtt := range []float64{0, -5, math.NaN(), math.Inf(1)} {
+		if cfg.Update(self, peer, rtt) {
+			t.Errorf("accepted rtt %v", rtt)
+		}
+	}
+	poisoned := peer.Clone()
+	poisoned.Pos[0] = math.NaN()
+	if cfg.Update(self, poisoned, 10) {
+		t.Error("accepted NaN peer")
+	}
+}
+
+func TestUpdateReducesSampleError(t *testing.T) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(3))
+	self := NewCoordinates(cfg, rng)
+	peer := NewCoordinates(cfg, rng)
+	peer.Pos = []float64{10, 0, 0, 0, 0}
+	const rtt = 50.0
+	before := math.Abs(Predict(self, peer) - rtt)
+	for i := 0; i < 100; i++ {
+		cfg.Update(self, peer, rtt)
+	}
+	after := math.Abs(Predict(self, peer) - rtt)
+	if after >= before {
+		t.Errorf("error did not shrink: %v -> %v", before, after)
+	}
+	if after > 2 {
+		t.Errorf("residual error %v too large", after)
+	}
+}
+
+func TestErrorEstimateConverges(t *testing.T) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(4))
+	self := NewCoordinates(cfg, rng)
+	peer := NewCoordinates(cfg, rng)
+	peer.Pos = []float64{20, 0, 0, 0, 0}
+	peer.Error = 0.1
+	for i := 0; i < 200; i++ {
+		cfg.Update(self, peer, 20)
+	}
+	if self.Error > 0.5 {
+		t.Errorf("error estimate = %v, should fall with consistent samples", self.Error)
+	}
+}
+
+// Integration: a small all-pairs Vivaldi system on a synthetic RTT matrix
+// must reach a usable relative prediction error.
+func TestSystemConvergesOnRTTMatrix(t *testing.T) {
+	ds := dataset.Meridian(dataset.MeridianConfig{N: 40, Seed: 71})
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(5))
+	nodes := make([]*Coordinates, ds.N())
+	for i := range nodes {
+		nodes[i] = NewCoordinates(cfg, rng)
+	}
+	k := 8
+	neighbors := make([][]int, ds.N())
+	for i := range neighbors {
+		for len(neighbors[i]) < k {
+			j := rng.Intn(ds.N())
+			if j != i {
+				neighbors[i] = append(neighbors[i], j)
+			}
+		}
+	}
+	for step := 0; step < 40*k*ds.N(); step++ {
+		i := rng.Intn(ds.N())
+		j := neighbors[i][rng.Intn(k)]
+		cfg.Update(nodes[i], nodes[j], ds.Matrix.At(i, j))
+	}
+	// Median relative error over random pairs.
+	var errs []float64
+	for trial := 0; trial < 2000; trial++ {
+		i, j := rng.Intn(ds.N()), rng.Intn(ds.N())
+		if i == j {
+			continue
+		}
+		truth := ds.Matrix.At(i, j)
+		pred := Predict(nodes[i], nodes[j])
+		errs = append(errs, math.Abs(pred-truth)/truth)
+	}
+	med := median(errs)
+	if med > 0.5 {
+		t.Errorf("median relative error = %v, want <= 0.5", med)
+	}
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+func TestHeightNeverNegative(t *testing.T) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(6))
+	self := NewCoordinates(cfg, rng)
+	peer := NewCoordinates(cfg, rng)
+	peer.Pos = []float64{100, 0, 0, 0, 0}
+	for i := 0; i < 500; i++ {
+		cfg.Update(self, peer, 1) // tiny RTT pulls heights down
+		if self.Height < cfg.MinHeight {
+			t.Fatalf("height %v below floor", self.Height)
+		}
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	cfg := Defaults()
+	rng := rand.New(rand.NewSource(1))
+	self := NewCoordinates(cfg, rng)
+	peer := NewCoordinates(cfg, rng)
+	peer.Pos = []float64{10, 5, 3, 1, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Update(self, peer, 42)
+	}
+}

@@ -1,0 +1,90 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: decoders must never panic or over-allocate on arbitrary
+// input, and successfully decoded messages must re-encode to a decodable
+// form. Seeds cover every message type and a few mutations; `go test`
+// runs the seed corpus, `go test -fuzz=FuzzDecode` explores further.
+
+func fuzzSeeds(f *testing.F) {
+	b1, _ := AppendProbeRequest(nil, &ProbeRequest{Seq: 1, From: 2, Rate: 43.5, SenderU: []float64{1, 2}})
+	b2, _ := AppendProbeReply(nil, &ProbeReply{Seq: 3, From: 4, Class: -1, U: []float64{1}, V: []float64{2, 3}})
+	b3, _ := AppendJoin(nil, &Join{From: 5, Addr: "10.0.0.1:9000"})
+	b4, _ := AppendPeers(nil, &Peers{Addrs: []string{"a:1", "b:2"}})
+	for _, seed := range [][]byte{b1, b2, b3, b4, {Magic, Version}, {}, {0xFF, 0xFF, 0xFF}} {
+		f.Add(seed)
+	}
+}
+
+func FuzzDecodeProbeRequest(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m ProbeRequest
+		if err := DecodeProbeRequest(data, &m); err != nil {
+			return
+		}
+		// Decoded OK: round trip must be stable.
+		out, err := AppendProbeRequest(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+func FuzzDecodeProbeReply(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m ProbeReply
+		if err := DecodeProbeReply(data, &m); err != nil {
+			return
+		}
+		out, err := AppendProbeReply(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+func FuzzDecodeJoin(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Join
+		if err := DecodeJoin(data, &m); err != nil {
+			return
+		}
+		out, err := AppendJoin(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+func FuzzDecodePeers(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Peers
+		if err := DecodePeers(data, &m); err != nil {
+			return
+		}
+		out, err := AppendPeers(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}

@@ -1,0 +1,361 @@
+// Package wire defines the binary message format spoken by DMFSGD nodes
+// over any transport (in-memory or UDP).
+//
+// The protocol carries exactly what Algorithms 1 and 2 of the paper
+// exchange, nothing more:
+//
+//	RTT (Algorithm 1):
+//	  i → j : ProbeRequest{Seq, From}            (the ping)
+//	  j → i : ProbeReply{Seq, From, Uj, Vj}      (coordinates piggybacked)
+//	  node i measures the RTT itself and updates uᵢ, vᵢ.
+//
+//	ABW (Algorithm 2):
+//	  i → j : ProbeRequest{Seq, From, Rate, Ui}  (UDP train at rate τ, with uᵢ)
+//	  j → i : ProbeReply{Seq, From, Class, Vj}   (inferred class + vⱼ)
+//	  node j updates vⱼ; node i updates uᵢ on receipt.
+//
+//	Membership (UDP deployments):
+//	  Join{From, Addr} announces a node; Peers{Addrs} shares known peers.
+//
+// Encoding is fixed-layout big-endian with a two-byte (magic, version)
+// header and a type byte. Decoders validate every length against hard
+// limits before allocating, so a malformed or malicious datagram cannot
+// cause large allocations or panics — it yields an error.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Protocol constants.
+const (
+	// Magic is the first byte of every message.
+	Magic = 0xD3
+	// Version is the protocol version byte.
+	Version = 1
+
+	// MaxRank bounds coordinate vector lengths accepted from the network.
+	MaxRank = 512
+	// MaxAddrLen bounds address string lengths.
+	MaxAddrLen = 256
+	// MaxPeers bounds the number of addresses in a Peers message.
+	MaxPeers = 64
+)
+
+// MsgType identifies the message kind.
+type MsgType uint8
+
+// Message kinds.
+const (
+	TypeProbeRequest MsgType = 1
+	TypeProbeReply   MsgType = 2
+	TypeJoin         MsgType = 3
+	TypePeers        MsgType = 4
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeProbeRequest:
+		return "probe-request"
+	case TypeProbeReply:
+		return "probe-reply"
+	case TypeJoin:
+		return "join"
+	case TypePeers:
+		return "peers"
+	default:
+		return fmt.Sprintf("wire.MsgType(%d)", uint8(t))
+	}
+}
+
+// Errors returned by decoders.
+var (
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrBadMagic   = errors.New("wire: bad magic byte")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unknown message type")
+	ErrTooLarge   = errors.New("wire: field exceeds protocol limit")
+)
+
+// ProbeRequest initiates a measurement exchange.
+type ProbeRequest struct {
+	// Seq matches replies to requests.
+	Seq uint32
+	// From is the sender's node ID.
+	From uint32
+	// Rate is the ABW probe rate τ in Mbit/s; 0 for RTT probes.
+	Rate float64
+	// SenderU carries uᵢ for ABW probes (Algorithm 2 step 1); empty for RTT.
+	SenderU []float64
+}
+
+// ProbeReply answers a ProbeRequest.
+type ProbeReply struct {
+	// Seq echoes the request's sequence number.
+	Seq uint32
+	// From is the responder's node ID.
+	From uint32
+	// Class is the class inferred by an ABW target (+1/−1); 0 for RTT
+	// replies, where the sender infers the measurement itself.
+	Class int8
+	// U and V are the responder's coordinates. RTT replies carry both
+	// (Algorithm 1 step 2); ABW replies carry V and leave U empty
+	// (Algorithm 2 step 3).
+	U []float64
+	V []float64
+}
+
+// Join announces a node to a bootstrap peer.
+type Join struct {
+	// From is the joining node's ID.
+	From uint32
+	// Addr is the joining node's listen address.
+	Addr string
+}
+
+// Peers shares known peer addresses in response to a Join.
+type Peers struct {
+	// Addrs lists peer addresses (at most MaxPeers).
+	Addrs []string
+}
+
+// header appends the common prefix.
+func header(buf []byte, t MsgType) []byte {
+	return append(buf, Magic, Version, byte(t))
+}
+
+// PeekType returns the message type without fully decoding, validating the
+// header. Receivers dispatch on it.
+func PeekType(data []byte) (MsgType, error) {
+	if len(data) < 3 {
+		return 0, ErrTruncated
+	}
+	if data[0] != Magic {
+		return 0, ErrBadMagic
+	}
+	if data[1] != Version {
+		return 0, ErrBadVersion
+	}
+	t := MsgType(data[2])
+	switch t {
+	case TypeProbeRequest, TypeProbeReply, TypeJoin, TypePeers:
+		return t, nil
+	}
+	return 0, ErrBadType
+}
+
+// AppendProbeRequest appends the encoded message to buf and returns it.
+func AppendProbeRequest(buf []byte, m *ProbeRequest) ([]byte, error) {
+	if len(m.SenderU) > MaxRank {
+		return nil, ErrTooLarge
+	}
+	buf = header(buf, TypeProbeRequest)
+	buf = binary.BigEndian.AppendUint32(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Rate))
+	buf = appendVector(buf, m.SenderU)
+	return buf, nil
+}
+
+// DecodeProbeRequest parses data into m, reusing m's vector capacity.
+func DecodeProbeRequest(data []byte, m *ProbeRequest) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeProbeRequest {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeProbeRequest)
+	}
+	p := data[3:]
+	if len(p) < 4+4+8 {
+		return ErrTruncated
+	}
+	m.Seq = binary.BigEndian.Uint32(p)
+	m.From = binary.BigEndian.Uint32(p[4:])
+	m.Rate = math.Float64frombits(binary.BigEndian.Uint64(p[8:]))
+	m.SenderU, p, err = decodeVector(p[16:], m.SenderU)
+	if err != nil {
+		return err
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in probe request", len(p))
+	}
+	return nil
+}
+
+// AppendProbeReply appends the encoded message to buf and returns it.
+func AppendProbeReply(buf []byte, m *ProbeReply) ([]byte, error) {
+	if len(m.U) > MaxRank || len(m.V) > MaxRank {
+		return nil, ErrTooLarge
+	}
+	buf = header(buf, TypeProbeReply)
+	buf = binary.BigEndian.AppendUint32(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = append(buf, byte(m.Class))
+	buf = appendVector(buf, m.U)
+	buf = appendVector(buf, m.V)
+	return buf, nil
+}
+
+// DecodeProbeReply parses data into m, reusing m's vector capacities.
+func DecodeProbeReply(data []byte, m *ProbeReply) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeProbeReply {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeProbeReply)
+	}
+	p := data[3:]
+	if len(p) < 4+4+1 {
+		return ErrTruncated
+	}
+	m.Seq = binary.BigEndian.Uint32(p)
+	m.From = binary.BigEndian.Uint32(p[4:])
+	m.Class = int8(p[8])
+	m.U, p, err = decodeVector(p[9:], m.U)
+	if err != nil {
+		return err
+	}
+	m.V, p, err = decodeVector(p, m.V)
+	if err != nil {
+		return err
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in probe reply", len(p))
+	}
+	return nil
+}
+
+// AppendJoin appends the encoded message to buf and returns it.
+func AppendJoin(buf []byte, m *Join) ([]byte, error) {
+	if len(m.Addr) > MaxAddrLen {
+		return nil, ErrTooLarge
+	}
+	buf = header(buf, TypeJoin)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Addr)))
+	buf = append(buf, m.Addr...)
+	return buf, nil
+}
+
+// DecodeJoin parses data into m.
+func DecodeJoin(data []byte, m *Join) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeJoin {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeJoin)
+	}
+	p := data[3:]
+	if len(p) < 6 {
+		return ErrTruncated
+	}
+	m.From = binary.BigEndian.Uint32(p)
+	n := int(binary.BigEndian.Uint16(p[4:]))
+	if n > MaxAddrLen {
+		return ErrTooLarge
+	}
+	p = p[6:]
+	if len(p) != n {
+		return ErrTruncated
+	}
+	m.Addr = string(p)
+	return nil
+}
+
+// AppendPeers appends the encoded message to buf and returns it.
+func AppendPeers(buf []byte, m *Peers) ([]byte, error) {
+	if len(m.Addrs) > MaxPeers {
+		return nil, ErrTooLarge
+	}
+	buf = header(buf, TypePeers)
+	buf = append(buf, byte(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		if len(a) > MaxAddrLen {
+			return nil, ErrTooLarge
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(a)))
+		buf = append(buf, a...)
+	}
+	return buf, nil
+}
+
+// DecodePeers parses data into m.
+func DecodePeers(data []byte, m *Peers) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypePeers {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypePeers)
+	}
+	p := data[3:]
+	if len(p) < 1 {
+		return ErrTruncated
+	}
+	n := int(p[0])
+	if n > MaxPeers {
+		return ErrTooLarge
+	}
+	p = p[1:]
+	m.Addrs = m.Addrs[:0]
+	for i := 0; i < n; i++ {
+		if len(p) < 2 {
+			return ErrTruncated
+		}
+		l := int(binary.BigEndian.Uint16(p))
+		if l > MaxAddrLen {
+			return ErrTooLarge
+		}
+		p = p[2:]
+		if len(p) < l {
+			return ErrTruncated
+		}
+		m.Addrs = append(m.Addrs, string(p[:l]))
+		p = p[l:]
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in peers", len(p))
+	}
+	return nil
+}
+
+// appendVector encodes a float64 slice as uint16 length + big-endian bits.
+func appendVector(buf []byte, v []float64) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(v)))
+	for _, x := range v {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+// decodeVector parses a vector into dst (reusing capacity) and returns the
+// remaining bytes.
+func decodeVector(p []byte, dst []float64) ([]float64, []byte, error) {
+	if len(p) < 2 {
+		return nil, nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	if n > MaxRank {
+		return nil, nil, ErrTooLarge
+	}
+	p = p[2:]
+	if len(p) < 8*n {
+		return nil, nil, ErrTruncated
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float64frombits(binary.BigEndian.Uint64(p[8*i:]))
+	}
+	return dst, p[8*n:], nil
+}

@@ -1,0 +1,353 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestProbeRequestRoundTrip(t *testing.T) {
+	in := &ProbeRequest{Seq: 42, From: 7, Rate: 43.5, SenderU: []float64{1.5, -2.25, 0}}
+	buf, err := AppendProbeRequest(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ProbeRequest
+	if err := DecodeProbeRequest(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestProbeRequestEmptyVector(t *testing.T) {
+	in := &ProbeRequest{Seq: 1, From: 2}
+	buf, err := AppendProbeRequest(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ProbeRequest
+	if err := DecodeProbeRequest(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 1 || out.From != 2 || len(out.SenderU) != 0 {
+		t.Errorf("got %+v", out)
+	}
+}
+
+func TestProbeReplyRoundTrip(t *testing.T) {
+	in := &ProbeReply{
+		Seq: 9, From: 3, Class: -1,
+		U: []float64{0.5, 0.25},
+		V: []float64{-1, 2, 3},
+	}
+	buf, err := AppendProbeReply(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ProbeReply
+	if err := DecodeProbeReply(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	in := &Join{From: 11, Addr: "127.0.0.1:9000"}
+	buf, err := AppendJoin(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Join
+	if err := DecodeJoin(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestPeersRoundTrip(t *testing.T) {
+	in := &Peers{Addrs: []string{"a:1", "bb:22", "ccc:333"}}
+	buf, err := AppendPeers(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Peers{Addrs: []string{"stale"}}
+	if err := DecodePeers(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.Addrs, out.Addrs) {
+		t.Errorf("round trip: %v != %v", out.Addrs, in.Addrs)
+	}
+}
+
+func TestPeersEmpty(t *testing.T) {
+	buf, err := AppendPeers(nil, &Peers{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Peers
+	if err := DecodePeers(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Addrs) != 0 {
+		t.Errorf("got %v", out.Addrs)
+	}
+}
+
+func TestPeekType(t *testing.T) {
+	buf, _ := AppendJoin(nil, &Join{From: 1, Addr: "x"})
+	typ, err := PeekType(buf)
+	if err != nil || typ != TypeJoin {
+		t.Errorf("PeekType = %v, %v", typ, err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short", []byte{Magic}, ErrTruncated},
+		{"bad magic", []byte{0x00, Version, 1}, ErrBadMagic},
+		{"bad version", []byte{Magic, 99, 1}, ErrBadVersion},
+		{"bad type", []byte{Magic, Version, 200}, ErrBadType},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := PeekType(tt.data); !errors.Is(err, tt.want) {
+				t.Errorf("PeekType error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	buf, _ := AppendJoin(nil, &Join{From: 1, Addr: "x"})
+	var pr ProbeRequest
+	if err := DecodeProbeRequest(buf, &pr); !errors.Is(err, ErrBadType) {
+		t.Errorf("decoding join as probe request: %v", err)
+	}
+	var rep ProbeReply
+	if err := DecodeProbeReply(buf, &rep); !errors.Is(err, ErrBadType) {
+		t.Errorf("decoding join as probe reply: %v", err)
+	}
+	req, _ := AppendProbeRequest(nil, &ProbeRequest{})
+	var j Join
+	if err := DecodeJoin(req, &j); !errors.Is(err, ErrBadType) {
+		t.Errorf("decoding probe request as join: %v", err)
+	}
+	var p Peers
+	if err := DecodePeers(req, &p); !errors.Is(err, ErrBadType) {
+		t.Errorf("decoding probe request as peers: %v", err)
+	}
+}
+
+// Truncation at every byte boundary must produce an error, never a panic
+// or a silent partial decode.
+func TestTruncationRobustness(t *testing.T) {
+	msgs := [][]byte{}
+	b1, _ := AppendProbeRequest(nil, &ProbeRequest{Seq: 1, From: 2, Rate: 3, SenderU: []float64{1, 2, 3}})
+	b2, _ := AppendProbeReply(nil, &ProbeReply{Seq: 1, From: 2, Class: 1, U: []float64{1}, V: []float64{2, 3}})
+	b3, _ := AppendJoin(nil, &Join{From: 1, Addr: "host:1234"})
+	b4, _ := AppendPeers(nil, &Peers{Addrs: []string{"a:1", "b:2"}})
+	msgs = append(msgs, b1, b2, b3, b4)
+
+	for mi, full := range msgs {
+		for cut := 0; cut < len(full); cut++ {
+			data := full[:cut]
+			typ, _ := PeekType(data)
+			var err error
+			switch typ {
+			case TypeProbeRequest:
+				err = DecodeProbeRequest(data, &ProbeRequest{})
+			case TypeProbeReply:
+				err = DecodeProbeReply(data, &ProbeReply{})
+			case TypeJoin:
+				err = DecodeJoin(data, &Join{})
+			case TypePeers:
+				err = DecodePeers(data, &Peers{})
+			default:
+				continue // header itself truncated: fine
+			}
+			if err == nil {
+				t.Fatalf("msg %d truncated at %d decoded without error", mi, cut)
+			}
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	buf, _ := AppendProbeRequest(nil, &ProbeRequest{Seq: 1})
+	buf = append(buf, 0xFF)
+	if err := DecodeProbeRequest(buf, &ProbeRequest{}); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	rep, _ := AppendProbeReply(nil, &ProbeReply{Seq: 1})
+	rep = append(rep, 0)
+	if err := DecodeProbeReply(rep, &ProbeReply{}); err == nil {
+		t.Error("trailing bytes accepted in reply")
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	big := make([]float64, MaxRank+1)
+	if _, err := AppendProbeRequest(nil, &ProbeRequest{SenderU: big}); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized vector accepted on encode")
+	}
+	if _, err := AppendProbeReply(nil, &ProbeReply{V: big}); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized vector accepted on encode")
+	}
+	longAddr := string(make([]byte, MaxAddrLen+1))
+	if _, err := AppendJoin(nil, &Join{Addr: longAddr}); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized address accepted")
+	}
+	many := make([]string, MaxPeers+1)
+	if _, err := AppendPeers(nil, &Peers{Addrs: many}); !errors.Is(err, ErrTooLarge) {
+		t.Error("too many peers accepted")
+	}
+	// Forged oversized length on decode must be rejected before allocating.
+	forged := []byte{Magic, Version, byte(TypeProbeRequest)}
+	forged = append(forged, 0, 0, 0, 1, 0, 0, 0, 2) // seq, from
+	forged = append(forged, 0, 0, 0, 0, 0, 0, 0, 0) // rate
+	forged = append(forged, 0xFF, 0xFF)             // vector length 65535
+	if err := DecodeProbeRequest(forged, &ProbeRequest{}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("forged length: %v", err)
+	}
+}
+
+func TestDecodeReusesCapacity(t *testing.T) {
+	in := &ProbeReply{Seq: 1, From: 2, U: []float64{1, 2}, V: []float64{3}}
+	buf, _ := AppendProbeReply(nil, in)
+	out := ProbeReply{
+		U: make([]float64, 0, 16),
+		V: make([]float64, 0, 16),
+	}
+	u0 := &out.U[:1][0] // capture backing array
+	if err := DecodeProbeReply(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if &out.U[0] != u0 {
+		t.Error("decode did not reuse preallocated capacity")
+	}
+}
+
+// Property: encode→decode is the identity for random valid messages.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vec := func() []float64 {
+			n := rng.Intn(16)
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+			}
+			return v
+		}
+		req := &ProbeRequest{
+			Seq:     rng.Uint32(),
+			From:    rng.Uint32(),
+			Rate:    rng.Float64() * 1000,
+			SenderU: vec(),
+		}
+		buf, err := AppendProbeRequest(nil, req)
+		if err != nil {
+			return false
+		}
+		var gotReq ProbeRequest
+		if err := DecodeProbeRequest(buf, &gotReq); err != nil {
+			return false
+		}
+		if gotReq.Seq != req.Seq || gotReq.From != req.From || gotReq.Rate != req.Rate {
+			return false
+		}
+		if len(gotReq.SenderU) != len(req.SenderU) {
+			return false
+		}
+		for i := range req.SenderU {
+			if gotReq.SenderU[i] != req.SenderU[i] {
+				return false
+			}
+		}
+
+		rep := &ProbeReply{
+			Seq:   rng.Uint32(),
+			From:  rng.Uint32(),
+			Class: int8(rng.Intn(3) - 1),
+			U:     vec(),
+			V:     vec(),
+		}
+		buf2, err := AppendProbeReply(nil, rep)
+		if err != nil {
+			return false
+		}
+		var gotRep ProbeReply
+		if err := DecodeProbeReply(buf2, &gotRep); err != nil {
+			return false
+		}
+		return gotRep.Seq == rep.Seq && gotRep.Class == rep.Class &&
+			len(gotRep.U) == len(rep.U) && len(gotRep.V) == len(rep.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random garbage never panics any decoder.
+func TestPropertyGarbageSafety(t *testing.T) {
+	f := func(data []byte) bool {
+		// Must not panic; errors are fine.
+		_ = DecodeProbeRequest(data, &ProbeRequest{})
+		_ = DecodeProbeReply(data, &ProbeReply{})
+		_ = DecodeJoin(data, &Join{})
+		_ = DecodePeers(data, &Peers{})
+		_, _ = PeekType(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaNSurvivesEncoding(t *testing.T) {
+	// NaN coordinates must survive the wire (the SGD layer rejects them;
+	// the wire layer is policy-free).
+	in := &ProbeReply{U: []float64{math.NaN()}, V: []float64{math.Inf(1)}}
+	buf, _ := AppendProbeReply(nil, in)
+	var out ProbeReply
+	if err := DecodeProbeReply(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out.U[0]) || !math.IsInf(out.V[0], 1) {
+		t.Error("special floats mangled")
+	}
+}
+
+func BenchmarkProbeReplyEncode(b *testing.B) {
+	rep := &ProbeReply{Seq: 1, From: 2, U: make([]float64, 10), V: make([]float64, 10)}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf, _ = AppendProbeReply(buf, rep)
+	}
+}
+
+func BenchmarkProbeReplyDecode(b *testing.B) {
+	rep := &ProbeReply{Seq: 1, From: 2, U: make([]float64, 10), V: make([]float64, 10)}
+	buf, _ := AppendProbeReply(nil, rep)
+	out := ProbeReply{U: make([]float64, 0, 16), V: make([]float64, 0, 16)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeProbeReply(buf, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

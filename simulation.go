@@ -1,0 +1,252 @@
+package dmfsgd
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/eval"
+	"dmfsgd/internal/multiclass"
+	"dmfsgd/internal/peersel"
+	"dmfsgd/internal/runtime"
+	"dmfsgd/internal/sim"
+)
+
+// Dataset is a ground-truth pairwise performance matrix with metadata.
+// Construct one with NewMeridianDataset, NewHarvardDataset,
+// NewHPS3Dataset, LoadDataset, or dataset loaders.
+type Dataset = dataset.Dataset
+
+// NewMeridianDataset generates the Meridian-like static RTT dataset with n
+// nodes (0 = the original 2500).
+func NewMeridianDataset(n int, seed int64) *Dataset {
+	return dataset.Meridian(dataset.MeridianConfig{N: n, Seed: seed})
+}
+
+// NewHarvardDataset generates the Harvard-like dynamic RTT dataset: n
+// nodes (0 = the original 226) plus a timestamped measurement trace of the
+// given length (0 = 250,000).
+func NewHarvardDataset(n, measurements int, seed int64) *Dataset {
+	return dataset.Harvard(dataset.HarvardConfig{N: n, Measurements: measurements, Seed: seed})
+}
+
+// NewHPS3Dataset generates the HP-S3-like available-bandwidth dataset with
+// n nodes (0 = the original 231).
+func NewHPS3Dataset(n int, seed int64) *Dataset {
+	return dataset.HPS3(dataset.HPS3Config{N: n, Seed: seed})
+}
+
+// LoadDataset parses a whitespace-separated matrix (one row per line,
+// "nan" or negative values marking missing entries) as a dataset of the
+// given metric.
+func LoadDataset(r io.Reader, name string, metric Metric) (*Dataset, error) {
+	m, err := dataset.ReadMatrix(r)
+	if err != nil {
+		return nil, err
+	}
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("dmfsgd: matrix must be square, got %dx%d", m.Rows(), m.Cols())
+	}
+	return dataset.FromMatrix(name, metric, m, 0), nil
+}
+
+// SimulationConfig parameterizes Simulate. Zero values take the paper's
+// defaults.
+type SimulationConfig struct {
+	// Config carries the SGD hyper-parameters.
+	Config Config
+	// K is the neighbor count (0 = dataset default: 10, or 32 for
+	// thousand-node sets).
+	K int
+	// Tau is the classification threshold (0 = dataset median).
+	Tau float64
+	// Seed drives the simulation (neighbor choice, probe order, init).
+	Seed int64
+}
+
+// Simulation is a deterministic sequential run of the decentralized
+// protocol against a dataset: the experiment harness of the paper.
+type Simulation struct {
+	drv *sim.Driver
+	ds  *Dataset
+	k   int
+}
+
+// Simulate builds a simulation over ds.
+func Simulate(ds *Dataset, cfg SimulationConfig) (*Simulation, error) {
+	k := cfg.K
+	if k == 0 {
+		k = ds.DefaultK
+	}
+	tau := cfg.Tau
+	if tau == 0 {
+		tau = ds.Median()
+	}
+	drv, err := sim.ClassDriver(ds, tau, sim.Config{
+		SGD:  cfg.Config.sgdConfig(),
+		K:    k,
+		Seed: cfg.Seed,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{drv: drv, ds: ds, k: k}, nil
+}
+
+// Run consumes measurements in random order (static datasets). total = 0
+// uses the paper's convergence budget of 20·k measurements per node.
+// Datasets with a dynamic trace replay it in time order instead.
+func (s *Simulation) Run(total int) {
+	if total == 0 {
+		total = sim.DefaultBudget(s.ds.N(), s.k)
+	}
+	if s.ds.Trace != nil {
+		tau := s.Tau()
+		s.drv.ReplayTrace(s.ds.Trace, func(m dataset.Measurement) (float64, bool) {
+			return ClassOf(s.ds.Metric, m.Value, tau).Value(), true
+		}, total)
+		return
+	}
+	s.drv.Run(total)
+}
+
+// Tau returns the classification threshold in effect.
+func (s *Simulation) Tau() float64 { return s.drv.TauValue() }
+
+// AUC evaluates prediction quality over the never-measured pairs.
+func (s *Simulation) AUC() float64 { return s.drv.AUC() }
+
+// Confusion returns the sign-rule confusion matrix over the test pairs.
+func (s *Simulation) Confusion() eval.Confusion { return s.drv.Confusion() }
+
+// ROC returns the receiver operating characteristic over the test pairs,
+// from (0,0) to (1,1) as the discrimination threshold τc sweeps the
+// prediction range (§6.1).
+func (s *Simulation) ROC() []eval.Point {
+	labels, scores := s.drv.EvalSet(0)
+	return eval.ROC(labels, scores)
+}
+
+// PrecisionRecall returns the precision-recall curve over the test pairs.
+func (s *Simulation) PrecisionRecall() []eval.PRPoint {
+	labels, scores := s.drv.EvalSet(0)
+	return eval.PrecisionRecall(labels, scores)
+}
+
+// Predict returns x̂ᵢⱼ for any node pair.
+func (s *Simulation) Predict(i, j int) float64 { return s.drv.Predict(i, j) }
+
+// Neighbors returns node i's neighbor set.
+func (s *Simulation) Neighbors(i int) []int { return s.drv.Neighbors(i) }
+
+// SelectPeers evaluates class-based peer selection over random peer sets
+// of the given size (disjoint from neighbor sets), returning the mean
+// stretch and the unsatisfied-node fraction of §6.4.
+func (s *Simulation) SelectPeers(peerSetSize int, seed int64) (stretch, unsatisfied float64) {
+	cfg := peersel.Config{
+		PeerSetSize: peerSetSize,
+		Tau:         s.Tau(),
+		Exclude:     peersel.NeighborExclusion(s.ds.N(), s.drv.Neighbors),
+		Seed:        seed,
+	}
+	sets := peersel.BuildPeerSets(s.ds, cfg)
+	res := peersel.Evaluate(s.ds, sets, peersel.ClassBased, s.drv, cfg)
+	return res.MeanStretch, res.Unsatisfied
+}
+
+// MulticlassResult is the outcome of a multiclass simulation.
+type MulticlassResult struct {
+	// Exact is the exact-class accuracy; WithinOne allows one level of
+	// error; MAE is the mean absolute class error.
+	Exact, WithinOne, MAE float64
+	// Confusion[t][p] counts test pairs of true class t predicted p
+	// (class 0 = best).
+	Confusion [][]int
+}
+
+// SimulateMulticlass trains the multiclass extension (§7 future work of
+// the paper): len(thresholds)+1 ordered performance classes separated by
+// the given thresholds (strictest first: ascending for RTT, descending
+// for ABW). Evaluation is over the unmeasured pairs, like the binary
+// experiments.
+func SimulateMulticlass(ds *Dataset, thresholds []float64, cfg Config, seed int64) (MulticlassResult, error) {
+	mcfg := multiclass.Config{
+		SGD:        cfg.sgdConfig(),
+		Thresholds: thresholds,
+		Metric:     ds.Metric,
+	}
+	res, err := multiclass.RunSim(ds, mcfg, ds.DefaultK, 20, seed)
+	if err != nil {
+		return MulticlassResult{}, err
+	}
+	return MulticlassResult{
+		Exact:     res.Accuracy.Exact,
+		WithinOne: res.Accuracy.WithinOne,
+		MAE:       res.Accuracy.MAE,
+		Confusion: res.Confusion,
+	}, nil
+}
+
+// SwarmConfig parameterizes a live concurrent deployment.
+type SwarmConfig struct {
+	// Config carries the SGD hyper-parameters.
+	Config Config
+	// K is the neighbor count (0 = dataset default).
+	K int
+	// Tau is the classification threshold (0 = dataset median).
+	Tau float64
+	// ProbeInterval is each node's probing period (0 = 1ms).
+	ProbeInterval time.Duration
+	// MeasurementNoise models imperfect tools (0 = exact).
+	MeasurementNoise float64
+	// DropRate / DupRate inject transport failures.
+	DropRate, DupRate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Swarm is a running set of concurrent DMFSGD nodes exchanging real
+// protocol messages over an in-memory transport, measured against
+// dataset-backed oracles. Stop it when done.
+type Swarm struct {
+	inner *runtime.Swarm
+}
+
+// StartSwarm builds and starts a swarm over ds.
+func StartSwarm(ds *Dataset, cfg SwarmConfig) (*Swarm, error) {
+	k := cfg.K
+	if k == 0 {
+		k = ds.DefaultK
+	}
+	tau := cfg.Tau
+	if tau == 0 {
+		tau = ds.Median()
+	}
+	inner, err := runtime.NewSwarm(runtime.SwarmConfig{
+		Dataset:          ds,
+		SGD:              cfg.Config.sgdConfig(),
+		K:                k,
+		Tau:              tau,
+		ProbeInterval:    cfg.ProbeInterval,
+		MeasurementNoise: cfg.MeasurementNoise,
+		DropRate:         cfg.DropRate,
+		DupRate:          cfg.DupRate,
+		Seed:             cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inner.Start()
+	return &Swarm{inner: inner}, nil
+}
+
+// AUC evaluates the swarm's current prediction quality (0 = all test
+// pairs).
+func (s *Swarm) AUC(maxPairs int) float64 { return s.inner.AUC(maxPairs) }
+
+// Updates returns the total number of coordinate updates so far.
+func (s *Swarm) Updates() int { return s.inner.TotalStats().Updates }
+
+// Stop shuts all nodes down.
+func (s *Swarm) Stop() { s.inner.Stop() }
