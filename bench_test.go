@@ -21,11 +21,13 @@ import (
 
 	"dmfsgd/internal/batch"
 	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
 	"dmfsgd/internal/eval"
 	"dmfsgd/internal/experiments"
 	"dmfsgd/internal/loss"
 	"dmfsgd/internal/multiclass"
 	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/sim"
 )
 
 // percentileOf computes a percentile over a copy of vals.
@@ -345,6 +347,92 @@ func BenchmarkProtocolStepABW(b *testing.B) {
 		drv.Step()
 	}
 }
+
+// --- Engine benchmarks (sharded parallel epoch training + evaluation) ---
+//
+// These track the perf trajectory of the internal/engine layer at
+// Meridian scale: the same epoch budget and the same evaluation sweep at
+// shard counts 1/4/8. On a multi-core host the 4- and 8-shard variants
+// must beat the single shard; results are bit-identical across shard
+// counts at fixed seed, so quality never enters the comparison.
+
+var (
+	benchMeridianMu sync.Mutex
+	benchMeridian   = map[int]*dataset.Dataset{}
+)
+
+// meridianSized returns a cached Meridian dataset with n nodes (generated
+// once per process, outside any timed region).
+func meridianSized(n int) *dataset.Dataset {
+	benchMeridianMu.Lock()
+	defer benchMeridianMu.Unlock()
+	ds, ok := benchMeridian[n]
+	if !ok {
+		ds = dataset.Meridian(dataset.MeridianConfig{N: n, Seed: 1})
+		benchMeridian[n] = ds
+	}
+	return ds
+}
+
+// engineDriver builds a Meridian class driver with the given parallelism.
+func engineDriver(b *testing.B, n, shards int) *sim.Driver {
+	b.Helper()
+	ds := meridianSized(n)
+	drv, err := sim.ClassDriver(ds, ds.Median(), sim.Config{
+		SGD:     sgd.Defaults(),
+		K:       32,
+		Shards:  shards,
+		Workers: shards,
+		Seed:    1,
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return drv
+}
+
+// benchEngineEpoch measures one full training epoch (32 probes per node)
+// across the shard pool.
+func benchEngineEpoch(b *testing.B, n, shards int) {
+	drv := engineDriver(b, n, shards)
+	drv.RunEpochs(1, 1) // warm the per-node RNG streams and snapshot buffers
+	warm := drv.Steps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv.RunEpochs(1, 32)
+	}
+	b.ReportMetric(float64(drv.Steps()-warm)/b.Elapsed().Seconds(), "updates/s")
+}
+
+func BenchmarkEngineEpochMeridian1000Shards1(b *testing.B) { benchEngineEpoch(b, 1000, 1) }
+func BenchmarkEngineEpochMeridian1000Shards4(b *testing.B) { benchEngineEpoch(b, 1000, 4) }
+func BenchmarkEngineEpochMeridian1000Shards8(b *testing.B) { benchEngineEpoch(b, 1000, 8) }
+func BenchmarkEngineEpochMeridian2500Shards1(b *testing.B) { benchEngineEpoch(b, 2500, 1) }
+func BenchmarkEngineEpochMeridian2500Shards4(b *testing.B) { benchEngineEpoch(b, 2500, 4) }
+func BenchmarkEngineEpochMeridian2500Shards8(b *testing.B) { benchEngineEpoch(b, 2500, 8) }
+
+// benchEngineEval measures one full evaluation sweep (label + score for
+// every held-out pair, block-parallel) after a single training epoch.
+func benchEngineEval(b *testing.B, n, shards int) {
+	drv := engineDriver(b, n, shards)
+	drv.RunEpochs(1, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		labels, _ := drv.EvalSet(0)
+		pairs = len(labels)
+	}
+	b.ReportMetric(float64(pairs)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func BenchmarkEngineEvalMeridian1000Workers1(b *testing.B) { benchEngineEval(b, 1000, 1) }
+func BenchmarkEngineEvalMeridian1000Workers4(b *testing.B) { benchEngineEval(b, 1000, 4) }
+func BenchmarkEngineEvalMeridian1000Workers8(b *testing.B) { benchEngineEval(b, 1000, 8) }
+func BenchmarkEngineEvalMeridian2500Workers1(b *testing.B) { benchEngineEval(b, 2500, 1) }
+func BenchmarkEngineEvalMeridian2500Workers4(b *testing.B) { benchEngineEval(b, 2500, 4) }
+func BenchmarkEngineEvalMeridian2500Workers8(b *testing.B) { benchEngineEval(b, 2500, 8) }
 
 // simDefaults returns the paper-default SGD configuration.
 func simDefaults() sgd.Config { return sgd.Defaults() }

@@ -38,6 +38,21 @@
 // transport, eval, …); cmd/dmfbench regenerates every table and figure of
 // the paper, and examples/ contains runnable walkthroughs.
 //
+// # Execution engine
+//
+// Both drivers — the deterministic simulator and the concurrent runtime —
+// execute on one shared layer, internal/engine: a sharded coordinate
+// store (nodes partitioned across P shards, each shard owning its nodes'
+// (uᵢ, vᵢ) rows behind one lock) plus two schedulers over it. The
+// sequential scheduler reproduces the historical single-stream semantics
+// bit for bit; the parallel epoch scheduler fans shard sweeps out to a
+// worker pool while staying deterministic for a fixed seed regardless of
+// shard count (per-node RNG streams, epoch-start snapshots for peer
+// reads, cross-shard ABW updates routed through mailboxes and applied in
+// sorted order at the epoch barrier). Evaluation of the O(n²) held-out
+// pairs is spread over row-blocks and scales with cores. Shards and
+// Workers knobs are surfaced on SimulationConfig and SwarmConfig.
+//
 // # Quick start
 //
 //	ds := dmfsgd.NewMeridianDataset(200, 42)   // synthetic RTT matrix

@@ -1,0 +1,3 @@
+module dmfsgd
+
+go 1.24

@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	goruntime "runtime"
+
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/sgd"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// SGD carries the factorization hyper-parameters (rank, η, λ, loss).
+	SGD sgd.Config
+	// TrainScale divides training labels before the SGD update (0 = 1).
+	TrainScale float64
+	// Symmetric selects Algorithm 1 (one sample updates both of the
+	// measuring node's vectors); false selects the one-sided Algorithm 2
+	// updates.
+	Symmetric bool
+	// Shards is the coordinate-store partition count P (0 = 1). Sequential
+	// results are independent of P; parallel epochs speed up with it.
+	Shards int
+	// Workers bounds the goroutines used by parallel epochs and evaluation
+	// (0 = GOMAXPROCS). More workers than shards is never useful for
+	// training.
+	Workers int
+	// Seed derives the per-node RNG streams of the parallel scheduler. The
+	// sequential master stream is the rng passed to New, which the caller
+	// seeds (and typically has already used for neighbor selection).
+	Seed int64
+	// MailboxCap, when positive, bounds each shard-to-shard epoch mailbox
+	// to that many deliveries; probes that would overflow it fail like lost
+	// probes. The structural per-epoch bound is probesPerNode × shard size,
+	// which is what the default (0 = unbounded) allocates lazily; a
+	// positive cap trades cross-P determinism for a hard memory ceiling.
+	MailboxCap int
+}
+
+// Engine executes DMFSGD training over a sharded coordinate store. It owns
+// the store, the training-label matrix, the neighbor topology, and both
+// execution modes (sequential Gauss-Seidel steps and parallel epochs).
+type Engine struct {
+	cfg       Config
+	scale     float64
+	store     *Store
+	labels    *mat.Dense
+	neighbors [][]int
+	rng       *rand.Rand
+	steps     int
+
+	// Parallel-epoch state, built lazily on first RunEpoch.
+	nodeRNG []*rand.Rand
+	snapU   []float64
+	snapV   []float64
+	out     [][][]abwDelivery // [src shard][dst shard] outboxes
+	inbox   [][]abwDelivery   // per-dst merge scratch
+	counts  []int             // per-shard success counts
+}
+
+// New builds an engine over the given topology. labels is n×n; neighbors
+// has one list per node. rng is the master sequential stream — the caller
+// seeds it and may already have consumed draws from it (neighbor-mask
+// construction); New consumes exactly 2·rank·n further draws initializing
+// the store, preserving historical fixed-seed streams.
+func New(labels *mat.Dense, neighbors [][]int, rng *rand.Rand, cfg Config) (*Engine, error) {
+	if err := cfg.SGD.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(neighbors)
+	if n == 0 {
+		return nil, fmt.Errorf("engine: empty topology")
+	}
+	if labels.Rows() != n || labels.Cols() != n {
+		return nil, fmt.Errorf("engine: labels %dx%d, topology has %d nodes",
+			labels.Rows(), labels.Cols(), n)
+	}
+	if cfg.TrainScale == 0 {
+		cfg.TrainScale = 1
+	}
+	if cfg.TrainScale < 0 {
+		return nil, fmt.Errorf("engine: TrainScale must be positive, got %v", cfg.TrainScale)
+	}
+	if cfg.MailboxCap < 0 {
+		return nil, fmt.Errorf("engine: MailboxCap must be non-negative, got %d", cfg.MailboxCap)
+	}
+	store := NewStore(n, cfg.SGD.Rank, cfg.Shards)
+	store.InitUniform(rng)
+	return &Engine{
+		cfg:       cfg,
+		scale:     cfg.TrainScale,
+		store:     store,
+		labels:    labels,
+		neighbors: neighbors,
+		rng:       rng,
+	}, nil
+}
+
+// Store returns the engine's coordinate store.
+func (e *Engine) Store() *Store { return e.store }
+
+// N returns the node count.
+func (e *Engine) N() int { return e.store.n }
+
+// Steps returns the number of successful updates so far (both modes).
+func (e *Engine) Steps() int { return e.steps }
+
+// SetLabels swaps the training-label matrix mid-run (network dynamics).
+func (e *Engine) SetLabels(labels *mat.Dense) {
+	if labels.Rows() != e.store.n || labels.Cols() != e.store.n {
+		panic(fmt.Sprintf("engine: SetLabels %dx%d, store has %d nodes",
+			labels.Rows(), labels.Cols(), e.store.n))
+	}
+	e.labels = labels
+}
+
+// Predict returns x̂ᵢⱼ = uᵢ·vⱼᵀ from the live store (exclusive contexts).
+func (e *Engine) Predict(i, j int) float64 {
+	return sgd.Predict(e.store.Coord(i).U, e.store.Coord(j).V)
+}
+
+// Step performs one sequential protocol exchange: the master stream picks a
+// random node and one of its neighbors, and the metric-appropriate update
+// rules fire. Returns false when the sampled pair has no label.
+func (e *Engine) Step() bool {
+	i := e.rng.Intn(e.store.n)
+	j := e.neighbors[i][e.rng.Intn(len(e.neighbors[i]))]
+	return e.Apply(i, j)
+}
+
+// Apply consumes the label of pair (i, j), if present.
+func (e *Engine) Apply(i, j int) bool {
+	if e.labels.IsMissing(i, j) {
+		return false
+	}
+	e.applyValue(i, j, e.labels.At(i, j)/e.scale)
+	return true
+}
+
+// ApplyLabel consumes an externally supplied label for pair (i, j) — the
+// trace-replay path, where labels come from the measurement stream rather
+// than the matrix.
+func (e *Engine) ApplyLabel(i, j int, label float64) {
+	e.applyValue(i, j, label/e.scale)
+}
+
+// applyValue fires the update rules for a scaled sample, Gauss-Seidel
+// style: updates land in the live store immediately.
+func (e *Engine) applyValue(i, j int, x float64) {
+	if e.cfg.Symmetric {
+		// Algorithm 1 (RTT): the sender i infers x and updates both its
+		// vectors against j's.
+		e.cfg.SGD.UpdateRTT(e.store.Coord(i), e.store.Coord(j).U, e.store.Coord(j).V, x)
+	} else {
+		// Algorithm 2 (ABW): the target j infers x, updates vⱼ with the uᵢ
+		// carried by the probe, and replies with (x, vⱼ); i updates uᵢ.
+		// The reply carries vⱼ as it was when sent (step 3 precedes step 4),
+		// i.e. the pre-update value.
+		cj := e.store.Coord(j)
+		vj := append([]float64(nil), cj.V...)
+		e.cfg.SGD.UpdateABWTarget(cj, e.store.Coord(i).U, x)
+		e.cfg.SGD.UpdateABWSender(e.store.Coord(i), vj, x)
+	}
+	e.steps++
+}
+
+// Run performs total successful sequential steps (missing-data probes are
+// retried and do not count).
+func (e *Engine) Run(total int) {
+	for done := 0; done < total; {
+		if e.Step() {
+			done++
+		}
+	}
+}
+
+// workers resolves the effective worker count.
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return goruntime.GOMAXPROCS(0)
+}

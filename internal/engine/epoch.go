@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// abwDelivery is one routed cross-shard update: the Algorithm-2 target
+// update (eq. 13) of node target, triggered by sender's k-th probe of the
+// epoch. The sender's uᵢ is looked up in the epoch snapshot at apply time,
+// so the delivery itself stays three words.
+type abwDelivery struct {
+	target, sender int32
+	k              int32
+	x              float64
+}
+
+// nodeSeed derives node i's private stream from the master seed with a
+// splitmix64 finalizer. Streams are per node, not per shard: the
+// node→shard assignment changes with P, and epoch results must not.
+func nodeSeed(seed int64, i int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// ensureEpochState lazily builds the per-node RNG streams, the snapshot
+// buffers, and the shard mailboxes.
+func (e *Engine) ensureEpochState() {
+	if e.nodeRNG != nil {
+		return
+	}
+	n, rank, p := e.store.n, e.store.rank, e.store.shards
+	e.nodeRNG = make([]*rand.Rand, n)
+	for i := range e.nodeRNG {
+		e.nodeRNG[i] = rand.New(rand.NewSource(nodeSeed(e.cfg.Seed, i)))
+	}
+	e.snapU = make([]float64, n*rank)
+	e.snapV = make([]float64, n*rank)
+	e.counts = make([]int, p)
+	e.out = make([][][]abwDelivery, p)
+	for s := range e.out {
+		e.out[s] = make([][]abwDelivery, p)
+	}
+	e.inbox = make([][]abwDelivery, p)
+}
+
+// RunEpoch executes one parallel training epoch: every node issues
+// probesPerNode probes at its neighbors, reading peer coordinates from an
+// epoch-start snapshot and updating its own vectors in place. Shards are
+// swept concurrently by a worker pool; the cross-shard ABW target updates
+// are routed through mailboxes and applied at the epoch barrier in sorted
+// (target, sender, probe) order. For a fixed seed the resulting
+// coordinates are bit-identical for every shard count (see package doc).
+//
+// Returns the number of successful updates (probes of missing pairs fail
+// and are not retried — an epoch is a fixed probing schedule, not a
+// budget). RunEpoch requires exclusive use of the store: do not run it
+// concurrently with Ref access or with itself.
+func (e *Engine) RunEpoch(probesPerNode int) int {
+	if probesPerNode <= 0 {
+		panic("engine: probesPerNode must be positive")
+	}
+	e.ensureEpochState()
+	p := e.store.shards
+	e.store.SnapshotInto(e.snapU, e.snapV)
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			e.out[s][d] = e.out[s][d][:0]
+		}
+	}
+
+	e.forEachShard(func(s int) { e.counts[s] = e.probeShard(s, probesPerNode) })
+	if !e.cfg.Symmetric {
+		e.forEachShard(func(s int) { e.drainShard(s) })
+	}
+
+	total := 0
+	for _, c := range e.counts {
+		total += c
+	}
+	e.steps += total
+	return total
+}
+
+// RunEpochs runs a fixed number of epochs and returns the cumulative
+// successful updates.
+func (e *Engine) RunEpochs(epochs, probesPerNode int) int {
+	total := 0
+	for ep := 0; ep < epochs; ep++ {
+		total += e.RunEpoch(probesPerNode)
+	}
+	return total
+}
+
+// RunEpochBudget runs epochs until at least total successful updates have
+// accumulated (the epoch analogue of Run's retry-to-budget semantics) and
+// returns the updates performed.
+func (e *Engine) RunEpochBudget(total, probesPerNode int) int {
+	done := 0
+	for done < total {
+		got := e.RunEpoch(probesPerNode)
+		done += got
+		if got == 0 {
+			// Nothing measurable anywhere: avoid spinning forever.
+			break
+		}
+	}
+	return done
+}
+
+// forEachShard runs fn(s) for every shard on the worker pool.
+func (e *Engine) forEachShard(fn func(s int)) {
+	p := e.store.shards
+	w := e.workers()
+	if w > p {
+		w = p
+	}
+	if w <= 1 {
+		for s := 0; s < p; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1))
+				if s >= p {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// probeShard sweeps one shard's nodes in ascending order. Each node draws
+// its probe targets from its private stream and updates only its own
+// coordinates; peer reads come from the epoch snapshot, so no lock is
+// needed anywhere on this path.
+func (e *Engine) probeShard(s, probesPerNode int) int {
+	sh := &e.store.sh[s]
+	rank := e.store.rank
+	success := 0
+	for li, i := range sh.nodes {
+		c := sh.coords[li]
+		rng := e.nodeRNG[i]
+		nb := e.neighbors[i]
+		for k := 0; k < probesPerNode; k++ {
+			j := nb[rng.Intn(len(nb))]
+			if e.labels.IsMissing(i, j) {
+				continue // failed probe; epochs do not retry
+			}
+			x := e.labels.At(i, j) / e.scale
+			ju := e.snapU[j*rank : (j+1)*rank]
+			jv := e.snapV[j*rank : (j+1)*rank]
+			if e.cfg.Symmetric {
+				// Algorithm 1: both of i's vectors move against j's
+				// epoch-start coordinates.
+				e.cfg.SGD.UpdateRTT(c, ju, jv, x)
+			} else {
+				// Algorithm 2: the sender update (eq. 12) fires here
+				// against the pre-epoch vⱼ (the reply carries pre-update
+				// coordinates); the target update (eq. 13) is routed to
+				// j's shard.
+				d := e.store.ShardOf(j)
+				if e.cfg.MailboxCap > 0 && len(e.out[s][d]) >= e.cfg.MailboxCap {
+					continue // mailbox full: the probe is lost
+				}
+				e.cfg.SGD.UpdateABWSender(c, jv, x)
+				e.out[s][d] = append(e.out[s][d], abwDelivery{
+					target: int32(j), sender: int32(i), k: int32(k), x: x,
+				})
+			}
+			success++
+		}
+	}
+	return success
+}
+
+// drainShard applies every routed target update addressed to shard s. The
+// merged mailbox is sorted by (target, sender, probe) — a total order that
+// does not depend on which source shard a delivery came from — so the
+// apply sequence, and therefore the floating-point result, is identical
+// for every P.
+func (e *Engine) drainShard(s int) {
+	in := e.inbox[s][:0]
+	for src := 0; src < e.store.shards; src++ {
+		in = append(in, e.out[src][s]...)
+	}
+	sort.Slice(in, func(a, b int) bool {
+		if in[a].target != in[b].target {
+			return in[a].target < in[b].target
+		}
+		if in[a].sender != in[b].sender {
+			return in[a].sender < in[b].sender
+		}
+		return in[a].k < in[b].k
+	})
+	rank := e.store.rank
+	for _, d := range in {
+		su := e.snapU[int(d.sender)*rank : (int(d.sender)+1)*rank]
+		e.cfg.SGD.UpdateABWTarget(e.store.Coord(int(d.target)), su, d.x)
+	}
+	e.inbox[s] = in[:0]
+}

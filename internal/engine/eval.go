@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"math/rand"
+	goruntime "runtime"
+	"sync"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/vec"
+)
+
+// Blocks partitions [0, n) into contiguous index blocks and runs fn over
+// them on up to workers goroutines. With workers ≤ 1 (or a trivially small
+// n) fn runs inline over the whole range. Callers parallelize safely by
+// writing only to disjoint index ranges of preallocated output slices —
+// the result is then identical to a sequential pass.
+func Blocks(n, workers int, fn func(lo, hi int)) {
+	const minBlock = 1024 // below this, goroutine overhead dominates
+	if workers > n/minBlock {
+		workers = n / minBlock
+	}
+	if workers <= 1 || n <= minBlock {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	block := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += block {
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ScorePairs fills scores[k] = u_{pairs[k].I} · v_{pairs[k].J} from flat
+// row-major snapshot arrays (as produced by Store.SnapshotInto), spreading
+// the work over row-blocks of the pair list. scores must have len(pairs).
+func ScorePairs(u, v []float64, rank int, pairs []mat.Pair, scores []float64, workers int) {
+	if len(scores) != len(pairs) {
+		panic("engine: scores length must match pairs")
+	}
+	Blocks(len(pairs), workers, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			p := pairs[k]
+			scores[k] = vec.Dot(u[p.I*rank:(p.I+1)*rank], v[p.J*rank:(p.J+1)*rank])
+		}
+	})
+}
+
+// EvalSpec describes the test-set evaluation shared by both drivers: the
+// complement of the training mask, filtered to pairs with present ground
+// truth, optionally subsampled, labelled by thresholding the truth matrix
+// and scored from a store snapshot.
+type EvalSpec struct {
+	// Mask is the training observation mask; evaluation runs on its
+	// off-diagonal complement ("predict the unmeasured pairs").
+	Mask *mat.Mask
+	// Truth is the clean ground-truth matrix; pairs missing from it are
+	// excluded.
+	Truth *mat.Dense
+	// Metric and Tau derive the ±1 evaluation labels from Truth.
+	Metric dataset.Metric
+	Tau    float64
+	// MaxPairs > 0 subsamples the pair list deterministically with
+	// SubsampleSeed; 0 keeps everything.
+	MaxPairs      int
+	SubsampleSeed int64
+	// Workers bounds the label/score goroutines (0 = GOMAXPROCS).
+	Workers int
+}
+
+// EvalSet runs the evaluation pipeline of spec against the store: one
+// consistent snapshot (each shard's read lock taken once — safe while
+// runtime nodes keep updating), then block-parallel label computation and
+// scoring. Output is identical for every worker count.
+func EvalSet(store *Store, spec EvalSpec) (labels, scores []float64) {
+	pairs := spec.Mask.Complement().Pairs()
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if !spec.Truth.IsMissing(p.I, p.J) {
+			kept = append(kept, p)
+		}
+	}
+	pairs = kept
+	if spec.MaxPairs > 0 && len(pairs) > spec.MaxPairs {
+		sub := rand.New(rand.NewSource(spec.SubsampleSeed))
+		sub.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
+		pairs = pairs[:spec.MaxPairs]
+	}
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	labels = make([]float64, len(pairs))
+	scores = make([]float64, len(pairs))
+	u, v := store.SnapshotFlat()
+	Blocks(len(pairs), workers, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			p := pairs[idx]
+			labels[idx] = classify.Of(spec.Metric, spec.Truth.At(p.I, p.J), spec.Tau).Value()
+		}
+	})
+	ScorePairs(u, v, store.rank, pairs, scores, workers)
+	return labels, scores
+}

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"dmfsgd/internal/mat"
+	"dmfsgd/internal/vec"
+)
+
+func TestBlocksCoversEachIndexOnce(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 1}, {1000, 4}, {4096, 1}, {50000, 8}, {50001, 7},
+	} {
+		hits := make([]int32, tc.n)
+		Blocks(tc.n, tc.workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d workers=%d: index %d hit %d times", tc.n, tc.workers, i, h)
+			}
+		}
+	}
+}
+
+// TestScorePairsParallelEquivalence: block-parallel scoring is
+// bit-identical to a sequential pass — the satellite equivalence contract.
+func TestScorePairsParallelEquivalence(t *testing.T) {
+	const n, rank = 200, 10
+	rng := rand.New(rand.NewSource(31))
+	u := make([]float64, n*rank)
+	v := make([]float64, n*rank)
+	vec.RandUniform(rng, u)
+	vec.RandUniform(rng, v)
+	var pairs []mat.Pair
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, mat.Pair{I: i, J: j})
+			}
+		}
+	}
+	seq := make([]float64, len(pairs))
+	ScorePairs(u, v, rank, pairs, seq, 1)
+	for _, workers := range []int{2, 4, 8} {
+		par := make([]float64, len(pairs))
+		ScorePairs(u, v, rank, pairs, par, workers)
+		for k := range seq {
+			if seq[k] != par[k] {
+				t.Fatalf("workers=%d: score[%d] = %v, want %v", workers, k, par[k], seq[k])
+			}
+		}
+	}
+}
+
+// TestSnapshotScoresMatchPredict: snapshot-scored values equal per-pair
+// live predictions on a quiescent engine.
+func TestSnapshotScoresMatchPredict(t *testing.T) {
+	e := testEngine(t, 50, 6, 4, 4, true, 17)
+	e.Run(2000)
+	var pairs []mat.Pair
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 50; j++ {
+			if i != j {
+				pairs = append(pairs, mat.Pair{I: i, J: j})
+			}
+		}
+	}
+	u, v := e.Store().SnapshotFlat()
+	scores := make([]float64, len(pairs))
+	ScorePairs(u, v, e.Store().Rank(), pairs, scores, 4)
+	for k, p := range pairs {
+		if want := e.Predict(p.I, p.J); scores[k] != want {
+			t.Fatalf("pair %v: %v != %v", p, scores[k], want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/vec"
+)
+
+func TestStorePartition(t *testing.T) {
+	s := NewStore(10, 3, 4)
+	if s.Shards() != 4 {
+		t.Fatalf("shards = %d", s.Shards())
+	}
+	seen := make(map[*sgd.Coordinates]bool)
+	for i := 0; i < 10; i++ {
+		if got := s.ShardOf(i); got != i%4 {
+			t.Errorf("ShardOf(%d) = %d, want %d", i, got, i%4)
+		}
+		c := s.Coord(i)
+		if len(c.U) != 3 || len(c.V) != 3 {
+			t.Fatalf("node %d rank %d/%d", i, len(c.U), len(c.V))
+		}
+		if seen[c] {
+			t.Fatalf("node %d shares a slot", i)
+		}
+		seen[c] = true
+	}
+}
+
+func TestStoreShardClamping(t *testing.T) {
+	if got := NewStore(3, 2, 16).Shards(); got != 3 {
+		t.Errorf("shards clamped to %d, want 3", got)
+	}
+	if got := NewStore(3, 2, 0).Shards(); got != 1 {
+		t.Errorf("shards defaulted to %d, want 1", got)
+	}
+}
+
+// TestInitUniformMatchesSequentialDraws: the store's bulk initialization
+// must consume the rng exactly like the historical per-node
+// sgd.NewCoordinates loop, for every shard count.
+func TestInitUniformMatchesSequentialDraws(t *testing.T) {
+	const n, rank, seed = 17, 5, 99
+	want := make([]*sgd.Coordinates, n)
+	ref := rand.New(rand.NewSource(seed))
+	for i := range want {
+		want[i] = sgd.NewCoordinates(rank, ref)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		s := NewStore(n, rank, shards)
+		s.InitUniform(rand.New(rand.NewSource(seed)))
+		for i := 0; i < n; i++ {
+			c := s.Coord(i)
+			if !vec.Equal(c.U, want[i].U, 0) || !vec.Equal(c.V, want[i].V, 0) {
+				t.Fatalf("shards=%d node %d differs from sequential init", shards, i)
+			}
+		}
+	}
+}
+
+func TestRefRoundTripAndSnapshot(t *testing.T) {
+	s := NewStore(6, 4, 3)
+	r := s.Ref(5)
+	if !r.Valid() || r.ID() != 5 {
+		t.Fatal("bad ref")
+	}
+	if (Ref{}).Valid() {
+		t.Fatal("zero ref must be invalid")
+	}
+	src := &sgd.Coordinates{U: []float64{1, 2, 3, 4}, V: []float64{5, 6, 7, 8}}
+	r.Set(src)
+	snap := r.Snapshot()
+	if !vec.Equal(snap.U, src.U, 0) || !vec.Equal(snap.V, src.V, 0) {
+		t.Fatal("snapshot differs from Set values")
+	}
+	// Snapshot is a copy, not an alias.
+	snap.U[0] = 42
+	if s.Coord(5).U[0] != 1 {
+		t.Fatal("snapshot aliases the store")
+	}
+	r.Update(func(c *sgd.Coordinates) bool { c.U[1] = -9; return true })
+	var got float64
+	r.View(func(c *sgd.Coordinates) { got = c.U[1] })
+	if got != -9 {
+		t.Fatalf("update not visible: %v", got)
+	}
+}
+
+func TestSnapshotFlatLayout(t *testing.T) {
+	s := NewStore(5, 2, 2)
+	for i := 0; i < 5; i++ {
+		f := float64(i)
+		s.Ref(i).Set(&sgd.Coordinates{U: []float64{f, f + 10}, V: []float64{-f, -f - 10}})
+	}
+	u, v := s.SnapshotFlat()
+	for i := 0; i < 5; i++ {
+		f := float64(i)
+		if u[2*i] != f || u[2*i+1] != f+10 || v[2*i] != -f || v[2*i+1] != -f-10 {
+			t.Fatalf("node %d rows misplaced: u=%v v=%v", i, u[2*i:2*i+2], v[2*i:2*i+2])
+		}
+	}
+}
+
+// TestRefConcurrentUpdates hammers refs from many goroutines; run under
+// -race this is the shard-lock correctness test.
+func TestRefConcurrentUpdates(t *testing.T) {
+	s := NewStore(16, 4, 4)
+	s.InitUniform(rand.New(rand.NewSource(1)))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for it := 0; it < 2000; it++ {
+				r := s.Ref(rng.Intn(16))
+				if it%3 == 0 {
+					r.Update(func(c *sgd.Coordinates) bool {
+						for k := range c.U {
+							c.U[k] += 1e-6
+						}
+						return true
+					})
+				} else {
+					r.View(func(c *sgd.Coordinates) { _ = c.U[0] + c.V[0] })
+				}
+			}
+		}(g)
+	}
+	// Concurrent snapshots while updates fly.
+	u := make([]float64, 16*4)
+	v := make([]float64, 16*4)
+	for it := 0; it < 200; it++ {
+		s.SnapshotInto(u, v)
+	}
+	wg.Wait()
+}

@@ -12,7 +12,9 @@ package eval
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Point is one point of a ROC curve.
@@ -225,6 +227,51 @@ func ConfusionAt(labels, scores []float64, threshold float64) Confusion {
 		}
 	}
 	return c
+}
+
+// ConfusionAtParallel computes the same matrix as ConfusionAt, spreading
+// the accumulation over contiguous blocks of the sample set on up to
+// workers goroutines (0 = GOMAXPROCS) and summing the per-block partial
+// matrices. Counts are integers, so the result is exactly ConfusionAt's
+// for every worker count.
+func ConfusionAtParallel(labels, scores []float64, threshold float64, workers int) Confusion {
+	const minBlock = 4096 // below this, goroutine overhead dominates
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(labels)/minBlock {
+		workers = len(labels) / minBlock
+	}
+	if workers <= 1 {
+		return ConfusionAt(labels, scores, threshold)
+	}
+	parts := make([]Confusion, workers)
+	block := (len(labels) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		hi := lo + block
+		if hi > len(labels) {
+			hi = len(labels)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = ConfusionAt(labels[lo:hi], scores[lo:hi], threshold)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total Confusion
+	for _, p := range parts {
+		total.TP += p.TP
+		total.FN += p.FN
+		total.FP += p.FP
+		total.TN += p.TN
+	}
+	return total
 }
 
 // Total returns the number of samples.

@@ -340,3 +340,27 @@ func BenchmarkAUC(b *testing.B) {
 		_ = AUC(labels, scores)
 	}
 }
+
+// TestConfusionAtParallelEquivalence: the block-parallel accumulator is
+// exactly ConfusionAt for every worker count, including sets large enough
+// to actually fan out.
+func TestConfusionAtParallelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n := 50_000
+	labels := make([]float64, n)
+	scores := make([]float64, n)
+	for i := range labels {
+		if rng.Float64() < 0.6 {
+			labels[i] = 1
+		} else {
+			labels[i] = -1
+		}
+		scores[i] = rng.NormFloat64()
+	}
+	want := ConfusionAt(labels, scores, 0.1)
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		if got := ConfusionAtParallel(labels, scores, 0.1, workers); got != want {
+			t.Fatalf("workers=%d: %+v, want %+v", workers, got, want)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+// TestEngineScalingDeterministicAcrossShards: every shard count reports
+// the same updates and AUC — the user-visible witness of the scheduler's
+// P-independence.
+func TestEngineScalingDeterministicAcrossShards(t *testing.T) {
+	b := NewBundle(Quick())
+	tables := EngineScaling(b)
+	rows := tables[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows[1:] {
+		if row[3] != rows[0][3] || row[4] != rows[0][4] {
+			t.Errorf("shard count %s diverges: updates %s vs %s, auc %s vs %s",
+				row[0], row[3], rows[0][3], row[4], rows[0][4])
+		}
+	}
+}

@@ -99,6 +99,7 @@ func Registry() []struct {
 		{"table3", Table3},
 		{"ablation", Ablations},
 		{"dynamics", DynamicsTracking},
+		{"engine", EngineScaling},
 	}
 }
 

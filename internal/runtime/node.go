@@ -10,6 +10,13 @@
 // experiments deterministic; the runtime is the deployable artifact and
 // works identically over the in-memory transport (tests, simulations) and
 // UDP (cmd/dmfnode, examples/livenet).
+//
+// In-process swarms keep their per-node coordinates in the sharded
+// engine.Store shared with package sim: each node holds an engine.Ref into
+// the swarm-wide store and synchronizes on its shard's lock, which lets
+// evaluation snapshot thousands of nodes with P lock acquisitions instead
+// of n and shares one execution substrate across both drivers. Standalone
+// nodes (UDP deployments) get a private single-slot store.
 package runtime
 
 import (
@@ -21,6 +28,7 @@ import (
 
 	"dmfsgd/internal/classify"
 	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/engine"
 	"dmfsgd/internal/sgd"
 	"dmfsgd/internal/transport"
 	"dmfsgd/internal/wire"
@@ -74,6 +82,10 @@ type Config struct {
 	// MaxNeighbors caps the neighbor set size for dynamic membership
 	// (0 = unlimited). The paper's k.
 	MaxNeighbors int
+	// Coords is this node's slot in a shared sharded coordinate store
+	// (swarm deployments). The zero Ref makes the node allocate a private
+	// single-slot store (standalone/UDP deployments).
+	Coords engine.Ref
 	// Seed drives this node's private randomness (neighbor choice order,
 	// coordinate init).
 	Seed int64
@@ -123,10 +135,12 @@ type Node struct {
 	cfg Config
 	tr  transport.Transport
 	rng *rand.Rand
+	// ref is the node's slot in the (shared or private) coordinate store;
+	// coordinate reads/writes synchronize on the owning shard's lock.
+	ref engine.Ref
 
-	mu     sync.Mutex
-	coords *sgd.Coordinates
-	stats  Stats
+	mu    sync.Mutex
+	stats Stats
 	// neighborIDs and neighborAddrs are guarded by mu: dynamic membership
 	// (AddNeighbor) may race with the node loop's probe().
 	neighborIDs   []uint32
@@ -150,6 +164,13 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		cfg.WallClockUnit = time.Millisecond
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Draw initial coordinates first (before any probe randomness) so the
+	// node's stream is identical whether or not it shares a swarm store.
+	init := sgd.NewCoordinates(cfg.SGD.Rank, rng)
+	if !cfg.Coords.Valid() {
+		cfg.Coords = engine.NewSoloStore(cfg.SGD.Rank).Ref(0)
+	}
+	cfg.Coords.Set(init)
 	ids := make([]uint32, 0, len(cfg.Neighbors))
 	addrs := make(map[uint32]string, len(cfg.Neighbors))
 	for id, addr := range cfg.Neighbors {
@@ -166,7 +187,7 @@ func NewNode(cfg Config, tr transport.Transport) (*Node, error) {
 		cfg:           cfg,
 		tr:            tr,
 		rng:           rng,
-		coords:        sgd.NewCoordinates(cfg.SGD.Rank, rng),
+		ref:           cfg.Coords,
 		neighborIDs:   ids,
 		neighborAddrs: addrs,
 		pending:       make(map[uint32]pendingProbe),
@@ -206,10 +227,11 @@ func (n *Node) ID() uint32 { return n.cfg.ID }
 
 // Coordinates returns a snapshot copy of the node's current coordinates.
 func (n *Node) Coordinates() *sgd.Coordinates {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.coords.Clone()
+	return n.ref.Snapshot()
 }
+
+// Ref returns the node's slot in the coordinate store.
+func (n *Node) Ref() engine.Ref { return n.ref }
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats {
@@ -255,9 +277,9 @@ func (n *Node) probe() {
 	if n.cfg.Metric == dataset.ABW {
 		// Algorithm 2 step 1: the probe carries uᵢ and the train rate τ.
 		req.Rate = n.cfg.Tau
-		n.mu.Lock()
-		req.SenderU = append(req.SenderU[:0], n.coords.U...)
-		n.mu.Unlock()
+		n.ref.View(func(c *sgd.Coordinates) {
+			req.SenderU = append(req.SenderU[:0], c.U...)
+		})
 	}
 	buf, err := wire.AppendProbeRequest(nil, &req)
 	if err != nil {
@@ -323,27 +345,25 @@ func (n *Node) handleRequest(from string, req *wire.ProbeRequest) {
 	switch n.cfg.Metric {
 	case dataset.RTT:
 		// Algorithm 1 step 2: reply with both coordinates.
-		n.mu.Lock()
-		rep.U = append(rep.U[:0], n.coords.U...)
-		rep.V = append(rep.V[:0], n.coords.V...)
-		n.mu.Unlock()
+		n.ref.View(func(c *sgd.Coordinates) {
+			rep.U = append(rep.U[:0], c.U...)
+			rep.V = append(rep.V[:0], c.V...)
+		})
 	case dataset.ABW:
 		// Algorithm 2 steps 2-4: infer the class of sender→self, reply
 		// with (x, vⱼ) *then* update vⱼ (the reply carries the pre-update
-		// coordinates, as step 3 precedes step 4).
+		// coordinates, as step 3 precedes step 4). Both happen under one
+		// shard-lock hold so no concurrent update can slip between them.
 		c, ok := n.cfg.ABW.MeasureClass(int(req.From), int(n.cfg.ID), req.Rate)
 		if !ok {
 			return // unmeasurable pair: the probe yields nothing
 		}
 		rep.Class = int8(c)
-		n.mu.Lock()
-		rep.V = append(rep.V[:0], n.coords.V...)
-		if n.cfg.SGD.UpdateABWTarget(n.coords, req.SenderU, c.Value()) {
-			n.stats.Updates++
-		} else {
-			n.stats.Rejected++
-		}
-		n.mu.Unlock()
+		updated := n.ref.Update(func(co *sgd.Coordinates) bool {
+			rep.V = append(rep.V[:0], co.V...)
+			return n.cfg.SGD.UpdateABWTarget(co, req.SenderU, c.Value())
+		})
+		n.countUpdate(updated)
 	}
 	if buf, err := wire.AppendProbeReply(nil, &rep); err == nil {
 		_ = n.tr.Send(from, buf)
@@ -379,13 +399,9 @@ func (n *Node) handleReply(rep *wire.ProbeReply) {
 			rtt = float64(time.Since(p.sentAt)) / float64(n.cfg.WallClockUnit)
 		}
 		x := classify.Of(dataset.RTT, rtt, n.cfg.Tau).Value()
-		n.mu.Lock()
-		if n.cfg.SGD.UpdateRTT(n.coords, rep.U, rep.V, x) {
-			n.stats.Updates++
-		} else {
-			n.stats.Rejected++
-		}
-		n.mu.Unlock()
+		n.countUpdate(n.ref.Update(func(c *sgd.Coordinates) bool {
+			return n.cfg.SGD.UpdateRTT(c, rep.U, rep.V, x)
+		}))
 	case dataset.ABW:
 		// Algorithm 2 step 5: update uᵢ with the class inferred by the
 		// target and its vⱼ.
@@ -395,12 +411,19 @@ func (n *Node) handleReply(rep *wire.ProbeReply) {
 			n.mu.Unlock()
 			return
 		}
-		n.mu.Lock()
-		if n.cfg.SGD.UpdateABWSender(n.coords, rep.V, float64(rep.Class)) {
-			n.stats.Updates++
-		} else {
-			n.stats.Rejected++
-		}
-		n.mu.Unlock()
+		n.countUpdate(n.ref.Update(func(c *sgd.Coordinates) bool {
+			return n.cfg.SGD.UpdateABWSender(c, rep.V, float64(rep.Class))
+		}))
 	}
+}
+
+// countUpdate tallies one coordinate-update outcome.
+func (n *Node) countUpdate(updated bool) {
+	n.mu.Lock()
+	if updated {
+		n.stats.Updates++
+	} else {
+		n.stats.Rejected++
+	}
+	n.mu.Unlock()
 }

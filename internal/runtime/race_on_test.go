@@ -1,0 +1,9 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports whether the race detector is compiled in. Wall-clock
+// timing tests skip themselves under the detector: its instrumentation
+// slows the node loops by an order of magnitude, so elapsed-time RTT
+// measurements reflect scheduler saturation, not the injected delays.
+const raceEnabled = true

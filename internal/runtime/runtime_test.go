@@ -143,9 +143,14 @@ func TestSwarmWallClockRTT(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-dependent integration test")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock RTT measurement reads scheduler saturation, not path delay, under race instrumentation")
+	}
 	// Full pipeline: messages delayed by RTT/2 per hop, nodes measure by
 	// wall clock. Scheduling jitter makes this noisier; the classifier
-	// must still clearly beat chance.
+	// must still clearly beat chance. The unit is kept large relative to
+	// scheduler jitter (a 100µs hiccup at 50µs/ms misreads an RTT by 2ms,
+	// not 5ms) so the test stays meaningful on slow or single-core CI.
 	ds := dataset.Meridian(dataset.MeridianConfig{N: 25, Seed: 64})
 	s := runSwarm(t, SwarmConfig{
 		Dataset:       ds,
@@ -154,7 +159,7 @@ func TestSwarmWallClockRTT(t *testing.T) {
 		Tau:           ds.Median(),
 		ProbeInterval: 400 * time.Microsecond,
 		NetworkDelay:  true,
-		WallClockUnit: 20 * time.Microsecond,
+		WallClockUnit: 50 * time.Microsecond,
 		Seed:          4,
 	}, 2500*time.Millisecond)
 

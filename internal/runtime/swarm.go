@@ -4,11 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	goruntime "runtime"
 	"sync"
 	"time"
 
-	"dmfsgd/internal/classify"
 	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/engine"
 	"dmfsgd/internal/eval"
 	"dmfsgd/internal/mat"
 	"dmfsgd/internal/oracle"
@@ -44,8 +45,25 @@ type SwarmConfig struct {
 	// NetworkDelay is set (default 50µs: a 100ms path takes 5ms of real
 	// time per round trip).
 	WallClockUnit time.Duration
+	// Shards partitions the swarm-wide coordinate store. 0 picks a default
+	// that keeps shard-lock contention low (min(n, max(8, 2·GOMAXPROCS))).
+	Shards int
+	// Workers bounds the goroutines used by evaluation (0 = GOMAXPROCS).
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
+}
+
+// defaultShards sizes the store partition for an n-node swarm.
+func defaultShards(n int) int {
+	p := 2 * goruntime.GOMAXPROCS(0)
+	if p < 8 {
+		p = 8
+	}
+	if p > n {
+		p = n
+	}
+	return p
 }
 
 // Swarm is a set of running nodes plus the bookkeeping to evaluate them
@@ -53,6 +71,7 @@ type SwarmConfig struct {
 type Swarm struct {
 	cfg       SwarmConfig
 	net       *transport.Network
+	store     *engine.Store
 	nodes     []*Node
 	endpoints []*transport.Mem
 	trainMask *mat.Mask
@@ -71,11 +90,17 @@ func NewSwarm(cfg SwarmConfig) (*Swarm, error) {
 	if cfg.K <= 0 || cfg.K >= n {
 		return nil, fmt.Errorf("runtime: k=%d out of (0,%d)", cfg.K, n)
 	}
+	if err := cfg.SGD.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = time.Millisecond
 	}
 	if cfg.WallClockUnit <= 0 {
 		cfg.WallClockUnit = 50 * time.Microsecond
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = defaultShards(n)
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -112,7 +137,12 @@ func NewSwarm(cfg SwarmConfig) (*Swarm, error) {
 		abwSrc = oracle.NewABWClass(ds, cfg.MeasurementNoise, cfg.Seed+2)
 	}
 
-	s := &Swarm{cfg: cfg, net: net, trainMask: trainMask}
+	s := &Swarm{
+		cfg:       cfg,
+		net:       net,
+		store:     engine.NewStore(n, cfg.SGD.Rank, cfg.Shards),
+		trainMask: trainMask,
+	}
 	for i := 0; i < n; i++ {
 		addr := swarmAddr(i)
 		ep := net.Attach(addr)
@@ -130,6 +160,7 @@ func NewSwarm(cfg SwarmConfig) (*Swarm, error) {
 			RTT:           rttSrc,
 			ABW:           abwSrc,
 			WallClockUnit: cfg.WallClockUnit,
+			Coords:        s.store.Ref(i),
 			Seed:          cfg.Seed + 100 + int64(i),
 		}, ep)
 		if err != nil {
@@ -173,6 +204,9 @@ func (s *Swarm) Node(i int) *Node { return s.nodes[i] }
 // N returns the swarm size.
 func (s *Swarm) N() int { return len(s.nodes) }
 
+// Store returns the swarm-wide sharded coordinate store.
+func (s *Swarm) Store() *engine.Store { return s.store }
+
 // TotalStats aggregates all node counters.
 func (s *Swarm) TotalStats() Stats {
 	var t Stats
@@ -188,35 +222,22 @@ func (s *Swarm) TotalStats() Stats {
 	return t
 }
 
-// EvalSet snapshots all coordinates and returns ground-truth labels and
-// scores over the unmeasured pairs, like sim.Driver.EvalSet.
+// EvalSet snapshots all coordinates (one read-lock per shard, consistent
+// per shard even while nodes keep updating) and returns ground-truth
+// labels and scores over the unmeasured pairs, like sim.Driver.EvalSet.
+// Label computation and prediction run block-parallel over the pair list
+// (cfg.Workers goroutines, 0 = GOMAXPROCS).
 func (s *Swarm) EvalSet(maxPairs int) (labels, scores []float64) {
 	ds := s.cfg.Dataset
-	coords := make([]*sgd.Coordinates, len(s.nodes))
-	for i, nd := range s.nodes {
-		coords[i] = nd.Coordinates()
-	}
-	test := s.trainMask.Complement()
-	pairs := test.Pairs()
-	kept := pairs[:0]
-	for _, p := range pairs {
-		if !ds.Matrix.IsMissing(p.I, p.J) {
-			kept = append(kept, p)
-		}
-	}
-	pairs = kept
-	if maxPairs > 0 && len(pairs) > maxPairs {
-		sub := rand.New(rand.NewSource(s.cfg.Seed + 7919))
-		sub.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
-		pairs = pairs[:maxPairs]
-	}
-	labels = make([]float64, len(pairs))
-	scores = make([]float64, len(pairs))
-	for idx, p := range pairs {
-		labels[idx] = classify.Of(ds.Metric, ds.Matrix.At(p.I, p.J), s.cfg.Tau).Value()
-		scores[idx] = sgd.Predict(coords[p.I].U, coords[p.J].V)
-	}
-	return labels, scores
+	return engine.EvalSet(s.store, engine.EvalSpec{
+		Mask:          s.trainMask,
+		Truth:         ds.Matrix,
+		Metric:        ds.Metric,
+		Tau:           s.cfg.Tau,
+		MaxPairs:      maxPairs,
+		SubsampleSeed: s.cfg.Seed + 7919,
+		Workers:       s.cfg.Workers,
+	})
 }
 
 // AUC evaluates the swarm's current prediction quality.

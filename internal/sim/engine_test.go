@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"dmfsgd/internal/vec"
+)
+
+// TestDriverShardInvariance is the acceptance contract of the engine
+// refactor: the sequential driver produces bit-identical coordinates and
+// metrics for every shard count at a fixed seed.
+func TestDriverShardInvariance(t *testing.T) {
+	for _, ds := range []struct {
+		name string
+		mk   func() *Driver
+	}{
+		{"meridian", func() *Driver {
+			d := meridianSmall(t, 44)
+			cfg := defaultCfg(10, 101)
+			cfg.Shards = 8
+			cfg.Workers = 4
+			drv, err := ClassDriver(d, d.Median(), cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return drv
+		}},
+		{"hp-s3", func() *Driver {
+			d := hps3Small(t, 45)
+			cfg := defaultCfg(10, 102)
+			cfg.Shards = 8
+			cfg.Workers = 4
+			drv, err := ClassDriver(d, d.Median(), cfg, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return drv
+		}},
+	} {
+		sharded := ds.mk()
+		plainDS := sharded.ds
+		cfgPlain := sharded.cfg
+		cfgPlain.Shards = 0
+		cfgPlain.Workers = 1
+		plain, err := New(plainDS, sharded.labels, cfgPlain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded.Run(4000)
+		plain.Run(4000)
+		for i := 0; i < plain.N(); i++ {
+			a, b := plain.Coordinates(i), sharded.Coordinates(i)
+			if !vec.Equal(a.U, b.U, 0) || !vec.Equal(a.V, b.V, 0) {
+				t.Fatalf("%s: node %d diverges across shard counts", ds.name, i)
+			}
+		}
+		if a, b := plain.AUC(), sharded.AUC(); a != b {
+			t.Fatalf("%s: AUC %v vs %v", ds.name, a, b)
+		}
+	}
+}
+
+// TestEvalSetParallelEquivalence: the block-parallel evaluator returns
+// exactly what a single-worker pass returns, labels and scores both.
+func TestEvalSetParallelEquivalence(t *testing.T) {
+	ds := meridianSmall(t, 46)
+	tau := ds.Median()
+	mk := func(workers int) *Driver {
+		cfg := defaultCfg(10, 103)
+		cfg.Workers = workers
+		drv, err := ClassDriver(ds, tau, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv.Run(3000)
+		return drv
+	}
+	seq := mk(1)
+	par := mk(8)
+	sl, ss := seq.EvalSet(0)
+	pl, ps := par.EvalSet(0)
+	if len(sl) != len(pl) {
+		t.Fatalf("eval set sizes %d vs %d", len(sl), len(pl))
+	}
+	for i := range sl {
+		if sl[i] != pl[i] || ss[i] != ps[i] {
+			t.Fatalf("entry %d: (%v,%v) vs (%v,%v)", i, sl[i], ss[i], pl[i], ps[i])
+		}
+	}
+	if a, b := seq.Confusion(), par.Confusion(); a != b {
+		t.Fatalf("confusion %+v vs %+v", a, b)
+	}
+}
+
+// TestDriverRunEpochsLearns: the public epoch path through the driver
+// reaches the sequential quality bar at the same budget.
+func TestDriverRunEpochsLearns(t *testing.T) {
+	ds := meridianSmall(t, 47)
+	cfg := defaultCfg(10, 104)
+	cfg.Shards = 4
+	drv, err := ClassDriver(ds, ds.Median(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.RunEpochs(20, 10) // = DefaultBudget(n, 10) probes
+	if drv.Steps() == 0 {
+		t.Fatal("no epoch updates")
+	}
+	if auc := drv.AUC(); auc < 0.85 {
+		t.Errorf("epoch-trained AUC = %v, want >= 0.85", auc)
+	}
+}

@@ -12,9 +12,11 @@
 //     ground-truth classes.
 //
 // The driver is fully deterministic given a seed, which is what makes every
-// figure and table in this repository reproducible. The concurrent,
-// message-passing implementation of the same protocol lives in package
-// runtime; both share the update rules of package sgd.
+// figure and table in this repository reproducible. Since the engine
+// refactor it is a thin configuration front-end over package engine, which
+// owns the sharded coordinate store and both execution schedules; the
+// concurrent message-passing implementation of the same protocol lives in
+// package runtime and shares the same store layer.
 package sim
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"dmfsgd/internal/classify"
 	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/engine"
 	"dmfsgd/internal/eval"
 	"dmfsgd/internal/mat"
 	"dmfsgd/internal/sgd"
@@ -48,22 +51,29 @@ type Config struct {
 	// Algorithm-2 updates instead. Used only by the ablation benchmarks
 	// that quantify the value of exploiting RTT symmetry.
 	ForceAsymmetric bool
+	// Shards partitions the coordinate store for parallel epoch training
+	// (0 = 1). Sequential Step/Run results are identical for every value.
+	Shards int
+	// Workers bounds the goroutines used by parallel epochs and parallel
+	// evaluation (0 = GOMAXPROCS). Evaluation output is identical for
+	// every value.
+	Workers int
 	// Seed drives neighbor selection, probe order and initialization.
 	Seed int64
 }
 
-// Driver runs the decentralized factorization against a dataset.
+// Driver runs the decentralized factorization against a dataset. It is a
+// configuration front-end over engine.Engine: the driver owns the dataset
+// binding, threshold and evaluation procedure; the engine owns the sharded
+// coordinate store and the update schedules.
 type Driver struct {
 	ds     *dataset.Dataset
 	labels *mat.Dense // training labels: classes (±1) or quantities
 	cfg    Config
 
-	nodes     []*sgd.Coordinates
+	eng       *engine.Engine
 	neighbors [][]int
 	trainMask *mat.Mask
-	rng       *rand.Rand
-
-	steps int // successful updates so far
 }
 
 // New builds a Driver.
@@ -91,18 +101,24 @@ func New(ds *dataset.Dataset, labels *mat.Dense, cfg Config) (*Driver, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	trainMask, neighbors := mat.NeighborMask(ds.N(), cfg.K, ds.Metric.Symmetric(), rng)
-	nodes := make([]*sgd.Coordinates, ds.N())
-	for i := range nodes {
-		nodes[i] = sgd.NewCoordinates(cfg.SGD.Rank, rng)
+	eng, err := engine.New(labels, neighbors, rng, engine.Config{
+		SGD:        cfg.SGD,
+		TrainScale: cfg.TrainScale,
+		Symmetric:  ds.Metric.Symmetric() && !cfg.ForceAsymmetric,
+		Shards:     cfg.Shards,
+		Workers:    cfg.Workers,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 	return &Driver{
 		ds:        ds,
 		labels:    labels,
 		cfg:       cfg,
-		nodes:     nodes,
+		eng:       eng,
 		neighbors: neighbors,
 		trainMask: trainMask,
-		rng:       rng,
 	}, nil
 }
 
@@ -111,6 +127,10 @@ func (d *Driver) N() int { return d.ds.N() }
 
 // TauValue returns the evaluation threshold in effect.
 func (d *Driver) TauValue() float64 { return d.cfg.Tau }
+
+// Engine returns the underlying execution engine (parallel epoch training,
+// shard introspection, benchmarks).
+func (d *Driver) Engine() *engine.Engine { return d.eng }
 
 // SwapLabels replaces the training label matrix mid-run, modelling a
 // network whose ground truth changes while the system keeps running (the
@@ -123,10 +143,11 @@ func (d *Driver) SwapLabels(labels *mat.Dense) {
 			labels.Rows(), labels.Cols(), d.ds.N()))
 	}
 	d.labels = labels
+	d.eng.SetLabels(labels)
 }
 
 // Steps returns the number of successful measurements consumed so far.
-func (d *Driver) Steps() int { return d.steps }
+func (d *Driver) Steps() int { return d.eng.Steps() }
 
 // Neighbors returns node i's neighbor set (shared slice; do not modify).
 func (d *Driver) Neighbors(i int) []int { return d.neighbors[i] }
@@ -135,56 +156,31 @@ func (d *Driver) Neighbors(i int) []int { return d.neighbors[i] }
 func (d *Driver) TrainMask() *mat.Mask { return d.trainMask }
 
 // Coordinates returns node i's coordinates (live, not a copy).
-func (d *Driver) Coordinates(i int) *sgd.Coordinates { return d.nodes[i] }
+func (d *Driver) Coordinates(i int) *sgd.Coordinates { return d.eng.Store().Coord(i) }
 
 // Predict returns x̂ᵢⱼ = uᵢ·vⱼᵀ, the estimate of the (possibly scaled)
 // training label from i to j.
-func (d *Driver) Predict(i, j int) float64 {
-	return sgd.Predict(d.nodes[i].U, d.nodes[j].V)
-}
+func (d *Driver) Predict(i, j int) float64 { return d.eng.Predict(i, j) }
 
 // Step performs one protocol exchange: a random node probes one random
 // neighbor, the measurement module yields the pair's label, and the DMFSGD
 // update rules fire. Returns false when the sampled pair has no label
 // (missing data) — the probe failed and nothing was updated.
-func (d *Driver) Step() bool {
-	i := d.rng.Intn(len(d.nodes))
-	j := d.neighbors[i][d.rng.Intn(len(d.neighbors[i]))]
-	return d.apply(i, j)
-}
-
-// apply consumes the label of pair (i, j) with the metric-appropriate
-// algorithm.
-func (d *Driver) apply(i, j int) bool {
-	if d.labels.IsMissing(i, j) {
-		return false
-	}
-	x := d.labels.At(i, j) / d.cfg.TrainScale
-	if d.ds.Metric.Symmetric() && !d.cfg.ForceAsymmetric {
-		// Algorithm 1 (RTT): the sender i infers x and updates both its
-		// vectors against j's.
-		d.cfg.SGD.UpdateRTT(d.nodes[i], d.nodes[j].U, d.nodes[j].V, x)
-	} else {
-		// Algorithm 2 (ABW): the target j infers x, updates vⱼ with the uᵢ
-		// carried by the probe, and replies with (x, vⱼ); i updates uᵢ.
-		// The reply carries vⱼ as it was when sent (step 3 precedes step 4),
-		// i.e. the pre-update value.
-		vj := append([]float64(nil), d.nodes[j].V...)
-		d.cfg.SGD.UpdateABWTarget(d.nodes[j], d.nodes[i].U, x)
-		d.cfg.SGD.UpdateABWSender(d.nodes[i], vj, x)
-	}
-	d.steps++
-	return true
-}
+func (d *Driver) Step() bool { return d.eng.Step() }
 
 // Run performs total successful measurement steps (missing-data probes are
 // retried and do not count).
-func (d *Driver) Run(total int) {
-	for done := 0; done < total; {
-		if d.Step() {
-			done++
-		}
-	}
+func (d *Driver) Run(total int) { d.eng.Run(total) }
+
+// RunEpochs trains with the engine's parallel epoch scheduler instead of
+// the sequential stream: epochs sweeps in which every node issues
+// probesPerNode probes, executed across the configured shards and workers.
+// Deterministic for a fixed seed regardless of shard count, but a
+// different (epoch-synchronous) schedule than Run — do not mix the two
+// modes within an experiment that must reproduce historical figures.
+// Returns the number of successful updates.
+func (d *Driver) RunEpochs(epochs, probesPerNode int) int {
+	return d.eng.RunEpochs(epochs, probesPerNode)
 }
 
 // RunCheckpoints runs total steps, invoking fn after every chunk of `every`
@@ -229,15 +225,7 @@ func (d *Driver) ReplayTrace(trace []dataset.Measurement, toLabel func(dataset.M
 		if !ok {
 			continue
 		}
-		x := label / d.cfg.TrainScale
-		if d.ds.Metric.Symmetric() && !d.cfg.ForceAsymmetric {
-			d.cfg.SGD.UpdateRTT(d.nodes[m.I], d.nodes[m.J].U, d.nodes[m.J].V, x)
-		} else {
-			vj := append([]float64(nil), d.nodes[m.J].V...)
-			d.cfg.SGD.UpdateABWTarget(d.nodes[m.J], d.nodes[m.I].U, x)
-			d.cfg.SGD.UpdateABWSender(d.nodes[m.I], vj, x)
-		}
-		d.steps++
+		d.eng.ApplyLabel(m.I, m.J, label)
 		used++
 	}
 	return used, scanned
@@ -257,29 +245,20 @@ func (d *Driver) isNeighbor(i, j int) bool {
 // present ground truth ("probe a few and predict many" — prediction is
 // judged on the unmeasured pairs). maxPairs > 0 subsamples the set
 // deterministically for cheap checkpoint evaluation; 0 means everything.
+//
+// Label computation and prediction are spread over row-blocks of the pair
+// list (cfg.Workers goroutines, 0 = GOMAXPROCS); the output is identical
+// to a sequential pass for every worker count.
 func (d *Driver) EvalSet(maxPairs int) (labels, scores []float64) {
-	test := d.trainMask.Complement()
-	pairs := test.Pairs()
-	// Drop pairs with missing ground truth.
-	kept := pairs[:0]
-	for _, p := range pairs {
-		if !d.ds.Matrix.IsMissing(p.I, p.J) {
-			kept = append(kept, p)
-		}
-	}
-	pairs = kept
-	if maxPairs > 0 && len(pairs) > maxPairs {
-		sub := rand.New(rand.NewSource(d.cfg.Seed + 7919))
-		sub.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
-		pairs = pairs[:maxPairs]
-	}
-	labels = make([]float64, len(pairs))
-	scores = make([]float64, len(pairs))
-	for idx, p := range pairs {
-		labels[idx] = classify.Of(d.ds.Metric, d.ds.Matrix.At(p.I, p.J), d.cfg.Tau).Value()
-		scores[idx] = d.Predict(p.I, p.J)
-	}
-	return labels, scores
+	return engine.EvalSet(d.eng.Store(), engine.EvalSpec{
+		Mask:          d.trainMask,
+		Truth:         d.ds.Matrix,
+		Metric:        d.ds.Metric,
+		Tau:           d.cfg.Tau,
+		MaxPairs:      maxPairs,
+		SubsampleSeed: d.cfg.Seed + 7919,
+		Workers:       d.cfg.Workers,
+	})
 }
 
 // AUC evaluates the classifier on the full test set.
@@ -295,10 +274,11 @@ func (d *Driver) AUCSample(maxPairs int) float64 {
 }
 
 // Confusion evaluates the sign decision rule on the full test set
-// (Table 2: predicted class = sign(x̂)).
+// (Table 2: predicted class = sign(x̂)), accumulating the matrix in
+// parallel over blocks of the test set.
 func (d *Driver) Confusion() eval.Confusion {
 	labels, scores := d.EvalSet(0)
-	return eval.ConfusionAt(labels, scores, 0)
+	return eval.ConfusionAtParallel(labels, scores, 0, d.cfg.Workers)
 }
 
 // DefaultBudget returns the paper's convergence budget: each node consumes

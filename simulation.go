@@ -61,6 +61,12 @@ type SimulationConfig struct {
 	K int
 	// Tau is the classification threshold (0 = dataset median).
 	Tau float64
+	// Shards partitions the coordinate store for RunEpochs (0 = 1).
+	// Sequential Run results are identical for every value.
+	Shards int
+	// Workers bounds the goroutines used by RunEpochs and evaluation
+	// (0 = GOMAXPROCS). Results are identical for every value.
+	Workers int
 	// Seed drives the simulation (neighbor choice, probe order, init).
 	Seed int64
 }
@@ -84,9 +90,11 @@ func Simulate(ds *Dataset, cfg SimulationConfig) (*Simulation, error) {
 		tau = ds.Median()
 	}
 	drv, err := sim.ClassDriver(ds, tau, sim.Config{
-		SGD:  cfg.Config.sgdConfig(),
-		K:    k,
-		Seed: cfg.Seed,
+		SGD:     cfg.Config.sgdConfig(),
+		K:       k,
+		Shards:  cfg.Shards,
+		Workers: cfg.Workers,
+		Seed:    cfg.Seed,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -109,6 +117,16 @@ func (s *Simulation) Run(total int) {
 		return
 	}
 	s.drv.Run(total)
+}
+
+// RunEpochs trains with the sharded parallel engine instead of the
+// sequential measurement stream: epochs sweeps in which every node probes
+// probesPerNode random neighbors, executed concurrently across the
+// configured shards. Deterministic for a fixed seed regardless of shard
+// count. Static datasets only (dynamic traces replay in time order via
+// Run). Returns the number of successful updates.
+func (s *Simulation) RunEpochs(epochs, probesPerNode int) int {
+	return s.drv.RunEpochs(epochs, probesPerNode)
 }
 
 // Tau returns the classification threshold in effect.
@@ -202,6 +220,11 @@ type SwarmConfig struct {
 	MeasurementNoise float64
 	// DropRate / DupRate inject transport failures.
 	DropRate, DupRate float64
+	// Shards partitions the swarm-wide coordinate store (0 = a default
+	// sized to keep shard-lock contention low).
+	Shards int
+	// Workers bounds the goroutines used by evaluation (0 = GOMAXPROCS).
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -232,6 +255,8 @@ func StartSwarm(ds *Dataset, cfg SwarmConfig) (*Swarm, error) {
 		MeasurementNoise: cfg.MeasurementNoise,
 		DropRate:         cfg.DropRate,
 		DupRate:          cfg.DupRate,
+		Shards:           cfg.Shards,
+		Workers:          cfg.Workers,
 		Seed:             cfg.Seed,
 	})
 	if err != nil {
