@@ -13,12 +13,15 @@
 package dmfsgd_test
 
 import (
+	"context"
+	"math/rand"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
 
+	"dmfsgd"
 	"dmfsgd/internal/batch"
 	"dmfsgd/internal/classify"
 	"dmfsgd/internal/dataset"
@@ -433,6 +436,126 @@ func BenchmarkEngineEvalMeridian1000Workers8(b *testing.B) { benchEngineEval(b, 
 func BenchmarkEngineEvalMeridian2500Workers1(b *testing.B) { benchEngineEval(b, 2500, 1) }
 func BenchmarkEngineEvalMeridian2500Workers4(b *testing.B) { benchEngineEval(b, 2500, 4) }
 func BenchmarkEngineEvalMeridian2500Workers8(b *testing.B) { benchEngineEval(b, 2500, 8) }
+
+// --- Snapshot serving benchmarks (PredictBatch / Rank throughput) ---
+//
+// The serving path of the Session API: an immutable Snapshot answers
+// batch predictions and peer rankings with zero lock acquisitions, so
+// throughput must scale with reader goroutines until memory bandwidth.
+// These join the engine benchmarks as the perf trajectory of the serving
+// tier (pairs/s and ranked candidates/s at 1/4/8 concurrent readers).
+
+var (
+	servingSnapOnce sync.Once
+	servingSnap     *dmfsgd.Snapshot
+)
+
+// snapshotForServing trains one Meridian-1000 session with the parallel
+// epoch engine and freezes it (done once, outside every timed region).
+func snapshotForServing(b *testing.B) *dmfsgd.Snapshot {
+	b.Helper()
+	servingSnapOnce.Do(func() {
+		ds := meridianSized(1000)
+		sess, err := dmfsgd.NewSession(ds,
+			dmfsgd.WithK(32),
+			dmfsgd.WithShards(8),
+			dmfsgd.WithSeed(1),
+		)
+		if err != nil {
+			panic(err)
+		}
+		defer sess.Close()
+		if _, err := sess.RunEpochs(context.Background(), 20, 32); err != nil {
+			panic(err)
+		}
+		servingSnap = sess.Snapshot()
+	})
+	return servingSnap
+}
+
+// benchSnapshotPredictBatch measures batch-prediction throughput with the
+// given number of concurrent reader goroutines, each scoring its own
+// random pair batch into a caller-owned buffer (no allocations, no
+// locks — contention can only come from the memory system).
+func benchSnapshotPredictBatch(b *testing.B, readers int) {
+	snap := snapshotForServing(b)
+	const batchLen = 8192
+	pairs := make([][]dmfsgd.PathPair, readers)
+	scores := make([][]float64, readers)
+	for r := range pairs {
+		rng := rand.New(rand.NewSource(int64(r + 1)))
+		pairs[r] = make([]dmfsgd.PathPair, batchLen)
+		for k := range pairs[r] {
+			pairs[r][k] = dmfsgd.PathPair{I: rng.Intn(snap.N()), J: rng.Intn(snap.N())}
+		}
+		scores[r] = make([]float64, batchLen)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				snap.PredictBatch(pairs[r], scores[r])
+			}(r)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.N)*float64(readers)*batchLen/b.Elapsed().Seconds(), "pairs/s")
+}
+
+func BenchmarkSnapshotPredictBatchReaders1(b *testing.B) { benchSnapshotPredictBatch(b, 1) }
+func BenchmarkSnapshotPredictBatchReaders4(b *testing.B) { benchSnapshotPredictBatch(b, 4) }
+func BenchmarkSnapshotPredictBatchReaders8(b *testing.B) { benchSnapshotPredictBatch(b, 8) }
+
+// benchSnapshotRank measures the §6.4 peer-ranking primitive: each reader
+// repeatedly ranks a 256-candidate set for a rotating source node.
+func benchSnapshotRank(b *testing.B, readers int) {
+	snap := snapshotForServing(b)
+	const candidateCount = 256
+	candidates := make([][]int, readers)
+	for r := range candidates {
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		candidates[r] = make([]int, candidateCount)
+		for k := range candidates[r] {
+			candidates[r][k] = rng.Intn(snap.N())
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				snap.Rank((i+r)%snap.N(), candidates[r])
+			}(r)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(b.N)*float64(readers)*candidateCount/b.Elapsed().Seconds(), "candidates/s")
+}
+
+func BenchmarkSnapshotRankReaders1(b *testing.B) { benchSnapshotRank(b, 1) }
+func BenchmarkSnapshotRankReaders4(b *testing.B) { benchSnapshotRank(b, 4) }
+func BenchmarkSnapshotRankReaders8(b *testing.B) { benchSnapshotRank(b, 8) }
+
+// BenchmarkEvalPairCache measures the cached evaluation sweep: after the
+// first call the ~n² pair list is reused, so per-call allocations drop
+// from ~100MB (Meridian-2500 scale) to the label/score output only.
+func BenchmarkEvalPairCache(b *testing.B) {
+	drv := engineDriver(b, 1000, 4)
+	drv.RunEpochs(1, 8)
+	drv.EvalSet(0) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drv.EvalSet(0)
+	}
+}
 
 // simDefaults returns the paper-default SGD configuration.
 func simDefaults() sgd.Config { return sgd.Defaults() }

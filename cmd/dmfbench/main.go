@@ -10,8 +10,7 @@
 //	dmfbench -seed 7          # different random universe
 //
 // The experiment IDs map one-to-one to the paper's tables and figures; see
-// DESIGN.md §4 for the index and EXPERIMENTS.md for the recorded
-// paper-vs-measured comparison.
+// DESIGN.md §4 for the index.
 package main
 
 import (

@@ -1,0 +1,246 @@
+// Command dmfserve is an HTTP/JSON prediction service over a DMFSGD
+// Snapshot: the serve-heavy-traffic story of the Session API. It trains a
+// Session over a synthetic dataset, materializes an immutable Snapshot,
+// and answers prediction queries from it with zero lock acquisitions —
+// every request handler reads the same frozen coordinate arrays, so
+// throughput scales with cores until memory bandwidth. With -refresh the
+// session keeps training in the background and atomically swaps a fresh
+// Snapshot into the serving pointer at each interval; in-flight requests
+// keep the snapshot they started with.
+//
+// Endpoints:
+//
+//	GET  /healthz                          liveness + update counter
+//	GET  /stats                            session and snapshot metadata
+//	GET  /predict?i=3&j=77                 one path: score and class
+//	POST /predict {"pairs":[[3,77],...]}   batch prediction
+//	GET  /rank?i=3&candidates=4,9,12       §6.4 peer ranking, best first
+//
+// Example:
+//
+//	dmfserve -dataset meridian -n 500 -addr :8080 -refresh 2s
+//	curl 'localhost:8080/predict?i=3&j=77'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"dmfsgd"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dsName  = flag.String("dataset", "meridian", "dataset: meridian, harvard or hps3")
+		n       = flag.Int("n", 500, "node count (0 = dataset original scale)")
+		seed    = flag.Int64("seed", 1, "seed for dataset generation and training")
+		rank    = flag.Int("rank", 10, "coordinate dimensionality")
+		k       = flag.Int("k", 0, "neighbors per node (0 = dataset default)")
+		shards  = flag.Int("shards", 0, "coordinate store shards (0 = default)")
+		workers = flag.Int("workers", 0, "training/eval goroutines (0 = GOMAXPROCS)")
+		budget  = flag.Int("budget", 0, "training update budget (0 = paper default, 20·k·n)")
+		refresh = flag.Duration("refresh", 0, "keep training and swap a fresh snapshot at this interval (0 = train once, serve frozen)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var ds *dmfsgd.Dataset
+	switch *dsName {
+	case "meridian":
+		ds = dmfsgd.NewMeridianDataset(*n, *seed)
+	case "harvard":
+		ds = dmfsgd.NewHarvardDataset(*n, 0, *seed)
+	case "hps3":
+		ds = dmfsgd.NewHPS3Dataset(*n, *seed)
+	default:
+		log.Fatalf("dmfserve: unknown dataset %q (want meridian, harvard or hps3)", *dsName)
+	}
+
+	opts := []dmfsgd.Option{
+		dmfsgd.WithSeed(*seed),
+		dmfsgd.WithRank(*rank),
+	}
+	if *k > 0 {
+		opts = append(opts, dmfsgd.WithK(*k))
+	}
+	if *shards > 0 {
+		opts = append(opts, dmfsgd.WithShards(*shards))
+	}
+	if *workers > 0 {
+		opts = append(opts, dmfsgd.WithWorkers(*workers))
+	}
+	sess, err := dmfsgd.NewSession(ds, opts...)
+	if err != nil {
+		log.Fatalf("dmfserve: %v", err)
+	}
+	defer sess.Close()
+
+	log.Printf("training: %s, %d nodes, k=%d, tau=%.2f", ds.Name, sess.N(), sess.K(), sess.Tau())
+	start := time.Now()
+	if err := sess.Run(ctx, *budget); err != nil {
+		log.Fatalf("dmfserve: training interrupted: %v", err)
+	}
+	log.Printf("trained: %d updates in %.1fs", sess.Steps(), time.Since(start).Seconds())
+
+	// The serving pointer: handlers load it once per request; the
+	// refresher stores fresh snapshots. Readers never block writers and
+	// vice versa.
+	var serving atomic.Pointer[dmfsgd.Snapshot]
+	serving.Store(sess.Snapshot())
+
+	if *refresh > 0 {
+		go func() {
+			tick := time.NewTicker(*refresh)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				// One k·n increment of training, then publish. Only this
+				// goroutine touches the session after startup; handlers
+				// read immutable snapshots.
+				if err := sess.Run(ctx, sess.N()*sess.K()); err != nil {
+					return
+				}
+				snap := sess.Snapshot()
+				serving.Store(snap)
+				log.Printf("snapshot refreshed at %d updates", snap.Steps())
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "steps": serving.Load().Steps()})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		// Snapshot metadata only: the session itself may be training in
+		// the background and is not safe to read concurrently.
+		snap := serving.Load()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dataset":        ds.Name,
+			"nodes":          snap.N(),
+			"dim":            snap.Dim(),
+			"tau":            snap.Tau(),
+			"snapshot_steps": snap.Steps(),
+		})
+	})
+	mux.HandleFunc("GET /predict", func(w http.ResponseWriter, r *http.Request) {
+		snap := serving.Load()
+		i, err := nodeParam(r, "i", snap.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		j, err := nodeParam(r, "j", snap.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		score := snap.Predict(i, j)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"i": i, "j": j, "score": score, "class": snap.Classify(i, j).String(),
+		})
+	})
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		snap := serving.Load()
+		var req struct {
+			Pairs [][2]int `json:"pairs"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, fmt.Errorf("bad JSON body: %v", err))
+			return
+		}
+		pairs := make([]dmfsgd.PathPair, len(req.Pairs))
+		for idx, p := range req.Pairs {
+			if p[0] < 0 || p[0] >= snap.N() || p[1] < 0 || p[1] >= snap.N() {
+				writeError(w, fmt.Errorf("pair %d: (%d,%d) out of range [0,%d)", idx, p[0], p[1], snap.N()))
+				return
+			}
+			pairs[idx] = dmfsgd.PathPair{I: p[0], J: p[1]}
+		}
+		scores := snap.PredictBatch(pairs, nil)
+		classes := make([]string, len(scores))
+		for idx, s := range scores {
+			classes[idx] = dmfsgd.ClassOfScore(s).String()
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"scores": scores, "classes": classes})
+	})
+	mux.HandleFunc("GET /rank", func(w http.ResponseWriter, r *http.Request) {
+		snap := serving.Load()
+		i, err := nodeParam(r, "i", snap.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		var candidates []int
+		for _, part := range strings.Split(r.URL.Query().Get("candidates"), ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			j, err := strconv.Atoi(part)
+			if err != nil || j < 0 || j >= snap.N() {
+				writeError(w, fmt.Errorf("bad candidate %q", part))
+				return
+			}
+			candidates = append(candidates, j)
+		}
+		if len(candidates) == 0 {
+			writeError(w, errors.New("need candidates=j1,j2,..."))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"i": i, "ranked": snap.Rank(i, candidates)})
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+	log.Printf("serving on %s (refresh=%v)", *addr, *refresh)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("dmfserve: %v", err)
+	}
+}
+
+// nodeParam parses a node-index query parameter and bounds-checks it.
+func nodeParam(r *http.Request, name string, n int) (int, error) {
+	v := r.URL.Query().Get(name)
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: want an integer", name, v)
+	}
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("%s=%d out of range [0,%d)", name, i, n)
+	}
+	return i, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+}

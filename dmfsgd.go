@@ -45,9 +45,12 @@ const (
 	LossL2 = loss.L2
 )
 
-// Config carries the DMFSGD hyper-parameters. The zero value of each field
-// is replaced by the paper's default (§6.2.4): Rank 10, LearningRate 0.1,
-// Lambda 0.1, LossLogistic.
+// Config carries the DMFSGD hyper-parameters for the embeddable Node
+// API. The zero value of each field is replaced by the paper's default
+// (§6.2.4): Rank 10, LearningRate 0.1, Lambda 0.1, LossLogistic.
+// Build one with NewConfig and functional options to set values —
+// including explicit zeros — unambiguously; Sessions take the same
+// options directly.
 type Config struct {
 	// Rank is r, the coordinate dimensionality.
 	Rank int
@@ -117,11 +120,12 @@ type Node struct {
 	coords *sgd.Coordinates
 }
 
-// NewNode creates a node with randomly initialized coordinates.
+// NewNode creates a node with randomly initialized coordinates. Invalid
+// hyper-parameters are reported with an error wrapping ErrInvalidConfig.
 func NewNode(cfg Config, seed int64) (*Node, error) {
 	sc := cfg.sgdConfig()
 	if err := sc.Validate(); err != nil {
-		return nil, fmt.Errorf("dmfsgd: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	return &Node{
 		cfg:    sc,
@@ -180,4 +184,13 @@ func (n *Node) Healthy() bool { return n.coords.Valid() }
 // to turn their own measurements into classes before calling Observe*.
 func ClassOf(m Metric, value, tau float64) Class {
 	return classify.Of(m, value, tau)
+}
+
+// ClassOfScore applies the sign decision rule to a prediction score
+// x̂ᵢⱼ (from Node.Score, Session.Predict or Snapshot.PredictBatch):
+// strictly positive means Good. This is the single place the rule
+// lives — serving code should use it instead of re-deriving the sign
+// convention.
+func ClassOfScore(score float64) Class {
+	return classify.FromValue(score)
 }

@@ -21,42 +21,65 @@
 // the predicted class, and its magnitude orders candidate peers from most
 // to least likely good.
 //
-// # Package layout
+// # Public API
 //
-// This root package is the stable public API:
+// The root package is organized around three types (see DESIGN.md for
+// the full architecture):
 //
+//   - Session: the context-aware facade over both execution backends —
+//     the deterministic simulation driver (default; reproduces the
+//     paper's experiments) and the live concurrent swarm (WithLive).
+//     Configured with functional options (WithRank, WithTau, WithLoss,
+//     WithShards, WithSeed, …) that reject bad values with errors
+//     wrapping ErrInvalidConfig. Training runs under a context
+//     (Run, RunEpochs) and streams telemetry through Watch.
+//   - Snapshot: an immutable copy of all coordinates, materialized from
+//     a Session in one pass. Predict, PredictBatch, Rank and Classify
+//     serve unlimited concurrent readers with zero synchronization —
+//     the serving surface for heavy prediction traffic (cmd/dmfserve
+//     exposes it over HTTP).
 //   - Node: an embeddable DMFSGD participant for applications that bring
-//     their own networking (observe measurements, predict classes).
-//   - Simulation: deterministic experiments over generated or loaded
-//     datasets (this is what reproduces the paper's figures).
-//   - Swarm: a live concurrent deployment of goroutine nodes exchanging
-//     real protocol messages over in-memory or UDP transports.
-//   - Dataset constructors for the three evaluation workloads (Harvard,
-//     Meridian, HP-S3 — synthetic equivalents; see DESIGN.md).
+//     their own networking (observe measurements, predict classes);
+//     NewSnapshot assembles a serving Snapshot from gathered Node
+//     coordinates.
+//
+// Failures are reported through typed sentinel errors (ErrInvalidConfig,
+// ErrStopped, ErrDynamicTrace, ErrLiveSession) that work with errors.Is;
+// cancelled runs return the context's error.
+//
+// The previous experiment-harness surface — Simulate/Simulation,
+// StartSwarm/Swarm and their config structs — remains as thin deprecated
+// shims over Session and keeps reproducing historical fixed-seed outputs
+// bit for bit.
+//
+// # Package layout
 //
 // Implementation packages live under internal/ (sgd, sim, runtime, wire,
 // transport, eval, …); cmd/dmfbench regenerates every table and figure of
-// the paper, and examples/ contains runnable walkthroughs.
+// the paper, cmd/dmfserve serves predictions over HTTP from a Snapshot,
+// and examples/ contains runnable walkthroughs.
 //
 // # Execution engine
 //
-// Both drivers — the deterministic simulator and the concurrent runtime —
-// execute on one shared layer, internal/engine: a sharded coordinate
-// store (nodes partitioned across P shards, each shard owning its nodes'
-// (uᵢ, vᵢ) rows behind one lock) plus two schedulers over it. The
-// sequential scheduler reproduces the historical single-stream semantics
-// bit for bit; the parallel epoch scheduler fans shard sweeps out to a
-// worker pool while staying deterministic for a fixed seed regardless of
-// shard count (per-node RNG streams, epoch-start snapshots for peer
-// reads, cross-shard ABW updates routed through mailboxes and applied in
-// sorted order at the epoch barrier). Evaluation of the O(n²) held-out
-// pairs is spread over row-blocks and scales with cores. Shards and
-// Workers knobs are surfaced on SimulationConfig and SwarmConfig.
+// Both backends execute on one shared layer, internal/engine: a sharded
+// coordinate store (nodes partitioned across P shards, each shard owning
+// its nodes' (uᵢ, vᵢ) rows behind one lock) plus two schedulers over it.
+// The sequential scheduler reproduces the historical single-stream
+// semantics bit for bit; the parallel epoch scheduler fans shard sweeps
+// out to a worker pool while staying deterministic for a fixed seed
+// regardless of shard count (per-node RNG streams, epoch-start snapshots
+// for peer reads, cross-shard ABW updates routed through mailboxes and
+// applied in sorted order at the epoch barrier). Evaluation of the O(n²)
+// held-out pairs is spread over row-blocks, scales with cores, caches
+// its pair list across calls, and cancels with the caller's context.
 //
 // # Quick start
 //
-//	ds := dmfsgd.NewMeridianDataset(200, 42)   // synthetic RTT matrix
-//	sim, _ := dmfsgd.Simulate(ds, dmfsgd.SimulationConfig{})
-//	sim.Run(0)                                  // paper's default budget
-//	fmt.Printf("AUC=%.3f\n", sim.AUC())
+//	ds := dmfsgd.NewMeridianDataset(200, 42)     // synthetic RTT matrix
+//	sess, err := dmfsgd.NewSession(ds, dmfsgd.WithSeed(42))
+//	if err != nil { ... }
+//	defer sess.Close()
+//	sess.Run(ctx, 0)                              // paper's default budget
+//	snap := sess.Snapshot()                       // lock-free serving view
+//	fmt.Printf("0→9: %v\n", snap.Classify(0, 9))
 package dmfsgd

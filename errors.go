@@ -1,0 +1,33 @@
+package dmfsgd
+
+import "errors"
+
+// Sentinel errors returned by the public API. Test for them with
+// errors.Is: every error a Session, Snapshot constructor or option
+// returns wraps exactly one of these (or a context error when a Run was
+// cancelled — errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work as usual).
+var (
+	// ErrInvalidConfig marks a rejected configuration: an out-of-range
+	// option value, an impossible topology (k ≥ n), malformed snapshot
+	// coordinates, and so on. The wrapped message names the offending
+	// parameter.
+	ErrInvalidConfig = errors.New("dmfsgd: invalid configuration")
+
+	// ErrStopped is returned by operations on a Session that has been
+	// closed with Close.
+	ErrStopped = errors.New("dmfsgd: session closed")
+
+	// ErrDynamicTrace is returned by epoch training on a dataset that
+	// carries a dynamic measurement trace (Harvard): epochs would sample
+	// the matrix in random order and silently ignore the trace, which is
+	// never what the caller meant. Use Session.Run, which replays the
+	// trace in time order.
+	ErrDynamicTrace = errors.New("dmfsgd: dataset has a dynamic measurement trace")
+
+	// ErrLiveSession is returned by operations that require the
+	// deterministic driver (epoch training) when the session was built
+	// with WithLive: live swarms train continuously on their own
+	// schedule.
+	ErrLiveSession = errors.New("dmfsgd: not supported on a live session")
+)

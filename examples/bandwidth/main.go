@@ -5,8 +5,9 @@
 // ONE train sent at rate τ: congestion observed means "no". This example
 // drives Algorithm 2 of the paper at the application level through the
 // embeddable Node API: every node keeps two small vectors, probes a few
-// random neighbors with binary trains, and afterwards predicts the
-// class of every pair it never probed.
+// random neighbors with binary trains, and afterwards the application
+// gathers all coordinates into an immutable Snapshot and predicts the
+// class of every never-probed pair in one lock-free batch.
 //
 //	go run ./examples/bandwidth
 package main
@@ -27,9 +28,15 @@ func main() {
 	fmt.Printf("network: %d hosts, probe rate tau = %.1f Mbps (median ABW)\n", n, tau)
 
 	// One embeddable Node per host: this is all the state DMFSGD needs.
+	// NewConfig builds the hyper-parameters from the same options a
+	// Session takes (defaults here).
+	cfg, err := dmfsgd.NewConfig()
+	if err != nil {
+		panic(err)
+	}
 	nodes := make([]*dmfsgd.Node, n)
 	for i := range nodes {
-		node, err := dmfsgd.NewNode(dmfsgd.DefaultConfig(), int64(i))
+		node, err := dmfsgd.NewNode(cfg, int64(i))
 		if err != nil {
 			panic(err)
 		}
@@ -75,7 +82,20 @@ func main() {
 	fmt.Printf("sent %d binary trains (%.1f%% of full-mesh precise measurement cost)\n",
 		probes, 100*float64(k)/float64(n-1))
 
-	// Evaluate on pairs outside every neighbor set.
+	// Gather every node's coordinates into one immutable Snapshot — the
+	// serving view an operator would export (cmd/dmfserve serves exactly
+	// this over HTTP).
+	us := make([][]float64, n)
+	vs := make([][]float64, n)
+	for i, node := range nodes {
+		us[i], vs[i] = node.U(), node.V()
+	}
+	snap, err := dmfsgd.NewSnapshot(dmfsgd.ABW, tau, us, vs)
+	if err != nil {
+		panic(err)
+	}
+
+	// Evaluate on pairs outside every neighbor set, in one batch.
 	isNeighbor := func(i, j int) bool {
 		for _, p := range neighbors[i] {
 			if p == j {
@@ -84,20 +104,22 @@ func main() {
 		}
 		return false
 	}
-	var correct, total int
+	var pairs []dmfsgd.PathPair
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j || isNeighbor(i, j) || ds.Matrix.IsMissing(i, j) {
 				continue
 			}
-			pred := nodes[i].PredictClass(nodes[j].V())
-			truth := dmfsgd.ClassOf(dmfsgd.ABW, ds.Matrix.At(i, j), tau)
-			if pred == truth {
-				correct++
-			}
-			total++
+			pairs = append(pairs, dmfsgd.PathPair{I: i, J: j})
 		}
 	}
-	fmt.Printf("\npredicted classes for %d never-probed pairs\n", total)
-	fmt.Printf("accuracy: %.1f%%\n", 100*float64(correct)/float64(total))
+	scores := snap.PredictBatch(pairs, nil)
+	var correct int
+	for idx, p := range pairs {
+		if dmfsgd.ClassOfScore(scores[idx]) == dmfsgd.ClassOf(dmfsgd.ABW, ds.Matrix.At(p.I, p.J), tau) {
+			correct++
+		}
+	}
+	fmt.Printf("\npredicted classes for %d never-probed pairs\n", len(pairs))
+	fmt.Printf("accuracy: %.1f%%\n", 100*float64(correct)/float64(len(pairs)))
 }

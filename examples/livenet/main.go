@@ -1,7 +1,10 @@
 // Live swarm: the concurrent runtime in action. Eighty goroutine nodes
 // exchange real protocol messages (probe requests and replies carrying
 // coordinates) over an in-memory datagram transport with 5% packet loss,
-// while this program watches the swarm-wide prediction quality converge.
+// while this program follows the swarm through the Session API: Run
+// waits on an update budget under a deadline, Watch streams training
+// telemetry, AUC checkpoints measure convergence, and a final lock-free
+// Snapshot freezes the result for serving.
 //
 // The same node implementation runs over UDP across processes — see
 // cmd/dmfnode for a multi-process deployment.
@@ -10,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,28 +22,49 @@ import (
 
 func main() {
 	ds := dmfsgd.NewMeridianDataset(80, 3)
-	fmt.Printf("starting %d concurrent nodes (k=%d neighbors each, 5%% packet loss)\n",
-		ds.N(), ds.DefaultK)
+	fmt.Printf("starting %d concurrent nodes (k=16 neighbors each, 5%% packet loss)\n", ds.N())
 
-	swarm, err := dmfsgd.StartSwarm(ds, dmfsgd.SwarmConfig{
-		K:                16,
-		ProbeInterval:    300 * time.Microsecond,
-		MeasurementNoise: 0.05,
-		DropRate:         0.05,
-		Seed:             3,
-	})
+	sess, err := dmfsgd.NewSession(ds,
+		dmfsgd.WithLive(),
+		dmfsgd.WithK(16),
+		dmfsgd.WithProbeInterval(300*time.Microsecond),
+		dmfsgd.WithMeasurementNoise(0.05),
+		dmfsgd.WithPacketLoss(0.05, 0),
+		dmfsgd.WithSeed(3),
+	)
 	if err != nil {
 		panic(err)
 	}
-	defer swarm.Stop()
+	defer sess.Close()
+
+	// Train for up to 3 seconds (or 2M updates, whichever comes first):
+	// the swarm probes on its own schedule, Run just waits on the budget
+	// and feeds the Watch stream.
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	watch := sess.Watch(ctx)
+	go func() { _ = sess.Run(ctx, 2<<20) }()
 
 	fmt.Println("\n   time    updates      AUC (unmeasured pairs)")
 	start := time.Now()
-	for elapsed := time.Duration(0); elapsed < 3*time.Second; {
-		time.Sleep(500 * time.Millisecond)
-		elapsed = time.Since(start)
-		fmt.Printf("  %5.1fs  %9d    %.3f\n",
-			elapsed.Seconds(), swarm.Updates(), swarm.AUC(20000))
+	next := start.Add(500 * time.Millisecond)
+	for p := range watch { // closes when ctx expires
+		if time.Now().Before(next) {
+			continue
+		}
+		next = next.Add(500 * time.Millisecond)
+		auc, err := sess.AUC(ctx, 20000)
+		if err != nil {
+			break // deadline hit mid-evaluation
+		}
+		fmt.Printf("  %5.1fs  %9d    %.3f\n", time.Since(start).Seconds(), p.Steps, auc)
 	}
-	fmt.Println("\nnodes never shared a matrix — only O(rank) coordinates per probe.")
+
+	// Freeze the coordinates for serving: the snapshot is consistent
+	// per shard, immutable, and needs no locks however many goroutines
+	// read it — the swarm keeps training underneath, unaffected.
+	snap := sess.Snapshot()
+	fmt.Printf("\nsnapshot at %d updates: node 0 -> 40 predicted %s\n",
+		snap.Steps(), snap.Classify(0, 40))
+	fmt.Println("nodes never shared a matrix — only O(rank) coordinates per probe.")
 }

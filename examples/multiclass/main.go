@@ -3,12 +3,14 @@
 // labels a video-streaming application maps to quality tiers (4K / HD /
 // SD / audio-only). Each class boundary is one binary DMFSGD problem;
 // nodes carry one coordinate pair per boundary and stay fully
-// decentralized.
+// decentralized. Misconfiguration (e.g. unordered thresholds) is
+// reported through the package's typed errors.
 //
 //	go run ./examples/multiclass
 package main
 
 import (
+	"errors"
 	"fmt"
 
 	"dmfsgd"
@@ -25,7 +27,19 @@ func main() {
 	fmt.Printf("rating %d-node network into 4 classes: <%.0fms / <%.0fms / <%.0fms / rest\n\n",
 		ds.N(), q1, q2, q3)
 
-	res, err := dmfsgd.SimulateMulticlass(ds, []float64{q1, q2, q3}, dmfsgd.DefaultConfig(), 5)
+	// Hyper-parameters through the same options a Session takes.
+	cfg, err := dmfsgd.NewConfig(dmfsgd.WithLoss(dmfsgd.LossLogistic))
+	if err != nil {
+		panic(err)
+	}
+
+	// Thresholds must be ordered strictest-first; the package rejects
+	// anything else with ErrInvalidConfig rather than training nonsense.
+	if _, err := dmfsgd.SimulateMulticlass(ds, []float64{q3, q1}, cfg, 5); !errors.Is(err, dmfsgd.ErrInvalidConfig) {
+		panic("unordered thresholds should be rejected")
+	}
+
+	res, err := dmfsgd.SimulateMulticlass(ds, []float64{q1, q2, q3}, cfg, 5)
 	if err != nil {
 		panic(err)
 	}

@@ -4,11 +4,14 @@
 // random choice against class-based DMFSGD selection and reports the two
 // criteria from the paper: optimality (stretch) and satisfaction
 // (fraction of nodes stuck with a "bad" peer while a "good" one existed).
+// It finishes with the serving-side primitive: Snapshot.Rank, which
+// orders a candidate set best-first from the frozen coordinates.
 //
 //	go run ./examples/peerselection
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,22 +23,42 @@ func main() {
 	tau := ds.Median()
 	fmt.Printf("P2P network: %d nodes, a peer is 'good' when RTT <= %.1f ms\n\n", ds.N(), tau)
 
-	sim, err := dmfsgd.Simulate(ds, dmfsgd.SimulationConfig{Seed: 7})
+	ctx := context.Background()
+	sess, err := dmfsgd.NewSession(ds, dmfsgd.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}
-	sim.Run(0)
-	fmt.Printf("trained: AUC %.3f over unmeasured paths\n\n", sim.AUC())
+	defer sess.Close()
+	if err := sess.Run(ctx, 0); err != nil {
+		panic(err)
+	}
+	auc, err := sess.AUC(ctx, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("trained: AUC %.3f over unmeasured paths\n\n", auc)
 
 	fmt.Println("peers  random-stretch  dmfsgd-stretch  random-unsat  dmfsgd-unsat")
 	for _, m := range []int{10, 20, 40, 60} {
-		stretch, unsat := sim.SelectPeers(m, int64(m))
+		stretch, unsat := sess.SelectPeers(m, int64(m))
 		rndStretch, rndUnsat := randomBaseline(ds, tau, m, int64(m))
 		fmt.Printf("%5d  %14.2f  %14.2f  %11.1f%%  %11.1f%%\n",
 			m, rndStretch, stretch, 100*rndUnsat, 100*unsat)
 	}
 	fmt.Println("\nstretch = chosen RTT / best available RTT (1.0 is optimal)")
 	fmt.Println("unsat   = nodes that picked a bad peer although a good one existed")
+
+	// The same decision as a serving query: freeze the coordinates and
+	// rank one node's candidates, best predicted peer first.
+	snap := sess.Snapshot()
+	node := 0
+	candidates := []int{17, 42, 99, 130, 200}
+	ranked := snap.Rank(node, candidates)
+	fmt.Printf("\nsnapshot ranking for node %d over %v:\n", node, candidates)
+	for pos, j := range ranked {
+		fmt.Printf("  #%d: node %3d  (score %+.2f, true RTT %.1f ms)\n",
+			pos+1, j, snap.Predict(node, j), ds.Matrix.At(node, j))
+	}
 }
 
 // randomBaseline evaluates uniform-random peer choice over fresh random

@@ -1,11 +1,13 @@
-// Quickstart: generate a synthetic wide-area RTT dataset, run the
-// decentralized class prediction protocol with the paper's default
-// parameters, and inspect the resulting accuracy.
+// Quickstart: generate a synthetic wide-area RTT dataset, train the
+// decentralized class prediction protocol through the Session API with
+// the paper's default parameters, and serve predictions from an
+// immutable Snapshot.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"dmfsgd"
@@ -19,42 +21,53 @@ func main() {
 
 	// Each node picks k random neighbors and only ever measures those:
 	// k·n of the n·(n−1) paths. Everything else is predicted.
-	sim, err := dmfsgd.Simulate(ds, dmfsgd.SimulationConfig{Seed: 42})
+	ctx := context.Background()
+	sess, err := dmfsgd.NewSession(ds, dmfsgd.WithSeed(42))
 	if err != nil {
 		panic(err)
 	}
+	defer sess.Close()
 	measured := ds.DefaultK * ds.N()
 	total := ds.N() * (ds.N() - 1)
 	fmt.Printf("measuring %d of %d paths (%.1f%%), predicting the rest\n",
 		measured, total, 100*float64(measured)/float64(total))
 
 	// Train with the paper's convergence budget (20·k measurements per
-	// node on average).
-	sim.Run(0)
+	// node on average). The context cancels cleanly mid-run if needed.
+	if err := sess.Run(ctx, 0); err != nil {
+		panic(err)
+	}
 
 	// How well do the predicted classes match reality on the ~98% of
 	// paths that were never measured?
-	fmt.Printf("\nAUC over unmeasured paths: %.3f\n", sim.AUC())
-	c := sim.Confusion()
+	auc, err := sess.AUC(ctx, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nAUC over unmeasured paths: %.3f\n", auc)
+	c, err := sess.Confusion(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("accuracy (sign rule):      %.1f%%\n", 100*c.Accuracy())
 	fmt.Printf("            predicted good   predicted bad\n")
 	fmt.Printf("actual good      %5.1f%%          %5.1f%%\n", 100*c.TPR(), 100*c.FNR())
 	fmt.Printf("actual bad       %5.1f%%          %5.1f%%\n", 100*c.FPR(), 100*c.TNR())
 
-	// Individual predictions: positive score = "good" (RTT under tau).
+	// Serving: materialize an immutable Snapshot once and answer any
+	// number of queries from it — lock-free, safe from any goroutine,
+	// bit-identical to the live session at quiescence.
+	snap := sess.Snapshot()
+	pairs := []dmfsgd.PathPair{{I: 0, J: 50}, {I: 10, J: 150}, {I: 42, J: 7}, {I: 199, J: 3}}
+	scores := snap.PredictBatch(pairs, nil)
 	fmt.Println("\nsample predictions (path: score -> class | truth):")
-	for _, pair := range [][2]int{{0, 50}, {10, 150}, {42, 7}, {199, 3}} {
-		i, j := pair[0], pair[1]
-		score := sim.Predict(i, j)
-		pred := "bad"
-		if score > 0 {
-			pred = "good"
-		}
+	for k, p := range pairs {
+		pred := dmfsgd.ClassOfScore(scores[k]).String()
 		truth := "bad"
-		if ds.Matrix.At(i, j) <= tau {
+		if ds.Matrix.At(p.I, p.J) <= tau {
 			truth = "good"
 		}
 		fmt.Printf("  %3d->%3d: %+6.2f -> %-4s | truth: %-4s (%.1f ms)\n",
-			i, j, score, pred, truth, ds.Matrix.At(i, j))
+			p.I, p.J, scores[k], pred, truth, ds.Matrix.At(p.I, p.J))
 	}
 }

@@ -2,7 +2,7 @@
 // synthetic form, plus loaders for externally supplied matrices.
 //
 // The paper evaluates on publicly distributed measurement sets that are not
-// shipped with this repository (see DESIGN.md §3 for the substitution
+// shipped with this repository (see DESIGN.md §4 for the substitution
 // rationale):
 //
 //   - Harvard: 2,492,546 dynamic application-level RTTs with timestamps

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	goruntime "runtime"
@@ -173,6 +174,31 @@ func (e *Engine) Run(total int) {
 			done++
 		}
 	}
+}
+
+// ctxCheckMask throttles context polling on hot loops: the context is
+// consulted once every ctxCheckMask+1 iterations.
+const ctxCheckMask = 4095
+
+// RunCtx performs up to total successful sequential steps, polling ctx
+// every few thousand probe attempts (attempts, not successes, so a sparse
+// label matrix cannot stall cancellation). It returns the number of
+// successful steps performed and, when interrupted, the context's error.
+// The store is always left in a valid state: a cancelled run simply
+// stopped after fewer measurements.
+func (e *Engine) RunCtx(ctx context.Context, total int) (int, error) {
+	done := 0
+	for attempts := 0; done < total; attempts++ {
+		if attempts&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return done, err
+			}
+		}
+		if e.Step() {
+			done++
+		}
+	}
+	return done, nil
 }
 
 // workers resolves the effective worker count.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -61,6 +62,20 @@ func (e *Engine) ensureEpochState() {
 // budget). RunEpoch requires exclusive use of the store: do not run it
 // concurrently with Ref access or with itself.
 func (e *Engine) RunEpoch(probesPerNode int) int {
+	total, _ := e.RunEpochCtx(context.Background(), probesPerNode)
+	return total
+}
+
+// RunEpochCtx is RunEpoch with cancellation at shard granularity: workers
+// poll ctx before claiming the next shard sweep, so a cancelled epoch
+// returns after at most one in-flight sweep per worker and leaks no
+// goroutines. An interrupted epoch leaves the store valid but incomplete —
+// the shards already swept keep their updates (and, in asymmetric mode,
+// undelivered mailbox updates are dropped like lost probes); the
+// cross-shard determinism contract holds only for epochs that complete.
+// Returns the successful updates applied and, when interrupted, the
+// context's error.
+func (e *Engine) RunEpochCtx(ctx context.Context, probesPerNode int) (int, error) {
 	if probesPerNode <= 0 {
 		panic("engine: probesPerNode must be positive")
 	}
@@ -68,14 +83,15 @@ func (e *Engine) RunEpoch(probesPerNode int) int {
 	p := e.store.shards
 	e.store.SnapshotInto(e.snapU, e.snapV)
 	for s := 0; s < p; s++ {
+		e.counts[s] = 0
 		for d := 0; d < p; d++ {
 			e.out[s][d] = e.out[s][d][:0]
 		}
 	}
 
-	e.forEachShard(func(s int) { e.counts[s] = e.probeShard(s, probesPerNode) })
-	if !e.cfg.Symmetric {
-		e.forEachShard(func(s int) { e.drainShard(s) })
+	e.forEachShard(ctx, func(s int) { e.counts[s] = e.probeShard(s, probesPerNode) })
+	if !e.cfg.Symmetric && ctx.Err() == nil {
+		e.forEachShard(ctx, func(s int) { e.drainShard(s) })
 	}
 
 	total := 0
@@ -83,17 +99,29 @@ func (e *Engine) RunEpoch(probesPerNode int) int {
 		total += c
 	}
 	e.steps += total
-	return total
+	return total, ctx.Err()
 }
 
 // RunEpochs runs a fixed number of epochs and returns the cumulative
 // successful updates.
 func (e *Engine) RunEpochs(epochs, probesPerNode int) int {
+	total, _ := e.RunEpochsCtx(context.Background(), epochs, probesPerNode)
+	return total
+}
+
+// RunEpochsCtx runs up to epochs epochs, checking ctx between epochs and at
+// shard granularity within one (see RunEpochCtx). Returns the cumulative
+// successful updates and, when interrupted, the context's error.
+func (e *Engine) RunEpochsCtx(ctx context.Context, epochs, probesPerNode int) (int, error) {
 	total := 0
 	for ep := 0; ep < epochs; ep++ {
-		total += e.RunEpoch(probesPerNode)
+		n, err := e.RunEpochCtx(ctx, probesPerNode)
+		total += n
+		if err != nil {
+			return total, err
+		}
 	}
-	return total
+	return total, nil
 }
 
 // RunEpochBudget runs epochs until at least total successful updates have
@@ -112,8 +140,10 @@ func (e *Engine) RunEpochBudget(total, probesPerNode int) int {
 	return done
 }
 
-// forEachShard runs fn(s) for every shard on the worker pool.
-func (e *Engine) forEachShard(fn func(s int)) {
+// forEachShard runs fn(s) for every shard on the worker pool. Workers poll
+// ctx before claiming a shard and stop claiming once it is cancelled; all
+// spawned goroutines are joined before returning.
+func (e *Engine) forEachShard(ctx context.Context, fn func(s int)) {
 	p := e.store.shards
 	w := e.workers()
 	if w > p {
@@ -121,6 +151,9 @@ func (e *Engine) forEachShard(fn func(s int)) {
 	}
 	if w <= 1 {
 		for s := 0; s < p; s++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(s)
 		}
 		return
@@ -132,7 +165,7 @@ func (e *Engine) forEachShard(fn func(s int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				s := int(next.Add(1))
 				if s >= p {
 					return

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"math/rand"
 	goruntime "runtime"
 	"sync"
@@ -47,15 +48,74 @@ func Blocks(n, workers int, fn func(lo, hi int)) {
 // row-major snapshot arrays (as produced by Store.SnapshotInto), spreading
 // the work over row-blocks of the pair list. scores must have len(pairs).
 func ScorePairs(u, v []float64, rank int, pairs []mat.Pair, scores []float64, workers int) {
+	ScorePairsCtx(context.Background(), u, v, rank, pairs, scores, workers)
+}
+
+// ScorePairsCtx is ScorePairs with cancellation: every block worker polls
+// ctx every few thousand pairs and abandons its remaining range once it is
+// cancelled. All workers are joined before returning; on cancellation the
+// scores slice is partially filled and the context's error is returned.
+func ScorePairsCtx(ctx context.Context, u, v []float64, rank int, pairs []mat.Pair, scores []float64, workers int) error {
 	if len(scores) != len(pairs) {
 		panic("engine: scores length must match pairs")
 	}
 	Blocks(len(pairs), workers, func(lo, hi int) {
 		for k := lo; k < hi; k++ {
+			if k&ctxCheckMask == 0 && ctx.Err() != nil {
+				return
+			}
 			p := pairs[k]
 			scores[k] = vec.Dot(u[p.I*rank:(p.I+1)*rank], v[p.J*rank:(p.J+1)*rank])
 		}
 	})
+	return ctx.Err()
+}
+
+// buildEvalPairs lists the evaluation pairs in row-major order: the
+// off-diagonal entries not observed in mask whose ground truth is present.
+func buildEvalPairs(mask *mat.Mask, truth *mat.Dense) []mat.Pair {
+	rows, cols := mask.Rows(), mask.Cols()
+	out := make([]mat.Pair, 0, rows*cols-mask.Count())
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if i != j && !mask.At(i, j) && !truth.IsMissing(i, j) {
+				out = append(out, mat.Pair{I: i, J: j})
+			}
+		}
+	}
+	return out
+}
+
+// PairCache memoizes the evaluation pair list, which is by far the largest
+// allocation of an evaluation sweep (~100MB at Meridian 2500 scale: nearly
+// n² pairs of two ints). The list depends only on the training mask and the
+// ground-truth missing pattern, both of which are fixed for the lifetime of
+// a driver, so repeated EvalSet calls (checkpoint curves, serving-time AUC
+// probes) can share one list. The cache revalidates on every lookup by
+// comparing the mask/truth identities and the mask's population count, so
+// it invalidates itself if the measured set changes in place.
+//
+// The cached list is shared read-only between callers; evaluation never
+// mutates it (subsampling shuffles a copy).
+type PairCache struct {
+	mu    sync.Mutex
+	mask  *mat.Mask
+	truth *mat.Dense
+	count int
+	pairs []mat.Pair
+}
+
+// get returns the cached pair list for (mask, truth), rebuilding it when
+// the cache is cold or the measured set changed.
+func (c *PairCache) get(mask *mat.Mask, truth *mat.Dense) []mat.Pair {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pairs != nil && c.mask == mask && c.truth == truth && c.count == mask.Count() {
+		return c.pairs
+	}
+	c.mask, c.truth, c.count = mask, truth, mask.Count()
+	c.pairs = buildEvalPairs(mask, truth)
+	return c.pairs
 }
 
 // EvalSpec describes the test-set evaluation shared by both drivers: the
@@ -78,6 +138,9 @@ type EvalSpec struct {
 	SubsampleSeed int64
 	// Workers bounds the label/score goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Cache, when non-nil, memoizes the pair list across calls (see
+	// PairCache). The output is identical with and without it.
+	Cache *PairCache
 }
 
 // EvalSet runs the evaluation pipeline of spec against the store: one
@@ -85,18 +148,33 @@ type EvalSpec struct {
 // runtime nodes keep updating), then block-parallel label computation and
 // scoring. Output is identical for every worker count.
 func EvalSet(store *Store, spec EvalSpec) (labels, scores []float64) {
-	pairs := spec.Mask.Complement().Pairs()
-	kept := pairs[:0]
-	for _, p := range pairs {
-		if !spec.Truth.IsMissing(p.I, p.J) {
-			kept = append(kept, p)
-		}
+	labels, scores, _ = EvalSetCtx(context.Background(), store, spec)
+	return labels, scores
+}
+
+// EvalSetCtx is EvalSet with cancellation: the block-parallel label and
+// score sweeps poll ctx every few thousand pairs, abandon their remaining
+// ranges once it is cancelled, and join every worker before returning. On
+// cancellation it returns nil slices and the context's error.
+func EvalSetCtx(ctx context.Context, store *Store, spec EvalSpec) (labels, scores []float64, err error) {
+	var pairs []mat.Pair
+	cached := spec.Cache != nil
+	if cached {
+		pairs = spec.Cache.get(spec.Mask, spec.Truth)
+	} else {
+		pairs = buildEvalPairs(spec.Mask, spec.Truth)
 	}
-	pairs = kept
 	if spec.MaxPairs > 0 && len(pairs) > spec.MaxPairs {
+		if cached {
+			// Never shuffle the shared cached list.
+			pairs = append([]mat.Pair(nil), pairs...)
+		}
 		sub := rand.New(rand.NewSource(spec.SubsampleSeed))
 		sub.Shuffle(len(pairs), func(a, b int) { pairs[a], pairs[b] = pairs[b], pairs[a] })
 		pairs = pairs[:spec.MaxPairs]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	workers := spec.Workers
 	if workers <= 0 {
@@ -107,10 +185,15 @@ func EvalSet(store *Store, spec EvalSpec) (labels, scores []float64) {
 	u, v := store.SnapshotFlat()
 	Blocks(len(pairs), workers, func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
+			if idx&ctxCheckMask == 0 && ctx.Err() != nil {
+				return
+			}
 			p := pairs[idx]
 			labels[idx] = classify.Of(spec.Metric, spec.Truth.At(p.I, p.J), spec.Tau).Value()
 		}
 	})
-	ScorePairs(u, v, store.rank, pairs, scores, workers)
-	return labels, scores
+	if err := ScorePairsCtx(ctx, u, v, store.rank, pairs, scores, workers); err != nil {
+		return nil, nil, err
+	}
+	return labels, scores, nil
 }

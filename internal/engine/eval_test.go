@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"context"
+	"math"
 	"math/rand"
 	"sync/atomic"
 	"testing"
 
+	"dmfsgd/internal/dataset"
 	"dmfsgd/internal/mat"
 	"dmfsgd/internal/vec"
 )
@@ -52,6 +55,135 @@ func TestScorePairsParallelEquivalence(t *testing.T) {
 		for k := range seq {
 			if seq[k] != par[k] {
 				t.Fatalf("workers=%d: score[%d] = %v, want %v", workers, k, par[k], seq[k])
+			}
+		}
+	}
+}
+
+// evalFixture builds a mask/truth pair with a few measured entries and a
+// hole in the ground truth.
+func evalFixture(n int) (*mat.Mask, *mat.Dense) {
+	mask := mat.NewMask(n, n)
+	truth := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				truth.SetMissing(i, j)
+				continue
+			}
+			truth.Set(i, j, float64(10+(i*j)%90))
+			if (i+j)%5 == 0 {
+				mask.Set(i, j)
+			}
+		}
+	}
+	truth.SetMissing(1, 2) // ground-truth hole: excluded from eval pairs
+	return mask, truth
+}
+
+// TestPairCacheReuseAndInvalidation: repeated lookups share one list;
+// changing the measured set rebuilds it.
+func TestPairCacheReuseAndInvalidation(t *testing.T) {
+	mask, truth := evalFixture(40)
+	var c PairCache
+	p1 := c.get(mask, truth)
+	p2 := c.get(mask, truth)
+	if &p1[0] != &p2[0] {
+		t.Fatal("cache rebuilt the pair list for an unchanged mask")
+	}
+	want := buildEvalPairs(mask, truth)
+	if len(p1) != len(want) {
+		t.Fatalf("cached list has %d pairs, want %d", len(p1), len(want))
+	}
+	for k := range want {
+		if p1[k] != want[k] {
+			t.Fatalf("cached pair %d = %v, want %v", k, p1[k], want[k])
+		}
+	}
+	// Growing the measured set must invalidate (the pair disappears from
+	// the complement).
+	target := p1[0]
+	mask.Set(target.I, target.J)
+	p3 := c.get(mask, truth)
+	if len(p3) != len(p1)-1 {
+		t.Fatalf("after mask change: %d pairs, want %d", len(p3), len(p1)-1)
+	}
+	for _, p := range p3 {
+		if p == target {
+			t.Fatal("newly measured pair still in eval list")
+		}
+	}
+}
+
+// TestEvalSetCacheEquivalence: EvalSet output is bit-identical with and
+// without a PairCache, on both the full and the subsampled path, and
+// repeated subsampled calls through one cache stay deterministic.
+func TestEvalSetCacheEquivalence(t *testing.T) {
+	const n = 40
+	mask, truth := evalFixture(n)
+	store := NewStore(n, 6, 4)
+	store.InitUniform(rand.New(rand.NewSource(5)))
+	var cache PairCache
+	for _, maxPairs := range []int{0, 97} {
+		spec := EvalSpec{
+			Mask: mask, Truth: truth, Metric: dataset.RTT, Tau: 50,
+			MaxPairs: maxPairs, SubsampleSeed: 123, Workers: 4,
+		}
+		wantL, wantS := EvalSet(store, spec)
+		spec.Cache = &cache
+		for round := 0; round < 2; round++ {
+			gotL, gotS := EvalSet(store, spec)
+			if len(gotL) != len(wantL) {
+				t.Fatalf("maxPairs=%d round %d: %d pairs, want %d", maxPairs, round, len(gotL), len(wantL))
+			}
+			for k := range wantL {
+				if gotL[k] != wantL[k] || gotS[k] != wantS[k] {
+					t.Fatalf("maxPairs=%d round %d: entry %d differs", maxPairs, round, k)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalSetCtxCancelled: a cancelled context aborts the sweep with the
+// context error and nil output.
+func TestEvalSetCtxCancelled(t *testing.T) {
+	const n = 40
+	mask, truth := evalFixture(n)
+	store := NewStore(n, 6, 2)
+	store.InitUniform(rand.New(rand.NewSource(7)))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	labels, scores, err := EvalSetCtx(ctx, store, EvalSpec{
+		Mask: mask, Truth: truth, Metric: dataset.RTT, Tau: 50, Workers: 4,
+	})
+	if err == nil || labels != nil || scores != nil {
+		t.Fatalf("cancelled eval: labels=%v scores=%v err=%v", labels, scores, err)
+	}
+}
+
+// TestRunEpochCtxCancelled: an already-cancelled context stops the epoch
+// before any shard sweep; the store remains finite and usable.
+func TestRunEpochCtxCancelled(t *testing.T) {
+	e := testEngine(t, 50, 6, 4, 4, true, 19)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	nCancelled, err := e.RunEpochCtx(ctx, 8)
+	if err == nil {
+		t.Fatal("cancelled epoch reported no error")
+	}
+	if nCancelled != 0 {
+		t.Fatalf("cancelled-before-start epoch applied %d updates", nCancelled)
+	}
+	// The engine is still usable afterwards.
+	if n, err := e.RunEpochCtx(context.Background(), 8); err != nil || n == 0 {
+		t.Fatalf("epoch after cancel: n=%d err=%v", n, err)
+	}
+	for i := 0; i < e.N(); i++ {
+		c := e.Store().Coord(i)
+		for _, x := range append(append([]float64(nil), c.U...), c.V...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatal("non-finite coordinates after cancel/resume")
 			}
 		}
 	}

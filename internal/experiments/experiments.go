@@ -3,8 +3,8 @@
 // a pure function of an Options value and returns printable Tables whose
 // rows/series correspond to what the paper plots.
 //
-// The per-experiment index lives in DESIGN.md §4; EXPERIMENTS.md records
-// the paper-vs-measured comparison produced by cmd/dmfbench.
+// The per-experiment index lives in DESIGN.md §4; cmd/dmfbench prints the
+// tables.
 package experiments
 
 import (

@@ -75,6 +75,8 @@ type Swarm struct {
 	nodes     []*Node
 	endpoints []*transport.Mem
 	trainMask *mat.Mask
+	neighbors [][]int
+	evalCache engine.PairCache
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -142,6 +144,7 @@ func NewSwarm(cfg SwarmConfig) (*Swarm, error) {
 		net:       net,
 		store:     engine.NewStore(n, cfg.SGD.Rank, cfg.Shards),
 		trainMask: trainMask,
+		neighbors: neighbors,
 	}
 	for i := 0; i < n; i++ {
 		addr := swarmAddr(i)
@@ -207,6 +210,13 @@ func (s *Swarm) N() int { return len(s.nodes) }
 // Store returns the swarm-wide sharded coordinate store.
 func (s *Swarm) Store() *engine.Store { return s.store }
 
+// TrainMask returns the observation mask induced by the neighbor topology
+// (shared; do not modify).
+func (s *Swarm) TrainMask() *mat.Mask { return s.trainMask }
+
+// Neighbors returns node i's neighbor set (shared slice; do not modify).
+func (s *Swarm) Neighbors(i int) []int { return s.neighbors[i] }
+
 // TotalStats aggregates all node counters.
 func (s *Swarm) TotalStats() Stats {
 	var t Stats
@@ -226,10 +236,18 @@ func (s *Swarm) TotalStats() Stats {
 // per shard even while nodes keep updating) and returns ground-truth
 // labels and scores over the unmeasured pairs, like sim.Driver.EvalSet.
 // Label computation and prediction run block-parallel over the pair list
-// (cfg.Workers goroutines, 0 = GOMAXPROCS).
+// (cfg.Workers goroutines, 0 = GOMAXPROCS); the pair list is cached across
+// calls (engine.PairCache).
 func (s *Swarm) EvalSet(maxPairs int) (labels, scores []float64) {
+	labels, scores, _ = s.EvalSetCtx(context.Background(), maxPairs)
+	return labels, scores
+}
+
+// EvalSetCtx is EvalSet with cancellation of the block-parallel label and
+// score sweeps (see engine.EvalSetCtx).
+func (s *Swarm) EvalSetCtx(ctx context.Context, maxPairs int) (labels, scores []float64, err error) {
 	ds := s.cfg.Dataset
-	return engine.EvalSet(s.store, engine.EvalSpec{
+	return engine.EvalSetCtx(ctx, s.store, engine.EvalSpec{
 		Mask:          s.trainMask,
 		Truth:         ds.Matrix,
 		Metric:        ds.Metric,
@@ -237,6 +255,7 @@ func (s *Swarm) EvalSet(maxPairs int) (labels, scores []float64) {
 		MaxPairs:      maxPairs,
 		SubsampleSeed: s.cfg.Seed + 7919,
 		Workers:       s.cfg.Workers,
+		Cache:         &s.evalCache,
 	})
 }
 

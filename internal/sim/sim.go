@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -74,6 +75,7 @@ type Driver struct {
 	eng       *engine.Engine
 	neighbors [][]int
 	trainMask *mat.Mask
+	evalCache engine.PairCache
 }
 
 // New builds a Driver.
@@ -172,6 +174,13 @@ func (d *Driver) Step() bool { return d.eng.Step() }
 // retried and do not count).
 func (d *Driver) Run(total int) { d.eng.Run(total) }
 
+// RunCtx is Run with cancellation between probe attempts; see
+// engine.Engine.RunCtx for the exact semantics. Returns the successful
+// steps performed and, when interrupted, the context's error.
+func (d *Driver) RunCtx(ctx context.Context, total int) (int, error) {
+	return d.eng.RunCtx(ctx, total)
+}
+
 // RunEpochs trains with the engine's parallel epoch scheduler instead of
 // the sequential stream: epochs sweeps in which every node issues
 // probesPerNode probes, executed across the configured shards and workers.
@@ -181,6 +190,14 @@ func (d *Driver) Run(total int) { d.eng.Run(total) }
 // Returns the number of successful updates.
 func (d *Driver) RunEpochs(epochs, probesPerNode int) int {
 	return d.eng.RunEpochs(epochs, probesPerNode)
+}
+
+// RunEpochCtx runs one parallel epoch with cancellation at shard
+// granularity (see engine.Engine.RunEpochCtx). Callers wanting multiple
+// cancellable epochs loop over it (as Session.RunEpochs does, publishing
+// telemetry between epochs).
+func (d *Driver) RunEpochCtx(ctx context.Context, probesPerNode int) (int, error) {
+	return d.eng.RunEpochCtx(ctx, probesPerNode)
 }
 
 // RunCheckpoints runs total steps, invoking fn after every chunk of `every`
@@ -213,9 +230,22 @@ func (d *Driver) RunCheckpoints(total, every int, fn func(step int)) {
 // number of trace records examined. Callers replaying in chunks (the
 // convergence experiment) pass trace[scanned:] on the next call.
 func (d *Driver) ReplayTrace(trace []dataset.Measurement, toLabel func(dataset.Measurement) (float64, bool), limit int) (used, scanned int) {
+	used, scanned, _ = d.ReplayTraceCtx(context.Background(), trace, toLabel, limit)
+	return used, scanned
+}
+
+// ReplayTraceCtx is ReplayTrace with cancellation, polled every few
+// thousand scanned records. On cancellation it returns the context's error
+// along with the counts consumed so far; resume by passing trace[scanned:].
+func (d *Driver) ReplayTraceCtx(ctx context.Context, trace []dataset.Measurement, toLabel func(dataset.Measurement) (float64, bool), limit int) (used, scanned int, err error) {
 	for _, m := range trace {
 		if limit > 0 && used >= limit {
 			break
+		}
+		if scanned&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				return used, scanned, err
+			}
 		}
 		scanned++
 		if !d.isNeighbor(m.I, m.J) {
@@ -228,7 +258,7 @@ func (d *Driver) ReplayTrace(trace []dataset.Measurement, toLabel func(dataset.M
 		d.eng.ApplyLabel(m.I, m.J, label)
 		used++
 	}
-	return used, scanned
+	return used, scanned, nil
 }
 
 func (d *Driver) isNeighbor(i, j int) bool {
@@ -248,9 +278,18 @@ func (d *Driver) isNeighbor(i, j int) bool {
 //
 // Label computation and prediction are spread over row-blocks of the pair
 // list (cfg.Workers goroutines, 0 = GOMAXPROCS); the output is identical
-// to a sequential pass for every worker count.
+// to a sequential pass for every worker count. The pair list itself is
+// cached across calls (it only depends on the fixed training mask and
+// ground-truth missing pattern; see engine.PairCache).
 func (d *Driver) EvalSet(maxPairs int) (labels, scores []float64) {
-	return engine.EvalSet(d.eng.Store(), engine.EvalSpec{
+	labels, scores, _ = d.EvalSetCtx(context.Background(), maxPairs)
+	return labels, scores
+}
+
+// EvalSetCtx is EvalSet with cancellation of the block-parallel label and
+// score sweeps (see engine.EvalSetCtx).
+func (d *Driver) EvalSetCtx(ctx context.Context, maxPairs int) (labels, scores []float64, err error) {
+	return engine.EvalSetCtx(ctx, d.eng.Store(), engine.EvalSpec{
 		Mask:          d.trainMask,
 		Truth:         d.ds.Matrix,
 		Metric:        d.ds.Metric,
@@ -258,6 +297,7 @@ func (d *Driver) EvalSet(maxPairs int) (labels, scores []float64) {
 		MaxPairs:      maxPairs,
 		SubsampleSeed: d.cfg.Seed + 7919,
 		Workers:       d.cfg.Workers,
+		Cache:         &d.evalCache,
 	})
 }
 

@@ -1,0 +1,239 @@
+package dmfsgd
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dmfsgd/internal/loss"
+	"dmfsgd/internal/sgd"
+)
+
+// settings is the resolved Session configuration. Unlike the legacy
+// zero-value config structs, every "explicitly set" state is tracked, so
+// an explicit WithTau(0) or WithLoss(LossL2) is distinguishable from
+// "use the default".
+type settings struct {
+	rank         int
+	learningRate float64
+	lambda       float64
+	loss         Loss
+	tau          float64
+	tauSet       bool
+	k            int // 0 = dataset default
+	shards       int // 0 = backend default
+	workers      int // 0 = GOMAXPROCS
+	seed         int64
+
+	// Live-session knobs (WithLive and friends).
+	live          bool
+	probeInterval time.Duration
+	noise         float64
+	dropRate      float64
+	dupRate       float64
+}
+
+// defaultSettings returns the paper's recommended configuration (§6.2.4).
+func defaultSettings() settings {
+	return settings{rank: 10, learningRate: 0.1, lambda: 0.1, loss: LossLogistic}
+}
+
+// sgdConfig converts to the internal hyper-parameter representation.
+func (s settings) sgdConfig() sgd.Config {
+	return sgd.Config{
+		Rank:         s.rank,
+		LearningRate: s.learningRate,
+		Lambda:       s.lambda,
+		Loss:         s.loss,
+	}
+}
+
+// Option configures a Session (and, via NewConfig, a Node). Options
+// validate eagerly: NewSession returns the first option error, wrapped in
+// ErrInvalidConfig.
+type Option func(*settings) error
+
+// WithRank sets r, the coordinate dimensionality (default 10, §6.2.4).
+func WithRank(r int) Option {
+	return func(s *settings) error {
+		if r <= 0 {
+			return fmt.Errorf("%w: rank must be positive, got %d", ErrInvalidConfig, r)
+		}
+		s.rank = r
+		return nil
+	}
+}
+
+// WithLearningRate sets η, the SGD step size (default 0.1).
+func WithLearningRate(eta float64) Option {
+	return func(s *settings) error {
+		if !(eta > 0) || math.IsInf(eta, 0) {
+			return fmt.Errorf("%w: learning rate must be positive and finite, got %v", ErrInvalidConfig, eta)
+		}
+		s.learningRate = eta
+		return nil
+	}
+}
+
+// WithLambda sets λ, the regularization coefficient (default 0.1). Zero
+// disables regularization — expressible here, unlike with the legacy
+// Config struct, whose zero value meant "use the default".
+func WithLambda(lambda float64) Option {
+	return func(s *settings) error {
+		if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+			return fmt.Errorf("%w: lambda must be non-negative and finite, got %v", ErrInvalidConfig, lambda)
+		}
+		s.lambda = lambda
+		return nil
+	}
+}
+
+// WithLoss sets the training loss (default LossLogistic). LossL2 is the
+// zero Loss value, so with the legacy Config struct it could only be
+// selected through the Config.WithLoss workaround; here it is just
+// another explicit value.
+func WithLoss(l Loss) Option {
+	return func(s *settings) error {
+		switch l {
+		case loss.Logistic, loss.Hinge, loss.L2:
+			s.loss = l
+			return nil
+		default:
+			return fmt.Errorf("%w: unknown loss %v", ErrInvalidConfig, l)
+		}
+	}
+}
+
+// WithTau sets the classification threshold explicitly (default: the
+// dataset median, the paper's τ). Unlike the legacy config structs, an
+// explicit 0 is honored rather than treated as "unset".
+func WithTau(tau float64) Option {
+	return func(s *settings) error {
+		if math.IsNaN(tau) || math.IsInf(tau, 0) {
+			return fmt.Errorf("%w: tau must be finite, got %v", ErrInvalidConfig, tau)
+		}
+		s.tau = tau
+		s.tauSet = true
+		return nil
+	}
+}
+
+// WithK sets the neighbor count per node (default: the dataset's
+// DefaultK — 10, or 32 for thousand-node sets, §6.2.2). The upper bound
+// k < n is checked against the dataset at NewSession.
+func WithK(k int) Option {
+	return func(s *settings) error {
+		if k <= 0 {
+			return fmt.Errorf("%w: k must be positive, got %d", ErrInvalidConfig, k)
+		}
+		s.k = k
+		return nil
+	}
+}
+
+// WithShards partitions the coordinate store into p shards (default: 1
+// for deterministic sessions, a contention-minimizing value for live
+// ones). Results are independent of the shard count in every mode.
+func WithShards(p int) Option {
+	return func(s *settings) error {
+		if p <= 0 {
+			return fmt.Errorf("%w: shards must be positive, got %d", ErrInvalidConfig, p)
+		}
+		s.shards = p
+		return nil
+	}
+}
+
+// WithWorkers bounds the goroutines used by epoch training and
+// evaluation (default: GOMAXPROCS). Results are identical for every
+// worker count.
+func WithWorkers(w int) Option {
+	return func(s *settings) error {
+		if w <= 0 {
+			return fmt.Errorf("%w: workers must be positive, got %d", ErrInvalidConfig, w)
+		}
+		s.workers = w
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving all randomness (neighbor choice, probe
+// order, coordinate initialization). Fixed seed ⇒ reproducible session.
+func WithSeed(seed int64) Option {
+	return func(s *settings) error {
+		s.seed = seed
+		return nil
+	}
+}
+
+// WithLive selects the concurrent runtime backend: the session starts a
+// swarm of goroutine nodes exchanging real protocol messages over an
+// in-memory transport, training continuously until Close. Without it the
+// session uses the deterministic simulation driver.
+func WithLive() Option {
+	return func(s *settings) error {
+		s.live = true
+		return nil
+	}
+}
+
+// WithProbeInterval sets each live node's probing period (default 1ms).
+// Implies nothing for deterministic sessions, which have no clock.
+func WithProbeInterval(d time.Duration) Option {
+	return func(s *settings) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: probe interval must be positive, got %v", ErrInvalidConfig, d)
+		}
+		s.probeInterval = d
+		return nil
+	}
+}
+
+// WithMeasurementNoise models imperfect measurement tools in a live
+// session: the lognormal sigma of RTT measurements and the relative
+// width of near-τ ABW errors (default 0 = exact tools).
+func WithMeasurementNoise(sigma float64) Option {
+	return func(s *settings) error {
+		if sigma < 0 || math.IsNaN(sigma) || math.IsInf(sigma, 0) {
+			return fmt.Errorf("%w: measurement noise must be non-negative and finite, got %v", ErrInvalidConfig, sigma)
+		}
+		s.noise = sigma
+		return nil
+	}
+}
+
+// WithPacketLoss injects transport failures into a live session: drop is
+// the fraction of messages lost, dup the fraction duplicated.
+func WithPacketLoss(drop, dup float64) Option {
+	return func(s *settings) error {
+		if drop < 0 || drop >= 1 || math.IsNaN(drop) {
+			return fmt.Errorf("%w: drop rate must be in [0,1), got %v", ErrInvalidConfig, drop)
+		}
+		if dup < 0 || dup >= 1 || math.IsNaN(dup) {
+			return fmt.Errorf("%w: dup rate must be in [0,1), got %v", ErrInvalidConfig, dup)
+		}
+		s.dropRate, s.dupRate = drop, dup
+		return nil
+	}
+}
+
+// NewConfig builds a hyper-parameter Config for the embeddable Node API
+// from the same options a Session takes (WithRank, WithLearningRate,
+// WithLambda, WithLoss; session-level options are accepted and ignored by
+// Node, which has no topology or clock). Unlike the zero-value Config
+// struct, an explicit WithLoss(LossL2) needs no workaround.
+func NewConfig(opts ...Option) (Config, error) {
+	set := defaultSettings()
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return Config{}, err
+		}
+	}
+	return Config{
+		Rank:         set.rank,
+		LearningRate: set.learningRate,
+		Lambda:       set.lambda,
+		Loss:         set.loss,
+		lossSet:      true,
+	}, nil
+}

@@ -1,0 +1,509 @@
+package dmfsgd
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/engine"
+	"dmfsgd/internal/eval"
+	"dmfsgd/internal/peersel"
+	"dmfsgd/internal/runtime"
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/sim"
+)
+
+// Evaluation result types, re-exported from the internal evaluation
+// package.
+type (
+	// Confusion is the sign-rule confusion matrix over the test pairs.
+	Confusion = eval.Confusion
+	// ROCPoint is one point of a receiver operating characteristic.
+	ROCPoint = eval.Point
+	// PRPoint is one point of a precision-recall curve.
+	PRPoint = eval.PRPoint
+)
+
+// Progress is one telemetry sample of a training run, delivered through
+// Session.Watch.
+type Progress struct {
+	// Steps is the session's cumulative successful coordinate updates.
+	Steps int
+	// Target is the step budget of the Run call in flight (0 when the
+	// sample came from epoch training, which has no step budget).
+	Target int
+	// Epochs is the number of epochs completed by the RunEpochs call in
+	// flight (0 for sequential and live runs).
+	Epochs int
+}
+
+// runChunk is the cancellation / telemetry granularity of sequential
+// training: the context is polled and progress published once per chunk.
+const runChunk = 8192
+
+// Session is the context-aware facade over both execution backends: the
+// deterministic simulation driver (default) and the live concurrent
+// swarm (WithLive). It decouples training — Run, RunEpochs, Watch — from
+// serving, which goes through immutable Snapshots:
+//
+//	sess, err := dmfsgd.NewSession(ds, dmfsgd.WithSeed(42))
+//	if err != nil { ... }
+//	defer sess.Close()
+//	if err := sess.Run(ctx, 0); err != nil { ... }   // paper budget
+//	snap := sess.Snapshot()                           // immutable, lock-free
+//	class := snap.Classify(3, 77)
+//
+// All configuration goes through functional options, which distinguish
+// "explicitly zero" from "unset" (WithTau(0), WithLoss(LossL2)) and
+// reject invalid values with errors wrapping ErrInvalidConfig.
+//
+// A Session's training methods (Run, RunEpochs) must not be called
+// concurrently with each other. On a live session everything else —
+// Predict, Snapshot, evaluation, Watch, Close — is safe to call from
+// any goroutine at any time (the swarm synchronizes on the shard
+// locks). On a deterministic session the sequential scheduler writes
+// coordinates without locking, so reads (Predict, Snapshot, Steps,
+// evaluation) must not overlap an in-flight Run/RunEpochs; Watch and
+// Close are always safe. Serving loops that train in the background
+// should read only from materialized Snapshots, which are immutable —
+// that is the pattern cmd/dmfserve uses.
+type Session struct {
+	ds  *Dataset
+	set settings
+	tau float64
+	k   int
+
+	drv   *sim.Driver    // deterministic backend (nil when live)
+	swarm *runtime.Swarm // live backend (nil when deterministic)
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	subs   []chan Progress
+}
+
+// NewSession builds a session over ds. The default backend is the
+// deterministic simulation driver reproducing the paper's experiment
+// procedure; WithLive selects the concurrent runtime instead (the swarm
+// starts probing immediately and trains until Close). All errors wrap
+// ErrInvalidConfig.
+func NewSession(ds *Dataset, opts ...Option) (*Session, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrInvalidConfig)
+	}
+	set := defaultSettings()
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
+	}
+	return newSession(ds, set)
+}
+
+// newSession builds a session from resolved settings (shared with the
+// legacy Simulate/StartSwarm shims, which map their config structs onto
+// the same representation — that is what keeps them bit-identical).
+func newSession(ds *Dataset, set settings) (*Session, error) {
+	k := set.k
+	if k == 0 {
+		k = ds.DefaultK
+	}
+	tau := set.tau
+	if !set.tauSet {
+		tau = ds.Median()
+	}
+	s := &Session{ds: ds, set: set, tau: tau, k: k, done: make(chan struct{})}
+	if set.live {
+		sw, err := runtime.NewSwarm(runtime.SwarmConfig{
+			Dataset:          ds,
+			SGD:              set.sgdConfig(),
+			K:                k,
+			Tau:              tau,
+			ProbeInterval:    set.probeInterval,
+			MeasurementNoise: set.noise,
+			DropRate:         set.dropRate,
+			DupRate:          set.dupRate,
+			Shards:           set.shards,
+			Workers:          set.workers,
+			Seed:             set.seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+		}
+		sw.Start()
+		s.swarm = sw
+		return s, nil
+	}
+	drv, err := sim.ClassDriver(ds, tau, sim.Config{
+		SGD:     set.sgdConfig(),
+		K:       k,
+		Shards:  set.shards,
+		Workers: set.workers,
+		Seed:    set.seed,
+	}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
+	}
+	s.drv = drv
+	return s, nil
+}
+
+// N returns the node count.
+func (s *Session) N() int { return s.ds.N() }
+
+// K returns the neighbor count per node in effect.
+func (s *Session) K() int { return s.k }
+
+// Tau returns the classification threshold in effect.
+func (s *Session) Tau() float64 { return s.tau }
+
+// Metric returns the dataset's measured quantity.
+func (s *Session) Metric() Metric { return s.ds.Metric }
+
+// Live reports whether the session runs the concurrent swarm backend.
+func (s *Session) Live() bool { return s.swarm != nil }
+
+// Steps returns the cumulative successful coordinate updates so far.
+func (s *Session) Steps() int {
+	if s.swarm != nil {
+		return s.swarm.TotalStats().Updates
+	}
+	return s.drv.Steps()
+}
+
+// Neighbors returns node i's neighbor set (shared slice; do not modify).
+func (s *Session) Neighbors(i int) []int {
+	if s.swarm != nil {
+		return s.swarm.Neighbors(i)
+	}
+	return s.drv.Neighbors(i)
+}
+
+// checkOpen returns ErrStopped once Close has been called.
+func (s *Session) checkOpen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStopped
+	}
+	return nil
+}
+
+// Run trains until total additional successful coordinate updates have
+// accumulated beyond the session's current Steps count (0 = the paper's
+// convergence budget of 20·k updates per node), polling ctx between
+// chunks and publishing Progress to watchers. On a deterministic session
+// this consumes measurements in random order — or, for datasets with a
+// dynamic trace (Harvard), replays the trace in time order. On a live
+// session the swarm is already training; Run simply waits for the
+// additional updates to accumulate.
+//
+// Returns nil on completion, the context's error when cancelled (the
+// coordinates keep all updates applied so far and remain usable), or
+// ErrStopped when the session was closed. A deterministic trace run can
+// also return nil early if the trace is exhausted before the budget.
+func (s *Session) Run(ctx context.Context, total int) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if total <= 0 {
+		total = sim.DefaultBudget(s.ds.N(), s.k)
+	}
+	if s.swarm != nil {
+		return s.runLive(ctx, total)
+	}
+	if s.ds.Trace != nil {
+		return s.runTrace(ctx, total)
+	}
+	return s.runSequential(ctx, total)
+}
+
+func (s *Session) runSequential(ctx context.Context, total int) error {
+	for done := 0; done < total; {
+		chunk := min(runChunk, total-done)
+		n, err := s.drv.RunCtx(ctx, chunk)
+		done += n
+		s.publish(Progress{Steps: s.drv.Steps(), Target: total})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) runTrace(ctx context.Context, total int) error {
+	tau := s.tau
+	toLabel := func(m dataset.Measurement) (float64, bool) {
+		return ClassOf(s.ds.Metric, m.Value, tau).Value(), true
+	}
+	trace := s.ds.Trace
+	for done := 0; done < total && len(trace) > 0; {
+		chunk := min(runChunk, total-done)
+		used, scanned, err := s.drv.ReplayTraceCtx(ctx, trace, toLabel, chunk)
+		done += used
+		trace = trace[scanned:]
+		s.publish(Progress{Steps: s.drv.Steps(), Target: total})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Session) runLive(ctx context.Context, total int) error {
+	start := s.swarm.TotalStats().Updates
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		steps := s.swarm.TotalStats().Updates
+		s.publish(Progress{Steps: steps, Target: total})
+		if steps-start >= total {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-s.done:
+			return ErrStopped
+		case <-tick.C:
+		}
+	}
+}
+
+// RunEpochs trains with the sharded parallel engine: epochs sweeps in
+// which every node probes probesPerNode random neighbors, executed
+// concurrently across the configured shards and workers, deterministic
+// for a fixed seed regardless of either. ctx is polled between epochs
+// and at shard granularity within one; a cancelled call returns the
+// context's error with all completed updates kept (no goroutines leak).
+//
+// Static deterministic sessions only: datasets with a dynamic trace
+// return ErrDynamicTrace (their measurements replay in time order via
+// Run), live sessions ErrLiveSession. Returns the number of successful
+// updates applied.
+func (s *Session) RunEpochs(ctx context.Context, epochs, probesPerNode int) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	if epochs < 0 || probesPerNode <= 0 {
+		return 0, fmt.Errorf("%w: epochs=%d probesPerNode=%d (want epochs ≥ 0, probes > 0)",
+			ErrInvalidConfig, epochs, probesPerNode)
+	}
+	if s.swarm != nil {
+		return 0, fmt.Errorf("%w: a live swarm trains continuously on its own schedule", ErrLiveSession)
+	}
+	if s.ds.Trace != nil {
+		return 0, fmt.Errorf("%w: epoch training would ignore the %q trace; use Run, which replays it in time order",
+			ErrDynamicTrace, s.ds.Name)
+	}
+	total := 0
+	for ep := 0; ep < epochs; ep++ {
+		n, err := s.drv.RunEpochCtx(ctx, probesPerNode)
+		total += n
+		s.publish(Progress{Steps: s.drv.Steps(), Epochs: ep + 1})
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Predict returns the live estimate x̂ᵢⱼ = uᵢ·vⱼᵀ for the path i → j.
+// On a live session this takes the owning shards' read locks; prediction
+// traffic should instead go through a Snapshot, which is lock-free.
+func (s *Session) Predict(i, j int) float64 {
+	if s.swarm != nil {
+		store := s.swarm.Store()
+		var ui, vj []float64
+		store.Ref(i).View(func(c *sgd.Coordinates) { ui = append(ui, c.U...) })
+		store.Ref(j).View(func(c *sgd.Coordinates) { vj = append(vj, c.V...) })
+		return sgd.Predict(ui, vj)
+	}
+	return s.drv.Predict(i, j)
+}
+
+// Classify returns the predicted class of the path i → j: the sign of
+// Predict.
+func (s *Session) Classify(i, j int) Class {
+	return classify.FromValue(s.Predict(i, j))
+}
+
+// store returns the backing sharded coordinate store.
+func (s *Session) store() *engine.Store {
+	if s.swarm != nil {
+		return s.swarm.Store()
+	}
+	return s.drv.Engine().Store()
+}
+
+// Snapshot materializes an immutable copy of every node's coordinates in
+// one pass over the store (one read-lock acquisition per shard — safe
+// and consistent per shard even while a live swarm keeps training).
+// The returned Snapshot serves Predict/PredictBatch/Rank/Classify to any
+// number of concurrent readers without further synchronization.
+func (s *Session) Snapshot() *Snapshot {
+	store := s.store()
+	u, v := store.SnapshotFlat()
+	return &Snapshot{
+		n:      store.N(),
+		rank:   store.Rank(),
+		u:      u,
+		v:      v,
+		tau:    s.tau,
+		metric: s.ds.Metric,
+		steps:  s.Steps(),
+	}
+}
+
+// evalSet delegates test-set evaluation to the active backend.
+func (s *Session) evalSet(ctx context.Context, maxPairs int) (labels, scores []float64, err error) {
+	if s.swarm != nil {
+		return s.swarm.EvalSetCtx(ctx, maxPairs)
+	}
+	return s.drv.EvalSetCtx(ctx, maxPairs)
+}
+
+// AUC evaluates prediction quality over the never-measured pairs.
+// maxPairs > 0 evaluates a deterministic subsample (cheap checkpoint
+// probes); 0 uses every test pair. Cancelling ctx aborts the
+// block-parallel sweep and returns the context's error.
+func (s *Session) AUC(ctx context.Context, maxPairs int) (float64, error) {
+	labels, scores, err := s.evalSet(ctx, maxPairs)
+	if err != nil {
+		return 0, err
+	}
+	return eval.AUC(labels, scores), nil
+}
+
+// Confusion returns the sign-rule confusion matrix over the test pairs.
+func (s *Session) Confusion(ctx context.Context) (Confusion, error) {
+	labels, scores, err := s.evalSet(ctx, 0)
+	if err != nil {
+		return Confusion{}, err
+	}
+	return eval.ConfusionAtParallel(labels, scores, 0, s.set.workers), nil
+}
+
+// ROC returns the receiver operating characteristic over the test pairs,
+// from (0,0) to (1,1) as the discrimination threshold τc sweeps the
+// prediction range (§6.1).
+func (s *Session) ROC(ctx context.Context) ([]ROCPoint, error) {
+	labels, scores, err := s.evalSet(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	return eval.ROC(labels, scores), nil
+}
+
+// PrecisionRecall returns the precision-recall curve over the test pairs.
+func (s *Session) PrecisionRecall(ctx context.Context) ([]PRPoint, error) {
+	labels, scores, err := s.evalSet(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	return eval.PrecisionRecall(labels, scores), nil
+}
+
+// SelectPeers evaluates class-based peer selection over random peer sets
+// of the given size (disjoint from neighbor sets), returning the mean
+// stretch and the unsatisfied-node fraction of §6.4. On a live session
+// the predictions come from a fresh Snapshot.
+func (s *Session) SelectPeers(peerSetSize int, seed int64) (stretch, unsatisfied float64) {
+	var pred peersel.Predictor
+	if s.swarm != nil {
+		pred = s.Snapshot()
+	} else {
+		pred = s.drv
+	}
+	cfg := peersel.Config{
+		PeerSetSize: peerSetSize,
+		Tau:         s.tau,
+		Exclude:     peersel.NeighborExclusion(s.ds.N(), s.Neighbors),
+		Seed:        seed,
+	}
+	sets := peersel.BuildPeerSets(s.ds, cfg)
+	res := peersel.Evaluate(s.ds, sets, peersel.ClassBased, pred, cfg)
+	return res.MeanStretch, res.Unsatisfied
+}
+
+// Watch returns a stream of training telemetry: one Progress sample per
+// completed chunk of Run (about every 8k updates), epoch of RunEpochs,
+// or live poll tick. Delivery is best-effort — a slow reader misses
+// intermediate samples rather than stalling training (the channel holds
+// the 16 most recent undelivered samples). The channel is closed when
+// ctx is cancelled or the session is closed.
+func (s *Session) Watch(ctx context.Context) <-chan Progress {
+	ch := make(chan Progress, 16)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		close(ch)
+		return ch
+	}
+	s.subs = append(s.subs, ch)
+	s.mu.Unlock()
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.unsubscribe(ch)
+		case <-s.done:
+			// Close already closed every subscriber channel.
+		}
+	}()
+	return ch
+}
+
+// unsubscribe removes ch from the subscriber list and closes it, if it
+// is still registered (Close may have won the race and closed it first).
+func (s *Session) unsubscribe(ch chan Progress) {
+	s.mu.Lock()
+	for i, c := range s.subs {
+		if c == ch {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			s.mu.Unlock()
+			close(ch)
+			return
+		}
+	}
+	s.mu.Unlock()
+}
+
+// publish delivers a telemetry sample to every watcher, never blocking:
+// a full channel drops the sample.
+func (s *Session) publish(p Progress) {
+	s.mu.Lock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Close stops the session: a live swarm's nodes are cancelled and
+// joined, every Watch channel is closed, and subsequent Run/RunEpochs
+// calls return ErrStopped. Snapshots taken earlier remain valid — they
+// are immutable copies. Close is idempotent and always returns nil.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	subs := s.subs
+	s.subs = nil
+	s.mu.Unlock()
+	if s.swarm != nil {
+		s.swarm.Stop()
+	}
+	for _, ch := range subs {
+		close(ch)
+	}
+	return nil
+}

@@ -1,16 +1,13 @@
 package dmfsgd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"dmfsgd/internal/dataset"
-	"dmfsgd/internal/eval"
 	"dmfsgd/internal/multiclass"
-	"dmfsgd/internal/peersel"
-	"dmfsgd/internal/runtime"
-	"dmfsgd/internal/sim"
 )
 
 // Dataset is a ground-truth pairwise performance matrix with metadata.
@@ -53,6 +50,9 @@ func LoadDataset(r io.Reader, name string, metric Metric) (*Dataset, error) {
 
 // SimulationConfig parameterizes Simulate. Zero values take the paper's
 // defaults.
+//
+// Deprecated: use NewSession with functional options (WithRank, WithTau,
+// WithShards, …), which distinguish explicit zeros from "unset".
 type SimulationConfig struct {
 	// Config carries the SGD hyper-parameters.
 	Config Config
@@ -71,106 +71,114 @@ type SimulationConfig struct {
 	Seed int64
 }
 
+// settings maps the legacy zero-value-is-default semantics onto the
+// resolved settings representation NewSession uses. Fixed-seed runs
+// through the shim are bit-identical to the historical Simulate because
+// the resulting driver construction is the same call with the same
+// arguments.
+func (cfg SimulationConfig) settings() settings {
+	c := cfg.Config.normalize()
+	return settings{
+		rank:         c.Rank,
+		learningRate: c.LearningRate,
+		lambda:       c.Lambda,
+		loss:         c.Loss,
+		tau:          cfg.Tau,
+		tauSet:       cfg.Tau != 0,
+		k:            cfg.K,
+		shards:       cfg.Shards,
+		workers:      cfg.Workers,
+		seed:         cfg.Seed,
+	}
+}
+
 // Simulation is a deterministic sequential run of the decentralized
 // protocol against a dataset: the experiment harness of the paper.
+//
+// Deprecated: Simulation is a thin shim over Session, kept so historical
+// experiment code keeps compiling and reproducing its tables bit for
+// bit. New code should use NewSession directly (the Session method set
+// is a superset: contexts, snapshots, telemetry).
 type Simulation struct {
-	drv *sim.Driver
-	ds  *Dataset
-	k   int
+	sess *Session
 }
 
 // Simulate builds a simulation over ds.
+//
+// Deprecated: use NewSession.
 func Simulate(ds *Dataset, cfg SimulationConfig) (*Simulation, error) {
-	k := cfg.K
-	if k == 0 {
-		k = ds.DefaultK
-	}
-	tau := cfg.Tau
-	if tau == 0 {
-		tau = ds.Median()
-	}
-	drv, err := sim.ClassDriver(ds, tau, sim.Config{
-		SGD:     cfg.Config.sgdConfig(),
-		K:       k,
-		Shards:  cfg.Shards,
-		Workers: cfg.Workers,
-		Seed:    cfg.Seed,
-	}, nil)
+	sess, err := newSession(ds, cfg.settings())
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{drv: drv, ds: ds, k: k}, nil
+	return &Simulation{sess: sess}, nil
 }
+
+// Session returns the Session backing this shim — the migration path to
+// the context-aware API.
+func (s *Simulation) Session() *Session { return s.sess }
 
 // Run consumes measurements in random order (static datasets). total = 0
 // uses the paper's convergence budget of 20·k measurements per node.
 // Datasets with a dynamic trace replay it in time order instead.
 func (s *Simulation) Run(total int) {
-	if total == 0 {
-		total = sim.DefaultBudget(s.ds.N(), s.k)
-	}
-	if s.ds.Trace != nil {
-		tau := s.Tau()
-		s.drv.ReplayTrace(s.ds.Trace, func(m dataset.Measurement) (float64, bool) {
-			return ClassOf(s.ds.Metric, m.Value, tau).Value(), true
-		}, total)
-		return
-	}
-	s.drv.Run(total)
+	// Background context: never cancelled, so the error is always nil
+	// (a trace dataset can only end early by exhausting the trace,
+	// which Run historically tolerated too).
+	_ = s.sess.Run(context.Background(), total)
 }
 
 // RunEpochs trains with the sharded parallel engine instead of the
 // sequential measurement stream: epochs sweeps in which every node probes
 // probesPerNode random neighbors, executed concurrently across the
 // configured shards. Deterministic for a fixed seed regardless of shard
-// count. Static datasets only (dynamic traces replay in time order via
-// Run). Returns the number of successful updates.
-func (s *Simulation) RunEpochs(epochs, probesPerNode int) int {
-	return s.drv.RunEpochs(epochs, probesPerNode)
+// count. Static datasets only: datasets with a dynamic trace return
+// ErrDynamicTrace (Run replays them in time order). Returns the number of
+// successful updates.
+func (s *Simulation) RunEpochs(epochs, probesPerNode int) (int, error) {
+	return s.sess.RunEpochs(context.Background(), epochs, probesPerNode)
 }
 
 // Tau returns the classification threshold in effect.
-func (s *Simulation) Tau() float64 { return s.drv.TauValue() }
+func (s *Simulation) Tau() float64 { return s.sess.Tau() }
 
 // AUC evaluates prediction quality over the never-measured pairs.
-func (s *Simulation) AUC() float64 { return s.drv.AUC() }
+func (s *Simulation) AUC() float64 {
+	auc, _ := s.sess.AUC(context.Background(), 0)
+	return auc
+}
 
 // Confusion returns the sign-rule confusion matrix over the test pairs.
-func (s *Simulation) Confusion() eval.Confusion { return s.drv.Confusion() }
+func (s *Simulation) Confusion() Confusion {
+	c, _ := s.sess.Confusion(context.Background())
+	return c
+}
 
 // ROC returns the receiver operating characteristic over the test pairs,
 // from (0,0) to (1,1) as the discrimination threshold τc sweeps the
 // prediction range (§6.1).
-func (s *Simulation) ROC() []eval.Point {
-	labels, scores := s.drv.EvalSet(0)
-	return eval.ROC(labels, scores)
+func (s *Simulation) ROC() []ROCPoint {
+	roc, _ := s.sess.ROC(context.Background())
+	return roc
 }
 
 // PrecisionRecall returns the precision-recall curve over the test pairs.
-func (s *Simulation) PrecisionRecall() []eval.PRPoint {
-	labels, scores := s.drv.EvalSet(0)
-	return eval.PrecisionRecall(labels, scores)
+func (s *Simulation) PrecisionRecall() []PRPoint {
+	pr, _ := s.sess.PrecisionRecall(context.Background())
+	return pr
 }
 
 // Predict returns x̂ᵢⱼ for any node pair.
-func (s *Simulation) Predict(i, j int) float64 { return s.drv.Predict(i, j) }
+func (s *Simulation) Predict(i, j int) float64 { return s.sess.Predict(i, j) }
 
 // Neighbors returns node i's neighbor set.
-func (s *Simulation) Neighbors(i int) []int { return s.drv.Neighbors(i) }
+func (s *Simulation) Neighbors(i int) []int { return s.sess.Neighbors(i) }
 
 // SelectPeers evaluates class-based peer selection over random peer sets
 // of the given size (disjoint from neighbor sets), returning the mean
 // stretch and the unsatisfied-node fraction of §6.4.
 func (s *Simulation) SelectPeers(peerSetSize int, seed int64) (stretch, unsatisfied float64) {
-	cfg := peersel.Config{
-		PeerSetSize: peerSetSize,
-		Tau:         s.Tau(),
-		Exclude:     peersel.NeighborExclusion(s.ds.N(), s.drv.Neighbors),
-		Seed:        seed,
-	}
-	sets := peersel.BuildPeerSets(s.ds, cfg)
-	res := peersel.Evaluate(s.ds, sets, peersel.ClassBased, s.drv, cfg)
-	return res.MeanStretch, res.Unsatisfied
+	return s.sess.SelectPeers(peerSetSize, seed)
 }
 
 // MulticlassResult is the outcome of a multiclass simulation.
@@ -187,7 +195,8 @@ type MulticlassResult struct {
 // the paper): len(thresholds)+1 ordered performance classes separated by
 // the given thresholds (strictest first: ascending for RTT, descending
 // for ABW). Evaluation is over the unmeasured pairs, like the binary
-// experiments.
+// experiments. Invalid thresholds or hyper-parameters are reported with
+// an error wrapping ErrInvalidConfig.
 func SimulateMulticlass(ds *Dataset, thresholds []float64, cfg Config, seed int64) (MulticlassResult, error) {
 	mcfg := multiclass.Config{
 		SGD:        cfg.sgdConfig(),
@@ -196,7 +205,7 @@ func SimulateMulticlass(ds *Dataset, thresholds []float64, cfg Config, seed int6
 	}
 	res, err := multiclass.RunSim(ds, mcfg, ds.DefaultK, 20, seed)
 	if err != nil {
-		return MulticlassResult{}, err
+		return MulticlassResult{}, fmt.Errorf("%w: %v", ErrInvalidConfig, err)
 	}
 	return MulticlassResult{
 		Exact:     res.Accuracy.Exact,
@@ -207,6 +216,8 @@ func SimulateMulticlass(ds *Dataset, thresholds []float64, cfg Config, seed int6
 }
 
 // SwarmConfig parameterizes a live concurrent deployment.
+//
+// Deprecated: use NewSession with WithLive and functional options.
 type SwarmConfig struct {
 	// Config carries the SGD hyper-parameters.
 	Config Config
@@ -229,49 +240,62 @@ type SwarmConfig struct {
 	Seed int64
 }
 
+// settings maps the legacy swarm config onto the resolved settings
+// representation, preserving its zero-value defaults.
+func (cfg SwarmConfig) settings() settings {
+	c := cfg.Config.normalize()
+	return settings{
+		rank:          c.Rank,
+		learningRate:  c.LearningRate,
+		lambda:        c.Lambda,
+		loss:          c.Loss,
+		tau:           cfg.Tau,
+		tauSet:        cfg.Tau != 0,
+		k:             cfg.K,
+		shards:        cfg.Shards,
+		workers:       cfg.Workers,
+		seed:          cfg.Seed,
+		live:          true,
+		probeInterval: cfg.ProbeInterval,
+		noise:         cfg.MeasurementNoise,
+		dropRate:      cfg.DropRate,
+		dupRate:       cfg.DupRate,
+	}
+}
+
 // Swarm is a running set of concurrent DMFSGD nodes exchanging real
 // protocol messages over an in-memory transport, measured against
 // dataset-backed oracles. Stop it when done.
+//
+// Deprecated: Swarm is a thin shim over a live Session (NewSession with
+// WithLive), kept for compatibility.
 type Swarm struct {
-	inner *runtime.Swarm
+	sess *Session
 }
 
 // StartSwarm builds and starts a swarm over ds.
+//
+// Deprecated: use NewSession with WithLive.
 func StartSwarm(ds *Dataset, cfg SwarmConfig) (*Swarm, error) {
-	k := cfg.K
-	if k == 0 {
-		k = ds.DefaultK
-	}
-	tau := cfg.Tau
-	if tau == 0 {
-		tau = ds.Median()
-	}
-	inner, err := runtime.NewSwarm(runtime.SwarmConfig{
-		Dataset:          ds,
-		SGD:              cfg.Config.sgdConfig(),
-		K:                k,
-		Tau:              tau,
-		ProbeInterval:    cfg.ProbeInterval,
-		MeasurementNoise: cfg.MeasurementNoise,
-		DropRate:         cfg.DropRate,
-		DupRate:          cfg.DupRate,
-		Shards:           cfg.Shards,
-		Workers:          cfg.Workers,
-		Seed:             cfg.Seed,
-	})
+	sess, err := newSession(ds, cfg.settings())
 	if err != nil {
 		return nil, err
 	}
-	inner.Start()
-	return &Swarm{inner: inner}, nil
+	return &Swarm{sess: sess}, nil
 }
+
+// Session returns the live Session backing this shim.
+func (s *Swarm) Session() *Session { return s.sess }
 
 // AUC evaluates the swarm's current prediction quality (0 = all test
 // pairs).
-func (s *Swarm) AUC(maxPairs int) float64 { return s.inner.AUC(maxPairs) }
+func (s *Swarm) AUC(maxPairs int) float64 {
+	auc, _ := s.sess.AUC(context.Background(), maxPairs)
+	return auc
+}
 
 // Updates returns the total number of coordinate updates so far.
-func (s *Swarm) Updates() int { return s.inner.TotalStats().Updates }
+func (s *Swarm) Updates() int { return s.sess.Steps() }
 
 // Stop shuts all nodes down.
-func (s *Swarm) Stop() { s.inner.Stop() }
+func (s *Swarm) Stop() { s.sess.Close() }

@@ -1,0 +1,169 @@
+package dmfsgd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmfsgd/internal/classify"
+	"dmfsgd/internal/vec"
+)
+
+// PathPair identifies a directed node pair: the path I → J.
+type PathPair struct {
+	I, J int
+}
+
+// Snapshot is an immutable copy of every node's coordinates, materialized
+// from the session's shard store in one pass (Session.Snapshot) or
+// assembled from application-gathered Node coordinates (NewSnapshot).
+// After materialization it involves no locks, no atomics and no shared
+// mutable state, so any number of goroutines may serve Predict,
+// PredictBatch, Rank and Classify from one Snapshot concurrently at
+// memory bandwidth — this is the serving surface for heavy prediction
+// traffic. A snapshot costs 2·n·r float64s (~160KB at Meridian 2500,
+// rank 10).
+//
+// Training that continues after materialization does not affect a
+// snapshot; take a fresh one (and atomically swap a shared pointer, as
+// cmd/dmfserve does) to publish newer coordinates.
+type Snapshot struct {
+	n, rank int
+	u, v    []float64 // flat row-major: node i's rows at [i*rank, (i+1)*rank)
+	tau     float64
+	metric  Metric
+	steps   int
+}
+
+// NewSnapshot assembles a snapshot from per-node coordinate rows — the
+// serving path for applications that run embeddable Nodes and gather
+// (U, V) pairs themselves. u[i] and v[i] are node i's out- and
+// in-coordinates (Node.U, Node.V); all rows must share one length r ≥ 1
+// and hold finite values. tau and metric describe the classification
+// threshold the coordinates were trained against. The rows are copied.
+func NewSnapshot(metric Metric, tau float64, u, v [][]float64) (*Snapshot, error) {
+	n := len(u)
+	if n == 0 || len(v) != n {
+		return nil, fmt.Errorf("%w: need equal non-empty U and V row sets, got %d and %d",
+			ErrInvalidConfig, len(u), len(v))
+	}
+	rank := len(u[0])
+	if rank == 0 {
+		return nil, fmt.Errorf("%w: empty coordinate rows", ErrInvalidConfig)
+	}
+	sn := &Snapshot{
+		n:      n,
+		rank:   rank,
+		u:      make([]float64, n*rank),
+		v:      make([]float64, n*rank),
+		tau:    tau,
+		metric: metric,
+	}
+	for i := 0; i < n; i++ {
+		if len(u[i]) != rank || len(v[i]) != rank {
+			return nil, fmt.Errorf("%w: node %d has rows of length %d/%d, want %d",
+				ErrInvalidConfig, i, len(u[i]), len(v[i]), rank)
+		}
+		for r := 0; r < rank; r++ {
+			if !finite(u[i][r]) || !finite(v[i][r]) {
+				return nil, fmt.Errorf("%w: node %d has non-finite coordinates", ErrInvalidConfig, i)
+			}
+		}
+		copy(sn.u[i*rank:(i+1)*rank], u[i])
+		copy(sn.v[i*rank:(i+1)*rank], v[i])
+	}
+	return sn, nil
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// N returns the node count.
+func (sn *Snapshot) N() int { return sn.n }
+
+// Dim returns r, the coordinate dimensionality.
+func (sn *Snapshot) Dim() int { return sn.rank }
+
+// Tau returns the classification threshold the coordinates were trained
+// against.
+func (sn *Snapshot) Tau() float64 { return sn.tau }
+
+// Metric returns the measured quantity.
+func (sn *Snapshot) Metric() Metric { return sn.metric }
+
+// Steps returns the session's cumulative update count at materialization
+// (0 for snapshots assembled with NewSnapshot) — a freshness stamp for
+// serving loops that swap snapshots.
+func (sn *Snapshot) Steps() int { return sn.steps }
+
+func (sn *Snapshot) check(i, j int) {
+	if uint(i) >= uint(sn.n) || uint(j) >= uint(sn.n) {
+		panic(fmt.Sprintf("dmfsgd: snapshot pair (%d,%d) out of range [0,%d)", i, j, sn.n))
+	}
+}
+
+// Predict returns x̂ᵢⱼ = uᵢ·vⱼᵀ, the estimate of the path i → j. Larger
+// means more likely good. Bit-identical to Session.Predict at the moment
+// of materialization.
+func (sn *Snapshot) Predict(i, j int) float64 {
+	sn.check(i, j)
+	r := sn.rank
+	return vec.Dot(sn.u[i*r:(i+1)*r], sn.v[j*r:(j+1)*r])
+}
+
+// Classify returns the predicted class of the path i → j: the sign of
+// Predict.
+func (sn *Snapshot) Classify(i, j int) Class {
+	return classify.FromValue(sn.Predict(i, j))
+}
+
+// PredictBatch fills scores[k] with the prediction for pairs[k]. scores
+// may be nil (a new slice is allocated) or a caller-owned buffer of
+// len(pairs) for allocation-free serving loops; it is returned either
+// way. The batch is scored on the calling goroutine with zero
+// synchronization — parallelism comes from calling PredictBatch on many
+// goroutines, which scale linearly until memory bandwidth.
+func (sn *Snapshot) PredictBatch(pairs []PathPair, scores []float64) []float64 {
+	if scores == nil {
+		scores = make([]float64, len(pairs))
+	}
+	if len(scores) != len(pairs) {
+		panic(fmt.Sprintf("dmfsgd: PredictBatch scores length %d, want %d", len(scores), len(pairs)))
+	}
+	r := sn.rank
+	for k, p := range pairs {
+		sn.check(p.I, p.J)
+		scores[k] = vec.Dot(sn.u[p.I*r:(p.I+1)*r], sn.v[p.J*r:(p.J+1)*r])
+	}
+	return scores
+}
+
+// Rank orders candidate peers of node i from most to least likely good —
+// the §6.4 peer-selection primitive ("rank candidates by x̂ and pick the
+// best"). It returns a new slice sorted by descending predicted score,
+// ties broken by ascending node id so the order is deterministic.
+// candidates is not modified.
+func (sn *Snapshot) Rank(i int, candidates []int) []int {
+	type scored struct {
+		j int
+		x float64
+	}
+	sn.check(i, i)
+	order := make([]scored, len(candidates))
+	r := sn.rank
+	ui := sn.u[i*r : (i+1)*r]
+	for k, j := range candidates {
+		sn.check(i, j)
+		order[k] = scored{j: j, x: vec.Dot(ui, sn.v[j*r:(j+1)*r])}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].x != order[b].x {
+			return order[a].x > order[b].x
+		}
+		return order[a].j < order[b].j
+	})
+	out := make([]int, len(order))
+	for k, s := range order {
+		out[k] = s.j
+	}
+	return out
+}
