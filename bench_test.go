@@ -25,12 +25,15 @@ import (
 	"dmfsgd/internal/batch"
 	"dmfsgd/internal/classify"
 	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/engine"
 	"dmfsgd/internal/eval"
 	"dmfsgd/internal/experiments"
 	"dmfsgd/internal/loss"
 	"dmfsgd/internal/multiclass"
+	"dmfsgd/internal/replica"
 	"dmfsgd/internal/sgd"
 	"dmfsgd/internal/sim"
+	"dmfsgd/internal/wire"
 )
 
 // percentileOf computes a percentile over a copy of vals.
@@ -544,8 +547,9 @@ func BenchmarkSnapshotRankReaders4(b *testing.B) { benchSnapshotRank(b, 4) }
 func BenchmarkSnapshotRankReaders8(b *testing.B) { benchSnapshotRank(b, 8) }
 
 // BenchmarkEvalPairCache measures the cached evaluation sweep: after the
-// first call the ~n² pair list is reused, so per-call allocations drop
-// from ~100MB (Meridian-2500 scale) to the label/score output only.
+// first call the ~n² pair list AND the ±1 label list are reused, so
+// per-call allocations drop from ~150MB (Meridian-2500 scale) to the
+// score output only.
 func BenchmarkEvalPairCache(b *testing.B) {
 	drv := engineDriver(b, 1000, 4)
 	drv.RunEpochs(1, 8)
@@ -554,6 +558,105 @@ func BenchmarkEvalPairCache(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		drv.EvalSet(0)
+	}
+}
+
+// --- Replication tier benchmarks (delta vs full snapshot refresh) ---
+//
+// The follower refresh path of internal/replica at Meridian-2500 scale:
+// decode an inbound wire.Delta and materialize the next immutable state.
+// The delta variant ships and re-attaches one advanced shard of eight and
+// shares the other seven blocks; the full variant rebuilds everything (the
+// PR 2 behavior, and still the bootstrap cost). On any host the delta
+// refresh must move ~1/8 of the bytes and allocations of the full one.
+
+// replicaBenchSetup builds a 2500-node 8-shard state, advances one shard,
+// and returns the base state plus the encoded delta and full refreshes.
+func replicaBenchSetup(b *testing.B) (base *replica.State, deltaBuf, fullBuf []byte) {
+	b.Helper()
+	const n, rank, shards = 2500, 10, 8
+	store := engine.NewStore(n, rank, shards)
+	store.InitUniform(rand.New(rand.NewSource(1)))
+	capture := func(prev *replica.State, steps uint64) *replica.State {
+		u, v := store.SnapshotFlat()
+		st, err := replica.Update(prev, n, rank, shards,
+			replica.Meta{Steps: steps, Tau: 50}, store.Versions(nil), u, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	base = capture(nil, 1)
+	// Advance shard 3 only, as a quiet serving tier between refreshes would.
+	store.Ref(3).Update(func(c *sgd.Coordinates) bool { c.U[0] += 0.5; return true })
+	next := capture(base, 2)
+	var err error
+	if deltaBuf, err = wire.AppendDelta(nil, next.DeltaFor(1, []uint16{3})); err != nil {
+		b.Fatal(err)
+	}
+	all := make([]uint16, shards)
+	for p := range all {
+		all[p] = uint16(p)
+	}
+	if fullBuf, err = wire.AppendDelta(nil, next.DeltaFor(1, all)); err != nil {
+		b.Fatal(err)
+	}
+	return base, deltaBuf, fullBuf
+}
+
+func BenchmarkSnapshotDeltaRefresh(b *testing.B) {
+	base, deltaBuf, _ := replicaBenchSetup(b)
+	b.SetBytes(int64(len(deltaBuf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var d wire.Delta
+		if err := wire.DecodeDelta(deltaBuf, &d); err != nil {
+			b.Fatal(err)
+		}
+		if _, applied, err := replica.Apply(base, &d); err != nil || applied != 1 {
+			b.Fatalf("applied=%d err=%v", applied, err)
+		}
+	}
+}
+
+func BenchmarkSnapshotFullRefresh(b *testing.B) {
+	_, _, fullBuf := replicaBenchSetup(b)
+	b.SetBytes(int64(len(fullBuf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var d wire.Delta
+		if err := wire.DecodeDelta(fullBuf, &d); err != nil {
+			b.Fatal(err)
+		}
+		if _, applied, err := replica.Apply(nil, &d); err != nil || applied != 8 {
+			b.Fatalf("applied=%d err=%v", applied, err)
+		}
+	}
+}
+
+// BenchmarkSessionSnapshotQuiescent measures the version-aware Snapshot
+// path with nothing to refresh: the session returns the previously
+// materialized snapshot after comparing version vectors — zero copying,
+// which is what makes per-request snapshotting viable for serving loops.
+func BenchmarkSessionSnapshotQuiescent(b *testing.B) {
+	ds := meridianSized(1000)
+	sess, err := dmfsgd.NewSession(ds, dmfsgd.WithK(32), dmfsgd.WithShards(8), dmfsgd.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.RunEpochs(context.Background(), 2, 32); err != nil {
+		b.Fatal(err)
+	}
+	sess.Snapshot() // materialize once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sess.Snapshot() == nil {
+			b.Fatal("nil snapshot")
+		}
 	}
 }
 

@@ -8,18 +8,29 @@
 // Snapshot into the serving pointer at each interval; in-flight requests
 // keep the snapshot they started with.
 //
+// With -gossip the process joins the replication tier: it listens for
+// anti-entropy gossip (TCP, length-prefixed frames) and feeds its
+// versioned snapshot state to pulling peers, so one trainer replica can
+// feed any number of serving replicas. With -peer the process is such a
+// serving replica: it skips training entirely, bootstraps its state from
+// the given peers, keeps it fresh by pulling only the shards whose
+// version advanced, and publishes its replication lag at /healthz. Reads
+// never block on replication — a replica serves whatever immutable
+// snapshot it holds while newer shards stream in.
+//
 // Endpoints:
 //
-//	GET  /healthz                          liveness + update counter
+//	GET  /healthz                          liveness, update counter, replication lag
 //	GET  /stats                            session and snapshot metadata
 //	GET  /predict?i=3&j=77                 one path: score and class
 //	POST /predict {"pairs":[[3,77],...]}   batch prediction
 //	GET  /rank?i=3&candidates=4,9,12       §6.4 peer ranking, best first
 //
-// Example:
+// Example — one trainer feeding one read replica:
 //
-//	dmfserve -dataset meridian -n 500 -addr :8080 -refresh 2s
-//	curl 'localhost:8080/predict?i=3&j=77'
+//	dmfserve -dataset meridian -n 500 -addr :8080 -refresh 2s -gossip 127.0.0.1:9090
+//	dmfserve -addr :8081 -peer 127.0.0.1:9090
+//	curl 'localhost:8081/predict?i=3&j=77'
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -38,6 +50,8 @@ import (
 	"time"
 
 	"dmfsgd"
+	"dmfsgd/internal/replica"
+	"dmfsgd/internal/transport"
 )
 
 func main() {
@@ -52,89 +66,215 @@ func main() {
 		workers = flag.Int("workers", 0, "training/eval goroutines (0 = GOMAXPROCS)")
 		budget  = flag.Int("budget", 0, "training update budget (0 = paper default, 20·k·n)")
 		refresh = flag.Duration("refresh", 0, "keep training and swap a fresh snapshot at this interval (0 = train once, serve frozen)")
+
+		gossipAddr  = flag.String("gossip", "", "replication gossip listen address (TCP); joins the replication tier")
+		peerList    = flag.String("peer", "", "comma-separated bootstrap gossip peers; serve as a read replica (no local training)")
+		gossipEvery = flag.Duration("gossip-interval", 500*time.Millisecond, "anti-entropy gossip period")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	var ds *dmfsgd.Dataset
-	switch *dsName {
-	case "meridian":
-		ds = dmfsgd.NewMeridianDataset(*n, *seed)
-	case "harvard":
-		ds = dmfsgd.NewHarvardDataset(*n, 0, *seed)
-	case "hps3":
-		ds = dmfsgd.NewHPS3Dataset(*n, *seed)
-	default:
-		log.Fatalf("dmfserve: unknown dataset %q (want meridian, harvard or hps3)", *dsName)
-	}
-
-	opts := []dmfsgd.Option{
-		dmfsgd.WithSeed(*seed),
-		dmfsgd.WithRank(*rank),
-	}
-	if *k > 0 {
-		opts = append(opts, dmfsgd.WithK(*k))
-	}
-	if *shards > 0 {
-		opts = append(opts, dmfsgd.WithShards(*shards))
-	}
-	if *workers > 0 {
-		opts = append(opts, dmfsgd.WithWorkers(*workers))
-	}
-	sess, err := dmfsgd.NewSession(ds, opts...)
-	if err != nil {
-		log.Fatalf("dmfserve: %v", err)
-	}
-	defer sess.Close()
-
-	log.Printf("training: %s, %d nodes, k=%d, tau=%.2f", ds.Name, sess.N(), sess.K(), sess.Tau())
-	start := time.Now()
-	if err := sess.Run(ctx, *budget); err != nil {
-		log.Fatalf("dmfserve: training interrupted: %v", err)
-	}
-	log.Printf("trained: %d updates in %.1fs", sess.Steps(), time.Since(start).Seconds())
-
 	// The serving pointer: handlers load it once per request; the
-	// refresher stores fresh snapshots. Readers never block writers and
-	// vice versa.
+	// refresher (trainer) or the replication peer (follower) stores fresh
+	// snapshots. Readers never block writers and vice versa. On a
+	// follower it is nil until the bootstrap pull lands.
 	var serving atomic.Pointer[dmfsgd.Snapshot]
-	serving.Store(sess.Snapshot())
 
-	if *refresh > 0 {
-		go func() {
-			tick := time.NewTicker(*refresh)
-			defer tick.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-tick.C:
-				}
-				// One k·n increment of training, then publish. Only this
-				// goroutine touches the session after startup; handlers
-				// read immutable snapshots.
-				if err := sess.Run(ctx, sess.N()*sess.K()); err != nil {
-					return
-				}
-				snap := sess.Snapshot()
-				serving.Store(snap)
-				log.Printf("snapshot refreshed at %d updates", snap.Steps())
+	role := "standalone"
+	follower := *peerList != ""
+	if follower {
+		role = "follower"
+	} else if *gossipAddr != "" {
+		role = "trainer"
+	}
+
+	// The replication peer (nil when the tier is disabled) and its
+	// transport.
+	var repPeer *replica.Peer
+	startPeer := func(listen string, peers []string, source bool, onState func(*replica.State)) *transport.TCP {
+		tr, err := transport.ListenTCP(listen)
+		if err != nil {
+			log.Fatalf("dmfserve: %v", err)
+		}
+		repPeer = replica.NewPeer(replica.Config{
+			ID:        uint32(os.Getpid()),
+			Transport: tr,
+			Peers:     peers,
+			Interval:  *gossipEvery,
+			Seed:      *seed,
+			Source:    source,
+			OnState:   onState,
+			Logf:      log.Printf,
+		})
+		go repPeer.Run(ctx)
+		log.Printf("replication: %s gossiping on %s (interval %v)", role, tr.Addr(), *gossipEvery)
+		return tr
+	}
+
+	dsLabel := *dsName
+	if follower {
+		// Read replica: no dataset, no training. State arrives over
+		// gossip; each applied delta publishes a fresh serving snapshot.
+		dsLabel = "replicated"
+		listen := *gossipAddr
+		if listen == "" {
+			listen = "127.0.0.1:0"
+		}
+		tr := startPeer(listen, strings.Split(*peerList, ","), false, func(st *replica.State) {
+			u, v := st.Flatten()
+			snap, err := dmfsgd.NewSnapshotFlat(dmfsgd.Metric(st.Meta.Metric), st.Meta.Tau,
+				int(st.Meta.Steps), st.Rank, u, v)
+			if err != nil {
+				log.Printf("dmfserve: replicated state rejected: %v", err)
+				return
 			}
-		}()
+			serving.Store(snap)
+		})
+		defer tr.Close()
+	} else {
+		var ds *dmfsgd.Dataset
+		switch *dsName {
+		case "meridian":
+			ds = dmfsgd.NewMeridianDataset(*n, *seed)
+		case "harvard":
+			ds = dmfsgd.NewHarvardDataset(*n, 0, *seed)
+		case "hps3":
+			ds = dmfsgd.NewHPS3Dataset(*n, *seed)
+		default:
+			log.Fatalf("dmfserve: unknown dataset %q (want meridian, harvard or hps3)", *dsName)
+		}
+
+		opts := []dmfsgd.Option{
+			dmfsgd.WithSeed(*seed),
+			dmfsgd.WithRank(*rank),
+		}
+		if *k > 0 {
+			opts = append(opts, dmfsgd.WithK(*k))
+		}
+		if *shards > 0 {
+			opts = append(opts, dmfsgd.WithShards(*shards))
+		}
+		if *workers > 0 {
+			opts = append(opts, dmfsgd.WithWorkers(*workers))
+		}
+		sess, err := dmfsgd.NewSession(ds, opts...)
+		if err != nil {
+			log.Fatalf("dmfserve: %v", err)
+		}
+		defer sess.Close()
+
+		log.Printf("training: %s, %d nodes, k=%d, tau=%.2f", ds.Name, sess.N(), sess.K(), sess.Tau())
+		start := time.Now()
+		if err := sess.Run(ctx, *budget); err != nil {
+			log.Fatalf("dmfserve: training interrupted: %v", err)
+		}
+		log.Printf("trained: %d updates in %.1fs", sess.Steps(), time.Since(start).Seconds())
+
+		// Trainer-side replication state: rebuilt incrementally from each
+		// snapshot's version vector — only shards that advanced since the
+		// previous capture are re-packed. Written by one goroutine (main
+		// at startup, then the refresher).
+		var repState *replica.State
+		var lastPublished *dmfsgd.Snapshot
+		publish := func(snap *dmfsgd.Snapshot) {
+			if snap == lastPublished {
+				// Session.Snapshot memoizes at quiescence; nothing moved,
+				// so skip the flat-copy capture entirely.
+				return
+			}
+			lastPublished = snap
+			serving.Store(snap)
+			if repPeer == nil {
+				return
+			}
+			u, v := snap.Flat()
+			st, err := replica.Update(repState, snap.N(), snap.Dim(), snap.StoreShards(),
+				replica.Meta{Steps: uint64(snap.Steps()), Tau: snap.Tau(), Metric: uint8(ds.Metric)},
+				snap.Versions(), u, v)
+			if err != nil {
+				log.Printf("dmfserve: replica capture: %v", err)
+				return
+			}
+			repState = st
+			repPeer.SetState(st)
+		}
+
+		if *gossipAddr != "" {
+			tr := startPeer(*gossipAddr, nil, true, nil)
+			defer tr.Close()
+		}
+		publish(sess.Snapshot())
+
+		if *refresh > 0 {
+			go func() {
+				tick := time.NewTicker(*refresh)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+					}
+					// One k·n increment of training, then publish. Only this
+					// goroutine touches the session after startup; handlers
+					// read immutable snapshots.
+					if err := sess.Run(ctx, sess.N()*sess.K()); err != nil {
+						return
+					}
+					snap := sess.Snapshot()
+					publish(snap)
+					log.Printf("snapshot refreshed at %d updates", snap.Steps())
+				}
+			}()
+		}
+	}
+
+	// loadSnap answers 503 while a follower has not bootstrapped yet.
+	loadSnap := func(w http.ResponseWriter) (*dmfsgd.Snapshot, bool) {
+		snap := serving.Load()
+		if snap == nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "replica syncing: no snapshot yet"})
+			return nil, false
+		}
+		return snap, true
 	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "steps": serving.Load().Steps()})
+		snap := serving.Load()
+		resp := map[string]any{"role": role}
+		if snap == nil {
+			resp["status"] = "syncing"
+		} else {
+			resp["status"] = "ok"
+			resp["steps"] = snap.Steps()
+		}
+		if repPeer != nil {
+			lag := repPeer.Lag()
+			resp["lag_steps"] = lag.StepsBehind
+			resp["stale_shards"] = lag.StaleShards
+			if !lag.LastAdvance.IsZero() {
+				resp["since_advance_ms"] = time.Since(lag.LastAdvance).Milliseconds()
+			}
+		}
+		status := http.StatusOK
+		if snap == nil {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, resp)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		// Snapshot metadata only: the session itself may be training in
 		// the background and is not safe to read concurrently.
-		snap := serving.Load()
+		snap, ok := loadSnap(w)
+		if !ok {
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"dataset":        ds.Name,
+			"dataset":        dsLabel,
+			"role":           role,
 			"nodes":          snap.N(),
 			"dim":            snap.Dim(),
 			"tau":            snap.Tau(),
@@ -142,7 +282,10 @@ func main() {
 		})
 	})
 	mux.HandleFunc("GET /predict", func(w http.ResponseWriter, r *http.Request) {
-		snap := serving.Load()
+		snap, ok := loadSnap(w)
+		if !ok {
+			return
+		}
 		i, err := nodeParam(r, "i", snap.N())
 		if err != nil {
 			writeError(w, err)
@@ -159,7 +302,10 @@ func main() {
 		})
 	})
 	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
-		snap := serving.Load()
+		snap, ok := loadSnap(w)
+		if !ok {
+			return
+		}
 		var req struct {
 			Pairs [][2]int `json:"pairs"`
 		}
@@ -183,7 +329,10 @@ func main() {
 		writeJSON(w, http.StatusOK, map[string]any{"scores": scores, "classes": classes})
 	})
 	mux.HandleFunc("GET /rank", func(w http.ResponseWriter, r *http.Request) {
-		snap := serving.Load()
+		snap, ok := loadSnap(w)
+		if !ok {
+			return
+		}
 		i, err := nodeParam(r, "i", snap.N())
 		if err != nil {
 			writeError(w, err)
@@ -216,7 +365,7 @@ func main() {
 		defer cancel()
 		srv.Shutdown(shutCtx)
 	}()
-	log.Printf("serving on %s (refresh=%v)", *addr, *refresh)
+	log.Printf("serving on %s (role=%s, refresh=%v)", *addr, role, *refresh)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("dmfserve: %v", err)
 	}

@@ -52,12 +52,14 @@ type Engine struct {
 	steps     int
 
 	// Parallel-epoch state, built lazily on first RunEpoch.
-	nodeRNG []*rand.Rand
-	snapU   []float64
-	snapV   []float64
-	out     [][][]abwDelivery // [src shard][dst shard] outboxes
-	inbox   [][]abwDelivery   // per-dst merge scratch
-	counts  []int             // per-shard success counts
+	nodeRNG  []*rand.Rand
+	snapU    []float64
+	snapV    []float64
+	snapVers []uint64          // store versions snapU/snapV were copied at
+	out      [][][]abwDelivery // [src shard][dst shard] outboxes
+	inbox    [][]abwDelivery   // per-dst merge scratch
+	counts   []int             // per-shard success counts
+	dirty    []bool            // shards written this epoch (version bump at barrier)
 }
 
 // New builds an engine over the given topology. labels is n×n; neighbors
@@ -147,12 +149,15 @@ func (e *Engine) ApplyLabel(i, j int, label float64) {
 }
 
 // applyValue fires the update rules for a scaled sample, Gauss-Seidel
-// style: updates land in the live store immediately.
+// style: updates land in the live store immediately. Each touched shard's
+// version advances with the write (this runs in the exclusive discipline,
+// so no locking is needed).
 func (e *Engine) applyValue(i, j int, x float64) {
 	if e.cfg.Symmetric {
 		// Algorithm 1 (RTT): the sender i infers x and updates both its
 		// vectors against j's.
 		e.cfg.SGD.UpdateRTT(e.store.Coord(i), e.store.Coord(j).U, e.store.Coord(j).V, x)
+		e.store.bump(i)
 	} else {
 		// Algorithm 2 (ABW): the target j infers x, updates vⱼ with the uᵢ
 		// carried by the probe, and replies with (x, vⱼ); i updates uᵢ.
@@ -162,6 +167,8 @@ func (e *Engine) applyValue(i, j int, x float64) {
 		vj := append([]float64(nil), cj.V...)
 		e.cfg.SGD.UpdateABWTarget(cj, e.store.Coord(i).U, x)
 		e.cfg.SGD.UpdateABWSender(e.store.Coord(i), vj, x)
+		e.store.bump(i)
+		e.store.bump(j)
 	}
 	e.steps++
 }

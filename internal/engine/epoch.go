@@ -41,7 +41,9 @@ func (e *Engine) ensureEpochState() {
 	}
 	e.snapU = make([]float64, n*rank)
 	e.snapV = make([]float64, n*rank)
+	e.snapVers = make([]uint64, p)
 	e.counts = make([]int, p)
+	e.dirty = make([]bool, p)
 	e.out = make([][][]abwDelivery, p)
 	for s := range e.out {
 		e.out[s] = make([][]abwDelivery, p)
@@ -81,9 +83,13 @@ func (e *Engine) RunEpochCtx(ctx context.Context, probesPerNode int) (int, error
 	}
 	e.ensureEpochState()
 	p := e.store.shards
-	e.store.SnapshotInto(e.snapU, e.snapV)
+	// Refresh the epoch-start snapshot via the version vector: shards that
+	// have not moved since the last materialization (missing-data shards,
+	// or quiet stretches between training bursts) are skipped.
+	e.store.SnapshotDeltaInto(e.snapU, e.snapV, e.snapVers)
 	for s := 0; s < p; s++ {
 		e.counts[s] = 0
+		e.dirty[s] = false
 		for d := 0; d < p; d++ {
 			e.out[s][d] = e.out[s][d][:0]
 		}
@@ -92,6 +98,15 @@ func (e *Engine) RunEpochCtx(ctx context.Context, probesPerNode int) (int, error
 	e.forEachShard(ctx, func(s int) { e.counts[s] = e.probeShard(s, probesPerNode) })
 	if !e.cfg.Symmetric && ctx.Err() == nil {
 		e.forEachShard(ctx, func(s int) { e.drainShard(s) })
+	}
+
+	// The epoch barrier: advance the version of every shard that was
+	// written (its own nodes probed successfully, or routed target updates
+	// were applied to it). Exclusive discipline — no locks needed.
+	for s := 0; s < p; s++ {
+		if e.dirty[s] {
+			e.store.bumpShard(s)
+		}
 	}
 
 	total := 0
@@ -218,6 +233,9 @@ func (e *Engine) probeShard(s, probesPerNode int) int {
 			success++
 		}
 	}
+	if success > 0 {
+		e.dirty[s] = true // workers write only their own shard's slot
+	}
 	return success
 }
 
@@ -244,6 +262,9 @@ func (e *Engine) drainShard(s int) {
 	for _, d := range in {
 		su := e.snapU[int(d.sender)*rank : (int(d.sender)+1)*rank]
 		e.cfg.SGD.UpdateABWTarget(e.store.Coord(int(d.target)), su, d.x)
+	}
+	if len(in) > 0 {
+		e.dirty[s] = true
 	}
 	e.inbox[s] = in[:0]
 }

@@ -97,16 +97,28 @@ func buildEvalPairs(mask *mat.Mask, truth *mat.Dense) []mat.Pair {
 //
 // The cached list is shared read-only between callers; evaluation never
 // mutates it (subsampling shuffles a copy).
+//
+// Alongside the pair list the cache memoizes the ±1 evaluation labels,
+// keyed on (metric, τ). The labels depend only on the pair list and the
+// ground truth thresholded at τ — both fixed for a driver's lifetime — so
+// repeated full-set evaluations skip the second-largest allocation of a
+// sweep (~n² float64s, ~50MB at Meridian 2500). The cached labels
+// invalidate together with the pair list, or when τ or the metric change.
 type PairCache struct {
 	mu    sync.Mutex
 	mask  *mat.Mask
 	truth *mat.Dense
 	count int
 	pairs []mat.Pair
+
+	labelMetric dataset.Metric
+	labelTau    float64
+	labels      []float64 // labels of `pairs` at (labelMetric, labelTau)
 }
 
 // get returns the cached pair list for (mask, truth), rebuilding it when
-// the cache is cold or the measured set changed.
+// the cache is cold or the measured set changed. Rebuilding drops the
+// cached labels: they were computed for the previous list.
 func (c *PairCache) get(mask *mat.Mask, truth *mat.Dense) []mat.Pair {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -115,7 +127,31 @@ func (c *PairCache) get(mask *mat.Mask, truth *mat.Dense) []mat.Pair {
 	}
 	c.mask, c.truth, c.count = mask, truth, mask.Count()
 	c.pairs = buildEvalPairs(mask, truth)
+	c.labels = nil
 	return c.pairs
+}
+
+// lookupLabels returns the cached label list when it was computed for
+// exactly this pair list at (metric, tau); nil otherwise.
+func (c *PairCache) lookupLabels(pairs []mat.Pair, metric dataset.Metric, tau float64) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.labels == nil || len(pairs) == 0 || len(c.pairs) != len(pairs) ||
+		&c.pairs[0] != &pairs[0] || c.labelMetric != metric || c.labelTau != tau {
+		return nil
+	}
+	return c.labels
+}
+
+// storeLabels records a freshly computed label list for the cached pair
+// list, unless the list was invalidated while the labels were being built.
+func (c *PairCache) storeLabels(pairs []mat.Pair, metric dataset.Metric, tau float64, labels []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(pairs) == 0 || len(c.pairs) != len(pairs) || &c.pairs[0] != &pairs[0] {
+		return
+	}
+	c.labelMetric, c.labelTau, c.labels = metric, tau, labels
 }
 
 // EvalSpec describes the test-set evaluation shared by both drivers: the
@@ -147,6 +183,10 @@ type EvalSpec struct {
 // consistent snapshot (each shard's read lock taken once — safe while
 // runtime nodes keep updating), then block-parallel label computation and
 // scoring. Output is identical for every worker count.
+//
+// With a Cache and no subsampling, the returned labels slice is shared
+// with the cache (and with every other full-set caller): treat it as
+// read-only. The scores slice is always freshly allocated.
 func EvalSet(store *Store, spec EvalSpec) (labels, scores []float64) {
 	labels, scores, _ = EvalSetCtx(context.Background(), store, spec)
 	return labels, scores
@@ -164,7 +204,9 @@ func EvalSetCtx(ctx context.Context, store *Store, spec EvalSpec) (labels, score
 	} else {
 		pairs = buildEvalPairs(spec.Mask, spec.Truth)
 	}
+	subsampled := false
 	if spec.MaxPairs > 0 && len(pairs) > spec.MaxPairs {
+		subsampled = true
 		if cached {
 			// Never shuffle the shared cached list.
 			pairs = append([]mat.Pair(nil), pairs...)
@@ -180,20 +222,32 @@ func EvalSetCtx(ctx context.Context, store *Store, spec EvalSpec) (labels, score
 	if workers <= 0 {
 		workers = goruntime.GOMAXPROCS(0)
 	}
-	labels = make([]float64, len(pairs))
+	// Full-set labels are memoizable: they depend only on the cached pair
+	// list, the metric and τ. Subsampled labels are per-call (the pair
+	// subset varies with MaxPairs and the subsample seed).
+	if cached && !subsampled {
+		labels = spec.Cache.lookupLabels(pairs, spec.Metric, spec.Tau)
+	}
+	fresh := labels == nil
+	if fresh {
+		labels = make([]float64, len(pairs))
+		Blocks(len(pairs), workers, func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				if idx&ctxCheckMask == 0 && ctx.Err() != nil {
+					return
+				}
+				p := pairs[idx]
+				labels[idx] = classify.Of(spec.Metric, spec.Truth.At(p.I, p.J), spec.Tau).Value()
+			}
+		})
+	}
 	scores = make([]float64, len(pairs))
 	u, v := store.SnapshotFlat()
-	Blocks(len(pairs), workers, func(lo, hi int) {
-		for idx := lo; idx < hi; idx++ {
-			if idx&ctxCheckMask == 0 && ctx.Err() != nil {
-				return
-			}
-			p := pairs[idx]
-			labels[idx] = classify.Of(spec.Metric, spec.Truth.At(p.I, p.J), spec.Tau).Value()
-		}
-	})
 	if err := ScorePairsCtx(ctx, u, v, store.rank, pairs, scores, workers); err != nil {
 		return nil, nil, err
+	}
+	if fresh && cached && !subsampled {
+		spec.Cache.storeLabels(pairs, spec.Metric, spec.Tau, labels)
 	}
 	return labels, scores, nil
 }

@@ -21,6 +21,11 @@ import (
 //     Coord — no locking;
 //   - shared: concurrent callers (runtime nodes, live evaluation) go
 //     through Ref handles, which take the owning shard's RWMutex.
+//
+// Every shard carries a monotonic version counter bumped by every write
+// discipline (sequential applies, the epoch barrier, Ref updates), so
+// snapshot consumers can detect — and skip copying — shards that have not
+// moved since their last materialization.
 type Store struct {
 	n, rank, shards int
 	sh              []shard
@@ -28,6 +33,7 @@ type Store struct {
 
 type shard struct {
 	mu     sync.RWMutex
+	ver    uint64             // bumped on every coordinate write
 	nodes  []int              // global ids owned by this shard, ascending
 	coords []*sgd.Coordinates // parallel to nodes; slices alias back
 	back   []float64          // [u₀ v₀ u₁ v₁ …] of the owned nodes
@@ -99,6 +105,54 @@ func (s *Store) InitUniform(rng *rand.Rand) {
 		vec.RandUniform(rng, c.U)
 		vec.RandUniform(rng, c.V)
 	}
+	for p := range s.sh {
+		s.sh[p].ver++
+	}
+}
+
+// bump advances the version of node i's shard. Exclusive contexts only
+// (the sequential driver, epoch barrier); shared writers bump under the
+// shard lock inside Ref.Update.
+func (s *Store) bump(i int) { s.sh[i%s.shards].ver++ }
+
+// bumpShard advances shard p's version. Exclusive contexts only.
+func (s *Store) bumpShard(p int) { s.sh[p].ver++ }
+
+// ShardVersion returns shard p's current version.
+func (s *Store) ShardVersion(p int) uint64 {
+	sh := &s.sh[p]
+	sh.mu.RLock()
+	v := sh.ver
+	sh.mu.RUnlock()
+	return v
+}
+
+// Versions fills dst (allocating when nil or mis-sized) with the per-shard
+// version vector, reading each shard's counter under its lock.
+func (s *Store) Versions(dst []uint64) []uint64 {
+	if len(dst) != s.shards {
+		dst = make([]uint64, s.shards)
+	}
+	for p := range s.sh {
+		dst[p] = s.ShardVersion(p)
+	}
+	return dst
+}
+
+// VersionsEqual reports whether the store's current version vector equals
+// vers. A false result means at least one shard has been written since
+// vers was captured; a true result is point-in-time per shard, like any
+// snapshot of a live store.
+func (s *Store) VersionsEqual(vers []uint64) bool {
+	if len(vers) != s.shards {
+		return false
+	}
+	for p := range s.sh {
+		if s.ShardVersion(p) != vers[p] {
+			return false
+		}
+	}
+	return true
 }
 
 // SnapshotInto copies every node's coordinates into flat row-major arrays
@@ -125,6 +179,41 @@ func (s *Store) SnapshotFlat() (u, v []float64) {
 	v = make([]float64, s.n*s.rank)
 	s.SnapshotInto(u, v)
 	return u, v
+}
+
+// SnapshotDeltaInto refreshes a previously materialized snapshot in place:
+// it re-copies only the shards whose version differs from vers[p], updates
+// vers to the versions actually copied, and returns the number of shards
+// copied. u and v must hold the rows materialized at vers (length n·rank
+// each) — rows of skipped shards are left untouched, which is what makes
+// the refresh cheaper than SnapshotInto when most shards are quiet. The
+// version read and the row copy happen under one shard read-lock, so each
+// shard's rows and version stay mutually consistent even under live
+// writers.
+func (s *Store) SnapshotDeltaInto(u, v []float64, vers []uint64) int {
+	if len(u) != s.n*s.rank || len(v) != s.n*s.rank {
+		panic(fmt.Sprintf("engine: snapshot buffers %d/%d, want %d", len(u), len(v), s.n*s.rank))
+	}
+	if len(vers) != s.shards {
+		panic(fmt.Sprintf("engine: version vector length %d, want %d", len(vers), s.shards))
+	}
+	copied := 0
+	for p := range s.sh {
+		sh := &s.sh[p]
+		sh.mu.RLock()
+		if sh.ver == vers[p] {
+			sh.mu.RUnlock()
+			continue
+		}
+		for li, i := range sh.nodes {
+			copy(u[i*s.rank:(i+1)*s.rank], sh.coords[li].U)
+			copy(v[i*s.rank:(i+1)*s.rank], sh.coords[li].V)
+		}
+		vers[p] = sh.ver
+		sh.mu.RUnlock()
+		copied++
+	}
+	return copied
 }
 
 // Ref returns a locked handle to node i's coordinates.
@@ -159,11 +248,15 @@ func (r Ref) View(fn func(c *sgd.Coordinates)) {
 }
 
 // Update runs fn with exclusive access to the coordinates and returns fn's
-// result (conventionally: whether an update was applied).
+// result (conventionally: whether an update was applied). A true result
+// bumps the owning shard's version.
 func (r Ref) Update(fn func(c *sgd.Coordinates) bool) bool {
 	sh := &r.s.sh[r.id%r.s.shards]
 	sh.mu.Lock()
 	ok := fn(sh.coords[r.id/r.s.shards])
+	if ok {
+		sh.ver++
+	}
 	sh.mu.Unlock()
 	return ok
 }

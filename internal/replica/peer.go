@@ -1,0 +1,393 @@
+package replica
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dmfsgd/internal/transport"
+	"dmfsgd/internal/wire"
+)
+
+// Config parameterizes a gossip Peer.
+type Config struct {
+	// ID identifies this replica in replication messages.
+	ID uint32
+	// Transport carries the gossip traffic (in-memory Network in tests,
+	// transport.TCP in real deployments — replication deltas exceed UDP
+	// datagram limits).
+	Transport transport.Transport
+	// Peers are bootstrap gossip addresses; more are learned from inbound
+	// messages (push/pull anti-entropy, like internal/member). Bootstrap
+	// addresses are permanent; learned ones are evicted when a send to
+	// them fails (they are re-learned from their next inbound message).
+	Peers []string
+	// Source marks the tier's writer: a source peer never pulls remote
+	// state (its local state is authoritative, fed through SetState,
+	// which replaces unconditionally) and ignores inbound deltas. This is
+	// what keeps a restarted trainer — whose counters restart low — from
+	// adopting a follower's stale pre-restart state and then refusing its
+	// own fresh snapshots.
+	Source bool
+	// Interval is the gossip period (default 500ms): every tick the peer
+	// announces its version vector to one random known peer.
+	Interval time.Duration
+	// Seed drives peer selection.
+	Seed int64
+	// OnState, when set, is invoked (outside the peer's lock, on the Run
+	// goroutine) every time the local state advances by an applied delta —
+	// the hook serving replicas use to publish a fresh Snapshot.
+	OnState func(*State)
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// Lag describes how far the local state trails the newest remote state
+// this replica has heard of — the replication lag a serving replica
+// publishes on /healthz.
+type Lag struct {
+	// HasState is false until the first state lands (bootstrap).
+	HasState bool
+	// StepsBehind is the newest advertised training step counter minus the
+	// local one.
+	StepsBehind uint64
+	// StaleShards counts shards the newest advertised vector has ahead of
+	// the local one.
+	StaleShards int
+	// LastAdvance is when the local state last moved (zero before the
+	// first delta).
+	LastAdvance time.Time
+}
+
+// Peer is one replication endpoint: it gossips its version vector,
+// answers pulls from its state, and pulls stale shards from newer peers.
+// A trainer replica feeds it through SetState; serving replicas receive
+// through OnState. All exported methods are safe for concurrent use with
+// a running Run loop.
+type Peer struct {
+	cfg Config
+
+	mu          sync.Mutex
+	st          *State
+	peers       map[string]struct{}
+	seeds       map[string]struct{} // configured bootstrap addresses, never evicted
+	remoteSteps uint64              // newest advertised step counter
+	remoteVers  []uint64            // element-wise max of advertised vectors
+	lastAdvance time.Time           // when the local state last moved
+	rng         *rand.Rand
+
+	// deltaSem caps concurrent delta encodes: a delta response copies
+	// megabytes, and inbound DeltaRequests are unauthenticated, so
+	// excess requests are dropped (the requester's anti-entropy loop
+	// retries) instead of amplified into unbounded allocation.
+	deltaSem chan struct{}
+}
+
+// NewPeer builds a peer (does not start it — call Run).
+func NewPeer(cfg Config) *Peer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	p := &Peer{
+		cfg:      cfg,
+		peers:    make(map[string]struct{}),
+		seeds:    make(map[string]struct{}),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		deltaSem: make(chan struct{}, 4),
+	}
+	for _, a := range cfg.Peers {
+		if a != "" && a != cfg.Transport.Addr() {
+			p.peers[a] = struct{}{}
+			p.seeds[a] = struct{}{}
+		}
+	}
+	return p
+}
+
+func (p *Peer) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// SetState publishes a locally produced state (the trainer path). On a
+// Source peer the new state always replaces the old (the local producer
+// is authoritative); otherwise SetState never goes backwards in steps.
+func (p *Peer) SetState(st *State) {
+	p.mu.Lock()
+	if p.cfg.Source || p.st == nil || st.Meta.Steps >= p.st.Meta.Steps {
+		p.st = st
+		p.lastAdvance = time.Now()
+	}
+	p.mu.Unlock()
+}
+
+// State returns the current local state (nil before bootstrap).
+func (p *Peer) State() *State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// Lag reports the current replication lag.
+func (p *Peer) Lag() Lag {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := Lag{HasState: p.st != nil, LastAdvance: p.lastAdvance}
+	if p.st == nil {
+		l.StepsBehind = p.remoteSteps
+		l.StaleShards = len(p.remoteVers)
+		return l
+	}
+	if p.remoteSteps > p.st.Meta.Steps {
+		l.StepsBehind = p.remoteSteps - p.st.Meta.Steps
+	}
+	if len(p.remoteVers) == p.st.Shards {
+		for i, rv := range p.remoteVers {
+			if rv > p.st.vers[i] {
+				l.StaleShards++
+			}
+		}
+	}
+	return l
+}
+
+// Run processes gossip until ctx is done or the transport closes. Every
+// Interval the peer announces its version vector to one random known
+// peer; inbound vectors trigger pulls for stale shards, inbound pulls are
+// answered from the local state, and inbound deltas advance it.
+func (p *Peer) Run(ctx context.Context) {
+	tick := time.NewTicker(p.cfg.Interval)
+	defer tick.Stop()
+	p.gossip() // announce immediately so followers bootstrap fast
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case pkt, ok := <-p.cfg.Transport.Recv():
+			if !ok {
+				return
+			}
+			p.handle(pkt)
+		case <-tick.C:
+			p.gossip()
+		}
+	}
+}
+
+// gossip announces the local version vector to one random known peer.
+func (p *Peer) gossip() {
+	p.mu.Lock()
+	var target string
+	if len(p.peers) > 0 {
+		k := p.rng.Intn(len(p.peers))
+		for a := range p.peers {
+			if k == 0 {
+				target = a
+				break
+			}
+			k--
+		}
+	}
+	vv := p.versionVecLocked()
+	p.mu.Unlock()
+	if target == "" {
+		return
+	}
+	p.sendVersionVec(target, vv)
+}
+
+// versionVecLocked builds the announcement for the current state (an
+// empty-state hello when there is none). Callers hold p.mu.
+func (p *Peer) versionVecLocked() *wire.VersionVec {
+	if p.st == nil {
+		return &wire.VersionVec{From: p.cfg.ID, Addr: p.cfg.Transport.Addr()}
+	}
+	return p.st.VersionVec(p.cfg.ID, p.cfg.Transport.Addr())
+}
+
+// send ships one encoded message on its own goroutine: a Transport.Send
+// can block for seconds (TCP dial timeout to a blackholed peer), and the
+// Run loop must keep serving other peers meanwhile. Encoded buffers are
+// never reused, so the goroutine owns buf outright; lifetime is bounded
+// by the transport's dial/write deadlines. A failed send to a learned
+// (non-seed) address evicts it, so churned-away followers on ephemeral
+// ports stop soaking up gossip ticks; live peers re-learn themselves
+// with their next inbound message.
+func (p *Peer) send(to string, buf []byte, what string) {
+	go func() {
+		if err := p.cfg.Transport.Send(to, buf); err != nil {
+			p.logf("replica: %s to %s: %v", what, to, err)
+			p.forget(to)
+		}
+	}()
+}
+
+// forget evicts a learned peer address; configured seeds are kept.
+func (p *Peer) forget(addr string) {
+	p.mu.Lock()
+	if _, seed := p.seeds[addr]; !seed {
+		delete(p.peers, addr)
+	}
+	p.mu.Unlock()
+}
+
+func (p *Peer) sendVersionVec(to string, vv *wire.VersionVec) {
+	buf, err := wire.AppendVersionVec(nil, vv)
+	if err != nil {
+		p.logf("replica: encode version vec: %v", err)
+		return
+	}
+	p.send(to, buf, "push")
+}
+
+// learn records a peer address discovered from inbound traffic.
+func (p *Peer) learn(addr string) {
+	if addr == "" || addr == p.cfg.Transport.Addr() {
+		return
+	}
+	p.mu.Lock()
+	p.peers[addr] = struct{}{}
+	p.mu.Unlock()
+}
+
+// replyAddr resolves where to answer a message: the advertised listen
+// address when present, else the observed source (in-memory transports
+// observe listen addresses; TCP does not).
+func replyAddr(advertised, observed string) string {
+	if advertised != "" {
+		return advertised
+	}
+	return observed
+}
+
+func (p *Peer) handle(pkt transport.Packet) {
+	typ, err := wire.PeekType(pkt.Data)
+	if err != nil {
+		return
+	}
+	switch typ {
+	case wire.TypeVersionVec:
+		var vv wire.VersionVec
+		if err := wire.DecodeVersionVec(pkt.Data, &vv); err != nil {
+			return
+		}
+		p.handleVersionVec(&vv, replyAddr(vv.Addr, pkt.From))
+	case wire.TypeDeltaRequest:
+		var req wire.DeltaRequest
+		if err := wire.DecodeDeltaRequest(pkt.Data, &req); err != nil {
+			return
+		}
+		p.handleDeltaRequest(&req, replyAddr(req.Addr, pkt.From))
+	case wire.TypeDelta:
+		var d wire.Delta
+		if err := wire.DecodeDelta(pkt.Data, &d); err != nil {
+			return
+		}
+		p.handleDelta(&d)
+	}
+}
+
+// handleVersionVec is the anti-entropy comparison: pull what the remote
+// has newer, and push our own vector back when we are the newer side (the
+// remote will pull in turn).
+func (p *Peer) handleVersionVec(vv *wire.VersionVec, from string) {
+	p.learn(from)
+	p.mu.Lock()
+	if vv.Steps > p.remoteSteps {
+		p.remoteSteps = vv.Steps
+	}
+	if vv.N > 0 {
+		if len(p.remoteVers) != int(vv.Shards) {
+			p.remoteVers = append([]uint64(nil), vv.Vers...)
+		} else {
+			for i, rv := range vv.Vers {
+				if rv > p.remoteVers[i] {
+					p.remoteVers[i] = rv
+				}
+			}
+		}
+	}
+	st := p.st
+	stale := st.StaleShards(vv)
+	if p.cfg.Source {
+		stale = nil // the writer never pulls: its own state is the truth
+	}
+	newer := st.NewerThan(vv)
+	reply := p.versionVecLocked()
+	p.mu.Unlock()
+
+	if len(stale) > 0 {
+		req := &wire.DeltaRequest{From: p.cfg.ID, Addr: p.cfg.Transport.Addr(), Shards: stale}
+		if buf, err := wire.AppendDeltaRequest(nil, req); err == nil {
+			p.send(from, buf, "pull")
+		}
+		return
+	}
+	if newer {
+		// Strictly newer somewhere and nothing to pull: advertise back so
+		// the remote pulls from us. The exchange terminates once vectors
+		// match (neither side is newer).
+		p.sendVersionVec(from, reply)
+	}
+}
+
+// handleDeltaRequest answers a pull from the local state. Encoding a
+// multi-shard delta copies megabytes, so it runs on a send goroutine —
+// DeltaFor only aliases the immutable state, which makes that safe — and
+// deltaSem caps how many encodes run at once; beyond the cap the request
+// is dropped and the puller's next anti-entropy round retries.
+func (p *Peer) handleDeltaRequest(req *wire.DeltaRequest, from string) {
+	p.learn(from)
+	p.mu.Lock()
+	st := p.st
+	p.mu.Unlock()
+	if st == nil {
+		return
+	}
+	d := st.DeltaFor(p.cfg.ID, req.Shards)
+	if len(d.Blocks) == 0 {
+		return
+	}
+	select {
+	case p.deltaSem <- struct{}{}:
+	default:
+		p.logf("replica: delta to %s dropped (at concurrency cap)", from)
+		return
+	}
+	go func() {
+		defer func() { <-p.deltaSem }()
+		buf, err := wire.AppendDelta(nil, d)
+		if err != nil {
+			p.logf("replica: encode delta: %v", err)
+			return
+		}
+		if err := p.cfg.Transport.Send(from, buf); err != nil {
+			p.logf("replica: delta to %s: %v", from, err)
+			p.forget(from)
+		}
+	}()
+}
+
+// handleDelta applies an inbound delta and fires OnState when the state
+// advanced. Source peers ignore deltas outright.
+func (p *Peer) handleDelta(d *wire.Delta) {
+	if p.cfg.Source {
+		return
+	}
+	p.mu.Lock()
+	next, applied, err := Apply(p.st, d)
+	if err == nil && applied > 0 {
+		p.st = next
+		p.lastAdvance = time.Now()
+	}
+	p.mu.Unlock()
+	if err != nil {
+		p.logf("replica: apply delta from %d: %v", d.From, err)
+		return
+	}
+	if applied > 0 && p.cfg.OnState != nil {
+		p.cfg.OnState(next)
+	}
+}

@@ -1,0 +1,320 @@
+package replica
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dmfsgd/internal/engine"
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/transport"
+	"dmfsgd/internal/wire"
+)
+
+// engineCoords shortens the Ref.Update callback signature.
+type engineCoords = sgd.Coordinates
+
+// storeState captures a full State from an engine store — the trainer-side
+// path the tests and benchmarks share.
+func storeState(t testing.TB, base *State, store *engine.Store, meta Meta) *State {
+	t.Helper()
+	u, v := store.SnapshotFlat()
+	st, err := Update(base, store.N(), store.Rank(), store.Shards(), meta, store.Versions(nil), u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// testStore builds an initialized store and a State over it.
+func testStore(t testing.TB, n, rank, shards int, seed int64) (*engine.Store, *State) {
+	t.Helper()
+	store := engine.NewStore(n, rank, shards)
+	store.InitUniform(rand.New(rand.NewSource(seed)))
+	return store, storeState(t, nil, store, Meta{Steps: 10, Tau: 1.5, Metric: 0})
+}
+
+func statesEqual(t *testing.T, a, b *State, ctx string) {
+	t.Helper()
+	au, av := a.Flatten()
+	bu, bv := b.Flatten()
+	for k := range au {
+		if au[k] != bu[k] || av[k] != bv[k] {
+			t.Fatalf("%s: coordinate %d differs", ctx, k)
+		}
+	}
+}
+
+func TestStateRowsMatchStore(t *testing.T) {
+	store, st := testStore(t, 11, 3, 4, 1)
+	u, v := store.SnapshotFlat()
+	for i := 0; i < 11; i++ {
+		ru, rv := st.Row(i)
+		for r := 0; r < 3; r++ {
+			if ru[r] != u[i*3+r] || rv[r] != v[i*3+r] {
+				t.Fatalf("node %d row %d differs from store", i, r)
+			}
+		}
+	}
+	fu, fv := st.Flatten()
+	for k := range fu {
+		if fu[k] != u[k] || fv[k] != v[k] {
+			t.Fatalf("Flatten differs from store at %d", k)
+		}
+	}
+}
+
+// TestUpdateSharesQuietBlocks: trainer-side incremental capture reuses the
+// blocks of shards whose version did not advance.
+func TestUpdateSharesQuietBlocks(t *testing.T) {
+	store, st := testStore(t, 10, 2, 4, 2)
+	// Advance shard 1 only.
+	store.Ref(5).Update(func(c *engineCoords) bool { c.U[0] = 42; return true })
+	next := storeState(t, st, store, Meta{Steps: 11, Tau: 1.5})
+	for p := 0; p < 4; p++ {
+		shared := &next.blocks[p].u[0] == &st.blocks[p].u[0]
+		if p == 1 && shared {
+			t.Error("advanced shard 1 shares its block with the base")
+		}
+		if p != 1 && !shared {
+			t.Errorf("quiet shard %d was re-copied", p)
+		}
+	}
+	ru, _ := next.Row(5)
+	if ru[0] != 42 {
+		t.Error("advanced shard did not pick up the write")
+	}
+}
+
+// TestDeltaApplyConvergesAndSharesBlocks is the delta-refresh contract: a
+// follower state plus a delta of the advanced shards becomes bit-identical
+// to the source, and only the advanced shards' blocks are replaced.
+func TestDeltaApplyConvergesAndSharesBlocks(t *testing.T) {
+	store, trainer := testStore(t, 13, 3, 4, 3)
+
+	// Bootstrap the follower with a full delta (wire round trip included).
+	all := make([]uint16, 4)
+	for p := range all {
+		all[p] = uint16(p)
+	}
+	buf, err := wire.AppendDelta(nil, trainer.DeltaFor(1, all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boot wire.Delta
+	if err := wire.DecodeDelta(buf, &boot); err != nil {
+		t.Fatal(err)
+	}
+	follower, applied, err := Apply(nil, &boot)
+	if err != nil || applied != 4 {
+		t.Fatalf("bootstrap: applied=%d err=%v", applied, err)
+	}
+	statesEqual(t, trainer, follower, "bootstrap")
+
+	// Advance shards 0 and 2, recapture, ship only the stale shards.
+	store.Ref(0).Update(func(c *engineCoords) bool { c.V[1] = -7; return true })
+	store.Ref(2).Update(func(c *engineCoords) bool { c.U[2] = 8; return true })
+	trainer = storeState(t, trainer, store, Meta{Steps: 20, Tau: 1.5})
+
+	stale := follower.StaleShards(trainer.VersionVec(0, ""))
+	if len(stale) != 2 || stale[0] != 0 || stale[1] != 2 {
+		t.Fatalf("stale shards = %v, want [0 2]", stale)
+	}
+	buf, err = wire.AppendDelta(nil, trainer.DeltaFor(1, stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d wire.Delta
+	if err := wire.DecodeDelta(buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	next, applied, err := Apply(follower, &d)
+	if err != nil || applied != 2 {
+		t.Fatalf("delta: applied=%d err=%v", applied, err)
+	}
+	statesEqual(t, trainer, next, "after delta")
+	if next.Meta.Steps != 20 {
+		t.Errorf("steps = %d, want 20", next.Meta.Steps)
+	}
+	// Only the advanced shards were replaced; quiet shards share memory
+	// with the previous follower state.
+	for p := 0; p < 4; p++ {
+		shared := &next.blocks[p].u[0] == &follower.blocks[p].u[0]
+		if (p == 0 || p == 2) == shared {
+			t.Errorf("shard %d sharing = %v", p, shared)
+		}
+	}
+
+	// Replaying the same delta is a no-op returning the same state.
+	buf, _ = wire.AppendDelta(nil, trainer.DeltaFor(1, stale))
+	var replay wire.Delta
+	if err := wire.DecodeDelta(buf, &replay); err != nil {
+		t.Fatal(err)
+	}
+	again, applied, err := Apply(next, &replay)
+	if err != nil || applied != 0 || again != next {
+		t.Fatalf("replay: applied=%d same=%v err=%v", applied, again == next, err)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	_, trainer := testStore(t, 6, 2, 2, 4)
+	// Bootstrap must cover every shard.
+	d := trainer.DeltaFor(0, []uint16{0})
+	if _, _, err := Apply(nil, d); err == nil {
+		t.Error("partial bootstrap accepted")
+	}
+	// Geometry mismatches are rejected.
+	_, other := testStore(t, 8, 2, 2, 5)
+	all := []uint16{0, 1}
+	if _, _, err := Apply(other, trainer.DeltaFor(0, all)); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+// TestTwoReplicaConvergence runs a trainer peer and a follower peer over
+// the in-memory transport: the follower must bootstrap, then converge to
+// bit-identical state after each trainer advance, pulling only stale
+// shards. Run under -race in CI.
+func TestTwoReplicaConvergence(t *testing.T) {
+	net := transport.NewNetwork(transport.NetworkConfig{})
+	trTrainer := net.Attach("trainer")
+	trFollower := net.Attach("follower")
+	defer trTrainer.Close()
+	defer trFollower.Close()
+
+	store, st := testStore(t, 15, 3, 4, 6)
+
+	updates := make(chan *State, 16)
+	trainer := NewPeer(Config{
+		ID: 1, Transport: trTrainer, Source: true,
+		Interval: 5 * time.Millisecond, Seed: 1,
+	})
+	trainer.SetState(st)
+	follower := NewPeer(Config{
+		ID: 2, Transport: trFollower,
+		Peers:    []string{"trainer"},
+		Interval: 5 * time.Millisecond, Seed: 2,
+		OnState: func(s *State) {
+			select {
+			case updates <- s:
+			default:
+			}
+		},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go trainer.Run(ctx)
+	go follower.Run(ctx)
+
+	waitConverged := func(want *State, ctxLabel string) *State {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case got := <-updates:
+				match := len(got.Vers()) == len(want.Vers())
+				for p := range want.Vers() {
+					match = match && got.Vers()[p] == want.Vers()[p]
+				}
+				if match {
+					statesEqual(t, want, got, ctxLabel)
+					return got
+				}
+			case <-deadline:
+				t.Fatalf("%s: follower did not converge", ctxLabel)
+			}
+		}
+	}
+	first := waitConverged(st, "bootstrap")
+
+	lag := follower.Lag()
+	if !lag.HasState || lag.StaleShards != 0 {
+		t.Errorf("post-bootstrap lag = %+v", lag)
+	}
+
+	// Advance one shard; the follower must converge again, replacing only
+	// that shard's block.
+	store.Ref(2).Update(func(c *engineCoords) bool { c.U[0] = 123; return true })
+	st = storeState(t, st, store, Meta{Steps: 30, Tau: 1.5})
+	trainer.SetState(st)
+
+	second := waitConverged(st, "incremental")
+	for p := 0; p < 4; p++ {
+		shared := &second.blocks[p].u[0] == &first.blocks[p].u[0]
+		if (p == 2) == shared {
+			t.Errorf("incremental refresh: shard %d sharing = %v", p, shared)
+		}
+	}
+	if got := second.Meta.Steps; got != 30 {
+		t.Errorf("follower steps = %d, want 30", got)
+	}
+}
+
+// TestSourcePeerNeverAdoptsRemoteState models a trainer restart: the
+// source's counters restart low while a peer still advertises the old,
+// higher-versioned state. The source must neither pull that state nor
+// let it veto SetState — its local producer is authoritative.
+func TestSourcePeerNeverAdoptsRemoteState(t *testing.T) {
+	_, oldSt := testStore(t, 8, 2, 2, 7) // pre-restart state, steps 10
+	oldSt.Meta.Steps = 1_000_000
+	for p := range oldSt.vers {
+		oldSt.vers[p] = 500
+	}
+
+	sent := make(chan []byte, 16)
+	source := NewPeer(Config{ID: 1, Source: true, Transport: recTransport{sent: sent}, Seed: 1})
+	_, freshSt := testStore(t, 8, 2, 2, 8) // post-restart state, low counters
+	freshSt.Meta.Steps = 20
+	source.SetState(freshSt)
+
+	// An inbound delta carrying the stale high-water state is ignored.
+	all := []uint16{0, 1}
+	buf, err := wire.AppendDelta(nil, oldSt.DeltaFor(2, all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d wire.Delta
+	if err := wire.DecodeDelta(buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	source.handleDelta(&d)
+	if source.State() != freshSt {
+		t.Fatal("source adopted a remote delta")
+	}
+	// An inbound version vector advertising newer shards triggers no pull
+	// (sends run on goroutines; give a buggy pull time to surface).
+	source.handleVersionVec(oldSt.VersionVec(2, "old"), "old")
+	select {
+	case data := <-sent:
+		typ, _ := wire.PeekType(data)
+		t.Fatalf("source sent a %v in response to a newer remote vector", typ)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// SetState keeps replacing even though steps went "backwards"
+	// relative to the remote high water.
+	_, next := testStore(t, 8, 2, 2, 9)
+	next.Meta.Steps = 21
+	source.SetState(next)
+	if source.State() != next {
+		t.Fatal("source rejected its own fresh state")
+	}
+}
+
+// recTransport records sends for peers that need no live network in a
+// test.
+type recTransport struct{ sent chan []byte }
+
+func (r recTransport) Addr() string { return "rec" }
+func (r recTransport) Send(to string, data []byte) error {
+	select {
+	case r.sent <- data:
+	default:
+	}
+	return nil
+}
+func (recTransport) Recv() <-chan transport.Packet { return nil }
+func (recTransport) Close() error                  { return nil }

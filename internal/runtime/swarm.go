@@ -236,8 +236,9 @@ func (s *Swarm) TotalStats() Stats {
 // per shard even while nodes keep updating) and returns ground-truth
 // labels and scores over the unmeasured pairs, like sim.Driver.EvalSet.
 // Label computation and prediction run block-parallel over the pair list
-// (cfg.Workers goroutines, 0 = GOMAXPROCS); the pair list is cached across
-// calls (engine.PairCache).
+// (cfg.Workers goroutines, 0 = GOMAXPROCS); the pair list and full-set
+// labels are cached across calls (engine.PairCache) — treat the returned
+// labels as read-only.
 func (s *Swarm) EvalSet(maxPairs int) (labels, scores []float64) {
 	labels, scores, _ = s.EvalSetCtx(context.Background(), maxPairs)
 	return labels, scores

@@ -278,9 +278,10 @@ func (d *Driver) isNeighbor(i, j int) bool {
 //
 // Label computation and prediction are spread over row-blocks of the pair
 // list (cfg.Workers goroutines, 0 = GOMAXPROCS); the output is identical
-// to a sequential pass for every worker count. The pair list itself is
-// cached across calls (it only depends on the fixed training mask and
-// ground-truth missing pattern; see engine.PairCache).
+// to a sequential pass for every worker count. The pair list and the
+// full-set labels are cached across calls (they only depend on the fixed
+// training mask, ground-truth missing pattern and τ; see
+// engine.PairCache) — treat the returned labels as read-only.
 func (d *Driver) EvalSet(maxPairs int) (labels, scores []float64) {
 	labels, scores, _ = d.EvalSetCtx(context.Background(), maxPairs)
 	return labels, scores

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame is the largest length-prefixed frame the TCP transport accepts.
+// Replication deltas are the biggest messages in the protocol; the wire
+// layer bounds a full-state delta to 16·wire.MaxStateFloats coordinate
+// bytes (~32 MiB) plus small headers, so every valid message fits.
+const MaxFrame = 1 << 26 // 64 MiB
+
+// tcpDialTimeout bounds connection establishment and frame writes.
+const tcpDialTimeout = 3 * time.Second
+
+// TCP is a Transport over TCP with 4-byte big-endian length-prefixed
+// frames — datagram semantics on a stream. It exists for the replication
+// tier (internal/replica), whose Delta messages exceed UDP datagram
+// limits; probe traffic should keep using UDP or the in-memory Network.
+//
+// Send dials the destination, writes one frame and closes — gossip traffic
+// is sparse (one exchange per interval), so connection reuse is not worth
+// its bookkeeping. Delivery is best-effort like the other transports: a
+// peer that is down is a returned error the caller may ignore.
+//
+// Because frames arrive over short-lived inbound connections, a Packet's
+// From field is the remote's ephemeral address, not its listen address;
+// replication messages therefore carry the sender's listen address in the
+// payload (wire.VersionVec.Addr, wire.DeltaRequest.Addr).
+type TCP struct {
+	ln   net.Listener
+	recv chan Packet
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{} // open inbound connections, closed by Close
+	wg     sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+// ListenTCP opens a TCP endpoint on addr (e.g. "127.0.0.1:0") and starts
+// its accept loop.
+func ListenTCP(addr string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
+	}
+	t := &TCP{
+		ln:    ln,
+		recv:  make(chan Packet, 256),
+		conns: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // closed or fatal; Close closes recv after the wait
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readConn(conn)
+		}()
+	}
+}
+
+// readConn reads frames from one inbound connection until EOF or error.
+func (t *TCP) readConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	from := conn.RemoteAddr().String()
+	var lenBuf [4]byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > MaxFrame {
+			return // malformed peer: drop the connection
+		}
+		// Grow the buffer as payload bytes actually arrive rather than
+		// trusting the attacker-controlled length prefix: a client
+		// claiming MaxFrame and sending nothing pins one chunk, not
+		// 64 MiB, per connection.
+		const chunk = 1 << 20
+		data := make([]byte, 0, min(int(n), chunk))
+		for len(data) < int(n) {
+			step := min(int(n)-len(data), chunk)
+			data = append(data, make([]byte, step)...)
+			if _, err := io.ReadFull(conn, data[len(data)-step:]); err != nil {
+				return
+			}
+		}
+		t.push(Packet{From: from, Data: data})
+	}
+}
+
+// push enqueues a packet, dropping on overflow or after close (matching
+// the datagram transports).
+func (t *TCP) push(pkt Packet) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	select {
+	case t.recv <- pkt:
+	default:
+	}
+}
+
+// Addr implements Transport.
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Send implements Transport: dial, write one frame, close.
+func (t *TCP) Send(to string, data []byte) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if len(data) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(data), MaxFrame)
+	}
+	conn, err := net.DialTimeout("tcp", to, tcpDialTimeout)
+	if err != nil {
+		return fmt.Errorf("transport: dial %q: %w", to, err)
+	}
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(tcpDialTimeout))
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = conn.Write(data)
+	return err
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv() <-chan Packet { return t.recv }
+
+// Close implements Transport: stops the accept loop, waits for in-flight
+// reader goroutines, and closes the Recv channel.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for conn := range t.conns {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	close(t.recv)
+	return err
+}

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestTCPSendRecv(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	payload := bytes.Repeat([]byte{0xD3, 0x01, 0x07}, 1000) // > one MTU
+	if err := a.Send(b.Addr(), payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case pkt := <-b.Recv():
+		if !bytes.Equal(pkt.Data, payload) {
+			t.Errorf("payload corrupted: %d bytes, want %d", len(pkt.Data), len(payload))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timeout waiting for frame")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := a.Addr()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(addr, []byte("x")); err == nil {
+		t.Error("send after close succeeded")
+	}
+	// Recv must be closed.
+	if _, ok := <-a.Recv(); ok {
+		t.Error("recv channel still open after close")
+	}
+	// Close is idempotent.
+	if err := a.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestTCPSendToDownPeer(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := b.Addr()
+	b.Close()
+	if err := a.Send(dead, []byte("x")); err == nil {
+		t.Error("send to closed listener succeeded")
+	}
+}
+
+func TestTCPOversizedFrameRejected(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(a.Addr(), make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}

@@ -15,7 +15,14 @@ func fuzzSeeds(f *testing.F) {
 	b2, _ := AppendProbeReply(nil, &ProbeReply{Seq: 3, From: 4, Class: -1, U: []float64{1}, V: []float64{2, 3}})
 	b3, _ := AppendJoin(nil, &Join{From: 5, Addr: "10.0.0.1:9000"})
 	b4, _ := AppendPeers(nil, &Peers{Addrs: []string{"a:1", "b:2"}})
-	for _, seed := range [][]byte{b1, b2, b3, b4, {Magic, Version}, {}, {0xFF, 0xFF, 0xFF}} {
+	b5, _ := AppendVersionVec(nil, &VersionVec{From: 6, Addr: "c:3", N: 5, Rank: 2, Shards: 2, Steps: 9, Vers: []uint64{4, 1}})
+	b6, _ := AppendVersionVec(nil, &VersionVec{From: 7})
+	b7, _ := AppendDeltaRequest(nil, &DeltaRequest{From: 8, Addr: "d:4", Shards: []uint16{0, 1}})
+	b8, _ := AppendDelta(nil, &Delta{
+		From: 9, N: 3, Rank: 1, Shards: 2, Steps: 2, Tau: 1.5, Metric: 0,
+		Blocks: []DeltaBlock{{Shard: 1, Ver: 2, U: []float64{1}, V: []float64{2}}},
+	})
+	for _, seed := range [][]byte{b1, b2, b3, b4, b5, b6, b7, b8, {Magic, Version}, {}, {0xFF, 0xFF, 0xFF}} {
 		f.Add(seed)
 	}
 }
@@ -80,6 +87,57 @@ func FuzzDecodePeers(f *testing.F) {
 			return
 		}
 		out, err := AppendPeers(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+func FuzzDecodeVersionVec(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m VersionVec
+		if err := DecodeVersionVec(data, &m); err != nil {
+			return
+		}
+		out, err := AppendVersionVec(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+func FuzzDecodeDeltaRequest(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m DeltaRequest
+		if err := DecodeDeltaRequest(data, &m); err != nil {
+			return
+		}
+		out, err := AppendDeltaRequest(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+func FuzzDecodeDelta(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Delta
+		if err := DecodeDelta(data, &m); err != nil {
+			return
+		}
+		out, err := AppendDelta(nil, &m)
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}

@@ -17,10 +17,18 @@
 //	Membership (UDP deployments):
 //	  Join{From, Addr} announces a node; Peers{Addrs} shares known peers.
 //
+//	Replication (dmfserve replicas, internal/replica):
+//	  VersionVec{Vers}        advertises per-shard snapshot versions (push)
+//	  DeltaRequest{Shards}    pulls the listed stale shards
+//	  Delta{Blocks}           carries the refreshed shard coordinate blocks
+//
 // Encoding is fixed-layout big-endian with a two-byte (magic, version)
 // header and a type byte. Decoders validate every length against hard
 // limits before allocating, so a malformed or malicious datagram cannot
-// cause large allocations or panics — it yields an error.
+// cause large allocations or panics — it yields an error. Coordinate
+// blocks additionally validate against the geometry (n, rank, shards)
+// declared in the same message, and never allocate more than the input
+// holds.
 package wire
 
 import (
@@ -43,6 +51,16 @@ const (
 	MaxAddrLen = 256
 	// MaxPeers bounds the number of addresses in a Peers message.
 	MaxPeers = 64
+	// MaxShards bounds the shard counts accepted in replication messages.
+	MaxShards = 4096
+	// MaxNodes bounds the node counts accepted in replication messages.
+	MaxNodes = 1 << 20
+	// MaxStateFloats bounds n·rank in replication messages, so one
+	// full-state Delta (16·n·rank coordinate bytes plus small headers,
+	// ≤ ~32 MiB) always fits one transport frame (transport.MaxFrame,
+	// 64 MiB) — a follower's bootstrap pull must arrive in one message.
+	// Chunked bootstrap for larger states is an open direction.
+	MaxStateFloats = 1 << 21
 )
 
 // MsgType identifies the message kind.
@@ -54,6 +72,9 @@ const (
 	TypeProbeReply   MsgType = 2
 	TypeJoin         MsgType = 3
 	TypePeers        MsgType = 4
+	TypeVersionVec   MsgType = 5
+	TypeDeltaRequest MsgType = 6
+	TypeDelta        MsgType = 7
 )
 
 // String names the message type.
@@ -67,6 +88,12 @@ func (t MsgType) String() string {
 		return "join"
 	case TypePeers:
 		return "peers"
+	case TypeVersionVec:
+		return "version-vec"
+	case TypeDeltaRequest:
+		return "delta-request"
+	case TypeDelta:
+		return "delta"
 	default:
 		return fmt.Sprintf("wire.MsgType(%d)", uint8(t))
 	}
@@ -142,7 +169,8 @@ func PeekType(data []byte) (MsgType, error) {
 	}
 	t := MsgType(data[2])
 	switch t {
-	case TypeProbeRequest, TypeProbeReply, TypeJoin, TypePeers:
+	case TypeProbeRequest, TypeProbeReply, TypeJoin, TypePeers,
+		TypeVersionVec, TypeDeltaRequest, TypeDelta:
 		return t, nil
 	}
 	return 0, ErrBadType
@@ -322,6 +350,351 @@ func DecodePeers(data []byte, m *Peers) error {
 	}
 	if len(p) != 0 {
 		return fmt.Errorf("wire: %d trailing bytes in peers", len(p))
+	}
+	return nil
+}
+
+// ShardNodes returns the number of nodes owned by shard under the store's
+// node→shard assignment (node i → shard i mod shards) — the row count the
+// shard's coordinate block must carry. Replication decoders validate block
+// lengths against it.
+func ShardNodes(n, shard, shards int) int { return (n - shard + shards - 1) / shards }
+
+// VersionVec advertises a replica's per-shard snapshot versions — the push
+// half of the anti-entropy exchange. A replica that has no state yet (a
+// cold follower) announces itself with N = 0 and an empty vector.
+type VersionVec struct {
+	// From is the sending replica's ID.
+	From uint32
+	// Addr is the sender's gossip listen address, so receivers can reply
+	// over transports whose observed source is not a listen address (TCP).
+	// Empty means "reply to the observed source".
+	Addr string
+	// N, Rank and Shards describe the snapshot geometry (all 0 when the
+	// sender holds no state yet).
+	N      uint32
+	Rank   uint16
+	Shards uint16
+	// Steps is the training step counter of the sender's state.
+	Steps uint64
+	// Vers holds one version per shard (len == Shards).
+	Vers []uint64
+}
+
+// DeltaRequest pulls the listed stale shards from a peer — the pull half
+// of the anti-entropy exchange.
+type DeltaRequest struct {
+	// From is the requesting replica's ID.
+	From uint32
+	// Addr is the requester's gossip listen address (see VersionVec.Addr).
+	Addr string
+	// Shards lists the shard IDs whose blocks the requester wants.
+	Shards []uint16
+}
+
+// DeltaBlock carries one shard's coordinate rows at a version: the U and V
+// rows of the shard's nodes in ascending global order, each of length
+// ShardNodes(n, shard, shards) · rank.
+type DeltaBlock struct {
+	Shard uint16
+	Ver   uint64
+	U, V  []float64
+}
+
+// Delta carries refreshed shard blocks from one replica state, together
+// with the geometry and classification threshold needed to serve from it.
+type Delta struct {
+	// From is the sending replica's ID.
+	From uint32
+	// N, Rank and Shards describe the snapshot geometry.
+	N      uint32
+	Rank   uint16
+	Shards uint16
+	// Steps is the training step counter of the state the blocks came from.
+	Steps uint64
+	// Tau is the classification threshold the coordinates were trained
+	// against; Metric the measured quantity (dataset.Metric).
+	Tau    float64
+	Metric uint8
+	// Blocks holds the refreshed shards (at most Shards).
+	Blocks []DeltaBlock
+}
+
+// appendAddr encodes a uint16-length-prefixed address string.
+func appendAddr(buf []byte, addr string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(addr)))
+	return append(buf, addr...)
+}
+
+// decodeAddr parses a length-prefixed address and returns the rest.
+func decodeAddr(p []byte) (string, []byte, error) {
+	if len(p) < 2 {
+		return "", nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	if n > MaxAddrLen {
+		return "", nil, ErrTooLarge
+	}
+	p = p[2:]
+	if len(p) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+// validGeometry checks the (n, rank, shards) triple of a replication
+// message against the protocol limits.
+func validGeometry(n uint32, rank, shards uint16) error {
+	if n == 0 || n > MaxNodes {
+		return fmt.Errorf("%w: n=%d out of [1,%d]", ErrTooLarge, n, MaxNodes)
+	}
+	if rank == 0 || rank > MaxRank {
+		return fmt.Errorf("%w: rank=%d out of [1,%d]", ErrTooLarge, rank, MaxRank)
+	}
+	if uint64(n)*uint64(rank) > MaxStateFloats {
+		return fmt.Errorf("%w: n·rank=%d exceeds %d (state must fit one frame)",
+			ErrTooLarge, uint64(n)*uint64(rank), MaxStateFloats)
+	}
+	if shards == 0 || shards > MaxShards || uint32(shards) > n {
+		return fmt.Errorf("%w: shards=%d out of [1,min(%d,n)]", ErrTooLarge, shards, MaxShards)
+	}
+	return nil
+}
+
+// AppendVersionVec appends the encoded message to buf and returns it.
+func AppendVersionVec(buf []byte, m *VersionVec) ([]byte, error) {
+	if len(m.Addr) > MaxAddrLen {
+		return nil, ErrTooLarge
+	}
+	if m.N == 0 {
+		if m.Rank != 0 || m.Shards != 0 || len(m.Vers) != 0 {
+			return nil, fmt.Errorf("wire: empty-state version vec must have zero geometry")
+		}
+	} else {
+		if err := validGeometry(m.N, m.Rank, m.Shards); err != nil {
+			return nil, err
+		}
+		if len(m.Vers) != int(m.Shards) {
+			return nil, fmt.Errorf("wire: version vec holds %d versions for %d shards", len(m.Vers), m.Shards)
+		}
+	}
+	buf = header(buf, TypeVersionVec)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = appendAddr(buf, m.Addr)
+	buf = binary.BigEndian.AppendUint32(buf, m.N)
+	buf = binary.BigEndian.AppendUint16(buf, m.Rank)
+	buf = binary.BigEndian.AppendUint16(buf, m.Shards)
+	buf = binary.BigEndian.AppendUint64(buf, m.Steps)
+	for _, v := range m.Vers {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	return buf, nil
+}
+
+// DecodeVersionVec parses data into m, reusing m's vector capacity.
+func DecodeVersionVec(data []byte, m *VersionVec) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeVersionVec {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeVersionVec)
+	}
+	p := data[3:]
+	if len(p) < 4 {
+		return ErrTruncated
+	}
+	m.From = binary.BigEndian.Uint32(p)
+	m.Addr, p, err = decodeAddr(p[4:])
+	if err != nil {
+		return err
+	}
+	if len(p) < 4+2+2+8 {
+		return ErrTruncated
+	}
+	m.N = binary.BigEndian.Uint32(p)
+	m.Rank = binary.BigEndian.Uint16(p[4:])
+	m.Shards = binary.BigEndian.Uint16(p[6:])
+	m.Steps = binary.BigEndian.Uint64(p[8:])
+	p = p[16:]
+	if m.N == 0 {
+		if m.Rank != 0 || m.Shards != 0 {
+			return fmt.Errorf("%w: empty-state version vec with non-zero geometry", ErrBadType)
+		}
+	} else if err := validGeometry(m.N, m.Rank, m.Shards); err != nil {
+		return err
+	}
+	count := int(m.Shards)
+	if len(p) != 8*count {
+		return ErrTruncated
+	}
+	if cap(m.Vers) < count {
+		m.Vers = make([]uint64, count)
+	} else {
+		m.Vers = m.Vers[:count]
+	}
+	for i := 0; i < count; i++ {
+		m.Vers[i] = binary.BigEndian.Uint64(p[8*i:])
+	}
+	return nil
+}
+
+// AppendDeltaRequest appends the encoded message to buf and returns it.
+func AppendDeltaRequest(buf []byte, m *DeltaRequest) ([]byte, error) {
+	if len(m.Addr) > MaxAddrLen || len(m.Shards) > MaxShards {
+		return nil, ErrTooLarge
+	}
+	buf = header(buf, TypeDeltaRequest)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = appendAddr(buf, m.Addr)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Shards)))
+	for _, s := range m.Shards {
+		buf = binary.BigEndian.AppendUint16(buf, s)
+	}
+	return buf, nil
+}
+
+// DecodeDeltaRequest parses data into m, reusing m's slice capacity.
+func DecodeDeltaRequest(data []byte, m *DeltaRequest) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeDeltaRequest {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeDeltaRequest)
+	}
+	p := data[3:]
+	if len(p) < 4 {
+		return ErrTruncated
+	}
+	m.From = binary.BigEndian.Uint32(p)
+	m.Addr, p, err = decodeAddr(p[4:])
+	if err != nil {
+		return err
+	}
+	if len(p) < 2 {
+		return ErrTruncated
+	}
+	count := int(binary.BigEndian.Uint16(p))
+	if count > MaxShards {
+		return ErrTooLarge
+	}
+	p = p[2:]
+	if len(p) != 2*count {
+		return ErrTruncated
+	}
+	if cap(m.Shards) < count {
+		m.Shards = make([]uint16, count)
+	} else {
+		m.Shards = m.Shards[:count]
+	}
+	for i := 0; i < count; i++ {
+		m.Shards[i] = binary.BigEndian.Uint16(p[2*i:])
+	}
+	return nil
+}
+
+// AppendDelta appends the encoded message to buf and returns it. Block
+// vector lengths must match the declared geometry.
+func AppendDelta(buf []byte, m *Delta) ([]byte, error) {
+	if err := validGeometry(m.N, m.Rank, m.Shards); err != nil {
+		return nil, err
+	}
+	if len(m.Blocks) > int(m.Shards) {
+		return nil, ErrTooLarge
+	}
+	for _, b := range m.Blocks {
+		if b.Shard >= m.Shards {
+			return nil, fmt.Errorf("wire: delta block for shard %d of %d", b.Shard, m.Shards)
+		}
+		want := ShardNodes(int(m.N), int(b.Shard), int(m.Shards)) * int(m.Rank)
+		if len(b.U) != want || len(b.V) != want {
+			return nil, fmt.Errorf("wire: delta block shard %d rows %d/%d, want %d",
+				b.Shard, len(b.U), len(b.V), want)
+		}
+	}
+	buf = header(buf, TypeDelta)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = binary.BigEndian.AppendUint32(buf, m.N)
+	buf = binary.BigEndian.AppendUint16(buf, m.Rank)
+	buf = binary.BigEndian.AppendUint16(buf, m.Shards)
+	buf = binary.BigEndian.AppendUint64(buf, m.Steps)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Tau))
+	buf = append(buf, m.Metric)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		buf = binary.BigEndian.AppendUint16(buf, b.Shard)
+		buf = binary.BigEndian.AppendUint64(buf, b.Ver)
+		for _, x := range b.U {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+		for _, x := range b.V {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeDelta parses data into m. Block lengths are implied by the
+// declared geometry and validated against the remaining input before any
+// allocation, so a malformed message cannot cause a large allocation.
+func DecodeDelta(data []byte, m *Delta) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeDelta {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeDelta)
+	}
+	p := data[3:]
+	if len(p) < 4+4+2+2+8+8+1+2 {
+		return ErrTruncated
+	}
+	m.From = binary.BigEndian.Uint32(p)
+	m.N = binary.BigEndian.Uint32(p[4:])
+	m.Rank = binary.BigEndian.Uint16(p[8:])
+	m.Shards = binary.BigEndian.Uint16(p[10:])
+	m.Steps = binary.BigEndian.Uint64(p[12:])
+	m.Tau = math.Float64frombits(binary.BigEndian.Uint64(p[20:]))
+	m.Metric = p[28]
+	if err := validGeometry(m.N, m.Rank, m.Shards); err != nil {
+		return err
+	}
+	count := int(binary.BigEndian.Uint16(p[29:]))
+	if count > int(m.Shards) {
+		return ErrTooLarge
+	}
+	p = p[31:]
+	m.Blocks = m.Blocks[:0]
+	for i := 0; i < count; i++ {
+		if len(p) < 2+8 {
+			return ErrTruncated
+		}
+		var b DeltaBlock
+		b.Shard = binary.BigEndian.Uint16(p)
+		b.Ver = binary.BigEndian.Uint64(p[2:])
+		p = p[10:]
+		if b.Shard >= m.Shards {
+			return fmt.Errorf("wire: delta block for shard %d of %d", b.Shard, m.Shards)
+		}
+		want := ShardNodes(int(m.N), int(b.Shard), int(m.Shards)) * int(m.Rank)
+		if len(p) < 2*8*want {
+			return ErrTruncated
+		}
+		b.U = make([]float64, want)
+		b.V = make([]float64, want)
+		for k := 0; k < want; k++ {
+			b.U[k] = math.Float64frombits(binary.BigEndian.Uint64(p[8*k:]))
+		}
+		p = p[8*want:]
+		for k := 0; k < want; k++ {
+			b.V[k] = math.Float64frombits(binary.BigEndian.Uint64(p[8*k:]))
+		}
+		p = p[8*want:]
+		m.Blocks = append(m.Blocks, b)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in delta", len(p))
 	}
 	return nil
 }

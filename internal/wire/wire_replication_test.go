@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// deltaFixture builds a consistent 5-node, 2-shard, rank-2 delta.
+func deltaFixture() *Delta {
+	return &Delta{
+		From: 9, N: 5, Rank: 2, Shards: 2,
+		Steps: 12345, Tau: 48.5, Metric: 1,
+		Blocks: []DeltaBlock{
+			{Shard: 0, Ver: 7, // shard 0 owns nodes 0,2,4 → 3 rows
+				U: []float64{1, 2, 3, 4, 5, 6},
+				V: []float64{-1, -2, -3, -4, -5, -6}},
+			{Shard: 1, Ver: 3, // shard 1 owns nodes 1,3 → 2 rows
+				U: []float64{0.5, 0.25, 0.125, 0},
+				V: []float64{9, 8, 7, 6}},
+		},
+	}
+}
+
+func TestVersionVecRoundTrip(t *testing.T) {
+	in := &VersionVec{
+		From: 3, Addr: "10.0.0.1:9090",
+		N: 100, Rank: 10, Shards: 4,
+		Steps: 99, Vers: []uint64{1, 0, 7, 2},
+	}
+	buf, err := AppendVersionVec(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out VersionVec
+	if err := DecodeVersionVec(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestVersionVecEmptyState(t *testing.T) {
+	in := &VersionVec{From: 1, Addr: "a:1"}
+	buf, err := AppendVersionVec(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out VersionVec
+	if err := DecodeVersionVec(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.N != 0 || out.Shards != 0 || len(out.Vers) != 0 {
+		t.Errorf("got %+v", out)
+	}
+	// An empty-state vec must not smuggle geometry.
+	if _, err := AppendVersionVec(nil, &VersionVec{N: 0, Shards: 3, Vers: make([]uint64, 3)}); err == nil {
+		t.Error("empty-state vec with shards accepted")
+	}
+}
+
+func TestVersionVecValidation(t *testing.T) {
+	if _, err := AppendVersionVec(nil, &VersionVec{N: 10, Rank: 2, Shards: 4, Vers: []uint64{1}}); err == nil {
+		t.Error("vers/shards mismatch accepted")
+	}
+	if _, err := AppendVersionVec(nil, &VersionVec{N: 2, Rank: 2, Shards: 4, Vers: make([]uint64, 4)}); err == nil {
+		t.Error("shards > n accepted")
+	}
+	if _, err := AppendVersionVec(nil, &VersionVec{N: MaxNodes + 1, Rank: 2, Shards: 1, Vers: []uint64{1}}); err == nil {
+		t.Error("oversized n accepted")
+	}
+	// n and rank individually legal but n·rank beyond the one-frame state
+	// bound: a bootstrap delta for this geometry could not be shipped.
+	if _, err := AppendVersionVec(nil, &VersionVec{N: MaxNodes, Rank: MaxRank, Shards: 1, Vers: []uint64{1}}); err == nil {
+		t.Error("n·rank beyond MaxStateFloats accepted")
+	}
+}
+
+func TestDeltaRequestRoundTrip(t *testing.T) {
+	in := &DeltaRequest{From: 2, Addr: "b:7", Shards: []uint16{0, 3, 9}}
+	buf, err := AppendDeltaRequest(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out DeltaRequest
+	if err := DecodeDeltaRequest(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	in := deltaFixture()
+	buf, err := AppendDelta(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Delta
+	if err := DecodeDelta(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestDeltaEncodeValidation(t *testing.T) {
+	d := deltaFixture()
+	d.Blocks[0].U = d.Blocks[0].U[:4] // wrong row count for shard 0
+	if _, err := AppendDelta(nil, d); err == nil {
+		t.Error("mis-sized block accepted")
+	}
+	d = deltaFixture()
+	d.Blocks[1].Shard = 5 // beyond the shard count
+	if _, err := AppendDelta(nil, d); err == nil {
+		t.Error("out-of-range shard id accepted")
+	}
+	d = deltaFixture()
+	d.Shards = 0
+	if _, err := AppendDelta(nil, d); err == nil {
+		t.Error("zero shards accepted")
+	}
+}
+
+func TestDeltaDecodeCorrupt(t *testing.T) {
+	good, err := AppendDelta(nil, deltaFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation must fail cleanly, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		var out Delta
+		if err := DecodeDelta(good[:cut], &out); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	// Trailing garbage is rejected.
+	var out Delta
+	if err := DecodeDelta(append(append([]byte(nil), good...), 0xAB), &out); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// A block for a shard beyond the declared count is rejected.
+	bad := append([]byte(nil), good...)
+	// Blocks start after header(3) + from(4) + n(4) + rank(2) + shards(2) +
+	// steps(8) + tau(8) + metric(1) + count(2) = 34; first block's shard id
+	// is at offset 34.
+	bad[34], bad[35] = 0xFF, 0xFF
+	if err := DecodeDelta(bad, &out); err == nil {
+		t.Error("out-of-range block shard accepted")
+	}
+	// Wrong type dispatch.
+	if err := DecodeDelta([]byte{Magic, Version, byte(TypeJoin), 0, 0, 0, 0, 0, 0}, &out); !errors.Is(err, ErrBadType) {
+		t.Errorf("wrong-type decode: %v", err)
+	}
+}
+
+func TestShardNodes(t *testing.T) {
+	// 5 nodes over 2 shards: shard 0 owns {0,2,4}, shard 1 owns {1,3}.
+	if got := ShardNodes(5, 0, 2); got != 3 {
+		t.Errorf("ShardNodes(5,0,2) = %d", got)
+	}
+	if got := ShardNodes(5, 1, 2); got != 2 {
+		t.Errorf("ShardNodes(5,1,2) = %d", got)
+	}
+	total := 0
+	for p := 0; p < 7; p++ {
+		total += ShardNodes(100, p, 7)
+	}
+	if total != 100 {
+		t.Errorf("shard sizes sum to %d, want 100", total)
+	}
+}

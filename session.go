@@ -83,6 +83,12 @@ type Session struct {
 	closed bool
 	done   chan struct{}
 	subs   []chan Progress
+
+	// Snapshot memoization: the last materialized snapshot is returned
+	// as-is while no shard version has advanced, and seeds the delta
+	// refresh (only advanced shards re-copied from the store) otherwise.
+	snapMu sync.Mutex
+	snap   *Snapshot
 }
 
 // NewSession builds a session over ds. The default backend is the
@@ -339,23 +345,54 @@ func (s *Session) store() *engine.Store {
 	return s.drv.Engine().Store()
 }
 
-// Snapshot materializes an immutable copy of every node's coordinates in
-// one pass over the store (one read-lock acquisition per shard — safe
-// and consistent per shard even while a live swarm keeps training).
-// The returned Snapshot serves Predict/PredictBatch/Rank/Classify to any
+// Snapshot materializes an immutable copy of every node's coordinates
+// (consistent per shard even while a live swarm keeps training). The
+// returned Snapshot serves Predict/PredictBatch/Rank/Classify to any
 // number of concurrent readers without further synchronization.
+//
+// Materialization is version-aware: every store shard carries a counter
+// bumped on each write, and the session remembers the vector its last
+// snapshot was copied at. At quiescence — no shard advanced since the
+// last call — the previously materialized snapshot is returned as-is
+// (zero copying, zero locking beyond the version reads). Otherwise a
+// fresh snapshot starts from the previous one and re-copies only the
+// shards whose version moved, taking only those shards' read locks.
 func (s *Session) Snapshot() *Snapshot {
 	store := s.store()
-	u, v := store.SnapshotFlat()
-	return &Snapshot{
-		n:      store.N(),
-		rank:   store.Rank(),
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	n, rank, shards := store.N(), store.Rank(), store.Shards()
+	prev := s.snap
+	if prev != nil && store.VersionsEqual(prev.vers) {
+		return prev
+	}
+	u := make([]float64, n*rank)
+	v := make([]float64, n*rank)
+	vers := make([]uint64, shards)
+	if prev != nil && prev.n == n && prev.rank == rank && len(prev.vers) == shards {
+		// Seed the refresh from the previous materialization: one
+		// contiguous copy with no lock traffic, then only advanced shards
+		// are re-copied from the store.
+		copy(u, prev.u)
+		copy(v, prev.v)
+		copy(vers, prev.vers)
+	}
+	// With a zero base (first call), the all-zero version vector is the
+	// canonical empty snapshot: shards at version 0 were never written and
+	// hold zeros, matching the fresh buffers.
+	store.SnapshotDeltaInto(u, v, vers)
+	s.snap = &Snapshot{
+		n:      n,
+		rank:   rank,
 		u:      u,
 		v:      v,
 		tau:    s.tau,
 		metric: s.ds.Metric,
 		steps:  s.Steps(),
+		shards: shards,
+		vers:   vers,
 	}
+	return s.snap
 }
 
 // evalSet delegates test-set evaluation to the active backend.

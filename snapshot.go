@@ -33,6 +33,14 @@ type Snapshot struct {
 	tau     float64
 	metric  Metric
 	steps   int
+
+	// Store-materialized snapshots carry the shard version vector they
+	// were copied at, which is what lets Session.Snapshot return the same
+	// snapshot at quiescence and lets the replication tier ship only the
+	// shards that advanced. Assembled snapshots (NewSnapshot,
+	// NewSnapshotFlat) have no store and leave these zero.
+	shards int
+	vers   []uint64
 }
 
 // NewSnapshot assembles a snapshot from per-node coordinate rows — the
@@ -75,6 +83,37 @@ func NewSnapshot(metric Metric, tau float64, u, v [][]float64) (*Snapshot, error
 	return sn, nil
 }
 
+// NewSnapshotFlat assembles a snapshot from flat row-major coordinate
+// arrays (node i's rows at [i·rank, (i+1)·rank)) — the serving path for
+// replicated coordinate state, whose deltas already arrive flat
+// (internal/replica, cmd/dmfserve -peer). u and v must have equal length,
+// a multiple of rank, and hold finite values. steps stamps the freshness
+// counter. The arrays are NOT copied: the snapshot takes ownership, and
+// the caller must not modify them afterwards.
+func NewSnapshotFlat(metric Metric, tau float64, steps, rank int, u, v []float64) (*Snapshot, error) {
+	if rank <= 0 {
+		return nil, fmt.Errorf("%w: rank %d, want ≥ 1", ErrInvalidConfig, rank)
+	}
+	if len(u) == 0 || len(u) != len(v) || len(u)%rank != 0 {
+		return nil, fmt.Errorf("%w: flat arrays of %d/%d values, want equal non-empty multiples of rank %d",
+			ErrInvalidConfig, len(u), len(v), rank)
+	}
+	for k := range u {
+		if !finite(u[k]) || !finite(v[k]) {
+			return nil, fmt.Errorf("%w: non-finite coordinate at row %d", ErrInvalidConfig, k/rank)
+		}
+	}
+	return &Snapshot{
+		n:      len(u) / rank,
+		rank:   rank,
+		u:      u,
+		v:      v,
+		tau:    tau,
+		metric: metric,
+		steps:  steps,
+	}, nil
+}
+
 func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // N returns the node count.
@@ -94,6 +133,29 @@ func (sn *Snapshot) Metric() Metric { return sn.metric }
 // (0 for snapshots assembled with NewSnapshot) — a freshness stamp for
 // serving loops that swap snapshots.
 func (sn *Snapshot) Steps() int { return sn.steps }
+
+// StoreShards returns the shard count P of the store this snapshot was
+// materialized from, or 0 for assembled snapshots (NewSnapshot,
+// NewSnapshotFlat), which have no store.
+func (sn *Snapshot) StoreShards() int { return sn.shards }
+
+// Versions returns a copy of the per-shard store version vector this
+// snapshot was materialized at (nil for assembled snapshots). Together
+// with Flat it is the input the replication tier captures its versioned
+// state from.
+func (sn *Snapshot) Versions() []uint64 {
+	if sn.vers == nil {
+		return nil
+	}
+	return append([]uint64(nil), sn.vers...)
+}
+
+// Flat returns copies of the flat row-major coordinate arrays (node i's
+// rows at [i·rank, (i+1)·rank)) — the counterpart of NewSnapshotFlat for
+// callers that replicate or persist coordinate state.
+func (sn *Snapshot) Flat() (u, v []float64) {
+	return append([]float64(nil), sn.u...), append([]float64(nil), sn.v...)
+}
 
 func (sn *Snapshot) check(i, j int) {
 	if uint(i) >= uint(sn.n) || uint(j) >= uint(sn.n) {
