@@ -13,6 +13,7 @@
 package dmfsgd_test
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"sort"
@@ -659,6 +660,148 @@ func BenchmarkSessionSnapshotQuiescent(b *testing.B) {
 		}
 	}
 }
+
+// --- Ingest benchmarks (Source → engine measurement throughput) ---
+//
+// The ingestion trajectory: measurements per second through the full
+// seam — source sampling or NDJSON parsing, topology filter, label
+// classification, and the engine's sharded batch apply — at Meridian
+// 1000/2500 across 1/4/8 shards. These extend the engine-epoch series
+// with the cost of the stream in front of the engine.
+
+// benchEpochBatches drains count measurements from src into epoch-sized
+// engine batches (n·32 samples each) through the same filter+classify
+// path Session uses, returning the batches.
+func benchEpochBatches(b *testing.B, drv *sim.Driver, ds *dataset.Dataset, src dmfsgd.Source, count int) [][]engine.Sample {
+	b.Helper()
+	tau := ds.Median()
+	epoch := ds.N() * 32
+	buf := make([]dmfsgd.Measurement, 8192)
+	var batches [][]engine.Sample
+	batch := make([]engine.Sample, 0, epoch)
+	drained := 0
+	for drained < count {
+		want := len(buf)
+		if r := count - drained; r < want {
+			want = r
+		}
+		k, err := src.NextBatch(context.Background(), buf[:want])
+		if err != nil {
+			b.Fatal(err)
+		}
+		drained += k
+		for _, m := range buf[:k] {
+			if !drv.IsNeighbor(m.I, m.J) {
+				continue
+			}
+			batch = append(batch, engine.Sample{I: m.I, J: m.J, Label: classify.Of(ds.Metric, m.Value, tau).Value()})
+			if len(batch) == epoch {
+				batches = append(batches, batch)
+				batch = make([]engine.Sample, 0, epoch)
+			}
+		}
+	}
+	if len(batch) > 0 {
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// benchSourceMatrix: endless matrix sampling drained into epoch batches
+// and applied through the sharded batch path, end to end per iteration.
+func benchSourceMatrix(b *testing.B, n, shards int) {
+	ds := meridianSized(n)
+	drv := engineDriver(b, n, shards)
+	src, err := dmfsgd.NewMatrixSource(ds, 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drv.RunEpochs(1, 1) // warm the epoch state outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		for _, batch := range benchEpochBatches(b, drv, ds, src, n*32) {
+			applied, err := drv.ApplyBatchCtx(context.Background(), batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += applied
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "meas/s")
+}
+
+func BenchmarkSourceMatrixMeridian1000Shards1(b *testing.B) { benchSourceMatrix(b, 1000, 1) }
+func BenchmarkSourceMatrixMeridian1000Shards4(b *testing.B) { benchSourceMatrix(b, 1000, 4) }
+func BenchmarkSourceMatrixMeridian1000Shards8(b *testing.B) { benchSourceMatrix(b, 1000, 8) }
+func BenchmarkSourceMatrixMeridian2500Shards1(b *testing.B) { benchSourceMatrix(b, 2500, 1) }
+func BenchmarkSourceMatrixMeridian2500Shards4(b *testing.B) { benchSourceMatrix(b, 2500, 4) }
+func BenchmarkSourceMatrixMeridian2500Shards8(b *testing.B) { benchSourceMatrix(b, 2500, 8) }
+
+var (
+	benchStreamMu sync.Mutex
+	benchStream   = map[int][]byte{}
+)
+
+// benchStreamNDJSON caches one epoch's worth of captured measurements
+// (n·32 records) as NDJSON per node count, generated once outside every
+// timed region.
+func benchStreamNDJSON(b *testing.B, n int) []byte {
+	b.Helper()
+	benchStreamMu.Lock()
+	defer benchStreamMu.Unlock()
+	if data, ok := benchStream[n]; ok {
+		return data
+	}
+	ds := meridianSized(n)
+	src, err := dmfsgd.NewMatrixSource(ds, 32, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]dmfsgd.Measurement, n*32)
+	if _, err := src.NextBatch(context.Background(), buf); err != nil {
+		b.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := dmfsgd.WriteMeasurements(&out, buf); err != nil {
+		b.Fatal(err)
+	}
+	benchStream[n] = out.Bytes()
+	return benchStream[n]
+}
+
+// benchSourceReplay: a captured NDJSON stream parsed, filtered and
+// applied through the sharded batch path — the deterministic-replay
+// ingest pipeline, end to end per iteration.
+func benchSourceReplay(b *testing.B, n, shards int) {
+	ds := meridianSized(n)
+	drv := engineDriver(b, n, shards)
+	data := benchStreamNDJSON(b, n)
+	drv.RunEpochs(1, 1) // warm the epoch state outside the timed region
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		src := dmfsgd.NewStreamSource(bytes.NewReader(data))
+		for _, batch := range benchEpochBatches(b, drv, ds, src, n*32) {
+			applied, err := drv.ApplyBatchCtx(context.Background(), batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += applied
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "meas/s")
+}
+
+func BenchmarkSourceReplayMeridian1000Shards1(b *testing.B) { benchSourceReplay(b, 1000, 1) }
+func BenchmarkSourceReplayMeridian1000Shards4(b *testing.B) { benchSourceReplay(b, 1000, 4) }
+func BenchmarkSourceReplayMeridian1000Shards8(b *testing.B) { benchSourceReplay(b, 1000, 8) }
+func BenchmarkSourceReplayMeridian2500Shards1(b *testing.B) { benchSourceReplay(b, 2500, 1) }
+func BenchmarkSourceReplayMeridian2500Shards4(b *testing.B) { benchSourceReplay(b, 2500, 4) }
+func BenchmarkSourceReplayMeridian2500Shards8(b *testing.B) { benchSourceReplay(b, 2500, 8) }
 
 // simDefaults returns the paper-default SGD configuration.
 func simDefaults() sgd.Config { return sgd.Defaults() }

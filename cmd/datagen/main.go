@@ -2,18 +2,35 @@
 // them to disk in the plain-text formats used by the public originals:
 // whitespace-separated matrices and CSV traces (time,src,dst,value).
 //
+// With -stream it additionally emits an NDJSON measurement stream
+// (one {"t":…,"i":…,"j":…,"v":…} object per line) consumable by the
+// ingestion layer's stream loader (dmfsgd.NewStreamSource): the
+// dataset's trace replayed in time order, or — for static datasets —
+// the classic random probe schedule, optionally composed with scenario
+// decorators (noise, loss, churn, drift) so a scenario can be baked
+// into a replayable file. -stream-live captures the stream from a live
+// concurrent swarm instead, turning a live run into a deterministic
+// replay.
+//
 // Usage:
 //
 //	datagen -dataset meridian -n 500 -out meridian.txt
 //	datagen -dataset harvard -out harvard.txt -trace harvard_trace.csv
 //	datagen -dataset hp-s3 -out abw.txt
+//	datagen -dataset meridian -n 200 -out m.txt -stream m.ndjson -noise 0.2 -churn 0.3
+//	datagen -dataset meridian -n 120 -out m.txt -stream live.ndjson -stream-live
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
+	"dmfsgd"
 	"dmfsgd/internal/dataset"
 )
 
@@ -25,6 +42,14 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		out   = flag.String("out", "", "output file for the ground-truth matrix (default stdout)")
 		trace = flag.String("trace", "", "output file for the dynamic trace (harvard only)")
+
+		stream      = flag.String("stream", "", "output file for an NDJSON measurement stream")
+		streamCount = flag.Int("stream-count", 0, "stream length in measurements (0 = trace length, or 20·k·n)")
+		streamLive  = flag.Bool("stream-live", false, "capture the stream from a live swarm (RTT datasets only)")
+		noise       = flag.Float64("noise", 0, "lognormal measurement-noise sigma on the stream")
+		drop        = flag.Float64("drop", 0, "measurement loss rate on the stream [0,1)")
+		churnFrac   = flag.Float64("churn", 0, "fraction of nodes churning in the stream (0 = no churn)")
+		driftRate   = flag.Float64("drift", 0, "multiplicative drift per stream-time unit over the stream's second half")
 	)
 	flag.Parse()
 
@@ -69,8 +94,132 @@ func main() {
 		}
 	}
 
+	if *stream != "" {
+		count := *streamCount
+		if count == 0 {
+			if ds.Trace != nil {
+				count = len(ds.Trace)
+			} else {
+				count = 20 * ds.DefaultK * ds.N()
+			}
+		}
+		f, err := os.Create(*stream)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		written, err := writeStream(f, ds, streamSpec{
+			count: count, live: *streamLive, seed: *seed,
+			noise: *noise, drop: *drop, churn: *churnFrac, drift: *driftRate,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "datagen: stream %s: %d measurements\n", *stream, written)
+	}
+
 	fmt.Fprintf(os.Stderr, "datagen: %s n=%d median=%.1f %s missing=%.1f%%\n",
 		ds.Name, ds.N(), ds.Median(), ds.Metric.Unit(), ds.Matrix.MissingFraction()*100)
+}
+
+// streamSpec carries the -stream knobs.
+type streamSpec struct {
+	count int
+	live  bool
+	seed  int64
+	noise float64
+	drop  float64
+	churn float64
+	drift float64
+}
+
+// writeStream builds the measurement source for the dataset, composes
+// the requested scenario decorators onto it, drains count measurements
+// and writes them as NDJSON.
+func writeStream(w io.Writer, ds *dataset.Dataset, spec streamSpec) (int, error) {
+	src, duration, cleanup, err := baseSource(ds, spec)
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+
+	if spec.churn > 0 {
+		src = dmfsgd.WithChurn(src, dmfsgd.ChurnConfig{
+			Start:    duration / 4,
+			MeanUp:   duration / 8,
+			MeanDown: duration / 8,
+			Fraction: spec.churn,
+			Seed:     spec.seed + 201,
+		})
+	}
+	if spec.drift != 0 {
+		src = dmfsgd.WithDrift(src, dmfsgd.DriftConfig{
+			Rate:  spec.drift,
+			Start: duration / 2,
+			Seed:  spec.seed + 202,
+		})
+	}
+	src = dmfsgd.WithNoise(src, spec.noise, spec.seed+203)
+	src = dmfsgd.WithDrop(src, spec.drop, spec.seed+204)
+
+	bw := bufio.NewWriter(w)
+	buf := make([]dmfsgd.Measurement, 4096)
+	written := 0
+	ctx := context.Background()
+	for written < spec.count {
+		want := len(buf)
+		if r := spec.count - written; r < want {
+			want = r
+		}
+		n, err := src.NextBatch(ctx, buf[:want])
+		if werr := dmfsgd.WriteMeasurements(bw, buf[:n]); werr != nil {
+			return written, werr
+		}
+		written += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// baseSource picks the dataset's stream: live capture, trace replay, or
+// matrix sampling. It returns the stream's natural duration in the
+// source's time unit (seconds for traces and live captures, probing
+// rounds for matrix sampling) so the scenario windows can be placed,
+// and a cleanup closing whatever the source runs on.
+func baseSource(ds *dataset.Dataset, spec streamSpec) (src dmfsgd.Source, duration float64, cleanup func(), err error) {
+	cleanup = func() {}
+	if spec.live {
+		sess, err := dmfsgd.NewSession(ds, dmfsgd.WithLive(), dmfsgd.WithSeed(spec.seed),
+			dmfsgd.WithProbeInterval(200*time.Microsecond))
+		if err != nil {
+			return nil, 0, cleanup, err
+		}
+		cap, err := dmfsgd.NewSwarmSource(sess, 0)
+		if err != nil {
+			sess.Close()
+			return nil, 0, cleanup, err
+		}
+		// Probe-rate estimate: n probes per interval across the swarm.
+		duration = float64(spec.count) / float64(ds.N()) * 200e-6
+		return cap, duration, func() { cap.Close(); sess.Close() }, nil
+	}
+	if ds.Trace != nil {
+		ts, err := dmfsgd.NewTraceSource(ds)
+		if err != nil {
+			return nil, 0, cleanup, err
+		}
+		return ts, ds.Trace[len(ds.Trace)-1].T, cleanup, nil
+	}
+	ms, err := dmfsgd.NewMatrixSource(ds, 0, spec.seed)
+	if err != nil {
+		return nil, 0, cleanup, err
+	}
+	return ms, float64(spec.count) / float64(ds.N()), cleanup, nil
 }
 
 func fatal(err error) {

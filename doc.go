@@ -23,7 +23,7 @@
 //
 // # Public API
 //
-// The root package is organized around three types (see DESIGN.md for
+// The root package is organized around four types (see DESIGN.md for
 // the full architecture):
 //
 //   - Session: the context-aware facade over both execution backends —
@@ -33,6 +33,18 @@
 //     WithShards, WithSeed, …) that reject bad values with errors
 //     wrapping ErrInvalidConfig. Training runs under a context
 //     (Run, RunEpochs) and streams telemetry through Watch.
+//   - Source: the ingestion seam — a pull-based, context-aware stream
+//     of Measurements through which all training data reaches the
+//     engine. MatrixSource samples a static matrix on the classic
+//     probe schedule (bit-identical to the sequential driver at a
+//     fixed seed), TraceSource replays dynamic traces in time order
+//     and in per-epoch groups, StreamSource replays NDJSON captures in
+//     constant memory, and SwarmSource taps a live swarm's
+//     measurements for capture. Scenario decorators — WithChurn,
+//     WithDrift, WithNoise, WithDrop — compose over any source;
+//     NewSessionFromSource trains a session from whatever stream
+//     results, and NewSession is the thin adapter wrapping a dataset
+//     in its canonical source.
 //   - Snapshot: an immutable copy of all coordinates, materialized from
 //     a Session in one pass. Predict, PredictBatch, Rank and Classify
 //     serve unlimited concurrent readers with zero synchronization —

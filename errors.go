@@ -18,12 +18,17 @@ var (
 	// closed with Close.
 	ErrStopped = errors.New("dmfsgd: session closed")
 
-	// ErrDynamicTrace is returned by epoch training on a dataset that
-	// carries a dynamic measurement trace (Harvard): epochs would sample
-	// the matrix in random order and silently ignore the trace, which is
-	// never what the caller meant. Use Session.Run, which replays the
-	// trace in time order.
-	ErrDynamicTrace = errors.New("dmfsgd: dataset has a dynamic measurement trace")
+	// ErrDynamicTrace is returned by epoch training on a session whose
+	// measurement source has no epoch structure: an endless sampler
+	// behind scenario decorators, a live capture, or any custom Source
+	// that is neither a finite time-ordered replay nor a bare matrix
+	// sampler. Epoch training on such a stream would have to invent a
+	// grouping the source does not define, which is never what the
+	// caller meant — use Session.Run, which drains the stream in order.
+	// (Dynamic-trace datasets themselves no longer hit this: their
+	// traces replay in per-epoch measurement groups; the historical name
+	// is kept for errors.Is compatibility.)
+	ErrDynamicTrace = errors.New("dmfsgd: measurement source has no epoch structure")
 
 	// ErrLiveSession is returned by operations that require the
 	// deterministic driver (epoch training) when the session was built

@@ -6,6 +6,12 @@
 // telemetry, AUC checkpoints measure convergence, and a final lock-free
 // Snapshot freezes the result for serving.
 //
+// The run is also captured through the ingestion layer: a SwarmSource
+// taps every RTT the nodes measure, the capture is written as an NDJSON
+// stream, and the same measurements are then replayed through a
+// deterministic session (NewStreamSource) — twice, to show the replay
+// is exactly reproducible where the live run never is.
+//
 // The same node implementation runs over UDP across processes — see
 // cmd/dmfnode for a multi-process deployment.
 //
@@ -13,6 +19,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"time"
@@ -42,6 +49,29 @@ func main() {
 	// and feeds the Watch stream.
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
+
+	// Tap the measurement stream while the swarm trains: every RTT a
+	// node measures lands in the capture (lossy if we fell behind — the
+	// tap never stalls a node).
+	tap, err := dmfsgd.NewSwarmSource(sess, 1<<16)
+	if err != nil {
+		panic(err)
+	}
+	defer tap.Close()
+	var captured []dmfsgd.Measurement
+	capDone := make(chan struct{})
+	go func() {
+		defer close(capDone)
+		buf := make([]dmfsgd.Measurement, 4096)
+		for {
+			n, err := tap.NextBatch(ctx, buf)
+			captured = append(captured, buf[:n]...)
+			if err != nil {
+				return
+			}
+		}
+	}()
+
 	watch := sess.Watch(ctx)
 	go func() { _ = sess.Run(ctx, 2<<20) }()
 
@@ -67,4 +97,39 @@ func main() {
 	fmt.Printf("\nsnapshot at %d updates: node 0 -> 40 predicted %s\n",
 		snap.Steps(), snap.Classify(0, 40))
 	fmt.Println("nodes never shared a matrix — only O(rank) coordinates per probe.")
+
+	// Replay: persist the capture as NDJSON and train two fresh
+	// deterministic sessions from it. The live run above is racy by
+	// nature; its captured stream is not — both replays land on the
+	// same coordinates, bit for bit.
+	<-capDone
+	var ndjson bytes.Buffer
+	if err := dmfsgd.WriteMeasurements(&ndjson, captured); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ncaptured %d measurements (%d lost to backpressure, %.1f MB as NDJSON)\n",
+		len(captured), tap.Dropped(), float64(ndjson.Len())/1e6)
+
+	replay := func() float64 {
+		rs, err := dmfsgd.NewSessionFromSource(ds,
+			dmfsgd.NewStreamSource(bytes.NewReader(ndjson.Bytes())),
+			dmfsgd.WithK(16), dmfsgd.WithSeed(3))
+		if err != nil {
+			panic(err)
+		}
+		defer rs.Close()
+		// Drain the whole capture (the budget is an upper bound; a
+		// finite stream ends the run at EOF).
+		if err := rs.Run(context.Background(), len(captured)); err != nil {
+			panic(err)
+		}
+		auc, err := rs.AUC(context.Background(), 0)
+		if err != nil {
+			panic(err)
+		}
+		return auc
+	}
+	a, b := replay(), replay()
+	fmt.Printf("replayed deterministically: AUC %.6f, and again: %.6f (identical: %v)\n",
+		a, b, a == b)
 }

@@ -136,9 +136,20 @@ func ReadTrace(r io.Reader) ([]Measurement, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: trace line %d dst: %v", line, err)
 		}
+		// Node ids index coordinate arrays downstream; reject records no
+		// replay could ever use rather than hand callers a panic.
+		if i < 0 || j < 0 {
+			return nil, fmt.Errorf("dataset: trace line %d: negative node id (%d,%d)", line, i, j)
+		}
+		if i == j {
+			return nil, fmt.Errorf("dataset: trace line %d: self-pair %d", line, i)
+		}
 		v, err := strconv.ParseFloat(strings.TrimSpace(parts[3]), 64)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: trace line %d value: %v", line, err)
+		}
+		if math.IsNaN(t) || math.IsInf(t, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("dataset: trace line %d: non-finite time or value", line)
 		}
 		out = append(out, Measurement{T: t, I: i, J: j, Value: v})
 	}

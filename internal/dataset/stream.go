@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// streamRecord is the NDJSON shape of one measurement: one JSON object
+// per line, {"t":1.5,"i":3,"j":7,"v":42.1}. The format is the capture /
+// replay interchange for measurement streams (cmd/datagen -stream,
+// live-swarm captures): unlike the CSV trace format it round-trips
+// float64 values exactly and is consumed record by record, so a stream
+// can be replayed without materializing it.
+type streamRecord struct {
+	T float64 `json:"t"`
+	I int     `json:"i"`
+	J int     `json:"j"`
+	V float64 `json:"v"`
+}
+
+// WriteStream writes measurements as NDJSON, one record per line, in
+// slice order (streams are replayed in file order — writers should emit
+// time-ordered measurements).
+func WriteStream(w io.Writer, ms []Measurement) error {
+	enc := json.NewEncoder(w)
+	for i := range ms {
+		if err := enc.Encode(streamRecord{T: ms[i].T, I: ms[i].I, J: ms[i].J, V: ms[i].Value}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamScanner reads an NDJSON measurement stream record by record
+// without buffering the whole stream, validating each record as it is
+// decoded. Malformed input yields an error naming the record, never a
+// panic or an attacker-sized allocation.
+type StreamScanner struct {
+	dec *json.Decoder
+	rec int
+}
+
+// NewStreamScanner wraps r for record-at-a-time reading.
+func NewStreamScanner(r io.Reader) *StreamScanner {
+	return &StreamScanner{dec: json.NewDecoder(r)}
+}
+
+// Next decodes the next record into m. It returns io.EOF at a clean end
+// of stream and a descriptive error on malformed or invalid records
+// (negative node ids, a self-pair, non-finite time or value).
+func (s *StreamScanner) Next(m *Measurement) error {
+	var rec streamRecord
+	if err := s.dec.Decode(&rec); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("dataset: stream record %d: %w", s.rec+1, err)
+	}
+	s.rec++
+	if rec.I < 0 || rec.J < 0 {
+		return fmt.Errorf("dataset: stream record %d: negative node id (%d,%d)", s.rec, rec.I, rec.J)
+	}
+	if rec.I == rec.J {
+		return fmt.Errorf("dataset: stream record %d: self-pair %d", s.rec, rec.I)
+	}
+	if math.IsNaN(rec.T) || math.IsInf(rec.T, 0) || math.IsNaN(rec.V) || math.IsInf(rec.V, 0) {
+		return fmt.Errorf("dataset: stream record %d: non-finite time or value", s.rec)
+	}
+	m.T, m.I, m.J, m.Value = rec.T, rec.I, rec.J, rec.V
+	return nil
+}
+
+// ReadStream materializes a whole NDJSON stream. Replay paths should
+// prefer StreamScanner, which does not hold the stream in memory; this
+// is the convenience form for tools and tests.
+func ReadStream(r io.Reader) ([]Measurement, error) {
+	sc := NewStreamScanner(r)
+	var out []Measurement
+	for {
+		var m Measurement
+		err := sc.Next(&m)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	in := []Measurement{
+		{T: 0.125, I: 0, J: 1, Value: 42.875},
+		{T: 1.5, I: 7, J: 3, Value: 1.0 / 3.0}, // not representable in decimal
+		{T: 2.25, I: 3, J: 9, Value: 1e-12},
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records, want %d", len(out), len(in))
+	}
+	for k := range in {
+		if in[k] != out[k] {
+			t.Errorf("record %d: %+v != %+v (NDJSON must round-trip float64 exactly)", k, in[k], out[k])
+		}
+	}
+}
+
+func TestStreamScannerErrors(t *testing.T) {
+	cases := map[string]string{
+		"negative id": `{"t":1,"i":-1,"j":0,"v":2}`,
+		"self pair":   `{"t":1,"i":3,"j":3,"v":2}`,
+		"bad json":    `{"t":1,`,
+		"non-finite":  `{"t":1e999,"i":0,"j":1,"v":2}`,
+	}
+	for name, data := range cases {
+		sc := NewStreamScanner(strings.NewReader(data))
+		var m Measurement
+		if err := sc.Next(&m); err == nil || err == io.EOF {
+			t.Errorf("%s: err = %v, want a validation error", name, err)
+		}
+	}
+	// A valid prefix is delivered before the error surfaces.
+	sc := NewStreamScanner(strings.NewReader(
+		`{"t":1,"i":0,"j":1,"v":2}` + "\n" + `{"t":2,"i":5,"j":5,"v":2}`))
+	var m Measurement
+	if err := sc.Next(&m); err != nil || m.I != 0 || m.J != 1 {
+		t.Fatalf("first record: %+v, %v", m, err)
+	}
+	if err := sc.Next(&m); err == nil {
+		t.Fatal("invalid second record accepted")
+	}
+}
+
+func TestReadTraceRejectsInvalidRecords(t *testing.T) {
+	for name, data := range map[string]string{
+		"negative src": "0.5,-1,1,42\n",
+		"negative dst": "0.5,1,-2,42\n",
+		"self pair":    "0.5,3,3,42\n",
+		"nan time":     "nan,0,1,42\n",
+		"inf value":    "0.5,0,1,1e999\n",
+	} {
+		if _, err := ReadTrace(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// Sample is one externally supplied labeled measurement for the batch
+// apply path: node I consumed training label Label (a class ±1 or a
+// scaled quantity, in the same units as the label matrix) for the path
+// I → J. Batches of samples come from the ingestion layer — trace
+// replay, NDJSON streams, scenario-decorated sources — rather than from
+// the engine's own probe sampling.
+type Sample struct {
+	// I is the observing node, J the probed node.
+	I, J int
+	// Label is the training label the measurement yielded.
+	Label float64
+}
+
+// ApplyBatch applies one epoch-style batch of externally supplied
+// samples; see ApplyBatchCtx.
+func (e *Engine) ApplyBatch(batch []Sample) int {
+	n, _ := e.ApplyBatchCtx(context.Background(), batch)
+	return n
+}
+
+// ApplyBatchCtx trains on one batch of externally supplied measurements
+// through the sharded epoch path: peer coordinates are read from a
+// batch-start snapshot, each shard's samples are applied by a worker in
+// batch order, and (in asymmetric mode) the cross-shard target updates
+// are routed through the epoch mailboxes and applied in sorted
+// (target, sender, batch index) order at the barrier. This is the epoch
+// analogue of ApplyLabel: where ApplyLabel streams Gauss-Seidel updates
+// one at a time, ApplyBatchCtx treats the batch as one synchronous
+// training epoch over whatever measurements the ingestion layer
+// grouped together.
+//
+// For a fixed batch the resulting coordinates are bit-identical for
+// every shard and worker count: a sample only writes its observing
+// node's vectors (all of one node's samples live in one shard and apply
+// in batch order), peer reads come from the immutable batch-start
+// snapshot, and the mailbox merge order is independent of the shard
+// partition. Like RunEpochCtx, a cancelled call leaves the store valid
+// but incomplete and returns the context's error; the cross-shard
+// determinism contract holds for batches that complete.
+//
+// ApplyBatchCtx requires exclusive use of the store (do not run it
+// concurrently with itself, Run, RunEpoch or Ref access). Samples with
+// out-of-range node ids or a non-finite label are rejected with an
+// error before anything is applied.
+func (e *Engine) ApplyBatchCtx(ctx context.Context, batch []Sample) (int, error) {
+	if len(batch) > math.MaxInt32 {
+		return 0, fmt.Errorf("engine: batch of %d samples exceeds the %d limit", len(batch), math.MaxInt32)
+	}
+	n := e.store.n
+	for idx, sm := range batch {
+		if sm.I < 0 || sm.I >= n || sm.J < 0 || sm.J >= n || sm.I == sm.J {
+			return 0, fmt.Errorf("engine: batch sample %d has invalid pair (%d,%d) for %d nodes", idx, sm.I, sm.J, n)
+		}
+		if math.IsNaN(sm.Label) || math.IsInf(sm.Label, 0) {
+			return 0, fmt.Errorf("engine: batch sample %d has non-finite label %v", idx, sm.Label)
+		}
+	}
+	e.ensureEpochState()
+	p := e.store.shards
+	// Refresh the batch-start snapshot via the version vector (only
+	// shards that moved since the last materialization are re-copied).
+	e.store.SnapshotDeltaInto(e.snapU, e.snapV, e.snapVers)
+	if e.groups == nil {
+		e.groups = make([][]int32, p)
+	}
+	for s := 0; s < p; s++ {
+		e.counts[s] = 0
+		e.dirty[s] = false
+		e.groups[s] = e.groups[s][:0]
+		for d := 0; d < p; d++ {
+			e.out[s][d] = e.out[s][d][:0]
+		}
+	}
+	// Group sample indices by the observing node's shard, preserving
+	// batch order within each shard.
+	for idx, sm := range batch {
+		s := e.store.ShardOf(sm.I)
+		e.groups[s] = append(e.groups[s], int32(idx))
+	}
+
+	e.forEachShard(ctx, func(s int) { e.counts[s] = e.applyBatchShard(s, batch) })
+	if !e.cfg.Symmetric && ctx.Err() == nil {
+		e.forEachShard(ctx, func(s int) { e.drainShard(s) })
+	}
+
+	// The epoch barrier: advance every written shard's version once.
+	for s := 0; s < p; s++ {
+		if e.dirty[s] {
+			e.store.bumpShard(s)
+		}
+	}
+
+	total := 0
+	for _, c := range e.counts {
+		total += c
+	}
+	e.steps += total
+	return total, ctx.Err()
+}
+
+// applyBatchShard applies shard s's samples in batch order. Each sample
+// updates only the observing node's vectors (which live in this shard);
+// peer reads come from the batch-start snapshot, so no locking is
+// needed anywhere on this path.
+func (e *Engine) applyBatchShard(s int, batch []Sample) int {
+	rank := e.store.rank
+	applied := 0
+	for _, idx := range e.groups[s] {
+		sm := batch[idx]
+		x := sm.Label / e.scale
+		c := e.store.Coord(sm.I)
+		ju := e.snapU[sm.J*rank : (sm.J+1)*rank]
+		jv := e.snapV[sm.J*rank : (sm.J+1)*rank]
+		if e.cfg.Symmetric {
+			// Algorithm 1: both of the observer's vectors move against
+			// the peer's batch-start coordinates.
+			e.cfg.SGD.UpdateRTT(c, ju, jv, x)
+		} else {
+			// Algorithm 2: the sender update fires here against the
+			// batch-start vⱼ; the target update is routed to j's shard
+			// with the batch index as the tie-break sequence.
+			d := e.store.ShardOf(sm.J)
+			if e.cfg.MailboxCap > 0 && len(e.out[s][d]) >= e.cfg.MailboxCap {
+				continue // mailbox full: the measurement is lost
+			}
+			e.cfg.SGD.UpdateABWSender(c, jv, x)
+			e.out[s][d] = append(e.out[s][d], abwDelivery{
+				target: int32(sm.J), sender: int32(sm.I), k: idx, x: x,
+			})
+		}
+		applied++
+	}
+	if applied > 0 {
+		e.dirty[s] = true
+	}
+	return applied
+}

@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"dmfsgd/internal/sgd"
+	"dmfsgd/internal/vec"
+)
+
+// testBatch draws a deterministic batch of neighbor-pair samples with ±1
+// labels, including repeated observers so per-node ordering matters.
+func testBatch(e *Engine, size int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	n := e.N()
+	batch := make([]Sample, 0, size)
+	for len(batch) < size {
+		i := rng.Intn(n)
+		j := e.neighbors[i][rng.Intn(len(e.neighbors[i]))]
+		label := 1.0
+		if rng.Float64() < 0.5 {
+			label = -1
+		}
+		batch = append(batch, Sample{I: i, J: j, Label: label})
+	}
+	return batch
+}
+
+// TestApplyBatchShardIndependence: for a fixed batch the resulting
+// coordinates are bit-identical for every shard/worker count, in both
+// update modes, including across several consecutive batches (the
+// batch-start snapshot refresh must track the store correctly).
+func TestApplyBatchShardIndependence(t *testing.T) {
+	for _, symmetric := range []bool{true, false} {
+		for _, shards := range []int{2, 4, 7} {
+			ref := testEngine(t, 60, 8, 1, 1, symmetric, 7)
+			e := testEngine(t, 60, 8, shards, shards, symmetric, 7)
+			for round := 0; round < 3; round++ {
+				batch := testBatch(ref, 500, int64(100+round))
+				nRef := ref.ApplyBatch(batch)
+				nGot := e.ApplyBatch(batch)
+				if nRef != nGot {
+					t.Fatalf("symmetric=%v shards=%d round %d: applied %d vs %d", symmetric, shards, round, nGot, nRef)
+				}
+				coordsEqual(t, ref, e, "batch apply")
+			}
+			if ref.Steps() != e.Steps() {
+				t.Fatalf("steps diverge: %d vs %d", ref.Steps(), e.Steps())
+			}
+		}
+	}
+}
+
+// TestApplyBatchMatchesManualEpoch: one symmetric batch equals a manual
+// Jacobi-style pass — every peer read from the batch-start snapshot,
+// per-node samples applied in batch order.
+func TestApplyBatchMatchesManualEpoch(t *testing.T) {
+	e := testEngine(t, 24, 5, 3, 2, true, 3)
+	// Pre-train a little so the snapshot is not the initial state.
+	e.Run(200)
+
+	rank := e.store.rank
+	u := make([]float64, e.N()*rank)
+	v := make([]float64, e.N()*rank)
+	e.store.SnapshotInto(u, v)
+	manual := make(map[int]*sgd.Coordinates)
+	for i := 0; i < e.N(); i++ {
+		manual[i] = e.store.Coord(i).Clone()
+	}
+
+	batch := testBatch(e, 300, 42)
+	for _, sm := range batch {
+		ju := u[sm.J*rank : (sm.J+1)*rank]
+		jv := v[sm.J*rank : (sm.J+1)*rank]
+		e.cfg.SGD.UpdateRTT(manual[sm.I], ju, jv, sm.Label)
+	}
+
+	if got := e.ApplyBatch(batch); got != len(batch) {
+		t.Fatalf("applied %d of %d", got, len(batch))
+	}
+	for i := 0; i < e.N(); i++ {
+		c := e.store.Coord(i)
+		if !vec.Equal(c.U, manual[i].U, 0) || !vec.Equal(c.V, manual[i].V, 0) {
+			t.Fatalf("node %d diverges from the manual epoch apply", i)
+		}
+	}
+}
+
+// TestApplyBatchVersions: only shards whose nodes were written advance.
+func TestApplyBatchVersions(t *testing.T) {
+	e := testEngine(t, 20, 4, 4, 2, true, 5)
+	before := e.store.Versions(nil)
+	// All samples observed by node 1: only shard 1 mod 4 should move.
+	j := e.neighbors[1][0]
+	n := e.ApplyBatch([]Sample{{I: 1, J: j, Label: 1}, {I: 1, J: j, Label: -1}})
+	if n != 2 {
+		t.Fatalf("applied %d, want 2", n)
+	}
+	after := e.store.Versions(nil)
+	for p := range after {
+		moved := after[p] != before[p]
+		if p == 1%4 && !moved {
+			t.Errorf("shard %d did not advance", p)
+		}
+		if p != 1%4 && moved {
+			t.Errorf("shard %d advanced without writes", p)
+		}
+	}
+}
+
+// TestApplyBatchValidation: bad samples are rejected before any apply.
+func TestApplyBatchValidation(t *testing.T) {
+	e := testEngine(t, 10, 3, 2, 2, true, 1)
+	before := e.store.Versions(nil)
+	cases := [][]Sample{
+		{{I: -1, J: 2, Label: 1}},
+		{{I: 0, J: 10, Label: 1}},
+		{{I: 3, J: 3, Label: 1}},
+		{{I: 0, J: 1, Label: math.NaN()}},
+		{{I: 0, J: 1, Label: math.Inf(1)}},
+	}
+	for _, batch := range cases {
+		if _, err := e.ApplyBatchCtx(context.Background(), batch); err == nil {
+			t.Errorf("batch %+v accepted", batch)
+		}
+	}
+	if !e.store.VersionsEqual(before) {
+		t.Error("rejected batches mutated the store")
+	}
+	if e.Steps() != 0 {
+		t.Errorf("rejected batches counted %d steps", e.Steps())
+	}
+}
+
+// TestApplyBatchCancelled: a cancelled context aborts between shard
+// sweeps, leaves the store valid and returns the context error.
+func TestApplyBatchCancelled(t *testing.T) {
+	e := testEngine(t, 40, 6, 4, 2, true, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n, err := e.ApplyBatchCtx(ctx, testBatch(e, 100, 1))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n != 0 {
+		t.Fatalf("cancelled-before-start batch applied %d samples", n)
+	}
+}

@@ -60,6 +60,7 @@ type Engine struct {
 	inbox    [][]abwDelivery   // per-dst merge scratch
 	counts   []int             // per-shard success counts
 	dirty    []bool            // shards written this epoch (version bump at barrier)
+	groups   [][]int32         // per-shard sample indices (batch apply scratch)
 }
 
 // New builds an engine over the given topology. labels is n×n; neighbors
@@ -127,9 +128,20 @@ func (e *Engine) Predict(i, j int) float64 {
 // random node and one of its neighbors, and the metric-appropriate update
 // rules fire. Returns false when the sampled pair has no label.
 func (e *Engine) Step() bool {
-	i := e.rng.Intn(e.store.n)
-	j := e.neighbors[i][e.rng.Intn(len(e.neighbors[i]))]
+	i, j := e.SampleProbe()
 	return e.Apply(i, j)
+}
+
+// SampleProbe draws the next (node, neighbor) probe pair from the master
+// sequential stream without applying an update — the sampling half of
+// Step, exposed so an external measurement source (the ingestion layer's
+// MatrixSource) can reproduce the sequential probe schedule exactly:
+// draining such a source through ApplyLabel is bit-identical to running
+// Step, because both consume the same draws from the same stream.
+func (e *Engine) SampleProbe() (i, j int) {
+	i = e.rng.Intn(e.store.n)
+	j = e.neighbors[i][e.rng.Intn(len(e.neighbors[i]))]
+	return i, j
 }
 
 // Apply consumes the label of pair (i, j), if present.

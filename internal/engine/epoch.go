@@ -18,10 +18,13 @@ type abwDelivery struct {
 	x              float64
 }
 
-// nodeSeed derives node i's private stream from the master seed with a
-// splitmix64 finalizer. Streams are per node, not per shard: the
-// node→shard assignment changes with P, and epoch results must not.
-func nodeSeed(seed int64, i int) int64 {
+// DeriveSeed derives the i-th private stream from a master seed with a
+// splitmix64 finalizer — the engine uses it for the per-node RNG
+// streams of the parallel scheduler (streams are per node, not per
+// shard: the node→shard assignment changes with P, and epoch results
+// must not), and the ingestion layer's scenario decorators use the
+// same construction for their per-node schedules.
+func DeriveSeed(seed int64, i int) int64 {
 	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
@@ -37,7 +40,7 @@ func (e *Engine) ensureEpochState() {
 	n, rank, p := e.store.n, e.store.rank, e.store.shards
 	e.nodeRNG = make([]*rand.Rand, n)
 	for i := range e.nodeRNG {
-		e.nodeRNG[i] = rand.New(rand.NewSource(nodeSeed(e.cfg.Seed, i)))
+		e.nodeRNG[i] = rand.New(rand.NewSource(DeriveSeed(e.cfg.Seed, i)))
 	}
 	e.snapU = make([]float64, n*rank)
 	e.snapV = make([]float64, n*rank)

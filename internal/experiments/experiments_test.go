@@ -403,7 +403,7 @@ func TestDynamicsTrackingRecovers(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"fig1", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "table1", "table2", "table3", "ablation", "dynamics", "engine"}
+	want := []string{"fig1", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "table1", "table2", "table3", "ablation", "dynamics", "engine", "ingest"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries", len(reg))

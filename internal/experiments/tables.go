@@ -100,6 +100,7 @@ func Registry() []struct {
 		{"ablation", Ablations},
 		{"dynamics", DynamicsTracking},
 		{"engine", EngineScaling},
+		{"ingest", Ingest},
 	}
 }
 

@@ -86,6 +86,13 @@ type Config struct {
 	// (swarm deployments). The zero Ref makes the node allocate a private
 	// single-slot store (standalone/UDP deployments).
 	Coords engine.Ref
+	// Observe, when non-nil, is invoked from the node goroutine with
+	// every RTT quantity the node measures (self, peer, value in ms),
+	// before the coordinate update fires — the capture tap the ingestion
+	// layer's SwarmSource hangs off. Implementations must be fast and
+	// never block. ABW nodes carry no quantity on the wire (targets infer
+	// classes), so the tap stays silent for them.
+	Observe func(self, peer int, value float64)
 	// Seed drives this node's private randomness (neighbor choice order,
 	// coordinate init).
 	Seed int64
@@ -397,6 +404,9 @@ func (n *Node) handleReply(rep *wire.ProbeReply) {
 			rtt = v
 		} else {
 			rtt = float64(time.Since(p.sentAt)) / float64(n.cfg.WallClockUnit)
+		}
+		if n.cfg.Observe != nil {
+			n.cfg.Observe(int(n.cfg.ID), int(rep.From), rtt)
 		}
 		x := classify.Of(dataset.RTT, rtt, n.cfg.Tau).Value()
 		n.countUpdate(n.ref.Update(func(c *sgd.Coordinates) bool {

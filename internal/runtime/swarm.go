@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dmfsgd/internal/dataset"
@@ -66,6 +67,12 @@ func defaultShards(n int) int {
 	return p
 }
 
+// MeasurementObserver receives the measurements a swarm's nodes
+// complete, timestamped with seconds since swarm construction. Called
+// concurrently from node goroutines; implementations must be fast,
+// never block, and tolerate being invoked after Swarm.Observe(nil).
+type MeasurementObserver func(m dataset.Measurement)
+
 // Swarm is a set of running nodes plus the bookkeeping to evaluate them
 // against the ground truth.
 type Swarm struct {
@@ -77,6 +84,11 @@ type Swarm struct {
 	trainMask *mat.Mask
 	neighbors [][]int
 	evalCache engine.PairCache
+
+	// start anchors observed-measurement timestamps; obs is the dynamic
+	// capture tap (nil when nobody listens).
+	start time.Time
+	obs   atomic.Pointer[MeasurementObserver]
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -145,6 +157,7 @@ func NewSwarm(cfg SwarmConfig) (*Swarm, error) {
 		store:     engine.NewStore(n, cfg.SGD.Rank, cfg.Shards),
 		trainMask: trainMask,
 		neighbors: neighbors,
+		start:     time.Now(),
 	}
 	for i := 0; i < n; i++ {
 		addr := swarmAddr(i)
@@ -164,6 +177,7 @@ func NewSwarm(cfg SwarmConfig) (*Swarm, error) {
 			ABW:           abwSrc,
 			WallClockUnit: cfg.WallClockUnit,
 			Coords:        s.store.Ref(i),
+			Observe:       s.observe,
 			Seed:          cfg.Seed + 100 + int64(i),
 		}, ep)
 		if err != nil {
@@ -199,6 +213,28 @@ func (s *Swarm) Stop() {
 	for _, ep := range s.endpoints {
 		ep.Close()
 	}
+}
+
+// Observe installs the swarm's measurement observer and returns a
+// cancel that detaches it — but only while it is still the installed
+// one, so cancelling a replaced observer never silently detaches its
+// successor. At most one observer is active at a time; installing a new
+// one replaces the previous. Safe to call while the swarm runs: node
+// goroutines load the pointer per measurement.
+func (s *Swarm) Observe(fn MeasurementObserver) (cancel func()) {
+	p := &fn
+	s.obs.Store(p)
+	return func() { s.obs.CompareAndSwap(p, nil) }
+}
+
+// observe is the per-node tap: timestamp and forward to the installed
+// observer, if any.
+func (s *Swarm) observe(self, peer int, value float64) {
+	fn := s.obs.Load()
+	if fn == nil || *fn == nil {
+		return
+	}
+	(*fn)(dataset.Measurement{T: time.Since(s.start).Seconds(), I: self, J: peer, Value: value})
 }
 
 // Node returns node i.

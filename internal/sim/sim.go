@@ -170,6 +170,25 @@ func (d *Driver) Predict(i, j int) float64 { return d.eng.Predict(i, j) }
 // (missing data) — the probe failed and nothing was updated.
 func (d *Driver) Step() bool { return d.eng.Step() }
 
+// SampleProbe draws the next (node, neighbor) probe pair from the master
+// sequential stream without applying an update (see engine.SampleProbe).
+// The ingestion layer binds MatrixSource to this, which is what makes a
+// source-drained sequential run bit-identical to the classic driver.
+func (d *Driver) SampleProbe() (i, j int) { return d.eng.SampleProbe() }
+
+// ApplyLabel consumes one externally supplied training label for the
+// pair (i, j) — the seam through which measurement sources (trace
+// replay, NDJSON streams, scenario decorators) feed the engine.
+func (d *Driver) ApplyLabel(i, j int, label float64) { d.eng.ApplyLabel(i, j, label) }
+
+// ApplyBatchCtx trains on one epoch-style batch of externally supplied
+// samples through the engine's sharded apply path (see
+// engine.ApplyBatchCtx): peer reads from a batch-start snapshot,
+// per-shard workers, deterministic for every shard and worker count.
+func (d *Driver) ApplyBatchCtx(ctx context.Context, batch []engine.Sample) (int, error) {
+	return d.eng.ApplyBatchCtx(ctx, batch)
+}
+
 // Run performs total successful measurement steps (missing-data probes are
 // retried and do not count).
 func (d *Driver) Run(total int) { d.eng.Run(total) }
@@ -248,7 +267,7 @@ func (d *Driver) ReplayTraceCtx(ctx context.Context, trace []dataset.Measurement
 			}
 		}
 		scanned++
-		if !d.isNeighbor(m.I, m.J) {
+		if !d.IsNeighbor(m.I, m.J) {
 			continue
 		}
 		label, ok := toLabel(m)
@@ -261,7 +280,11 @@ func (d *Driver) ReplayTraceCtx(ctx context.Context, trace []dataset.Measurement
 	return used, scanned, nil
 }
 
-func (d *Driver) isNeighbor(i, j int) bool {
+// IsNeighbor reports whether j is in node i's neighbor set — the
+// topology filter trace replay and source draining apply to incoming
+// measurements (only probes toward a node's k neighbors train it, §5.3).
+// i must be in [0, n); out-of-range j simply reports false.
+func (d *Driver) IsNeighbor(i, j int) bool {
 	for _, n := range d.neighbors[i] {
 		if n == j {
 			return true

@@ -3,11 +3,12 @@ package dmfsgd
 import (
 	"context"
 	"fmt"
+	"io"
+	"math"
 	"sync"
 	"time"
 
 	"dmfsgd/internal/classify"
-	"dmfsgd/internal/dataset"
 	"dmfsgd/internal/engine"
 	"dmfsgd/internal/eval"
 	"dmfsgd/internal/peersel"
@@ -44,6 +45,23 @@ type Progress struct {
 // training: the context is polled and progress published once per chunk.
 const runChunk = 8192
 
+// epochMode classifies what RunEpochs can do with a session's source.
+type epochMode uint8
+
+const (
+	// epochNone: the source has no epoch structure (an endless decorated
+	// sampler, a live capture) — RunEpochs returns ErrDynamicTrace.
+	epochNone epochMode = iota
+	// epochNative: a bare matrix sampler — RunEpochs trains through the
+	// engine's native parallel epoch scheduler, exactly as before the
+	// ingestion redesign.
+	epochNative
+	// epochReplay: a finite time-ordered replay (trace, NDJSON capture,
+	// decorated either way) — RunEpochs trains on per-epoch measurement
+	// groups through the engine's sharded batch-apply path.
+	epochReplay
+)
+
 // Session is the context-aware facade over both execution backends: the
 // deterministic simulation driver (default) and the live concurrent
 // swarm (WithLive). It decouples training — Run, RunEpochs, Watch — from
@@ -79,6 +97,12 @@ type Session struct {
 	drv   *sim.Driver    // deterministic backend (nil when live)
 	swarm *runtime.Swarm // live backend (nil when deterministic)
 
+	// src is the measurement stream Run drains on a deterministic
+	// session (nil when live: a swarm generates its own measurements).
+	// epochMode records what RunEpochs can do with it.
+	src       Source
+	epochMode epochMode
+
 	mu     sync.Mutex
 	closed bool
 	done   chan struct{}
@@ -96,6 +120,15 @@ type Session struct {
 // procedure; WithLive selects the concurrent runtime instead (the swarm
 // starts probing immediately and trains until Close). All errors wrap
 // ErrInvalidConfig.
+//
+// NewSession is the adapter path of the ingestion layer: it wraps the
+// dataset in its canonical Source — a TraceSource replaying dynamic
+// traces (Harvard) in time order, or a MatrixSource sampling a static
+// matrix on the classic sequential probe schedule — and is exactly
+// equivalent to NewSessionFromSource with that source. Build the source
+// yourself (and compose scenario decorators such as WithChurn or
+// WithDrift onto it) when the measurement stream should differ from the
+// dataset's default story.
 func NewSession(ds *Dataset, opts ...Option) (*Session, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("%w: nil dataset", ErrInvalidConfig)
@@ -109,20 +142,57 @@ func NewSession(ds *Dataset, opts ...Option) (*Session, error) {
 	return newSession(ds, set)
 }
 
+// NewSessionFromSource builds a deterministic session whose training
+// measurements come from src instead of the dataset's canonical stream.
+// ds still supplies the topology (neighbor sets), the evaluation ground
+// truth and the default τ; src supplies what the nodes measure. The
+// drain path filters measurements to the session's neighbor topology
+// (only probes toward a node's k neighbors train it, as in the paper's
+// architecture) and discards out-of-range or non-finite records, so an
+// externally captured stream can be replayed safely.
+//
+// A MatrixSource anywhere in src's decorator chain is bound to the
+// session's topology and master RNG stream, so an undecorated matrix
+// source trains bit-identically to NewSession. WithLive is rejected
+// with ErrLiveSession: a live swarm generates its own measurements.
+func NewSessionFromSource(ds *Dataset, src Source, opts ...Option) (*Session, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrInvalidConfig)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("%w: nil source", ErrInvalidConfig)
+	}
+	set := defaultSettings()
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
+	}
+	if set.live {
+		return nil, fmt.Errorf("%w: a live swarm measures for itself; sources drive deterministic sessions", ErrLiveSession)
+	}
+	s, err := newDeterministicSession(ds, set)
+	if err != nil {
+		return nil, err
+	}
+	s.attachSource(src)
+	return s, nil
+}
+
 // newSession builds a session from resolved settings (shared with the
 // legacy Simulate/StartSwarm shims, which map their config structs onto
 // the same representation — that is what keeps them bit-identical).
 func newSession(ds *Dataset, set settings) (*Session, error) {
-	k := set.k
-	if k == 0 {
-		k = ds.DefaultK
-	}
-	tau := set.tau
-	if !set.tauSet {
-		tau = ds.Median()
-	}
-	s := &Session{ds: ds, set: set, tau: tau, k: k, done: make(chan struct{})}
 	if set.live {
+		k := set.k
+		if k == 0 {
+			k = ds.DefaultK
+		}
+		tau := set.tau
+		if !set.tauSet {
+			tau = ds.Median()
+		}
+		s := &Session{ds: ds, set: set, tau: tau, k: k, done: make(chan struct{})}
 		sw, err := runtime.NewSwarm(runtime.SwarmConfig{
 			Dataset:          ds,
 			SGD:              set.sgdConfig(),
@@ -143,6 +213,38 @@ func newSession(ds *Dataset, set settings) (*Session, error) {
 		s.swarm = sw
 		return s, nil
 	}
+	s, err := newDeterministicSession(ds, set)
+	if err != nil {
+		return nil, err
+	}
+	// The canonical source for the dataset: time-ordered trace replay
+	// when the dataset has a dynamic trace, classic random matrix
+	// sampling otherwise.
+	var src Source
+	if ds.Trace != nil {
+		src, err = NewTraceSource(ds)
+	} else {
+		src, err = NewMatrixSource(ds, s.k, set.seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.attachSource(src)
+	return s, nil
+}
+
+// newDeterministicSession builds the driver-backed session skeleton; the
+// caller attaches a measurement source.
+func newDeterministicSession(ds *Dataset, set settings) (*Session, error) {
+	k := set.k
+	if k == 0 {
+		k = ds.DefaultK
+	}
+	tau := set.tau
+	if !set.tauSet {
+		tau = ds.Median()
+	}
+	s := &Session{ds: ds, set: set, tau: tau, k: k, done: make(chan struct{})}
 	drv, err := sim.ClassDriver(ds, tau, sim.Config{
 		SGD:     set.sgdConfig(),
 		K:       k,
@@ -155,6 +257,24 @@ func newSession(ds *Dataset, set settings) (*Session, error) {
 	}
 	s.drv = drv
 	return s, nil
+}
+
+// attachSource wires a measurement source to the session: bindable
+// sources in the chain adopt the driver's topology and RNG stream, and
+// the epoch mode is classified once.
+func (s *Session) attachSource(src Source) {
+	bindSource(src, s.drv)
+	s.src = src
+	switch {
+	case sourceHasEpochs(src):
+		s.epochMode = epochReplay
+	default:
+		if _, bare := src.(*MatrixSource); bare {
+			s.epochMode = epochNative
+		} else {
+			s.epochMode = epochNone
+		}
+	}
 }
 
 // N returns the node count.
@@ -201,16 +321,19 @@ func (s *Session) checkOpen() error {
 // Run trains until total additional successful coordinate updates have
 // accumulated beyond the session's current Steps count (0 = the paper's
 // convergence budget of 20·k updates per node), polling ctx between
-// chunks and publishing Progress to watchers. On a deterministic session
-// this consumes measurements in random order — or, for datasets with a
-// dynamic trace (Harvard), replays the trace in time order. On a live
-// session the swarm is already training; Run simply waits for the
-// additional updates to accumulate.
+// chunks and publishing Progress to watchers. On a deterministic
+// session training drains the session's measurement Source through the
+// engine: the canonical sources consume a static matrix in random probe
+// order or replay a dynamic trace (Harvard) in time order, and a custom
+// source (NewSessionFromSource) streams whatever scenario it encodes.
+// On a live session the swarm is already training; Run simply waits for
+// the additional updates to accumulate.
 //
 // Returns nil on completion, the context's error when cancelled (the
 // coordinates keep all updates applied so far and remain usable), or
-// ErrStopped when the session was closed. A deterministic trace run can
-// also return nil early if the trace is exhausted before the budget.
+// ErrStopped when the session was closed. A finite source (a trace or
+// capture replay) can also end the run early with nil once its stream
+// is exhausted.
 func (s *Session) Run(ctx context.Context, total int) error {
 	if err := s.checkOpen(); err != nil {
 		return err
@@ -221,18 +344,33 @@ func (s *Session) Run(ctx context.Context, total int) error {
 	if s.swarm != nil {
 		return s.runLive(ctx, total)
 	}
-	if s.ds.Trace != nil {
-		return s.runTrace(ctx, total)
-	}
-	return s.runSequential(ctx, total)
+	return s.runSource(ctx, total)
 }
 
-func (s *Session) runSequential(ctx context.Context, total int) error {
+// runSource drains the measurement source through the engine's
+// sequential apply path: topology-filter, classify at τ, apply. One
+// chunk of measurements per iteration keeps the historical telemetry
+// cadence; ctx is polled per chunk here because finite replay sources
+// (trace, NDJSON) never block and so never consult it themselves.
+func (s *Session) runSource(ctx context.Context, total int) error {
+	buf := make([]Measurement, runChunk)
 	for done := 0; done < total; {
-		chunk := min(runChunk, total-done)
-		n, err := s.drv.RunCtx(ctx, chunk)
-		done += n
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		want := min(runChunk, total-done)
+		k, err := s.src.NextBatch(ctx, buf[:want])
+		for _, m := range buf[:k] {
+			if !s.usable(m) || !s.drv.IsNeighbor(m.I, m.J) {
+				continue
+			}
+			s.drv.ApplyLabel(m.I, m.J, ClassOf(s.ds.Metric, m.Value, s.tau).Value())
+			done++
+		}
 		s.publish(Progress{Steps: s.drv.Steps(), Target: total})
+		if err == io.EOF {
+			return nil // finite stream exhausted before the budget
+		}
 		if err != nil {
 			return err
 		}
@@ -240,23 +378,13 @@ func (s *Session) runSequential(ctx context.Context, total int) error {
 	return nil
 }
 
-func (s *Session) runTrace(ctx context.Context, total int) error {
-	tau := s.tau
-	toLabel := func(m dataset.Measurement) (float64, bool) {
-		return ClassOf(s.ds.Metric, m.Value, tau).Value(), true
-	}
-	trace := s.ds.Trace
-	for done := 0; done < total && len(trace) > 0; {
-		chunk := min(runChunk, total-done)
-		used, scanned, err := s.drv.ReplayTraceCtx(ctx, trace, toLabel, chunk)
-		done += used
-		trace = trace[scanned:]
-		s.publish(Progress{Steps: s.drv.Steps(), Target: total})
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+// usable reports whether a streamed measurement can train this session:
+// in-range distinct nodes and a finite value. Canonical sources only
+// emit usable measurements; external captures are filtered here.
+func (s *Session) usable(m Measurement) bool {
+	n := s.ds.N()
+	return m.I >= 0 && m.I < n && m.J >= 0 && m.J < n && m.I != m.J &&
+		!math.IsNaN(m.Value) && !math.IsInf(m.Value, 0)
 }
 
 func (s *Session) runLive(ctx context.Context, total int) error {
@@ -279,17 +407,29 @@ func (s *Session) runLive(ctx context.Context, total int) error {
 	}
 }
 
-// RunEpochs trains with the sharded parallel engine: epochs sweeps in
-// which every node probes probesPerNode random neighbors, executed
-// concurrently across the configured shards and workers, deterministic
-// for a fixed seed regardless of either. ctx is polled between epochs
-// and at shard granularity within one; a cancelled call returns the
-// context's error with all completed updates kept (no goroutines leak).
+// RunEpochs trains in epoch sweeps on the sharded parallel engine,
+// deterministic for a fixed seed regardless of shard and worker counts.
+// What one epoch means depends on the session's measurement source:
 //
-// Static deterministic sessions only: datasets with a dynamic trace
-// return ErrDynamicTrace (their measurements replay in time order via
-// Run), live sessions ErrLiveSession. Returns the number of successful
-// updates applied.
+//   - Matrix sampling (the static-dataset default): every node issues
+//     probesPerNode random probes through the engine's native epoch
+//     scheduler — the historical behavior, bit-identical at a fixed
+//     seed.
+//   - Finite replay (a dynamic trace such as Harvard, an NDJSON
+//     capture, or either behind scenario decorators): each epoch
+//     consumes the next n·probesPerNode usable measurements from the
+//     stream and trains on the group through the engine's sharded
+//     batch-apply path (peer reads from an epoch-start snapshot,
+//     cross-shard updates merged deterministically at the barrier).
+//     The run ends early, without error, when the stream is exhausted.
+//   - Anything else — an endless sampler behind decorators, a live
+//     capture — has no epoch structure and returns ErrDynamicTrace;
+//     use Run, which drains the stream in order.
+//
+// ctx is polled between epochs and at shard granularity within one; a
+// cancelled call returns the context's error with all completed updates
+// kept (no goroutines leak). Live sessions return ErrLiveSession.
+// Returns the number of successful updates applied.
 func (s *Session) RunEpochs(ctx context.Context, epochs, probesPerNode int) (int, error) {
 	if err := s.checkOpen(); err != nil {
 		return 0, err
@@ -301,17 +441,70 @@ func (s *Session) RunEpochs(ctx context.Context, epochs, probesPerNode int) (int
 	if s.swarm != nil {
 		return 0, fmt.Errorf("%w: a live swarm trains continuously on its own schedule", ErrLiveSession)
 	}
-	if s.ds.Trace != nil {
-		return 0, fmt.Errorf("%w: epoch training would ignore the %q trace; use Run, which replays it in time order",
-			ErrDynamicTrace, s.ds.Name)
+	switch s.epochMode {
+	case epochReplay:
+		return s.runEpochsReplay(ctx, epochs, probesPerNode)
+	case epochNative:
+		total := 0
+		for ep := 0; ep < epochs; ep++ {
+			n, err := s.drv.RunEpochCtx(ctx, probesPerNode)
+			total += n
+			s.publish(Progress{Steps: s.drv.Steps(), Epochs: ep + 1})
+			if err != nil {
+				return total, err
+			}
+		}
+		return total, nil
+	default:
+		return 0, fmt.Errorf("%w: source %T has no epoch structure; use Run, which drains the stream in order",
+			ErrDynamicTrace, s.src)
 	}
+}
+
+// runEpochsReplay trains on per-epoch measurement groups: each epoch
+// collects the next n·probesPerNode usable measurements (topology
+// filter, classification at τ) and applies the group through the
+// engine's sharded batch path.
+func (s *Session) runEpochsReplay(ctx context.Context, epochs, probesPerNode int) (int, error) {
+	n := s.ds.N()
+	target := n * probesPerNode
+	buf := make([]Measurement, min(runChunk, target))
+	samples := make([]engine.Sample, 0, target)
 	total := 0
 	for ep := 0; ep < epochs; ep++ {
-		n, err := s.drv.RunEpochCtx(ctx, probesPerNode)
-		total += n
+		samples = samples[:0]
+		eof := false
+		for len(samples) < target && !eof {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+			k, err := s.src.NextBatch(ctx, buf[:min(len(buf), target-len(samples))])
+			for _, m := range buf[:k] {
+				if !s.usable(m) || !s.drv.IsNeighbor(m.I, m.J) {
+					continue
+				}
+				samples = append(samples, engine.Sample{
+					I: m.I, J: m.J,
+					Label: ClassOf(s.ds.Metric, m.Value, s.tau).Value(),
+				})
+			}
+			if err == io.EOF {
+				eof = true
+			} else if err != nil {
+				return total, err
+			}
+		}
+		if len(samples) == 0 {
+			return total, nil // stream exhausted
+		}
+		applied, err := s.drv.ApplyBatchCtx(ctx, samples)
+		total += applied
 		s.publish(Progress{Steps: s.drv.Steps(), Epochs: ep + 1})
 		if err != nil {
 			return total, err
+		}
+		if eof {
+			return total, nil
 		}
 	}
 	return total, nil

@@ -3,6 +3,7 @@ package dmfsgd
 import (
 	"context"
 	"errors"
+	"math"
 	goruntime "runtime"
 	"testing"
 	"time"
@@ -204,6 +205,10 @@ func TestSessionEvalCancelMidSweep(t *testing.T) {
 	waitNoLeak(t, base)
 }
 
+// TestSessionRunEpochsDynamicTrace: epoch training on a trace dataset
+// now trains on per-epoch measurement groups instead of returning
+// ErrDynamicTrace — the sentinel survives only for sources with no
+// epoch structure (TestRunEpochsNoEpochStructure).
 func TestSessionRunEpochsDynamicTrace(t *testing.T) {
 	ds := NewHarvardDataset(40, 20000, 7)
 	sess, err := NewSession(ds, WithSeed(7))
@@ -211,22 +216,38 @@ func TestSessionRunEpochsDynamicTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sess.Close()
-	if _, err := sess.RunEpochs(context.Background(), 5, 10); !errors.Is(err, ErrDynamicTrace) {
-		t.Fatalf("RunEpochs on trace dataset: err = %v, want ErrDynamicTrace", err)
+	n, err := sess.RunEpochs(context.Background(), 5, 10)
+	if err != nil {
+		t.Fatalf("RunEpochs on trace dataset: %v", err)
 	}
-	// The deprecated shim surfaces the same typed error.
+	if n == 0 {
+		t.Fatal("epoch-mode trace replay made no updates")
+	}
+	auc, err := sess.AUC(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(auc) || auc <= 0 || auc > 1 {
+		t.Fatalf("epoch-mode trace replay AUC = %v, want a finite value in (0,1]", auc)
+	}
+	// The deprecated shim trains the same way now.
 	legacy, err := Simulate(ds, SimulationConfig{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := legacy.RunEpochs(5, 10); !errors.Is(err, ErrDynamicTrace) {
-		t.Fatalf("Simulation.RunEpochs on trace dataset: err = %v, want ErrDynamicTrace", err)
+	if ln, err := legacy.RunEpochs(5, 10); err != nil || ln != n {
+		t.Fatalf("Simulation.RunEpochs = (%d, %v), want (%d, nil)", ln, err, n)
 	}
-	// Run still works: it replays the trace in time order.
-	if err := sess.Run(context.Background(), 5000); err != nil {
+	// Run on a fresh session still replays the trace in time order.
+	fresh, err := NewSession(ds, WithSeed(7))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if sess.Steps() == 0 {
+	defer fresh.Close()
+	if err := fresh.Run(context.Background(), 5000); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Steps() == 0 {
 		t.Error("trace replay made no updates")
 	}
 }

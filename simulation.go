@@ -13,6 +13,13 @@ import (
 // Dataset is a ground-truth pairwise performance matrix with metadata.
 // Construct one with NewMeridianDataset, NewHarvardDataset,
 // NewHPS3Dataset, LoadDataset, or dataset loaders.
+//
+// A Dataset is the *static* half of a session: topology, evaluation
+// ground truth, default τ. What the nodes measure flows through the
+// ingestion layer's Source seam — NewSession(ds, …) is the adapter
+// wrapping a dataset in its canonical measurement source, and
+// NewSessionFromSource accepts any stream (scenario-decorated sampling,
+// NDJSON captures, custom generators) over the same dataset.
 type Dataset = dataset.Dataset
 
 // NewMeridianDataset generates the Meridian-like static RTT dataset with n
@@ -132,9 +139,10 @@ func (s *Simulation) Run(total int) {
 // sequential measurement stream: epochs sweeps in which every node probes
 // probesPerNode random neighbors, executed concurrently across the
 // configured shards. Deterministic for a fixed seed regardless of shard
-// count. Static datasets only: datasets with a dynamic trace return
-// ErrDynamicTrace (Run replays them in time order). Returns the number of
-// successful updates.
+// count. Datasets with a dynamic trace train on per-epoch measurement
+// groups of the trace (n·probesPerNode time-ordered measurements per
+// epoch); see Session.RunEpochs. Returns the number of successful
+// updates.
 func (s *Simulation) RunEpochs(epochs, probesPerNode int) (int, error) {
 	return s.sess.RunEpochs(context.Background(), epochs, probesPerNode)
 }

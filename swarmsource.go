@@ -1,0 +1,110 @@
+package dmfsgd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"dmfsgd/internal/dataset"
+)
+
+// SwarmSource captures the measurement stream of a live session: every
+// RTT a swarm node measures is timestamped (seconds since the swarm
+// started) and buffered for NextBatch. It is the capture half of the
+// replay story — write what it observes with WriteMeasurements and a
+// live run becomes a deterministic NDJSON replay (NewStreamSource)
+// that any deterministic session, benchmark or regression test can
+// consume:
+//
+//	sess, _ := dmfsgd.NewSession(ds, dmfsgd.WithLive())
+//	cap, _ := dmfsgd.NewSwarmSource(sess, 0)
+//	defer cap.Close()
+//	buf := make([]dmfsgd.Measurement, 1024)
+//	n, _ := cap.NextBatch(ctx, buf)        // blocks for live probes
+//	_ = dmfsgd.WriteMeasurements(w, buf[:n])
+//
+// The tap is lossy by design: a reader that falls behind the probe rate
+// loses the oldest unread measurements (Dropped counts them) rather
+// than stalling the swarm. The stream ends with io.EOF when the session
+// closes. ABW sessions are rejected: Algorithm 2 targets infer classes
+// and no bandwidth quantity ever exists on the wire, so there is
+// nothing to capture.
+type SwarmSource struct {
+	sess    *Session
+	ch      chan Measurement
+	detach  func()
+	dropped atomic.Int64
+}
+
+// NewSwarmSource taps a live session's measurement stream. buffer is
+// the capture buffer size in measurements (0 = 4096); at most one tap
+// is active per session — a new one replaces the previous. Returns an
+// error wrapping ErrInvalidConfig for deterministic sessions (their
+// sources are already replayable) and for ABW sessions.
+func NewSwarmSource(s *Session, buffer int) (*SwarmSource, error) {
+	if s == nil || s.swarm == nil {
+		return nil, fmt.Errorf("%w: swarm capture needs a live session (WithLive)", ErrInvalidConfig)
+	}
+	if s.Metric() != RTT {
+		return nil, fmt.Errorf("%w: ABW swarms exchange classes, not quantities; there is no stream to capture", ErrInvalidConfig)
+	}
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	ss := &SwarmSource{sess: s, ch: make(chan Measurement, buffer)}
+	ss.detach = s.swarm.Observe(func(m dataset.Measurement) {
+		select {
+		case ss.ch <- m:
+		default:
+			// Reader behind: drop the measurement, never block a node.
+			ss.dropped.Add(1)
+		}
+	})
+	return ss, nil
+}
+
+// Dropped returns how many measurements were lost because the reader
+// fell behind the probe rate.
+func (ss *SwarmSource) Dropped() int64 { return ss.dropped.Load() }
+
+// NextBatch blocks until at least one captured measurement is
+// available (or ctx is cancelled, or the session closes — io.EOF once
+// the remaining buffer is drained), then greedily drains up to
+// len(buf) buffered measurements without blocking further.
+func (ss *SwarmSource) NextBatch(ctx context.Context, buf []Measurement) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	select {
+	case m := <-ss.ch:
+		buf[0] = m
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-ss.sess.done:
+		// Session closed: drain what was already captured, then EOF.
+		select {
+		case m := <-ss.ch:
+			buf[0] = m
+		default:
+			return 0, io.EOF
+		}
+	}
+	filled := 1
+	for filled < len(buf) {
+		select {
+		case m := <-ss.ch:
+			buf[filled] = m
+			filled++
+		default:
+			return filled, nil
+		}
+	}
+	return filled, nil
+}
+
+// Close detaches the tap from the swarm (a no-op if a newer tap has
+// already replaced it — closing a stale tap never silences the active
+// one). Buffered measurements remain readable; the stream then reports
+// io.EOF once the session closes.
+func (ss *SwarmSource) Close() { ss.detach() }
