@@ -1,0 +1,419 @@
+package dmfsgd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"dmfsgd/internal/ckpt"
+	"dmfsgd/internal/dataset"
+	"dmfsgd/internal/engine"
+	"dmfsgd/internal/loss"
+)
+
+// Checkpoint writes the session's full training state to w in the
+// versioned binary checkpoint format: the flat coordinate factors, the
+// per-shard version vector, and — on a deterministic session — the
+// counters that make resumed training bit-identical to never having
+// stopped (step count, master and per-node RNG stream positions, the
+// measurement-WAL sequence already applied, and the source-chain
+// cursors). Restore with ResumeSession / ResumeSessionFromSource.
+//
+// Checkpoint must not run concurrently with Run or RunEpochs on a
+// deterministic session (call it between training calls — that is the
+// checkpoint barrier); on a live session it may be called at any time
+// and captures a per-shard-consistent snapshot, but a live swarm's
+// schedule is wall-clock driven, so a live checkpoint records no
+// stream positions: ResumeSession restores it as a warm start — the
+// factors and step counter carry over, training continues on a fresh
+// deterministic stream, and no bit-identity is promised.
+//
+// Prefer SaveCheckpoint for files: it writes atomically (temp file +
+// rename) and truncates the session's WAL at the new barrier.
+func (s *Session) Checkpoint(w io.Writer) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	return ckpt.Write(w, s.checkpointState())
+}
+
+// SaveCheckpoint durably checkpoints sess to path — temp file in the
+// same directory, fsync, atomic rename, so a crash mid-write leaves the
+// previous checkpoint intact — and then truncates the session's WAL (if
+// one is attached and its sink supports truncation) at the barrier: the
+// log's entries are all folded into the new checkpoint, so a restart
+// needs only the entries that follow. The crash-consistency order is
+// checkpoint-then-truncate; a crash between the two leaves a WAL whose
+// entries are all at or below the checkpoint's sequence, and replay
+// skips them (idempotent replay at the barrier).
+func SaveCheckpoint(sess *Session, path string) error {
+	if err := sess.checkOpen(); err != nil {
+		return err
+	}
+	if err := ckpt.WriteFile(path, sess.checkpointState()); err != nil {
+		return err
+	}
+	if sess.wal != nil {
+		return sess.wal.truncateBarrier()
+	}
+	return nil
+}
+
+// checkpointState assembles the capture.
+func (s *Session) checkpointState() *ckpt.Checkpoint {
+	store := s.store()
+	u, v := store.SnapshotFlat()
+	c := &ckpt.Checkpoint{
+		N: store.N(), Rank: store.Rank(), Shards: store.Shards(),
+		K:     s.k,
+		Steps: uint64(s.Steps()),
+		Seed:  s.set.seed,
+		Tau:   s.tau, Eta: s.set.learningRate, Lambda: s.set.lambda,
+		Loss: uint8(s.set.loss), Metric: uint8(s.ds.Metric),
+		Vers: store.Versions(nil),
+		U:    u, V: v,
+	}
+	if s.drv != nil {
+		c.Draws = s.drv.MasterDraws()
+		c.NodeDraws = s.drv.Engine().NodeDraws()
+		c.Cursors = collectCursors(s.src)
+		if s.wal != nil {
+			c.WALSeq = s.wal.Seq()
+		}
+	}
+	return c
+}
+
+// ResumeSession rebuilds a deterministic session from a checkpoint
+// instead of training from scratch — the restart-without-retrain path.
+// The dataset must be the one the checkpoint was trained on (same node
+// count and metric; rebuild it with the same generator parameters), and
+// the session's measurement source is the canonical one NewSession
+// would build (trace replay for dynamic datasets, matrix sampling
+// otherwise). Configuration is adopted from the checkpoint — rank, k,
+// seed, τ, hyper-parameters, shard count — and explicitly passed
+// options that contradict it are rejected with ErrCheckpoint; options
+// the checkpoint does not record (WithWorkers) apply as usual.
+//
+// wal, when non-nil, is the measurement write-ahead log to replay: the
+// tail past the checkpoint's sequence is applied through the same paths
+// that originally trained it (sequential, or the sharded batch path for
+// epoch groups), entries already covered by the checkpoint are skipped,
+// and a torn tail — measurements whose application the crash
+// interrupted — is discarded, to be re-emitted by the resumed source.
+// After a successful resume the session's factors, version vector, step
+// counter and stream positions are bit-identical to the run that wrote
+// the checkpoint and log, and continued training stays bit-identical to
+// an uninterrupted run at the same seed.
+//
+// ckptR may be nil when wal is not: the cold-replay path for a process
+// killed before its first checkpoint. The session is configured from
+// opts alone (they must match the run that wrote the log — the replay
+// cross-checks its step counter and fails with ErrWAL on a log from a
+// different configuration) and the log's committed entries rebuild the
+// state from sequence zero. A log whose first segment starts past zero
+// (it was truncated at a checkpoint barrier) needs its checkpoint and
+// fails the same way.
+func ResumeSession(ds *Dataset, ckptR, wal io.Reader, opts ...Option) (*Session, error) {
+	return resumeSession(ds, ckptR, wal, opts, func(set settings, k int) (Source, error) {
+		if ds.Trace != nil {
+			return NewTraceSource(ds)
+		}
+		return NewMatrixSource(ds, k, set.seed)
+	})
+}
+
+// ResumeSessionFromSource is ResumeSession for sessions built with
+// NewSessionFromSource: src must be a freshly constructed source chain
+// of the same shape as the one the checkpoint was taken with (same
+// decorators in the same order — the checkpoint carries one cursor per
+// cursor-bearing layer and restores each). A WithWAL decorator is the
+// exception: its sequence travels in the checkpoint and commit records
+// rather than as a chain cursor, so it may be present or absent on
+// either side of the restart. When one is present and its sink is the
+// same *os.File the wal reader replays from, the file is truncated at
+// the last commit barrier and appends continue in place.
+func ResumeSessionFromSource(ds *Dataset, src Source, ckptR, wal io.Reader, opts ...Option) (*Session, error) {
+	if src == nil {
+		return nil, fmt.Errorf("%w: nil source", ErrInvalidConfig)
+	}
+	return resumeSession(ds, ckptR, wal, opts, func(settings, int) (Source, error) { return src, nil })
+}
+
+// resumeSession is the shared resume path; mkSrc builds the measurement
+// source once the checkpoint's configuration is merged. A nil ckptR
+// with a non-nil wal is the cold-replay path: the log's committed
+// entries rebuild the state from scratch into a session configured by
+// opts alone (which must match the run that wrote the log — the replay
+// step-counter cross-check catches a mismatch as ErrWAL).
+func resumeSession(ds *Dataset, ckptR, wal io.Reader, opts []Option, mkSrc func(set settings, k int) (Source, error)) (*Session, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrInvalidConfig)
+	}
+	if ckptR == nil && wal == nil {
+		return nil, fmt.Errorf("%w: nothing to resume from (no checkpoint, no WAL)", ErrInvalidConfig)
+	}
+	set := defaultSettings()
+	for _, opt := range opts {
+		if err := opt(&set); err != nil {
+			return nil, err
+		}
+	}
+	if set.live {
+		return nil, fmt.Errorf("%w: a live swarm's schedule is not checkpointable; resume restores deterministic sessions", ErrLiveSession)
+	}
+	var c *ckpt.Checkpoint
+	if ckptR != nil {
+		var err error
+		if c, err = ckpt.Read(ckptR); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCheckpoint, err)
+		}
+		if err := mergeCheckpoint(&set, c, ds); err != nil {
+			return nil, err
+		}
+	}
+	s, err := newDeterministicSession(ds, set)
+	if err != nil {
+		return nil, err
+	}
+	barrier := uint64(0)
+	if c != nil {
+		store := s.drv.Engine().Store()
+		if store.Rank() != c.Rank || store.Shards() != c.Shards {
+			return nil, fmt.Errorf("%w: built store rank=%d shards=%d, checkpoint has %d/%d",
+				ErrCheckpoint, store.Rank(), store.Shards(), c.Rank, c.Shards)
+		}
+		// A deterministic session's construction always consumes master
+		// draws, so Draws == 0 identifies a live-session checkpoint:
+		// factors and steps are real, but there are no stream positions
+		// to restore — the resume is a warm start (training continues
+		// from the restored factors on a fresh deterministic stream),
+		// not a bit-identical one.
+		warm := c.Draws == 0
+		// Restore: RNG stream position first (the freshly built driver
+		// has already consumed its construction draws from the same
+		// seed), then the factors, version vector, step counter and
+		// per-node streams.
+		if !warm {
+			if err := s.drv.FastForwardMaster(c.Draws); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCheckpoint, err)
+			}
+		}
+		store.RestoreFlat(c.U, c.V, c.Vers)
+		s.drv.Engine().SetSteps(int(c.Steps))
+		if err := s.drv.Engine().RestoreNodeDraws(c.NodeDraws); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCheckpoint, err)
+		}
+		barrier = c.WALSeq
+	}
+	src, err := mkSrc(set, s.k)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.attachSource(src); err != nil {
+		return nil, err
+	}
+	if c != nil && c.Draws > 0 {
+		if err := seekCursors(s.src, c.Cursors); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCheckpoint, err)
+		}
+	}
+	if s.wal != nil {
+		// Continue the log's sequence numbering where the barrier left it
+		// (replay advances it further from the last commit it applies).
+		s.wal.setSeq(barrier)
+	}
+	if wal != nil {
+		if err := s.replayWAL(wal, barrier); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// mergeCheckpoint folds the checkpoint's recorded configuration into
+// set, rejecting explicit options that contradict it.
+func mergeCheckpoint(set *settings, c *ckpt.Checkpoint, ds *Dataset) error {
+	if c.N != ds.N() {
+		return fmt.Errorf("%w: checkpoint has %d nodes, dataset has %d", ErrCheckpoint, c.N, ds.N())
+	}
+	if c.Metric != uint8(ds.Metric) {
+		return fmt.Errorf("%w: checkpoint metric %d, dataset measures %v", ErrCheckpoint, c.Metric, ds.Metric)
+	}
+	if c.K == 0 {
+		return fmt.Errorf("%w: checkpoint records no topology (k=0); it is not a session checkpoint", ErrCheckpoint)
+	}
+	if c.Loss > uint8(loss.Logistic) {
+		return fmt.Errorf("%w: unknown loss id %d", ErrCheckpoint, c.Loss)
+	}
+	conflict := func(name string, explicit bool, got, want any) error {
+		if explicit && got != want {
+			return fmt.Errorf("%w: option %s=%v contradicts the checkpoint's %v", ErrCheckpoint, name, got, want)
+		}
+		return nil
+	}
+	for _, chk := range []error{
+		conflict("WithRank", set.rankSet, set.rank, c.Rank),
+		conflict("WithK", set.kSet, set.k, c.K),
+		conflict("WithShards", set.shardsSet, set.shards, c.Shards),
+		conflict("WithSeed", set.seedSet, set.seed, c.Seed),
+		conflict("WithTau", set.tauSet, set.tau, c.Tau),
+		conflict("WithLearningRate", set.etaSet, set.learningRate, c.Eta),
+		conflict("WithLambda", set.lambdaSet, set.lambda, c.Lambda),
+		conflict("WithLoss", set.lossSet, set.loss, Loss(c.Loss)),
+	} {
+		if chk != nil {
+			return chk
+		}
+	}
+	set.rank = c.Rank
+	set.k = c.K
+	set.shards = c.Shards
+	set.seed = c.Seed
+	set.tau, set.tauSet = c.Tau, true
+	set.learningRate = c.Eta
+	set.lambda = c.Lambda
+	set.loss = Loss(c.Loss)
+	return nil
+}
+
+// replayWAL applies the log's committed tail past the checkpoint
+// barrier, then restores the stream positions the last barrier
+// recorded. Entries at or below the barrier are already in the restored
+// state and are skipped; measurements after the last commit (a torn
+// tail) are discarded — the resumed source re-emits them. When the
+// session's WAL sink is the same file the replay read from, the file is
+// truncated at the last whole commit so appended entries follow it.
+func (s *Session) replayWAL(r io.Reader, barrier uint64) error {
+	sc := dataset.NewWALScanner(r)
+	cur := uint64(0)
+	keepOffset := int64(0) // file offset after the last whole commit
+	var pending []Measurement
+	var last *dataset.WALCommit
+	for {
+		var rec dataset.WALRecord
+		err := sc.Next(&rec)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn or corrupt tail: trust exactly the committed prefix.
+			break
+		}
+		switch rec.Kind {
+		case dataset.WALHeaderRecord:
+			if len(pending) != 0 {
+				return fmt.Errorf("%w: segment header inside an uncommitted batch", ErrWAL)
+			}
+			cur = rec.Base
+		case dataset.WALMeasurementRecord:
+			cur++
+			if cur > barrier {
+				pending = append(pending, rec.M)
+			}
+		case dataset.WALCommitRecord:
+			co := rec.Commit
+			if co.Seq != cur {
+				return fmt.Errorf("%w: commit at sequence %d, log position is %d", ErrWAL, co.Seq, cur)
+			}
+			if co.Seq > barrier {
+				if !co.Skip {
+					// Skip barriers cover measurements the original run
+					// logged but discarded (an interrupted collection);
+					// replay discards them the same way and only adopts
+					// the recorded stream positions.
+					if err := s.applyReplayed(pending, co.Batch); err != nil {
+						return err
+					}
+				}
+				cc := co
+				last = &cc
+			}
+			pending = pending[:0]
+			keepOffset = sc.Offset()
+		}
+	}
+	if last != nil {
+		if got := uint64(s.drv.Steps()); got != last.Steps {
+			return fmt.Errorf("%w: replay reached step %d, log committed %d (log belongs to a different run?)", ErrWAL, got, last.Steps)
+		}
+		if err := s.drv.FastForwardMaster(last.Draws); err != nil {
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		if err := seekCursors(s.src, last.Cursors); err != nil {
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+		if s.wal != nil {
+			s.wal.setSeq(last.Seq)
+		}
+	}
+	return s.alignWALFile(r, keepOffset)
+}
+
+// applyReplayed trains on one committed WAL batch through the same path
+// that originally applied it: the usual topology and sanity filters,
+// then sequential Gauss-Seidel updates or one sharded epoch batch.
+func (s *Session) applyReplayed(ms []Measurement, batch bool) error {
+	if batch {
+		samples := make([]engine.Sample, 0, len(ms))
+		for _, m := range ms {
+			if !s.usable(m) || !s.drv.IsNeighbor(m.I, m.J) {
+				continue
+			}
+			samples = append(samples, engine.Sample{
+				I: m.I, J: m.J,
+				Label: ClassOf(s.ds.Metric, m.Value, s.tau).Value(),
+			})
+		}
+		if len(samples) == 0 {
+			return nil
+		}
+		_, err := s.drv.ApplyBatchCtx(context.Background(), samples)
+		if err != nil {
+			return fmt.Errorf("%w: batch replay: %v", ErrWAL, err)
+		}
+		return nil
+	}
+	for _, m := range ms {
+		if !s.usable(m) || !s.drv.IsNeighbor(m.I, m.J) {
+			continue
+		}
+		s.drv.ApplyLabel(m.I, m.J, ClassOf(s.ds.Metric, m.Value, s.tau).Value())
+	}
+	return nil
+}
+
+// alignWALFile positions the session's WAL sink for appends after a
+// replay, when sink and replay reader are the same *os.File: truncate
+// at the last whole commit (dropping the discarded tail so future
+// replays see a consistent sequence) and seek there. Any other
+// sink/reader combination is left untouched — the caller either gave
+// the decorator a fresh sink or manages the file itself.
+func (s *Session) alignWALFile(r io.Reader, keep int64) error {
+	if s.wal == nil {
+		return nil
+	}
+	wf, ok := s.wal.w.(*os.File)
+	if !ok {
+		return nil
+	}
+	rf, ok := r.(*os.File)
+	if !ok || rf != wf {
+		return nil
+	}
+	if err := wf.Truncate(keep); err != nil {
+		return fmt.Errorf("%w: truncate tail: %v", ErrWAL, err)
+	}
+	if _, err := wf.Seek(keep, io.SeekStart); err != nil {
+		return fmt.Errorf("%w: seek: %v", ErrWAL, err)
+	}
+	if keep > 0 {
+		// The scanner's offset excludes the newline after the last
+		// commit's JSON value; keep the log line-shaped.
+		if _, err := wf.WriteString("\n"); err != nil {
+			return fmt.Errorf("%w: %v", ErrWAL, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,846 @@
+package dmfsgd
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sessionState captures everything the bit-identity contract covers.
+type sessionState struct {
+	u, v  []float64
+	vers  []uint64
+	steps int
+	auc   float64
+}
+
+func captureState(t *testing.T, s *Session) sessionState {
+	t.Helper()
+	snap := s.Snapshot()
+	u, v := snap.Flat()
+	auc, err := s.AUC(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sessionState{u: u, v: v, vers: snap.Versions(), steps: s.Steps(), auc: auc}
+}
+
+func assertSameState(t *testing.T, label string, got, want sessionState) {
+	t.Helper()
+	if got.steps != want.steps {
+		t.Errorf("%s: steps %d, want %d", label, got.steps, want.steps)
+	}
+	if len(got.vers) != len(want.vers) {
+		t.Fatalf("%s: version vector %d shards, want %d", label, len(got.vers), len(want.vers))
+	}
+	for p := range want.vers {
+		if got.vers[p] != want.vers[p] {
+			t.Errorf("%s: shard %d version %d, want %d", label, p, got.vers[p], want.vers[p])
+		}
+	}
+	for k := range want.u {
+		if got.u[k] != want.u[k] || got.v[k] != want.v[k] {
+			t.Fatalf("%s: coordinate %d drifted: %v/%v vs %v/%v", label, k, got.u[k], got.v[k], want.u[k], want.v[k])
+		}
+	}
+	if got.auc != want.auc {
+		t.Errorf("%s: AUC %v, want bit-identical %v", label, got.auc, want.auc)
+	}
+}
+
+// TestCrashRecoverySequential is the crash-recovery property test for
+// sequential training: for several (seed, shard-count, kill-point)
+// tuples, a run that checkpoints periodically, "crashes" at a batch
+// boundary, resumes from checkpoint + WAL tail and finishes its budget
+// must be bit-identical — factors, version vector, steps, AUC — to a
+// run that never stopped. The WAL sink is never truncated, so every
+// resume also exercises idempotent replay at the barrier: the entries
+// already folded into the checkpoint are skipped by sequence number.
+func TestCrashRecoverySequential(t *testing.T) {
+	ctx := context.Background()
+	const n, total, chunk = 60, 3000, 512
+	for _, tc := range []struct {
+		seed       int64
+		shards     int
+		killChunks int // chunks trained before the crash
+		ckptEvery  int // checkpoint every this many chunks
+	}{
+		{seed: 1, shards: 1, killChunks: 3, ckptEvery: 2},
+		{seed: 1, shards: 4, killChunks: 3, ckptEvery: 2},
+		{seed: 2, shards: 4, killChunks: 5, ckptEvery: 3},
+		{seed: 3, shards: 7, killChunks: 1, ckptEvery: 1},
+	} {
+		ds := NewMeridianDataset(n, tc.seed)
+		opts := []Option{WithSeed(tc.seed), WithShards(tc.shards)}
+
+		// The reference: train the budget in one uninterrupted call.
+		ref, err := NewSession(ds, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(ctx, total); err != nil {
+			t.Fatal(err)
+		}
+		want := captureState(t, ref)
+		ref.Close()
+
+		// The crashing run: WAL everything, checkpoint periodically,
+		// stop mid-budget ("kill" = drop the session on the floor).
+		var wal bytes.Buffer
+		var ckptBytes []byte
+		src, err := NewMatrixSource(ds, 0, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crash, err := NewSessionFromSource(ds, WithWAL(src, &wal), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < tc.killChunks; c++ {
+			if err := crash.Run(ctx, chunk); err != nil {
+				t.Fatal(err)
+			}
+			if (c+1)%tc.ckptEvery == 0 {
+				var buf bytes.Buffer
+				if err := crash.Checkpoint(&buf); err != nil {
+					t.Fatal(err)
+				}
+				ckptBytes = buf.Bytes()
+			}
+		}
+		if ckptBytes == nil {
+			t.Fatal("test tuple never checkpointed")
+		}
+		killedAt := crash.Steps()
+		crash.Close()
+
+		// Restart: fresh chain of the same shape, restore, replay, finish.
+		src2, err := NewMatrixSource(ds, 0, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wal2 bytes.Buffer
+		resumed, err := ResumeSessionFromSource(ds, WithWAL(src2, &wal2),
+			bytes.NewReader(ckptBytes), bytes.NewReader(wal.Bytes()))
+		if err != nil {
+			t.Fatalf("resume (seed=%d shards=%d): %v", tc.seed, tc.shards, err)
+		}
+		if resumed.Steps() != killedAt {
+			t.Errorf("seed=%d shards=%d: replay reached %d steps, crash stopped at %d",
+				tc.seed, tc.shards, resumed.Steps(), killedAt)
+		}
+		if err := resumed.Run(ctx, total-resumed.Steps()); err != nil {
+			t.Fatal(err)
+		}
+		got := captureState(t, resumed)
+		resumed.Close()
+		assertSameState(t, "resumed", got, want)
+	}
+}
+
+// TestCrashRecoveryTornTail cuts bytes off the end of the WAL (a crash
+// mid-write tears the final line): replay must trust exactly the
+// committed prefix and the resumed source must re-emit the rest, still
+// bit-identical to the uninterrupted run.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	ctx := context.Background()
+	const n, total, seed = 50, 2000, 11
+	ds := NewMeridianDataset(n, seed)
+
+	ref, err := NewSession(ds, WithSeed(seed), WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(ctx, total); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, ref)
+	ref.Close()
+
+	var wal bytes.Buffer
+	src, _ := NewMatrixSource(ds, 0, seed)
+	crash, err := NewSessionFromSource(ds, WithWAL(src, &wal), WithSeed(seed), WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Run(ctx, 900); err != nil {
+		t.Fatal(err)
+	}
+	var ckptBuf bytes.Buffer
+	if err := crash.Checkpoint(&ckptBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Run(ctx, 700); err != nil {
+		t.Fatal(err)
+	}
+	crash.Close()
+
+	for _, cut := range []int{1, 7, 300} {
+		torn := wal.Bytes()[:wal.Len()-cut]
+		src2, _ := NewMatrixSource(ds, 0, seed)
+		var wal2 bytes.Buffer
+		resumed, err := ResumeSessionFromSource(ds, WithWAL(src2, &wal2),
+			bytes.NewReader(ckptBuf.Bytes()), bytes.NewReader(torn))
+		if err != nil {
+			t.Fatalf("cut %d: resume: %v", cut, err)
+		}
+		if err := resumed.Run(ctx, total-resumed.Steps()); err != nil {
+			t.Fatal(err)
+		}
+		got := captureState(t, resumed)
+		resumed.Close()
+		assertSameState(t, "torn tail", got, want)
+	}
+}
+
+// TestCrashRecoveryDecoratedChain runs the crash through a scenario
+// stack (noise and drop hold private RNG streams; churn is rebuilt from
+// queried stream times): the checkpoint's source cursors must restore
+// every layer.
+func TestCrashRecoveryDecoratedChain(t *testing.T) {
+	ctx := context.Background()
+	const n, total, seed = 50, 2200, 21
+	ds := NewMeridianDataset(n, seed)
+	mkChain := func(w io.Writer) Source {
+		src, err := NewMatrixSource(ds, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s Source = src
+		s = WithChurn(s, ChurnConfig{Start: 0.5, MeanUp: 5, MeanDown: 1, Fraction: 0.3, Seed: 7})
+		s = WithNoise(s, 0.05, 13)
+		s = WithDrop(s, 0.1, 17)
+		return WithWAL(s, w)
+	}
+
+	ref, err := NewSessionFromSource(ds, mkChain(io.Discard), WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(ctx, total); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, ref)
+	ref.Close()
+
+	var wal bytes.Buffer
+	crash, err := NewSessionFromSource(ds, mkChain(&wal), WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Run(ctx, 800); err != nil {
+		t.Fatal(err)
+	}
+	var ckptBuf bytes.Buffer
+	if err := crash.Checkpoint(&ckptBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Run(ctx, 600); err != nil {
+		t.Fatal(err)
+	}
+	crash.Close()
+
+	resumed, err := ResumeSessionFromSource(ds, mkChain(io.Discard),
+		bytes.NewReader(ckptBuf.Bytes()), bytes.NewReader(wal.Bytes()))
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := resumed.Run(ctx, total-resumed.Steps()); err != nil {
+		t.Fatal(err)
+	}
+	got := captureState(t, resumed)
+	resumed.Close()
+	assertSameState(t, "decorated chain", got, want)
+}
+
+// TestCrashRecoveryEpochReplay crashes epoch-mode trace training: the
+// WAL's commit barriers record epoch groups (mode "b"), and replay must
+// re-apply them through the sharded batch path with the same grouping.
+func TestCrashRecoveryEpochReplay(t *testing.T) {
+	ctx := context.Background()
+	const n, seed, probes = 40, 31, 4
+	const epochs = 8
+	ds := NewHarvardDataset(n, 60000, seed)
+
+	for _, shards := range []int{1, 5} {
+		opts := []Option{WithSeed(seed), WithShards(shards)}
+		ref, err := NewSession(ds, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.RunEpochs(ctx, epochs, probes); err != nil {
+			t.Fatal(err)
+		}
+		want := captureState(t, ref)
+		ref.Close()
+
+		var wal bytes.Buffer
+		ts, err := NewTraceSource(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crash, err := NewSessionFromSource(ds, WithWAL(ts, &wal), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ckptBytes []byte
+		const killEpoch = 5
+		for ep := 0; ep < killEpoch; ep++ {
+			if _, err := crash.RunEpochs(ctx, 1, probes); err != nil {
+				t.Fatal(err)
+			}
+			if ep == 2 {
+				var buf bytes.Buffer
+				if err := crash.Checkpoint(&buf); err != nil {
+					t.Fatal(err)
+				}
+				ckptBytes = buf.Bytes()
+			}
+		}
+		crash.Close()
+
+		ts2, err := NewTraceSource(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := ResumeSessionFromSource(ds, WithWAL(ts2, io.Discard),
+			bytes.NewReader(ckptBytes), bytes.NewReader(wal.Bytes()))
+		if err != nil {
+			t.Fatalf("shards=%d: resume: %v", shards, err)
+		}
+		if _, err := resumed.RunEpochs(ctx, epochs-killEpoch, probes); err != nil {
+			t.Fatal(err)
+		}
+		got := captureState(t, resumed)
+		resumed.Close()
+		assertSameState(t, "epoch replay", got, want)
+	}
+}
+
+// TestCrashRecoveryNativeEpochs resumes parallel epoch training on a
+// static dataset: no measurements flow (the engine samples internally),
+// so the checkpoint alone — factors plus per-node RNG stream positions —
+// must make the continuation bit-identical.
+func TestCrashRecoveryNativeEpochs(t *testing.T) {
+	ctx := context.Background()
+	const n, seed, probes, epochs = 50, 41, 5, 10
+	ds := NewMeridianDataset(n, seed)
+	for _, shards := range []int{1, 4} {
+		opts := []Option{WithSeed(seed), WithShards(shards)}
+		ref, err := NewSession(ds, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.RunEpochs(ctx, epochs, probes); err != nil {
+			t.Fatal(err)
+		}
+		want := captureState(t, ref)
+		ref.Close()
+
+		half, err := NewSession(ds, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := half.RunEpochs(ctx, 6, probes); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := half.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		half.Close()
+
+		resumed, err := ResumeSession(ds, bytes.NewReader(buf.Bytes()), nil)
+		if err != nil {
+			t.Fatalf("shards=%d: resume: %v", shards, err)
+		}
+		if _, err := resumed.RunEpochs(ctx, epochs-6, probes); err != nil {
+			t.Fatal(err)
+		}
+		got := captureState(t, resumed)
+		resumed.Close()
+		assertSameState(t, "native epochs", got, want)
+	}
+}
+
+// TestSaveCheckpointFileAndWALTruncation exercises the file-based
+// durability cycle dmfserve uses: a WAL on a real file, SaveCheckpoint
+// truncating it at the barrier, a crash, and a resume that replays the
+// tail from the same file handle and appends in place.
+func TestSaveCheckpointFileAndWALTruncation(t *testing.T) {
+	ctx := context.Background()
+	const n, total, seed = 50, 2400, 51
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "sess.ckpt")
+	walPath := filepath.Join(dir, "sess.wal")
+	ds := NewMeridianDataset(n, seed)
+
+	ref, err := NewSession(ds, WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(ctx, total); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, ref)
+	ref.Close()
+
+	walF, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := NewMatrixSource(ds, 0, seed)
+	crash, err := NewSessionFromSource(ds, WithWAL(src, walF), WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Run(ctx, 800); err != nil {
+		t.Fatal(err)
+	}
+	preTrunc, _ := walF.Seek(0, io.SeekEnd)
+	if err := SaveCheckpoint(crash, ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	postTrunc, _ := walF.Seek(0, io.SeekEnd)
+	if postTrunc != 0 || preTrunc == 0 {
+		t.Fatalf("checkpoint barrier should truncate the WAL: %d -> %d bytes", preTrunc, postTrunc)
+	}
+	if err := crash.Run(ctx, 900); err != nil {
+		t.Fatal(err)
+	}
+	crash.Close() // "crash": the post-checkpoint tail lives only in the WAL
+	walF.Close()
+
+	// Restart from the files alone.
+	walF2, err := os.OpenFile(walPath, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer walF2.Close()
+	ckptF, err := os.Open(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckptF.Close()
+	src2, _ := NewMatrixSource(ds, 0, seed)
+	resumed, err := ResumeSessionFromSource(ds, WithWAL(src2, walF2), ckptF, walF2)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.Steps() != 800+900 {
+		t.Errorf("resumed at %d steps, want %d", resumed.Steps(), 800+900)
+	}
+	if err := resumed.Run(ctx, total-resumed.Steps()); err != nil {
+		t.Fatal(err)
+	}
+	got := captureState(t, resumed)
+	resumed.Close()
+	assertSameState(t, "file cycle", got, want)
+
+	// The appended segment must itself replay: one more restart.
+	walF3, err := os.OpenFile(walPath, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer walF3.Close()
+	ckptF2, err := os.Open(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckptF2.Close()
+	src3, _ := NewMatrixSource(ds, 0, seed)
+	again, err := ResumeSessionFromSource(ds, WithWAL(src3, walF3), ckptF2, walF3)
+	if err != nil {
+		t.Fatalf("second resume: %v", err)
+	}
+	got2 := captureState(t, again)
+	again.Close()
+	assertSameState(t, "second resume", got2, want)
+}
+
+// TestResumeRejectsMismatches: contradicting options, a wrong dataset
+// and a wrong chain shape all fail with ErrCheckpoint, not silently
+// divergent training.
+func TestResumeRejectsMismatches(t *testing.T) {
+	ctx := context.Background()
+	const n, seed = 40, 61
+	ds := NewMeridianDataset(n, seed)
+	sess, err := NewSession(ds, WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Run(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close()
+
+	if _, err := ResumeSession(ds, bytes.NewReader(buf.Bytes()), nil, WithSeed(seed+1)); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("conflicting seed: %v, want ErrCheckpoint", err)
+	}
+	if _, err := ResumeSession(ds, bytes.NewReader(buf.Bytes()), nil, WithShards(5)); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("conflicting shards: %v, want ErrCheckpoint", err)
+	}
+	if _, err := ResumeSession(ds, bytes.NewReader(buf.Bytes()), nil, WithRank(4)); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("conflicting rank: %v, want ErrCheckpoint", err)
+	}
+	other := NewMeridianDataset(n+5, seed)
+	if _, err := ResumeSession(other, bytes.NewReader(buf.Bytes()), nil); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("wrong dataset: %v, want ErrCheckpoint", err)
+	}
+	if _, err := ResumeSession(ds, bytes.NewReader([]byte("garbage")), nil); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("garbage checkpoint: %v, want ErrCheckpoint", err)
+	}
+	// Matching options are fine.
+	ok, err := ResumeSession(ds, bytes.NewReader(buf.Bytes()), nil, WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Errorf("matching options rejected: %v", err)
+	} else {
+		ok.Close()
+	}
+	// A chain with a different cursor shape is rejected.
+	src, _ := NewMatrixSource(ds, 0, seed)
+	if _, err := ResumeSessionFromSource(ds, WithDrop(src, 0.1, 1), bytes.NewReader(buf.Bytes()), nil); !errors.Is(err, ErrCheckpoint) {
+		t.Errorf("mismatched chain shape: %v, want ErrCheckpoint", err)
+	}
+}
+
+// TestLiveCheckpointWarmResume: a live session's checkpoint records no
+// stream positions (Draws == 0); ResumeSession must restore it as a
+// warm start — factors and steps carried over — rather than failing on
+// the missing positions.
+func TestLiveCheckpointWarmResume(t *testing.T) {
+	ds := NewMeridianDataset(30, 71)
+	live, err := NewSession(ds, WithSeed(71), WithK(8), WithLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Run(context.Background(), 500); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := live.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantU, wantV := live.Snapshot().Flat()
+	wantSteps := live.Snapshot().Steps()
+	live.Close()
+
+	resumed, err := ResumeSession(ds, bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatalf("warm resume: %v", err)
+	}
+	defer resumed.Close()
+	if resumed.Steps() < wantSteps {
+		t.Errorf("resumed steps %d, want >= %d", resumed.Steps(), wantSteps)
+	}
+	gotU, gotV := resumed.Snapshot().Flat()
+	for k := range wantU {
+		if gotU[k] != wantU[k] || gotV[k] != wantV[k] {
+			t.Fatalf("warm factors drifted at %d", k)
+		}
+	}
+	// And a warm session keeps training.
+	if err := resumed.Run(context.Background(), 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// cancelAfterSource delivers a given number of batches normally and
+// then returns one final batch together with context.Canceled — a
+// deterministic interruption landing mid-epoch, with measurements
+// already logged to the WAL but never trained.
+type cancelAfterSource struct {
+	src     Source
+	batches int
+}
+
+func (c *cancelAfterSource) Unwrap() Source { return c.src }
+
+func (c *cancelAfterSource) NextBatch(ctx context.Context, buf []Measurement) (int, error) {
+	n, err := c.src.NextBatch(ctx, buf)
+	if c.batches--; c.batches == 0 && err == nil {
+		err = context.Canceled
+	}
+	return n, err
+}
+
+// TestCrashRecoveryAfterCancelledEpoch: a cancelled epoch collection
+// logs measurements it never trains on. The session must mark them
+// skipped in the WAL so that a later crash still resumes to the exact
+// state the interrupted-and-continued run reached.
+func TestCrashRecoveryAfterCancelledEpoch(t *testing.T) {
+	ctx := context.Background()
+	const n, seed, probes = 40, 81, 4
+	ds := NewHarvardDataset(n, 60000, seed)
+
+	var wal bytes.Buffer
+	ts, err := NewTraceSource(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := &cancelAfterSource{src: ts, batches: -1}
+	run, err := NewSessionFromSource(ds, WithWAL(wrapped, &wal), WithSeed(seed), WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.RunEpochs(ctx, 2, probes); err != nil {
+		t.Fatal(err)
+	}
+	var ckptBuf bytes.Buffer
+	if err := run.Checkpoint(&ckptBuf); err != nil {
+		t.Fatal(err)
+	}
+	// The interrupted epoch: two batches into the next collection (not
+	// enough usable measurements to complete an epoch group) the source
+	// aborts, so the gathered measurements are discarded — and must be
+	// marked skipped in the WAL.
+	wrapped.batches = 2
+	if _, err := run.RunEpochs(ctx, 3, probes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected cancellation, got %v", err)
+	}
+	if !bytes.Contains(wal.Bytes(), []byte(`"mode":"x"`)) {
+		t.Fatal("interrupted collection wrote no skip barrier")
+	}
+	// The run continues past the interruption and then "crashes".
+	if _, err := run.RunEpochs(ctx, 2, probes); err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := run.Steps()
+	wantU, wantV := run.Snapshot().Flat()
+	run.Close()
+
+	ts2, err := NewTraceSource(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inert := &cancelAfterSource{src: ts2, batches: -1}
+	resumed, err := ResumeSessionFromSource(ds, WithWAL(inert, io.Discard),
+		bytes.NewReader(ckptBuf.Bytes()), bytes.NewReader(wal.Bytes()))
+	if err != nil {
+		t.Fatalf("resume across a skip barrier: %v", err)
+	}
+	defer resumed.Close()
+	if resumed.Steps() != wantSteps {
+		t.Errorf("replay reached %d steps, crashed run had %d", resumed.Steps(), wantSteps)
+	}
+	gotU, gotV := resumed.Snapshot().Flat()
+	for k := range wantU {
+		if gotU[k] != wantU[k] || gotV[k] != wantV[k] {
+			t.Fatalf("factors drifted at %d after skip-barrier replay", k)
+		}
+	}
+}
+
+// hostileSource injects unrepresentable records (self-pairs, NaNs,
+// negative ids) between the inner source's measurements.
+type hostileSource struct {
+	src Source
+}
+
+func (h *hostileSource) Unwrap() Source { return h.src }
+
+func (h *hostileSource) NextBatch(ctx context.Context, buf []Measurement) (int, error) {
+	if len(buf) > 3 {
+		n, err := h.src.NextBatch(ctx, buf[:len(buf)-3])
+		buf[n] = Measurement{T: 1, I: 2, J: 2, Value: 5}            // self-pair
+		buf[n+1] = Measurement{T: math.NaN(), I: 0, J: 1, Value: 5} // NaN time
+		buf[n+2] = Measurement{T: 1, I: -4, J: 1, Value: 5}         // negative id
+		return n + 3, err
+	}
+	return h.src.NextBatch(ctx, buf)
+}
+
+// TestWALSurvivesHostileRecords: records the WAL line format cannot
+// represent are never applied (the session filters them) — they must
+// also never be logged, or one bad record from a custom source would
+// make every later committed entry unparseable on resume.
+func TestWALSurvivesHostileRecords(t *testing.T) {
+	ctx := context.Background()
+	const n, seed = 40, 91
+	ds := NewMeridianDataset(n, seed)
+	mkChain := func(w io.Writer) Source {
+		src, err := NewMatrixSource(ds, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return WithWAL(&hostileSource{src: src}, w)
+	}
+
+	var wal bytes.Buffer
+	run, err := NewSessionFromSource(ds, mkChain(&wal), WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Run(ctx, 600); err != nil {
+		t.Fatal(err)
+	}
+	var ckptBuf bytes.Buffer
+	if err := run.Checkpoint(&ckptBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Run(ctx, 400); err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := run.Steps()
+	wantU, wantV := run.Snapshot().Flat()
+	run.Close()
+
+	resumed, err := ResumeSessionFromSource(ds, mkChain(io.Discard),
+		bytes.NewReader(ckptBuf.Bytes()), bytes.NewReader(wal.Bytes()))
+	if err != nil {
+		t.Fatalf("resume after hostile records: %v", err)
+	}
+	defer resumed.Close()
+	if resumed.Steps() != wantSteps {
+		t.Errorf("replay reached %d steps, run had %d", resumed.Steps(), wantSteps)
+	}
+	gotU, gotV := resumed.Snapshot().Flat()
+	for k := range wantU {
+		if gotU[k] != wantU[k] || gotV[k] != wantV[k] {
+			t.Fatalf("factors drifted at %d", k)
+		}
+	}
+}
+
+// TestCanonicalResumeOfWALTrainedState: the WAL decorator is not a
+// cursor layer, so a checkpoint + WAL written by a WithWAL chain must
+// resume through plain ResumeSession (canonical source, no WAL) — and
+// the continuation must stay bit-identical to an uninterrupted run.
+func TestCanonicalResumeOfWALTrainedState(t *testing.T) {
+	ctx := context.Background()
+	const n, total, seed = 50, 2000, 111
+	ds := NewMeridianDataset(n, seed)
+
+	ref, err := NewSession(ds, WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(ctx, total); err != nil {
+		t.Fatal(err)
+	}
+	want := captureState(t, ref)
+	ref.Close()
+
+	var wal bytes.Buffer
+	src, _ := NewMatrixSource(ds, 0, seed)
+	crash, err := NewSessionFromSource(ds, WithWAL(src, &wal), WithSeed(seed), WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Run(ctx, 700); err != nil {
+		t.Fatal(err)
+	}
+	var ckptBuf bytes.Buffer
+	if err := crash.Checkpoint(&ckptBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := crash.Run(ctx, 500); err != nil {
+		t.Fatal(err)
+	}
+	crash.Close()
+
+	resumed, err := ResumeSession(ds, bytes.NewReader(ckptBuf.Bytes()), bytes.NewReader(wal.Bytes()))
+	if err != nil {
+		t.Fatalf("canonical resume of WAL-trained checkpoint: %v", err)
+	}
+	if resumed.Steps() != 1200 {
+		t.Errorf("replay reached %d steps, want 1200", resumed.Steps())
+	}
+	if err := resumed.Run(ctx, total-resumed.Steps()); err != nil {
+		t.Fatal(err)
+	}
+	got := captureState(t, resumed)
+	resumed.Close()
+	assertSameState(t, "canonical resume", got, want)
+}
+
+// TestColdWALReplay: a process killed before its first checkpoint
+// leaves only the WAL; resuming with a nil checkpoint must rebuild the
+// state from sequence zero, bit-identically.
+func TestColdWALReplay(t *testing.T) {
+	ctx := context.Background()
+	const n, seed = 50, 101
+	ds := NewMeridianDataset(n, seed)
+
+	var wal bytes.Buffer
+	src, _ := NewMatrixSource(ds, 0, seed)
+	run, err := NewSessionFromSource(ds, WithWAL(src, &wal), WithSeed(seed), WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Run(ctx, 1500); err != nil {
+		t.Fatal(err)
+	}
+	wantSteps := run.Steps()
+	wantU, wantV := run.Snapshot().Flat()
+	run.Close() // killed before any checkpoint existed
+
+	src2, _ := NewMatrixSource(ds, 0, seed)
+	resumed, err := ResumeSessionFromSource(ds, WithWAL(src2, io.Discard),
+		nil, bytes.NewReader(wal.Bytes()), WithSeed(seed), WithShards(3))
+	if err != nil {
+		t.Fatalf("cold replay: %v", err)
+	}
+	defer resumed.Close()
+	if resumed.Steps() != wantSteps {
+		t.Errorf("cold replay reached %d steps, run had %d", resumed.Steps(), wantSteps)
+	}
+	gotU, gotV := resumed.Snapshot().Flat()
+	for k := range wantU {
+		if gotU[k] != wantU[k] || gotV[k] != wantV[k] {
+			t.Fatalf("factors drifted at %d", k)
+		}
+	}
+
+	// A log from a different configuration must be refused, not
+	// silently diverged from.
+	src3, _ := NewMatrixSource(ds, 0, seed)
+	if _, err := ResumeSessionFromSource(ds, WithWAL(src3, io.Discard),
+		nil, bytes.NewReader(wal.Bytes()), WithSeed(seed+1), WithShards(3)); !errors.Is(err, ErrWAL) {
+		t.Errorf("cold replay with wrong seed: %v, want ErrWAL", err)
+	}
+	// Nothing to resume from at all is a config error.
+	if _, err := ResumeSession(ds, nil, nil); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("nil checkpoint and WAL: %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestNativeEpochsRejectWAL: native epoch training samples internally —
+// nothing reaches the log — so a WAL-attached session must refuse it
+// rather than let the step counter outrun what the WAL can replay.
+func TestNativeEpochsRejectWAL(t *testing.T) {
+	ds := NewMeridianDataset(30, 1)
+	src, _ := NewMatrixSource(ds, 8, 1)
+	sess, err := NewSessionFromSource(ds, WithWAL(src, io.Discard), WithSeed(1), WithK(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.RunEpochs(context.Background(), 2, 4); !errors.Is(err, ErrWAL) {
+		t.Errorf("native epochs on a WAL session: %v, want ErrWAL", err)
+	}
+	// Run still works and logs.
+	if err := sess.Run(context.Background(), 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALMustBeOutermost: a buried WAL decorator records a stream the
+// session does not consume; the session refuses it.
+func TestWALMustBeOutermost(t *testing.T) {
+	ds := NewMeridianDataset(30, 1)
+	src, _ := NewMatrixSource(ds, 0, 1)
+	buried := WithDrop(WithWAL(src, io.Discard), 0.1, 2)
+	if _, err := NewSessionFromSource(ds, buried); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("buried WAL accepted: %v", err)
+	}
+}

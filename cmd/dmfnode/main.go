@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"dmfsgd/internal/ckpt"
 	"dmfsgd/internal/dataset"
 	"dmfsgd/internal/member"
 	"dmfsgd/internal/runtime"
@@ -46,6 +48,9 @@ func main() {
 		interval = flag.Duration("interval", 100*time.Millisecond, "probe interval")
 		delayMS  = flag.Float64("delay-ms", 0, "artificial reply delay in ms (simulates a slow node)")
 		duration = flag.Duration("duration", 0, "exit after this long (0 = run until signal)")
+
+		ckptPath  = flag.String("checkpoint", "", "coordinate checkpoint file: restored at startup (the node rejoins with warm coordinates instead of relearning), saved periodically and at exit via atomic rename")
+		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint save period")
 	)
 	flag.Parse()
 	if *id == 0 {
@@ -79,6 +84,48 @@ func main() {
 	}, mux)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Durability: one node's state is its (U, V) pair — an n=1 checkpoint.
+	// Restored before probing starts, so a restarted node serves and
+	// refines warm coordinates instead of relearning from random init.
+	// baseSteps carries the update history restored from a previous
+	// checkpoint, so saves accumulate across restarts instead of
+	// resetting the counter to this process's own update count.
+	var baseSteps uint64
+	saveCkpt := func() {
+		if *ckptPath == "" {
+			return
+		}
+		c := node.Coordinates()
+		steps := baseSteps + uint64(node.Stats().Updates)
+		err := ckpt.WriteFile(*ckptPath, &ckpt.Checkpoint{
+			N: 1, Rank: *rank, Shards: 1,
+			Steps: steps,
+			Tau:   *tau, Eta: *eta, Lambda: *lambda,
+			Metric: uint8(dataset.RTT),
+			Vers:   []uint64{steps},
+			U:      c.U, V: c.V,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmfnode: checkpoint save: %v\n", err)
+		}
+	}
+	if *ckptPath != "" {
+		c, err := ckpt.ReadFile(*ckptPath)
+		switch {
+		case err == nil:
+			if c.N != 1 || c.Rank != *rank {
+				fatal(fmt.Errorf("checkpoint %s holds n=%d rank=%d state, this node wants n=1 rank=%d", *ckptPath, c.N, c.Rank, *rank))
+			}
+			node.Ref().Set(&sgd.Coordinates{U: c.U, V: c.V})
+			baseSteps = c.Steps
+			fmt.Printf("dmfnode: coordinates restored from %s (%d updates of history)\n", *ckptPath, c.Steps)
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to restore.
+		default:
+			fatal(err)
+		}
 	}
 
 	dir := member.NewDirectory(uint32(*id), mux, int64(*id))
@@ -115,8 +162,32 @@ func main() {
 
 	fmt.Printf("dmfnode: id=%d listening on %s (tau=%.2fms, rank=%d)\n", *id, udp.Addr(), *tau, *rank)
 
+	// The periodic saver is joined before the final shutdown save, so a
+	// stale in-flight periodic capture cannot rename over it.
+	saverDone := make(chan struct{})
+	if *ckptPath != "" {
+		go func() {
+			defer close(saverDone)
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					saveCkpt()
+				}
+			}
+		}()
+	} else {
+		close(saverDone)
+	}
+
 	go statusLoop(ctx, node)
 	node.Run(ctx)
+	cancel() // node.Run can also end by -duration; release the saver either way
+	<-saverDone
+	saveCkpt()
 	st := node.Stats()
 	fmt.Printf("dmfnode: done. probes=%d replies=%d updates=%d rejected=%d stale=%d decode-errors=%d\n",
 		st.ProbesSent, st.RepliesReceived, st.Updates, st.Rejected, st.Stale, st.DecodeErrors)

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -50,6 +51,7 @@ import (
 	"time"
 
 	"dmfsgd"
+	"dmfsgd/internal/ckpt"
 	"dmfsgd/internal/replica"
 	"dmfsgd/internal/transport"
 )
@@ -70,6 +72,10 @@ func main() {
 		gossipAddr  = flag.String("gossip", "", "replication gossip listen address (TCP); joins the replication tier")
 		peerList    = flag.String("peer", "", "comma-separated bootstrap gossip peers; serve as a read replica (no local training)")
 		gossipEvery = flag.Duration("gossip-interval", 500*time.Millisecond, "anti-entropy gossip period")
+
+		ckptPath  = flag.String("checkpoint", "", "durability: checkpoint file — restored at startup (restart-without-retrain), saved after training bursts, periodically and at shutdown, always via atomic rename")
+		walPath   = flag.String("wal", "", "durability: measurement write-ahead log (trainer only) — the training stream is teed into it and its tail is replayed on restart; truncated at every checkpoint barrier")
+		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "minimum period between periodic checkpoint saves while training continues")
 	)
 	flag.Parse()
 
@@ -79,8 +85,19 @@ func main() {
 	// The serving pointer: handlers load it once per request; the
 	// refresher (trainer) or the replication peer (follower) stores fresh
 	// snapshots. Readers never block writers and vice versa. On a
-	// follower it is nil until the bootstrap pull lands.
+	// follower it is nil until the bootstrap pull (or a local checkpoint)
+	// lands.
 	var serving atomic.Pointer[dmfsgd.Snapshot]
+
+	// Durability telemetry, published on /healthz when -checkpoint is on:
+	// wal_lag is the number of applied updates not yet covered by a
+	// durable checkpoint (they live only in the WAL, or — without one —
+	// would retrain on restart).
+	var trainedSteps, ckptSteps atomic.Int64
+	// trainerDone is closed once the training goroutine (if any) has
+	// saved its shutdown checkpoint; main waits on it before exiting.
+	trainerDone := make(chan struct{})
+	close(trainerDone) // replaced by a live channel when a trainer runs
 
 	role := "standalone"
 	follower := *peerList != ""
@@ -122,7 +139,7 @@ func main() {
 		if listen == "" {
 			listen = "127.0.0.1:0"
 		}
-		tr := startPeer(listen, strings.Split(*peerList, ","), false, func(st *replica.State) {
+		publishState := func(st *replica.State) {
 			u, v := st.Flatten()
 			snap, err := dmfsgd.NewSnapshotFlat(dmfsgd.Metric(st.Meta.Metric), st.Meta.Tau,
 				int(st.Meta.Steps), st.Rank, u, v)
@@ -131,8 +148,64 @@ func main() {
 				return
 			}
 			serving.Store(snap)
-		})
+			trainedSteps.Store(int64(st.Meta.Steps))
+		}
+		tr := startPeer(listen, strings.Split(*peerList, ","), false, publishState)
 		defer tr.Close()
+
+		if *ckptPath != "" {
+			// Bootstrap from the local checkpoint when one exists: the
+			// replica serves immediately, and the restored version vector
+			// makes gossip pull only the shards that advanced while it was
+			// down — not the whole state.
+			if c, err := ckpt.ReadFile(*ckptPath); err == nil {
+				st, err := replica.FromCheckpoint(c)
+				if err != nil {
+					log.Fatalf("dmfserve: checkpoint %s: %v", *ckptPath, err)
+				}
+				// The gossip loop is already running, so a bootstrap pull
+				// may have landed fresher state: SetState never goes
+				// backwards, and publishing the peer's current state (not
+				// the checkpoint's) keeps the serving snapshot on
+				// whichever won.
+				repPeer.SetState(st)
+				if cur := repPeer.State(); cur != nil {
+					publishState(cur)
+				}
+				ckptSteps.Store(int64(st.Meta.Steps))
+				log.Printf("checkpoint restored: %d updates, serving before first gossip pull", st.Meta.Steps)
+			} else if !errors.Is(err, os.ErrNotExist) {
+				log.Fatalf("dmfserve: checkpoint %s: %v", *ckptPath, err)
+			}
+			// Persist whatever state gossip converges to.
+			saveState := func() {
+				st := repPeer.State()
+				if st == nil || uint64(ckptSteps.Load()) == st.Meta.Steps {
+					return
+				}
+				if err := ckpt.WriteFile(*ckptPath, st.Checkpoint()); err != nil {
+					log.Printf("dmfserve: checkpoint save: %v", err)
+					return
+				}
+				ckptSteps.Store(int64(st.Meta.Steps))
+			}
+			done := make(chan struct{})
+			trainerDone = done // main waits for the shutdown save
+			go func() {
+				defer close(done)
+				tick := time.NewTicker(*ckptEvery)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						saveState()
+						return
+					case <-tick.C:
+						saveState()
+					}
+				}
+			}()
+		}
 	} else {
 		var ds *dmfsgd.Dataset
 		switch *dsName {
@@ -159,18 +232,147 @@ func main() {
 		if *workers > 0 {
 			opts = append(opts, dmfsgd.WithWorkers(*workers))
 		}
-		sess, err := dmfsgd.NewSession(ds, opts...)
+
+		// Durability wiring: a WAL file tees the canonical measurement
+		// stream, and an existing checkpoint resumes the session instead
+		// of retraining — the WAL tail replays what the previous process
+		// applied after its last checkpoint barrier.
+		var sess *dmfsgd.Session
+		var err error
+		resume := false
+		if *ckptPath != "" {
+			if _, statErr := os.Stat(*ckptPath); statErr == nil {
+				resume = true
+			}
+		}
+		// No checkpoint but a non-empty WAL: the process died before its
+		// first save. The log's committed entries are still replayable
+		// into a fresh session (cold replay) — don't throw them away.
+		coldWAL := false
+		if !resume && *walPath != "" {
+			if fi, statErr := os.Stat(*walPath); statErr == nil && fi.Size() > 0 {
+				coldWAL = true
+			}
+		}
+		mkSource := func() (dmfsgd.Source, error) {
+			var src dmfsgd.Source
+			var err error
+			if ds.Trace != nil {
+				src, err = dmfsgd.NewTraceSource(ds)
+			} else {
+				src, err = dmfsgd.NewMatrixSource(ds, *k, *seed)
+			}
+			if err != nil || *walPath == "" {
+				return src, err
+			}
+			// With neither a checkpoint nor replayable entries, a
+			// leftover WAL is garbage: truncate it, or fresh records
+			// would overwrite a longer stale log in place and leave its
+			// tail behind.
+			flags := os.O_RDWR | os.O_CREATE
+			if !resume && !coldWAL {
+				flags |= os.O_TRUNC
+			}
+			walF, err := os.OpenFile(*walPath, flags, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			return dmfsgd.WithWAL(src, walF), nil
+		}
+		// walFile extracts the *os.File behind the chain's WAL decorator:
+		// replaying from the same handle lets resume truncate the
+		// discarded tail in place and continue appending.
+		walFile := func(src dmfsgd.Source) *os.File {
+			if ws, ok := src.(*dmfsgd.WALSource); ok {
+				if f, ok := ws.Sink().(*os.File); ok {
+					return f
+				}
+			}
+			return nil
+		}
+		src, err := mkSource()
 		if err != nil {
 			log.Fatalf("dmfserve: %v", err)
 		}
+		switch {
+		case resume:
+			ckptF, err := os.Open(*ckptPath)
+			if err != nil {
+				log.Fatalf("dmfserve: %v", err)
+			}
+			var walR io.Reader
+			if f := walFile(src); f != nil {
+				walR = f
+			}
+			sess, err = dmfsgd.ResumeSessionFromSource(ds, src, ckptF, walR, opts...)
+			ckptF.Close()
+			if err != nil {
+				log.Fatalf("dmfserve: resume from %s: %v (if -wal was added or removed since the checkpoint was written, restart with the original flags, or delete the checkpoint and WAL to retrain)", *ckptPath, err)
+			}
+			log.Printf("checkpoint restored: %d updates already trained", sess.Steps())
+		case coldWAL:
+			var walR io.Reader
+			if f := walFile(src); f != nil {
+				walR = f
+			}
+			sess, err = dmfsgd.ResumeSessionFromSource(ds, src, nil, walR, opts...)
+			if err != nil {
+				// The log belongs to a different configuration (or was
+				// already truncated at a barrier whose checkpoint is
+				// gone): start fresh rather than crash-loop.
+				log.Printf("dmfserve: WAL %s not replayable into this configuration (%v); starting fresh", *walPath, err)
+				if f := walFile(src); f != nil {
+					f.Truncate(0)
+					f.Close()
+				}
+				if src, err = mkSource(); err != nil {
+					log.Fatalf("dmfserve: %v", err)
+				}
+				if sess, err = dmfsgd.NewSessionFromSource(ds, src, opts...); err != nil {
+					log.Fatalf("dmfserve: %v", err)
+				}
+			} else {
+				log.Printf("WAL replayed cold: %d updates recovered without a checkpoint", sess.Steps())
+			}
+		default:
+			sess, err = dmfsgd.NewSessionFromSource(ds, src, opts...)
+			if err != nil {
+				log.Fatalf("dmfserve: %v", err)
+			}
+		}
 		defer sess.Close()
+		trainedSteps.Store(int64(sess.Steps()))
 
+		saveCkpt := func() {
+			if *ckptPath == "" {
+				return
+			}
+			if err := dmfsgd.SaveCheckpoint(sess, *ckptPath); err != nil {
+				log.Printf("dmfserve: checkpoint save: %v", err)
+				return
+			}
+			ckptSteps.Store(int64(sess.Steps()))
+		}
+
+		resolvedBudget := *budget
+		if resolvedBudget <= 0 {
+			resolvedBudget = sess.DefaultBudget()
+		}
 		log.Printf("training: %s, %d nodes, k=%d, tau=%.2f", ds.Name, sess.N(), sess.K(), sess.Tau())
 		start := time.Now()
-		if err := sess.Run(ctx, *budget); err != nil {
-			log.Fatalf("dmfserve: training interrupted: %v", err)
+		if remaining := resolvedBudget - sess.Steps(); remaining > 0 {
+			if err := sess.Run(ctx, remaining); err != nil {
+				// Make the interrupted progress durable before exiting: a
+				// SIGTERM mid-burst must not discard hours of training.
+				saveCkpt()
+				log.Fatalf("dmfserve: training interrupted: %v", err)
+			}
+			log.Printf("trained: %d updates in %.1fs", sess.Steps(), time.Since(start).Seconds())
+		} else {
+			log.Printf("budget of %d already met by the checkpoint (%d updates): nothing to retrain", resolvedBudget, sess.Steps())
 		}
-		log.Printf("trained: %d updates in %.1fs", sess.Steps(), time.Since(start).Seconds())
+		trainedSteps.Store(int64(sess.Steps()))
+		saveCkpt()
 
 		// Trainer-side replication state: rebuilt incrementally from each
 		// snapshot's version vector — only shards that advanced since the
@@ -208,12 +410,19 @@ func main() {
 		publish(sess.Snapshot())
 
 		if *refresh > 0 {
+			done := make(chan struct{})
+			trainerDone = done
 			go func() {
+				defer close(done)
 				tick := time.NewTicker(*refresh)
 				defer tick.Stop()
+				lastSave := time.Now()
 				for {
 					select {
 					case <-ctx.Done():
+						// Shutdown barrier: make everything trained since the
+						// last save durable before the process exits.
+						saveCkpt()
 						return
 					case <-tick.C:
 					}
@@ -221,10 +430,16 @@ func main() {
 					// goroutine touches the session after startup; handlers
 					// read immutable snapshots.
 					if err := sess.Run(ctx, sess.N()*sess.K()); err != nil {
+						saveCkpt()
 						return
 					}
 					snap := sess.Snapshot()
 					publish(snap)
+					trainedSteps.Store(int64(sess.Steps()))
+					if *ckptPath != "" && time.Since(lastSave) >= *ckptEvery {
+						saveCkpt()
+						lastSave = time.Now()
+					}
 					log.Printf("snapshot refreshed at %d updates", snap.Steps())
 				}
 			}()
@@ -258,6 +473,13 @@ func main() {
 			if !lag.LastAdvance.IsZero() {
 				resp["since_advance_ms"] = time.Since(lag.LastAdvance).Milliseconds()
 			}
+		}
+		if *ckptPath != "" {
+			// Durability lag: applied updates not yet covered by a durable
+			// checkpoint. Zero means a restart loses nothing (and, with a
+			// WAL, nonzero values are replayable anyway).
+			resp["checkpoint_steps"] = ckptSteps.Load()
+			resp["wal_lag"] = trainedSteps.Load() - ckptSteps.Load()
 		}
 		status := http.StatusOK
 		if snap == nil {
@@ -369,6 +591,8 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("dmfserve: %v", err)
 	}
+	// Wait for the trainer's shutdown checkpoint before exiting.
+	<-trainerDone
 }
 
 // nodeParam parses a node-index query parameter and bounds-checks it.

@@ -55,9 +55,19 @@
 //     NewSnapshot assembles a serving Snapshot from gathered Node
 //     coordinates.
 //
+// Durability: Session.Checkpoint (and SaveCheckpoint, which writes
+// atomically and truncates the WAL at the barrier) captures full
+// training state — factors, version vector, step counter, RNG stream
+// positions and source cursors — and ResumeSession restores it so a
+// restarted process continues training bit-identically instead of
+// relearning from scratch. WithWAL tees any source chain into an NDJSON
+// measurement write-ahead log whose committed tail replays on resume;
+// entries already covered by a checkpoint are skipped (idempotent
+// replay at the barrier). See DESIGN.md §8.
+//
 // Failures are reported through typed sentinel errors (ErrInvalidConfig,
-// ErrStopped, ErrDynamicTrace, ErrLiveSession) that work with errors.Is;
-// cancelled runs return the context's error.
+// ErrStopped, ErrDynamicTrace, ErrLiveSession, ErrCheckpoint, ErrWAL)
+// that work with errors.Is; cancelled runs return the context's error.
 //
 // The previous experiment-harness surface — Simulate/Simulation,
 // StartSwarm/Swarm and their config structs — remains as thin deprecated

@@ -35,4 +35,20 @@ var (
 	// with WithLive: live swarms train continuously on their own
 	// schedule.
 	ErrLiveSession = errors.New("dmfsgd: not supported on a live session")
+
+	// ErrCheckpoint is returned by ResumeSession when a checkpoint
+	// cannot restore the session being built: a malformed or truncated
+	// file, a future format version, a geometry or configuration that
+	// contradicts the dataset or the explicitly passed options, or a
+	// source chain whose shape differs from the one the checkpoint was
+	// taken with. The wrapped message (and, for decode failures, the
+	// wrapped ckpt sentinel) names the cause.
+	ErrCheckpoint = errors.New("dmfsgd: checkpoint cannot restore this session")
+
+	// ErrWAL is returned when the measurement write-ahead log cannot be
+	// written (training refuses to continue without durability once a
+	// WAL is attached) or when a replayed WAL contradicts the restored
+	// state (a step counter that does not line up means the log belongs
+	// to a different run).
+	ErrWAL = errors.New("dmfsgd: measurement WAL failure")
 )

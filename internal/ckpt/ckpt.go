@@ -1,0 +1,458 @@
+// Package ckpt defines the durable checkpoint format for DMFSGD
+// training state: a versioned binary capture of every node's
+// coordinates (flat row-major U and V), the per-shard version vector,
+// and the counters a session needs to resume training bit-identically
+// after a restart — the step count, the RNG draw counts of the master
+// and per-node streams, the measurement-WAL sequence already folded in,
+// and the stream cursors of the measurement source chain.
+//
+// The format follows the wire package's codec discipline: fixed-layout
+// big-endian fields, a (magic, version) header, and decoders that
+// validate every declared length against hard protocol limits before
+// allocating, so a truncated, corrupt or malicious file yields a typed
+// error — never a panic or an attacker-sized allocation. Variable
+// sections are read in bounded chunks, so allocation grows only as
+// payload bytes actually arrive. A CRC-32 trailer detects torn or
+// bit-rotted files.
+//
+// Writers should go through WriteFile, which writes to a temporary file
+// in the destination directory, syncs it, and renames it into place —
+// a crash mid-checkpoint leaves the previous checkpoint intact.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"dmfsgd/internal/wire"
+)
+
+// Format constants.
+const (
+	// Version is the checkpoint format version this package writes. Read
+	// rejects any other version with ErrBadVersion — a process must never
+	// guess at the meaning of a future (or corrupted) layout.
+	Version = 1
+
+	// MaxCursorLayers bounds the source-chain cursor count.
+	MaxCursorLayers = 64
+	// MaxCursorVals bounds the values one cursor layer may carry.
+	MaxCursorVals = 64
+)
+
+// magic identifies a DMFSGD checkpoint file.
+var magic = [4]byte{'D', 'M', 'F', 'C'}
+
+// Errors returned by the decoder. Read wraps each with positional
+// context; test with errors.Is.
+var (
+	ErrBadMagic   = errors.New("ckpt: not a DMFSGD checkpoint (bad magic)")
+	ErrBadVersion = errors.New("ckpt: unsupported checkpoint version")
+	ErrTruncated  = errors.New("ckpt: truncated checkpoint")
+	ErrTooLarge   = errors.New("ckpt: field exceeds format limit")
+	ErrInvalid    = errors.New("ckpt: inconsistent checkpoint")
+	ErrChecksum   = errors.New("ckpt: checksum mismatch")
+)
+
+// Checkpoint is one decoded training-state capture.
+type Checkpoint struct {
+	// N, Rank and Shards fix the coordinate geometry (the store's).
+	N, Rank, Shards int
+	// K is the neighbor count per node of the session that wrote the
+	// checkpoint; 0 when the writer has no topology (a serving replica).
+	K int
+	// Steps is the cumulative successful-update counter.
+	Steps uint64
+	// Seed is the master seed of the run.
+	Seed int64
+	// Draws counts the draws consumed from the master sequential RNG
+	// stream (0 when the writer does not track it).
+	Draws uint64
+	// WALSeq is the measurement-WAL sequence number already folded into
+	// this state: on resume, WAL entries with seq ≤ WALSeq are skipped
+	// (idempotent replay at the checkpoint barrier).
+	WALSeq uint64
+	// Tau is the classification threshold; Eta and Lambda the SGD
+	// hyper-parameters; Loss the loss id; Metric the measured quantity.
+	Tau, Eta, Lambda float64
+	Loss             uint8
+	Metric           uint8
+	// NodeDraws holds the per-node epoch-stream draw counts (len 0 when
+	// the parallel scheduler never ran, len N otherwise).
+	NodeDraws []uint64
+	// Cursors holds the stream positions of the measurement source
+	// chain, one entry per cursor-bearing layer, outermost first.
+	Cursors [][]uint64
+	// Vers is the per-shard store version vector (len Shards).
+	Vers []uint64
+	// U and V are the flat row-major coordinates (len N·Rank each).
+	U, V []float64
+}
+
+// Validate checks the checkpoint's geometry and section lengths against
+// the format limits — everything Write enforces and Read guarantees.
+func (c *Checkpoint) Validate() error {
+	if c.N < 1 || c.N > wire.MaxNodes {
+		return fmt.Errorf("%w: n=%d out of [1,%d]", ErrTooLarge, c.N, wire.MaxNodes)
+	}
+	if c.Rank < 1 || c.Rank > wire.MaxRank {
+		return fmt.Errorf("%w: rank=%d out of [1,%d]", ErrTooLarge, c.Rank, wire.MaxRank)
+	}
+	if uint64(c.N)*uint64(c.Rank) > wire.MaxStateFloats {
+		return fmt.Errorf("%w: n·rank=%d exceeds %d", ErrTooLarge, uint64(c.N)*uint64(c.Rank), wire.MaxStateFloats)
+	}
+	if c.Shards < 1 || c.Shards > wire.MaxShards || c.Shards > c.N {
+		return fmt.Errorf("%w: shards=%d out of [1,min(%d,n)]", ErrTooLarge, c.Shards, wire.MaxShards)
+	}
+	if c.K < 0 || c.K >= c.N {
+		return fmt.Errorf("%w: k=%d out of [0,%d)", ErrInvalid, c.K, c.N)
+	}
+	if len(c.NodeDraws) != 0 && len(c.NodeDraws) != c.N {
+		return fmt.Errorf("%w: %d node draw counts for %d nodes", ErrInvalid, len(c.NodeDraws), c.N)
+	}
+	if len(c.Cursors) > MaxCursorLayers {
+		return fmt.Errorf("%w: %d cursor layers exceed %d", ErrTooLarge, len(c.Cursors), MaxCursorLayers)
+	}
+	for i, cur := range c.Cursors {
+		if len(cur) > MaxCursorVals {
+			return fmt.Errorf("%w: cursor layer %d carries %d values, limit %d", ErrTooLarge, i, len(cur), MaxCursorVals)
+		}
+	}
+	if len(c.Vers) != c.Shards {
+		return fmt.Errorf("%w: version vector of %d for %d shards", ErrInvalid, len(c.Vers), c.Shards)
+	}
+	if len(c.U) != c.N*c.Rank || len(c.V) != c.N*c.Rank {
+		return fmt.Errorf("%w: flat arrays %d/%d, want %d", ErrInvalid, len(c.U), len(c.V), c.N*c.Rank)
+	}
+	for _, x := range []float64{c.Tau, c.Eta, c.Lambda} {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: non-finite hyper-parameter", ErrInvalid)
+		}
+	}
+	for k := range c.U {
+		if math.IsNaN(c.U[k]) || math.IsInf(c.U[k], 0) || math.IsNaN(c.V[k]) || math.IsInf(c.V[k], 0) {
+			return fmt.Errorf("%w: non-finite coordinate at row %d", ErrInvalid, k/c.Rank)
+		}
+	}
+	return nil
+}
+
+// headerLen is the byte length of the fixed header that follows the
+// (magic, version) prefix.
+const headerLen = 4 + 2 + 2 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + 1 + 4
+
+// Write encodes c to w. The layout is:
+//
+//	magic[4] version[2]
+//	n[4] rank[2] shards[2] k[4] steps[8] seed[8] draws[8] walSeq[8]
+//	tau[8] eta[8] lambda[8] loss[1] metric[1] nodeDrawCount[4]
+//	nodeDraws[8·count]
+//	cursorLayers[2] { vals[2] val[8]·vals }·layers
+//	vers[8·shards] u[8·n·rank] v[8·n·rank]
+//	crc32[4]
+//
+// all big-endian; the CRC-32 (IEEE) covers every preceding byte.
+func Write(w io.Writer, c *Checkpoint) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+
+	buf := make([]byte, 0, 64)
+	buf = append(buf, magic[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c.N))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Rank))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Shards))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(c.K))
+	buf = binary.BigEndian.AppendUint64(buf, c.Steps)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.Seed))
+	buf = binary.BigEndian.AppendUint64(buf, c.Draws)
+	buf = binary.BigEndian.AppendUint64(buf, c.WALSeq)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Tau))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Eta))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Lambda))
+	buf = append(buf, c.Loss, c.Metric)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.NodeDraws)))
+	if _, err := mw.Write(buf); err != nil {
+		return err
+	}
+	if err := writeUint64s(mw, c.NodeDraws); err != nil {
+		return err
+	}
+	var small [8]byte
+	binary.BigEndian.PutUint16(small[:2], uint16(len(c.Cursors)))
+	if _, err := mw.Write(small[:2]); err != nil {
+		return err
+	}
+	for _, cur := range c.Cursors {
+		binary.BigEndian.PutUint16(small[:2], uint16(len(cur)))
+		if _, err := mw.Write(small[:2]); err != nil {
+			return err
+		}
+		if err := writeUint64s(mw, cur); err != nil {
+			return err
+		}
+	}
+	if err := writeUint64s(mw, c.Vers); err != nil {
+		return err
+	}
+	if err := writeFloats(mw, c.U); err != nil {
+		return err
+	}
+	if err := writeFloats(mw, c.V); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(small[:4], crc.Sum32())
+	_, err := w.Write(small[:4])
+	return err
+}
+
+// Read decodes one checkpoint from r, validating every declared length
+// before the corresponding allocation and verifying the CRC trailer.
+// Exactly the checkpoint's bytes are consumed; trailing bytes (when r
+// is a file read to its end) are rejected as ErrInvalid.
+func Read(r io.Reader) (*Checkpoint, error) {
+	crc := crc32.NewIEEE()
+	tr := io.TeeReader(r, crc)
+
+	var pre [6]byte
+	if _, err := io.ReadFull(tr, pre[:]); err != nil {
+		return nil, truncated(err)
+	}
+	if [4]byte(pre[:4]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(pre[4:]); v != Version {
+		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrBadVersion, v, Version)
+	}
+
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+		return nil, truncated(err)
+	}
+	c := &Checkpoint{
+		N:      int(binary.BigEndian.Uint32(hdr[0:])),
+		Rank:   int(binary.BigEndian.Uint16(hdr[4:])),
+		Shards: int(binary.BigEndian.Uint16(hdr[6:])),
+		K:      int(binary.BigEndian.Uint32(hdr[8:])),
+		Steps:  binary.BigEndian.Uint64(hdr[12:]),
+		Seed:   int64(binary.BigEndian.Uint64(hdr[20:])),
+		Draws:  binary.BigEndian.Uint64(hdr[28:]),
+		WALSeq: binary.BigEndian.Uint64(hdr[36:]),
+		Tau:    math.Float64frombits(binary.BigEndian.Uint64(hdr[44:])),
+		Eta:    math.Float64frombits(binary.BigEndian.Uint64(hdr[52:])),
+		Lambda: math.Float64frombits(binary.BigEndian.Uint64(hdr[60:])),
+		Loss:   hdr[68],
+		Metric: hdr[69],
+	}
+	// Geometry limits before any sized allocation.
+	if c.N < 1 || c.N > wire.MaxNodes ||
+		c.Rank < 1 || c.Rank > wire.MaxRank ||
+		uint64(c.N)*uint64(c.Rank) > wire.MaxStateFloats ||
+		c.Shards < 1 || c.Shards > wire.MaxShards || c.Shards > c.N ||
+		c.K < 0 || c.K >= c.N {
+		return nil, fmt.Errorf("%w: geometry n=%d rank=%d shards=%d k=%d", ErrTooLarge, c.N, c.Rank, c.Shards, c.K)
+	}
+	nodeDraws := int(binary.BigEndian.Uint32(hdr[70:]))
+	if nodeDraws != 0 && nodeDraws != c.N {
+		return nil, fmt.Errorf("%w: %d node draw counts for %d nodes", ErrInvalid, nodeDraws, c.N)
+	}
+
+	var err error
+	if c.NodeDraws, err = readUint64s(tr, nodeDraws); err != nil {
+		return nil, err
+	}
+	var small [4]byte
+	if _, err := io.ReadFull(tr, small[:2]); err != nil {
+		return nil, truncated(err)
+	}
+	layers := int(binary.BigEndian.Uint16(small[:2]))
+	if layers > MaxCursorLayers {
+		return nil, fmt.Errorf("%w: %d cursor layers exceed %d", ErrTooLarge, layers, MaxCursorLayers)
+	}
+	if layers > 0 {
+		c.Cursors = make([][]uint64, layers)
+		for i := range c.Cursors {
+			if _, err := io.ReadFull(tr, small[:2]); err != nil {
+				return nil, truncated(err)
+			}
+			vals := int(binary.BigEndian.Uint16(small[:2]))
+			if vals > MaxCursorVals {
+				return nil, fmt.Errorf("%w: cursor layer %d carries %d values, limit %d", ErrTooLarge, i, vals, MaxCursorVals)
+			}
+			if c.Cursors[i], err = readUint64s(tr, vals); err != nil {
+				return nil, err
+			}
+			if c.Cursors[i] == nil {
+				c.Cursors[i] = []uint64{}
+			}
+		}
+	}
+	if c.Vers, err = readUint64s(tr, c.Shards); err != nil {
+		return nil, err
+	}
+	if c.U, err = readFloats(tr, c.N*c.Rank); err != nil {
+		return nil, err
+	}
+	if c.V, err = readFloats(tr, c.N*c.Rank); err != nil {
+		return nil, err
+	}
+
+	sum := crc.Sum32() // everything up to (not including) the trailer
+	if _, err := io.ReadFull(r, small[:4]); err != nil {
+		return nil, truncated(err)
+	}
+	if binary.BigEndian.Uint32(small[:4]) != sum {
+		return nil, ErrChecksum
+	}
+	if n, _ := r.Read(small[:1]); n != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes after checkpoint", ErrInvalid)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteFile durably writes c to path: temp file in the same directory,
+// fsync, atomic rename. A crash mid-write leaves any previous file at
+// path intact.
+func WriteFile(path string, c *Checkpoint) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable before callers act on it (the
+	// checkpoint-then-truncate ordering of SaveCheckpoint depends on the
+	// new directory entry surviving a power cut).
+	if d, err := os.Open(dir); err == nil {
+		syncErr := d.Sync()
+		d.Close()
+		if syncErr != nil {
+			return syncErr
+		}
+	}
+	return nil
+}
+
+// ReadFile reads the checkpoint at path.
+func ReadFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// truncated maps short-read errors onto the package sentinel.
+func truncated(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrTruncated
+	}
+	return err
+}
+
+// chunkBytes bounds one read/convert step of the bulk sections, so a
+// short input declaring a huge section allocates at most one chunk
+// beyond the bytes that actually arrived.
+const chunkBytes = 64 << 10
+
+// readUint64s reads count big-endian uint64s in bounded chunks.
+func readUint64s(r io.Reader, count int) ([]uint64, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, 0, min(count, chunkBytes/8))
+	var buf [chunkBytes]byte
+	for len(out) < count {
+		want := min((count-len(out))*8, chunkBytes)
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, truncated(err)
+		}
+		for off := 0; off < want; off += 8 {
+			out = append(out, binary.BigEndian.Uint64(buf[off:]))
+		}
+	}
+	return out, nil
+}
+
+// readFloats reads count big-endian float64s in bounded chunks.
+func readFloats(r io.Reader, count int) ([]float64, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	out := make([]float64, 0, min(count, chunkBytes/8))
+	var buf [chunkBytes]byte
+	for len(out) < count {
+		want := min((count-len(out))*8, chunkBytes)
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, truncated(err)
+		}
+		for off := 0; off < want; off += 8 {
+			out = append(out, math.Float64frombits(binary.BigEndian.Uint64(buf[off:])))
+		}
+	}
+	return out, nil
+}
+
+// writeUint64s writes vs as big-endian uint64s in bounded chunks.
+func writeUint64s(w io.Writer, vs []uint64) error {
+	var buf [chunkBytes]byte
+	for len(vs) > 0 {
+		n := min(len(vs), chunkBytes/8)
+		for i := 0; i < n; i++ {
+			binary.BigEndian.PutUint64(buf[8*i:], vs[i])
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
+
+// writeFloats writes vs as big-endian float64 bit patterns.
+func writeFloats(w io.Writer, vs []float64) error {
+	var buf [chunkBytes]byte
+	for len(vs) > 0 {
+		n := min(len(vs), chunkBytes/8)
+		for i := 0; i < n; i++ {
+			binary.BigEndian.PutUint64(buf[8*i:], math.Float64bits(vs[i]))
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}

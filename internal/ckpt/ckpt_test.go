@@ -1,0 +1,179 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden checkpoint fixture")
+
+// goldenCheckpoint is the fixed fixture: every field exercised, values
+// chosen so byte-level drift in any section shows up.
+func goldenCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		N: 4, Rank: 2, Shards: 2, K: 3,
+		Steps:  12345,
+		Seed:   -7,
+		Draws:  99991,
+		WALSeq: 42,
+		Tau:    95.5, Eta: 0.1, Lambda: 0.05,
+		Loss: 1, Metric: 2,
+		NodeDraws: []uint64{10, 20, 30, 40},
+		Cursors:   [][]uint64{{7}, {}, {1, 2, 3}},
+		Vers:      []uint64{5, 9},
+		U:         []float64{0.125, -1.5, 2.25, 3, -0.0625, 7, 8.5, -9},
+		V:         []float64{1, 2, 3, 4, 5.5, -6.5, 7.75, 0.0078125},
+	}
+}
+
+func encode(t *testing.T, c *Checkpoint) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := goldenCheckpoint()
+	got, err := Read(bytes.NewReader(encode(t, want)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestGoldenFile pins the v1 byte layout: encoding the fixture must
+// reproduce the committed file exactly, and decoding the committed file
+// must reproduce the fixture. Any layout change breaks this test — bump
+// Version and add a new fixture instead of silently reshaping v1.
+func TestGoldenFile(t *testing.T) {
+	path := filepath.Join("testdata", "checkpoint_v1.golden")
+	enc := encode(t, goldenCheckpoint())
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Errorf("encoding drifted from the committed v1 fixture (%d vs %d bytes)", len(enc), len(want))
+	}
+	dec, err := Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("decode golden: %v", err)
+	}
+	if !reflect.DeepEqual(dec, goldenCheckpoint()) {
+		t.Errorf("golden decode mismatch: %+v", dec)
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	enc := encode(t, goldenCheckpoint())
+
+	bad := bytes.Clone(enc)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v, want ErrBadMagic", err)
+	}
+
+	// A version-bumped header must fail with the typed sentinel, not a
+	// panic and not a misparse.
+	bumped := bytes.Clone(enc)
+	binary.BigEndian.PutUint16(bumped[4:], Version+1)
+	if _, err := Read(bytes.NewReader(bumped)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bumped version: got %v, want ErrBadVersion", err)
+	}
+
+	for _, cut := range []int{0, 3, 5, 20, len(enc) / 2, len(enc) - 1} {
+		if _, err := Read(bytes.NewReader(enc[:cut])); !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: got %v, want ErrTruncated", cut, err)
+		}
+	}
+
+	flipped := bytes.Clone(enc)
+	flipped[len(flipped)-10] ^= 0x40 // payload byte: CRC must catch it
+	if _, err := Read(bytes.NewReader(flipped)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped payload byte: got %v, want ErrChecksum", err)
+	}
+
+	trailing := append(bytes.Clone(enc), 0)
+	if _, err := Read(bytes.NewReader(trailing)); !errors.Is(err, ErrInvalid) {
+		t.Errorf("trailing byte: got %v, want ErrInvalid", err)
+	}
+}
+
+func TestReadRejectsOversizedGeometry(t *testing.T) {
+	enc := encode(t, goldenCheckpoint())
+	huge := bytes.Clone(enc)
+	binary.BigEndian.PutUint32(huge[6:], 1<<30) // n field
+	if _, err := Read(bytes.NewReader(huge)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("huge n: got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestValidateRejectsInconsistency(t *testing.T) {
+	c := goldenCheckpoint()
+	c.Vers = c.Vers[:1]
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("short version vector: got %v, want ErrInvalid", err)
+	}
+	c = goldenCheckpoint()
+	c.Tau = math.NaN()
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("NaN tau: got %v, want ErrInvalid", err)
+	}
+	c = goldenCheckpoint()
+	c.NodeDraws = c.NodeDraws[:2]
+	if err := c.Validate(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("partial node draws: got %v, want ErrInvalid", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	c := goldenCheckpoint()
+	if err := WriteFile(path, c); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Error("file round trip mismatch")
+	}
+	// Overwrite with different content; no temp litter left behind.
+	c.Steps = 999
+	if err := WriteFile(path, c); err != nil {
+		t.Fatalf("WriteFile overwrite: %v", err)
+	}
+	got, err = ReadFile(path)
+	if err != nil || got.Steps != 999 {
+		t.Fatalf("overwrite not visible: %+v, %v", got, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("temp files left behind: %v", ents)
+	}
+}

@@ -1,0 +1,57 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadCheckpoint feeds arbitrary bytes to the decoder: it must
+// never panic and never allocate past the format limits, and anything
+// it does accept must re-encode and re-decode to the same value.
+func FuzzReadCheckpoint(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DMFC"))
+	enc := &bytes.Buffer{}
+	if err := Write(enc, &Checkpoint{
+		N: 3, Rank: 2, Shards: 2, K: 1,
+		Steps: 7, Seed: 42, Draws: 100, WALSeq: 3,
+		Tau: 50, Eta: 0.1, Lambda: 0.1, Loss: 0, Metric: 1,
+		NodeDraws: []uint64{1, 2, 3},
+		Cursors:   [][]uint64{{9}},
+		Vers:      []uint64{1, 2},
+		U:         []float64{1, 2, 3, 4, 5, 6},
+		V:         []float64{6, 5, 4, 3, 2, 1},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	valid := enc.Bytes()
+	f.Add(bytes.Clone(valid))
+	f.Add(bytes.Clone(valid[:len(valid)/2]))
+	// A header declaring enormous sections with no payload behind it.
+	huge := bytes.Clone(valid[:6+headerLen])
+	binary.BigEndian.PutUint32(huge[6:], 1<<19)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("accepted checkpoint fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("re-encode of accepted checkpoint failed: %v", err)
+		}
+		c2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatal("re-encode round trip drifted")
+		}
+	})
+}

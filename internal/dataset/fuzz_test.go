@@ -101,6 +101,65 @@ func FuzzReadTrace(f *testing.F) {
 	})
 }
 
+func FuzzReadWAL(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteWALHeader(&buf, 3)
+	_ = WriteStream(&buf, []Measurement{{T: 0.5, I: 0, J: 1, Value: 42}})
+	_ = WriteWALCommit(&buf, WALCommit{Seq: 4, Batch: true, Steps: 10, Draws: 20, Cursors: [][]uint64{{1}, {}}})
+	for _, seed := range []string{
+		buf.String(),
+		`{"wal":1,"seq":0}`,
+		`{"wal":99,"seq":0}`,
+		`{"commit":{"seq":1,"mode":"s","steps":2,"draws":3}}`,
+		`{"commit":{"seq":1,"mode":"b","cur":[[1,2],[3]]}}`,
+		`{"t":1,"i":0,"j":1,"v":2}`,
+		`{"t":1,"i":0,"v":2}`,
+		"not json",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		sc := NewWALScanner(strings.NewReader(data))
+		prev := int64(0)
+		for {
+			var rec WALRecord
+			err := sc.Next(&rec)
+			if err != nil {
+				// Clean EOF or a descriptive error; either way Offset must
+				// still mark the end of the last whole record.
+				if sc.Offset() < prev || sc.Offset() > int64(len(data)) {
+					t.Fatalf("offset %d out of [%d,%d]", sc.Offset(), prev, len(data))
+				}
+				return
+			}
+			if sc.Offset() < prev {
+				t.Fatalf("offset went backwards: %d -> %d", prev, sc.Offset())
+			}
+			prev = sc.Offset()
+			switch rec.Kind {
+			case WALMeasurementRecord:
+				if rec.M.I < 0 || rec.M.J < 0 || rec.M.I == rec.M.J ||
+					math.IsNaN(rec.M.T) || math.IsNaN(rec.M.Value) {
+					t.Fatalf("invalid measurement survived validation: %+v", rec.M)
+				}
+			case WALCommitRecord:
+				if len(rec.Commit.Cursors) > MaxWALCursorLayers {
+					t.Fatalf("oversized cursor set survived validation")
+				}
+				// Accepted commits must re-encode and re-parse identically.
+				var out bytes.Buffer
+				if err := WriteWALCommit(&out, rec.Commit); err != nil {
+					t.Fatalf("re-encode failed: %v", err)
+				}
+			case WALHeaderRecord:
+			default:
+				t.Fatalf("unknown record kind %d", rec.Kind)
+			}
+		}
+	})
+}
+
 func FuzzReadStream(f *testing.F) {
 	var buf bytes.Buffer
 	_ = WriteStream(&buf, []Measurement{{T: 0.5, I: 0, J: 1, Value: 42}, {T: 1.5, I: 3, J: 7, Value: 132.25}})

@@ -53,6 +53,7 @@ type Engine struct {
 
 	// Parallel-epoch state, built lazily on first RunEpoch.
 	nodeRNG  []*rand.Rand
+	nodeSrc  []*CountingSource // counting sources behind nodeRNG (checkpointing)
 	snapU    []float64
 	snapV    []float64
 	snapVers []uint64          // store versions snapU/snapV were copied at
@@ -109,6 +110,46 @@ func (e *Engine) N() int { return e.store.n }
 
 // Steps returns the number of successful updates so far (both modes).
 func (e *Engine) Steps() int { return e.steps }
+
+// SetSteps overwrites the cumulative update counter — checkpoint
+// restore only, paired with Store.RestoreFlat.
+func (e *Engine) SetSteps(steps int) { e.steps = steps }
+
+// NodeDraws returns the per-node epoch-stream draw counts, or nil when
+// the parallel scheduler has never run (no per-node streams exist yet).
+// Part of the checkpoint capture: restoring these counts via
+// RestoreNodeDraws makes resumed epoch training continue the streams
+// bit-identically.
+func (e *Engine) NodeDraws() []uint64 {
+	if e.nodeSrc == nil {
+		return nil
+	}
+	out := make([]uint64, len(e.nodeSrc))
+	for i, src := range e.nodeSrc {
+		out[i] = src.Draws()
+	}
+	return out
+}
+
+// RestoreNodeDraws fast-forwards the per-node epoch streams to the
+// given draw counts (len 0 = the checkpoint was taken before any epoch
+// ran: nothing to do). Call before any training on a freshly built
+// engine.
+func (e *Engine) RestoreNodeDraws(draws []uint64) error {
+	if len(draws) == 0 {
+		return nil
+	}
+	if len(draws) != e.store.n {
+		return fmt.Errorf("engine: %d node draw counts for %d nodes", len(draws), e.store.n)
+	}
+	e.ensureEpochState()
+	for i, d := range draws {
+		if err := e.nodeSrc[i].FastForward(d); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // SetLabels swaps the training-label matrix mid-run (network dynamics).
 func (e *Engine) SetLabels(labels *mat.Dense) {

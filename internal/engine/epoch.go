@@ -39,8 +39,12 @@ func (e *Engine) ensureEpochState() {
 	}
 	n, rank, p := e.store.n, e.store.rank, e.store.shards
 	e.nodeRNG = make([]*rand.Rand, n)
+	e.nodeSrc = make([]*CountingSource, n)
 	for i := range e.nodeRNG {
-		e.nodeRNG[i] = rand.New(rand.NewSource(DeriveSeed(e.cfg.Seed, i)))
+		// Counting sources so the stream positions are checkpointable;
+		// value-transparent, so epoch results are unchanged.
+		e.nodeSrc[i] = NewCountingSource(DeriveSeed(e.cfg.Seed, i))
+		e.nodeRNG[i] = rand.New(e.nodeSrc[i])
 	}
 	e.snapU = make([]float64, n*rank)
 	e.snapV = make([]float64, n*rank)

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CountingSource wraps the standard math/rand source with a draw
+// counter, which is what makes an RNG stream checkpointable: the
+// position of a stream is exactly the number of values drawn from its
+// source, and a fresh source with the same seed fast-forwarded by that
+// count continues the stream bit-identically. Every Rand method
+// (Intn's rejection loop, NormFloat64's ziggurat retries, …) bottoms
+// out in Int63/Uint64, so counting here captures all consumption, no
+// matter how many draws a given call happens to burn.
+//
+// Wrapping is value-transparent: both Int63 and Uint64 delegate to the
+// same underlying generator, so rand.New(NewCountingSource(seed))
+// produces the same stream as rand.New(rand.NewSource(seed)).
+type CountingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// NewCountingSource returns a counting source seeded like
+// rand.NewSource(seed).
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 draws the next value, counting it.
+func (s *CountingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 draws the next value, counting it.
+func (s *CountingSource) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed reseeds the underlying source and resets the draw counter.
+func (s *CountingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// Draws returns the number of values drawn so far.
+func (s *CountingSource) Draws() uint64 { return s.draws }
+
+// FastForward consumes draws until the counter reaches target — the
+// restore half of checkpointing: a freshly seeded source fast-forwarded
+// to a saved Draws() count continues exactly where the saved stream
+// stopped. Rewinding is impossible; a target below the current count
+// means the checkpoint does not belong to this configuration.
+func (s *CountingSource) FastForward(target uint64) error {
+	if target < s.draws {
+		return fmt.Errorf("engine: RNG stream at draw %d cannot rewind to %d (checkpoint from a different configuration?)", s.draws, target)
+	}
+	for s.draws < target {
+		s.draws++
+		s.src.Int63()
+	}
+	return nil
+}

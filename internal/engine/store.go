@@ -216,6 +216,32 @@ func (s *Store) SnapshotDeltaInto(u, v []float64, vers []uint64) int {
 	return copied
 }
 
+// RestoreFlat overwrites every node's coordinates from flat row-major
+// arrays (node i's rows at [i·rank, (i+1)·rank)) and sets the per-shard
+// version counters to vers — the checkpoint-restore inverse of
+// SnapshotInto + Versions. Versions are set, not bumped: a restored
+// store reports exactly the vector the state was captured at, so delta
+// consumers (snapshot refresh, replication) resume from the right
+// point. Each shard's rows and version are written under its lock.
+func (s *Store) RestoreFlat(u, v []float64, vers []uint64) {
+	if len(u) != s.n*s.rank || len(v) != s.n*s.rank {
+		panic(fmt.Sprintf("engine: restore buffers %d/%d, want %d", len(u), len(v), s.n*s.rank))
+	}
+	if len(vers) != s.shards {
+		panic(fmt.Sprintf("engine: restore version vector length %d, want %d", len(vers), s.shards))
+	}
+	for p := range s.sh {
+		sh := &s.sh[p]
+		sh.mu.Lock()
+		for li, i := range sh.nodes {
+			copy(sh.coords[li].U, u[i*s.rank:(i+1)*s.rank])
+			copy(sh.coords[li].V, v[i*s.rank:(i+1)*s.rank])
+		}
+		sh.ver = vers[p]
+		sh.mu.Unlock()
+	}
+}
+
 // Ref returns a locked handle to node i's coordinates.
 func (s *Store) Ref(i int) Ref {
 	if i < 0 || i >= s.n {

@@ -1,0 +1,40 @@
+package replica
+
+import (
+	"fmt"
+
+	"dmfsgd/internal/ckpt"
+)
+
+// FromCheckpoint materializes a replica State from a decoded checkpoint
+// — the follower bootstrap path: a serving replica that saved its state
+// before a restart starts from the local file instead of a full remote
+// pull, and the restored version vector makes the anti-entropy exchange
+// ship only the shards that advanced while the replica was down.
+// Works with any checkpoint (a trainer session's or a follower's own):
+// only the coordinates, version vector and serving metadata are used.
+func FromCheckpoint(c *ckpt.Checkpoint) (*State, error) {
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("replica: %w", err)
+	}
+	return Update(nil, c.N, c.Rank, c.Shards,
+		Meta{Steps: c.Steps, Tau: c.Tau, Metric: c.Metric},
+		c.Vers, c.U, c.V)
+}
+
+// Checkpoint captures the state in the durable checkpoint format. A
+// replica state carries no topology or RNG streams, so the counters a
+// trainer session records are zero: the resulting file bootstraps
+// serving replicas (FromCheckpoint) but is not a training resume point
+// (ResumeSession rejects its k=0 topology).
+func (st *State) Checkpoint() *ckpt.Checkpoint {
+	u, v := st.Flatten()
+	return &ckpt.Checkpoint{
+		N: st.N, Rank: st.Rank, Shards: st.Shards,
+		Steps:  st.Meta.Steps,
+		Tau:    st.Meta.Tau,
+		Metric: st.Meta.Metric,
+		Vers:   append([]uint64(nil), st.vers...),
+		U:      u, V: v,
+	}
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"sort"
 	"testing"
 	"time"
 
@@ -151,29 +152,88 @@ func TestSwarmWallClockRTT(t *testing.T) {
 	// must still clearly beat chance. The unit is kept large relative to
 	// scheduler jitter (a 100µs hiccup at 50µs/ms misreads an RTT by 2ms,
 	// not 5ms) so the test stays meaningful on slow or single-core CI.
+	//
+	// Two things made the historical version of this test flake under
+	// load, and both are handled by measurement rather than by loosening
+	// the quality bar:
+	//
+	//   - Training amount was a fixed wall-clock window, so a slow host
+	//     trained less. Now training runs to a deterministic update
+	//     target — a slow host trains longer rather than less, and the
+	//     AUC bar judges the same amount of learning everywhere.
+	//   - Measurement quality depends on the host's timer fidelity:
+	//     every wall-clock RTT inherits the scheduler's sleep overshoot,
+	//     and on a saturated or single-core host that overshoot can
+	//     dwarf the wall-clock unit, turning the readings into scheduler
+	//     noise. The test calibrates the overshoot first and skips —
+	//     with the measured number — when the instrument cannot resolve
+	//     the unit, instead of failing on garbage input or passing a
+	//     meaningless bar.
+	const (
+		targetUpdates = 25000
+		unit          = 50 * time.Microsecond
+	)
+	if over := timerOvershoot(64); over > 4*unit {
+		t.Skipf("host timer overshoot %v vs %v wall-clock unit: RTT readings would measure scheduler noise, not path delay", over, unit)
+	}
 	ds := dataset.Meridian(dataset.MeridianConfig{N: 25, Seed: 64})
-	s := runSwarm(t, SwarmConfig{
+	s, err := NewSwarm(SwarmConfig{
 		Dataset:       ds,
 		SGD:           sgd.Defaults(),
 		K:             6,
 		Tau:           ds.Median(),
 		ProbeInterval: 400 * time.Microsecond,
 		NetworkDelay:  true,
-		WallClockUnit: 50 * time.Microsecond,
+		WallClockUnit: unit,
 		Seed:          4,
-	}, 2500*time.Millisecond)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	start := time.Now()
+	const hardTimeout = 30 * time.Second
+	for s.TotalStats().Updates < targetUpdates && time.Since(start) < hardTimeout {
+		time.Sleep(10 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	s.Stop()
 
 	st := s.TotalStats()
+	// The overshoot calibration above proved the host responsive, so a
+	// near-total stall is a product regression, not load — fail hard
+	// (the historical minimum), and only treat a *partial* shortfall as
+	// an overloaded-host skip.
 	if st.Updates < 300 {
-		t.Fatalf("too few updates: %+v", st)
+		t.Fatalf("swarm made almost no progress on a responsive host: %+v after %v", st, elapsed)
 	}
-	// The bar is "clearly beats chance", not a quality target: wall-clock
-	// measurements inherit whatever jitter the host's scheduler has, and
-	// loaded CI machines have been observed as low as ~0.63 where idle
-	// ones reach ~0.75.
-	if auc := s.AUC(0); auc < 0.6 {
-		t.Errorf("wall-clock AUC = %v, want >= 0.6 (stats %+v)", auc, st)
+	if st.Updates < targetUpdates {
+		t.Skipf("host too loaded for the probe schedule: %d of %d updates after %v (stats %+v)",
+			st.Updates, targetUpdates, elapsed, st)
 	}
+	// The swarm nominally reaches the target within a few seconds;
+	// allow generous slack before declaring the readings meaningless.
+	if elapsed > 15*time.Second {
+		t.Skipf("scheduler too saturated for wall-clock measurement: %d updates took %v", targetUpdates, elapsed)
+	}
+	if auc := s.AUC(0); auc < 0.7 {
+		t.Errorf("wall-clock AUC = %v after %d updates, want >= 0.7 (stats %+v)", auc, st.Updates, st)
+	}
+}
+
+// timerOvershoot measures the host's median overshoot of a 100µs sleep
+// — the scheduler noise floor every wall-clock RTT measurement
+// inherits. An idle multi-core host measures tens of microseconds; a
+// saturated or single-core one measures a millisecond or more.
+func timerOvershoot(samples int) time.Duration {
+	over := make([]time.Duration, samples)
+	for i := range over {
+		t0 := time.Now()
+		time.Sleep(100 * time.Microsecond)
+		over[i] = time.Since(t0) - 100*time.Microsecond
+	}
+	sort.Slice(over, func(a, b int) bool { return over[a] < over[b] })
+	return over[samples/2]
 }
 
 func TestNodeIgnoresGarbageAndForgedReplies(t *testing.T) {

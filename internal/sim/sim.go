@@ -73,6 +73,7 @@ type Driver struct {
 	cfg    Config
 
 	eng       *engine.Engine
+	msrc      *engine.CountingSource // the master stream's source (checkpointing)
 	neighbors [][]int
 	trainMask *mat.Mask
 	evalCache engine.PairCache
@@ -101,7 +102,11 @@ func New(ds *dataset.Dataset, labels *mat.Dense, cfg Config) (*Driver, error) {
 	if cfg.TrainScale < 0 {
 		return nil, fmt.Errorf("sim: TrainScale must be positive, got %v", cfg.TrainScale)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The master sequential stream runs off a counting source so its
+	// position is checkpointable (value-transparent: same draws as a bare
+	// rand.NewSource at the same seed).
+	msrc := engine.NewCountingSource(cfg.Seed)
+	rng := rand.New(msrc)
 	trainMask, neighbors := mat.NeighborMask(ds.N(), cfg.K, ds.Metric.Symmetric(), rng)
 	eng, err := engine.New(labels, neighbors, rng, engine.Config{
 		SGD:        cfg.SGD,
@@ -119,9 +124,24 @@ func New(ds *dataset.Dataset, labels *mat.Dense, cfg Config) (*Driver, error) {
 		labels:    labels,
 		cfg:       cfg,
 		eng:       eng,
+		msrc:      msrc,
 		neighbors: neighbors,
 		trainMask: trainMask,
 	}, nil
+}
+
+// MasterDraws returns the number of values drawn from the master
+// sequential RNG stream since construction (neighbor-mask build,
+// coordinate init, probe sampling) — the stream position a checkpoint
+// records.
+func (d *Driver) MasterDraws() uint64 { return d.msrc.Draws() }
+
+// FastForwardMaster advances the master stream to a checkpointed draw
+// count. The target must be at or past the current position (a freshly
+// built driver has already consumed its construction draws); rewinding
+// means the checkpoint belongs to a different configuration.
+func (d *Driver) FastForwardMaster(target uint64) error {
+	return d.msrc.FastForward(target)
 }
 
 // N returns the node count.

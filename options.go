@@ -25,6 +25,11 @@ type settings struct {
 	workers      int // 0 = GOMAXPROCS
 	seed         int64
 
+	// Explicit-set markers for the options a checkpoint also records:
+	// ResumeSession adopts the checkpoint's values and uses these to
+	// detect (and reject) contradicting explicit options.
+	rankSet, etaSet, lambdaSet, lossSet, kSet, shardsSet, seedSet bool
+
 	// Live-session knobs (WithLive and friends).
 	live          bool
 	probeInterval time.Duration
@@ -60,6 +65,7 @@ func WithRank(r int) Option {
 			return fmt.Errorf("%w: rank must be positive, got %d", ErrInvalidConfig, r)
 		}
 		s.rank = r
+		s.rankSet = true
 		return nil
 	}
 }
@@ -71,6 +77,7 @@ func WithLearningRate(eta float64) Option {
 			return fmt.Errorf("%w: learning rate must be positive and finite, got %v", ErrInvalidConfig, eta)
 		}
 		s.learningRate = eta
+		s.etaSet = true
 		return nil
 	}
 }
@@ -84,6 +91,7 @@ func WithLambda(lambda float64) Option {
 			return fmt.Errorf("%w: lambda must be non-negative and finite, got %v", ErrInvalidConfig, lambda)
 		}
 		s.lambda = lambda
+		s.lambdaSet = true
 		return nil
 	}
 }
@@ -97,6 +105,7 @@ func WithLoss(l Loss) Option {
 		switch l {
 		case loss.Logistic, loss.Hinge, loss.L2:
 			s.loss = l
+			s.lossSet = true
 			return nil
 		default:
 			return fmt.Errorf("%w: unknown loss %v", ErrInvalidConfig, l)
@@ -127,6 +136,7 @@ func WithK(k int) Option {
 			return fmt.Errorf("%w: k must be positive, got %d", ErrInvalidConfig, k)
 		}
 		s.k = k
+		s.kSet = true
 		return nil
 	}
 }
@@ -140,6 +150,7 @@ func WithShards(p int) Option {
 			return fmt.Errorf("%w: shards must be positive, got %d", ErrInvalidConfig, p)
 		}
 		s.shards = p
+		s.shardsSet = true
 		return nil
 	}
 }
@@ -162,6 +173,7 @@ func WithWorkers(w int) Option {
 func WithSeed(seed int64) Option {
 	return func(s *settings) error {
 		s.seed = seed
+		s.seedSet = true
 		return nil
 	}
 }

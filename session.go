@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dmfsgd/internal/classify"
+	"dmfsgd/internal/dataset"
 	"dmfsgd/internal/engine"
 	"dmfsgd/internal/eval"
 	"dmfsgd/internal/peersel"
@@ -99,9 +100,13 @@ type Session struct {
 
 	// src is the measurement stream Run drains on a deterministic
 	// session (nil when live: a swarm generates its own measurements).
-	// epochMode records what RunEpochs can do with it.
+	// epochMode records what RunEpochs can do with it. wal is the
+	// chain's WAL decorator when one is attached (always the outermost
+	// layer): the session writes a commit barrier through it after every
+	// applied batch.
 	src       Source
 	epochMode epochMode
+	wal       *WALSource
 
 	mu     sync.Mutex
 	closed bool
@@ -175,7 +180,9 @@ func NewSessionFromSource(ds *Dataset, src Source, opts ...Option) (*Session, er
 	if err != nil {
 		return nil, err
 	}
-	s.attachSource(src)
+	if err := s.attachSource(src); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -229,7 +236,9 @@ func newSession(ds *Dataset, set settings) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.attachSource(src)
+	if err := s.attachSource(src); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -260,21 +269,48 @@ func newDeterministicSession(ds *Dataset, set settings) (*Session, error) {
 }
 
 // attachSource wires a measurement source to the session: bindable
-// sources in the chain adopt the driver's topology and RNG stream, and
-// the epoch mode is classified once.
-func (s *Session) attachSource(src Source) {
+// sources in the chain adopt the driver's topology and RNG stream, the
+// epoch mode is classified once, and a WAL decorator — which must be
+// the outermost layer, so the log records exactly what the session
+// consumes — is remembered for commit barriers.
+func (s *Session) attachSource(src Source) error {
 	bindSource(src, s.drv)
 	s.src = src
+	if ws, ok := src.(*WALSource); ok {
+		s.wal = ws
+	}
+	for c := src; c != nil; {
+		u, ok := c.(sourceUnwrapper)
+		if !ok {
+			break
+		}
+		c = u.Unwrap()
+		if _, buried := c.(*WALSource); buried {
+			return fmt.Errorf("%w: WithWAL must be the outermost source layer (the log must record what the session consumes)", ErrInvalidConfig)
+		}
+	}
 	switch {
 	case sourceHasEpochs(src):
 		s.epochMode = epochReplay
 	default:
-		if _, bare := src.(*MatrixSource); bare {
+		if isBareMatrix(src) {
 			s.epochMode = epochNative
 		} else {
 			s.epochMode = epochNone
 		}
 	}
+	return nil
+}
+
+// isBareMatrix reports whether src is a matrix sampler with no scenario
+// decorators — the only shape with native epoch structure. A WAL tee
+// does not change the stream, so it is looked through.
+func isBareMatrix(src Source) bool {
+	if ws, ok := src.(*WALSource); ok {
+		src = ws.Unwrap()
+	}
+	_, bare := src.(*MatrixSource)
+	return bare
 }
 
 // N returns the node count.
@@ -291,6 +327,12 @@ func (s *Session) Metric() Metric { return s.ds.Metric }
 
 // Live reports whether the session runs the concurrent swarm backend.
 func (s *Session) Live() bool { return s.swarm != nil }
+
+// DefaultBudget returns the session's paper-default training budget —
+// the total Run(ctx, 0) resolves to (20·k·n successful updates,
+// §6.2.4). Callers deciding how much remains to train after a
+// checkpoint resume compare it against Steps.
+func (s *Session) DefaultBudget() int { return sim.DefaultBudget(s.ds.N(), s.k) }
 
 // Steps returns the cumulative successful coordinate updates so far.
 func (s *Session) Steps() int {
@@ -367,6 +409,9 @@ func (s *Session) runSource(ctx context.Context, total int) error {
 			s.drv.ApplyLabel(m.I, m.J, ClassOf(s.ds.Metric, m.Value, s.tau).Value())
 			done++
 		}
+		if cerr := s.commitWAL(false); cerr != nil {
+			return cerr
+		}
 		s.publish(Progress{Steps: s.drv.Steps(), Target: total})
 		if err == io.EOF {
 			return nil // finite stream exhausted before the budget
@@ -378,13 +423,52 @@ func (s *Session) runSource(ctx context.Context, total int) error {
 	return nil
 }
 
+// commitWAL writes a barrier to the session's WAL (no-op without one):
+// every measurement logged so far is now applied, at the recorded step
+// counter, master-RNG position and source-chain cursors. batch marks
+// epoch-group application (replayed through the sharded batch path)
+// versus sequential.
+func (s *Session) commitWAL(batch bool) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.commit(dataset.WALCommit{
+		Batch:   batch,
+		Steps:   uint64(s.drv.Steps()),
+		Draws:   s.drv.MasterDraws(),
+		Cursors: collectCursors(s.src),
+	})
+}
+
+// skipWAL writes a Skip barrier covering measurements that were logged
+// but discarded without training — an interrupted epoch collection.
+// Without it, the next real commit's cumulative sequence would claim
+// them as applied and replay could never reconcile the step counter.
+// Best-effort: the caller is already returning an error, and a failed
+// skip leaves the entries as an ordinary uncommitted tail.
+func (s *Session) skipWAL() {
+	if s.wal == nil {
+		return
+	}
+	_ = s.wal.commit(dataset.WALCommit{
+		Skip:    true,
+		Steps:   uint64(s.drv.Steps()),
+		Draws:   s.drv.MasterDraws(),
+		Cursors: collectCursors(s.src),
+	})
+}
+
 // usable reports whether a streamed measurement can train this session:
-// in-range distinct nodes and a finite value. Canonical sources only
-// emit usable measurements; external captures are filtered here.
+// in-range distinct nodes, a finite value and a finite timestamp (the
+// WAL cannot record a non-finite time, and every applied measurement
+// must be recordable — applied ⊆ logged is what makes crash replay
+// exact). Canonical sources only emit usable measurements; external
+// captures are filtered here.
 func (s *Session) usable(m Measurement) bool {
 	n := s.ds.N()
 	return m.I >= 0 && m.I < n && m.J >= 0 && m.J < n && m.I != m.J &&
-		!math.IsNaN(m.Value) && !math.IsInf(m.Value, 0)
+		!math.IsNaN(m.Value) && !math.IsInf(m.Value, 0) &&
+		!math.IsNaN(m.T) && !math.IsInf(m.T, 0)
 }
 
 func (s *Session) runLive(ctx context.Context, total int) error {
@@ -445,6 +529,13 @@ func (s *Session) RunEpochs(ctx context.Context, epochs, probesPerNode int) (int
 	case epochReplay:
 		return s.runEpochsReplay(ctx, epochs, probesPerNode)
 	case epochNative:
+		if s.wal != nil {
+			// Native epochs sample internally — no measurements flow, so
+			// nothing reaches the log, and the step counter would outrun
+			// what the WAL can reproduce: a later committed batch could
+			// never replay to the right step count.
+			return 0, fmt.Errorf("%w: native epoch training is not measurement-driven and cannot be logged; use Run, an epoch-structured source, or checkpoints around unlogged epoch training", ErrWAL)
+		}
 		total := 0
 		for ep := 0; ep < epochs; ep++ {
 			n, err := s.drv.RunEpochCtx(ctx, probesPerNode)
@@ -476,6 +567,10 @@ func (s *Session) runEpochsReplay(ctx context.Context, epochs, probesPerNode int
 		eof := false
 		for len(samples) < target && !eof {
 			if err := ctx.Err(); err != nil {
+				// Interrupted collection: the gathered measurements are
+				// discarded, so mark them skipped in the WAL — otherwise a
+				// later commit's cumulative sequence would claim them.
+				s.skipWAL()
 				return total, err
 			}
 			k, err := s.src.NextBatch(ctx, buf[:min(len(buf), target-len(samples))])
@@ -491,14 +586,29 @@ func (s *Session) runEpochsReplay(ctx context.Context, epochs, probesPerNode int
 			if err == io.EOF {
 				eof = true
 			} else if err != nil {
+				s.skipWAL()
 				return total, err
 			}
 		}
 		if len(samples) == 0 {
+			s.skipWAL()       // a logged tail of unusable records only
 			return total, nil // stream exhausted
 		}
-		applied, err := s.drv.ApplyBatchCtx(ctx, samples)
+		// With a WAL attached the batch must apply atomically: a
+		// partially applied parallel batch is not replayable, so the
+		// context is honored between batches (above) and the apply
+		// itself runs to completion — bounded work, one epoch group.
+		applyCtx := ctx
+		if s.wal != nil {
+			applyCtx = context.Background()
+		}
+		applied, err := s.drv.ApplyBatchCtx(applyCtx, samples)
 		total += applied
+		if err == nil {
+			if cerr := s.commitWAL(true); cerr != nil {
+				return total, cerr
+			}
+		}
 		s.publish(Progress{Steps: s.drv.Steps(), Epochs: ep + 1})
 		if err != nil {
 			return total, err

@@ -63,9 +63,85 @@ type EpochSource interface {
 	EpochStructure() bool
 }
 
+// A CursorSource is a Source whose stream position can be captured and
+// restored — what lets a checkpoint resume the same stream where it
+// stopped. Cursor returns the layer's position counters (an opaque,
+// layer-defined encoding); Seek fast-forwards a freshly constructed
+// layer to a captured cursor, consuming whatever private randomness the
+// skipped records would have consumed, and fails when the cursor cannot
+// belong to this layer. The built-in replay sources and the stateful
+// scenario decorators implement it; layers whose behavior is a pure
+// function of the measurements flowing through them (WithChurn,
+// WithDrift) need no cursor, and a bound MatrixSource's sampling stream
+// is carried by the session's master RNG, so its cursor is only the
+// emission counter that drives measurement timestamps.
+//
+// Session.Checkpoint records the cursors of every CursorSource in the
+// source chain, outermost first; ResumeSession hands them back to a
+// freshly built chain of the same shape. (A WithWAL decorator is not a
+// cursor layer — its sequence travels in the checkpoint's WALSeq field
+// and in every commit barrier — so attaching or detaching the log does
+// not change a chain's shape.)
+type CursorSource interface {
+	Source
+	Cursor() []uint64
+	Seek(cur []uint64) error
+}
+
 // sourceUnwrapper is the decorator convention: expose the wrapped
 // source so the session can inspect and bind the whole chain.
 type sourceUnwrapper interface{ Unwrap() Source }
+
+// collectCursors gathers the cursor of every CursorSource in the chain,
+// outermost first.
+func collectCursors(src Source) [][]uint64 {
+	var out [][]uint64
+	for src != nil {
+		if cs, ok := src.(CursorSource); ok {
+			out = append(out, cs.Cursor())
+		}
+		u, ok := src.(sourceUnwrapper)
+		if !ok {
+			break
+		}
+		src = u.Unwrap()
+	}
+	return out
+}
+
+// seekCursors restores captured cursors into a freshly built chain of
+// the same shape: the number of cursor-bearing layers must match.
+func seekCursors(src Source, cur [][]uint64) error {
+	seen := 0
+	for src != nil {
+		if cs, ok := src.(CursorSource); ok {
+			if seen >= len(cur) {
+				return fmt.Errorf("source chain has more cursor layers than the checkpoint's %d", len(cur))
+			}
+			if err := cs.Seek(cur[seen]); err != nil {
+				return err
+			}
+			seen++
+		}
+		u, ok := src.(sourceUnwrapper)
+		if !ok {
+			break
+		}
+		src = u.Unwrap()
+	}
+	if seen != len(cur) {
+		return fmt.Errorf("source chain has %d cursor layers, checkpoint recorded %d", seen, len(cur))
+	}
+	return nil
+}
+
+// cursorLen validates a cursor's arity for a layer.
+func cursorLen(cur []uint64, want int, layer string) error {
+	if len(cur) != want {
+		return fmt.Errorf("%s cursor carries %d values, want %d", layer, len(cur), want)
+	}
+	return nil
+}
 
 // sessionBinder is implemented by sources that adapt to a session's
 // topology and RNG stream when attached (MatrixSource).
@@ -170,6 +246,20 @@ func (ms *MatrixSource) init() {
 	}
 }
 
+// Cursor returns the emission counter (it drives measurement
+// timestamps). A bound source's sampling stream lives in the session's
+// master RNG, which the session checkpoint carries separately.
+func (ms *MatrixSource) Cursor() []uint64 { return []uint64{uint64(ms.emitted)} }
+
+// Seek restores the emission counter on a fresh source.
+func (ms *MatrixSource) Seek(cur []uint64) error {
+	if err := cursorLen(cur, 1, "matrix source"); err != nil {
+		return err
+	}
+	ms.emitted = int(cur[0])
+	return nil
+}
+
 // NextBatch fills buf with sampled measurements. The stream never ends;
 // the only non-nil error is ctx's, polled every few thousand probe
 // attempts so a matrix with much missing data cannot stall
@@ -220,6 +310,21 @@ func NewTraceSource(ds *Dataset) (*TraceSource, error) {
 // EpochStructure reports that a trace can be consumed in epoch groups.
 func (ts *TraceSource) EpochStructure() bool { return true }
 
+// Cursor returns the replay position.
+func (ts *TraceSource) Cursor() []uint64 { return []uint64{uint64(ts.pos)} }
+
+// Seek restores the replay position on a fresh source.
+func (ts *TraceSource) Seek(cur []uint64) error {
+	if err := cursorLen(cur, 1, "trace source"); err != nil {
+		return err
+	}
+	if cur[0] > uint64(len(ts.trace)) {
+		return fmt.Errorf("trace cursor %d past the %d-record trace", cur[0], len(ts.trace))
+	}
+	ts.pos = int(cur[0])
+	return nil
+}
+
 // NextBatch copies the next trace records into buf; io.EOF at the end.
 func (ts *TraceSource) NextBatch(_ context.Context, buf []Measurement) (int, error) {
 	if ts.pos >= len(ts.trace) {
@@ -239,8 +344,9 @@ func (ts *TraceSource) NextBatch(_ context.Context, buf []Measurement) (int, err
 // record stops the stream with a descriptive error. The stream is
 // finite and has epoch structure, like TraceSource.
 type StreamSource struct {
-	sc  *dataset.StreamScanner
-	err error
+	sc       *dataset.StreamScanner
+	consumed uint64
+	err      error
 }
 
 // NewStreamSource builds a replay source reading NDJSON from r.
@@ -250,6 +356,26 @@ func NewStreamSource(r io.Reader) *StreamSource {
 
 // EpochStructure reports that a capture can be consumed in epoch groups.
 func (ss *StreamSource) EpochStructure() bool { return true }
+
+// Cursor returns the number of records consumed.
+func (ss *StreamSource) Cursor() []uint64 { return []uint64{ss.consumed} }
+
+// Seek skips cur[0] records on a freshly opened source (the underlying
+// reader must be positioned at the start of the same capture). A
+// capture too short to skip that far fails the seek.
+func (ss *StreamSource) Seek(cur []uint64) error {
+	if err := cursorLen(cur, 1, "stream source"); err != nil {
+		return err
+	}
+	var m Measurement
+	for ss.consumed < cur[0] {
+		if err := ss.sc.Next(&m); err != nil {
+			return fmt.Errorf("stream cursor %d unreachable after %d records: %w", cur[0], ss.consumed, err)
+		}
+		ss.consumed++
+	}
+	return nil
+}
 
 // NextBatch decodes up to len(buf) records; io.EOF at a clean end of
 // stream, a parse error (sticky) otherwise.
@@ -267,6 +393,7 @@ func (ss *StreamSource) NextBatch(_ context.Context, buf []Measurement) (int, er
 			return filled, err
 		}
 		filled++
+		ss.consumed++
 	}
 	return filled, nil
 }
@@ -466,6 +593,7 @@ type noiseSource struct {
 	src   Source
 	sigma float64
 	rng   *rand.Rand
+	seen  uint64 // records noised; each consumed one NormFloat64
 }
 
 // WithNoise decorates src with lognormal measurement noise: each value
@@ -487,10 +615,26 @@ func WithNoise(src Source, sigma float64, seed int64) Source {
 // Unwrap returns the decorated source.
 func (ns *noiseSource) Unwrap() Source { return ns.src }
 
+// Cursor returns the count of records noised so far.
+func (ns *noiseSource) Cursor() []uint64 { return []uint64{ns.seen} }
+
+// Seek fast-forwards a fresh decorator's private noise stream past the
+// records already consumed (one normal draw per record).
+func (ns *noiseSource) Seek(cur []uint64) error {
+	if err := cursorLen(cur, 1, "noise decorator"); err != nil {
+		return err
+	}
+	for ; ns.seen < cur[0]; ns.seen++ {
+		ns.rng.NormFloat64()
+	}
+	return nil
+}
+
 func (ns *noiseSource) NextBatch(ctx context.Context, buf []Measurement) (int, error) {
 	n, err := ns.src.NextBatch(ctx, buf)
 	for k := range buf[:n] {
 		buf[k].Value *= math.Exp(ns.rng.NormFloat64()*ns.sigma - ns.sigma*ns.sigma/2)
+		ns.seen++
 	}
 	return n, err
 }
@@ -499,6 +643,7 @@ type dropSource struct {
 	src  Source
 	rate float64
 	rng  *rand.Rand
+	seen uint64 // records considered; each consumed one Float64
 }
 
 // WithDrop decorates src with measurement loss: each measurement is
@@ -518,11 +663,27 @@ func WithDrop(src Source, rate float64, seed int64) Source {
 // Unwrap returns the decorated source.
 func (ds *dropSource) Unwrap() Source { return ds.src }
 
+// Cursor returns the count of records considered so far.
+func (ds *dropSource) Cursor() []uint64 { return []uint64{ds.seen} }
+
+// Seek fast-forwards a fresh decorator's private drop stream past the
+// records already considered (one uniform draw per record).
+func (ds *dropSource) Seek(cur []uint64) error {
+	if err := cursorLen(cur, 1, "drop decorator"); err != nil {
+		return err
+	}
+	for ; ds.seen < cur[0]; ds.seen++ {
+		ds.rng.Float64()
+	}
+	return nil
+}
+
 func (ds *dropSource) NextBatch(ctx context.Context, buf []Measurement) (int, error) {
 	for {
 		n, err := ds.src.NextBatch(ctx, buf)
 		kept := 0
 		for _, m := range buf[:n] {
+			ds.seen++
 			if ds.rng.Float64() < ds.rate {
 				continue
 			}

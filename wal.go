@@ -1,0 +1,194 @@
+package dmfsgd
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+
+	"dmfsgd/internal/dataset"
+)
+
+// WALSource tees every measurement a source emits into an NDJSON
+// write-ahead log before the session applies it — the durability half
+// of the ingestion seam. Wrap the OUTERMOST layer of a source chain
+// (the session consumes exactly what the WAL records, so decorators
+// must sit underneath) and train as usual:
+//
+//	src, _ := dmfsgd.NewMatrixSource(ds, 0, seed)
+//	wal, _ := os.OpenFile("train.wal", os.O_RDWR|os.O_CREATE, 0o644)
+//	sess, _ := dmfsgd.NewSessionFromSource(ds, dmfsgd.WithWAL(src, wal), opts...)
+//
+// The session writes a commit barrier after every batch it applies
+// (sequential chunk or epoch group), recording the step counter, the
+// master-RNG position and the source-chain cursors at that point. A
+// checkpoint (Session.Checkpoint / SaveCheckpoint) records the WAL
+// sequence it covers and truncates the log at that barrier; on restart,
+// ResumeSession restores the checkpoint and replays only the WAL tail —
+// entries already folded into the checkpoint are skipped by sequence
+// number, so replay at the barrier is idempotent. Measurements after
+// the last commit (a torn tail — the crash interrupted their
+// application) are discarded; the resumed source re-emits them
+// deterministically.
+//
+// Once a WAL is attached, training refuses to outrun it: a failed log
+// write aborts the run with ErrWAL rather than silently training
+// unlogged measurements.
+type WALSource struct {
+	src Source
+	w   io.Writer
+
+	seq       uint64 // measurements written to the log, ever
+	commitSeq uint64 // sequence of the last commit barrier
+	headered  bool   // current segment has its header line
+	err       error  // sticky write failure
+}
+
+// WithWAL decorates src so every emitted measurement is appended to w
+// before the consumer sees it. See WALSource for the full contract.
+func WithWAL(src Source, w io.Writer) *WALSource {
+	if src == nil || w == nil {
+		panic("dmfsgd: WithWAL needs a source and a writer")
+	}
+	return &WALSource{src: src, w: w}
+}
+
+// Unwrap returns the decorated source.
+func (ws *WALSource) Unwrap() Source { return ws.src }
+
+// Seq returns the log's measurement sequence number: the count of
+// measurements ever written (across truncations).
+func (ws *WALSource) Seq() uint64 { return ws.seq }
+
+// Sink returns the writer the log is appended to. Callers resuming
+// from a file use it to hand the same *os.File to ResumeSession as the
+// replay reader, which lets resume truncate the discarded tail in
+// place and continue appending.
+func (ws *WALSource) Sink() io.Writer { return ws.w }
+
+// setSeq restores the log sequence on a fresh decorator (resume): the
+// next segment header records it as the base, so sequence numbering
+// continues across the restart. Deliberately NOT a CursorSource: the
+// sequence travels in the checkpoint's WALSeq field and in every
+// commit barrier, so the chain-shape contract stays the same whether
+// or not a WAL is attached — a checkpoint from a WAL-attached session
+// resumes into a chain without one (and vice versa).
+func (ws *WALSource) setSeq(seq uint64) {
+	ws.seq = seq
+	ws.commitSeq = seq
+}
+
+// NextBatch pulls from the decorated source and logs what it got. A
+// log-write failure is returned (wrapping ErrWAL) with n = 0: the
+// fetched measurements are not handed to the consumer, so nothing
+// unlogged trains.
+func (ws *WALSource) NextBatch(ctx context.Context, buf []Measurement) (int, error) {
+	if ws.err != nil {
+		return 0, ws.err
+	}
+	n, err := ws.src.NextBatch(ctx, buf)
+	if n > 0 {
+		if werr := ws.append(buf[:n]); werr != nil {
+			ws.err = werr
+			return 0, werr
+		}
+	}
+	return n, err
+}
+
+// loggable reports whether the WAL line format can represent m — the
+// same validation the scanner enforces on read. Unrepresentable
+// records (negative ids, self-pairs, non-finite fields) are exactly
+// the ones no session ever applies, so omitting them from the log
+// keeps it parseable without losing any applied measurement.
+func loggable(m Measurement) bool {
+	return m.I >= 0 && m.J >= 0 && m.I != m.J &&
+		!math.IsNaN(m.T) && !math.IsInf(m.T, 0) &&
+		!math.IsNaN(m.Value) && !math.IsInf(m.Value, 0)
+}
+
+// append writes one batch of measurement lines, opening the segment
+// with a header line when needed. Records the line format cannot
+// represent are dropped (see loggable); a hostile or buggy custom
+// source must not be able to poison the log for the whole run.
+func (ws *WALSource) append(ms []Measurement) error {
+	keep := ms
+	for i, m := range ms {
+		if !loggable(m) {
+			keep = make([]Measurement, 0, len(ms)-1)
+			keep = append(keep, ms[:i]...)
+			for _, rest := range ms[i+1:] {
+				if loggable(rest) {
+					keep = append(keep, rest)
+				}
+			}
+			break
+		}
+	}
+	if len(keep) == 0 {
+		return nil
+	}
+	if !ws.headered {
+		if err := dataset.WriteWALHeader(ws.w, ws.seq); err != nil {
+			return fmt.Errorf("%w: header: %v", ErrWAL, err)
+		}
+		ws.headered = true
+	}
+	if err := dataset.WriteStream(ws.w, keep); err != nil {
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	ws.seq += uint64(len(keep))
+	return nil
+}
+
+// commit writes a barrier covering every measurement logged so far.
+// The session calls it after applying (or, for Skip barriers,
+// discarding) each batch; a no-op when nothing was logged since the
+// last barrier.
+func (ws *WALSource) commit(c dataset.WALCommit) error {
+	if ws.err != nil {
+		return ws.err
+	}
+	if ws.seq == ws.commitSeq {
+		return nil
+	}
+	c.Seq = ws.seq
+	if err := dataset.WriteWALCommit(ws.w, c); err != nil {
+		ws.err = fmt.Errorf("%w: commit: %v", ErrWAL, err)
+		return ws.err
+	}
+	ws.commitSeq = ws.seq
+	return nil
+}
+
+// walTruncater is what a WAL sink must additionally implement for
+// truncate-at-barrier to apply (an *os.File does).
+type walTruncater interface {
+	io.Writer
+	io.Seeker
+	Truncate(size int64) error
+}
+
+// truncateBarrier empties the log after a durable checkpoint captured
+// everything in it. On sinks that cannot truncate (a pipe, a plain
+// buffer) it is a no-op — replay skips the already-covered entries by
+// sequence number, so an untruncated log stays correct, just longer.
+func (ws *WALSource) truncateBarrier() error {
+	if ws.err != nil {
+		return ws.err
+	}
+	tw, ok := ws.w.(walTruncater)
+	if !ok {
+		return nil
+	}
+	if err := tw.Truncate(0); err != nil {
+		return fmt.Errorf("%w: truncate: %v", ErrWAL, err)
+	}
+	if _, err := tw.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("%w: truncate seek: %v", ErrWAL, err)
+	}
+	// The next append opens a fresh segment whose header carries the
+	// current sequence as its base.
+	ws.headered = false
+	return nil
+}
