@@ -637,6 +637,70 @@ func BenchmarkSnapshotFullRefresh(b *testing.B) {
 	}
 }
 
+// --- Follower publish benchmarks (full flatten vs block-backed) ---
+//
+// What a dmfserve follower pays to publish a fresh serving snapshot
+// after applying one gossip delta (1 of 8 shards advanced) at
+// Meridian-2500 scale. The full variant is the old path: flatten the
+// entire 2·n·r state and re-validate it in NewSnapshotFlat. The delta
+// variant is the current path: alias the state's immutable per-shard
+// blocks and re-validate only the blocks not shared with the previously
+// published snapshot — O(advanced shards) instead of O(n).
+
+// followerPublishSetup builds consecutive 2500-node 8-shard states with
+// one advanced shard, plus the snapshot published from the base state.
+func followerPublishSetup(b *testing.B) (base, next *replica.State, prevSnap *dmfsgd.Snapshot) {
+	b.Helper()
+	const n, rank, shards = 2500, 10, 8
+	store := engine.NewStore(n, rank, shards)
+	store.InitUniform(rand.New(rand.NewSource(1)))
+	capture := func(prev *replica.State, steps uint64) *replica.State {
+		u, v := store.SnapshotFlat()
+		st, err := replica.Update(prev, n, rank, shards,
+			replica.Meta{Steps: steps, Tau: 50}, store.Versions(nil), u, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+	base = capture(nil, 1)
+	store.Ref(3).Update(func(c *sgd.Coordinates) bool { c.U[0] += 0.5; return true })
+	next = capture(base, 2)
+	bu, bv := base.Blocks()
+	snap, err := dmfsgd.NewSnapshotBlocks(dmfsgd.Metric(base.Meta.Metric), base.Meta.Tau,
+		int(base.Meta.Steps), rank, n, shards, bu, bv, base.Vers(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return base, next, snap
+}
+
+func BenchmarkFollowerPublishFull(b *testing.B) {
+	_, next, _ := followerPublishSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := next.Flatten()
+		if _, err := dmfsgd.NewSnapshotFlat(dmfsgd.Metric(next.Meta.Metric), next.Meta.Tau,
+			int(next.Meta.Steps), next.Rank, u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFollowerPublishDelta(b *testing.B) {
+	_, next, prevSnap := followerPublishSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu, bv := next.Blocks()
+		if _, err := dmfsgd.NewSnapshotBlocks(dmfsgd.Metric(next.Meta.Metric), next.Meta.Tau,
+			int(next.Meta.Steps), next.Rank, next.N, next.Shards, bu, bv, next.Vers(), prevSnap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSessionSnapshotQuiescent measures the version-aware Snapshot
 // path with nothing to refresh: the session returns the previously
 // materialized snapshot after comparing version vectors — zero copying,

@@ -1,0 +1,226 @@
+// Command dmfload is the macro load generator for the serving tier: it
+// expands a seeded, deterministic workload spec (closed- or open-loop
+// arrivals, predict/predict-batch/rank mix, Zipf-skewed node
+// popularity, multi-period phases) and drives it against a dmfserve
+// cluster over HTTP or against an in-process Snapshot, recording
+// per-phase latency percentiles, throughput, allocation rates and
+// errors into a schema-versioned BENCH_serve.json.
+//
+// With -train it instead runs the engine-epoch benchmark sweep (the
+// sharded parallel trainer at Meridian scale) via testing.Benchmark and
+// writes BENCH_train.json, streaming benchstat-compatible lines to
+// stdout. Committed BENCH files form the repo's perf trajectory: every
+// PR that touches a hot path regenerates them, so the diff carries the
+// before/after numbers.
+//
+// Determinism: the same -spec and seed expand to the identical request
+// sequence, so two runs against the same snapshot issue identical
+// requests and report identical per-phase request and kind counts —
+// only latencies vary with the host.
+//
+// Examples:
+//
+//	dmfload -inproc -out BENCH_serve.json
+//	dmfload -target http://localhost:8080 -scale 0.1
+//	dmfload -train -train-out BENCH_train.json
+//	dmfload -print-spec > workload.json && dmfload -inproc -spec workload.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"dmfsgd"
+	"dmfsgd/internal/load"
+)
+
+func main() {
+	var (
+		specPath  = flag.String("spec", "", "workload spec JSON (empty = built-in diurnal default)")
+		printSpec = flag.Bool("print-spec", false, "print the effective workload spec as JSON and exit")
+		target    = flag.String("target", "", "drive a dmfserve base URL, e.g. http://localhost:8080")
+		inproc    = flag.Bool("inproc", false, "drive an in-process snapshot (trains one first)")
+		scale     = flag.Float64("scale", 1, "multiply every phase's request count (CI smoke runs use e.g. 0.05)")
+		out       = flag.String("out", "BENCH_serve.json", "serve report path")
+		inflight  = flag.Int("inflight", 0, "open-loop in-flight cap (0 = phase client count)")
+
+		dsName = flag.String("dataset", "meridian", "in-process dataset: meridian, harvard or hps3")
+		n      = flag.Int("n", 500, "in-process node count")
+		seed   = flag.Int64("seed", 1, "in-process dataset/training seed")
+		rank   = flag.Int("rank", 10, "in-process coordinate dimensionality")
+		k      = flag.Int("k", 0, "in-process neighbors per node (0 = dataset default)")
+		shards = flag.Int("shards", 0, "in-process store shards (0 = default)")
+		budget = flag.Int("budget", 0, "in-process training budget (0 = paper default)")
+
+		train     = flag.Bool("train", false, "run the engine-epoch benchmark sweep instead of a serve run")
+		trainOut  = flag.String("train-out", "BENCH_train.json", "train report path")
+		trainFull = flag.Bool("train-full", false, "include the Meridian-2500 cases (slower)")
+	)
+	flag.Parse()
+
+	spec := load.Default()
+	if *specPath != "" {
+		f, err := os.Open(*specPath)
+		if err != nil {
+			log.Fatalf("dmfload: %v", err)
+		}
+		spec, err = load.ReadSpec(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("dmfload: %v", err)
+		}
+	}
+	spec = spec.Scaled(*scale)
+	if err := spec.Validate(); err != nil {
+		log.Fatalf("dmfload: %v", err)
+	}
+
+	if *printSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spec); err != nil {
+			log.Fatalf("dmfload: %v", err)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if *train {
+		runTrain(*trainOut, *trainFull)
+		return
+	}
+
+	rep := &load.Report{
+		Schema: load.SchemaBench,
+		Kind:   "serve",
+		Env:    load.CaptureEnv(),
+		Spec:   spec,
+	}
+	var tgt load.Target
+	switch {
+	case *target != "":
+		base := strings.TrimSuffix(*target, "/")
+		maxClients := 0
+		for _, ph := range spec.Phases {
+			if ph.Clients > maxClients {
+				maxClients = ph.Clients
+			}
+		}
+		if *inflight > maxClients {
+			maxClients = *inflight
+		}
+		ht := load.NewHTTPTarget(base, maxClients)
+		nodes, err := load.FetchNodes(ht)
+		if err != nil {
+			log.Fatalf("dmfload: %s: %v", base, err)
+		}
+		rep.Target, rep.Nodes = base, nodes
+		tgt = ht
+		log.Printf("target %s: %d nodes", base, nodes)
+	case *inproc:
+		snap := trainSnapshot(ctx, *dsName, *n, *seed, *rank, *k, *shards, *budget)
+		rep.Target, rep.Nodes = "inproc", snap.N()
+		rep.SnapshotSteps = uint64(snap.Steps())
+		tgt = &load.SnapshotTarget{Snap: snap}
+	default:
+		log.Fatalf("dmfload: pick a target: -target URL or -inproc")
+	}
+
+	w, err := load.Expand(spec, rep.Nodes)
+	if err != nil {
+		log.Fatalf("dmfload: %v", err)
+	}
+	total := 0
+	for _, ph := range w.Phases {
+		total += len(ph.Requests)
+	}
+	log.Printf("workload %q: %d phases, %d requests", spec.Name, len(w.Phases), total)
+
+	res, err := load.Run(ctx, w, tgt, load.RunConfig{MaxInflight: *inflight})
+	if err != nil {
+		log.Fatalf("dmfload: %v", err)
+	}
+	rep.Phases = res.Phases
+	failed := false
+	for _, pr := range res.Phases {
+		log.Printf("phase %-14s %7d req %8.0f rps  p50 %.3fms  p90 %.3fms  p99 %.3fms  %6.1f allocs/op  %d errors",
+			pr.Name, pr.Requests, pr.ThroughputRPS, pr.P50MS, pr.P90MS, pr.P99MS, pr.AllocsPerOp, pr.Errors)
+		failed = failed || pr.Errors > 0
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		log.Fatalf("dmfload: %v", err)
+	}
+	log.Printf("report: %s", *out)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// trainSnapshot builds the in-process serving snapshot the same way
+// dmfserve does: synthetic dataset, Session training to the budget,
+// freeze.
+func trainSnapshot(ctx context.Context, dsName string, n int, seed int64, rank, k, shards, budget int) *dmfsgd.Snapshot {
+	var ds *dmfsgd.Dataset
+	switch dsName {
+	case "meridian":
+		ds = dmfsgd.NewMeridianDataset(n, seed)
+	case "harvard":
+		ds = dmfsgd.NewHarvardDataset(n, 0, seed)
+	case "hps3":
+		ds = dmfsgd.NewHPS3Dataset(n, seed)
+	default:
+		log.Fatalf("dmfload: unknown dataset %q (want meridian, harvard or hps3)", dsName)
+	}
+	opts := []dmfsgd.Option{dmfsgd.WithSeed(seed), dmfsgd.WithRank(rank)}
+	if k > 0 {
+		opts = append(opts, dmfsgd.WithK(k))
+	}
+	if shards > 0 {
+		opts = append(opts, dmfsgd.WithShards(shards))
+	}
+	sess, err := dmfsgd.NewSession(ds, opts...)
+	if err != nil {
+		log.Fatalf("dmfload: %v", err)
+	}
+	defer sess.Close()
+	if budget <= 0 {
+		budget = sess.DefaultBudget()
+	}
+	log.Printf("training in-process snapshot: %s, %d nodes, budget %d", ds.Name, sess.N(), budget)
+	if err := sess.Run(ctx, budget); err != nil {
+		log.Fatalf("dmfload: training: %v", err)
+	}
+	return sess.Snapshot()
+}
+
+// runTrain runs the engine-epoch sweep and writes BENCH_train.json.
+func runTrain(path string, full bool) {
+	cases := load.DefaultTrainCases(full)
+	log.Printf("engine-epoch sweep: %d cases (benchstat lines on stdout)", len(cases))
+	results, err := load.TrainBench(cases, 32, os.Stdout)
+	if err != nil {
+		log.Fatalf("dmfload: %v", err)
+	}
+	rep := &load.Report{
+		Schema: load.SchemaBench,
+		Kind:   "train",
+		Env:    load.CaptureEnv(),
+		Train:  results,
+	}
+	if err := rep.WriteFile(path); err != nil {
+		log.Fatalf("dmfload: %v", err)
+	}
+	log.Printf("report: %s", path)
+	for _, tr := range results {
+		fmt.Fprintf(os.Stderr, "  %-34s %12.0f updates/s %6d allocs/op\n", tr.Name, tr.UpdatesPerSec, tr.AllocsPerOp)
+	}
+}

@@ -1,0 +1,298 @@
+// Zero-allocation request handlers for the dmfserve hot paths.
+//
+// The serving endpoints (/predict GET+POST, /rank) used to build a
+// map[string]any per request and stream it through json.NewEncoder —
+// dozens of allocations per request, which under load means GC pressure
+// scaling with throughput. Here every hot handler draws a pooled scratch
+// (response buffer, decoded pair/candidate slices, score buffers) and
+// hand-appends the JSON response, so a steady-state request performs no
+// heap allocations in this package. Response bytes stay identical to the
+// old encoder output (encoding/json sorts map keys, so the POST body is
+// {"classes":...,"scores":...}; floats use the encoding/json float
+// format; a trailing newline matches json.Encoder.Encode).
+//
+// Cold paths (/healthz, /stats, errors) keep the simple writeJSON.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dmfsgd"
+)
+
+var errNeedCandidates = errors.New("need candidates=j1,j2,...")
+
+// reqScratch is the pooled per-request scratch: one instance cycles
+// through the pool per request, so steady-state serving reuses the same
+// buffers instead of allocating.
+type reqScratch struct {
+	out    []byte            // response body under construction
+	body   []byte            // POST request body
+	raw    [][2]int          // decoded batch pairs
+	pairs  []dmfsgd.PathPair // validated batch pairs
+	scores []float64         // PredictBatch output
+	cands  []int             // parsed rank candidates
+	ranked []int             // RankInto output
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(reqScratch) }}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest representation, %f inside [1e-6, 1e21), %e outside with a
+// minimal exponent.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// encoding/json trims zero-padded negative exponents: e-09 → e-9.
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// writeRaw sends a prebuilt JSON body.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// queryValue extracts a raw query parameter without materializing a
+// url.Values map. Values containing escapes fall back to the caller's
+// slow path (ok=false with found=true).
+func queryValue(rawQuery, key string) (val string, found, ok bool) {
+	for len(rawQuery) > 0 {
+		var pair string
+		if idx := strings.IndexByte(rawQuery, '&'); idx >= 0 {
+			pair, rawQuery = rawQuery[:idx], rawQuery[idx+1:]
+		} else {
+			pair, rawQuery = rawQuery, ""
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		if k != key {
+			continue
+		}
+		if strings.ContainsAny(v, "%+") {
+			return "", true, false // escaped: needs full URL decoding
+		}
+		return v, true, true
+	}
+	return "", false, true
+}
+
+// nodeParam parses a node-index query parameter and bounds-checks it.
+func nodeParam(r *http.Request, name string, n int) (int, error) {
+	v, found, fast := queryValue(r.URL.RawQuery, name)
+	if !fast {
+		v = r.URL.Query().Get(name)
+	} else if !found {
+		v = ""
+	}
+	i, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: want an integer", name, v)
+	}
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("%s=%d out of range [0,%d)", name, i, n)
+	}
+	return i, nil
+}
+
+// snapLoader yields the serving snapshot or answers 503 (follower still
+// syncing) and reports false.
+type snapLoader func(w http.ResponseWriter) (*dmfsgd.Snapshot, bool)
+
+// handlePredictGet serves GET /predict?i=..&j=.. with zero steady-state
+// allocations.
+func handlePredictGet(load snapLoader) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := load(w)
+		if !ok {
+			return
+		}
+		i, err := nodeParam(r, "i", snap.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		j, err := nodeParam(r, "j", snap.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		score := snap.Predict(i, j)
+		sc := scratchPool.Get().(*reqScratch)
+		out := append(sc.out[:0], `{"class":"`...)
+		out = append(out, dmfsgd.ClassOfScore(score).String()...)
+		out = append(out, `","i":`...)
+		out = strconv.AppendInt(out, int64(i), 10)
+		out = append(out, `,"j":`...)
+		out = strconv.AppendInt(out, int64(j), 10)
+		out = append(out, `,"score":`...)
+		out = appendJSONFloat(out, score)
+		out = append(out, '}', '\n')
+		writeRaw(w, http.StatusOK, out)
+		sc.out = out
+		scratchPool.Put(sc)
+	}
+}
+
+// readBody drains r into buf (reused across requests), growing only when
+// a request exceeds every previous body size.
+func readBody(r *http.Request, buf []byte) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return buf, nil
+			}
+			return buf, err
+		}
+	}
+}
+
+// handlePredictPost serves POST /predict {"pairs":[[i,j],...]} with pooled
+// request/response buffers and score slices; the only remaining per-
+// request allocations are inside json.Unmarshal's decode state.
+func handlePredictPost(load snapLoader) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := load(w)
+		if !ok {
+			return
+		}
+		sc := scratchPool.Get().(*reqScratch)
+		defer func() { scratchPool.Put(sc) }()
+		body, err := readBody(r, sc.body[:0])
+		sc.body = body
+		if err != nil {
+			writeError(w, fmt.Errorf("bad JSON body: %v", err))
+			return
+		}
+		req := struct {
+			Pairs [][2]int `json:"pairs"`
+		}{Pairs: sc.raw[:0]}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, fmt.Errorf("bad JSON body: %v", err))
+			return
+		}
+		sc.raw = req.Pairs[:0]
+		pairs := sc.pairs[:0]
+		for idx, p := range req.Pairs {
+			if p[0] < 0 || p[0] >= snap.N() || p[1] < 0 || p[1] >= snap.N() {
+				sc.pairs = pairs
+				writeError(w, fmt.Errorf("pair %d: (%d,%d) out of range [0,%d)", idx, p[0], p[1], snap.N()))
+				return
+			}
+			pairs = append(pairs, dmfsgd.PathPair{I: p[0], J: p[1]})
+		}
+		sc.pairs = pairs
+		if cap(sc.scores) < len(pairs) {
+			sc.scores = make([]float64, len(pairs))
+		}
+		scores := sc.scores[:len(pairs)]
+		snap.PredictBatch(pairs, scores)
+		out := append(sc.out[:0], `{"classes":[`...)
+		for k, s := range scores {
+			if k > 0 {
+				out = append(out, ',')
+			}
+			out = append(out, '"')
+			out = append(out, dmfsgd.ClassOfScore(s).String()...)
+			out = append(out, '"')
+		}
+		out = append(out, `],"scores":[`...)
+		for k, s := range scores {
+			if k > 0 {
+				out = append(out, ',')
+			}
+			out = appendJSONFloat(out, s)
+		}
+		out = append(out, ']', '}', '\n')
+		writeRaw(w, http.StatusOK, out)
+		sc.out = out
+	}
+}
+
+// handleRank serves GET /rank?i=..&candidates=.. through RankInto with a
+// pooled candidate and output buffer — zero steady-state allocations.
+func handleRank(load snapLoader) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		snap, ok := load(w)
+		if !ok {
+			return
+		}
+		i, err := nodeParam(r, "i", snap.N())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		raw, found, fast := queryValue(r.URL.RawQuery, "candidates")
+		if !fast {
+			raw = r.URL.Query().Get("candidates")
+		} else if !found {
+			raw = ""
+		}
+		sc := scratchPool.Get().(*reqScratch)
+		defer func() { scratchPool.Put(sc) }()
+		cands := sc.cands[:0]
+		for len(raw) > 0 {
+			var part string
+			if idx := strings.IndexByte(raw, ','); idx >= 0 {
+				part, raw = raw[:idx], raw[idx+1:]
+			} else {
+				part, raw = raw, ""
+			}
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			j, err := strconv.Atoi(part)
+			if err != nil || j < 0 || j >= snap.N() {
+				sc.cands = cands
+				writeError(w, fmt.Errorf("bad candidate %q", part))
+				return
+			}
+			cands = append(cands, j)
+		}
+		sc.cands = cands
+		if len(cands) == 0 {
+			writeError(w, errNeedCandidates)
+			return
+		}
+		if cap(sc.ranked) < len(cands) {
+			sc.ranked = make([]int, len(cands))
+		}
+		ranked := snap.RankInto(i, cands, sc.ranked[:len(cands)])
+		out := append(sc.out[:0], `{"i":`...)
+		out = strconv.AppendInt(out, int64(i), 10)
+		out = append(out, `,"ranked":[`...)
+		for k, j := range ranked {
+			if k > 0 {
+				out = append(out, ',')
+			}
+			out = strconv.AppendInt(out, int64(j), 10)
+		}
+		out = append(out, ']', '}', '\n')
+		writeRaw(w, http.StatusOK, out)
+		sc.out = out
+	}
+}

@@ -38,14 +38,14 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
 	"io"
 	"log"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -76,8 +76,27 @@ func main() {
 		ckptPath  = flag.String("checkpoint", "", "durability: checkpoint file — restored at startup (restart-without-retrain), saved after training bursts, periodically and at shutdown, always via atomic rename")
 		walPath   = flag.String("wal", "", "durability: measurement write-ahead log (trainer only) — the training stream is teed into it and its tail is replayed on restart; truncated at every checkpoint barrier")
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "minimum period between periodic checkpoint saves while training continues")
+
+		pprofAddr = flag.String("pprof", "", "profiling: expose net/http/pprof on this separate (loopback) listener, e.g. 127.0.0.1:6060; empty = off")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: load runs can profile the
+		// process without the serving mux growing debug routes.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", netpprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("dmfserve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -139,14 +158,25 @@ func main() {
 		if listen == "" {
 			listen = "127.0.0.1:0"
 		}
+		// Publish serves directly over the replicated state's immutable
+		// per-shard blocks: no 2·n·r flatten per applied delta, and blocks
+		// shared with the previously published snapshot skip re-validation,
+		// so the per-delta cost is proportional to the shards that advanced.
+		// The mutex orders the checkpoint-bootstrap publish against the
+		// gossip loop's.
+		var pubMu sync.Mutex
+		var pubPrev *dmfsgd.Snapshot
 		publishState := func(st *replica.State) {
-			u, v := st.Flatten()
-			snap, err := dmfsgd.NewSnapshotFlat(dmfsgd.Metric(st.Meta.Metric), st.Meta.Tau,
-				int(st.Meta.Steps), st.Rank, u, v)
+			pubMu.Lock()
+			defer pubMu.Unlock()
+			bu, bv := st.Blocks()
+			snap, err := dmfsgd.NewSnapshotBlocks(dmfsgd.Metric(st.Meta.Metric), st.Meta.Tau,
+				int(st.Meta.Steps), st.Rank, st.N, st.Shards, bu, bv, st.Vers(), pubPrev)
 			if err != nil {
 				log.Printf("dmfserve: replicated state rejected: %v", err)
 				return
 			}
+			pubPrev = snap
 			serving.Store(snap)
 			trainedSteps.Store(int64(st.Meta.Steps))
 		}
@@ -503,82 +533,11 @@ func main() {
 			"snapshot_steps": snap.Steps(),
 		})
 	})
-	mux.HandleFunc("GET /predict", func(w http.ResponseWriter, r *http.Request) {
-		snap, ok := loadSnap(w)
-		if !ok {
-			return
-		}
-		i, err := nodeParam(r, "i", snap.N())
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		j, err := nodeParam(r, "j", snap.N())
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		score := snap.Predict(i, j)
-		writeJSON(w, http.StatusOK, map[string]any{
-			"i": i, "j": j, "score": score, "class": snap.Classify(i, j).String(),
-		})
-	})
-	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
-		snap, ok := loadSnap(w)
-		if !ok {
-			return
-		}
-		var req struct {
-			Pairs [][2]int `json:"pairs"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, fmt.Errorf("bad JSON body: %v", err))
-			return
-		}
-		pairs := make([]dmfsgd.PathPair, len(req.Pairs))
-		for idx, p := range req.Pairs {
-			if p[0] < 0 || p[0] >= snap.N() || p[1] < 0 || p[1] >= snap.N() {
-				writeError(w, fmt.Errorf("pair %d: (%d,%d) out of range [0,%d)", idx, p[0], p[1], snap.N()))
-				return
-			}
-			pairs[idx] = dmfsgd.PathPair{I: p[0], J: p[1]}
-		}
-		scores := snap.PredictBatch(pairs, nil)
-		classes := make([]string, len(scores))
-		for idx, s := range scores {
-			classes[idx] = dmfsgd.ClassOfScore(s).String()
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"scores": scores, "classes": classes})
-	})
-	mux.HandleFunc("GET /rank", func(w http.ResponseWriter, r *http.Request) {
-		snap, ok := loadSnap(w)
-		if !ok {
-			return
-		}
-		i, err := nodeParam(r, "i", snap.N())
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		var candidates []int
-		for _, part := range strings.Split(r.URL.Query().Get("candidates"), ",") {
-			part = strings.TrimSpace(part)
-			if part == "" {
-				continue
-			}
-			j, err := strconv.Atoi(part)
-			if err != nil || j < 0 || j >= snap.N() {
-				writeError(w, fmt.Errorf("bad candidate %q", part))
-				return
-			}
-			candidates = append(candidates, j)
-		}
-		if len(candidates) == 0 {
-			writeError(w, errors.New("need candidates=j1,j2,..."))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"i": i, "ranked": snap.Rank(i, candidates)})
-	})
+	// Hot serving paths: pooled request/response buffers, hand-built JSON,
+	// RankInto — zero steady-state allocations (see handlers.go).
+	mux.HandleFunc("GET /predict", handlePredictGet(loadSnap))
+	mux.HandleFunc("POST /predict", handlePredictPost(loadSnap))
+	mux.HandleFunc("GET /rank", handleRank(loadSnap))
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {
@@ -593,19 +552,6 @@ func main() {
 	}
 	// Wait for the trainer's shutdown checkpoint before exiting.
 	<-trainerDone
-}
-
-// nodeParam parses a node-index query parameter and bounds-checks it.
-func nodeParam(r *http.Request, name string, n int) (int, error) {
-	v := r.URL.Query().Get(name)
-	i, err := strconv.Atoi(v)
-	if err != nil {
-		return 0, fmt.Errorf("bad %s=%q: want an integer", name, v)
-	}
-	if i < 0 || i >= n {
-		return 0, fmt.Errorf("%s=%d out of range [0,%d)", name, i, n)
-	}
-	return i, nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

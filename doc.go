@@ -49,7 +49,11 @@
 //     a Session in one pass. Predict, PredictBatch, Rank and Classify
 //     serve unlimited concurrent readers with zero synchronization —
 //     the serving surface for heavy prediction traffic (cmd/dmfserve
-//     exposes it over HTTP).
+//     exposes it over HTTP). The hot paths are allocation-free in
+//     steady state: PredictBatch scores into a caller-owned buffer,
+//     RankInto ranks through a pooled scratch, and NewSnapshotBlocks
+//     serves directly over a replica state's immutable per-shard
+//     blocks so followers publish fresh snapshots without flattening.
 //   - Node: an embeddable DMFSGD participant for applications that bring
 //     their own networking (observe measurements, predict classes);
 //     NewSnapshot assembles a serving Snapshot from gathered Node
@@ -77,9 +81,11 @@
 // # Package layout
 //
 // Implementation packages live under internal/ (sgd, sim, runtime, wire,
-// transport, eval, …); cmd/dmfbench regenerates every table and figure of
-// the paper, cmd/dmfserve serves predictions over HTTP from a Snapshot,
-// and examples/ contains runnable walkthroughs.
+// transport, eval, load, …); cmd/dmfbench regenerates every table and
+// figure of the paper, cmd/dmfserve serves predictions over HTTP from a
+// Snapshot, cmd/dmfload drives deterministic macro load against either
+// and records the BENCH_*.json perf trajectory (DESIGN.md §10), and
+// examples/ contains runnable walkthroughs.
 //
 // # Execution engine
 //

@@ -1,0 +1,372 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dmfsgd"
+)
+
+// smallSpec is a quick three-phase spec covering every arrival process
+// and every request kind.
+func smallSpec() *WorkloadSpec {
+	return &WorkloadSpec{
+		Schema: SchemaSpec,
+		Name:   "test",
+		Seed:   7,
+		Phases: []PhaseSpec{
+			{Name: "c", Requests: 300, Arrival: "closed", Clients: 4,
+				Mix: MixSpec{Predict: 1, PredictBatch: 1, Rank: 1}, BatchSize: 4, Candidates: 8},
+			{Name: "p", Requests: 300, Arrival: "poisson", RateRPS: 1e6, Clients: 4,
+				Mix: MixSpec{Predict: 1, PredictBatch: 1, Rank: 1}, ZipfS: 1.3, BatchSize: 4, Candidates: 8},
+			{Name: "b", Requests: 300, Arrival: "burst", BurstLen: 50, BurstGapMS: 0.01, Clients: 4,
+				Mix: MixSpec{Predict: 2, Rank: 1}, Candidates: 8, ZipfS: 2},
+		},
+	}
+}
+
+// TestExpandDeterministic is the harness's core contract: the same spec,
+// seed and node count expand to the identical request sequence.
+func TestExpandDeterministic(t *testing.T) {
+	a, err := Expand(smallSpec(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(smallSpec(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two expansions of the same spec differ")
+	}
+	// And a different seed must actually change the sequence.
+	sp := smallSpec()
+	sp.Seed = 8
+	c, err := Expand(sp, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for pi := range c.Phases {
+		if !reflect.DeepEqual(a.Phases[pi].Requests, c.Phases[pi].Requests) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seed change did not change the expansion")
+	}
+}
+
+// TestExpandPhaseIndependence: phases draw from independent streams, so
+// resizing one phase leaves the others' sequences untouched.
+func TestExpandPhaseIndependence(t *testing.T) {
+	a, err := Expand(smallSpec(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := smallSpec()
+	sp.Phases[0].Requests = 10
+	b, err := Expand(sp, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi := 1; pi < len(a.Phases); pi++ {
+		if !reflect.DeepEqual(a.Phases[pi].Requests, b.Phases[pi].Requests) {
+			t.Fatalf("phase %d changed when phase 0 was resized", pi)
+		}
+	}
+}
+
+// TestExpandShape checks bounds, pair distinctness, candidate
+// uniqueness, nondecreasing arrival offsets and mix adherence.
+func TestExpandShape(t *testing.T) {
+	const n = 150
+	w, err := Expand(smallSpec(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, ph := range w.Phases {
+		if len(ph.Requests) != ph.Spec.Requests {
+			t.Fatalf("phase %d: %d requests, want %d", pi, len(ph.Requests), ph.Spec.Requests)
+		}
+		var prev int64 = -1
+		kinds := map[Kind]int{}
+		for ri := range ph.Requests {
+			req := &ph.Requests[ri]
+			kinds[req.Kind]++
+			if at := req.At.Nanoseconds(); at < prev {
+				t.Fatalf("phase %d req %d: arrival %d before %d", pi, ri, at, prev)
+			} else {
+				prev = at
+			}
+			switch req.Kind {
+			case KindPredict:
+				if req.I == req.J || req.I < 0 || req.I >= n || req.J < 0 || req.J >= n {
+					t.Fatalf("phase %d req %d: bad pair (%d,%d)", pi, ri, req.I, req.J)
+				}
+			case KindPredictBatch:
+				if len(req.Pairs) != ph.Spec.BatchSize {
+					t.Fatalf("phase %d req %d: %d pairs, want %d", pi, ri, len(req.Pairs), ph.Spec.BatchSize)
+				}
+				for _, p := range req.Pairs {
+					if p.I == p.J || p.I < 0 || p.I >= n || p.J < 0 || p.J >= n {
+						t.Fatalf("phase %d req %d: bad pair (%d,%d)", pi, ri, p.I, p.J)
+					}
+				}
+			case KindRank:
+				if len(req.Cands) != ph.Spec.Candidates {
+					t.Fatalf("phase %d req %d: %d candidates, want %d", pi, ri, len(req.Cands), ph.Spec.Candidates)
+				}
+				seen := map[int]bool{}
+				for _, j := range req.Cands {
+					if j == req.I || j < 0 || j >= n || seen[j] {
+						t.Fatalf("phase %d req %d: bad candidate %d", pi, ri, j)
+					}
+					seen[j] = true
+				}
+			}
+		}
+		for k, c := range kinds {
+			if c == 0 {
+				t.Fatalf("phase %d: no %v requests", pi, k)
+			}
+		}
+		if pi == 2 && kinds[KindPredictBatch] != 0 {
+			t.Fatalf("phase 2: %d batch requests with zero weight", kinds[KindPredictBatch])
+		}
+	}
+	// Burst structure: requests within a burst share an offset.
+	burst := w.Phases[2]
+	if burst.Requests[0].At != burst.Requests[49].At {
+		t.Fatal("burst 0 not simultaneous")
+	}
+	if burst.Requests[49].At == burst.Requests[50].At {
+		t.Fatal("burst gap missing")
+	}
+}
+
+// testSnapshot trains a tiny session once for runner tests.
+func testSnapshot(t *testing.T, n int) *dmfsgd.Snapshot {
+	t.Helper()
+	ds := dmfsgd.NewMeridianDataset(n, 1)
+	sess, err := dmfsgd.NewSession(ds, dmfsgd.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Run(context.Background(), 2000); err != nil {
+		t.Fatal(err)
+	}
+	return sess.Snapshot()
+}
+
+// TestRunCounts: two runs against the same snapshot produce identical
+// per-phase request and kind counts, and no errors.
+func TestRunCounts(t *testing.T) {
+	snap := testSnapshot(t, 120)
+	w, err := Expand(smallSpec(), snap.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := &SnapshotTarget{Snap: snap}
+	r1, err := Run(context.Background(), w, tgt, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(context.Background(), w, tgt, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Phases) != len(w.Phases) || len(r2.Phases) != len(w.Phases) {
+		t.Fatalf("phase counts %d/%d, want %d", len(r1.Phases), len(r2.Phases), len(w.Phases))
+	}
+	for pi := range r1.Phases {
+		a, b := r1.Phases[pi], r2.Phases[pi]
+		if a.Errors != 0 || b.Errors != 0 {
+			t.Fatalf("phase %d: errors %d/%d", pi, a.Errors, b.Errors)
+		}
+		if a.Requests != b.Requests || !reflect.DeepEqual(a.ByKind, b.ByKind) {
+			t.Fatalf("phase %d: counts differ between runs: %+v vs %+v", pi, a.ByKind, b.ByKind)
+		}
+	}
+}
+
+// TestRunContextCancel: a canceled context stops the run with its error.
+func TestRunContextCancel(t *testing.T) {
+	snap := testSnapshot(t, 120)
+	w, err := Expand(smallSpec(), snap.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, w, &SnapshotTarget{Snap: snap}, RunConfig{}); err == nil {
+		t.Fatal("canceled run reported no error")
+	}
+}
+
+// TestSpecRoundTrip: spec JSON round-trips through ReadSpec, unknown
+// fields are rejected, invalid specs fail validation.
+func TestSpecRoundTrip(t *testing.T) {
+	sp := Default()
+	if err := sp.Validate(); err != nil { // fill defaults so the comparison is stable
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(sp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, got) {
+		t.Fatal("spec did not round-trip")
+	}
+	if _, err := ReadSpec(strings.NewReader(`{"schema":"dmfload-spec/v1","bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	bad := []string{
+		`{"schema":"other/v9","phases":[{"name":"x","requests":1,"arrival":"closed","mix":{"predict":1}}]}`,
+		`{"phases":[]}`,
+		`{"phases":[{"name":"x","requests":0,"arrival":"closed","mix":{"predict":1}}]}`,
+		`{"phases":[{"name":"x","requests":1,"arrival":"warp","mix":{"predict":1}}]}`,
+		`{"phases":[{"name":"x","requests":1,"arrival":"poisson","mix":{"predict":1}}]}`,
+		`{"phases":[{"name":"x","requests":1,"arrival":"closed","mix":{}}]}`,
+		`{"phases":[{"name":"x","requests":1,"arrival":"closed","mix":{"predict":1},"zipf_s":0.5}]}`,
+	}
+	for _, s := range bad {
+		if _, err := ReadSpec(strings.NewReader(s)); err == nil {
+			t.Fatalf("bad spec accepted: %s", s)
+		}
+	}
+}
+
+// TestScaled checks count scaling with the 1-request floor.
+func TestScaled(t *testing.T) {
+	sp := smallSpec()
+	sc := sp.Scaled(0.001)
+	for i, ph := range sc.Phases {
+		if ph.Requests != 1 {
+			t.Fatalf("phase %d scaled to %d, want floor 1", i, ph.Requests)
+		}
+		if sp.Phases[i].Requests != 300 {
+			t.Fatal("Scaled mutated the original")
+		}
+	}
+	if sc2 := sp.Scaled(2); sc2.Phases[0].Requests != 600 {
+		t.Fatalf("2x scale gave %d", sc2.Phases[0].Requests)
+	}
+}
+
+// TestReportRoundTrip: reports round-trip through WriteFile/ReadReport
+// and schema mismatches are rejected.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/BENCH_serve.json"
+	rep := &Report{
+		Kind:   "serve",
+		Target: "inproc",
+		Nodes:  120,
+		Env:    CaptureEnv(),
+		Spec:   Default(),
+		Phases: []PhaseResult{{Name: "x", Arrival: "closed", Requests: 10,
+			ByKind: map[string]int{"predict": 10}, ThroughputRPS: 1000}},
+	}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaBench || got.Phases[0].Requests != 10 || got.Spec.Name != rep.Spec.Name {
+		t.Fatalf("report did not round-trip: %+v", got)
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":"nope/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+// TestTrainBench: one tiny case produces a plausible result and a
+// benchstat-parsable line.
+func TestTrainBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	var buf bytes.Buffer
+	res, err := TrainBench([]TrainCase{{N: 120, Shards: 2}}, 2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("%d results", len(res))
+	}
+	tr := res[0]
+	if tr.NsPerOp <= 0 || tr.UpdatesPerSec <= 0 || tr.Iters <= 0 {
+		t.Fatalf("implausible result %+v", tr)
+	}
+	line := buf.String()
+	if !strings.HasPrefix(line, "BenchmarkEngineEpochMeridian120Shards2-") || !strings.Contains(line, "ns/op") {
+		t.Fatalf("bench line %q", line)
+	}
+}
+
+// TestHTTPTargetAgainstServer drives every request kind against a stub
+// HTTP server and checks error propagation on non-200s.
+func TestHTTPTargetAgainstServer(t *testing.T) {
+	mux := http.NewServeMux()
+	var hits atomic.Int64
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("/rank", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("/fail", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusBadRequest)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"nodes":77}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	tgt := NewHTTPTarget(srv.URL, 4)
+	n, err := FetchNodes(tgt)
+	if err != nil || n != 77 {
+		t.Fatalf("FetchNodes = %d, %v", n, err)
+	}
+	sc := &Scratch{}
+	reqs := []Request{
+		{Kind: KindPredict, I: 1, J: 2},
+		{Kind: KindPredictBatch, Pairs: []dmfsgd.PathPair{{I: 1, J: 2}, {I: 3, J: 4}}},
+		{Kind: KindRank, I: 1, Cands: []int{2, 3, 4}},
+	}
+	for i := range reqs {
+		if err := tgt.Do(&reqs[i], sc); err != nil {
+			t.Fatalf("req %d: %v", i, err)
+		}
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("%d hits, want 3", hits.Load())
+	}
+	bad := NewHTTPTarget(srv.URL+"/fail", 2)
+	if err := bad.Do(&Request{Kind: KindPredict, I: 1, J: 2}, sc); err == nil {
+		t.Fatal("non-200 not reported")
+	}
+}

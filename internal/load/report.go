@@ -1,0 +1,98 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// PhaseResult is one phase's measurements.
+type PhaseResult struct {
+	Name     string         `json:"name"`
+	Arrival  string         `json:"arrival"`
+	Requests int            `json:"requests"`
+	Errors   int            `json:"errors"`
+	ByKind   map[string]int `json:"by_kind"`
+
+	DurationMS    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+}
+
+// Result is a completed run's per-phase results.
+type Result struct {
+	Phases []PhaseResult `json:"phases"`
+}
+
+// Env records the machine the numbers were taken on — BENCH files from
+// different hosts are not comparable, and the env block makes that
+// visible in the diff.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CaptureEnv fills an Env from the running process.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// Report is the BENCH_*.json document. Kind is "serve" (dmfload run) or
+// "train" (engine benchmark sweep); exactly one of Phases/Train is
+// populated per kind.
+type Report struct {
+	Schema string `json:"schema"`
+	Kind   string `json:"kind"`
+	// Target describes what was driven: "inproc" or the base URL.
+	Target string `json:"target,omitempty"`
+	// Nodes and SnapshotSteps pin the served model.
+	Nodes         int           `json:"nodes,omitempty"`
+	SnapshotSteps uint64        `json:"snapshot_steps,omitempty"`
+	Env           Env           `json:"env"`
+	Spec          *WorkloadSpec `json:"spec,omitempty"`
+	Phases        []PhaseResult `json:"phases,omitempty"`
+	Train         []TrainResult `json:"train,omitempty"`
+}
+
+// WriteFile writes the report as indented JSON with a trailing newline.
+func (r *Report) WriteFile(path string) error {
+	if r.Schema == "" {
+		r.Schema = SchemaBench
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadReport parses a BENCH report and checks its schema version.
+func ReadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("load: parse report %s: %w", path, err)
+	}
+	if r.Schema != SchemaBench {
+		return nil, fmt.Errorf("load: report schema %q, want %q", r.Schema, SchemaBench)
+	}
+	return &r, nil
+}

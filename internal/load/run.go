@@ -1,0 +1,328 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmfsgd"
+)
+
+// Scratch is per-client reusable working memory; Do implementations use
+// it so the steady-state measurement loop does not allocate.
+type Scratch struct {
+	Scores []float64
+	Ranked []int
+	buf    []byte
+}
+
+// Target consumes one expanded request. Do is called concurrently from
+// many clients, each with its own Scratch.
+type Target interface {
+	Do(req *Request, sc *Scratch) error
+}
+
+// SnapshotTarget drives an in-process Snapshot — the serving hot path
+// without the HTTP layer, the configuration alloc regressions are
+// measured against.
+type SnapshotTarget struct {
+	Snap *dmfsgd.Snapshot
+}
+
+// Do dispatches one request against the snapshot.
+func (t *SnapshotTarget) Do(req *Request, sc *Scratch) error {
+	switch req.Kind {
+	case KindPredict:
+		_ = t.Snap.Predict(req.I, req.J)
+	case KindPredictBatch:
+		if cap(sc.Scores) < len(req.Pairs) {
+			sc.Scores = make([]float64, len(req.Pairs))
+		}
+		t.Snap.PredictBatch(req.Pairs, sc.Scores[:len(req.Pairs)])
+	case KindRank:
+		if cap(sc.Ranked) < len(req.Cands) {
+			sc.Ranked = make([]int, len(req.Cands))
+		}
+		t.Snap.RankInto(req.I, req.Cands, sc.Ranked[:len(req.Cands)])
+	default:
+		return fmt.Errorf("load: unknown kind %v", req.Kind)
+	}
+	return nil
+}
+
+// HTTPTarget drives a dmfserve endpoint. All clients share the one
+// http.Client: its transport keeps an idle connection pool sized to the
+// client count (MaxIdleConnsPerHost), so the steady state reuses
+// connections instead of re-dialing per request — without this the
+// generator itself becomes the bottleneck (and exhausts ephemeral
+// ports) long before the server does.
+type HTTPTarget struct {
+	Base   string
+	Client *http.Client
+}
+
+// NewHTTPTarget builds a target with a connection pool sized for
+// maxConns concurrent clients.
+func NewHTTPTarget(base string, maxConns int) *HTTPTarget {
+	if maxConns < 2 {
+		maxConns = 2
+	}
+	tr := &http.Transport{
+		MaxIdleConns:        maxConns,
+		MaxIdleConnsPerHost: maxConns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTPTarget{
+		Base:   base,
+		Client: &http.Client{Transport: tr, Timeout: 30 * time.Second},
+	}
+}
+
+// Do issues one HTTP request and fully drains the response so the
+// connection returns to the pool.
+func (t *HTTPTarget) Do(req *Request, sc *Scratch) error {
+	b := sc.buf[:0]
+	var (
+		hreq *http.Request
+		err  error
+	)
+	switch req.Kind {
+	case KindPredict:
+		b = append(b, t.Base...)
+		b = append(b, "/predict?i="...)
+		b = strconv.AppendInt(b, int64(req.I), 10)
+		b = append(b, "&j="...)
+		b = strconv.AppendInt(b, int64(req.J), 10)
+		sc.buf = b
+		hreq, err = http.NewRequest(http.MethodGet, string(b), nil)
+	case KindPredictBatch:
+		b = append(b, `{"pairs":[`...)
+		for k, p := range req.Pairs {
+			if k > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, '[')
+			b = strconv.AppendInt(b, int64(p.I), 10)
+			b = append(b, ',')
+			b = strconv.AppendInt(b, int64(p.J), 10)
+			b = append(b, ']')
+		}
+		b = append(b, ']', '}')
+		sc.buf = b
+		hreq, err = http.NewRequest(http.MethodPost, t.Base+"/predict", bytes.NewReader(b))
+		if hreq != nil {
+			hreq.Header.Set("Content-Type", "application/json")
+		}
+	case KindRank:
+		b = append(b, t.Base...)
+		b = append(b, "/rank?i="...)
+		b = strconv.AppendInt(b, int64(req.I), 10)
+		b = append(b, "&candidates="...)
+		for k, j := range req.Cands {
+			if k > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(j), 10)
+		}
+		sc.buf = b
+		hreq, err = http.NewRequest(http.MethodGet, string(b), nil)
+	default:
+		return fmt.Errorf("load: unknown kind %v", req.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	resp, err := t.Client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: %s: status %d", hreq.URL.Path, resp.StatusCode)
+	}
+	return nil
+}
+
+// FetchNodes asks a dmfserve /stats endpoint for its node count.
+func FetchNodes(t *HTTPTarget) (int, error) {
+	resp, err := t.Client.Get(t.Base + "/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, fmt.Errorf("load: decode /stats: %w", err)
+	}
+	if st.Nodes < 2 {
+		return 0, fmt.Errorf("load: /stats reports %d nodes", st.Nodes)
+	}
+	return st.Nodes, nil
+}
+
+// RunConfig tunes the runner.
+type RunConfig struct {
+	// MaxInflight caps concurrent open-loop requests (default: the
+	// phase's client count). When the target can't keep up the arrival
+	// schedule degrades to closed-loop at this concurrency — the error
+	// and throughput numbers still hold, the latency tail saturates.
+	MaxInflight int
+}
+
+// Run drives the workload phase by phase and measures. Request order
+// and payloads come entirely from the expansion; the runner adds no
+// randomness, so two runs issue identical requests (per-phase counts
+// and kind splits are reproducible; latencies are not).
+func Run(ctx context.Context, w *Workload, tgt Target, cfg RunConfig) (*Result, error) {
+	res := &Result{Phases: make([]PhaseResult, 0, len(w.Phases))}
+	for pi := range w.Phases {
+		ph := &w.Phases[pi]
+		pr, err := runPhase(ctx, ph, tgt, cfg)
+		if err != nil {
+			return res, fmt.Errorf("load: phase %q: %w", ph.Spec.Name, err)
+		}
+		res.Phases = append(res.Phases, *pr)
+	}
+	return res, nil
+}
+
+func runPhase(ctx context.Context, ph *Phase, tgt Target, cfg RunConfig) (*PhaseResult, error) {
+	reqs := ph.Requests
+	lat := make([]int64, len(reqs)) // nanoseconds, indexed by request
+	var errs atomic.Int64
+	workers := ph.Spec.Clients
+	if ph.Spec.Arrival != "closed" {
+		if cfg.MaxInflight > 0 {
+			workers = cfg.MaxInflight
+		}
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	if ph.Spec.Arrival == "closed" {
+		// Closed loop: a fixed pool, each client pulls the next request
+		// off a shared cursor as soon as its previous one completes.
+		var cursor atomic.Int64
+		for c := 0; c < workers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := &Scratch{}
+				for {
+					idx := int(cursor.Add(1)) - 1
+					if idx >= len(reqs) || ctx.Err() != nil {
+						return
+					}
+					t0 := time.Now()
+					if err := tgt.Do(&reqs[idx], sc); err != nil {
+						errs.Add(1)
+					}
+					lat[idx] = time.Since(t0).Nanoseconds()
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		// Open loop: a dispatcher paces the arrival schedule; a bounded
+		// worker pool executes. Workers pull from a channel so each keeps
+		// its own Scratch.
+		idxCh := make(chan int, workers)
+		for c := 0; c < workers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := &Scratch{}
+				for idx := range idxCh {
+					t0 := time.Now()
+					if err := tgt.Do(&reqs[idx], sc); err != nil {
+						errs.Add(1)
+					}
+					lat[idx] = time.Since(t0).Nanoseconds()
+				}
+			}()
+		}
+	dispatch:
+		for idx := range reqs {
+			if d := time.Until(start.Add(reqs[idx].At)); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					break dispatch
+				}
+			}
+			select {
+			case idxCh <- idx:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(idxCh)
+		wg.Wait()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	pr := &PhaseResult{
+		Name:     ph.Spec.Name,
+		Arrival:  ph.Spec.Arrival,
+		Requests: len(reqs),
+		Errors:   int(errs.Load()),
+		ByKind:   map[string]int{},
+	}
+	for i := range reqs {
+		pr.ByKind[reqs[i].Kind.String()]++
+	}
+	pr.DurationMS = float64(elapsed.Nanoseconds()) / 1e6
+	if elapsed > 0 {
+		pr.ThroughputRPS = float64(len(reqs)) / elapsed.Seconds()
+	}
+	// Mallocs delta over the whole phase: for the in-process target this
+	// is the serving stack's allocation rate; over HTTP it measures the
+	// client side (still useful as a generator-overhead signal).
+	pr.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(len(reqs))
+
+	sorted := append([]int64(nil), lat...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	pr.P50MS = quantileMS(sorted, 0.50)
+	pr.P90MS = quantileMS(sorted, 0.90)
+	pr.P99MS = quantileMS(sorted, 0.99)
+	pr.MaxMS = float64(sorted[len(sorted)-1]) / 1e6
+	return pr, nil
+}
+
+// quantileMS reads the q-quantile (nearest-rank) from ascending
+// nanosecond latencies.
+func quantileMS(sorted []int64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return float64(sorted[idx]) / 1e6
+}

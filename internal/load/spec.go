@@ -1,0 +1,221 @@
+// Package load is the macro load harness behind cmd/dmfload: a seeded
+// WorkloadSpec expands deterministically into a per-phase request
+// sequence (predict / predict-batch / rank with Zipf-skewed node
+// popularity), which a Runner drives against a serving target — the
+// in-process Snapshot fast path or a dmfserve HTTP endpoint — recording
+// per-phase latency percentiles, throughput, allocation rates and error
+// counts into a schema-versioned BENCH report. The reports are the
+// repo's macro perf trajectory: produced by CI on every run, diffable
+// across PRs.
+//
+// Determinism contract: the same spec and seed expand to the identical
+// request sequence (one seeded RNG per phase, consumed in a fixed
+// order), so two runs against the same snapshot issue identical
+// requests and produce identical per-phase request/response counts.
+// Only the measured latencies vary with the host.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaSpec versions the workload spec format.
+const SchemaSpec = "dmfload-spec/v1"
+
+// SchemaBench versions the BENCH_*.json report format.
+const SchemaBench = "dmfload-bench/v1"
+
+// WorkloadSpec is the top-level workload description: a seed plus an
+// ordered list of phases (multi-period traffic — e.g. a diurnal
+// warm/peak/burst cycle is three phases).
+type WorkloadSpec struct {
+	// Schema must be SchemaSpec (filled by Default; validated on load).
+	Schema string `json:"schema"`
+	// Name labels the workload in reports.
+	Name string `json:"name,omitempty"`
+	// Seed drives every random choice of the expansion.
+	Seed int64 `json:"seed"`
+	// Phases run in order; each is an independent arrival process.
+	Phases []PhaseSpec `json:"phases"`
+}
+
+// PhaseSpec is one traffic period.
+type PhaseSpec struct {
+	// Name labels the phase in reports.
+	Name string `json:"name"`
+	// Requests is the total request count of the phase (scaled by the
+	// runner's -scale for quick CI runs).
+	Requests int `json:"requests"`
+	// Arrival selects the arrival process: "closed" (a fixed client pool,
+	// each client issues its next request as soon as the previous
+	// completes), "poisson" (open loop, exponential inter-arrivals at
+	// RateRPS), or "burst" (open loop, BurstLen back-to-back requests
+	// every BurstGapMS).
+	Arrival string `json:"arrival"`
+	// Clients is the closed-loop pool size (and the open-loop in-flight
+	// default).
+	Clients int `json:"clients,omitempty"`
+	// RateRPS is the open-loop mean arrival rate (poisson).
+	RateRPS float64 `json:"rate_rps,omitempty"`
+	// BurstLen and BurstGapMS shape the burst arrival: BurstLen requests
+	// arrive together, then nothing for BurstGapMS.
+	BurstLen   int     `json:"burst_len,omitempty"`
+	BurstGapMS float64 `json:"burst_gap_ms,omitempty"`
+	// Mix weights the request kinds.
+	Mix MixSpec `json:"mix"`
+	// BatchSize is the pair count of each predict-batch request
+	// (default 16).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Candidates is the candidate-set size of each rank request
+	// (default 64).
+	Candidates int `json:"candidates,omitempty"`
+	// ZipfS skews node popularity: s > 1 draws node ids from a Zipf(s)
+	// distribution over a seeded permutation of [0, n); 0 means uniform.
+	ZipfS float64 `json:"zipf_s,omitempty"`
+}
+
+// MixSpec weights the request kinds of a phase; weights are relative
+// (they need not sum to 1) and at least one must be positive.
+type MixSpec struct {
+	Predict      float64 `json:"predict"`
+	PredictBatch float64 `json:"predict_batch"`
+	Rank         float64 `json:"rank"`
+}
+
+// Default returns the built-in three-phase diurnal workload: a
+// closed-loop warmup, a Poisson open-loop peak with Zipf-skewed
+// popularity, and a bursty tail — the spec CI runs.
+func Default() *WorkloadSpec {
+	return &WorkloadSpec{
+		Schema: SchemaSpec,
+		Name:   "diurnal-default",
+		Seed:   1,
+		Phases: []PhaseSpec{
+			{
+				Name:     "warm-closed",
+				Requests: 20000,
+				Arrival:  "closed",
+				Clients:  8,
+				Mix:      MixSpec{Predict: 0.7, PredictBatch: 0.2, Rank: 0.1},
+			},
+			{
+				Name:       "peak-poisson",
+				Requests:   30000,
+				Arrival:    "poisson",
+				Clients:    32,
+				RateRPS:    15000,
+				Mix:        MixSpec{Predict: 0.5, PredictBatch: 0.3, Rank: 0.2},
+				BatchSize:  32,
+				Candidates: 128,
+				ZipfS:      1.2,
+			},
+			{
+				Name:       "night-burst",
+				Requests:   10000,
+				Arrival:    "burst",
+				Clients:    16,
+				BurstLen:   200,
+				BurstGapMS: 20,
+				Mix:        MixSpec{Predict: 0.3, PredictBatch: 0.6, Rank: 0.1},
+				BatchSize:  64,
+				ZipfS:      1.5,
+			},
+		},
+	}
+}
+
+// Validate checks the spec and fills defaulted fields in place.
+func (ws *WorkloadSpec) Validate() error {
+	if ws.Schema == "" {
+		ws.Schema = SchemaSpec
+	}
+	if ws.Schema != SchemaSpec {
+		return fmt.Errorf("load: spec schema %q, want %q", ws.Schema, SchemaSpec)
+	}
+	if len(ws.Phases) == 0 {
+		return fmt.Errorf("load: spec has no phases")
+	}
+	for i := range ws.Phases {
+		ph := &ws.Phases[i]
+		if ph.Name == "" {
+			ph.Name = fmt.Sprintf("phase-%d", i)
+		}
+		if ph.Requests <= 0 {
+			return fmt.Errorf("load: phase %q: requests %d, want > 0", ph.Name, ph.Requests)
+		}
+		switch ph.Arrival {
+		case "closed":
+			if ph.Clients <= 0 {
+				ph.Clients = 8
+			}
+		case "poisson":
+			if ph.RateRPS <= 0 {
+				return fmt.Errorf("load: phase %q: poisson arrival needs rate_rps > 0", ph.Name)
+			}
+			if ph.Clients <= 0 {
+				ph.Clients = 64
+			}
+		case "burst":
+			if ph.BurstLen <= 0 {
+				return fmt.Errorf("load: phase %q: burst arrival needs burst_len > 0", ph.Name)
+			}
+			if ph.BurstGapMS < 0 {
+				return fmt.Errorf("load: phase %q: burst_gap_ms %v, want ≥ 0", ph.Name, ph.BurstGapMS)
+			}
+			if ph.Clients <= 0 {
+				ph.Clients = 64
+			}
+		default:
+			return fmt.Errorf("load: phase %q: arrival %q, want closed, poisson or burst", ph.Name, ph.Arrival)
+		}
+		m := ph.Mix
+		if m.Predict < 0 || m.PredictBatch < 0 || m.Rank < 0 || m.Predict+m.PredictBatch+m.Rank <= 0 {
+			return fmt.Errorf("load: phase %q: mix weights must be ≥ 0 with a positive sum", ph.Name)
+		}
+		if ph.BatchSize <= 0 {
+			ph.BatchSize = 16
+		}
+		if ph.Candidates <= 1 {
+			ph.Candidates = 64
+		}
+		if ph.ZipfS != 0 && ph.ZipfS <= 1 {
+			return fmt.Errorf("load: phase %q: zipf_s %v, want 0 (uniform) or > 1", ph.Name, ph.ZipfS)
+		}
+	}
+	return nil
+}
+
+// Scaled returns a deep copy with every phase's request count multiplied
+// by f (minimum 1 request per phase) — quick CI runs scale the standard
+// spec down rather than maintaining a second spec.
+func (ws *WorkloadSpec) Scaled(f float64) *WorkloadSpec {
+	out := *ws
+	out.Phases = append([]PhaseSpec(nil), ws.Phases...)
+	if f == 1 || f <= 0 {
+		return &out
+	}
+	for i := range out.Phases {
+		n := int(float64(out.Phases[i].Requests) * f)
+		if n < 1 {
+			n = 1
+		}
+		out.Phases[i].Requests = n
+	}
+	return &out
+}
+
+// ReadSpec parses and validates a JSON workload spec.
+func ReadSpec(r io.Reader) (*WorkloadSpec, error) {
+	var ws WorkloadSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ws); err != nil {
+		return nil, fmt.Errorf("load: parse spec: %w", err)
+	}
+	if err := ws.Validate(); err != nil {
+		return nil, err
+	}
+	return &ws, nil
+}

@@ -318,3 +318,40 @@ func (r recTransport) Send(to string, data []byte) error {
 }
 func (recTransport) Recv() <-chan transport.Packet { return nil }
 func (recTransport) Close() error                  { return nil }
+
+// TestBlocksMatchRowsAndShare: Blocks exposes the per-shard layout
+// NewSnapshotBlocks serves from — every node's rows are found at block
+// i mod P, local row i div P — and blocks of shards a capture did not
+// advance stay pointer-shared with the previous state's, which is what
+// lets a serving publish skip re-validating them.
+func TestBlocksMatchRowsAndShare(t *testing.T) {
+	const n, rank, shards = 11, 3, 4
+	store, st := testStore(t, n, rank, shards, 5)
+	bu, bv := st.Blocks()
+	if len(bu) != shards || len(bv) != shards {
+		t.Fatalf("%d/%d blocks, want %d", len(bu), len(bv), shards)
+	}
+	for i := 0; i < n; i++ {
+		ru, rv := st.Row(i)
+		p, li := i%shards, i/shards
+		for r := 0; r < rank; r++ {
+			if bu[p][li*rank+r] != ru[r] || bv[p][li*rank+r] != rv[r] {
+				t.Fatalf("node %d: block row differs from Row at %d", i, r)
+			}
+		}
+	}
+	// Advance shard 2 only; the other shards' block views must stay
+	// pointer-identical across the capture (the skip-validation key).
+	store.Ref(2).Update(func(c *engineCoords) bool { c.U[0] = 7; return true })
+	next := storeState(t, st, store, Meta{Steps: 11, Tau: 1.5})
+	nu, nv := next.Blocks()
+	for p := 0; p < shards; p++ {
+		shared := &nu[p][0] == &bu[p][0] && &nv[p][0] == &bv[p][0]
+		if p == 2 && shared {
+			t.Error("advanced shard 2 still shares its block views")
+		}
+		if p != 2 && !shared {
+			t.Errorf("quiet shard %d lost block sharing", p)
+		}
+	}
+}

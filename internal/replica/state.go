@@ -121,6 +121,23 @@ func (st *State) Row(i int) (u, v []float64) {
 	return b.u[li*st.Rank : (li+1)*st.Rank], b.v[li*st.Rank : (li+1)*st.Rank]
 }
 
+// Blocks returns the per-shard coordinate blocks: block p holds the rows
+// of nodes p, p+P, 2P+p, … ascending, Rank values per row — the layout
+// NewSnapshotBlocks serves from directly. The returned outer slices are
+// freshly allocated; the blocks themselves are views into the immutable
+// state and must not be modified. Blocks of shards a delta did not
+// advance are shared (pointer-identical) with the previous state's, which
+// is what lets a serving-snapshot publish skip re-validating them.
+func (st *State) Blocks() (u, v [][]float64) {
+	u = make([][]float64, st.Shards)
+	v = make([][]float64, st.Shards)
+	for p := range st.blocks {
+		u[p] = st.blocks[p].u
+		v[p] = st.blocks[p].v
+	}
+	return u, v
+}
+
 // Flatten returns freshly allocated flat row-major copies of U and V —
 // the input NewSnapshotFlat wants for a serving snapshot.
 func (st *State) Flatten() (u, v []float64) {

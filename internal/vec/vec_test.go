@@ -298,3 +298,105 @@ func BenchmarkScaleAxpy(b *testing.B) {
 		ScaleAxpy(0.99, dst, -0.1, x)
 	}
 }
+
+// --- Unrolled-kernel bit-identity ---
+//
+// The Dot/ScaleAxpy/Axpy unrolls (and their rank-10 fast paths) must be
+// bit-identical to the naive reference loops: a single float64 accumulator
+// updated in ascending index order. Any reassociation of the summation
+// would change fixed-seed experiment outputs.
+
+func refDot(a, b []float64) float64 {
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+func refScaleAxpy(beta float64, dst []float64, alpha float64, x []float64) {
+	for i, xv := range x {
+		dst[i] = beta*dst[i] + alpha*xv
+	}
+}
+
+func refAxpy(alpha float64, x, dst []float64) {
+	for i, xv := range x {
+		dst[i] += alpha * xv
+	}
+}
+
+// randSigned fills a vector with signed values spread over several orders
+// of magnitude, where float64 rounding differences would show up.
+func randSigned(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	return out
+}
+
+func TestDotBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= 40; n++ {
+		for trial := 0; trial < 50; trial++ {
+			a := randSigned(rng, n)
+			b := randSigned(rng, n)
+			got, want := Dot(a, b), refDot(a, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d trial=%d: Dot=%x ref=%x", n, trial,
+					math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestScaleAxpyBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for n := 0; n <= 40; n++ {
+		for trial := 0; trial < 50; trial++ {
+			x := randSigned(rng, n)
+			dst := randSigned(rng, n)
+			ref := append([]float64(nil), dst...)
+			beta, alpha := rng.Float64()*2-1, rng.Float64()*2-1
+			ScaleAxpy(beta, dst, alpha, x)
+			refScaleAxpy(beta, ref, alpha, x)
+			for i := range dst {
+				if math.Float64bits(dst[i]) != math.Float64bits(ref[i]) {
+					t.Fatalf("n=%d trial=%d i=%d: got %x ref %x", n, trial, i,
+						math.Float64bits(dst[i]), math.Float64bits(ref[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestAxpyBitIdenticalToReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for n := 0; n <= 40; n++ {
+		for trial := 0; trial < 50; trial++ {
+			x := randSigned(rng, n)
+			dst := randSigned(rng, n)
+			ref := append([]float64(nil), dst...)
+			alpha := rng.Float64()*2 - 1
+			Axpy(alpha, x, dst)
+			refAxpy(alpha, x, ref)
+			for i := range dst {
+				if math.Float64bits(dst[i]) != math.Float64bits(ref[i]) {
+					t.Fatalf("n=%d trial=%d i=%d: got %x ref %x", n, trial, i,
+						math.Float64bits(dst[i]), math.Float64bits(ref[i]))
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDotRank16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := NewRandUniform(rng, 16)
+	y := NewRandUniform(rng, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}

@@ -1,9 +1,11 @@
 package dmfsgd
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"dmfsgd/internal/classify"
 	"dmfsgd/internal/vec"
@@ -34,11 +36,18 @@ type Snapshot struct {
 	metric  Metric
 	steps   int
 
+	// Block-backed snapshots (NewSnapshotBlocks — the replicated serving
+	// path) hold one contiguous block per store shard instead of flat
+	// arrays: node i's rows live in block i mod P at local row i div P.
+	// bu/bv are nil for flat snapshots; when set, u and v are nil.
+	bu, bv [][]float64
+
 	// Store-materialized snapshots carry the shard version vector they
 	// were copied at, which is what lets Session.Snapshot return the same
 	// snapshot at quiescence and lets the replication tier ship only the
 	// shards that advanced. Assembled snapshots (NewSnapshot,
-	// NewSnapshotFlat) have no store and leave these zero.
+	// NewSnapshotFlat) have no store and leave these zero; block-backed
+	// snapshots carry the replicated state's geometry and versions.
 	shards int
 	vers   []uint64
 }
@@ -114,6 +123,73 @@ func NewSnapshotFlat(metric Metric, tau float64, steps, rank int, u, v []float64
 	}, nil
 }
 
+// NewSnapshotBlocks assembles a snapshot directly over per-shard
+// coordinate blocks — the allocation-free serving path for replicated
+// state (internal/replica, cmd/dmfserve -peer), whose gossip deltas
+// arrive as immutable per-shard blocks. Block p holds the rows of nodes
+// p, p+shards, p+2·shards, … ascending (the store's partition), rank
+// values per row; u and v must each carry exactly `shards` blocks of the
+// right length. vers, when non-nil, stamps the per-shard version vector
+// the state was captured at (copied).
+//
+// The blocks are NOT copied: the snapshot aliases them, and the caller
+// must treat them as immutable afterwards — exactly the contract
+// replica.State already maintains, which is what lets a follower publish
+// a fresh snapshot per applied delta without flattening the full 2·n·r
+// state.
+//
+// prev, when non-nil and of identical geometry, skips re-validating
+// blocks shared with it by identity: a block whose backing array already
+// passed a previous call's finiteness scan cannot have changed. Passing
+// the previously published snapshot makes the per-delta publish cost
+// proportional to the shards that advanced, not to n.
+func NewSnapshotBlocks(metric Metric, tau float64, steps, rank, n, shards int, u, v [][]float64, vers []uint64, prev *Snapshot) (*Snapshot, error) {
+	if rank <= 0 || n <= 0 || shards <= 0 || shards > n {
+		return nil, fmt.Errorf("%w: block snapshot geometry n=%d rank=%d shards=%d",
+			ErrInvalidConfig, n, rank, shards)
+	}
+	if len(u) != shards || len(v) != shards {
+		return nil, fmt.Errorf("%w: %d/%d coordinate blocks, want %d",
+			ErrInvalidConfig, len(u), len(v), shards)
+	}
+	if vers != nil && len(vers) != shards {
+		return nil, fmt.Errorf("%w: version vector length %d, want %d",
+			ErrInvalidConfig, len(vers), shards)
+	}
+	if prev != nil && (prev.bu == nil || prev.n != n || prev.rank != rank || prev.shards != shards) {
+		prev = nil // not block-backed or geometry changed: validate everything
+	}
+	for p := 0; p < shards; p++ {
+		rows := (n - p + shards - 1) / shards
+		if len(u[p]) != rows*rank || len(v[p]) != rows*rank {
+			return nil, fmt.Errorf("%w: shard %d blocks of %d/%d values, want %d",
+				ErrInvalidConfig, p, len(u[p]), len(v[p]), rows*rank)
+		}
+		if prev != nil && rows > 0 && &u[p][0] == &prev.bu[p][0] && &v[p][0] == &prev.bv[p][0] {
+			continue // shared with an already-validated snapshot
+		}
+		for k := range u[p] {
+			if !finite(u[p][k]) || !finite(v[p][k]) {
+				return nil, fmt.Errorf("%w: shard %d has non-finite coordinates", ErrInvalidConfig, p)
+			}
+		}
+	}
+	sn := &Snapshot{
+		n:      n,
+		rank:   rank,
+		bu:     u,
+		bv:     v,
+		tau:    tau,
+		metric: metric,
+		steps:  steps,
+		shards: shards,
+	}
+	if vers != nil {
+		sn.vers = append([]uint64(nil), vers...)
+	}
+	return sn, nil
+}
+
 func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // N returns the node count.
@@ -135,7 +211,8 @@ func (sn *Snapshot) Metric() Metric { return sn.metric }
 func (sn *Snapshot) Steps() int { return sn.steps }
 
 // StoreShards returns the shard count P of the store this snapshot was
-// materialized from, or 0 for assembled snapshots (NewSnapshot,
+// materialized from (or, for block-backed snapshots, of the replicated
+// state's partition), or 0 for assembled snapshots (NewSnapshot,
 // NewSnapshotFlat), which have no store.
 func (sn *Snapshot) StoreShards() int { return sn.shards }
 
@@ -152,9 +229,42 @@ func (sn *Snapshot) Versions() []uint64 {
 
 // Flat returns copies of the flat row-major coordinate arrays (node i's
 // rows at [i·rank, (i+1)·rank)) — the counterpart of NewSnapshotFlat for
-// callers that replicate or persist coordinate state.
+// callers that replicate or persist coordinate state. Block-backed
+// snapshots are flattened row by row.
 func (sn *Snapshot) Flat() (u, v []float64) {
-	return append([]float64(nil), sn.u...), append([]float64(nil), sn.v...)
+	if sn.bu == nil {
+		return append([]float64(nil), sn.u...), append([]float64(nil), sn.v...)
+	}
+	r := sn.rank
+	u = make([]float64, sn.n*r)
+	v = make([]float64, sn.n*r)
+	for i := 0; i < sn.n; i++ {
+		copy(u[i*r:(i+1)*r], sn.rowU(i))
+		copy(v[i*r:(i+1)*r], sn.rowV(i))
+	}
+	return u, v
+}
+
+// rowU returns node i's out-coordinates (a view; callers must not modify).
+func (sn *Snapshot) rowU(i int) []float64 {
+	r := sn.rank
+	if sn.bu == nil {
+		return sn.u[i*r : i*r+r]
+	}
+	b := sn.bu[i%sn.shards]
+	li := i / sn.shards
+	return b[li*r : li*r+r]
+}
+
+// rowV returns node i's in-coordinates (a view; callers must not modify).
+func (sn *Snapshot) rowV(i int) []float64 {
+	r := sn.rank
+	if sn.bv == nil {
+		return sn.v[i*r : i*r+r]
+	}
+	b := sn.bv[i%sn.shards]
+	li := i / sn.shards
+	return b[li*r : li*r+r]
 }
 
 func (sn *Snapshot) check(i, j int) {
@@ -168,8 +278,7 @@ func (sn *Snapshot) check(i, j int) {
 // of materialization.
 func (sn *Snapshot) Predict(i, j int) float64 {
 	sn.check(i, j)
-	r := sn.rank
-	return vec.Dot(sn.u[i*r:(i+1)*r], sn.v[j*r:(j+1)*r])
+	return vec.Dot(sn.rowU(i), sn.rowV(j))
 }
 
 // Classify returns the predicted class of the path i → j: the sign of
@@ -191,13 +300,33 @@ func (sn *Snapshot) PredictBatch(pairs []PathPair, scores []float64) []float64 {
 	if len(scores) != len(pairs) {
 		panic(fmt.Sprintf("dmfsgd: PredictBatch scores length %d, want %d", len(scores), len(pairs)))
 	}
-	r := sn.rank
+	if sn.bu == nil {
+		// Flat fast path: direct row arithmetic, no per-row shard lookup.
+		r := sn.rank
+		for k, p := range pairs {
+			sn.check(p.I, p.J)
+			scores[k] = vec.Dot(sn.u[p.I*r:(p.I+1)*r], sn.v[p.J*r:(p.J+1)*r])
+		}
+		return scores
+	}
 	for k, p := range pairs {
 		sn.check(p.I, p.J)
-		scores[k] = vec.Dot(sn.u[p.I*r:(p.I+1)*r], sn.v[p.J*r:(p.J+1)*r])
+		scores[k] = vec.Dot(sn.rowU(p.I), sn.rowV(p.J))
 	}
 	return scores
 }
+
+// rankEntry keys one candidate for sorting: its node id and score.
+type rankEntry struct {
+	j int
+	x float64
+}
+
+// rankScratch is the reusable keyed slice behind Rank/RankInto; pooled so
+// steady-state ranking performs no allocations.
+type rankScratch struct{ entries []rankEntry }
+
+var rankPool = sync.Pool{New: func() any { return new(rankScratch) }}
 
 // Rank orders candidate peers of node i from most to least likely good —
 // the §6.4 peer-selection primitive ("rank candidates by x̂ and pick the
@@ -205,27 +334,41 @@ func (sn *Snapshot) PredictBatch(pairs []PathPair, scores []float64) []float64 {
 // ties broken by ascending node id so the order is deterministic.
 // candidates is not modified.
 func (sn *Snapshot) Rank(i int, candidates []int) []int {
-	type scored struct {
-		j int
-		x float64
-	}
+	return sn.RankInto(i, candidates, make([]int, len(candidates)))
+}
+
+// RankInto is Rank with a caller-owned output buffer: out must have
+// len(candidates) and receives the ranked node ids (it is also returned).
+// Scoring and sorting use a pooled keyed scratch slice, so steady-state
+// serving loops rank without allocating. candidates and out may alias.
+func (sn *Snapshot) RankInto(i int, candidates, out []int) []int {
 	sn.check(i, i)
-	order := make([]scored, len(candidates))
-	r := sn.rank
-	ui := sn.u[i*r : (i+1)*r]
-	for k, j := range candidates {
+	if len(out) != len(candidates) {
+		panic(fmt.Sprintf("dmfsgd: RankInto out length %d, want %d", len(out), len(candidates)))
+	}
+	sc := rankPool.Get().(*rankScratch)
+	entries := sc.entries[:0]
+	if cap(entries) < len(candidates) {
+		entries = make([]rankEntry, 0, len(candidates))
+	}
+	ui := sn.rowU(i)
+	for _, j := range candidates {
 		sn.check(i, j)
-		order[k] = scored{j: j, x: vec.Dot(ui, sn.v[j*r:(j+1)*r])}
+		entries = append(entries, rankEntry{j: j, x: vec.Dot(ui, sn.rowV(j))})
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].x != order[b].x {
-			return order[a].x > order[b].x
+	slices.SortFunc(entries, func(a, b rankEntry) int {
+		if a.x != b.x {
+			if a.x > b.x {
+				return -1
+			}
+			return 1
 		}
-		return order[a].j < order[b].j
+		return cmp.Compare(a.j, b.j)
 	})
-	out := make([]int, len(order))
-	for k, s := range order {
-		out[k] = s.j
+	for k := range entries {
+		out[k] = entries[k].j
 	}
+	sc.entries = entries
+	rankPool.Put(sc)
 	return out
 }
