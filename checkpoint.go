@@ -71,8 +71,9 @@ func (s *Session) checkpointState() *ckpt.Checkpoint {
 		Seed:  s.set.seed,
 		Tau:   s.tau, Eta: s.set.learningRate, Lambda: s.set.lambda,
 		Loss: uint8(s.set.loss), Metric: uint8(s.ds.Metric),
-		Vers: store.Versions(nil),
-		U:    u, V: v,
+		Incarnation: s.set.incarnation,
+		Vers:        store.Versions(nil),
+		U:           u, V: v,
 	}
 	if s.drv != nil {
 		c.Draws = s.drv.MasterDraws()

@@ -1,0 +1,116 @@
+package dmfsgd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"dmfsgd/internal/cluster"
+	"dmfsgd/internal/engine"
+	"dmfsgd/internal/sim"
+)
+
+// Engine exposes the deterministic session's training engine for
+// trainer-cluster wiring (cluster.Config.Engine). It returns nil on a
+// live session — a swarm's nodes train themselves and cannot join a
+// trainer cluster. Code that only trains and serves should not touch
+// the engine directly; this accessor exists so a process can place the
+// session's coordinate store under a cluster.Trainer's ownership
+// protocol.
+func (s *Session) Engine() *engine.Engine {
+	if s.drv == nil {
+		return nil
+	}
+	return s.drv.Engine()
+}
+
+// Incarnation returns the trainer incarnation the session was built
+// with (WithIncarnation; 0 when unset). Checkpoints record it, and a
+// resumed process must come back with a strictly larger value.
+func (s *Session) Incarnation() uint32 { return s.set.incarnation }
+
+// RunCluster drains the session's measurement source through a trainer
+// cluster instead of the local sequential path: each fixed-size batch
+// of usable measurements becomes one lockstep round of tr, which
+// applies the samples owned here, routes cross-shard target updates to
+// their owning trainers, and mirrors the other trainers' shards back
+// into this session's store. Every cluster member must run an
+// identically configured session (same dataset, seed and options) and
+// call RunCluster with the same budget and batch size — the identical
+// measurement streams are what keep the members' batches, and therefore
+// their coordinate states, in lockstep. A roster-of-one cluster is
+// bit-identical to Run's epoch-batch application of the same stream.
+//
+// total is the successful-update budget (0 = the paper default), batch
+// the round size in measurements (0 = 8192). Aborted rounds — a peer
+// failed mid-round and ownership was reassigned — lose their batch like
+// a lossy measurement round and do not count against the budget;
+// training continues under the new ownership map. RunCluster returns
+// nil when the budget is met or a finite source is exhausted,
+// cluster.ErrEvicted when the cluster has declared this trainer dead,
+// or the first hard error.
+//
+// With a WAL attached, each completed round commits as a batch barrier.
+// Replaying such a log solo reproduces the full cluster-wide state, not
+// just this member's owned shards — partition equivalence makes the
+// solo replay and the cluster run the same trajectory.
+func (s *Session) RunCluster(ctx context.Context, tr *cluster.Trainer, total, batch int) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	if tr == nil {
+		return fmt.Errorf("%w: nil cluster trainer", ErrInvalidConfig)
+	}
+	if s.swarm != nil {
+		return fmt.Errorf("%w: a live swarm's nodes train themselves; cluster training drives deterministic sessions", ErrLiveSession)
+	}
+	if total <= 0 {
+		total = sim.DefaultBudget(s.ds.N(), s.k)
+	}
+	if batch <= 0 {
+		batch = runChunk
+	}
+	buf := make([]Measurement, batch)
+	samples := make([]engine.Sample, 0, batch)
+	for done := 0; done < total; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		want := min(batch, total-done)
+		k, err := s.src.NextBatch(ctx, buf[:want])
+		samples = samples[:0]
+		for _, m := range buf[:k] {
+			if !s.usable(m) || !s.drv.IsNeighbor(m.I, m.J) {
+				continue
+			}
+			samples = append(samples, engine.Sample{
+				I: m.I, J: m.J,
+				Label: ClassOf(s.ds.Metric, m.Value, s.tau).Value(),
+			})
+		}
+		applied, serr := tr.Step(ctx, samples)
+		switch {
+		case serr == nil:
+			done += applied
+			if cerr := s.commitWAL(true); cerr != nil {
+				return cerr
+			}
+		case errors.Is(serr, cluster.ErrRoundAborted):
+			// The round's batch is lost to the failover, like a lossy
+			// measurement round; mark it skipped so WAL replay agrees.
+			s.skipWAL()
+		default:
+			s.skipWAL()
+			return serr
+		}
+		s.publish(Progress{Steps: s.drv.Steps(), Target: total})
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,6 +8,21 @@
 // Snapshot into the serving pointer at each interval; in-flight requests
 // keep the snapshot they started with.
 //
+// With -trainer-id and -cluster-size the process joins a trainer
+// cluster (internal/cluster): each of T trainers owns a contiguous range
+// of coordinate-store shards, trains the same measurement stream in
+// lockstep rounds, routes cross-shard target updates to the owning
+// trainer, and mirrors every other trainer's shards locally — so every
+// member serves (and gossips to followers) the full coordinate view.
+// Trainer identities are 0..T-1 and must be stable across restarts: a
+// restart resumes from its checkpoint with the incarnation bumped, so
+// its vector-clock lineage dominates everything the previous life wrote.
+// Peers find each other through -cluster-peers bootstrap addresses and
+// the membership gossip of internal/member. All cluster members must run
+// identical dataset/seed/budget flags — the identical measurement
+// streams are what keep their rounds in lockstep. A -cluster-size 1
+// cluster is bit-identical to the standalone trainer.
+//
 // With -gossip the process joins the replication tier: it listens for
 // anti-entropy gossip (TCP, length-prefixed frames) and feeds its
 // versioned snapshot state to pulling peers, so one trainer replica can
@@ -52,6 +67,8 @@ import (
 
 	"dmfsgd"
 	"dmfsgd/internal/ckpt"
+	"dmfsgd/internal/cluster"
+	"dmfsgd/internal/member"
 	"dmfsgd/internal/replica"
 	"dmfsgd/internal/transport"
 )
@@ -68,6 +85,12 @@ func main() {
 		workers = flag.Int("workers", 0, "training/eval goroutines (0 = GOMAXPROCS)")
 		budget  = flag.Int("budget", 0, "training update budget (0 = paper default, 20·k·n)")
 		refresh = flag.Duration("refresh", 0, "keep training and swap a fresh snapshot at this interval (0 = train once, serve frozen)")
+
+		trainerID      = flag.Int("trainer-id", -1, "stable trainer identity (0..T-1) in a trainer cluster; alone it only adds the cluster fields to /healthz")
+		clusterSize    = flag.Int("cluster-size", 0, "trainer count T; ids are 0..T-1 (enables cluster mode, even at T=1)")
+		clusterAddr    = flag.String("cluster-addr", "", "trainer-cluster transport listen address (TCP; default 127.0.0.1:0)")
+		clusterPeers   = flag.String("cluster-peers", "", "comma-separated bootstrap -cluster-addr addresses of other trainers (enables cluster mode)")
+		clusterTimeout = flag.Duration("cluster-timeout", 5*time.Second, "lockstep barrier timeout; a trainer missing it is declared dead and failed over")
 
 		gossipAddr  = flag.String("gossip", "", "replication gossip listen address (TCP); joins the replication tier")
 		peerList    = flag.String("peer", "", "comma-separated bootstrap gossip peers; serve as a read replica (no local training)")
@@ -126,6 +149,39 @@ func main() {
 		role = "trainer"
 	}
 
+	// Trainer-cluster wiring: -cluster-size or -cluster-peers turns the
+	// trainer into one member of a lockstep trainer cluster. A bare
+	// -trainer-id keeps the legacy training path verbatim and only
+	// surfaces the cluster identity fields on /healthz.
+	var bootPeers []string
+	for _, a := range strings.Split(*clusterPeers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			bootPeers = append(bootPeers, a)
+		}
+	}
+	clusterMode := *clusterSize > 0 || len(bootPeers) > 0
+	clusterT := *clusterSize
+	if t := 1 + len(bootPeers); t > clusterT {
+		clusterT = t
+	}
+	if clusterMode {
+		if follower {
+			log.Fatalf("dmfserve: -cluster-size/-cluster-peers describe a trainer role; drop -peer")
+		}
+		if *trainerID < 0 || *trainerID >= clusterT {
+			log.Fatalf("dmfserve: a cluster of %d trainers needs -trainer-id in [0,%d), got %d",
+				clusterT, clusterT, *trainerID)
+		}
+		role = "cluster-trainer"
+	}
+	var clusterTr *cluster.Trainer
+	// selfInc numbers this process lifetime of the trainer identity: the
+	// persisted checkpoint incarnation plus one, so the restarted
+	// lineage's vector-clock entries dominate everything the previous
+	// life wrote. 0 on a fresh start.
+	var selfInc uint32
+	soloShards := 0 // store shard count, for the legacy-path /healthz fields
+
 	// The replication peer (nil when the tier is disabled) and its
 	// transport.
 	var repPeer *replica.Peer
@@ -134,15 +190,23 @@ func main() {
 		if err != nil {
 			log.Fatalf("dmfserve: %v", err)
 		}
+		// A stable -trainer-id (rather than the pid) keeps the gossip
+		// identity attached to the incarnation lineage across restarts, so
+		// followers re-admit a restarted trainer instead of blackholing it.
+		id := uint32(os.Getpid())
+		if *trainerID >= 0 {
+			id = uint32(*trainerID)
+		}
 		repPeer = replica.NewPeer(replica.Config{
-			ID:        uint32(os.Getpid()),
-			Transport: tr,
-			Peers:     peers,
-			Interval:  *gossipEvery,
-			Seed:      *seed,
-			Source:    source,
-			OnState:   onState,
-			Logf:      log.Printf,
+			ID:          id,
+			Incarnation: selfInc,
+			Transport:   tr,
+			Peers:       peers,
+			Interval:    *gossipEvery,
+			Seed:        *seed,
+			Source:      source,
+			OnState:     onState,
+			Logf:        log.Printf,
 		})
 		go repPeer.Run(ctx)
 		log.Printf("replication: %s gossiping on %s (interval %v)", role, tr.Addr(), *gossipEvery)
@@ -157,6 +221,13 @@ func main() {
 		listen := *gossipAddr
 		if listen == "" {
 			listen = "127.0.0.1:0"
+		}
+		// Peek the persisted incarnation before gossip starts, so this
+		// lifetime announces itself one past the previous one.
+		if *ckptPath != "" {
+			if c, err := ckpt.ReadFile(*ckptPath); err == nil {
+				selfInc = c.Incarnation + 1
+			}
 		}
 		// Publish serves directly over the replicated state's immutable
 		// per-shard blocks: no 2·n·r flatten per applied delta, and blocks
@@ -275,6 +346,17 @@ func main() {
 				resume = true
 			}
 		}
+		if *trainerID >= 0 && resume {
+			// The restart contract: resume one past the persisted
+			// incarnation, and record the bumped value in every checkpoint
+			// this lifetime writes.
+			c, peekErr := ckpt.ReadFile(*ckptPath)
+			if peekErr != nil {
+				log.Fatalf("dmfserve: checkpoint %s: %v", *ckptPath, peekErr)
+			}
+			selfInc = c.Incarnation + 1
+			opts = append(opts, dmfsgd.WithIncarnation(selfInc))
+		}
 		// No checkpoint but a non-empty WAL: the process died before its
 		// first save. The log's committed entries are still replayable
 		// into a fresh session (cold replay) — don't throw them away.
@@ -372,6 +454,79 @@ func main() {
 		}
 		defer sess.Close()
 		trainedSteps.Store(int64(sess.Steps()))
+		if eng := sess.Engine(); eng != nil {
+			soloShards = eng.Store().Shards()
+		}
+
+		if clusterMode {
+			listen := *clusterAddr
+			if listen == "" {
+				listen = "127.0.0.1:0"
+			}
+			ctr, lerr := transport.ListenTCPStream(listen)
+			if lerr != nil {
+				log.Fatalf("dmfserve: cluster listener: %v", lerr)
+			}
+			// The membership mux splits the cluster lane: Join/Peers frames
+			// feed the discovery directory, everything else (routed updates,
+			// clock deltas, ownership maps) flows to the trainer's Step loop.
+			cmux := member.NewMux(ctr)
+			defer cmux.Close()
+			roster := make([]uint32, clusterT)
+			for i := range roster {
+				roster[i] = uint32(i)
+			}
+			clusterTr, err = cluster.New(cluster.Config{
+				ID:          uint32(*trainerID),
+				Incarnation: sess.Incarnation(),
+				Trainers:    roster,
+				Transport:   cmux,
+				Engine:      sess.Engine(),
+				Timeout:     *clusterTimeout,
+				Logf:        log.Printf,
+			})
+			if err != nil {
+				log.Fatalf("dmfserve: %v", err)
+			}
+			dir := member.NewDirectory(uint32(*trainerID), cmux, *seed)
+			dir.OnPeer(func(p member.Peer) { clusterTr.AddPeer(p.ID, p.Addr) })
+			go dir.Run(ctx, 500*time.Millisecond)
+			// Re-Join the bootstrap addresses until the roster is complete:
+			// peers started in any order race each other's listeners, and a
+			// refused first dial would otherwise leave the directory empty
+			// with no one to gossip with.
+			go func() {
+				tick := time.NewTicker(200 * time.Millisecond)
+				defer tick.Stop()
+				for {
+					if len(dir.Peers()) >= clusterT-1 {
+						return
+					}
+					for _, b := range bootPeers {
+						_ = dir.Join(b)
+					}
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+					}
+				}
+			}()
+			log.Printf("cluster: trainer %d of %d (incarnation %d) on %s",
+				*trainerID, clusterT, sess.Incarnation(), cmux.Addr())
+			if werr := clusterTr.WaitRoster(ctx); werr != nil {
+				log.Fatalf("dmfserve: waiting for the cluster roster: %v", werr)
+			}
+		}
+		// runTraining drains total successful updates through whichever
+		// training path is active: lockstep cluster rounds or the local
+		// sequential loop.
+		runTraining := func(total int) error {
+			if clusterTr != nil {
+				return sess.RunCluster(ctx, clusterTr, total, 0)
+			}
+			return sess.Run(ctx, total)
+		}
 
 		saveCkpt := func() {
 			if *ckptPath == "" {
@@ -391,13 +546,21 @@ func main() {
 		log.Printf("training: %s, %d nodes, k=%d, tau=%.2f", ds.Name, sess.N(), sess.K(), sess.Tau())
 		start := time.Now()
 		if remaining := resolvedBudget - sess.Steps(); remaining > 0 {
-			if err := sess.Run(ctx, remaining); err != nil {
-				// Make the interrupted progress durable before exiting: a
-				// SIGTERM mid-burst must not discard hours of training.
-				saveCkpt()
-				log.Fatalf("dmfserve: training interrupted: %v", err)
+			if err := runTraining(remaining); err != nil {
+				if errors.Is(err, cluster.ErrEvicted) {
+					// The surviving cluster reassigned our shards; the local
+					// mirror is still a complete coordinate view as of the
+					// last finished round, so keep serving it frozen.
+					log.Printf("dmfserve: evicted from the trainer cluster; serving the last mirrored state")
+				} else {
+					// Make the interrupted progress durable before exiting: a
+					// SIGTERM mid-burst must not discard hours of training.
+					saveCkpt()
+					log.Fatalf("dmfserve: training interrupted: %v", err)
+				}
+			} else {
+				log.Printf("trained: %d updates in %.1fs", sess.Steps(), time.Since(start).Seconds())
 			}
-			log.Printf("trained: %d updates in %.1fs", sess.Steps(), time.Since(start).Seconds())
 		} else {
 			log.Printf("budget of %d already met by the checkpoint (%d updates): nothing to retrain", resolvedBudget, sess.Steps())
 		}
@@ -459,7 +622,10 @@ func main() {
 					// One k·n increment of training, then publish. Only this
 					// goroutine touches the session after startup; handlers
 					// read immutable snapshots.
-					if err := sess.Run(ctx, sess.N()*sess.K()); err != nil {
+					if err := runTraining(sess.N() * sess.K()); err != nil {
+						if errors.Is(err, cluster.ErrEvicted) {
+							log.Printf("dmfserve: evicted from the trainer cluster; refresh loop stopping")
+						}
 						saveCkpt()
 						return
 					}
@@ -471,6 +637,37 @@ func main() {
 						lastSave = time.Now()
 					}
 					log.Printf("snapshot refreshed at %d updates", snap.Steps())
+				}
+			}()
+		} else if clusterTr != nil {
+			// No refresh loop: keep the cluster's failure detection live
+			// with heartbeat rounds — pure barrier exchanges that move no
+			// state — so a dead peer's shards are failed over even while no
+			// trainer is ingesting measurements.
+			hb := *clusterTimeout / 2
+			if hb > time.Second {
+				hb = time.Second
+			}
+			go func() {
+				tick := time.NewTicker(hb)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+					}
+					if _, err := clusterTr.Step(ctx, nil); err != nil {
+						if errors.Is(err, cluster.ErrEvicted) {
+							log.Printf("dmfserve: evicted from the trainer cluster; heartbeats stopping")
+							return
+						}
+						if ctx.Err() != nil {
+							return
+						}
+						// ErrRoundAborted: ownership changed under us; keep
+						// heartbeating under the new map.
+					}
 				}
 			}()
 		}
@@ -495,6 +692,34 @@ func main() {
 		} else {
 			resp["status"] = "ok"
 			resp["steps"] = snap.Steps()
+		}
+		if clusterTr != nil {
+			cs := clusterTr.Status()
+			resp["trainer_id"] = cs.ID
+			resp["incarnation"] = cs.Incarnation
+			resp["epoch"] = cs.Epoch
+			resp["round"] = cs.Round
+			resp["shards"] = cs.Shards
+			resp["owned_shards"] = cs.OwnedShards
+			resp["owners"] = cs.Owners
+			resp["live"] = cs.Live
+			resp["clock_lag"] = cs.ClockLag
+		} else if *trainerID >= 0 {
+			// Legacy single-trainer path with a cluster identity: report it
+			// as the degenerate cluster of one — every shard owned here,
+			// no peers to lag behind.
+			owners := make([]int, soloShards)
+			for i := range owners {
+				owners[i] = *trainerID
+			}
+			resp["trainer_id"] = *trainerID
+			resp["incarnation"] = selfInc
+			resp["epoch"] = 0
+			resp["shards"] = soloShards
+			resp["owned_shards"] = soloShards
+			resp["owners"] = owners
+			resp["live"] = []int{*trainerID}
+			resp["clock_lag"] = 0
 		}
 		if repPeer != nil {
 			lag := repPeer.Lag()

@@ -69,6 +69,18 @@
 // entries already covered by a checkpoint are skipped (idempotent
 // replay at the barrier). See DESIGN.md §8.
 //
+// Distributed training: Session.RunCluster drains the measurement
+// source through a trainer cluster (internal/cluster) instead of the
+// local sequential loop — T identically configured sessions each own a
+// contiguous shard range, train the same stream in lockstep rounds,
+// route cross-shard updates to the owning trainer, and mirror the other
+// shards locally, so every member ends bit-identical to the sequential
+// run (partition equivalence) and serves the full coordinate view.
+// Per-shard vector clocks keyed by (trainer, incarnation, counter) —
+// WithIncarnation, persisted in checkpoints — make restarts and
+// failover monotone: a shard can never regress. See DESIGN.md §11 and
+// the -trainer-id/-cluster-* flags of cmd/dmfserve.
+//
 // Failures are reported through typed sentinel errors (ErrInvalidConfig,
 // ErrStopped, ErrDynamicTrace, ErrLiveSession, ErrCheckpoint, ErrWAL)
 // that work with errors.Is; cancelled runs return the context's error.

@@ -35,10 +35,13 @@ import (
 
 // Format constants.
 const (
-	// Version is the checkpoint format version this package writes. Read
-	// rejects any other version with ErrBadVersion — a process must never
-	// guess at the meaning of a future (or corrupted) layout.
-	Version = 1
+	// Version is the checkpoint format version this package writes.
+	// Version 2 appends the writer's incarnation counter to the fixed
+	// header. Read accepts version 1 files (incarnation 0) for
+	// compatibility with pre-cluster checkpoints and rejects anything
+	// else with ErrBadVersion — a process must never guess at the
+	// meaning of a future (or corrupted) layout.
+	Version = 2
 
 	// MaxCursorLayers bounds the source-chain cursor count.
 	MaxCursorLayers = 64
@@ -78,6 +81,12 @@ type Checkpoint struct {
 	// this state: on resume, WAL entries with seq ≤ WALSeq are skipped
 	// (idempotent replay at the checkpoint barrier).
 	WALSeq uint64
+	// Incarnation is the writer's lineage counter at capture: a process
+	// resuming from this checkpoint announces itself with a strictly
+	// higher incarnation, so replication followers re-admit it as a new
+	// lineage rather than comparing its restarted version counters
+	// against the dead lineage's. 0 in version-1 files.
+	Incarnation uint32
 	// Tau is the classification threshold; Eta and Lambda the SGD
 	// hyper-parameters; Loss the loss id; Metric the measured quantity.
 	Tau, Eta, Lambda float64
@@ -143,15 +152,17 @@ func (c *Checkpoint) Validate() error {
 	return nil
 }
 
-// headerLen is the byte length of the fixed header that follows the
-// (magic, version) prefix.
-const headerLen = 4 + 2 + 2 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + 1 + 4
+// headerLenV1 is the byte length of the version-1 fixed header that
+// follows the (magic, version) prefix; version 2 appends incarnation[4].
+const headerLenV1 = 4 + 2 + 2 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + 1 + 4
+const headerLen = headerLenV1 + 4
 
 // Write encodes c to w. The layout is:
 //
 //	magic[4] version[2]
 //	n[4] rank[2] shards[2] k[4] steps[8] seed[8] draws[8] walSeq[8]
 //	tau[8] eta[8] lambda[8] loss[1] metric[1] nodeDrawCount[4]
+//	incarnation[4]            (version ≥ 2)
 //	nodeDraws[8·count]
 //	cursorLayers[2] { vals[2] val[8]·vals }·layers
 //	vers[8·shards] u[8·n·rank] v[8·n·rank]
@@ -181,6 +192,7 @@ func Write(w io.Writer, c *Checkpoint) error {
 	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Lambda))
 	buf = append(buf, c.Loss, c.Metric)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.NodeDraws)))
+	buf = binary.BigEndian.AppendUint32(buf, c.Incarnation)
 	if _, err := mw.Write(buf); err != nil {
 		return err
 	}
@@ -230,12 +242,17 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	if [4]byte(pre[:4]) != magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.BigEndian.Uint16(pre[4:]); v != Version {
-		return nil, fmt.Errorf("%w: version %d, this build reads %d", ErrBadVersion, v, Version)
+	v := binary.BigEndian.Uint16(pre[4:])
+	if v != 1 && v != Version {
+		return nil, fmt.Errorf("%w: version %d, this build reads 1..%d", ErrBadVersion, v, Version)
 	}
-
-	var hdr [headerLen]byte
-	if _, err := io.ReadFull(tr, hdr[:]); err != nil {
+	hdrLen := headerLen
+	if v == 1 {
+		hdrLen = headerLenV1
+	}
+	var hdrBuf [headerLen]byte
+	hdr := hdrBuf[:hdrLen]
+	if _, err := io.ReadFull(tr, hdr); err != nil {
 		return nil, truncated(err)
 	}
 	c := &Checkpoint{
@@ -264,6 +281,9 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	nodeDraws := int(binary.BigEndian.Uint32(hdr[70:]))
 	if nodeDraws != 0 && nodeDraws != c.N {
 		return nil, fmt.Errorf("%w: %d node draw counts for %d nodes", ErrInvalid, nodeDraws, c.N)
+	}
+	if v >= 2 {
+		c.Incarnation = binary.BigEndian.Uint32(hdr[74:])
 	}
 
 	var err error

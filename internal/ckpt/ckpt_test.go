@@ -25,11 +25,12 @@ func goldenCheckpoint() *Checkpoint {
 		WALSeq: 42,
 		Tau:    95.5, Eta: 0.1, Lambda: 0.05,
 		Loss: 1, Metric: 2,
-		NodeDraws: []uint64{10, 20, 30, 40},
-		Cursors:   [][]uint64{{7}, {}, {1, 2, 3}},
-		Vers:      []uint64{5, 9},
-		U:         []float64{0.125, -1.5, 2.25, 3, -0.0625, 7, 8.5, -9},
-		V:         []float64{1, 2, 3, 4, 5.5, -6.5, 7.75, 0.0078125},
+		Incarnation: 7,
+		NodeDraws:   []uint64{10, 20, 30, 40},
+		Cursors:     [][]uint64{{7}, {}, {1, 2, 3}},
+		Vers:        []uint64{5, 9},
+		U:           []float64{0.125, -1.5, 2.25, 3, -0.0625, 7, 8.5, -9},
+		V:           []float64{1, 2, 3, 4, 5.5, -6.5, 7.75, 0.0078125},
 	}
 }
 
@@ -53,12 +54,13 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-// TestGoldenFile pins the v1 byte layout: encoding the fixture must
-// reproduce the committed file exactly, and decoding the committed file
-// must reproduce the fixture. Any layout change breaks this test — bump
-// Version and add a new fixture instead of silently reshaping v1.
+// TestGoldenFile pins the current (v2) byte layout: encoding the fixture
+// must reproduce the committed file exactly, and decoding the committed
+// file must reproduce the fixture. Any layout change breaks this test —
+// bump Version and add a new fixture instead of silently reshaping an
+// existing version.
 func TestGoldenFile(t *testing.T) {
-	path := filepath.Join("testdata", "checkpoint_v1.golden")
+	path := filepath.Join("testdata", "checkpoint_v2.golden")
 	enc := encode(t, goldenCheckpoint())
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -73,7 +75,7 @@ func TestGoldenFile(t *testing.T) {
 		t.Fatalf("read golden (run with -update to create): %v", err)
 	}
 	if !bytes.Equal(enc, want) {
-		t.Errorf("encoding drifted from the committed v1 fixture (%d vs %d bytes)", len(enc), len(want))
+		t.Errorf("encoding drifted from the committed v2 fixture (%d vs %d bytes)", len(enc), len(want))
 	}
 	dec, err := Read(bytes.NewReader(want))
 	if err != nil {
@@ -81,6 +83,25 @@ func TestGoldenFile(t *testing.T) {
 	}
 	if !reflect.DeepEqual(dec, goldenCheckpoint()) {
 		t.Errorf("golden decode mismatch: %+v", dec)
+	}
+}
+
+// TestGoldenV1Decode pins backward compatibility: a committed version-1
+// file (written before the incarnation field existed) must keep decoding,
+// yielding incarnation 0.
+func TestGoldenV1Decode(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "checkpoint_v1.golden"))
+	if err != nil {
+		t.Fatalf("read v1 golden: %v", err)
+	}
+	dec, err := Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("decode v1 golden: %v", err)
+	}
+	expect := goldenCheckpoint()
+	expect.Incarnation = 0 // predates the field
+	if !reflect.DeepEqual(dec, expect) {
+		t.Errorf("v1 golden decode mismatch:\n got %+v\nwant %+v", dec, expect)
 	}
 }
 

@@ -1,0 +1,61 @@
+package cluster
+
+import "sort"
+
+// Assign maps every shard to an owning trainer: the trainer ids are
+// sorted and each gets a contiguous run of shards, the first
+// shards%len(trainers) trainers one extra. The function is a pure
+// deterministic map of (shards, roster), which is what makes failover
+// coordination-free: survivors that agree on the surviving roster
+// compute identical ownership maps independently.
+//
+// Contiguous runs (rather than striping) keep each trainer's owned
+// mask a single dense range, so a batch's routed updates concentrate
+// on at most a couple of boundary trainers.
+func Assign(shards int, trainers []uint32) []uint32 {
+	if shards <= 0 || len(trainers) == 0 {
+		return nil
+	}
+	ids := append([]uint32(nil), trainers...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	owners := make([]uint32, shards)
+	t := len(ids)
+	if t > shards {
+		ids = ids[:shards] // surplus trainers own nothing
+		t = shards
+	}
+	base, extra := shards/t, shards%t
+	s := 0
+	for i, id := range ids {
+		run := base
+		if i < extra {
+			run++
+		}
+		for j := 0; j < run; j++ {
+			owners[s] = id
+			s++
+		}
+	}
+	return owners
+}
+
+// OwnedMask converts an ownership map into trainer id's boolean mask,
+// the form engine.ApplyBatchOwned consumes.
+func OwnedMask(owners []uint32, id uint32) []bool {
+	mask := make([]bool, len(owners))
+	for s, o := range owners {
+		mask[s] = o == id
+	}
+	return mask
+}
+
+// ownedShards counts the true entries of a mask.
+func ownedShards(mask []bool) int {
+	n := 0
+	for _, o := range mask {
+		if o {
+			n++
+		}
+	}
+	return n
+}

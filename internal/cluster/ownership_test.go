@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAssignContiguousBalanced(t *testing.T) {
+	for _, tc := range []struct {
+		shards   int
+		trainers []uint32
+	}{
+		{8, []uint32{1}},
+		{8, []uint32{1, 2}},
+		{7, []uint32{5, 1, 3}},
+		{16, []uint32{4, 2, 9, 7, 11}},
+		{3, []uint32{2, 1, 3}},
+	} {
+		owners := Assign(tc.shards, tc.trainers)
+		if len(owners) != tc.shards {
+			t.Fatalf("Assign(%d, %v): %d entries", tc.shards, tc.trainers, len(owners))
+		}
+		counts := map[uint32]int{}
+		runs := 0
+		for s, id := range owners {
+			counts[id]++
+			if s == 0 || owners[s-1] != id {
+				runs++
+			}
+		}
+		if runs != len(tc.trainers) {
+			t.Errorf("Assign(%d, %v): %d runs, want contiguous per trainer: %v",
+				tc.shards, tc.trainers, runs, owners)
+		}
+		base := tc.shards / len(tc.trainers)
+		for _, id := range tc.trainers {
+			if c := counts[id]; c != base && c != base+1 {
+				t.Errorf("Assign(%d, %v): trainer %d owns %d shards, want %d or %d",
+					tc.shards, tc.trainers, id, c, base, base+1)
+			}
+		}
+	}
+}
+
+// TestAssignDeterministic: failover correctness rests on every survivor
+// computing the identical map from the same roster, whatever order it
+// learned the ids in.
+func TestAssignDeterministic(t *testing.T) {
+	want := Assign(10, []uint32{1, 4, 7})
+	for _, perm := range [][]uint32{{4, 7, 1}, {7, 1, 4}, {7, 4, 1}} {
+		if got := Assign(10, perm); !reflect.DeepEqual(got, want) {
+			t.Errorf("Assign(10, %v) = %v, want %v", perm, got, want)
+		}
+	}
+	// Sorted ids own sorted ranges: lower id, lower shards.
+	if want[0] != 1 || want[len(want)-1] != 7 {
+		t.Errorf("range order: %v", want)
+	}
+}
+
+func TestAssignEdgeCases(t *testing.T) {
+	if got := Assign(0, []uint32{1}); got != nil {
+		t.Errorf("zero shards: %v", got)
+	}
+	if got := Assign(4, nil); got != nil {
+		t.Errorf("empty roster: %v", got)
+	}
+	// More trainers than shards: the lowest ids each take one shard.
+	got := Assign(2, []uint32{9, 3, 5})
+	if !reflect.DeepEqual(got, []uint32{3, 5}) {
+		t.Errorf("surplus trainers: %v", got)
+	}
+}
+
+func TestOwnedMask(t *testing.T) {
+	owners := Assign(5, []uint32{2, 8})
+	m2, m8 := OwnedMask(owners, 2), OwnedMask(owners, 8)
+	for s := range owners {
+		if m2[s] == m8[s] {
+			t.Fatalf("shard %d owned by both or neither: %v %v", s, m2, m8)
+		}
+		if m2[s] != (owners[s] == 2) {
+			t.Fatalf("mask disagrees with map at %d", s)
+		}
+	}
+	if ownedShards(m2)+ownedShards(m8) != len(owners) {
+		t.Fatal("masks do not partition the shards")
+	}
+	if OwnedMask(owners, 99) == nil || ownedShards(OwnedMask(owners, 99)) != 0 {
+		t.Fatal("foreign trainer mask not empty")
+	}
+}

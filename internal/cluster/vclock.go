@@ -1,0 +1,222 @@
+// Package cluster partitions training across a set of cooperating
+// trainer processes. Each trainer owns a contiguous range of the
+// coordinate store's shards (node i lives in shard i mod P, exactly the
+// engine's partition): it applies the sender updates of every batch
+// sample observed by its owned nodes, routes the asymmetric target
+// updates that cross an ownership boundary to their owning trainer over
+// the wire, and mirrors the other trainers' shards read-only so local
+// snapshot reads (prediction, replication fan-out) keep working against
+// a full coordinate view.
+//
+// The protocol is lockstep: every trainer of a round sees the same
+// batch, and two barriers — routed-update exchange, then shard-block
+// broadcast — make the round's result bit-identical to a single engine
+// applying the whole batch (see Trainer.Step). Shard versions are
+// promoted to vector clocks keyed by (trainer, incarnation) so that a
+// trainer restarting from a checkpoint (incarnation bumped) starts a
+// new lineage instead of fighting its own stale counters, and so
+// concurrent writers after an ownership handoff merge deterministically.
+//
+// Failure handling is crash-stop: a trainer that misses a barrier past
+// the timeout is declared dead, the survivors recompute the ownership
+// map deterministically from the surviving roster (everyone arrives at
+// the same map independently; the highest epoch wins), and the failed
+// round aborts like a lossy measurement round. See DESIGN.md §11 for
+// the full protocol, the memory model (owned shards writable, remote
+// shards read-only mirrors) and the trust model.
+package cluster
+
+import (
+	"sort"
+
+	"dmfsgd/internal/wire"
+)
+
+// Entry is one vector-clock component: the counter trainer had reached
+// during its inc-th incarnation. Incarnations order lineages of the same
+// trainer (a restart from a checkpoint bumps the incarnation, restarting
+// the counter), so entries compare lexicographically by (Inc, Counter).
+type Entry struct {
+	Trainer uint32
+	Inc     uint32
+	Counter uint64
+}
+
+// less orders (Inc, Counter) pairs lexicographically.
+func (e Entry) less(o Entry) bool {
+	if e.Inc != o.Inc {
+		return e.Inc < o.Inc
+	}
+	return e.Counter < o.Counter
+}
+
+// Clock is a per-shard vector clock: at most one entry per trainer,
+// sorted ascending by trainer id (the canonical form every operation
+// maintains, which is what makes Merge deterministic and encodings
+// byte-stable). The zero value is the empty clock.
+type Clock []Entry
+
+// Get returns trainer's entry, if present.
+func (c Clock) Get(trainer uint32) (Entry, bool) {
+	i := sort.Search(len(c), func(i int) bool { return c[i].Trainer >= trainer })
+	if i < len(c) && c[i].Trainer == trainer {
+		return c[i], true
+	}
+	return Entry{}, false
+}
+
+// Tick returns c with trainer's component advanced to (inc, counter).
+// Advancing to a lexicographically smaller value is a no-op: a clock
+// never regresses, which is the shard-level restart guarantee (a
+// restarted trainer's bumped incarnation makes its fresh counters
+// compare above any counter of its previous life).
+func (c Clock) Tick(trainer, inc uint32, counter uint64) Clock {
+	next := Entry{Trainer: trainer, Inc: inc, Counter: counter}
+	i := sort.Search(len(c), func(i int) bool { return c[i].Trainer >= trainer })
+	if i < len(c) && c[i].Trainer == trainer {
+		if c[i].less(next) {
+			out := append(Clock(nil), c...)
+			out[i] = next
+			return out
+		}
+		return c
+	}
+	out := make(Clock, 0, len(c)+1)
+	out = append(out, c[:i]...)
+	out = append(out, next)
+	out = append(out, c[i:]...)
+	return out
+}
+
+// Merge returns the component-wise maximum of a and b — deterministic,
+// commutative, associative and idempotent, so any exchange order across
+// the cluster converges on the same clock.
+func Merge(a, b Clock) Clock {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(Clock, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Trainer < b[j].Trainer:
+			out = append(out, a[i])
+			i++
+		case a[i].Trainer > b[j].Trainer:
+			out = append(out, b[j])
+			j++
+		default:
+			if a[i].less(b[j]) {
+				out = append(out, b[j])
+			} else {
+				out = append(out, a[i])
+			}
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Ordering is the result of comparing two vector clocks.
+type Ordering int8
+
+const (
+	// Equal: identical component sets.
+	Equal Ordering = iota
+	// Before: the receiver is dominated by (strictly older than) the
+	// argument.
+	Before
+	// After: the receiver dominates (is strictly newer than) the
+	// argument.
+	After
+	// Concurrent: each side has a component the other lacks or trails —
+	// neither ordered write history contains the other.
+	Concurrent
+)
+
+// Compare orders c against o. A missing component counts as (0, 0),
+// which every real entry exceeds (counters start at 1).
+func (c Clock) Compare(o Clock) Ordering {
+	var ahead, behind bool
+	i, j := 0, 0
+	for i < len(c) || j < len(o) {
+		switch {
+		case j >= len(o) || (i < len(c) && c[i].Trainer < o[j].Trainer):
+			ahead = true
+			i++
+		case i >= len(c) || c[i].Trainer > o[j].Trainer:
+			behind = true
+			j++
+		default:
+			if c[i].less(o[j]) {
+				behind = true
+			} else if o[j].less(c[i]) {
+				ahead = true
+			}
+			i++
+			j++
+		}
+	}
+	switch {
+	case ahead && behind:
+		return Concurrent
+	case ahead:
+		return After
+	case behind:
+		return Before
+	default:
+		return Equal
+	}
+}
+
+// Dominates reports whether c is at least as new as o on every
+// component (Equal or After).
+func (c Clock) Dominates(o Clock) bool {
+	ord := c.Compare(o)
+	return ord == Equal || ord == After
+}
+
+// incShift packs (inc, counter) into one monotone scalar for Weight.
+const incShift = 40
+
+// Weight projects the clock onto a single monotone scalar — the sum of
+// each component's incarnation-weighted counter. It exists only for
+// coarse lag reporting (/healthz clock_lag): any Tick or Merge that
+// advances the clock strictly increases the weight, so equal weights at
+// quiescence mean equal clocks. The packing assumes incarnations stay
+// below 2^24 and per-incarnation counters below 2^40 — both hold because
+// incarnations are small checkpoint-persisted sequence numbers, not
+// timestamps.
+func (c Clock) Weight() uint64 {
+	var w uint64
+	for _, e := range c {
+		w += uint64(e.Inc)<<incShift | e.Counter
+	}
+	return w
+}
+
+// ToWire converts the clock to its wire form.
+func (c Clock) ToWire() []wire.ClockEntry {
+	out := make([]wire.ClockEntry, len(c))
+	for i, e := range c {
+		out[i] = wire.ClockEntry{Trainer: e.Trainer, Inc: e.Inc, Counter: e.Counter}
+	}
+	return out
+}
+
+// ClockFromWire builds a canonical Clock from wire entries, sorting and
+// merging duplicates (the decoder validates lengths, not canonical form
+// — a peer's encoding is untrusted input).
+func ClockFromWire(es []wire.ClockEntry) Clock {
+	out := make(Clock, 0, len(es))
+	for _, e := range es {
+		out = Merge(out, Clock{{Trainer: e.Trainer, Inc: e.Inc, Counter: e.Counter}})
+	}
+	return out
+}

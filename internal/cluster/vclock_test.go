@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dmfsgd/internal/wire"
+)
+
+// randClock builds a random canonical clock over a small trainer id
+// space so collisions between independently drawn clocks are common.
+func randClock(rng *rand.Rand) Clock {
+	var c Clock
+	for id := uint32(0); id < 6; id++ {
+		if rng.Float64() < 0.5 {
+			continue
+		}
+		c = c.Tick(id, uint32(rng.Intn(3)), uint64(rng.Intn(50)+1))
+	}
+	return c
+}
+
+func TestTickAdvancesAndNeverRegresses(t *testing.T) {
+	var c Clock
+	c = c.Tick(3, 1, 10)
+	if e, ok := c.Get(3); !ok || e.Inc != 1 || e.Counter != 10 {
+		t.Fatalf("tick not recorded: %+v", c)
+	}
+	// Lexicographically smaller (inc, counter) pairs are no-ops.
+	for _, tick := range []Entry{{3, 1, 9}, {3, 0, 99}} {
+		if got := c.Tick(tick.Trainer, tick.Inc, tick.Counter); !reflect.DeepEqual(got, c) {
+			t.Errorf("tick to %+v regressed clock: %+v", tick, got)
+		}
+	}
+	// Same incarnation, higher counter advances; higher incarnation
+	// advances even when its counter restarts low.
+	c = c.Tick(3, 1, 11)
+	if e, _ := c.Get(3); e.Counter != 11 {
+		t.Fatalf("counter tick lost: %+v", c)
+	}
+	c = c.Tick(3, 2, 1)
+	if e, _ := c.Get(3); e.Inc != 2 || e.Counter != 1 {
+		t.Fatalf("incarnation tick lost: %+v", c)
+	}
+	// New trainers insert in sorted position.
+	c = c.Tick(1, 0, 5).Tick(7, 0, 2)
+	want := Clock{{1, 0, 5}, {3, 2, 1}, {7, 0, 2}}
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("canonical order broken: %+v", c)
+	}
+}
+
+// TestRestartLineage pins the regression-safety property the cluster
+// leans on: after a restart-from-checkpoint, a bumped incarnation with a
+// freshly restarted counter still dominates the old life's huge counter.
+func TestRestartLineage(t *testing.T) {
+	old := Clock{}.Tick(2, 1, 1_000_000)
+	restarted := old.Tick(2, 2, 1)
+	if restarted.Compare(old) != After {
+		t.Fatalf("restarted lineage does not dominate: %+v vs %+v", restarted, old)
+	}
+	// And the stale lineage can never claw the shard back.
+	if got := restarted.Tick(2, 1, 2_000_000); !reflect.DeepEqual(got, restarted) {
+		t.Fatalf("old lineage regressed the clock: %+v", got)
+	}
+}
+
+func TestMergeAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := randClock(rng), randClock(rng), randClock(rng)
+		ab, ba := Merge(a, b), Merge(b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("merge not commutative: %+v vs %+v", ab, ba)
+		}
+		if aa := Merge(a, a); !reflect.DeepEqual(aa, a) {
+			t.Fatalf("merge not idempotent: %+v vs %+v", aa, a)
+		}
+		left, right := Merge(ab, c), Merge(a, Merge(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("merge not associative: %+v vs %+v", left, right)
+		}
+		if !ab.Dominates(a) || !ab.Dominates(b) {
+			t.Fatalf("merge does not dominate inputs: %+v from %+v, %+v", ab, a, b)
+		}
+		// Canonical: sorted, unique trainers.
+		for i := 1; i < len(ab); i++ {
+			if ab[i-1].Trainer >= ab[i].Trainer {
+				t.Fatalf("merge output not canonical: %+v", ab)
+			}
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	base := Clock{{1, 0, 3}, {2, 1, 7}}
+	cases := []struct {
+		name string
+		a, b Clock
+		want Ordering
+	}{
+		{"equal", base, Clock{{1, 0, 3}, {2, 1, 7}}, Equal},
+		{"empty-before", nil, base, Before},
+		{"counter-after", Clock{{1, 0, 4}, {2, 1, 7}}, base, After},
+		{"inc-after", Clock{{1, 1, 1}, {2, 1, 7}}, base, After},
+		{"missing-component-before", Clock{{1, 0, 3}}, base, Before},
+		{"concurrent", Clock{{1, 0, 9}}, Clock{{2, 0, 9}}, Concurrent},
+		{"concurrent-mixed", Clock{{1, 0, 9}, {2, 1, 6}}, base, Concurrent},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+		// Compare is antisymmetric: flipping the sides flips the order.
+		flip := map[Ordering]Ordering{Equal: Equal, Concurrent: Concurrent, Before: After, After: Before}
+		if got := tc.b.Compare(tc.a); got != flip[tc.want] {
+			t.Errorf("%s flipped: got %v, want %v", tc.name, got, flip[tc.want])
+		}
+	}
+}
+
+// TestWeightMonotone: Weight is a strictly monotone projection of clock
+// advancement, so equal weights at quiescence certify equal clocks.
+func TestWeightMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 500; trial++ {
+		a, b := randClock(rng), randClock(rng)
+		m := Merge(a, b)
+		if m.Weight() < a.Weight() || m.Weight() < b.Weight() {
+			t.Fatalf("merge decreased weight: %d from %d/%d", m.Weight(), a.Weight(), b.Weight())
+		}
+		ticked := a.Tick(uint32(rng.Intn(6)), uint32(rng.Intn(3)), uint64(rng.Intn(60)+1))
+		switch ticked.Compare(a) {
+		case After:
+			if ticked.Weight() <= a.Weight() {
+				t.Fatalf("advancing tick did not raise weight: %+v vs %+v", ticked, a)
+			}
+		case Equal:
+			if ticked.Weight() != a.Weight() {
+				t.Fatalf("no-op tick changed weight: %+v vs %+v", ticked, a)
+			}
+		default:
+			t.Fatalf("tick produced %v order", ticked.Compare(a))
+		}
+	}
+}
+
+func TestClockWireRoundTrip(t *testing.T) {
+	c := Clock{{1, 0, 3}, {4, 2, 9}, {9, 1, 1}}
+	if got := ClockFromWire(c.ToWire()); !reflect.DeepEqual(got, c) {
+		t.Fatalf("wire round trip: %+v", got)
+	}
+	// A peer's encoding is untrusted: duplicates and disorder must
+	// canonicalize, keeping the per-trainer maximum.
+	mangled := []wire.ClockEntry{
+		{Trainer: 4, Inc: 2, Counter: 9},
+		{Trainer: 1, Inc: 0, Counter: 2},
+		{Trainer: 1, Inc: 0, Counter: 3},
+		{Trainer: 9, Inc: 1, Counter: 1},
+		{Trainer: 4, Inc: 1, Counter: 88},
+	}
+	if got := ClockFromWire(mangled); !reflect.DeepEqual(got, c) {
+		t.Fatalf("mangled wire entries not canonicalized: %+v", got)
+	}
+}

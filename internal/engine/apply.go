@@ -19,6 +19,17 @@ type Sample struct {
 	Label float64
 }
 
+// RoutedTarget is one cross-shard ABW target update leaving the local
+// partition: node Target's vⱼ must move against Sender's batch-start uᵢ
+// with scaled label X. K is the sample's batch index — the deterministic
+// (target, sender, k) apply-order tie-break — so a remote owner merging
+// routed updates from several trainers applies them in the same total
+// order a single engine would have.
+type RoutedTarget struct {
+	Target, Sender, K int32
+	X                 float64
+}
+
 // ApplyBatch applies one epoch-style batch of externally supplied
 // samples; see ApplyBatchCtx.
 func (e *Engine) ApplyBatch(batch []Sample) int {
@@ -51,20 +62,52 @@ func (e *Engine) ApplyBatch(batch []Sample) int {
 // out-of-range node ids or a non-finite label are rejected with an
 // error before anything is applied.
 func (e *Engine) ApplyBatchCtx(ctx context.Context, batch []Sample) (int, error) {
+	total, _, err := e.ApplyBatchOwned(ctx, batch, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := e.CommitBatchTargets(ctx, nil, nil); err != nil {
+		return total, err
+	}
+	e.steps += total
+	return total, ctx.Err()
+}
+
+// ApplyBatchOwned is the sender half of ApplyBatchCtx restricted to a
+// shard-ownership mask: it refreshes the batch-start snapshot, then
+// applies the sender updates of every sample whose observing node lives
+// in an owned shard (owned == nil means all shards are owned — the
+// single-trainer case). Cross-shard target updates destined to owned
+// shards stay queued in the epoch mailboxes for CommitBatchTargets;
+// updates destined to shards owned elsewhere are returned as routed
+// tuples for the cluster layer to ship to their owners.
+//
+// The batch must be the same on every trainer of a lockstep round: each
+// trainer applies its owned slice against the identical batch-start
+// snapshot, and the union of all trainers' work equals one
+// ApplyBatchCtx on a single engine (pinned by the cluster tests).
+// Returns the sender updates applied; validation errors reject the
+// whole batch before anything is applied. ApplyBatchOwned does not
+// advance the step counter or shard versions — that is
+// CommitBatchTargets' barrier.
+func (e *Engine) ApplyBatchOwned(ctx context.Context, batch []Sample, owned []bool) (int, []RoutedTarget, error) {
 	if len(batch) > math.MaxInt32 {
-		return 0, fmt.Errorf("engine: batch of %d samples exceeds the %d limit", len(batch), math.MaxInt32)
+		return 0, nil, fmt.Errorf("engine: batch of %d samples exceeds the %d limit", len(batch), math.MaxInt32)
 	}
 	n := e.store.n
+	p := e.store.shards
+	if owned != nil && len(owned) != p {
+		return 0, nil, fmt.Errorf("engine: ownership mask over %d shards, store has %d", len(owned), p)
+	}
 	for idx, sm := range batch {
 		if sm.I < 0 || sm.I >= n || sm.J < 0 || sm.J >= n || sm.I == sm.J {
-			return 0, fmt.Errorf("engine: batch sample %d has invalid pair (%d,%d) for %d nodes", idx, sm.I, sm.J, n)
+			return 0, nil, fmt.Errorf("engine: batch sample %d has invalid pair (%d,%d) for %d nodes", idx, sm.I, sm.J, n)
 		}
 		if math.IsNaN(sm.Label) || math.IsInf(sm.Label, 0) {
-			return 0, fmt.Errorf("engine: batch sample %d has non-finite label %v", idx, sm.Label)
+			return 0, nil, fmt.Errorf("engine: batch sample %d has non-finite label %v", idx, sm.Label)
 		}
 	}
 	e.ensureEpochState()
-	p := e.store.shards
 	// Refresh the batch-start snapshot via the version vector (only
 	// shards that moved since the last materialization are re-copied).
 	e.store.SnapshotDeltaInto(e.snapU, e.snapV, e.snapVers)
@@ -75,20 +118,87 @@ func (e *Engine) ApplyBatchCtx(ctx context.Context, batch []Sample) (int, error)
 		e.counts[s] = 0
 		e.dirty[s] = false
 		e.groups[s] = e.groups[s][:0]
+		e.inmail[s] = e.inmail[s][:0]
 		for d := 0; d < p; d++ {
 			e.out[s][d] = e.out[s][d][:0]
 		}
 	}
 	// Group sample indices by the observing node's shard, preserving
-	// batch order within each shard.
+	// batch order within each shard; samples observed by nodes in shards
+	// owned elsewhere are that owner's work.
 	for idx, sm := range batch {
 		s := e.store.ShardOf(sm.I)
-		e.groups[s] = append(e.groups[s], int32(idx))
+		if owned == nil || owned[s] {
+			e.groups[s] = append(e.groups[s], int32(idx))
+		}
 	}
 
 	e.forEachShard(ctx, func(s int) { e.counts[s] = e.applyBatchShard(s, batch) })
+
+	// Extract the deliveries addressed to shards owned elsewhere: they
+	// are routed over the wire instead of drained locally.
+	var routed []RoutedTarget
+	if owned != nil && !e.cfg.Symmetric {
+		for s := 0; s < p; s++ {
+			for d := 0; d < p; d++ {
+				if owned[d] {
+					continue
+				}
+				for _, dv := range e.out[s][d] {
+					routed = append(routed, RoutedTarget{Target: dv.target, Sender: dv.sender, K: dv.k, X: dv.x})
+				}
+				e.out[s][d] = e.out[s][d][:0]
+			}
+		}
+	}
+
+	total := 0
+	for _, c := range e.counts {
+		total += c
+	}
+	return total, routed, nil
+}
+
+// CommitBatchTargets is the barrier half of ApplyBatchCtx: it merges the
+// queued local mailbox deliveries with inbound routed tuples from remote
+// trainers, applies each owned shard's target updates in sorted
+// (target, sender, batch index) order against the batch-start snapshot,
+// and advances the version of every shard written this batch. owned and
+// inbound follow ApplyBatchOwned: nil owned means all shards, and
+// inbound tuples must address owned shards (anything else — or a
+// non-finite X — rejects the whole inbound set before any update is
+// applied, since routed tuples cross a process boundary).
+func (e *Engine) CommitBatchTargets(ctx context.Context, inbound []RoutedTarget, owned []bool) error {
+	n := e.store.n
+	p := e.store.shards
+	if owned != nil && len(owned) != p {
+		return fmt.Errorf("engine: ownership mask over %d shards, store has %d", len(owned), p)
+	}
+	e.ensureEpochState()
+	if e.cfg.Symmetric && len(inbound) > 0 {
+		return fmt.Errorf("engine: routed updates are asymmetric-only, engine is symmetric")
+	}
+	for idx, rt := range inbound {
+		if rt.Target < 0 || int(rt.Target) >= n || rt.Sender < 0 || int(rt.Sender) >= n {
+			return fmt.Errorf("engine: routed update %d has invalid pair (%d,%d) for %d nodes", idx, rt.Sender, rt.Target, n)
+		}
+		if s := e.store.ShardOf(int(rt.Target)); owned != nil && !owned[s] {
+			return fmt.Errorf("engine: routed update %d targets shard %d, which is not owned here", idx, s)
+		}
+		if math.IsNaN(rt.X) || math.IsInf(rt.X, 0) {
+			return fmt.Errorf("engine: routed update %d has non-finite label %v", idx, rt.X)
+		}
+	}
+	for _, rt := range inbound {
+		s := e.store.ShardOf(int(rt.Target))
+		e.inmail[s] = append(e.inmail[s], abwDelivery{target: rt.Target, sender: rt.Sender, k: rt.K, x: rt.X})
+	}
 	if !e.cfg.Symmetric && ctx.Err() == nil {
-		e.forEachShard(ctx, func(s int) { e.drainShard(s) })
+		e.forEachShard(ctx, func(s int) {
+			if owned == nil || owned[s] {
+				e.drainShard(s)
+			}
+		})
 	}
 
 	// The epoch barrier: advance every written shard's version once.
@@ -97,13 +207,7 @@ func (e *Engine) ApplyBatchCtx(ctx context.Context, batch []Sample) (int, error)
 			e.store.bumpShard(s)
 		}
 	}
-
-	total := 0
-	for _, c := range e.counts {
-		total += c
-	}
-	e.steps += total
-	return total, ctx.Err()
+	return nil
 }
 
 // applyBatchShard applies shard s's samples in batch order. Each sample

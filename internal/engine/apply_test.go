@@ -148,3 +148,97 @@ func TestApplyBatchCancelled(t *testing.T) {
 		t.Fatalf("cancelled-before-start batch applied %d samples", n)
 	}
 }
+
+// ownershipMask marks shards [0,split) as owned when lower, the rest
+// when !lower.
+func ownershipMask(p, split int, lower bool) []bool {
+	owned := make([]bool, p)
+	for s := range owned {
+		owned[s] = (s < split) == lower
+	}
+	return owned
+}
+
+// TestApplyBatchOwnedPartition: two engines, each owning a disjoint half
+// of the shards, that exchange routed target updates and mirror each
+// other's owned blocks reproduce a single engine's ApplyBatchCtx
+// bit-identically — the cluster lockstep round in miniature.
+func TestApplyBatchOwnedPartition(t *testing.T) {
+	for _, symmetric := range []bool{true, false} {
+		ref := testEngine(t, 30, 6, 5, 2, symmetric, 11)
+		e0 := testEngine(t, 30, 6, 5, 2, symmetric, 11)
+		e1 := testEngine(t, 30, 6, 5, 2, symmetric, 11)
+		p := ref.Store().Shards()
+		own0 := ownershipMask(p, 2, true)
+		own1 := ownershipMask(p, 2, false)
+		for round := 0; round < 3; round++ {
+			batch := testBatch(ref, 400, int64(7+round))
+			nRef, err := ref.ApplyBatchCtx(context.Background(), batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n0, routed0, err := e0.ApplyBatchOwned(context.Background(), batch, own0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n1, routed1, err := e1.ApplyBatchOwned(context.Background(), batch, own1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if symmetric && (len(routed0) > 0 || len(routed1) > 0) {
+				t.Fatal("symmetric apply produced routed updates")
+			}
+			if n0+n1 != nRef {
+				t.Fatalf("partition applied %d+%d, reference %d", n0, n1, nRef)
+			}
+			if err := e0.CommitBatchTargets(context.Background(), routed1, own0); err != nil {
+				t.Fatal(err)
+			}
+			if err := e1.CommitBatchTargets(context.Background(), routed0, own1); err != nil {
+				t.Fatal(err)
+			}
+			// Mirror the owned blocks across the pair, owner's version
+			// travelling with the rows.
+			for s := 0; s < p; s++ {
+				owner, mirror := e0, e1
+				if own1[s] {
+					owner, mirror = e1, e0
+				}
+				rows := owner.Store().ShardNodeCount(s) * owner.Store().Rank()
+				u, v := make([]float64, rows), make([]float64, rows)
+				ver := owner.Store().SnapshotShardBlock(s, u, v)
+				mirror.Store().SetShardBlock(s, u, v, ver)
+			}
+			coordsEqual(t, ref, e0, "trainer 0")
+			coordsEqual(t, ref, e1, "trainer 1")
+			if !e0.Store().VersionsEqual(e1.Store().Versions(nil)) {
+				t.Fatal("version vectors diverge across the pair")
+			}
+		}
+	}
+}
+
+// TestCommitBatchTargetsValidation: inbound routed updates crossing the
+// process boundary are rejected before any apply.
+func TestCommitBatchTargetsValidation(t *testing.T) {
+	e := testEngine(t, 10, 3, 2, 1, false, 3)
+	owned := []bool{true, false}
+	if _, _, err := e.ApplyBatchOwned(context.Background(), testBatch(e, 10, 1), owned); err != nil {
+		t.Fatal(err)
+	}
+	before := e.store.Versions(nil)
+	cases := [][]RoutedTarget{
+		{{Target: -1, Sender: 0, X: 1}},
+		{{Target: 0, Sender: 10, X: 1}},
+		{{Target: 1, Sender: 0, X: 1}}, // shard 1 is not owned
+		{{Target: 0, Sender: 1, X: math.NaN()}},
+	}
+	for _, inbound := range cases {
+		if err := e.CommitBatchTargets(context.Background(), inbound, owned); err == nil {
+			t.Errorf("inbound %+v accepted", inbound)
+		}
+	}
+	if !e.store.VersionsEqual(before) {
+		t.Error("rejected inbound mutated the store")
+	}
+}

@@ -59,6 +59,7 @@ type Engine struct {
 	snapVers []uint64          // store versions snapU/snapV were copied at
 	out      [][][]abwDelivery // [src shard][dst shard] outboxes
 	inbox    [][]abwDelivery   // per-dst merge scratch
+	inmail   [][]abwDelivery   // per-dst inbound routed updates (cluster apply)
 	counts   []int             // per-shard success counts
 	dirty    []bool            // shards written this epoch (version bump at barrier)
 	groups   [][]int32         // per-shard sample indices (batch apply scratch)

@@ -56,6 +56,7 @@ func (e *Engine) ensureEpochState() {
 		e.out[s] = make([][]abwDelivery, p)
 	}
 	e.inbox = make([][]abwDelivery, p)
+	e.inmail = make([][]abwDelivery, p)
 }
 
 // RunEpoch executes one parallel training epoch: every node issues
@@ -256,6 +257,11 @@ func (e *Engine) drainShard(s int) {
 	for src := 0; src < e.store.shards; src++ {
 		in = append(in, e.out[src][s]...)
 	}
+	// Routed updates from remote trainers (cluster apply path) merge into
+	// the same sort, so the apply order is the one a single engine that
+	// saw the whole batch would have used.
+	in = append(in, e.inmail[s]...)
+	e.inmail[s] = e.inmail[s][:0]
 	sort.Slice(in, func(a, b int) bool {
 		if in[a].target != in[b].target {
 			return in[a].target < in[b].target

@@ -242,6 +242,67 @@ func (s *Store) RestoreFlat(u, v []float64, vers []uint64) {
 	}
 }
 
+// SetShardBlock overwrites shard p's rows from packed row-major arrays
+// (the shard's nodes in ascending global order, one rank-length U row and
+// V row per node — the layout replication and cluster mirror frames use)
+// and sets the shard's version to ver. Like RestoreFlat, the version is
+// set rather than bumped: a mirrored shard reports the version its owner
+// assigned, so version vectors stay comparable across trainers. Rows and
+// version are written under the shard lock.
+func (s *Store) SetShardBlock(p int, u, v []float64, ver uint64) {
+	if p < 0 || p >= s.shards {
+		panic(fmt.Sprintf("engine: shard %d out of [0,%d)", p, s.shards))
+	}
+	sh := &s.sh[p]
+	want := len(sh.nodes) * s.rank
+	if len(u) != want || len(v) != want {
+		panic(fmt.Sprintf("engine: shard block %d/%d floats, want %d", len(u), len(v), want))
+	}
+	sh.mu.Lock()
+	for li := range sh.nodes {
+		copy(sh.coords[li].U, u[li*s.rank:(li+1)*s.rank])
+		copy(sh.coords[li].V, v[li*s.rank:(li+1)*s.rank])
+	}
+	sh.ver = ver
+	sh.mu.Unlock()
+}
+
+// SnapshotShardBlock copies shard p's rows into packed row-major arrays
+// (the SetShardBlock layout) under the shard read-lock and returns the
+// version the rows were copied at. u and v must each hold
+// ShardNodeCount(p)·rank floats.
+func (s *Store) SnapshotShardBlock(p int, u, v []float64) uint64 {
+	if p < 0 || p >= s.shards {
+		panic(fmt.Sprintf("engine: shard %d out of [0,%d)", p, s.shards))
+	}
+	sh := &s.sh[p]
+	want := len(sh.nodes) * s.rank
+	if len(u) != want || len(v) != want {
+		panic(fmt.Sprintf("engine: shard block %d/%d floats, want %d", len(u), len(v), want))
+	}
+	sh.mu.RLock()
+	for li := range sh.nodes {
+		copy(u[li*s.rank:(li+1)*s.rank], sh.coords[li].U)
+		copy(v[li*s.rank:(li+1)*s.rank], sh.coords[li].V)
+	}
+	ver := sh.ver
+	sh.mu.RUnlock()
+	return ver
+}
+
+// ShardNodeCount returns the number of nodes shard p owns.
+func (s *Store) ShardNodeCount(p int) int { return len(s.sh[p].nodes) }
+
+// SetShardVersion sets shard p's version counter under the shard lock.
+// Cluster mirrors use it to stamp an owner-assigned version on a shard
+// whose rows did not change this round.
+func (s *Store) SetShardVersion(p int, ver uint64) {
+	sh := &s.sh[p]
+	sh.mu.Lock()
+	sh.ver = ver
+	sh.mu.Unlock()
+}
+
 // Ref returns a locked handle to node i's coordinates.
 func (s *Store) Ref(i int) Ref {
 	if i < 0 || i >= s.n {

@@ -84,9 +84,14 @@ type MixSpec struct {
 	Rank         float64 `json:"rank"`
 }
 
-// Default returns the built-in three-phase diurnal workload: a
+// Default returns the built-in four-phase diurnal workload: a
 // closed-loop warmup, a Poisson open-loop peak with Zipf-skewed
-// popularity, and a bursty tail — the spec CI runs.
+// popularity, a bursty tail, and a closed-loop latency-under-refresh
+// guardrail — the spec CI runs. The last phase only measures what its
+// name promises when the target keeps retraining under the traffic
+// (dmfserve -refresh): its percentiles then price the snapshot-swap
+// path — an accidental lock or allocation on the hot path surfaces
+// here first, while the three steady phases stay unaffected.
 func Default() *WorkloadSpec {
 	return &WorkloadSpec{
 		Schema: SchemaSpec,
@@ -121,6 +126,16 @@ func Default() *WorkloadSpec {
 				Mix:        MixSpec{Predict: 0.3, PredictBatch: 0.6, Rank: 0.1},
 				BatchSize:  64,
 				ZipfS:      1.5,
+			},
+			{
+				Name:       "latency-under-refresh",
+				Requests:   20000,
+				Arrival:    "closed",
+				Clients:    16,
+				Mix:        MixSpec{Predict: 0.6, PredictBatch: 0.2, Rank: 0.2},
+				BatchSize:  32,
+				Candidates: 128,
+				ZipfS:      1.2,
 			},
 		},
 	}

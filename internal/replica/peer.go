@@ -30,6 +30,13 @@ type Config struct {
 	// adopting a follower's stale pre-restart state and then refusing its
 	// own fresh snapshots.
 	Source bool
+	// Incarnation is this replica's lineage counter, stamped on outgoing
+	// version vectors and deltas. A source that restarts from a
+	// checkpoint bumps it past the checkpoint's recorded incarnation;
+	// followers that see a known sender return with a higher incarnation
+	// drop the old lineage's state and re-bootstrap instead of
+	// blackholing the sender behind a stale version high-water mark.
+	Incarnation uint32
 	// Interval is the gossip period (default 500ms): every tick the peer
 	// announces its version vector to one random known peer.
 	Interval time.Duration
@@ -72,6 +79,7 @@ type Peer struct {
 	st          *State
 	peers       map[string]struct{}
 	seeds       map[string]struct{} // configured bootstrap addresses, never evicted
+	incs        map[uint32]uint32   // newest incarnation seen per sender id
 	remoteSteps uint64              // newest advertised step counter
 	remoteVers  []uint64            // element-wise max of advertised vectors
 	lastAdvance time.Time           // when the local state last moved
@@ -93,6 +101,7 @@ func NewPeer(cfg Config) *Peer {
 		cfg:      cfg,
 		peers:    make(map[string]struct{}),
 		seeds:    make(map[string]struct{}),
+		incs:     make(map[uint32]uint32),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		deltaSem: make(chan struct{}, 4),
 	}
@@ -134,7 +143,7 @@ func (p *Peer) State() *State {
 func (p *Peer) Lag() Lag {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	l := Lag{HasState: p.st != nil, LastAdvance: p.lastAdvance}
+	l := Lag{HasState: p.st.Complete(), LastAdvance: p.lastAdvance}
 	if p.st == nil {
 		l.StepsBehind = p.remoteSteps
 		l.StaleShards = len(p.remoteVers)
@@ -201,10 +210,37 @@ func (p *Peer) gossip() {
 // versionVecLocked builds the announcement for the current state (an
 // empty-state hello when there is none). Callers hold p.mu.
 func (p *Peer) versionVecLocked() *wire.VersionVec {
-	if p.st == nil {
-		return &wire.VersionVec{From: p.cfg.ID, Addr: p.cfg.Transport.Addr()}
+	vv := &wire.VersionVec{From: p.cfg.ID, Inc: p.cfg.Incarnation, Addr: p.cfg.Transport.Addr()}
+	if p.st != nil {
+		sv := p.st.VersionVec(p.cfg.ID, vv.Addr)
+		sv.Inc = p.cfg.Incarnation
+		return sv
 	}
-	return p.st.VersionVec(p.cfg.ID, p.cfg.Transport.Addr())
+	return vv
+}
+
+// admitLocked reconciles an inbound message's lineage with what is known
+// about its sender. A higher incarnation than recorded starts a new
+// lineage: on a non-source peer the held state — built from the old
+// lineage — is dropped along with the remote high-water marks, so the
+// returned sender is re-admitted and re-bootstrapped instead of being
+// blackholed behind versions its restart can never outrun. A lower
+// incarnation is a straggler from a dead lineage and its message is
+// dropped (returns false). Pre-incarnation senders always stamp 0, which
+// degenerates to today's behavior. Callers hold p.mu.
+func (p *Peer) admitLocked(from, inc uint32) bool {
+	known, seen := p.incs[from]
+	if inc < known {
+		return false
+	}
+	if seen && inc > known && !p.cfg.Source && p.st != nil {
+		p.logf("replica: peer %d returned with incarnation %d (had %d): dropping old lineage", from, inc, known)
+		p.st = nil
+		p.remoteVers = nil
+		p.remoteSteps = 0
+	}
+	p.incs[from] = inc
+	return true
 }
 
 // send ships one encoded message on its own goroutine: a Transport.Send
@@ -295,6 +331,10 @@ func (p *Peer) handle(pkt transport.Packet) {
 func (p *Peer) handleVersionVec(vv *wire.VersionVec, from string) {
 	p.learn(from)
 	p.mu.Lock()
+	if !p.admitLocked(vv.From, vv.Inc) {
+		p.mu.Unlock()
+		return
+	}
 	if vv.Steps > p.remoteSteps {
 		p.remoteSteps = vv.Steps
 	}
@@ -346,8 +386,8 @@ func (p *Peer) handleDeltaRequest(req *wire.DeltaRequest, from string) {
 	if st == nil {
 		return
 	}
-	d := st.DeltaFor(p.cfg.ID, req.Shards)
-	if len(d.Blocks) == 0 {
+	frames := st.DeltasFor(p.cfg.ID, req.Shards, wire.MaxStateFloats)
+	if len(frames) == 0 {
 		return
 	}
 	select {
@@ -358,25 +398,35 @@ func (p *Peer) handleDeltaRequest(req *wire.DeltaRequest, from string) {
 	}
 	go func() {
 		defer func() { <-p.deltaSem }()
-		buf, err := wire.AppendDelta(nil, d)
-		if err != nil {
-			p.logf("replica: encode delta: %v", err)
-			return
-		}
-		if err := p.cfg.Transport.Send(from, buf); err != nil {
-			p.logf("replica: delta to %s: %v", from, err)
-			p.forget(from)
+		for _, d := range frames {
+			d.Inc = p.cfg.Incarnation
+			buf, err := wire.AppendDelta(nil, d)
+			if err != nil {
+				p.logf("replica: encode delta: %v", err)
+				return
+			}
+			if err := p.cfg.Transport.Send(from, buf); err != nil {
+				p.logf("replica: delta to %s: %v", from, err)
+				p.forget(from)
+				return
+			}
 		}
 	}()
 }
 
 // handleDelta applies an inbound delta and fires OnState when the state
-// advanced. Source peers ignore deltas outright.
+// advanced to a complete snapshot — a multi-frame bootstrap stays
+// unpublished (and unserved) until its last hole fills. Source peers
+// ignore deltas outright.
 func (p *Peer) handleDelta(d *wire.Delta) {
 	if p.cfg.Source {
 		return
 	}
 	p.mu.Lock()
+	if !p.admitLocked(d.From, d.Inc) {
+		p.mu.Unlock()
+		return
+	}
 	next, applied, err := Apply(p.st, d)
 	if err == nil && applied > 0 {
 		p.st = next
@@ -387,7 +437,7 @@ func (p *Peer) handleDelta(d *wire.Delta) {
 		p.logf("replica: apply delta from %d: %v", d.From, err)
 		return
 	}
-	if applied > 0 && p.cfg.OnState != nil {
+	if applied > 0 && next.Complete() && p.cfg.OnState != nil {
 		p.cfg.OnState(next)
 	}
 }

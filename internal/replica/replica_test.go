@@ -160,10 +160,24 @@ func TestDeltaApplyConvergesAndSharesBlocks(t *testing.T) {
 
 func TestApplyValidation(t *testing.T) {
 	_, trainer := testStore(t, 6, 2, 2, 4)
-	// Bootstrap must cover every shard.
+	// A partial bootstrap materializes an incomplete state: held, not
+	// served, until the remaining frames land.
 	d := trainer.DeltaFor(0, []uint16{0})
-	if _, _, err := Apply(nil, d); err == nil {
-		t.Error("partial bootstrap accepted")
+	partial, applied, err := Apply(nil, d)
+	if err != nil || applied != 1 {
+		t.Fatalf("partial bootstrap: applied=%d err=%v", applied, err)
+	}
+	if partial.Complete() {
+		t.Error("one-shard bootstrap of a two-shard state reports complete")
+	}
+	rest, applied, err := Apply(partial, trainer.DeltaFor(0, []uint16{1}))
+	if err != nil || applied != 1 || !rest.Complete() {
+		t.Fatalf("completing frame: applied=%d complete=%v err=%v", applied, rest.Complete(), err)
+	}
+	statesEqual(t, trainer, rest, "chunked bootstrap")
+	// An empty bootstrap delta yields nothing to hold.
+	if _, _, err := Apply(nil, trainer.DeltaFor(0, nil)); err == nil {
+		t.Error("empty bootstrap accepted")
 	}
 	// Geometry mismatches are rejected.
 	_, other := testStore(t, 8, 2, 2, 5)
@@ -171,6 +185,145 @@ func TestApplyValidation(t *testing.T) {
 	if _, _, err := Apply(other, trainer.DeltaFor(0, all)); err == nil {
 		t.Error("geometry mismatch accepted")
 	}
+}
+
+// TestDeltasForChunking: a bootstrap whose state exceeds the per-frame
+// budget splits at shard granularity into multiple frames that attach in
+// any order, holes accepting their block exactly once.
+func TestDeltasForChunking(t *testing.T) {
+	_, trainer := testStore(t, 16, 2, 8, 11)
+	all := make([]uint16, 8)
+	for p := range all {
+		all[p] = uint16(p)
+	}
+	// Each shard block is 2 nodes × rank 2 = 4 floats per side; a budget
+	// of 10 fits two blocks per frame → 4 frames.
+	frames := trainer.DeltasFor(1, all, 10)
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames, want 4", len(frames))
+	}
+	// Attach in reverse order; completeness flips only on the last frame.
+	var follower *State
+	for i := len(frames) - 1; i >= 0; i-- {
+		buf, err := wire.AppendDelta(nil, frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d wire.Delta
+		if err := wire.DecodeDelta(buf, &d); err != nil {
+			t.Fatal(err)
+		}
+		next, applied, err := Apply(follower, &d)
+		if err != nil || applied != 2 {
+			t.Fatalf("frame %d: applied=%d err=%v", i, applied, err)
+		}
+		if complete := next.Complete(); complete != (i == 0) {
+			t.Fatalf("frame %d: complete=%v", i, complete)
+		}
+		follower = next
+	}
+	statesEqual(t, trainer, follower, "reverse-order chunked bootstrap")
+	// A hole-free state re-chunks identically under the default budget.
+	if got := len(follower.DeltasFor(2, all, 0)); got != 1 {
+		t.Errorf("full-budget chunking produced %d frames, want 1", got)
+	}
+}
+
+// TestPeerPublishGatedOnComplete: a follower fed a multi-frame bootstrap
+// publishes OnState exactly once, when the last hole fills.
+func TestPeerPublishGatedOnComplete(t *testing.T) {
+	_, trainer := testStore(t, 16, 2, 8, 12)
+	var published []*State
+	follower := NewPeer(Config{
+		ID: 2, Transport: recTransport{sent: make(chan []byte, 16)},
+		OnState: func(s *State) { published = append(published, s) },
+	})
+	all := make([]uint16, 8)
+	for p := range all {
+		all[p] = uint16(p)
+	}
+	for _, frame := range trainer.DeltasFor(1, all, 10) {
+		buf, err := wire.AppendDelta(nil, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d wire.Delta
+		if err := wire.DecodeDelta(buf, &d); err != nil {
+			t.Fatal(err)
+		}
+		follower.handleDelta(&d)
+	}
+	if len(published) != 1 {
+		t.Fatalf("published %d states, want 1", len(published))
+	}
+	statesEqual(t, trainer, published[0], "gated publish")
+	if lag := follower.Lag(); !lag.HasState {
+		t.Error("complete follower reports no state")
+	}
+}
+
+// TestPeerReadmitsHigherIncarnation models the blackhole fix: a trainer
+// that restarts without its old state returns with a bumped incarnation
+// and low version counters. The follower must drop the dead lineage and
+// re-bootstrap from the returned trainer instead of ignoring it forever
+// behind the old high-water mark.
+func TestPeerReadmitsHigherIncarnation(t *testing.T) {
+	_, oldSt := testStore(t, 8, 2, 2, 13)
+	oldSt.Meta.Steps = 1000
+	for p := range oldSt.vers {
+		oldSt.vers[p] = 500
+	}
+	sent := make(chan []byte, 16)
+	follower := NewPeer(Config{ID: 2, Transport: recTransport{sent: sent}})
+
+	// First life: the follower holds the old lineage's state.
+	all := []uint16{0, 1}
+	d := oldSt.DeltaFor(1, all)
+	d.Inc = 1
+	follower.handleDelta(d)
+	if follower.State() == nil {
+		t.Fatal("follower did not bootstrap from the first lineage")
+	}
+
+	// A straggler from a dead lineage (lower inc) is dropped.
+	follower.handleVersionVec(&wire.VersionVec{From: 1, Inc: 0, Addr: "old"}, "old")
+	if follower.State() == nil {
+		t.Fatal("a dead lineage's message reset the follower")
+	}
+
+	// The trainer returns reincarnated with fresh low-versioned state:
+	// the follower drops the old lineage and pulls everything.
+	_, freshSt := testStore(t, 8, 2, 2, 14)
+	freshSt.Meta.Steps = 5
+	vv := freshSt.VersionVec(1, "new")
+	vv.Inc = 2
+	follower.handleVersionVec(vv, "new")
+	if follower.State() != nil {
+		t.Fatal("follower kept the dead lineage's state")
+	}
+	select {
+	case data := <-sent:
+		typ, _ := wire.PeekType(data)
+		if typ != wire.TypeDeltaRequest {
+			t.Fatalf("follower sent %v, want a pull", typ)
+		}
+		var req wire.DeltaRequest
+		if err := wire.DecodeDeltaRequest(data, &req); err != nil {
+			t.Fatal(err)
+		}
+		if len(req.Shards) != 2 {
+			t.Fatalf("pull covers %d shards, want 2 (full re-bootstrap)", len(req.Shards))
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("follower never pulled from the reincarnated trainer")
+	}
+	fresh := freshSt.DeltaFor(1, all)
+	fresh.Inc = 2
+	follower.handleDelta(fresh)
+	if got := follower.State(); got == nil || got.Meta.Steps != 5 {
+		t.Fatalf("follower did not adopt the new lineage: %+v", got)
+	}
+	statesEqual(t, freshSt, follower.State(), "re-admitted lineage")
 }
 
 // TestTwoReplicaConvergence runs a trainer peer and a follower peer over

@@ -165,20 +165,15 @@ func (st *State) VersionVec(from uint32, addr string) *wire.VersionVec {
 	}
 }
 
-// DeltaFor builds a delta carrying the requested shards. Unknown shard ids
-// are skipped. The block slices alias the state (immutable), so encoding
+// DeltaFor builds a delta carrying the requested shards. Unknown shard
+// ids and holes (shards an incomplete state has not received yet) are
+// skipped. The block slices alias the state (immutable), so encoding
 // needs no extra copies.
 func (st *State) DeltaFor(from uint32, shards []uint16) *wire.Delta {
-	d := &wire.Delta{
-		From: from,
-		N:    uint32(st.N), Rank: uint16(st.Rank), Shards: uint16(st.Shards),
-		Steps:  st.Meta.Steps,
-		Tau:    st.Meta.Tau,
-		Metric: st.Meta.Metric,
-	}
+	d := st.deltaHeader(from)
 	for _, s := range shards {
 		p := int(s)
-		if p < 0 || p >= st.Shards {
+		if p < 0 || p >= st.Shards || st.blocks[p].u == nil {
 			continue
 		}
 		d.Blocks = append(d.Blocks, wire.DeltaBlock{
@@ -189,6 +184,74 @@ func (st *State) DeltaFor(from uint32, shards []uint16) *wire.Delta {
 		})
 	}
 	return d
+}
+
+func (st *State) deltaHeader(from uint32) *wire.Delta {
+	return &wire.Delta{
+		From: from,
+		N:    uint32(st.N), Rank: uint16(st.Rank), Shards: uint16(st.Shards),
+		Steps:  st.Meta.Steps,
+		Tau:    st.Meta.Tau,
+		Metric: st.Meta.Metric,
+	}
+}
+
+// DeltasFor builds the requested shards' blocks chunked greedily into
+// frames of at most budget floats per coordinate side (0 means
+// wire.MaxStateFloats) — the chunked bootstrap path for states whose
+// full geometry exceeds one frame. Unknown shard ids and holes are
+// skipped. A single shard block larger than the budget still gets its
+// own frame: shard granularity is the chunking floor, and such a frame
+// fails at encode (shard the state finer). Each frame repeats the
+// header; Apply attaches frames in any order, so losing one frame
+// costs one re-pull, not the bootstrap.
+func (st *State) DeltasFor(from uint32, shards []uint16, budget int) []*wire.Delta {
+	if budget <= 0 {
+		budget = wire.MaxStateFloats
+	}
+	var out []*wire.Delta
+	cur := st.deltaHeader(from)
+	total := 0
+	for _, s := range shards {
+		p := int(s)
+		if p < 0 || p >= st.Shards || st.blocks[p].u == nil {
+			continue
+		}
+		want := len(st.blocks[p].u)
+		if len(cur.Blocks) > 0 && total+want > budget {
+			out = append(out, cur)
+			cur = st.deltaHeader(from)
+			total = 0
+		}
+		cur.Blocks = append(cur.Blocks, wire.DeltaBlock{
+			Shard: s,
+			Ver:   st.vers[p],
+			U:     st.blocks[p].u,
+			V:     st.blocks[p].v,
+		})
+		total += want
+	}
+	if len(cur.Blocks) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Complete reports whether every shard's block has landed. States built
+// by Update are always complete; states materialized by Apply from a
+// partial bootstrap have holes until every shard's frame arrives. An
+// incomplete state advertises version 0 for its holes (so anti-entropy
+// keeps pulling them) and must not be served (Row panics on a hole).
+func (st *State) Complete() bool {
+	if st == nil {
+		return false
+	}
+	for p := range st.blocks {
+		if st.blocks[p].u == nil {
+			return false
+		}
+	}
+	return true
 }
 
 // StaleShards returns the shard ids where the remote vector is newer than
@@ -244,9 +307,12 @@ func (st *State) NewerThan(vv *wire.VersionVec) bool {
 // blocks of every shard the delta does not advance — only shards whose
 // version moved are (re)attached, and those alias the delta's decoded
 // blocks, so nothing is re-copied. Blocks whose version is not newer than
-// base's are skipped (stale gossip). A nil base requires a delta covering
-// every shard (the bootstrap pull). Returns the new state (base itself
-// when nothing applied) and the number of blocks applied.
+// base's are skipped (stale gossip); a hole — a shard a partial bootstrap
+// has not filled yet — accepts any version. A nil base materializes an
+// incomplete state holding whatever shards the delta carries (the
+// chunked bootstrap: frames attach in any order, Complete reports when
+// the last hole fills). Returns the new state (base itself when nothing
+// applied) and the number of blocks applied.
 //
 // Apply takes ownership of the delta's block slices; do not reuse d after
 // a successful call.
@@ -257,21 +323,17 @@ func Apply(base *State, d *wire.Delta) (*State, int, error) {
 			n, rank, shards, base.N, base.Rank, base.Shards)
 	}
 	applied := 0
-	var fresh []bool
-	if base == nil {
-		if len(d.Blocks) < shards {
-			return nil, 0, fmt.Errorf("replica: bootstrap delta carries %d of %d shards", len(d.Blocks), shards)
+	for _, b := range d.Blocks {
+		p := int(b.Shard)
+		if base == nil || base.blocks[p].u == nil || b.Ver > base.vers[p] {
+			applied++
 		}
-		fresh = make([]bool, shards)
-	} else {
-		for _, b := range d.Blocks {
-			if b.Ver > base.vers[int(b.Shard)] {
-				applied++
-			}
+	}
+	if applied == 0 {
+		if base == nil {
+			return nil, 0, fmt.Errorf("replica: bootstrap delta carries no blocks")
 		}
-		if applied == 0 {
-			return base, 0, nil
-		}
+		return base, 0, nil
 	}
 	st := &State{
 		N: n, Rank: rank, Shards: shards,
@@ -286,25 +348,13 @@ func Apply(base *State, d *wire.Delta) (*State, int, error) {
 			st.Meta = base.Meta // the delta was older than what we hold
 		}
 	}
-	applied = 0
 	for _, b := range d.Blocks {
 		p := int(b.Shard)
-		if base != nil && b.Ver <= base.vers[p] {
+		if st.blocks[p].u != nil && b.Ver <= st.vers[p] {
 			continue
 		}
 		st.vers[p] = b.Ver
 		st.blocks[p] = coordBlock{u: b.U, v: b.V}
-		applied++
-		if fresh != nil {
-			fresh[p] = true
-		}
-	}
-	if fresh != nil {
-		for p, ok := range fresh {
-			if !ok {
-				return nil, 0, fmt.Errorf("replica: bootstrap delta missing shard %d", p)
-			}
-		}
 	}
 	return st, applied, nil
 }

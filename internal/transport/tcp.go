@@ -33,13 +33,21 @@ const tcpDialTimeout = 3 * time.Second
 // replication messages therefore carry the sender's listen address in the
 // payload (wire.VersionVec.Addr, wire.DeltaRequest.Addr).
 type TCP struct {
-	ln   net.Listener
-	recv chan Packet
+	ln     net.Listener
+	recv   chan Packet
+	stream bool // persistent per-destination connections (FIFO per pair)
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{} // open inbound connections, closed by Close
+	outs   map[string]*outConn   // stream mode: cached outbound connections
 	wg     sync.WaitGroup
+}
+
+// outConn serializes writers on one cached outbound connection.
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
 }
 
 var _ Transport = (*TCP)(nil)
@@ -47,14 +55,33 @@ var _ Transport = (*TCP)(nil)
 // ListenTCP opens a TCP endpoint on addr (e.g. "127.0.0.1:0") and starts
 // its accept loop.
 func ListenTCP(addr string) (*TCP, error) {
+	return listenTCP(addr, false)
+}
+
+// ListenTCPStream is ListenTCP with one persistent connection per
+// destination instead of a dial per frame. Frames to the same peer ride
+// one ordered byte stream and are read back by one goroutine, so
+// delivery is FIFO per peer pair — the ordering the trainer-cluster
+// protocol (internal/cluster) requires, which dial-per-send cannot give:
+// a small frame on a fresh connection can overtake a large one still in
+// flight. Idle connections are kept open (no read deadline) until either
+// side closes; a write error drops the cached connection, and the next
+// Send redials.
+func ListenTCPStream(addr string) (*TCP, error) {
+	return listenTCP(addr, true)
+}
+
+func listenTCP(addr string, stream bool) (*TCP, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", addr, err)
 	}
 	t := &TCP{
-		ln:    ln,
-		recv:  make(chan Packet, 256),
-		conns: make(map[net.Conn]struct{}),
+		ln:     ln,
+		recv:   make(chan Packet, 256),
+		stream: stream,
+		conns:  make(map[net.Conn]struct{}),
+		outs:   make(map[string]*outConn),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -95,7 +122,12 @@ func (t *TCP) readConn(conn net.Conn) {
 	from := conn.RemoteAddr().String()
 	var lenBuf [4]byte
 	for {
-		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		if !t.stream {
+			// Gossip connections are one frame and gone; an idle one is
+			// dead weight. Stream connections idle between lockstep rounds
+			// by design and stay open.
+			conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		}
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return
 		}
@@ -137,7 +169,9 @@ func (t *TCP) push(pkt Packet) {
 // Addr implements Transport.
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
 
-// Send implements Transport: dial, write one frame, close.
+// Send implements Transport. Gossip mode: dial, write one frame, close.
+// Stream mode: write the frame to the destination's persistent
+// connection, dialing (or redialing after an error) as needed.
 func (t *TCP) Send(to string, data []byte) error {
 	t.mu.Lock()
 	closed := t.closed
@@ -148,19 +182,73 @@ func (t *TCP) Send(to string, data []byte) error {
 	if len(data) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit %d", len(data), MaxFrame)
 	}
+	if t.stream {
+		return t.sendStream(to, data)
+	}
 	conn, err := net.DialTimeout("tcp", to, tcpDialTimeout)
 	if err != nil {
 		return fmt.Errorf("transport: dial %q: %w", to, err)
 	}
 	defer conn.Close()
 	conn.SetWriteDeadline(time.Now().Add(tcpDialTimeout))
+	return writeFrame(conn, data)
+}
+
+func writeFrame(conn net.Conn, data []byte) error {
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
 	if _, err := conn.Write(lenBuf[:]); err != nil {
 		return err
 	}
-	_, err = conn.Write(data)
+	_, err := conn.Write(data)
 	return err
+}
+
+// sendStream writes one frame to the cached connection for to. The
+// per-destination mutex both serializes concurrent senders (frames must
+// not interleave on the stream) and preserves their order end to end.
+func (t *TCP) sendStream(to string, data []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	oc := t.outs[to]
+	if oc == nil {
+		oc = &outConn{}
+		t.outs[to] = oc
+	}
+	t.mu.Unlock()
+
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.conn == nil {
+		conn, err := net.DialTimeout("tcp", to, tcpDialTimeout)
+		if err != nil {
+			return fmt.Errorf("transport: dial %q: %w", to, err)
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return ErrClosed
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		oc.conn = conn
+	}
+	oc.conn.SetWriteDeadline(time.Now().Add(tcpDialTimeout))
+	if err := writeFrame(oc.conn, data); err != nil {
+		// The stream is corrupt past a partial write: drop the connection
+		// and let the next Send redial.
+		oc.conn.Close()
+		t.mu.Lock()
+		delete(t.conns, oc.conn)
+		t.mu.Unlock()
+		oc.conn = nil
+		return err
+	}
+	return nil
 }
 
 // Recv implements Transport.

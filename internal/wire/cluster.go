@@ -1,0 +1,372 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file holds the trainer-cluster messages (internal/cluster): the
+// ownership map broadcast on every epoch change, the per-round routed
+// ABW target updates exchanged between shard owners, and the
+// vector-clock-keyed shard block deltas that keep every trainer's
+// read-only mirror of remote shards fresh. All three follow the package
+// conventions: fixed-layout big-endian, every length validated against a
+// hard limit before allocation, trailing bytes rejected.
+
+// OwnershipMap announces the shard → trainer assignment of one cluster
+// epoch. The assignment is computed deterministically from the live
+// roster (cluster.Assign), so concurrent failure detectors converge on
+// the same map; the highest epoch wins.
+type OwnershipMap struct {
+	// From is the sending trainer's ID.
+	From uint32
+	// Epoch numbers the assignment; bumped on every handoff.
+	Epoch uint64
+	// Round is the sender's lockstep round at the epoch change.
+	Round uint64
+	// Owners maps shard → owning trainer ID (len == shard count).
+	Owners []uint32
+}
+
+// RoutedUpdate carries the cross-shard ABW target updates (Algorithm 2,
+// eq. 13) one trainer produced for shards another trainer owns during
+// one lockstep round. A round's updates may be fragmented across frames
+// (MaxRoutedUpdates each); Last marks the final frame. An empty frame
+// with Last set is the round barrier marker trainers exchange even when
+// no updates crossed their boundary.
+type RoutedUpdate struct {
+	// From is the sending trainer's ID.
+	From uint32
+	// Epoch is the ownership epoch the updates were routed under.
+	Epoch uint64
+	// Round is the lockstep round the updates belong to.
+	Round uint64
+	// Last marks the final frame of (From, Round).
+	Last bool
+	// Updates holds the routed tuples.
+	Updates []Routed
+}
+
+// Routed is one routed target update: node Target's vⱼ moves against
+// sender's batch-start uᵢ with scaled label X; K is the sample's index
+// in the round batch (the deterministic apply-order tie-break).
+type Routed struct {
+	Target uint32
+	Sender uint32
+	K      uint32
+	X      float64
+}
+
+// ClockEntry is one vector-clock component: trainer's counter at its
+// incarnation (see cluster.Clock for the merge rules).
+type ClockEntry struct {
+	Trainer uint32
+	Inc     uint32
+	Counter uint64
+}
+
+// ClockDelta carries refreshed shard coordinate blocks from their owner,
+// each keyed by the shard's full vector clock — the cluster analogue of
+// Delta. Receivers merge the clock and install the block only when the
+// clock advances their own (a restarted owner at a lower incarnation can
+// never regress a shard).
+type ClockDelta struct {
+	// From is the sending trainer's ID.
+	From uint32
+	// Epoch is the ownership epoch the blocks were written under.
+	Epoch uint64
+	// Round is the lockstep round the blocks are current as of.
+	Round uint64
+	// N, Rank and Shards describe the store geometry.
+	N      uint32
+	Rank   uint16
+	Shards uint16
+	// Steps is the sender's training step counter.
+	Steps uint64
+	// Blocks holds the refreshed shards (at most Shards; per-frame float
+	// budget MaxStateFloats, like Delta).
+	Blocks []ClockBlock
+}
+
+// ClockBlock is one shard's coordinate rows together with its clock.
+type ClockBlock struct {
+	Shard uint16
+	Clock []ClockEntry
+	U, V  []float64
+}
+
+// AppendOwnershipMap appends the encoded message to buf and returns it.
+func AppendOwnershipMap(buf []byte, m *OwnershipMap) ([]byte, error) {
+	if len(m.Owners) == 0 || len(m.Owners) > MaxShards {
+		return nil, fmt.Errorf("%w: ownership map over %d shards, want [1,%d]",
+			ErrTooLarge, len(m.Owners), MaxShards)
+	}
+	buf = header(buf, TypeOwnershipMap)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, m.Round)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Owners)))
+	for _, o := range m.Owners {
+		buf = binary.BigEndian.AppendUint32(buf, o)
+	}
+	return buf, nil
+}
+
+// DecodeOwnershipMap parses data into m, reusing m's slice capacity.
+func DecodeOwnershipMap(data []byte, m *OwnershipMap) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeOwnershipMap {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeOwnershipMap)
+	}
+	p := data[3:]
+	if len(p) < 4+8+8+2 {
+		return ErrTruncated
+	}
+	m.From = binary.BigEndian.Uint32(p)
+	m.Epoch = binary.BigEndian.Uint64(p[4:])
+	m.Round = binary.BigEndian.Uint64(p[12:])
+	count := int(binary.BigEndian.Uint16(p[20:]))
+	if count == 0 || count > MaxShards {
+		return ErrTooLarge
+	}
+	p = p[22:]
+	if len(p) != 4*count {
+		return ErrTruncated
+	}
+	if cap(m.Owners) < count {
+		m.Owners = make([]uint32, count)
+	} else {
+		m.Owners = m.Owners[:count]
+	}
+	for i := 0; i < count; i++ {
+		m.Owners[i] = binary.BigEndian.Uint32(p[4*i:])
+	}
+	return nil
+}
+
+// AppendRoutedUpdate appends the encoded message to buf and returns it.
+func AppendRoutedUpdate(buf []byte, m *RoutedUpdate) ([]byte, error) {
+	if len(m.Updates) > MaxRoutedUpdates {
+		return nil, fmt.Errorf("%w: %d routed updates in one frame, max %d",
+			ErrTooLarge, len(m.Updates), MaxRoutedUpdates)
+	}
+	for _, u := range m.Updates {
+		if u.Target >= MaxNodes || u.Sender >= MaxNodes {
+			return nil, fmt.Errorf("%w: routed node id out of [0,%d)", ErrTooLarge, MaxNodes)
+		}
+	}
+	buf = header(buf, TypeRoutedUpdate)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, m.Round)
+	last := byte(0)
+	if m.Last {
+		last = 1
+	}
+	buf = append(buf, last)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Updates)))
+	for _, u := range m.Updates {
+		buf = binary.BigEndian.AppendUint32(buf, u.Target)
+		buf = binary.BigEndian.AppendUint32(buf, u.Sender)
+		buf = binary.BigEndian.AppendUint32(buf, u.K)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(u.X))
+	}
+	return buf, nil
+}
+
+// DecodeRoutedUpdate parses data into m, reusing m's slice capacity.
+func DecodeRoutedUpdate(data []byte, m *RoutedUpdate) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeRoutedUpdate {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeRoutedUpdate)
+	}
+	p := data[3:]
+	if len(p) < 4+8+8+1+4 {
+		return ErrTruncated
+	}
+	m.From = binary.BigEndian.Uint32(p)
+	m.Epoch = binary.BigEndian.Uint64(p[4:])
+	m.Round = binary.BigEndian.Uint64(p[12:])
+	switch p[20] {
+	case 0:
+		m.Last = false
+	case 1:
+		m.Last = true
+	default:
+		return fmt.Errorf("%w: routed update last flag %d", ErrBadType, p[20])
+	}
+	count := int(binary.BigEndian.Uint32(p[21:]))
+	if count > MaxRoutedUpdates {
+		return ErrTooLarge
+	}
+	p = p[25:]
+	if len(p) != 20*count {
+		return ErrTruncated
+	}
+	if cap(m.Updates) < count {
+		m.Updates = make([]Routed, count)
+	} else {
+		m.Updates = m.Updates[:count]
+	}
+	for i := 0; i < count; i++ {
+		q := p[20*i:]
+		u := &m.Updates[i]
+		u.Target = binary.BigEndian.Uint32(q)
+		u.Sender = binary.BigEndian.Uint32(q[4:])
+		u.K = binary.BigEndian.Uint32(q[8:])
+		u.X = math.Float64frombits(binary.BigEndian.Uint64(q[12:]))
+		if u.Target >= MaxNodes || u.Sender >= MaxNodes {
+			return fmt.Errorf("%w: routed node id out of [0,%d)", ErrTooLarge, MaxNodes)
+		}
+	}
+	return nil
+}
+
+// AppendClockDelta appends the encoded message to buf and returns it.
+// Block vector lengths must match the declared geometry and the frame's
+// total per-side floats must fit the MaxStateFloats budget.
+func AppendClockDelta(buf []byte, m *ClockDelta) ([]byte, error) {
+	if err := validGeometry(m.N, m.Rank, m.Shards); err != nil {
+		return nil, err
+	}
+	if len(m.Blocks) > int(m.Shards) {
+		return nil, ErrTooLarge
+	}
+	total := uint64(0)
+	for _, b := range m.Blocks {
+		if b.Shard >= m.Shards {
+			return nil, fmt.Errorf("wire: clock block for shard %d of %d", b.Shard, m.Shards)
+		}
+		if len(b.Clock) == 0 || len(b.Clock) > MaxTrainers {
+			return nil, fmt.Errorf("%w: clock with %d entries, want [1,%d]",
+				ErrTooLarge, len(b.Clock), MaxTrainers)
+		}
+		want := ShardNodes(int(m.N), int(b.Shard), int(m.Shards)) * int(m.Rank)
+		if len(b.U) != want || len(b.V) != want {
+			return nil, fmt.Errorf("wire: clock block shard %d rows %d/%d, want %d",
+				b.Shard, len(b.U), len(b.V), want)
+		}
+		if total += uint64(want); total > MaxStateFloats {
+			return nil, fmt.Errorf("%w: clock delta frame carries %d floats, budget %d",
+				ErrTooLarge, total, uint64(MaxStateFloats))
+		}
+	}
+	buf = header(buf, TypeClockDelta)
+	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.BigEndian.AppendUint64(buf, m.Round)
+	buf = binary.BigEndian.AppendUint32(buf, m.N)
+	buf = binary.BigEndian.AppendUint16(buf, m.Rank)
+	buf = binary.BigEndian.AppendUint16(buf, m.Shards)
+	buf = binary.BigEndian.AppendUint64(buf, m.Steps)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		buf = binary.BigEndian.AppendUint16(buf, b.Shard)
+		buf = append(buf, byte(len(b.Clock)))
+		for _, e := range b.Clock {
+			buf = binary.BigEndian.AppendUint32(buf, e.Trainer)
+			buf = binary.BigEndian.AppendUint32(buf, e.Inc)
+			buf = binary.BigEndian.AppendUint64(buf, e.Counter)
+		}
+		for _, x := range b.U {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+		for _, x := range b.V {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(x))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeClockDelta parses data into m. Like DecodeDelta, block lengths
+// are implied by the declared geometry and validated against the
+// remaining input before any allocation.
+func DecodeClockDelta(data []byte, m *ClockDelta) error {
+	t, err := PeekType(data)
+	if err != nil {
+		return err
+	}
+	if t != TypeClockDelta {
+		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeClockDelta)
+	}
+	p := data[3:]
+	if len(p) < 4+8+8+4+2+2+8+2 {
+		return ErrTruncated
+	}
+	m.From = binary.BigEndian.Uint32(p)
+	m.Epoch = binary.BigEndian.Uint64(p[4:])
+	m.Round = binary.BigEndian.Uint64(p[12:])
+	m.N = binary.BigEndian.Uint32(p[20:])
+	m.Rank = binary.BigEndian.Uint16(p[24:])
+	m.Shards = binary.BigEndian.Uint16(p[26:])
+	m.Steps = binary.BigEndian.Uint64(p[28:])
+	if err := validGeometry(m.N, m.Rank, m.Shards); err != nil {
+		return err
+	}
+	count := int(binary.BigEndian.Uint16(p[36:]))
+	if count > int(m.Shards) {
+		return ErrTooLarge
+	}
+	p = p[38:]
+	m.Blocks = m.Blocks[:0]
+	total := uint64(0)
+	for i := 0; i < count; i++ {
+		if len(p) < 2+1 {
+			return ErrTruncated
+		}
+		var b ClockBlock
+		b.Shard = binary.BigEndian.Uint16(p)
+		entries := int(p[2])
+		p = p[3:]
+		if b.Shard >= m.Shards {
+			return fmt.Errorf("wire: clock block for shard %d of %d", b.Shard, m.Shards)
+		}
+		if entries == 0 || entries > MaxTrainers {
+			return fmt.Errorf("%w: clock with %d entries, want [1,%d]",
+				ErrTooLarge, entries, MaxTrainers)
+		}
+		if len(p) < 16*entries {
+			return ErrTruncated
+		}
+		b.Clock = make([]ClockEntry, entries)
+		for k := 0; k < entries; k++ {
+			q := p[16*k:]
+			b.Clock[k] = ClockEntry{
+				Trainer: binary.BigEndian.Uint32(q),
+				Inc:     binary.BigEndian.Uint32(q[4:]),
+				Counter: binary.BigEndian.Uint64(q[8:]),
+			}
+		}
+		p = p[16*entries:]
+		want := ShardNodes(int(m.N), int(b.Shard), int(m.Shards)) * int(m.Rank)
+		if total += uint64(want); total > MaxStateFloats {
+			return fmt.Errorf("%w: clock delta frame carries %d floats, budget %d",
+				ErrTooLarge, total, uint64(MaxStateFloats))
+		}
+		if len(p) < 2*8*want {
+			return ErrTruncated
+		}
+		b.U = make([]float64, want)
+		b.V = make([]float64, want)
+		for k := 0; k < want; k++ {
+			b.U[k] = math.Float64frombits(binary.BigEndian.Uint64(p[8*k:]))
+		}
+		p = p[8*want:]
+		for k := 0; k < want; k++ {
+			b.V[k] = math.Float64frombits(binary.BigEndian.Uint64(p[8*k:]))
+		}
+		p = p[8*want:]
+		m.Blocks = append(m.Blocks, b)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in clock delta", len(p))
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func clockDeltaFixture() *ClockDelta {
+	return &ClockDelta{
+		From: 1, Epoch: 3, Round: 99,
+		N: 5, Rank: 2, Shards: 2, Steps: 4242,
+		Blocks: []ClockBlock{
+			{Shard: 0, // nodes 0,2,4 → 3 rows
+				Clock: []ClockEntry{{Trainer: 0, Inc: 1, Counter: 17}, {Trainer: 1, Inc: 2, Counter: 4}},
+				U:     []float64{1, 2, 3, 4, 5, 6},
+				V:     []float64{-1, -2, -3, -4, -5, -6}},
+			{Shard: 1, // nodes 1,3 → 2 rows
+				Clock: []ClockEntry{{Trainer: 1, Inc: 2, Counter: 9}},
+				U:     []float64{0.5, 0.25, 0.125, 0},
+				V:     []float64{9, 8, 7, 6}},
+		},
+	}
+}
+
+func TestOwnershipMapRoundTrip(t *testing.T) {
+	in := &OwnershipMap{From: 2, Epoch: 7, Round: 1234, Owners: []uint32{0, 1, 1, 0, 2}}
+	buf, err := AppendOwnershipMap(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out OwnershipMap
+	if err := DecodeOwnershipMap(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestOwnershipMapValidation(t *testing.T) {
+	if _, err := AppendOwnershipMap(nil, &OwnershipMap{From: 1}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("empty map: got %v, want ErrTooLarge", err)
+	}
+	if _, err := AppendOwnershipMap(nil, &OwnershipMap{Owners: make([]uint32, MaxShards+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized map: got %v, want ErrTooLarge", err)
+	}
+	good, err := AppendOwnershipMap(nil, &OwnershipMap{From: 1, Owners: []uint32{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out OwnershipMap
+	for cut := 0; cut < len(good); cut++ {
+		if err := DecodeOwnershipMap(good[:cut], &out); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	if err := DecodeOwnershipMap(append(append([]byte(nil), good...), 0), &out); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestRoutedUpdateRoundTrip(t *testing.T) {
+	for _, in := range []*RoutedUpdate{
+		{From: 3, Epoch: 1, Round: 5, Last: true,
+			Updates: []Routed{{Target: 4, Sender: 0, K: 2, X: 1}, {Target: 1, Sender: 2, K: 0, X: -1}}},
+		{From: 0, Epoch: 1, Round: 0, Last: true}, // barrier marker: no updates
+		{From: 9, Epoch: 2, Round: 7, Last: false,
+			Updates: []Routed{{Target: 0, Sender: 1, K: 3, X: 0.5}}},
+	} {
+		buf, err := AppendRoutedUpdate(nil, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out RoutedUpdate
+		if err := DecodeRoutedUpdate(buf, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.From != in.From || out.Epoch != in.Epoch || out.Round != in.Round ||
+			out.Last != in.Last || !reflect.DeepEqual(out.Updates, in.Updates) {
+			t.Errorf("round trip: %+v != %+v", out, in)
+		}
+	}
+}
+
+func TestRoutedUpdateValidation(t *testing.T) {
+	if _, err := AppendRoutedUpdate(nil, &RoutedUpdate{
+		Updates: []Routed{{Target: MaxNodes, Sender: 0}},
+	}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized target id: got %v, want ErrTooLarge", err)
+	}
+	if _, err := AppendRoutedUpdate(nil, &RoutedUpdate{
+		Updates: make([]Routed, MaxRoutedUpdates+1),
+	}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized frame: got %v, want ErrTooLarge", err)
+	}
+	good, err := AppendRoutedUpdate(nil, &RoutedUpdate{
+		From: 1, Round: 2, Last: true, Updates: []Routed{{Target: 1, Sender: 2, K: 0, X: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out RoutedUpdate
+	for cut := 0; cut < len(good); cut++ {
+		if err := DecodeRoutedUpdate(good[:cut], &out); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	// A bad last-flag byte is rejected (offset: header 3 + from 4 +
+	// epoch 8 + round 8 = 23).
+	bad := append([]byte(nil), good...)
+	bad[23] = 7
+	if err := DecodeRoutedUpdate(bad, &out); !errors.Is(err, ErrBadType) {
+		t.Errorf("bad last flag: got %v, want ErrBadType", err)
+	}
+}
+
+func TestClockDeltaRoundTrip(t *testing.T) {
+	in := clockDeltaFixture()
+	buf, err := AppendClockDelta(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ClockDelta
+	if err := DecodeClockDelta(buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, &out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestClockDeltaValidation(t *testing.T) {
+	d := clockDeltaFixture()
+	d.Blocks[0].Clock = nil
+	if _, err := AppendClockDelta(nil, d); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("clockless block: got %v, want ErrTooLarge", err)
+	}
+	d = clockDeltaFixture()
+	d.Blocks[0].Clock = make([]ClockEntry, MaxTrainers+1)
+	if _, err := AppendClockDelta(nil, d); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized clock: got %v, want ErrTooLarge", err)
+	}
+	d = clockDeltaFixture()
+	d.Blocks[1].U = d.Blocks[1].U[:1]
+	if _, err := AppendClockDelta(nil, d); err == nil {
+		t.Error("mis-sized block accepted")
+	}
+	d = clockDeltaFixture()
+	d.Blocks[1].Shard = 9
+	if _, err := AppendClockDelta(nil, d); err == nil {
+		t.Error("out-of-range shard id accepted")
+	}
+	good, err := AppendClockDelta(nil, clockDeltaFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ClockDelta
+	for cut := 0; cut < len(good); cut++ {
+		if err := DecodeClockDelta(good[:cut], &out); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	if err := DecodeClockDelta(append(append([]byte(nil), good...), 0xAB), &out); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}

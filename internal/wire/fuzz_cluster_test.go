@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets for the trainer-cluster messages, same contract as
+// fuzz_test.go: never panic or over-allocate on arbitrary input, and a
+// successful decode re-encodes byte-identically.
+
+func FuzzReadOwnershipMap(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m OwnershipMap
+		if err := DecodeOwnershipMap(data, &m); err != nil {
+			return
+		}
+		out, err := AppendOwnershipMap(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+func FuzzReadRoutedUpdate(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m RoutedUpdate
+		if err := DecodeRoutedUpdate(data, &m); err != nil {
+			return
+		}
+		out, err := AppendRoutedUpdate(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}
+
+func FuzzReadClockDelta(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m ClockDelta
+		if err := DecodeClockDelta(data, &m); err != nil {
+			return
+		}
+		out, err := AppendClockDelta(nil, &m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip changed bytes: %x -> %x", data, out)
+		}
+	})
+}

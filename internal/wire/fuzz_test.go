@@ -15,14 +15,27 @@ func fuzzSeeds(f *testing.F) {
 	b2, _ := AppendProbeReply(nil, &ProbeReply{Seq: 3, From: 4, Class: -1, U: []float64{1}, V: []float64{2, 3}})
 	b3, _ := AppendJoin(nil, &Join{From: 5, Addr: "10.0.0.1:9000"})
 	b4, _ := AppendPeers(nil, &Peers{Addrs: []string{"a:1", "b:2"}})
-	b5, _ := AppendVersionVec(nil, &VersionVec{From: 6, Addr: "c:3", N: 5, Rank: 2, Shards: 2, Steps: 9, Vers: []uint64{4, 1}})
+	b5, _ := AppendVersionVec(nil, &VersionVec{From: 6, Inc: 1, Addr: "c:3", N: 5, Rank: 2, Shards: 2, Steps: 9, Vers: []uint64{4, 1}})
 	b6, _ := AppendVersionVec(nil, &VersionVec{From: 7})
 	b7, _ := AppendDeltaRequest(nil, &DeltaRequest{From: 8, Addr: "d:4", Shards: []uint16{0, 1}})
 	b8, _ := AppendDelta(nil, &Delta{
-		From: 9, N: 3, Rank: 1, Shards: 2, Steps: 2, Tau: 1.5, Metric: 0,
+		From: 9, Inc: 3, N: 3, Rank: 1, Shards: 2, Steps: 2, Tau: 1.5, Metric: 0,
 		Blocks: []DeltaBlock{{Shard: 1, Ver: 2, U: []float64{1}, V: []float64{2}}},
 	})
-	for _, seed := range [][]byte{b1, b2, b3, b4, b5, b6, b7, b8, {Magic, Version}, {}, {0xFF, 0xFF, 0xFF}} {
+	b9, _ := AppendOwnershipMap(nil, &OwnershipMap{From: 1, Epoch: 2, Round: 40, Owners: []uint32{0, 1, 0}})
+	b10, _ := AppendRoutedUpdate(nil, &RoutedUpdate{
+		From: 1, Epoch: 2, Round: 40, Last: true,
+		Updates: []Routed{{Target: 3, Sender: 1, K: 0, X: -1}, {Target: 0, Sender: 2, K: 5, X: 1}},
+	})
+	b11, _ := AppendClockDelta(nil, &ClockDelta{
+		From: 1, Epoch: 2, Round: 40, N: 3, Rank: 1, Shards: 2, Steps: 7,
+		Blocks: []ClockBlock{{
+			Shard: 1,
+			Clock: []ClockEntry{{Trainer: 1, Inc: 1, Counter: 9}},
+			U:     []float64{1}, V: []float64{2},
+		}},
+	})
+	for _, seed := range [][]byte{b1, b2, b3, b4, b5, b6, b7, b8, b9, b10, b11, {Magic, Version}, {}, {0xFF, 0xFF, 0xFF}} {
 		f.Add(seed)
 	}
 }

@@ -18,9 +18,14 @@
 //	  Join{From, Addr} announces a node; Peers{Addrs} shares known peers.
 //
 //	Replication (dmfserve replicas, internal/replica):
-//	  VersionVec{Vers}        advertises per-shard snapshot versions (push)
+//	  VersionVec{Inc, Vers}   advertises per-shard snapshot versions (push)
 //	  DeltaRequest{Shards}    pulls the listed stale shards
-//	  Delta{Blocks}           carries the refreshed shard coordinate blocks
+//	  Delta{Inc, Blocks}      carries the refreshed shard coordinate blocks
+//
+//	Trainer cluster (internal/cluster):
+//	  OwnershipMap{Epoch, Owners}  shard → owning trainer, per epoch
+//	  RoutedUpdate{Round, Updates} cross-trainer ABW target updates
+//	  ClockDelta{Blocks}           vector-clock-keyed shard coordinate blocks
 //
 // Encoding is fixed-layout big-endian with a two-byte (magic, version)
 // header and a type byte. Decoders validate every length against hard
@@ -55,12 +60,21 @@ const (
 	MaxShards = 4096
 	// MaxNodes bounds the node counts accepted in replication messages.
 	MaxNodes = 1 << 20
-	// MaxStateFloats bounds n·rank in replication messages, so one
-	// full-state Delta (16·n·rank coordinate bytes plus small headers,
-	// ≤ ~32 MiB) always fits one transport frame (transport.MaxFrame,
-	// 64 MiB) — a follower's bootstrap pull must arrive in one message.
-	// Chunked bootstrap for larger states is an open direction.
+	// MaxStateFloats bounds the per-side coordinate floats carried by one
+	// Delta or ClockDelta frame (Σ over its blocks of the shard's
+	// rows·rank), so a frame (16·MaxStateFloats coordinate bytes plus
+	// small headers, ≤ ~32 MiB) always fits one transport frame
+	// (transport.MaxFrame, 64 MiB). States larger than one frame
+	// replicate chunked: the sender splits the shard set across as many
+	// frames as the budget requires (replica.State.DeltasFor).
 	MaxStateFloats = 1 << 21
+	// MaxTrainers bounds the vector-clock entries per shard block and the
+	// trainer count an OwnershipMap may name.
+	MaxTrainers = 64
+	// MaxRoutedUpdates bounds the update tuples one RoutedUpdate frame
+	// carries; larger batches are fragmented (Last marks the final frame
+	// of a round).
+	MaxRoutedUpdates = 1 << 16
 )
 
 // MsgType identifies the message kind.
@@ -75,6 +89,9 @@ const (
 	TypeVersionVec   MsgType = 5
 	TypeDeltaRequest MsgType = 6
 	TypeDelta        MsgType = 7
+	TypeOwnershipMap MsgType = 8
+	TypeRoutedUpdate MsgType = 9
+	TypeClockDelta   MsgType = 10
 )
 
 // String names the message type.
@@ -94,6 +111,12 @@ func (t MsgType) String() string {
 		return "delta-request"
 	case TypeDelta:
 		return "delta"
+	case TypeOwnershipMap:
+		return "ownership-map"
+	case TypeRoutedUpdate:
+		return "routed-update"
+	case TypeClockDelta:
+		return "clock-delta"
 	default:
 		return fmt.Sprintf("wire.MsgType(%d)", uint8(t))
 	}
@@ -170,7 +193,8 @@ func PeekType(data []byte) (MsgType, error) {
 	t := MsgType(data[2])
 	switch t {
 	case TypeProbeRequest, TypeProbeReply, TypeJoin, TypePeers,
-		TypeVersionVec, TypeDeltaRequest, TypeDelta:
+		TypeVersionVec, TypeDeltaRequest, TypeDelta,
+		TypeOwnershipMap, TypeRoutedUpdate, TypeClockDelta:
 		return t, nil
 	}
 	return 0, ErrBadType
@@ -366,6 +390,11 @@ func ShardNodes(n, shard, shards int) int { return (n - shard + shards - 1) / sh
 type VersionVec struct {
 	// From is the sending replica's ID.
 	From uint32
+	// Inc is the sender's incarnation: bumped on every restart (from its
+	// checkpoint when it has one), it lets receivers distinguish a fresh
+	// lineage with legitimately lower versions from a stale replay. 0
+	// means "first life" (and is what pre-incarnation senders emit).
+	Inc uint32
 	// Addr is the sender's gossip listen address, so receivers can reply
 	// over transports whose observed source is not a listen address (TCP).
 	// Empty means "reply to the observed source".
@@ -406,6 +435,8 @@ type DeltaBlock struct {
 type Delta struct {
 	// From is the sending replica's ID.
 	From uint32
+	// Inc is the sender's incarnation (see VersionVec.Inc).
+	Inc uint32
 	// N, Rank and Shards describe the snapshot geometry.
 	N      uint32
 	Rank   uint16
@@ -443,17 +474,16 @@ func decodeAddr(p []byte) (string, []byte, error) {
 }
 
 // validGeometry checks the (n, rank, shards) triple of a replication
-// message against the protocol limits.
+// message against the protocol limits. The total state size n·rank is
+// deliberately unbounded: states larger than one frame replicate via
+// chunked deltas, and the per-frame float budget is enforced where
+// blocks are encoded and decoded.
 func validGeometry(n uint32, rank, shards uint16) error {
 	if n == 0 || n > MaxNodes {
 		return fmt.Errorf("%w: n=%d out of [1,%d]", ErrTooLarge, n, MaxNodes)
 	}
 	if rank == 0 || rank > MaxRank {
 		return fmt.Errorf("%w: rank=%d out of [1,%d]", ErrTooLarge, rank, MaxRank)
-	}
-	if uint64(n)*uint64(rank) > MaxStateFloats {
-		return fmt.Errorf("%w: n·rank=%d exceeds %d (state must fit one frame)",
-			ErrTooLarge, uint64(n)*uint64(rank), MaxStateFloats)
 	}
 	if shards == 0 || shards > MaxShards || uint32(shards) > n {
 		return fmt.Errorf("%w: shards=%d out of [1,min(%d,n)]", ErrTooLarge, shards, MaxShards)
@@ -480,6 +510,7 @@ func AppendVersionVec(buf []byte, m *VersionVec) ([]byte, error) {
 	}
 	buf = header(buf, TypeVersionVec)
 	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = binary.BigEndian.AppendUint32(buf, m.Inc)
 	buf = appendAddr(buf, m.Addr)
 	buf = binary.BigEndian.AppendUint32(buf, m.N)
 	buf = binary.BigEndian.AppendUint16(buf, m.Rank)
@@ -501,11 +532,12 @@ func DecodeVersionVec(data []byte, m *VersionVec) error {
 		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeVersionVec)
 	}
 	p := data[3:]
-	if len(p) < 4 {
+	if len(p) < 4+4 {
 		return ErrTruncated
 	}
 	m.From = binary.BigEndian.Uint32(p)
-	m.Addr, p, err = decodeAddr(p[4:])
+	m.Inc = binary.BigEndian.Uint32(p[4:])
+	m.Addr, p, err = decodeAddr(p[8:])
 	if err != nil {
 		return err
 	}
@@ -595,7 +627,9 @@ func DecodeDeltaRequest(data []byte, m *DeltaRequest) error {
 }
 
 // AppendDelta appends the encoded message to buf and returns it. Block
-// vector lengths must match the declared geometry.
+// vector lengths must match the declared geometry, and the frame's total
+// per-side floats must fit the MaxStateFloats budget — callers chunking a
+// larger state split it across frames (replica.State.DeltasFor).
 func AppendDelta(buf []byte, m *Delta) ([]byte, error) {
 	if err := validGeometry(m.N, m.Rank, m.Shards); err != nil {
 		return nil, err
@@ -603,6 +637,7 @@ func AppendDelta(buf []byte, m *Delta) ([]byte, error) {
 	if len(m.Blocks) > int(m.Shards) {
 		return nil, ErrTooLarge
 	}
+	total := uint64(0)
 	for _, b := range m.Blocks {
 		if b.Shard >= m.Shards {
 			return nil, fmt.Errorf("wire: delta block for shard %d of %d", b.Shard, m.Shards)
@@ -612,9 +647,14 @@ func AppendDelta(buf []byte, m *Delta) ([]byte, error) {
 			return nil, fmt.Errorf("wire: delta block shard %d rows %d/%d, want %d",
 				b.Shard, len(b.U), len(b.V), want)
 		}
+		if total += uint64(want); total > MaxStateFloats {
+			return nil, fmt.Errorf("%w: delta frame carries %d floats, budget %d",
+				ErrTooLarge, total, uint64(MaxStateFloats))
+		}
 	}
 	buf = header(buf, TypeDelta)
 	buf = binary.BigEndian.AppendUint32(buf, m.From)
+	buf = binary.BigEndian.AppendUint32(buf, m.Inc)
 	buf = binary.BigEndian.AppendUint32(buf, m.N)
 	buf = binary.BigEndian.AppendUint16(buf, m.Rank)
 	buf = binary.BigEndian.AppendUint16(buf, m.Shards)
@@ -647,25 +687,27 @@ func DecodeDelta(data []byte, m *Delta) error {
 		return fmt.Errorf("%w: got %v, want %v", ErrBadType, t, TypeDelta)
 	}
 	p := data[3:]
-	if len(p) < 4+4+2+2+8+8+1+2 {
+	if len(p) < 4+4+4+2+2+8+8+1+2 {
 		return ErrTruncated
 	}
 	m.From = binary.BigEndian.Uint32(p)
-	m.N = binary.BigEndian.Uint32(p[4:])
-	m.Rank = binary.BigEndian.Uint16(p[8:])
-	m.Shards = binary.BigEndian.Uint16(p[10:])
-	m.Steps = binary.BigEndian.Uint64(p[12:])
-	m.Tau = math.Float64frombits(binary.BigEndian.Uint64(p[20:]))
-	m.Metric = p[28]
+	m.Inc = binary.BigEndian.Uint32(p[4:])
+	m.N = binary.BigEndian.Uint32(p[8:])
+	m.Rank = binary.BigEndian.Uint16(p[12:])
+	m.Shards = binary.BigEndian.Uint16(p[14:])
+	m.Steps = binary.BigEndian.Uint64(p[16:])
+	m.Tau = math.Float64frombits(binary.BigEndian.Uint64(p[24:]))
+	m.Metric = p[32]
 	if err := validGeometry(m.N, m.Rank, m.Shards); err != nil {
 		return err
 	}
-	count := int(binary.BigEndian.Uint16(p[29:]))
+	count := int(binary.BigEndian.Uint16(p[33:]))
 	if count > int(m.Shards) {
 		return ErrTooLarge
 	}
-	p = p[31:]
+	p = p[35:]
 	m.Blocks = m.Blocks[:0]
+	total := uint64(0)
 	for i := 0; i < count; i++ {
 		if len(p) < 2+8 {
 			return ErrTruncated
@@ -678,6 +720,10 @@ func DecodeDelta(data []byte, m *Delta) error {
 			return fmt.Errorf("wire: delta block for shard %d of %d", b.Shard, m.Shards)
 		}
 		want := ShardNodes(int(m.N), int(b.Shard), int(m.Shards)) * int(m.Rank)
+		if total += uint64(want); total > MaxStateFloats {
+			return fmt.Errorf("%w: delta frame carries %d floats, budget %d",
+				ErrTooLarge, total, uint64(MaxStateFloats))
+		}
 		if len(p) < 2*8*want {
 			return ErrTruncated
 		}

@@ -9,7 +9,7 @@ import (
 // deltaFixture builds a consistent 5-node, 2-shard, rank-2 delta.
 func deltaFixture() *Delta {
 	return &Delta{
-		From: 9, N: 5, Rank: 2, Shards: 2,
+		From: 9, Inc: 2, N: 5, Rank: 2, Shards: 2,
 		Steps: 12345, Tau: 48.5, Metric: 1,
 		Blocks: []DeltaBlock{
 			{Shard: 0, Ver: 7, // shard 0 owns nodes 0,2,4 → 3 rows
@@ -24,7 +24,7 @@ func deltaFixture() *Delta {
 
 func TestVersionVecRoundTrip(t *testing.T) {
 	in := &VersionVec{
-		From: 3, Addr: "10.0.0.1:9090",
+		From: 3, Inc: 5, Addr: "10.0.0.1:9090",
 		N: 100, Rank: 10, Shards: 4,
 		Steps: 99, Vers: []uint64{1, 0, 7, 2},
 	}
@@ -70,10 +70,25 @@ func TestVersionVecValidation(t *testing.T) {
 	if _, err := AppendVersionVec(nil, &VersionVec{N: MaxNodes + 1, Rank: 2, Shards: 1, Vers: []uint64{1}}); err == nil {
 		t.Error("oversized n accepted")
 	}
-	// n and rank individually legal but n·rank beyond the one-frame state
-	// bound: a bootstrap delta for this geometry could not be shipped.
-	if _, err := AppendVersionVec(nil, &VersionVec{N: MaxNodes, Rank: MaxRank, Shards: 1, Vers: []uint64{1}}); err == nil {
-		t.Error("n·rank beyond MaxStateFloats accepted")
+	// n·rank beyond one frame is legal geometry now (chunked bootstrap),
+	// as long as each shard block still fits the per-frame budget.
+	if _, err := AppendVersionVec(nil, &VersionVec{N: MaxNodes, Rank: 4, Shards: 4, Vers: make([]uint64, 4)}); err != nil {
+		t.Errorf("multi-frame geometry rejected: %v", err)
+	}
+}
+
+func TestDeltaFrameBudget(t *testing.T) {
+	// A single-shard delta whose one block exceeds the per-frame float
+	// budget must be rejected at encode: it can never ship, the state
+	// must be sharded finer (DeltasFor chunks at shard granularity).
+	n := uint32(MaxStateFloats/4 + 1)
+	rows := int(n) * 4
+	d := &Delta{
+		From: 1, N: n, Rank: 4, Shards: 1,
+		Blocks: []DeltaBlock{{Shard: 0, Ver: 1, U: make([]float64, rows), V: make([]float64, rows)}},
+	}
+	if _, err := AppendDelta(nil, d); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("over-budget frame: got %v, want ErrTooLarge", err)
 	}
 }
 
@@ -144,10 +159,10 @@ func TestDeltaDecodeCorrupt(t *testing.T) {
 	}
 	// A block for a shard beyond the declared count is rejected.
 	bad := append([]byte(nil), good...)
-	// Blocks start after header(3) + from(4) + n(4) + rank(2) + shards(2) +
-	// steps(8) + tau(8) + metric(1) + count(2) = 34; first block's shard id
-	// is at offset 34.
-	bad[34], bad[35] = 0xFF, 0xFF
+	// Blocks start after header(3) + from(4) + inc(4) + n(4) + rank(2) +
+	// shards(2) + steps(8) + tau(8) + metric(1) + count(2) = 38; first
+	// block's shard id is at offset 38.
+	bad[38], bad[39] = 0xFF, 0xFF
 	if err := DecodeDelta(bad, &out); err == nil {
 		t.Error("out-of-range block shard accepted")
 	}

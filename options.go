@@ -30,6 +30,10 @@ type settings struct {
 	// detect (and reject) contradicting explicit options.
 	rankSet, etaSet, lambdaSet, lossSet, kSet, shardsSet, seedSet bool
 
+	// incarnation numbers this process lifetime of a stable trainer
+	// identity (cluster deployments; recorded in checkpoints).
+	incarnation uint32
+
 	// Live-session knobs (WithLive and friends).
 	live          bool
 	probeInterval time.Duration
@@ -174,6 +178,20 @@ func WithSeed(seed int64) Option {
 	return func(s *settings) error {
 		s.seed = seed
 		s.seedSet = true
+		return nil
+	}
+}
+
+// WithIncarnation numbers this process lifetime of a stable trainer
+// identity in a trainer cluster. The value is recorded in checkpoints;
+// a process resuming from one must pass the checkpoint's incarnation
+// plus one, so the restarted trainer's vector-clock entries start a
+// fresh lineage that dominates everything its previous life wrote
+// (shards can never regress through a restart). Single-process
+// sessions may ignore it entirely — the default 0 is fine.
+func WithIncarnation(inc uint32) Option {
+	return func(s *settings) error {
+		s.incarnation = inc
 		return nil
 	}
 }
