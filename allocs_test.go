@@ -62,6 +62,22 @@ func TestRankIntoZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestWALMetricObservationZeroAllocs: the metric observations riding
+// the WAL append/commit path (and by extension every hot-path
+// observation in the tree — same Counter/Histogram cells) must be
+// allocation-free; internal/metrics pins the primitives, this pins the
+// wired-up instances.
+func TestWALMetricObservationZeroAllocs(t *testing.T) {
+	avg := testing.AllocsPerRun(200, func() {
+		mWALRecords.Add(3)
+		mWALCommits.Inc()
+		mWALReplayed.Add(1)
+	})
+	if avg != 0 {
+		t.Errorf("WAL metric observation: %v allocs/op, want 0", avg)
+	}
+}
+
 // TestSessionSnapshotQuiescentZeroAllocs: with no training in flight,
 // Session.Snapshot returns the memoized snapshot without copying —
 // which is what makes per-request snapshotting viable in serving loops.

@@ -327,6 +327,7 @@ func (s *Session) replayWAL(r io.Reader, barrier uint64) error {
 					if err := s.applyReplayed(pending, co.Batch); err != nil {
 						return err
 					}
+					mWALReplayed.Add(uint64(len(pending)))
 				}
 				cc := co
 				last = &cc

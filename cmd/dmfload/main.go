@@ -145,7 +145,14 @@ func main() {
 	}
 	log.Printf("workload %q: %d phases, %d requests", spec.Name, len(w.Phases), total)
 
-	res, err := load.Run(ctx, w, tgt, load.RunConfig{MaxInflight: *inflight})
+	cfg := load.RunConfig{MaxInflight: *inflight, Logf: log.Printf}
+	if ht, ok := tgt.(*load.HTTPTarget); ok {
+		// Bracket every phase with a server-side /metrics scrape so the
+		// report carries what the run cost the target, not just how it
+		// felt from the client.
+		cfg.Scrape = ht.ScrapeMetrics
+	}
+	res, err := load.Run(ctx, w, tgt, cfg)
 	if err != nil {
 		log.Fatalf("dmfload: %v", err)
 	}
@@ -154,6 +161,9 @@ func main() {
 	for _, pr := range res.Phases {
 		log.Printf("phase %-14s %7d req %8.0f rps  p50 %.3fms  p90 %.3fms  p99 %.3fms  %6.1f allocs/op  %d errors",
 			pr.Name, pr.Requests, pr.ThroughputRPS, pr.P50MS, pr.P90MS, pr.P99MS, pr.AllocsPerOp, pr.Errors)
+		if served := serverRequests(pr.ServerDelta); served > 0 {
+			log.Printf("  server saw %.0f hot-path requests, %d cumulative series moved", served, len(pr.ServerDelta))
+		}
 		failed = failed || pr.Errors > 0
 	}
 	if err := rep.WriteFile(*out); err != nil {
@@ -163,6 +173,18 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// serverRequests sums the per-endpoint request-counter deltas from a
+// phase's server-side scrape.
+func serverRequests(delta map[string]float64) float64 {
+	var total float64
+	for id, v := range delta {
+		if strings.HasPrefix(id, "dmf_http_requests_total{") {
+			total += v
+		}
+	}
+	return total
 }
 
 // trainSnapshot builds the in-process serving snapshot the same way

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +31,7 @@ import (
 	"dmfsgd/internal/ckpt"
 	"dmfsgd/internal/dataset"
 	"dmfsgd/internal/member"
+	"dmfsgd/internal/metrics"
 	"dmfsgd/internal/runtime"
 	"dmfsgd/internal/sgd"
 	"dmfsgd/internal/transport"
@@ -51,11 +54,23 @@ func main() {
 
 		ckptPath  = flag.String("checkpoint", "", "coordinate checkpoint file: restored at startup (the node rejoins with warm coordinates instead of relearning), saved periodically and at exit via atomic rename")
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint save period")
+
+		metricsAddr = flag.String("metrics", "", "observability: expose GET /metrics (Prometheus text) and GET /healthz on this HTTP address, e.g. 127.0.0.1:6070; empty = off")
+		tracePath   = flag.String("trace", "", "observability: append NDJSON trace events ("+metrics.TraceSchema+") to this file; empty = off")
 	)
 	flag.Parse()
 	if *id == 0 {
 		fmt.Fprintln(os.Stderr, "dmfnode: -id is required and must be nonzero")
 		os.Exit(2)
+	}
+
+	if *tracePath != "" {
+		tw, err := metrics.OpenTraceFile(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		metrics.SetTrace(tw)
+		defer tw.Close()
 	}
 
 	udp, err := transport.ListenUDP(*listen)
@@ -126,6 +141,36 @@ func main() {
 		default:
 			fatal(err)
 		}
+	}
+
+	// Observability listener: the swarm node speaks UDP only, so /metrics
+	// and /healthz get their own small HTTP endpoint. The node gauges are
+	// GaugeFuncs over the same Stats() the status line prints.
+	if *metricsAddr != "" {
+		reg := metrics.Default()
+		reg.GaugeFunc("dmf_node_neighbors",
+			"Current neighbor count.",
+			func() float64 { return float64(node.NeighborCount()) })
+		reg.GaugeFunc("dmf_node_probes_sent",
+			"Probes sent since start.",
+			func() float64 { return float64(node.Stats().ProbesSent) })
+		reg.GaugeFunc("dmf_node_updates",
+			"Coordinate updates applied since start.",
+			func() float64 { return float64(node.Stats().Updates) })
+		hm := http.NewServeMux()
+		hm.HandleFunc("GET /metrics", reg.Handler())
+		hm.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			st := node.Stats()
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"status\":\"ok\",\"id\":%d,\"neighbors\":%d,\"probes_sent\":%d,\"updates\":%d}\n",
+				*id, node.NeighborCount(), st.ProbesSent, st.Updates)
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dmfnode: metrics on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, hm)
 	}
 
 	dir := member.NewDirectory(uint32(*id), mux, int64(*id))

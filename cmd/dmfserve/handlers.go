@@ -65,11 +65,26 @@ func appendJSONFloat(b []byte, f float64) []byte {
 	return b
 }
 
+// jsonCT is the shared Content-Type value slice: Header().Set would
+// allocate a fresh []string per request, which is the one heap
+// allocation the zero-alloc handler pin would otherwise charge us for.
+// The slice is never mutated, so sharing it across responses is safe.
+var jsonCT = []string{"application/json"}
+
 // writeRaw sends a prebuilt JSON body.
 func writeRaw(w http.ResponseWriter, status int, body []byte) {
-	w.Header().Set("Content-Type", "application/json")
+	h := w.Header()
+	if len(h["Content-Type"]) == 0 {
+		h["Content-Type"] = jsonCT
+	}
 	w.WriteHeader(status)
 	w.Write(body)
+}
+
+// writeSized is writeRaw plus the endpoint's response-size observation.
+func writeSized(ep *endpointMetrics, w http.ResponseWriter, status int, body []byte) {
+	ep.size.Observe(float64(len(body)))
+	writeRaw(w, status, body)
 }
 
 // queryValue extracts a raw query parameter without materializing a
@@ -146,7 +161,7 @@ func handlePredictGet(load snapLoader) http.HandlerFunc {
 		out = append(out, `,"score":`...)
 		out = appendJSONFloat(out, score)
 		out = append(out, '}', '\n')
-		writeRaw(w, http.StatusOK, out)
+		writeSized(epPredictGet, w, http.StatusOK, out)
 		sc.out = out
 		scratchPool.Put(sc)
 	}
@@ -227,7 +242,7 @@ func handlePredictPost(load snapLoader) http.HandlerFunc {
 			out = appendJSONFloat(out, s)
 		}
 		out = append(out, ']', '}', '\n')
-		writeRaw(w, http.StatusOK, out)
+		writeSized(epPredictPost, w, http.StatusOK, out)
 		sc.out = out
 	}
 }
@@ -292,7 +307,7 @@ func handleRank(load snapLoader) http.HandlerFunc {
 			out = strconv.AppendInt(out, int64(j), 10)
 		}
 		out = append(out, ']', '}', '\n')
-		writeRaw(w, http.StatusOK, out)
+		writeSized(epRank, w, http.StatusOK, out)
 		sc.out = out
 	}
 }

@@ -55,6 +55,7 @@ import (
 	"flag"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
@@ -69,6 +70,7 @@ import (
 	"dmfsgd/internal/ckpt"
 	"dmfsgd/internal/cluster"
 	"dmfsgd/internal/member"
+	"dmfsgd/internal/metrics"
 	"dmfsgd/internal/replica"
 	"dmfsgd/internal/transport"
 )
@@ -101,24 +103,40 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "minimum period between periodic checkpoint saves while training continues")
 
 		pprofAddr = flag.String("pprof", "", "profiling: expose net/http/pprof on this separate (loopback) listener, e.g. 127.0.0.1:6060; empty = off")
+		tracePath = flag.String("trace", "", "observability: append NDJSON round/epoch/gossip trace events ("+metrics.TraceSchema+") to this file; empty = off")
 	)
 	flag.Parse()
 
 	if *pprofAddr != "" {
 		// A dedicated mux on a dedicated listener: load runs can profile the
-		// process without the serving mux growing debug routes.
+		// process without the serving mux growing debug routes. Bind
+		// synchronously so a bad -pprof address fails the start instead of
+		// logging from a goroutine the operator never reads.
 		pm := http.NewServeMux()
 		pm.HandleFunc("/debug/pprof/", netpprof.Index)
 		pm.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
 		pm.HandleFunc("/debug/pprof/profile", netpprof.Profile)
 		pm.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("dmfserve: pprof listener %s: %v", *pprofAddr, err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
 		go func() {
-			log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
-				log.Printf("dmfserve: pprof listener: %v", err)
+			if err := http.Serve(ln, pm); err != nil {
+				log.Printf("dmfserve: pprof: %v", err)
 			}
 		}()
+	}
+
+	if *tracePath != "" {
+		tw, err := metrics.OpenTraceFile(*tracePath)
+		if err != nil {
+			log.Fatalf("dmfserve: trace %s: %v", *tracePath, err)
+		}
+		metrics.SetTrace(tw)
+		defer tw.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -683,58 +701,92 @@ func main() {
 		return snap, true
 	}
 
+	// Re-express the /healthz quantities as gauges on the shared registry:
+	// one bookkeeping path feeds both surfaces (healthReply documents the
+	// correspondence). Cluster and replica internals already publish their
+	// own gauges (dmf_cluster_clock_lag, dmf_replica_lag_steps).
+	reg := metrics.Default()
+	reg.GaugeFunc("dmf_serving_ready",
+		"1 once a serving snapshot is published (healthz status=ok).",
+		func() float64 {
+			if serving.Load() != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dmf_serving_steps",
+		"Updates folded into the serving snapshot (healthz steps).",
+		func() float64 {
+			if s := serving.Load(); s != nil {
+				return float64(s.Steps())
+			}
+			return 0
+		})
+	if *ckptPath != "" {
+		reg.GaugeFunc("dmf_ckpt_covered_steps",
+			"Updates covered by the latest durable checkpoint (healthz checkpoint_steps).",
+			func() float64 { return float64(ckptSteps.Load()) })
+		reg.GaugeFunc("dmf_wal_lag_steps",
+			"Applied updates not yet covered by a durable checkpoint (healthz wal_lag).",
+			func() float64 { return float64(trainedSteps.Load() - ckptSteps.Load()) })
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		snap := serving.Load()
-		resp := map[string]any{"role": role}
+		resp := healthReply{Status: "ok", Role: role}
 		if snap == nil {
-			resp["status"] = "syncing"
+			resp.Status = "syncing"
 		} else {
-			resp["status"] = "ok"
-			resp["steps"] = snap.Steps()
+			resp.Steps = int64(snap.Steps())
 		}
 		if clusterTr != nil {
 			cs := clusterTr.Status()
-			resp["trainer_id"] = cs.ID
-			resp["incarnation"] = cs.Incarnation
-			resp["epoch"] = cs.Epoch
-			resp["round"] = cs.Round
-			resp["shards"] = cs.Shards
-			resp["owned_shards"] = cs.OwnedShards
-			resp["owners"] = cs.Owners
-			resp["live"] = cs.Live
-			resp["clock_lag"] = cs.ClockLag
+			resp.clusterHealth = &clusterHealth{
+				TrainerID:   cs.ID,
+				Incarnation: cs.Incarnation,
+				Epoch:       cs.Epoch,
+				Round:       cs.Round,
+				Shards:      cs.Shards,
+				OwnedShards: cs.OwnedShards,
+				Owners:      cs.Owners,
+				Live:        cs.Live,
+				ClockLag:    cs.ClockLag,
+			}
 		} else if *trainerID >= 0 {
 			// Legacy single-trainer path with a cluster identity: report it
 			// as the degenerate cluster of one — every shard owned here,
 			// no peers to lag behind.
-			owners := make([]int, soloShards)
+			owners := make([]uint32, soloShards)
 			for i := range owners {
-				owners[i] = *trainerID
+				owners[i] = uint32(*trainerID)
 			}
-			resp["trainer_id"] = *trainerID
-			resp["incarnation"] = selfInc
-			resp["epoch"] = 0
-			resp["shards"] = soloShards
-			resp["owned_shards"] = soloShards
-			resp["owners"] = owners
-			resp["live"] = []int{*trainerID}
-			resp["clock_lag"] = 0
+			resp.clusterHealth = &clusterHealth{
+				TrainerID:   uint32(*trainerID),
+				Incarnation: selfInc,
+				Shards:      soloShards,
+				OwnedShards: soloShards,
+				Owners:      owners,
+				Live:        []uint32{uint32(*trainerID)},
+			}
 		}
 		if repPeer != nil {
 			lag := repPeer.Lag()
-			resp["lag_steps"] = lag.StepsBehind
-			resp["stale_shards"] = lag.StaleShards
+			rh := &replicaHealth{LagSteps: lag.StepsBehind, StaleShards: lag.StaleShards}
 			if !lag.LastAdvance.IsZero() {
-				resp["since_advance_ms"] = time.Since(lag.LastAdvance).Milliseconds()
+				ms := time.Since(lag.LastAdvance).Milliseconds()
+				rh.SinceAdvanceMS = &ms
 			}
+			resp.replicaHealth = rh
 		}
 		if *ckptPath != "" {
 			// Durability lag: applied updates not yet covered by a durable
 			// checkpoint. Zero means a restart loses nothing (and, with a
 			// WAL, nonzero values are replayable anyway).
-			resp["checkpoint_steps"] = ckptSteps.Load()
-			resp["wal_lag"] = trainedSteps.Load() - ckptSteps.Load()
+			resp.durabilityHealth = &durabilityHealth{
+				CheckpointSteps: ckptSteps.Load(),
+				WALLag:          trainedSteps.Load() - ckptSteps.Load(),
+			}
 		}
 		status := http.StatusOK
 		if snap == nil {
@@ -759,10 +811,14 @@ func main() {
 		})
 	})
 	// Hot serving paths: pooled request/response buffers, hand-built JSON,
-	// RankInto — zero steady-state allocations (see handlers.go).
-	mux.HandleFunc("GET /predict", handlePredictGet(loadSnap))
-	mux.HandleFunc("POST /predict", handlePredictPost(loadSnap))
-	mux.HandleFunc("GET /rank", handleRank(loadSnap))
+	// RankInto — zero steady-state allocations (see handlers.go), including
+	// the per-endpoint metric observations (metrics.go).
+	mux.HandleFunc("GET /predict", instrument(epPredictGet, handlePredictGet(loadSnap)))
+	mux.HandleFunc("POST /predict", instrument(epPredictPost, handlePredictPost(loadSnap)))
+	mux.HandleFunc("GET /rank", instrument(epRank, handleRank(loadSnap)))
+	// Prometheus text exposition for every series the process touches:
+	// serving, engine, cluster, replica, transport, durability (§12).
+	mux.HandleFunc("GET /metrics", metrics.Default().Handler())
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	go func() {

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"dmfsgd/internal/metrics"
+)
+
+// Serving-tier series (DESIGN.md §12). The label children are
+// pre-registered here — one per hot endpoint — so the handler path
+// observes through plain *Counter/*Histogram pointers: no map lookup,
+// no label rendering, no allocation per request. The zero-alloc pin
+// lives in handlers_metrics_test.go.
+var (
+	reqLatency = metrics.Default().HistogramVec("dmf_http_request_seconds",
+		"Hot-endpoint request latency, handler entry to response written.",
+		metrics.LatencyBuckets, "endpoint")
+	respBytes = metrics.Default().HistogramVec("dmf_http_response_bytes",
+		"Hot-endpoint response body size.",
+		metrics.SizeBuckets, "endpoint")
+	reqTotal = metrics.Default().CounterVec("dmf_http_requests_total",
+		"Hot-endpoint requests handled (errors included).", "endpoint")
+)
+
+// endpointMetrics is one endpoint's pre-resolved series set.
+type endpointMetrics struct {
+	lat  *metrics.Histogram
+	size *metrics.Histogram
+	reqs *metrics.Counter
+}
+
+func endpoint(name string) *endpointMetrics {
+	return &endpointMetrics{
+		lat:  reqLatency.With(name),
+		size: respBytes.With(name),
+		reqs: reqTotal.With(name),
+	}
+}
+
+var (
+	epPredictGet  = endpoint("GET /predict")
+	epPredictPost = endpoint("POST /predict")
+	epRank        = endpoint("GET /rank")
+)
+
+// instrument wraps a hot handler with its endpoint's latency histogram
+// and request counter. The closure is built once at mux registration;
+// per request it performs only two atomic observations. Response size
+// is observed inside the handler (writeSized), where the body length
+// is known.
+func instrument(ep *endpointMetrics, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// Counted on entry, not exit: a scraper that saw the response go
+		// by must also see it counted.
+		ep.reqs.Inc()
+		t0 := time.Now()
+		h(w, r)
+		ep.lat.Observe(time.Since(t0).Seconds())
+	}
+}

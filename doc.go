@@ -81,6 +81,17 @@
 // failover monotone: a shard can never regress. See DESIGN.md §11 and
 // the -trainer-id/-cluster-* flags of cmd/dmfserve.
 //
+// Observability: every binary shares one dependency-free metrics
+// registry (internal/metrics) — atomic counters, gauges and fixed-bucket
+// histograms with pre-registered label children, so hot-path observation
+// is allocation-free — exposed in Prometheus text format on GET /metrics
+// (cmd/dmfserve on the serving mux, cmd/dmfnode via -metrics). The same
+// registry carries an NDJSON event-trace sink (-trace, schema
+// dmftrace/v1) that records cluster rounds, epochs, gossip deltas and
+// checkpoint saves with monotonic timestamps, and cmd/dmfload embeds
+// before/after scrape deltas (server_delta) in its BENCH_*.json
+// artifacts. See DESIGN.md §12.
+//
 // Failures are reported through typed sentinel errors (ErrInvalidConfig,
 // ErrStopped, ErrDynamicTrace, ErrLiveSession, ErrCheckpoint, ErrWAL)
 // that work with errors.Is; cancelled runs return the context's error.

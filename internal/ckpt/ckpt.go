@@ -29,7 +29,9 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"time"
 
+	"dmfsgd/internal/metrics"
 	"dmfsgd/internal/wire"
 )
 
@@ -346,6 +348,7 @@ func Read(r io.Reader) (*Checkpoint, error) {
 // fsync, atomic rename. A crash mid-write leaves any previous file at
 // path intact.
 func WriteFile(path string, c *Checkpoint) error {
+	start := time.Now()
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -360,6 +363,7 @@ func WriteFile(path string, c *Checkpoint) error {
 	if err := Write(f, c); err != nil {
 		return fail(err)
 	}
+	size, _ := f.Seek(0, io.SeekCurrent)
 	if err := f.Sync(); err != nil {
 		return fail(err)
 	}
@@ -381,6 +385,13 @@ func WriteFile(path string, c *Checkpoint) error {
 			return syncErr
 		}
 	}
+	dur := time.Since(start)
+	mSaves.Inc()
+	mSaveBytes.Add(uint64(size))
+	mSaveSec.Observe(dur.Seconds())
+	metrics.Emit("ckpt_save", dur,
+		metrics.KV{K: "bytes", V: size},
+		metrics.KV{K: "steps", V: int64(c.Steps)})
 	return nil
 }
 
@@ -391,7 +402,11 @@ func ReadFile(path string) (*Checkpoint, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	c, err := Read(f)
+	if err == nil {
+		mRestores.Inc()
+	}
+	return c, err
 }
 
 // truncated maps short-read errors onto the package sentinel.

@@ -1,0 +1,15 @@
+package ckpt
+
+import "dmfsgd/internal/metrics"
+
+// Durability series (DESIGN.md §12).
+var (
+	mSaves = metrics.Default().Counter("dmf_ckpt_saves_total",
+		"Checkpoints durably written (temp + fsync + rename).")
+	mSaveBytes = metrics.Default().Counter("dmf_ckpt_save_bytes_total",
+		"Bytes of checkpoint payload written.")
+	mSaveSec = metrics.Default().Histogram("dmf_ckpt_save_seconds",
+		"Durable checkpoint write duration, fsyncs included.", metrics.DurationBuckets)
+	mRestores = metrics.Default().Counter("dmf_ckpt_restores_total",
+		"Checkpoints read back successfully.")
+)

@@ -1,0 +1,36 @@
+package cluster
+
+import "dmfsgd/internal/metrics"
+
+// Lockstep-round series (DESIGN.md §12). Round latency and barrier
+// wait are histograms per the tail-latency argument in PAPERS.md
+// (Zhao et al.): a diverging cluster shows up in p99 long before it
+// moves an average.
+var (
+	mRoundSec = metrics.Default().Histogram("dmf_cluster_round_seconds",
+		"Duration of completed lockstep rounds.", metrics.DurationBuckets)
+	mRounds = metrics.Default().Counter("dmf_cluster_rounds_total",
+		"Lockstep rounds completed.")
+	mRoundsAborted = metrics.Default().Counter("dmf_cluster_rounds_aborted_total",
+		"Rounds aborted by a barrier timeout or ownership change.")
+	mBarrierSec = metrics.Default().HistogramVec("dmf_cluster_barrier_wait_seconds",
+		"Time spent waiting on each round barrier.", metrics.DurationBuckets, "phase")
+	mBarrierRouted = mBarrierSec.With("routed")
+	mBarrierClock  = mBarrierSec.With("clock")
+	mRoutedFrames  = metrics.Default().Counter("dmf_cluster_routed_frames_total",
+		"Routed-update frames sent (including empty barrier markers).")
+	mRoutedUpdates = metrics.Default().Counter("dmf_cluster_routed_updates_total",
+		"Cross-shard target updates routed to their owners.")
+	mRoutedBytes = metrics.Default().Counter("dmf_cluster_routed_bytes_total",
+		"Encoded routed-update bytes sent.")
+	mClockFrames = metrics.Default().Counter("dmf_cluster_clock_frames_total",
+		"Clock-delta frames sent (including empty terminators).")
+	mClockBytes = metrics.Default().Counter("dmf_cluster_clock_bytes_total",
+		"Encoded clock-delta bytes sent.")
+	mFailovers = metrics.Default().Counter("dmf_cluster_failovers_total",
+		"Locally initiated failovers (barrier timeouts that recomputed ownership).")
+	mEvicted = metrics.Default().Counter("dmf_cluster_evictions_total",
+		"Peers this trainer declared dead and evicted from the ownership map.")
+	mClockLag = metrics.Default().Gauge("dmf_cluster_clock_lag",
+		"Summed clock weight the newest peer broadcasts run ahead of the local clocks.")
+)

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
 
 	"dmfsgd/internal/engine"
+	"dmfsgd/internal/metrics"
 	"dmfsgd/internal/transport"
 	"dmfsgd/internal/wire"
 )
@@ -250,7 +252,48 @@ type roundState struct {
 // measurement round. Receiving a higher-epoch ownership map likewise
 // aborts the round in flight; ErrEvicted means this trainer was
 // declared dead and must stop training.
-func (t *Trainer) Step(ctx context.Context, batch []engine.Sample) (int, error) {
+func (t *Trainer) Step(ctx context.Context, batch []engine.Sample) (n int, err error) {
+	start := time.Now()
+	// The pprof label attributes profile samples taken anywhere under the
+	// round — engine apply, wire encode, barrier wait — to the round loop.
+	pprof.Do(ctx, pprof.Labels("dmf_phase", "cluster_round"), func(ctx context.Context) {
+		n, err = t.step(ctx, batch)
+	})
+	dur := time.Since(start)
+	t.mu.Lock()
+	round := t.round
+	t.updateClockLagLocked()
+	t.mu.Unlock()
+	switch {
+	case err == nil:
+		mRounds.Inc()
+		mRoundSec.Observe(dur.Seconds())
+		metrics.Emit("round", dur,
+			metrics.KV{K: "round", V: int64(round)},
+			metrics.KV{K: "batch", V: int64(len(batch))})
+	case errors.Is(err, ErrRoundAborted), errors.Is(err, ErrEvicted):
+		mRoundsAborted.Inc()
+		metrics.Emit("round_aborted", dur,
+			metrics.KV{K: "round", V: int64(round)})
+	}
+	return n, err
+}
+
+// updateClockLagLocked refreshes the clock-lag gauge from the same
+// comparison Status reports. Callers hold t.mu.
+func (t *Trainer) updateClockLagLocked() {
+	var lag uint64
+	for s, c := range t.clocks {
+		if w := c.Weight(); t.remoteW[s] > w {
+			lag += t.remoteW[s] - w
+		}
+	}
+	mClockLag.SetInt(int64(lag))
+}
+
+// step is the round body; Step wraps it with profiling labels, round
+// metrics, and tracing.
+func (t *Trainer) step(ctx context.Context, batch []engine.Sample) (int, error) {
 	t.mu.Lock()
 	if t.evicted {
 		t.mu.Unlock()
@@ -386,6 +429,9 @@ func (t *Trainer) sendRouted(id uint32, st *roundState, ups []wire.Routed) error
 		if err := t.send(id, buf); err != nil {
 			return err
 		}
+		mRoutedFrames.Inc()
+		mRoutedUpdates.Add(uint64(len(frame)))
+		mRoutedBytes.Add(uint64(len(buf)))
 		if m.Last {
 			return nil
 		}
@@ -412,7 +458,12 @@ func (t *Trainer) sendClock(id uint32, st *roundState, dirty []int) error {
 		if err != nil {
 			return err
 		}
-		return t.send(id, buf)
+		if err := t.send(id, buf); err != nil {
+			return err
+		}
+		mClockFrames.Inc()
+		mClockBytes.Add(uint64(len(buf)))
+		return nil
 	}
 	var blocks []wire.ClockBlock
 	budget := 0
@@ -446,6 +497,12 @@ func (t *Trainer) sendClock(id uint32, st *roundState, dirty []int) error {
 // peer misses the timeout (failover, ErrRoundAborted), or an ownership
 // change aborts the round.
 func (t *Trainer) await(ctx context.Context, st *roundState, clockPhase bool) error {
+	waitStart := time.Now()
+	barrier := mBarrierRouted
+	if clockPhase {
+		barrier = mBarrierClock
+	}
+	defer func() { barrier.Observe(time.Since(waitStart).Seconds()) }()
 	timer := time.NewTimer(t.timeout)
 	defer timer.Stop()
 	for {
@@ -688,6 +745,12 @@ func (t *Trainer) failover(missing []uint32, round uint64) {
 		}
 	}
 	t.mu.Unlock()
+	mFailovers.Inc()
+	mEvicted.Add(uint64(len(missing)))
+	metrics.Emit("failover", 0,
+		metrics.KV{K: "round", V: int64(round)},
+		metrics.KV{K: "epoch", V: int64(epoch)},
+		metrics.KV{K: "evicted", V: int64(len(missing))})
 	t.logf("cluster: trainer(s) %v missed the round-%d barrier; epoch %d owners %v",
 		missing, round, epoch, owners)
 	m := wire.OwnershipMap{From: t.cfg.ID, Epoch: epoch, Round: round, Owners: owners}

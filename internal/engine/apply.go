@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Sample is one externally supplied labeled measurement for the batch
@@ -91,6 +92,10 @@ func (e *Engine) ApplyBatchCtx(ctx context.Context, batch []Sample) (int, error)
 // advance the step counter or shard versions — that is
 // CommitBatchTargets' barrier.
 func (e *Engine) ApplyBatchOwned(ctx context.Context, batch []Sample, owned []bool) (int, []RoutedTarget, error) {
+	start := time.Now()
+	defer func() {
+		mBatchSec.Observe(time.Since(start).Seconds())
+	}()
 	if len(batch) > math.MaxInt32 {
 		return 0, nil, fmt.Errorf("engine: batch of %d samples exceeds the %d limit", len(batch), math.MaxInt32)
 	}
@@ -156,6 +161,7 @@ func (e *Engine) ApplyBatchOwned(ctx context.Context, batch []Sample, owned []bo
 	for _, c := range e.counts {
 		total += c
 	}
+	mSteps.Add(uint64(total))
 	return total, routed, nil
 }
 

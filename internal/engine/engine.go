@@ -225,6 +225,7 @@ func (e *Engine) applyValue(i, j int, x float64) {
 		e.store.bump(j)
 	}
 	e.steps++
+	mSteps.Inc()
 }
 
 // Run performs total successful sequential steps (missing-data probes are

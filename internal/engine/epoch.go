@@ -3,9 +3,13 @@ package engine
 import (
 	"context"
 	"math/rand"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dmfsgd/internal/metrics"
 )
 
 // abwDelivery is one routed cross-shard update: the Algorithm-2 target
@@ -89,6 +93,25 @@ func (e *Engine) RunEpochCtx(ctx context.Context, probesPerNode int) (int, error
 	if probesPerNode <= 0 {
 		panic("engine: probesPerNode must be positive")
 	}
+	start := time.Now()
+	total := 0
+	// The pprof label attributes worker-pool samples to the epoch
+	// scheduler in -pprof profiles.
+	pprof.Do(ctx, pprof.Labels("dmf_phase", "epoch"), func(ctx context.Context) {
+		total = e.runEpochLabeled(ctx, probesPerNode)
+	})
+	dur := time.Since(start)
+	mEpochSec.Observe(dur.Seconds())
+	mSteps.Add(uint64(total))
+	metrics.Emit("epoch", dur,
+		metrics.KV{K: "updates", V: int64(total)},
+		metrics.KV{K: "steps", V: int64(e.steps)})
+	return total, ctx.Err()
+}
+
+// runEpochLabeled is the epoch body; RunEpochCtx wraps it with
+// profiling labels and epoch metrics.
+func (e *Engine) runEpochLabeled(ctx context.Context, probesPerNode int) int {
 	e.ensureEpochState()
 	p := e.store.shards
 	// Refresh the epoch-start snapshot via the version vector: shards that
@@ -122,7 +145,7 @@ func (e *Engine) RunEpochCtx(ctx context.Context, probesPerNode int) (int, error
 		total += c
 	}
 	e.steps += total
-	return total, ctx.Err()
+	return total
 }
 
 // RunEpochs runs a fixed number of epochs and returns the cumulative

@@ -1,0 +1,22 @@
+package engine
+
+import "dmfsgd/internal/metrics"
+
+// Training-path series (DESIGN.md §12). The step counter advances with
+// locally applied sender updates in every mode (sequential, epoch,
+// batch, cluster-owned slice), so rate(dmf_engine_steps_total) is
+// steps/sec regardless of which path is driving.
+var (
+	mEpochSec = metrics.Default().Histogram("dmf_engine_epoch_seconds",
+		"Duration of parallel training epochs.", metrics.DurationBuckets)
+	mBatchSec = metrics.Default().Histogram("dmf_engine_batch_apply_seconds",
+		"Duration of the sender half of batch applies (single-trainer and cluster-owned).",
+		metrics.DurationBuckets)
+	mSteps = metrics.Default().Counter("dmf_engine_steps_total",
+		"Successful SGD updates applied locally.")
+	mLockWait = metrics.Default().Histogram("dmf_engine_shard_lock_wait_seconds",
+		"Wait to acquire a shard write lock on the shared (Ref.Update) discipline.",
+		metrics.LatencyBuckets)
+	mSnapshotShards = metrics.Default().Counter("dmf_engine_snapshot_shards_copied_total",
+		"Shards re-copied by delta snapshot refreshes (skipped quiet shards are free).")
+)

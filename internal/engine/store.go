@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"dmfsgd/internal/sgd"
 	"dmfsgd/internal/vec"
@@ -213,6 +214,7 @@ func (s *Store) SnapshotDeltaInto(u, v []float64, vers []uint64) int {
 		sh.mu.RUnlock()
 		copied++
 	}
+	mSnapshotShards.Add(uint64(copied))
 	return copied
 }
 
@@ -339,10 +341,13 @@ func (r Ref) View(fn func(c *sgd.Coordinates)) {
 // bumps the owning shard's version.
 func (r Ref) Update(fn func(c *sgd.Coordinates) bool) bool {
 	sh := &r.s.sh[r.id%r.s.shards]
+	t0 := time.Now()
 	sh.mu.Lock()
+	mLockWait.Observe(time.Since(t0).Seconds())
 	ok := fn(sh.coords[r.id/r.s.shards])
 	if ok {
 		sh.ver++
+		mSteps.Inc()
 	}
 	sh.mu.Unlock()
 	return ok

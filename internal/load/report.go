@@ -22,6 +22,12 @@ type PhaseResult struct {
 	P99MS         float64 `json:"p99_ms"`
 	MaxMS         float64 `json:"max_ms"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
+
+	// ServerDelta holds the target's cumulative-series deltas (counter
+	// _total, histogram _count/_sum) over this phase, scraped from GET
+	// /metrics before and after. HTTP targets only; empty when the
+	// server is unreachable or predates the metrics tier.
+	ServerDelta map[string]float64 `json:"server_delta,omitempty"`
 }
 
 // Result is a completed run's per-phase results.

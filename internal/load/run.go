@@ -179,6 +179,13 @@ type RunConfig struct {
 	// schedule degrades to closed-loop at this concurrency — the error
 	// and throughput numbers still hold, the latency tail saturates.
 	MaxInflight int
+	// Scrape, when non-nil, is called before and after every phase;
+	// the cumulative-series deltas land in PhaseResult.ServerDelta.
+	// A scrape failure degrades the phase to client-side numbers only
+	// (logged via Logf when set), never fails the run.
+	Scrape func() (map[string]float64, error)
+	// Logf reports non-fatal runner events; nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // Run drives the workload phase by phase and measures. Request order
@@ -210,6 +217,14 @@ func runPhase(ctx context.Context, ph *Phase, tgt Target, cfg RunConfig) (*Phase
 	}
 	if workers > len(reqs) {
 		workers = len(reqs)
+	}
+
+	var sBefore map[string]float64
+	if cfg.Scrape != nil {
+		var serr error
+		if sBefore, serr = cfg.Scrape(); serr != nil && cfg.Logf != nil {
+			cfg.Logf("load: phase %q: pre-phase metrics scrape failed: %v", ph.Spec.Name, serr)
+		}
 	}
 
 	var before, after runtime.MemStats
@@ -301,6 +316,18 @@ func runPhase(ctx context.Context, ph *Phase, tgt Target, cfg RunConfig) (*Phase
 	// is the serving stack's allocation rate; over HTTP it measures the
 	// client side (still useful as a generator-overhead signal).
 	pr.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(len(reqs))
+
+	// Server-side story of the same phase: what the target's registry
+	// counted while we drove it.
+	if cfg.Scrape != nil && sBefore != nil {
+		if sAfter, serr := cfg.Scrape(); serr != nil {
+			if cfg.Logf != nil {
+				cfg.Logf("load: phase %q: post-phase metrics scrape failed: %v", ph.Spec.Name, serr)
+			}
+		} else {
+			pr.ServerDelta = DeltaCounters(sBefore, sAfter)
+		}
+	}
 
 	sorted := append([]int64(nil), lat...)
 	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })

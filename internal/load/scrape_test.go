@@ -1,0 +1,84 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP dmf_http_requests_total Hot-endpoint requests handled.
+# TYPE dmf_http_requests_total counter
+dmf_http_requests_total{endpoint="GET /predict"} 120
+dmf_http_requests_total{endpoint="GET /rank"} 30
+# HELP dmf_http_request_seconds Request latency.
+# TYPE dmf_http_request_seconds histogram
+dmf_http_request_seconds_bucket{endpoint="GET /predict",le="0.00005"} 10
+dmf_http_request_seconds_bucket{endpoint="GET /predict",le="+Inf"} 120
+dmf_http_request_seconds_sum{endpoint="GET /predict"} 0.25
+dmf_http_request_seconds_count{endpoint="GET /predict"} 120
+# HELP dmf_serving_ready 1 once serving.
+# TYPE dmf_serving_ready gauge
+dmf_serving_ready 1
+dmf_engine_steps_total 5000
+`
+
+func TestParsePrometheus(t *testing.T) {
+	m, err := ParsePrometheus(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		`dmf_http_requests_total{endpoint="GET /predict"}`:                   120,
+		`dmf_http_request_seconds_sum{endpoint="GET /predict"}`:              0.25,
+		`dmf_http_request_seconds_bucket{endpoint="GET /predict",le="+Inf"}`: 120,
+		`dmf_serving_ready`:      1,
+		`dmf_engine_steps_total`: 5000,
+	}
+	for id, v := range want {
+		if m[id] != v {
+			t.Errorf("%s = %v, want %v", id, m[id], v)
+		}
+	}
+	if len(m) != 8 {
+		t.Errorf("parsed %d series, want 8: %v", len(m), m)
+	}
+	if _, err := ParsePrometheus(strings.NewReader("dmf_x notanumber\n")); err == nil {
+		t.Error("bad value accepted")
+	}
+}
+
+func TestDeltaCounters(t *testing.T) {
+	before, err := ParsePrometheus(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := make(map[string]float64, len(before))
+	for k, v := range before {
+		after[k] = v
+	}
+	after[`dmf_http_requests_total{endpoint="GET /predict"}`] += 40
+	after[`dmf_http_request_seconds_count{endpoint="GET /predict"}`] += 40
+	after[`dmf_http_request_seconds_sum{endpoint="GET /predict"}`] += 0.1
+	after[`dmf_http_request_seconds_bucket{endpoint="GET /predict",le="+Inf"}`] += 40
+	after[`dmf_serving_ready`] = 0 // gauge moves must not appear
+	after[`dmf_new_counter_total`] = 7
+
+	d := DeltaCounters(before, after)
+	if d[`dmf_http_requests_total{endpoint="GET /predict"}`] != 40 {
+		t.Errorf("requests delta = %v, want 40", d[`dmf_http_requests_total{endpoint="GET /predict"}`])
+	}
+	if d[`dmf_new_counter_total`] != 7 {
+		t.Errorf("new counter delta = %v, want 7 (absent in before)", d[`dmf_new_counter_total`])
+	}
+	for id := range d {
+		if strings.Contains(id, "_bucket") {
+			t.Errorf("bucket series leaked into delta: %s", id)
+		}
+		if id == "dmf_serving_ready" {
+			t.Error("gauge leaked into delta")
+		}
+	}
+	// Unmoved counters (dmf_engine_steps_total, GET /rank) are dropped.
+	if _, ok := d[`dmf_engine_steps_total`]; ok {
+		t.Error("zero-delta counter kept")
+	}
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): one # HELP / # TYPE header
+// per family, then one line per series in registration order.
+// Histograms render cumulative _bucket{le=...} series plus _sum and
+// _count. This is the cold path — it allocates freely.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		typ := "counter"
+		switch f.kind {
+		case kindGauge, kindGaugeFunc:
+			typ = "gauge"
+		case kindHistogram:
+			typ = "histogram"
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + typ + "\n")
+		for _, ch := range f.children {
+			switch f.kind {
+			case kindCounter:
+				writeSeries(bw, f.name, ch.labels, float64(ch.c.Value()))
+			case kindGauge:
+				writeSeries(bw, f.name, ch.labels, ch.g.Value())
+			case kindGaugeFunc:
+				if ch.gf != nil {
+					writeSeries(bw, f.name, ch.labels, ch.gf())
+				}
+			case kindHistogram:
+				writeHistogram(bw, f.name, ch.labels, ch.h)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(bw *bufio.Writer, name, labels string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram renders the cumulative bucket series. Bucket counts
+// are read per-bucket without a global snapshot, so a scrape racing an
+// Observe can be off by one sample between _bucket/_count/_sum — the
+// usual lock-free exposition tradeoff.
+func writeHistogram(bw *bufio.Writer, name, labels string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSeries(bw, name+"_bucket", withLE(labels, formatValue(bound)), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSeries(bw, name+"_bucket", withLE(labels, "+Inf"), float64(cum))
+	writeSeries(bw, name+"_sum", labels, h.Sum())
+	writeSeries(bw, name+"_count", labels, float64(h.Count()))
+}
+
+// withLE splices the le label into a rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	// labels is `{k="v"}` — insert before the closing brace.
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.HandlerFunc serving the registry in
+// Prometheus text format — mount as GET /metrics.
+func (r *Registry) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceSchema versions the NDJSON trace stream, WAL-style: the first
+// line is a header record carrying this tag plus the wall-clock start;
+// every following line is one event with a monotonic timestamp (t_ns,
+// nanoseconds since the header) so offline analysis is immune to
+// clock steps. Bump on any incompatible field change.
+const TraceSchema = "dmftrace/v1"
+
+// KV is one integer attribute on a trace event.
+type KV struct {
+	K string
+	V int64
+}
+
+// Trace is an NDJSON event sink for coarse-grained spans — rounds,
+// epochs, gossip exchanges, checkpoints. It is mutex-serialized and
+// buffered; events allocate a little, so emit at round/epoch cadence,
+// never on the per-request hot path.
+type Trace struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	c     io.Closer
+	start time.Time
+	buf   []byte
+}
+
+// NewTrace writes the schema header to w and returns the sink. When w
+// is an io.Closer, Close closes it.
+func NewTrace(w io.Writer) (*Trace, error) {
+	t := &Trace{bw: bufio.NewWriter(w), start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	hdr := `{"schema":"` + TraceSchema + `","start_unix_ns":` +
+		strconv.FormatInt(t.start.UnixNano(), 10) + "}\n"
+	if _, err := t.bw.WriteString(hdr); err != nil {
+		return nil, err
+	}
+	return t, t.bw.Flush()
+}
+
+// OpenTraceFile creates (truncating) path and returns a sink over it.
+func OpenTraceFile(path string) (*Trace, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := NewTrace(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Event appends one NDJSON event line and flushes it, so a crash loses
+// at most the event being written:
+//
+//	{"t_ns":123,"ev":"round","dur_ns":456,"batch":64,...}
+//
+// dur may be 0 for point events. Attribute keys must be plain
+// identifiers (no quoting is applied).
+func (t *Trace) Event(ev string, dur time.Duration, kvs ...KV) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.start).Nanoseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.buf[:0]
+	b = append(b, `{"t_ns":`...)
+	b = strconv.AppendInt(b, now, 10)
+	b = append(b, `,"ev":"`...)
+	b = append(b, ev...)
+	b = append(b, '"')
+	if dur != 0 {
+		b = append(b, `,"dur_ns":`...)
+		b = strconv.AppendInt(b, dur.Nanoseconds(), 10)
+	}
+	for _, kv := range kvs {
+		b = append(b, ',', '"')
+		b = append(b, kv.K...)
+		b = append(b, '"', ':')
+		b = strconv.AppendInt(b, kv.V, 10)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	t.bw.Write(b)
+	t.bw.Flush()
+}
+
+// Close flushes and closes the underlying writer. Safe to call on nil.
+func (t *Trace) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	err := t.bw.Flush()
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// activeTrace is the process-wide sink used by instrumented packages;
+// nil (the default) makes Emit a two-instruction no-op.
+var activeTrace atomic.Pointer[Trace]
+
+// SetTrace installs (or, with nil, removes) the process-wide trace
+// sink that Emit writes to.
+func SetTrace(t *Trace) { activeTrace.Store(t) }
+
+// Emit writes an event to the process-wide sink, if one is installed.
+func Emit(ev string, dur time.Duration, kvs ...KV) {
+	if t := activeTrace.Load(); t != nil {
+		t.Event(ev, dur, kvs...)
+	}
+}
+
+// TraceEnabled reports whether a process-wide sink is installed —
+// callers can skip assembling expensive attributes when it is not.
+func TraceEnabled() bool { return activeTrace.Load() != nil }

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSchemaAndEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	tr, err := OpenTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Event("round", 2*time.Millisecond, KV{"round", 7}, KV{"batch", 64})
+	tr.Event("mark", 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+
+	if !sc.Scan() {
+		t.Fatal("missing header line")
+	}
+	var hdr struct {
+		Schema      string `json:"schema"`
+		StartUnixNS int64  `json:"start_unix_ns"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header not JSON: %v", err)
+	}
+	if hdr.Schema != TraceSchema || hdr.StartUnixNS == 0 {
+		t.Fatalf("bad header %+v", hdr)
+	}
+
+	if !sc.Scan() {
+		t.Fatal("missing round event")
+	}
+	var ev struct {
+		TNS   int64  `json:"t_ns"`
+		Ev    string `json:"ev"`
+		DurNS int64  `json:"dur_ns"`
+		Round int64  `json:"round"`
+		Batch int64  `json:"batch"`
+	}
+	if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+		t.Fatalf("event not JSON: %v (%s)", err, sc.Text())
+	}
+	if ev.Ev != "round" || ev.DurNS != 2e6 || ev.Round != 7 || ev.Batch != 64 || ev.TNS < 0 {
+		t.Fatalf("bad event %+v", ev)
+	}
+
+	if !sc.Scan() {
+		t.Fatal("missing mark event")
+	}
+	if strings.Contains(sc.Text(), "dur_ns") {
+		t.Fatalf("zero-duration event should omit dur_ns: %s", sc.Text())
+	}
+	if sc.Scan() {
+		t.Fatalf("unexpected extra line: %s", sc.Text())
+	}
+}
+
+func TestEmitNoSinkIsNoop(t *testing.T) {
+	SetTrace(nil)
+	Emit("orphan", time.Second, KV{"k", 1}) // must not panic
+	if TraceEnabled() {
+		t.Fatal("TraceEnabled with no sink")
+	}
+	tr, err := NewTrace(&strings.Builder{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetTrace(tr)
+	defer SetTrace(nil)
+	if !TraceEnabled() {
+		t.Fatal("TraceEnabled false with sink installed")
+	}
+	Emit("ok", 0)
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Event("x", 0)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

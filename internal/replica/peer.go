@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"dmfsgd/internal/metrics"
 	"dmfsgd/internal/transport"
 	"dmfsgd/internal/wire"
 )
@@ -264,9 +265,37 @@ func (p *Peer) send(to string, buf []byte, what string) {
 func (p *Peer) forget(addr string) {
 	p.mu.Lock()
 	if _, seed := p.seeds[addr]; !seed {
+		if _, known := p.peers[addr]; known {
+			mEvictions.Inc()
+		}
 		delete(p.peers, addr)
 	}
 	p.mu.Unlock()
+}
+
+// updateLagLocked refreshes the replication-lag gauges from the same
+// comparison Lag() reports — /healthz and /metrics read one source.
+// Callers hold p.mu.
+func (p *Peer) updateLagLocked() {
+	if p.st == nil {
+		mLagSteps.SetInt(int64(p.remoteSteps))
+		mStaleShards.SetInt(int64(len(p.remoteVers)))
+		return
+	}
+	var behind uint64
+	if p.remoteSteps > p.st.Meta.Steps {
+		behind = p.remoteSteps - p.st.Meta.Steps
+	}
+	stale := 0
+	if len(p.remoteVers) == p.st.Shards {
+		for i, rv := range p.remoteVers {
+			if rv > p.st.vers[i] {
+				stale++
+			}
+		}
+	}
+	mLagSteps.SetInt(int64(behind))
+	mStaleShards.SetInt(int64(stale))
 }
 
 func (p *Peer) sendVersionVec(to string, vv *wire.VersionVec) {
@@ -275,6 +304,8 @@ func (p *Peer) sendVersionVec(to string, vv *wire.VersionVec) {
 		p.logf("replica: encode version vec: %v", err)
 		return
 	}
+	mPushes.Inc()
+	mGossipBytesSent.Add(uint64(len(buf)))
 	p.send(to, buf, "push")
 }
 
@@ -303,6 +334,7 @@ func (p *Peer) handle(pkt transport.Packet) {
 	if err != nil {
 		return
 	}
+	mGossipBytesRecv.Add(uint64(len(pkt.Data)))
 	switch typ {
 	case wire.TypeVersionVec:
 		var vv wire.VersionVec
@@ -356,11 +388,14 @@ func (p *Peer) handleVersionVec(vv *wire.VersionVec, from string) {
 	}
 	newer := st.NewerThan(vv)
 	reply := p.versionVecLocked()
+	p.updateLagLocked()
 	p.mu.Unlock()
 
 	if len(stale) > 0 {
 		req := &wire.DeltaRequest{From: p.cfg.ID, Addr: p.cfg.Transport.Addr(), Shards: stale}
 		if buf, err := wire.AppendDeltaRequest(nil, req); err == nil {
+			mPulls.Inc()
+			mGossipBytesSent.Add(uint64(len(buf)))
 			p.send(from, buf, "pull")
 		}
 		return
@@ -410,6 +445,8 @@ func (p *Peer) handleDeltaRequest(req *wire.DeltaRequest, from string) {
 				p.forget(from)
 				return
 			}
+			mDeltaFrames.Inc()
+			mGossipBytesSent.Add(uint64(len(buf)))
 		}
 	}()
 }
@@ -427,15 +464,28 @@ func (p *Peer) handleDelta(d *wire.Delta) {
 		p.mu.Unlock()
 		return
 	}
+	bootstrap := p.st == nil
 	next, applied, err := Apply(p.st, d)
 	if err == nil && applied > 0 {
 		p.st = next
 		p.lastAdvance = time.Now()
+		if bootstrap {
+			mShardsFull.Add(uint64(applied))
+		} else {
+			mShardsDelta.Add(uint64(applied))
+		}
+		p.updateLagLocked()
 	}
 	p.mu.Unlock()
 	if err != nil {
 		p.logf("replica: apply delta from %d: %v", d.From, err)
 		return
+	}
+	if applied > 0 {
+		metrics.Emit("gossip_delta", 0,
+			metrics.KV{K: "from", V: int64(d.From)},
+			metrics.KV{K: "shards", V: int64(applied)},
+			metrics.KV{K: "steps", V: int64(next.Meta.Steps)})
 	}
 	if applied > 0 && next.Complete() && p.cfg.OnState != nil {
 		p.cfg.OnState(next)

@@ -46,8 +46,9 @@ type TCP struct {
 
 // outConn serializes writers on one cached outbound connection.
 type outConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	dialed bool // a connection was established before (next dial is a redial)
 }
 
 var _ Transport = (*TCP)(nil)
@@ -148,6 +149,8 @@ func (t *TCP) readConn(conn net.Conn) {
 				return
 			}
 		}
+		mFramesRecv.Inc()
+		mBytesRecv.Add(uint64(n))
 		t.push(Packet{From: from, Data: data})
 	}
 }
@@ -187,11 +190,17 @@ func (t *TCP) Send(to string, data []byte) error {
 	}
 	conn, err := net.DialTimeout("tcp", to, tcpDialTimeout)
 	if err != nil {
+		mDialErrors.Inc()
 		return fmt.Errorf("transport: dial %q: %w", to, err)
 	}
 	defer conn.Close()
 	conn.SetWriteDeadline(time.Now().Add(tcpDialTimeout))
-	return writeFrame(conn, data)
+	if err := writeFrame(conn, data); err != nil {
+		return err
+	}
+	mFramesSent.Inc()
+	mBytesSent.Add(uint64(len(data)))
+	return nil
 }
 
 func writeFrame(conn net.Conn, data []byte) error {
@@ -225,8 +234,13 @@ func (t *TCP) sendStream(to string, data []byte) error {
 	if oc.conn == nil {
 		conn, err := net.DialTimeout("tcp", to, tcpDialTimeout)
 		if err != nil {
+			mDialErrors.Inc()
 			return fmt.Errorf("transport: dial %q: %w", to, err)
 		}
+		if oc.dialed {
+			mRedials.Inc()
+		}
+		oc.dialed = true
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
@@ -248,6 +262,8 @@ func (t *TCP) sendStream(to string, data []byte) error {
 		oc.conn = nil
 		return err
 	}
+	mFramesSent.Inc()
+	mBytesSent.Add(uint64(len(data)))
 	return nil
 }
 

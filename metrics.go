@@ -1,0 +1,14 @@
+package dmfsgd
+
+import "dmfsgd/internal/metrics"
+
+// WAL series (DESIGN.md §12); the checkpoint counterparts live in
+// internal/ckpt.
+var (
+	mWALRecords = metrics.Default().Counter("dmf_wal_records_total",
+		"Measurements appended to the write-ahead log.")
+	mWALCommits = metrics.Default().Counter("dmf_wal_commits_total",
+		"Commit barriers written.")
+	mWALReplayed = metrics.Default().Counter("dmf_wal_replayed_records_total",
+		"Committed measurements re-applied from the log on resume.")
+)

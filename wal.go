@@ -138,6 +138,7 @@ func (ws *WALSource) append(ms []Measurement) error {
 		return fmt.Errorf("%w: %v", ErrWAL, err)
 	}
 	ws.seq += uint64(len(keep))
+	mWALRecords.Add(uint64(len(keep)))
 	return nil
 }
 
@@ -158,6 +159,7 @@ func (ws *WALSource) commit(c dataset.WALCommit) error {
 		return ws.err
 	}
 	ws.commitSeq = ws.seq
+	mWALCommits.Inc()
 	return nil
 }
 

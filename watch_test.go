@@ -1,0 +1,148 @@
+package dmfsgd
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Slow-consumer and lifecycle tests for Session.Watch: publish must
+// never block on a stalled reader, a dropped sample must be the new one
+// (the buffer keeps the oldest 16), and every channel must be closed
+// exactly once no matter how Close and the watcher's cancel race.
+
+func watchSession(t *testing.T) *Session {
+	t.Helper()
+	sess, err := NewSession(NewMeridianDataset(30, 13), WithSeed(13), WithK(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return sess
+}
+
+// TestWatchSlowConsumerDrops: with nobody reading, publish fills the
+// 16-slot buffer and then drops new samples without blocking; the
+// buffered samples are the oldest ones.
+func TestWatchSlowConsumerDrops(t *testing.T) {
+	sess := watchSession(t)
+	ch := sess.Watch(context.Background())
+
+	published := make(chan struct{})
+	go func() {
+		defer close(published)
+		for i := 1; i <= 100; i++ {
+			sess.publish(Progress{Steps: i})
+		}
+	}()
+	select {
+	case <-published:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a slow consumer")
+	}
+
+	for i := 1; i <= 16; i++ {
+		select {
+		case p := <-ch:
+			if p.Steps != i {
+				t.Fatalf("buffered sample %d has Steps=%d, want %d (oldest-kept semantics)", i, p.Steps, i)
+			}
+		default:
+			t.Fatalf("only %d samples buffered, want 16", i-1)
+		}
+	}
+	select {
+	case p := <-ch:
+		t.Fatalf("17th sample %+v buffered; samples 17..100 should have been dropped", p)
+	default:
+	}
+
+	// The reader drained the buffer; delivery resumes with fresh samples.
+	sess.publish(Progress{Steps: 200})
+	select {
+	case p := <-ch:
+		if p.Steps != 200 {
+			t.Fatalf("post-drain sample Steps=%d, want 200", p.Steps)
+		}
+	default:
+		t.Fatal("post-drain publish not delivered")
+	}
+}
+
+// TestWatchCancelUnsubscribes: cancelling the watcher's context closes
+// its channel and removes it from the subscriber list — a later publish
+// must not panic by sending on the closed channel.
+func TestWatchCancelUnsubscribes(t *testing.T) {
+	sess := watchSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := sess.Watch(ctx)
+	cancel()
+
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				// Closed. Publishing now exercises the stale-subscriber path.
+				for i := 0; i < 32; i++ {
+					sess.publish(Progress{Steps: i})
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("watch channel not closed after cancel")
+		}
+	}
+}
+
+// TestWatchCloseThenCancelClosesOnce: Close closes every subscriber
+// channel; the watcher goroutine's later ctx-cancel must not close it a
+// second time (a double close panics).
+func TestWatchCloseThenCancelClosesOnce(t *testing.T) {
+	sess := watchSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := sess.Watch(ctx)
+
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("sample delivered after Close")
+	}
+	cancel()
+	// Give the watcher goroutine time to observe the cancel and take the
+	// unsubscribe path; a double close would panic the process here.
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := <-ch; ok {
+		t.Fatal("channel reopened?!")
+	}
+}
+
+// TestWatchCancelThenCloseClosesOnce: the same race from the other
+// side — the watcher unsubscribes first, then Close sweeps what's left.
+func TestWatchCancelThenCloseClosesOnce(t *testing.T) {
+	sess := watchSession(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := sess.Watch(ctx)
+	keep := sess.Watch(context.Background())
+	cancel()
+
+	deadline := time.After(2 * time.Second)
+drain:
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				break drain
+			}
+		case <-deadline:
+			t.Fatal("watch channel not closed after cancel")
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-keep; ok {
+		t.Fatal("surviving watcher delivered a sample after Close")
+	}
+}
