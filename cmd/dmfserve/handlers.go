@@ -48,6 +48,8 @@ var scratchPool = sync.Pool{New: func() any { return new(reqScratch) }}
 // appendJSONFloat appends f exactly as encoding/json renders a float64:
 // shortest representation, %f inside [1e-6, 1e21), %e outside with a
 // minimal exponent.
+//
+//dmf:zeroalloc
 func appendJSONFloat(b []byte, f float64) []byte {
 	abs := math.Abs(f)
 	format := byte('f')
@@ -72,6 +74,8 @@ func appendJSONFloat(b []byte, f float64) []byte {
 var jsonCT = []string{"application/json"}
 
 // writeRaw sends a prebuilt JSON body.
+//
+//dmf:zeroalloc
 func writeRaw(w http.ResponseWriter, status int, body []byte) {
 	h := w.Header()
 	if len(h["Content-Type"]) == 0 {
@@ -82,6 +86,8 @@ func writeRaw(w http.ResponseWriter, status int, body []byte) {
 }
 
 // writeSized is writeRaw plus the endpoint's response-size observation.
+//
+//dmf:zeroalloc
 func writeSized(ep *endpointMetrics, w http.ResponseWriter, status int, body []byte) {
 	ep.size.Observe(float64(len(body)))
 	writeRaw(w, status, body)
@@ -90,6 +96,8 @@ func writeSized(ep *endpointMetrics, w http.ResponseWriter, status int, body []b
 // queryValue extracts a raw query parameter without materializing a
 // url.Values map. Values containing escapes fall back to the caller's
 // slow path (ok=false with found=true).
+//
+//dmf:zeroalloc
 func queryValue(rawQuery, key string) (val string, found, ok bool) {
 	for len(rawQuery) > 0 {
 		var pair string
@@ -111,6 +119,8 @@ func queryValue(rawQuery, key string) (val string, found, ok bool) {
 }
 
 // nodeParam parses a node-index query parameter and bounds-checks it.
+//
+//dmf:zeroalloc
 func nodeParam(r *http.Request, name string, n int) (int, error) {
 	v, found, fast := queryValue(r.URL.RawQuery, name)
 	if !fast {
@@ -120,9 +130,11 @@ func nodeParam(r *http.Request, name string, n int) (int, error) {
 	}
 	i, err := strconv.Atoi(v)
 	if err != nil {
+		//dmf:allow zeroalloc error path: a malformed request already left the zero-alloc fast path
 		return 0, fmt.Errorf("bad %s=%q: want an integer", name, v)
 	}
 	if i < 0 || i >= n {
+		//dmf:allow zeroalloc error path: a malformed request already left the zero-alloc fast path
 		return 0, fmt.Errorf("%s=%d out of range [0,%d)", name, i, n)
 	}
 	return i, nil
@@ -134,7 +146,10 @@ type snapLoader func(w http.ResponseWriter) (*dmfsgd.Snapshot, bool)
 
 // handlePredictGet serves GET /predict?i=..&j=.. with zero steady-state
 // allocations.
+//
+//dmf:zeroalloc
 func handlePredictGet(load snapLoader) http.HandlerFunc {
+	//dmf:allow zeroalloc the closure is built once at mux setup, not per request
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap, ok := load(w)
 		if !ok {
@@ -169,6 +184,8 @@ func handlePredictGet(load snapLoader) http.HandlerFunc {
 
 // readBody drains r into buf (reused across requests), growing only when
 // a request exceeds every previous body size.
+//
+//dmf:zeroalloc
 func readBody(r *http.Request, buf []byte) ([]byte, error) {
 	for {
 		if len(buf) == cap(buf) {
@@ -188,7 +205,10 @@ func readBody(r *http.Request, buf []byte) ([]byte, error) {
 // handlePredictPost serves POST /predict {"pairs":[[i,j],...]} with pooled
 // request/response buffers and score slices; the only remaining per-
 // request allocations are inside json.Unmarshal's decode state.
+//
+//dmf:zeroalloc
 func handlePredictPost(load snapLoader) http.HandlerFunc {
+	//dmf:allow zeroalloc the closure is built once at mux setup, not per request
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap, ok := load(w)
 		if !ok {
@@ -199,6 +219,7 @@ func handlePredictPost(load snapLoader) http.HandlerFunc {
 		body, err := readBody(r, sc.body[:0])
 		sc.body = body
 		if err != nil {
+			//dmf:allow zeroalloc error path: a malformed request already left the zero-alloc fast path
 			writeError(w, fmt.Errorf("bad JSON body: %v", err))
 			return
 		}
@@ -206,6 +227,7 @@ func handlePredictPost(load snapLoader) http.HandlerFunc {
 			Pairs [][2]int `json:"pairs"`
 		}{Pairs: sc.raw[:0]}
 		if err := json.Unmarshal(body, &req); err != nil {
+			//dmf:allow zeroalloc error path: a malformed request already left the zero-alloc fast path
 			writeError(w, fmt.Errorf("bad JSON body: %v", err))
 			return
 		}
@@ -214,6 +236,7 @@ func handlePredictPost(load snapLoader) http.HandlerFunc {
 		for idx, p := range req.Pairs {
 			if p[0] < 0 || p[0] >= snap.N() || p[1] < 0 || p[1] >= snap.N() {
 				sc.pairs = pairs
+				//dmf:allow zeroalloc error path: a malformed request already left the zero-alloc fast path
 				writeError(w, fmt.Errorf("pair %d: (%d,%d) out of range [0,%d)", idx, p[0], p[1], snap.N()))
 				return
 			}
@@ -249,7 +272,10 @@ func handlePredictPost(load snapLoader) http.HandlerFunc {
 
 // handleRank serves GET /rank?i=..&candidates=.. through RankInto with a
 // pooled candidate and output buffer — zero steady-state allocations.
+//
+//dmf:zeroalloc
 func handleRank(load snapLoader) http.HandlerFunc {
+	//dmf:allow zeroalloc the closure is built once at mux setup, not per request
 	return func(w http.ResponseWriter, r *http.Request) {
 		snap, ok := load(w)
 		if !ok {
@@ -283,6 +309,7 @@ func handleRank(load snapLoader) http.HandlerFunc {
 			j, err := strconv.Atoi(part)
 			if err != nil || j < 0 || j >= snap.N() {
 				sc.cands = cands
+				//dmf:allow zeroalloc error path: a malformed request already left the zero-alloc fast path
 				writeError(w, fmt.Errorf("bad candidate %q", part))
 				return
 			}

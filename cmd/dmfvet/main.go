@@ -1,0 +1,122 @@
+// Command dmfvet runs the project's static-analysis tier (DESIGN.md
+// §13) over the module: determinism (detorder, noclock), metric-name
+// hygiene (metricname), never-over-allocate decodes (wirebound), and
+// the zero-alloc hot-path contract (zeroalloc).
+//
+// Usage:
+//
+//	go run ./cmd/dmfvet ./...
+//	go run ./cmd/dmfvet ./internal/wire ./internal/ckpt
+//
+// Arguments are package directories relative to the module root;
+// "./..." expands to every package in the module. Findings print one
+// per line in file:line:col form and the exit status is 1 if any
+// survive //dmf:allow suppression, so the command slots directly into
+// CI.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dmfsgd/internal/analysis"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmfvet:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run loads the requested packages, applies the suite, and writes
+// findings to w. It returns 0 when the tree is clean, 1 when findings
+// survive, and an error for load failures (exit 2 in main) — a package
+// that fails to type-check must fail the build loudly, not pass
+// silently.
+func run(args []string, w io.Writer) (int, error) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	modRoot, modPath, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		return 0, err
+	}
+	paths, err := resolveArgs(args, modRoot, modPath)
+	if err != nil {
+		return 0, err
+	}
+	loader := analysis.NewLoader(modRoot, modPath)
+	var pkgs []*analysis.Pkg
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			return 0, fmt.Errorf("load %s: %w", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings := analysis.RunPackages(pkgs, analysis.DefaultConfig())
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Fprintln(w, rel.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(w, "dmfvet: %d finding(s)\n", len(findings))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// resolveArgs turns command-line package patterns into module import
+// paths. Supported forms: "./..." (whole module), "./dir" or "dir"
+// (one package directory), and full import paths under the module.
+func resolveArgs(args []string, modRoot, modPath string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, a := range args {
+		switch {
+		case a == "./..." || a == "...":
+			all, err := analysis.ModulePackages(modRoot, modPath)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				add(p)
+			}
+		case a == "." || a == "./":
+			add(modPath)
+		case strings.HasPrefix(a, modPath):
+			add(a)
+		default:
+			rel := strings.TrimPrefix(a, "./")
+			rel = filepath.ToSlash(filepath.Clean(rel))
+			if rel == "." {
+				add(modPath)
+				continue
+			}
+			if strings.HasPrefix(rel, "..") {
+				return nil, fmt.Errorf("package pattern %q escapes the module", a)
+			}
+			add(modPath + "/" + rel)
+		}
+	}
+	return out, nil
+}

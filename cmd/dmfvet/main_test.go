@@ -1,0 +1,66 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanPackage pins exit 0 on a clean package of the real tree.
+func TestRunCleanPackage(t *testing.T) {
+	code, err := run([]string{"./internal/analysis"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("clean package returned exit %d", code)
+	}
+}
+
+// TestRunFindingsExitNonzero pins exit 1 when findings survive: a
+// throwaway module whose only content is a malformed //dmf:allow
+// directive (a finding in any package, no config needed).
+func TestRunFindingsExitNonzero(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpfix\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "// Package tmpfix is a dmfvet exit-code fixture.\npackage tmpfix\n\n//dmf:allow detorder\nvar x int\n"
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(dir)
+	var out strings.Builder
+	code, err := run(nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("tree with a finding returned exit %d; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "malformed //dmf:allow") {
+		t.Errorf("finding not printed:\n%s", out.String())
+	}
+}
+
+// TestResolveArgs pins the pattern grammar.
+func TestResolveArgs(t *testing.T) {
+	got, err := resolveArgs([]string{".", "./internal/wire", "dmfsgd/internal/ckpt", "internal/wire"}, "/r", "dmfsgd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"dmfsgd", "dmfsgd/internal/wire", "dmfsgd/internal/ckpt"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := resolveArgs([]string{"../escape"}, "/r", "dmfsgd"); err == nil {
+		t.Error("escaping pattern should be rejected")
+	}
+}

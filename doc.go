@@ -92,6 +92,14 @@
 // before/after scrape deltas (server_delta) in its BENCH_*.json
 // artifacts. See DESIGN.md §12.
 //
+// Project invariants — deterministic iteration in the reproducible
+// packages, no wall-clock reads outside the metrics/trace seams,
+// dmf_-namespaced metric names, length-checked wire decodes, and
+// allocation-free hot paths marked //dmf:zeroalloc — are enforced by a
+// dependency-free static-analysis suite (internal/analysis, run as
+// `go run ./cmd/dmfvet ./...` in CI) with a //dmf:allow escape hatch
+// for justified exceptions. See DESIGN.md §13.
+//
 // Failures are reported through typed sentinel errors (ErrInvalidConfig,
 // ErrStopped, ErrDynamicTrace, ErrLiveSession, ErrCheckpoint, ErrWAL)
 // that work with errors.Is; cancelled runs return the context's error.

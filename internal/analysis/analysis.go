@@ -1,0 +1,214 @@
+// Package analysis is the project's static-analysis tier (DESIGN.md
+// §13): a dependency-free analyzer driver (stdlib go/ast + go/types
+// only, run as cmd/dmfvet) that machine-checks the source-level
+// invariants the reproduction's claims rest on — deterministic
+// iteration, no wall-clock or global RNG in deterministic paths,
+// metric-name hygiene, never-over-allocate wire decodes, and the
+// zero-alloc hot-path contract.
+//
+// Every analyzer honors a per-line escape hatch:
+//
+//	//dmf:allow <analyzer> <reason>
+//
+// placed on the flagged line or the line above suppresses that
+// analyzer's finding there. The reason is mandatory — a bare directive
+// is itself a finding — so every suppression documents why the
+// invariant does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Config scopes the analyzers to the project layout.
+type Config struct {
+	// ModulePath is the module's import-path prefix ("dmfsgd").
+	ModulePath string
+	// DeterministicPkgs lists the import paths whose code must be
+	// reproducible bit-for-bit: detorder and noclock apply here.
+	DeterministicPkgs []string
+	// WireboundPkgs lists the import paths holding wire/checkpoint
+	// decode paths: wirebound applies here.
+	WireboundPkgs []string
+	// SeamFiles names the per-package files (by base name) that form
+	// the sanctioned wall-clock seam — metric observation and event
+	// tracing live there, so noclock skips them.
+	SeamFiles []string
+	// MetricsPkg is the import path of the metrics registry whose
+	// registration calls metricname audits.
+	MetricsPkg string
+}
+
+// DefaultConfig returns the project's invariant map: which packages
+// carry the determinism contract, where the decode bounds apply, and
+// which files are the wall-clock seam.
+func DefaultConfig() Config {
+	return Config{
+		ModulePath: "dmfsgd",
+		DeterministicPkgs: []string{
+			"dmfsgd/internal/engine",
+			"dmfsgd/internal/cluster",
+			"dmfsgd/internal/replica",
+			"dmfsgd/internal/wire",
+			"dmfsgd/internal/ckpt",
+			"dmfsgd/internal/sgd",
+		},
+		WireboundPkgs: []string{
+			"dmfsgd/internal/wire",
+			"dmfsgd/internal/ckpt",
+		},
+		SeamFiles:  []string{"metrics.go", "trace.go"},
+		MetricsPkg: "dmfsgd/internal/metrics",
+	}
+}
+
+// Analyzer is one project-invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Check reports raw findings for the package; the driver applies
+	// //dmf:allow suppression afterwards.
+	Check func(pkg *Pkg, cfg Config) []Finding
+}
+
+// Analyzers returns the suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		detorderAnalyzer(),
+		noclockAnalyzer(),
+		metricnameAnalyzer(),
+		wireboundAnalyzer(),
+		zeroallocAnalyzer(),
+	}
+}
+
+// hasPkg reports whether path is, or is nested under, one of the
+// listed import paths.
+func hasPkg(list []string, path string) bool {
+	for _, p := range list {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowKey identifies one suppression site.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowSet indexes the //dmf:allow directives of a package.
+type allowSet struct {
+	allows map[allowKey]bool
+	bad    []Finding
+}
+
+const allowPrefix = "//dmf:allow"
+
+// collectAllows scans every comment of the package for allow
+// directives. Malformed directives (missing analyzer or reason, or an
+// unknown analyzer name) are findings themselves: a suppression that
+// silently does nothing is worse than none.
+func collectAllows(pkg *Pkg, names map[string]bool) *allowSet {
+	as := &allowSet{allows: make(map[allowKey]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					as.bad = append(as.bad, Finding{Pos: pos, Analyzer: "directive",
+						Message: "malformed //dmf:allow: want `//dmf:allow <analyzer> <reason>`"})
+					continue
+				}
+				if !names[fields[0]] {
+					as.bad = append(as.bad, Finding{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("//dmf:allow names unknown analyzer %q", fields[0])})
+					continue
+				}
+				as.allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return as
+}
+
+// allowed reports whether a finding is suppressed by a directive on
+// its own line or the line directly above.
+func (as *allowSet) allowed(f Finding) bool {
+	return as.allows[allowKey{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
+		as.allows[allowKey{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]
+}
+
+// RunPackages applies one suite instance to every package and returns
+// the surviving findings sorted by position. Cross-package state
+// (metricname's uniqueness index) lives in the suite, so all packages
+// of one audit must flow through one call.
+func RunPackages(pkgs []*Pkg, cfg Config) []Finding {
+	suite := Analyzers()
+	names := make(map[string]bool)
+	for _, a := range suite {
+		names[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		as := collectAllows(pkg, names)
+		out = append(out, as.bad...)
+		for _, a := range suite {
+			for _, f := range a.Check(pkg, cfg) {
+				if !as.allowed(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// funcBodies yields every function or method body in the file together
+// with its declaration, including the doc comment zeroalloc consults.
+func funcBodies(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixturePrefix is the synthetic import-path root of the golden
+// fixtures; the loader resolves it to testdata/src/ under this package.
+const fixturePrefix = "dmfsgd/internal/analysis/testdata/src/"
+
+func newTestLoader(t *testing.T) *Loader {
+	t.Helper()
+	modRoot, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(modRoot, modPath)
+}
+
+// fixtureConfig extends the project config so the scoped analyzers
+// (detorder, noclock, wirebound) also apply to their fixture packages.
+func fixtureConfig() Config {
+	cfg := DefaultConfig()
+	cfg.DeterministicPkgs = append(cfg.DeterministicPkgs,
+		fixturePrefix+"detorder", fixturePrefix+"noclock")
+	cfg.WireboundPkgs = append(cfg.WireboundPkgs, fixturePrefix+"wirebound")
+	return cfg
+}
+
+var wantRE = regexp.MustCompile(`// want ([a-z]+)`)
+
+type expectation struct {
+	file     string // base name
+	line     int
+	analyzer string
+}
+
+// wantMarkers reads the `// want <analyzer>` markers out of every
+// fixture source file in dir.
+func wantMarkers(t *testing.T, dir string) []expectation {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []expectation
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRE.FindStringSubmatch(line); m != nil {
+				out = append(out, expectation{file: e.Name(), line: i + 1, analyzer: m[1]})
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads one fixture package, runs the suite, and checks the
+// findings against the fixture's want markers exactly: every marked
+// line must be flagged by the named analyzer, and nothing else may be.
+func runFixture(t *testing.T, name string) {
+	t.Helper()
+	pkg, err := newTestLoader(t).Load(fixturePrefix + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackages([]*Pkg{pkg}, fixtureConfig())
+	want := wantMarkers(t, filepath.Join("testdata", "src", name))
+	if len(want) == 0 {
+		t.Fatalf("fixture %s has no want markers", name)
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	wanted := make(map[key]bool, len(want))
+	for _, w := range want {
+		wanted[key{w.file, w.line, w.analyzer}] = true
+	}
+	for _, f := range findings {
+		k := key{filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer}
+		if wanted[k] {
+			delete(wanted, k)
+			continue
+		}
+		t.Errorf("unexpected finding: %s", f)
+	}
+	for k := range wanted {
+		t.Errorf("missing finding: %s:%d [%s]", k.file, k.line, k.analyzer)
+	}
+	// The CI contract: a fixture with violations must fail the build.
+	if len(findings) == 0 {
+		t.Errorf("fixture %s produced no findings; dmfvet would exit 0", name)
+	}
+}
+
+func TestDetorderFixture(t *testing.T)   { runFixture(t, "detorder") }
+func TestNoclockFixture(t *testing.T)    { runFixture(t, "noclock") }
+func TestMetricnameFixture(t *testing.T) { runFixture(t, "metricname") }
+func TestWireboundFixture(t *testing.T)  { runFixture(t, "wirebound") }
+func TestZeroallocFixture(t *testing.T)  { runFixture(t, "zeroalloc") }
+
+// TestDirectiveFindings pins the //dmf:allow grammar: a directive with
+// no reason and a directive naming an unknown analyzer are findings; a
+// well-formed directive with nothing to suppress is not.
+func TestDirectiveFindings(t *testing.T) {
+	pkg, err := newTestLoader(t).Load(fixturePrefix + "directive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackages([]*Pkg{pkg}, fixtureConfig())
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "directive" {
+			t.Errorf("finding from %q, want directive: %s", f.Analyzer, f)
+		}
+	}
+	if !strings.Contains(findings[0].Message, "malformed") {
+		t.Errorf("first finding should report the malformed directive: %s", findings[0])
+	}
+	if !strings.Contains(findings[1].Message, "unknown analyzer") {
+		t.Errorf("second finding should report the unknown analyzer: %s", findings[1])
+	}
+}
+
+// TestMetricUniquenessAcrossPackages pins that the uniqueness index
+// spans every package of one RunPackages call: the same series name
+// registered in two packages is a duplicate.
+func TestMetricUniquenessAcrossPackages(t *testing.T) {
+	l := newTestLoader(t)
+	a, err := l.Load(fixturePrefix + "metricdupa")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Load(fixturePrefix + "metricdupb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunPackages([]*Pkg{a, b}, fixtureConfig())
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 duplicate: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "metricname" || !strings.Contains(f.Message, "already registered") {
+		t.Errorf("want a metricname duplicate finding, got: %s", f)
+	}
+	if filepath.Base(f.Pos.Filename) != "fix.go" || !strings.Contains(f.Pos.Filename, "metricdupb") {
+		t.Errorf("duplicate should be reported at the second registration: %s", f)
+	}
+}
+
+// TestModulePackages sanity-checks the module walker: it must find this
+// package and must not descend into testdata.
+func TestModulePackages(t *testing.T) {
+	modRoot, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := ModulePackages(modRoot, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pkgs {
+		if p == modPath+"/internal/analysis" {
+			found = true
+		}
+		if strings.Contains(p, "testdata") {
+			t.Errorf("ModulePackages descended into testdata: %s", p)
+		}
+	}
+	if !found {
+		t.Errorf("ModulePackages missed %s/internal/analysis: %v", modPath, pkgs)
+	}
+}
+
+// TestModuleClean runs the full suite over the real module — the same
+// audit CI runs via cmd/dmfvet — and requires a clean tree. Skipped in
+// -short mode (the race job) because it type-checks the whole module.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module audit skipped in -short mode")
+	}
+	modRoot, modPath, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := ModulePackages(modRoot, modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(modRoot, modPath)
+	var pkgs []*Pkg
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, f := range RunPackages(pkgs, DefaultConfig()) {
+		t.Errorf("module not clean: %s", f)
+	}
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detorderAnalyzer flags `range` over a map in a determinism-critical
+// package. Go randomizes map iteration order, so any such loop whose
+// effect depends on visit order silently breaks the bit-identical
+// training/replication contracts (partition equivalence,
+// restart-without-retrain, snapshot bit-identity).
+//
+// One idiom passes without annotation: collecting keys (or values)
+// into a slice — `s = append(s, k)`, optionally under a single `if`
+// guard — when that slice is subsequently sorted in the same function.
+// The collection is order-insensitive and the sort restores
+// determinism. Everything else needs a sorted-key loop or
+// `//dmf:allow detorder <reason>`.
+func detorderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "detorder",
+		Doc:  "flags map iteration in determinism-critical packages",
+		Check: func(pkg *Pkg, cfg Config) []Finding {
+			if !hasPkg(cfg.DeterministicPkgs, pkg.Path) {
+				return nil
+			}
+			var out []Finding
+			for _, file := range pkg.Files {
+				for _, fd := range funcBodies(file) {
+					out = append(out, detorderFunc(pkg, fd)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+func detorderFunc(pkg *Pkg, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pkg.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collectedAndSorted(pkg, fd, rs) {
+			return true
+		}
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(rs.For),
+			Analyzer: "detorder",
+			Message: "iteration over a map in a determinism-critical package: order is randomized; " +
+				"sort the keys first or annotate //dmf:allow detorder <reason>",
+		})
+		return true
+	})
+	return out
+}
+
+// collectedAndSorted recognizes the append-then-sort idiom: the range
+// body only appends to one slice (possibly inside a single if guard),
+// and that slice is passed to a sort call later in the same function.
+func collectedAndSorted(pkg *Pkg, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	stmts := rs.Body.List
+	// Unwrap a single `if cond { ... }` guard with no else.
+	if len(stmts) == 1 {
+		if ifs, ok := stmts[0].(*ast.IfStmt); ok && ifs.Else == nil && ifs.Init == nil {
+			stmts = ifs.Body.List
+		}
+	}
+	if len(stmts) != 1 {
+		return false
+	}
+	asg, ok := stmts[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) < 1 {
+		return false
+	}
+	target := sliceObject(pkg, asg.Lhs[0])
+	if target == nil || target != sliceObject(pkg, call.Args[0]) {
+		return false
+	}
+	// The collected slice must be sorted after the loop.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() <= rs.End() || len(c.Args) < 1 {
+			return true
+		}
+		if !isSortCall(pkg, c.Fun) {
+			return true
+		}
+		if sliceObject(pkg, c.Args[0]) == target {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}
+
+// sliceObject resolves an expression to the variable (or field path
+// root) it names, so the append target, the append source, and the
+// sort argument can be compared for identity. Selector chains like
+// st.Live resolve to the field object.
+func sliceObject(pkg *Pkg, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if o := pkg.Info.Uses[e]; o != nil {
+			return o
+		}
+		return pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel := pkg.Info.Selections[e]; sel != nil {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isSortCall reports whether fun names a sorting function from sort or
+// slices.
+func isSortCall(pkg *Pkg, fun ast.Expr) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	switch pn.Imported().Path() {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+			return true
+		}
+	case "slices":
+		switch sel.Sel.Name {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricnameAnalyzer proves every metric registration against the
+// naming contract (DESIGN.md §12): the name is a string literal (so
+// the series set is statically enumerable), matches
+// dmf_<subsystem>_<quantity>[_<unit>], carries the kind's unit suffix
+// (counters end _total; histograms end _seconds or _bytes — base
+// units), ends in a known unit/quantity token (catching typos like
+// _second or _byte), and is registered at exactly one source site
+// module-wide, so two subsystems can never fight over one series.
+func metricnameAnalyzer() *Analyzer {
+	seen := make(map[string]token.Position)
+	return &Analyzer{
+		Name: "metricname",
+		Doc:  "audits metric registration names, unit suffixes, and module-wide uniqueness",
+		Check: func(pkg *Pkg, cfg Config) []Finding {
+			var out []Finding
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					kind, ok := registryMethods[sel.Sel.Name]
+					if !ok || len(call.Args) < 1 {
+						return true
+					}
+					if !isRegistryRecv(pkg, cfg, sel.X) {
+						return true
+					}
+					pos := pkg.Fset.Position(call.Pos())
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						out = append(out, Finding{Pos: pos, Analyzer: "metricname",
+							Message: fmt.Sprintf("%s registration name must be a string literal so the series set is statically checkable", sel.Sel.Name)})
+						return true
+					}
+					name, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						return true
+					}
+					out = append(out, checkMetricName(pos, kind, name, seen)...)
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+var metricNameRE = regexp.MustCompile(`^dmf_[a-z]+(_[a-z0-9]+)+$`)
+
+// metricSuffixes is the closed vocabulary of final name tokens: units
+// proper (seconds, bytes) plus the project's dimensionless gauge
+// quantities. Extending it is a deliberate act — add the token here in
+// the same change that introduces the first series using it.
+var metricSuffixes = map[string]bool{
+	"total": true, "seconds": true, "bytes": true, "steps": true,
+	"shards": true, "ratio": true, "lag": true, "ready": true,
+	"neighbors": true, "sent": true, "updates": true,
+}
+
+// registryMethods maps registration method name → metric kind.
+var registryMethods = map[string]string{
+	"Counter": "counter", "CounterVec": "counter",
+	"Gauge": "gauge", "GaugeVec": "gauge", "GaugeFunc": "gauge",
+	"Histogram": "histogram", "HistogramVec": "histogram",
+}
+
+// isRegistryRecv reports whether e has type *metrics.Registry from the
+// configured metrics package (the *Vec families register through
+// Registry methods, so Registry is the only receiver that registers a
+// name).
+func isRegistryRecv(pkg *Pkg, cfg Config, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == cfg.MetricsPkg && named.Obj().Name() == "Registry"
+}
+
+func checkMetricName(pos token.Position, kind, name string, seen map[string]token.Position) []Finding {
+	var out []Finding
+	bad := func(format string, args ...any) {
+		out = append(out, Finding{Pos: pos, Analyzer: "metricname", Message: fmt.Sprintf(format, args...)})
+	}
+	if !metricNameRE.MatchString(name) {
+		bad("metric %q does not match dmf_<subsystem>_<quantity>[_<unit>] (^dmf_[a-z]+(_[a-z0-9]+)+$)", name)
+		return out
+	}
+	last := name[strings.LastIndexByte(name, '_')+1:]
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			bad("counter %q must end _total", name)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") {
+			bad("histogram %q must carry a base unit suffix (_seconds or _bytes)", name)
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			bad("gauge %q must not end _total (that suffix promises a monotonic counter)", name)
+		}
+	}
+	if len(out) == 0 && !metricSuffixes[last] {
+		bad("metric %q ends in unknown token %q; known units/quantities: total seconds bytes steps shards ratio lag ready neighbors sent updates", name, last)
+	}
+	if prev, dup := seen[name]; dup {
+		bad("metric %q already registered at %s; series names must be unique module-wide", name, prev)
+	} else {
+		seen[name] = pos
+	}
+	return out
+}

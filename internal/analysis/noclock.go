@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// noclockAnalyzer flags wall-clock reads (time.Now, time.Since,
+// time.Sleep) and global-source math/rand calls in
+// determinism-critical packages. Deterministic paths must draw
+// randomness from explicitly seeded streams (engine.CountingSource or
+// a *rand.Rand plumbed in) and must not branch on real time — a single
+// wall-clock read in the training path breaks restart-without-retrain
+// and partition equivalence.
+//
+// The sanctioned exception is the metrics/trace seam: files named in
+// Config.SeamFiles (metrics.go, trace.go) may read the clock to
+// measure durations, because their observations never feed back into
+// state. Code elsewhere routes timing through those seams. Anything
+// else needs //dmf:allow noclock <reason> (e.g. failure-detector
+// liveness bookkeeping, which is inherently wall-clock).
+func noclockAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "noclock",
+		Doc:  "flags wall-clock and global-RNG use in determinism-critical packages",
+		Check: func(pkg *Pkg, cfg Config) []Finding {
+			if !hasPkg(cfg.DeterministicPkgs, pkg.Path) {
+				return nil
+			}
+			seam := make(map[string]bool, len(cfg.SeamFiles))
+			for _, s := range cfg.SeamFiles {
+				seam[s] = true
+			}
+			var out []Finding
+			for _, file := range pkg.Files {
+				name := filepath.Base(pkg.Fset.Position(file.Pos()).Filename)
+				if seam[name] {
+					continue
+				}
+				out = append(out, noclockFile(pkg, file)...)
+			}
+			return out
+		},
+	}
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions
+// that draw from the process-global, unseedable-in-place source.
+// Constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8) are fine:
+// they bind an explicit seed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+func noclockFile(pkg *Pkg, file *ast.File) []Finding {
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "time":
+			switch sel.Sel.Name {
+			case "Now", "Since", "Sleep":
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(sel.Pos()),
+					Analyzer: "noclock",
+					Message: fmt.Sprintf("time.%s in a determinism-critical package: route timing through the "+
+						"metrics seam (metrics.go/trace.go) or annotate //dmf:allow noclock <reason>", sel.Sel.Name),
+				})
+			}
+		case "math/rand", "math/rand/v2":
+			if globalRandFuncs[sel.Sel.Name] {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(sel.Pos()),
+					Analyzer: "noclock",
+					Message: fmt.Sprintf("global rand.%s in a determinism-critical package: randomness must flow "+
+						"through an explicitly seeded source (engine.CountingSource)", sel.Sel.Name),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,58 @@
+// Package detorderfix is the detorder golden fixture: marked lines
+// must be flagged; everything else must pass.
+package detorderfix
+
+import "sort"
+
+func sumKeys(m map[int]int) int {
+	s := 0
+	for k := range m { // want detorder
+		s += k
+	}
+	return s
+}
+
+func sortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func guardedCollect(m map[int]bool) []int {
+	var live []int
+	for k := range m {
+		if m[k] {
+			live = append(live, k)
+		}
+	}
+	sort.Ints(live)
+	return live
+}
+
+func collectedNeverSorted(m map[int]bool) []int {
+	var out []int
+	for k := range m { // want detorder
+		out = append(out, k)
+	}
+	return out
+}
+
+func allowedCount(m map[string]bool) int {
+	n := 0
+	//dmf:allow detorder counting is order-independent
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceRangeIsFine(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

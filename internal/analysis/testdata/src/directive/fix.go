@@ -1,0 +1,12 @@
+// Package directivefix exercises the //dmf:allow grammar itself: a
+// malformed directive is a finding, never a silent no-op.
+package directivefix
+
+//dmf:allow detorder
+var missingReason int
+
+//dmf:allow nosuchanalyzer because reasons
+var unknownAnalyzer int
+
+//dmf:allow noclock a well-formed directive with nothing to suppress is fine
+var unusedButValid int

@@ -1,0 +1,9 @@
+// Package metricdupa registers a series that metricdupb re-registers:
+// the duplicate must be caught across package boundaries.
+package metricdupa
+
+import "dmfsgd/internal/metrics"
+
+var reg = metrics.NewRegistry()
+
+var first = reg.Counter("dmf_fixdup_events_total", "registered here first")

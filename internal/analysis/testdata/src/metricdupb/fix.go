@@ -1,0 +1,8 @@
+// Package metricdupb re-registers metricdupa's series name.
+package metricdupb
+
+import "dmfsgd/internal/metrics"
+
+var reg = metrics.NewRegistry()
+
+var second = reg.Counter("dmf_fixdup_events_total", "duplicate across packages")

@@ -1,0 +1,26 @@
+// Package metricnamefix is the metricname golden fixture. The
+// registrations are type-checked, never executed.
+package metricnamefix
+
+import "dmfsgd/internal/metrics"
+
+var reg = metrics.NewRegistry()
+
+var (
+	goodCounter = reg.Counter("dmf_fix_requests_total", "ok")
+	goodGauge   = reg.Gauge("dmf_fix_queue_lag", "ok")
+	goodHist    = reg.Histogram("dmf_fix_wait_seconds", "ok", nil)
+	goodVec     = reg.CounterVec("dmf_fix_frames_total", "ok", "kind")
+
+	badPattern    = reg.Counter("fix_requests_total", "missing dmf_ prefix")    // want metricname
+	badUpper      = reg.Counter("dmf_Fix_requests_total", "uppercase")          // want metricname
+	badCounterEnd = reg.Counter("dmf_fix_bytes_written_seconds", "not _total")  // want metricname
+	badGaugeEnd   = reg.Gauge("dmf_fix_backlog_total", "gauge ends _total")     // want metricname
+	badHistUnit   = reg.Histogram("dmf_fix_wait_millis", "non-base unit", nil)  // want metricname
+	badSuffix     = reg.Gauge("dmf_fix_queue_depth", "unknown final token")     // want metricname
+	dupName       = reg.Counter("dmf_fix_requests_total", "already registered") // want metricname
+)
+
+func dynamicName(name string) *metrics.Counter {
+	return reg.Counter(name, "non-literal registration") // want metricname
+}

@@ -1,0 +1,41 @@
+// Package noclockfix is the noclock golden fixture.
+package noclockfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badNow() time.Time {
+	return time.Now() // want noclock
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want noclock
+}
+
+func badSleep() {
+	time.Sleep(time.Millisecond) // want noclock
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want noclock
+}
+
+func goodSeededRand(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+func goodConstructor() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func allowedNow() time.Time {
+	//dmf:allow noclock liveness bookkeeping is inherently wall-clock
+	return time.Now()
+}
+
+// Protocol timeouts are wall-clock by design and are not flagged.
+func goodTimer(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}

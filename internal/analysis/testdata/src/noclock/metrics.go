@@ -1,0 +1,9 @@
+package noclockfix
+
+import "time"
+
+// The metrics.go seam file may read the clock: observations never feed
+// back into state.
+func seamTimer() time.Time { return time.Now() }
+
+func seamSince(t0 time.Time) float64 { return time.Since(t0).Seconds() }

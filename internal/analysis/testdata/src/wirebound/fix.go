@@ -1,0 +1,59 @@
+// Package wireboundfix is the wirebound golden fixture.
+package wireboundfix
+
+import "encoding/binary"
+
+const maxItems = 1024
+
+func badDecode(p []byte) []uint64 {
+	n := int(binary.BigEndian.Uint32(p))
+	out := make([]uint64, n) // want wirebound
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(p[4+8*i:])
+	}
+	return out
+}
+
+func goodDecode(p []byte) ([]uint64, bool) {
+	if len(p) < 4 {
+		return nil, false
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	if n > maxItems || len(p) < 4+8*n {
+		return nil, false
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint64(p[4+8*i:])
+	}
+	return out, true
+}
+
+func goodLenProportional(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+func goodMinClamped(n int) []uint64 {
+	return make([]uint64, min(n, maxItems))
+}
+
+func badSpread(p []byte, declared int) []byte {
+	var out []byte
+	return append(out, p[:declared]...) // want wirebound
+}
+
+func goodSpread(p []byte, declared int) ([]byte, bool) {
+	if declared < 0 || declared > len(p) {
+		return nil, false
+	}
+	var out []byte
+	return append(out, p[:declared]...), true
+}
+
+func allowedDecode(p []byte) []uint64 {
+	n := int(binary.BigEndian.Uint32(p))
+	//dmf:allow wirebound caller validated n upstream
+	return make([]uint64, n)
+}

@@ -1,0 +1,85 @@
+// Package zeroallocfix is the zeroalloc golden fixture.
+package zeroallocfix
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+//dmf:zeroalloc
+func badFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want zeroalloc
+}
+
+//dmf:zeroalloc
+func badConvToString(b []byte) string {
+	return string(b) // want zeroalloc
+}
+
+//dmf:zeroalloc
+func badConvToBytes(s string) []byte {
+	return []byte(s) // want zeroalloc
+}
+
+//dmf:zeroalloc
+func badBuilder(parts []string) string {
+	var sb strings.Builder
+	for _, p := range parts {
+		sb.WriteString(p) // want zeroalloc
+	}
+	return sb.String() // want zeroalloc
+}
+
+//dmf:zeroalloc
+func badGo(ch chan int) {
+	go func() { ch <- 1 }() // want zeroalloc
+}
+
+//dmf:zeroalloc
+func badAssignedClosure(n int) func() int {
+	f := func() int { return n } // want zeroalloc
+	return f
+}
+
+//dmf:zeroalloc
+func badReturnedClosure(n int) func() int {
+	return func() int { return n } // want zeroalloc
+}
+
+//dmf:zeroalloc
+func goodAppend(dst []byte, x int) []byte {
+	return strconv.AppendInt(dst, int64(x), 10)
+}
+
+func apply(f func() int) int { return f() }
+
+//dmf:zeroalloc
+func goodClosureCallArg(n int) int {
+	// A capturing closure passed directly to a call stays on the stack.
+	return apply(func() int { return n })
+}
+
+//dmf:zeroalloc
+func goodDeferredClosure(release func(int), n int) {
+	// Open-coded defers do not allocate the closure.
+	defer func() { release(n) }()
+}
+
+//dmf:zeroalloc
+func goodNonCapturingClosure() func() int {
+	return func() int { return 42 }
+}
+
+//dmf:zeroalloc
+func allowedPanic(n int) {
+	if n < 0 {
+		//dmf:allow zeroalloc cold panic path
+		panic(fmt.Sprintf("negative %d", n))
+	}
+}
+
+// Unannotated functions may allocate freely.
+func coldPath(x int) string {
+	return fmt.Sprintf("%d", x)
+}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// wireboundAnalyzer enforces the never-over-allocate decode contract
+// in the wire/checkpoint packages: a slice allocation (or a
+// slice-spread append) whose size comes from a declared count in the
+// input must be dominated by a bounds check, so a malformed or
+// malicious message can never make the decoder allocate more than the
+// protocol limits (MaxStateFloats, MaxRank, ...) or more than the
+// input actually holds.
+//
+// A size expression is considered bounded when it is built from
+// constants, len()/cap() of in-memory values (allocating proportional
+// to input actually held is fine), min() with at least one bounded
+// argument, or identifiers that appear in a comparison inside an
+// earlier if-statement of the same function whose body returns (the
+// `if n > MaxThing { return ErrTooLarge }` / `if len(p) < 8*n { return
+// ErrTruncated }` discipline). Anything else is a finding.
+func wireboundAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wirebound",
+		Doc:  "requires decode-path allocations to be dominated by bounds checks",
+		Check: func(pkg *Pkg, cfg Config) []Finding {
+			if !hasPkg(cfg.WireboundPkgs, pkg.Path) {
+				return nil
+			}
+			var out []Finding
+			for _, file := range pkg.Files {
+				for _, fd := range funcBodies(file) {
+					out = append(out, wireboundFunc(pkg, fd)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+func wireboundFunc(pkg *Pkg, fd *ast.FuncDecl) []Finding {
+	checks := collectBoundsChecks(fd)
+	var out []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch fn.Name {
+		case "make":
+			// make(T, size...) — every size operand must be bounded.
+			for _, arg := range call.Args[1:] {
+				if !boundedExpr(pkg, arg, call.Pos(), checks) {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Analyzer: "wirebound",
+						Message: "allocation size is not dominated by a bounds check: validate the declared " +
+							"length against a protocol limit (and the remaining input) before allocating",
+					})
+					break
+				}
+			}
+		case "append":
+			// append(dst, src[a:b]...) — spread of a reslice whose
+			// bounds come from declared counts must be checked too.
+			if call.Ellipsis == token.NoPos || len(call.Args) != 2 {
+				return true
+			}
+			sl, ok := call.Args[1].(*ast.SliceExpr)
+			if !ok {
+				return true
+			}
+			for _, b := range []ast.Expr{sl.Low, sl.High, sl.Max} {
+				if b != nil && !boundedExpr(pkg, b, call.Pos(), checks) {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Analyzer: "wirebound",
+						Message: "append grows by a declared, unvalidated length: bounds-check the slice " +
+							"limits before spreading",
+					})
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// boundsCheck is one `if ... { return ... }` whose condition compares
+// something: the identifiers appearing in its condition (or init
+// statement) count as validated for all later positions.
+type boundsCheck struct {
+	pos    token.Pos
+	idents map[string]bool
+}
+
+// collectBoundsChecks gathers every if-statement of the function that
+// contains a comparison and whose body (or else branch) returns.
+func collectBoundsChecks(fd *ast.FuncDecl) []boundsCheck {
+	var out []boundsCheck
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !returnsOrPanics(ifs.Body) && (ifs.Else == nil || !returnsOrPanics(ifs.Else)) {
+			return true
+		}
+		ids := make(map[string]bool)
+		hasCmp := false
+		collect := func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+					hasCmp = true
+				}
+			case *ast.Ident:
+				ids[e.Name] = true
+			}
+			return true
+		}
+		ast.Inspect(ifs.Cond, collect)
+		if ifs.Init != nil {
+			ast.Inspect(ifs.Init, collect)
+		}
+		if hasCmp {
+			out = append(out, boundsCheck{pos: ifs.Pos(), idents: ids})
+		}
+		return true
+	})
+	return out
+}
+
+// returnsOrPanics reports whether the statement (or block) contains a
+// return, panic, or continue/break escape — the shapes a rejection
+// path takes.
+func returnsOrPanics(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// boundedExpr reports whether the size expression e, used at pos, is
+// built entirely from bounded parts.
+func boundedExpr(pkg *Pkg, e ast.Expr, pos token.Pos, checks []boundsCheck) bool {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		// Constants are bounded by definition.
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+			return true
+		}
+		return identChecked(e.Name, pos, checks)
+	case *ast.SelectorExpr:
+		// Qualified constants (wire.MaxRank) and struct fields: bounded
+		// only if constant or checked by field name.
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+			return true
+		}
+		return identChecked(e.Sel.Name, pos, checks)
+	case *ast.ParenExpr:
+		return boundedExpr(pkg, e.X, pos, checks)
+	case *ast.BinaryExpr:
+		return boundedExpr(pkg, e.X, pos, checks) && boundedExpr(pkg, e.Y, pos, checks)
+	case *ast.UnaryExpr:
+		return boundedExpr(pkg, e.X, pos, checks)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "len", "cap":
+				// Allocating proportional to data already in memory
+				// cannot over-allocate relative to the input.
+				return true
+			case "min":
+				for _, a := range e.Args {
+					if boundedExpr(pkg, a, pos, checks) {
+						return true
+					}
+				}
+				return false
+			case "int", "int64", "int32", "uint", "uint64", "uint32", "uint16", "uint8":
+				for _, a := range e.Args {
+					if !boundedExpr(pkg, a, pos, checks) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// identChecked reports whether name appears in a bounds check placed
+// before pos.
+func identChecked(name string, pos token.Pos, checks []boundsCheck) bool {
+	for _, c := range checks {
+		if c.pos < pos && c.idents[name] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// zeroallocAnalyzer enforces the pooled hot-path contract on functions
+// annotated //dmf:zeroalloc (in the declaration's doc comment): the
+// serving handlers, Snapshot.RankInto, and the metrics primitives are
+// pinned at 0 allocs/op by testing.AllocsPerRun, and this analyzer
+// rejects the source patterns that would break the pin before a
+// benchmark ever runs:
+//
+//   - any call into fmt (every fmt call allocates);
+//   - strings.Builder use (its growth allocates);
+//   - string ↔ []byte conversions (each copies);
+//   - go statements (a goroutine per call);
+//   - capturing closures in escaping positions (returned, assigned, or
+//     stored — the capture forces a heap allocation). A capturing
+//     closure passed directly as a call argument or deferred stays on
+//     the stack and is allowed.
+//
+// The check is intra-procedural: calls into other functions are
+// trusted to carry their own annotation (or a pin test). Cold paths
+// inside an annotated function — a panic message, an error return —
+// are suppressed line-by-line with //dmf:allow zeroalloc <reason>.
+func zeroallocAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "zeroalloc",
+		Doc:  "rejects known-allocating constructs in //dmf:zeroalloc functions",
+		Check: func(pkg *Pkg, cfg Config) []Finding {
+			var out []Finding
+			for _, file := range pkg.Files {
+				for _, fd := range funcBodies(file) {
+					if !isZeroallocAnnotated(fd) {
+						continue
+					}
+					out = append(out, zeroallocFunc(pkg, fd)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// isZeroallocAnnotated reports whether the declaration's doc comment
+// contains a //dmf:zeroalloc line.
+func isZeroallocAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, "//dmf:zeroalloc") {
+			return true
+		}
+	}
+	return false
+}
+
+func zeroallocFunc(pkg *Pkg, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	flag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Finding{
+			Pos:      pkg.Fset.Position(n.Pos()),
+			Analyzer: "zeroalloc",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			flag(n, "go statement in a //dmf:zeroalloc function allocates a goroutine per call")
+		case *ast.CallExpr:
+			zeroallocCall(pkg, n, flag)
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if lit, ok := rhs.(*ast.FuncLit); ok && capturesOuter(pkg, lit) {
+					flag(lit, "capturing closure assigned to a variable escapes to the heap")
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if lit, ok := r.(*ast.FuncLit); ok && capturesOuter(pkg, lit) {
+					flag(lit, "returned capturing closure escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if lit, ok := el.(*ast.FuncLit); ok && capturesOuter(pkg, lit) {
+					flag(lit, "capturing closure stored in a composite literal escapes to the heap")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func zeroallocCall(pkg *Pkg, call *ast.CallExpr, flag func(ast.Node, string, ...any)) {
+	// Conversions: string([]byte) and []byte(string) copy.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if at, ok := pkg.Info.Types[call.Args[0]]; ok && isStringByteConv(tv.Type, at.Type) {
+			flag(call, "string ↔ []byte conversion copies; keep one representation on the hot path")
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Package-level calls into fmt.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" {
+				flag(call, "fmt.%s allocates; build output with strconv.Append* into a pooled buffer", sel.Sel.Name)
+			}
+			return
+		}
+	}
+	// Method calls on strings.Builder.
+	if s := pkg.Info.Selections[sel]; s != nil {
+		t := s.Recv()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == "strings" && named.Obj().Name() == "Builder" {
+			flag(call, "strings.Builder growth allocates; append into a pooled []byte instead")
+		}
+	}
+}
+
+// isStringByteConv reports whether a conversion from `from` to `to` is
+// a string ↔ []byte copy.
+func isStringByteConv(to, from types.Type) bool {
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// capturesOuter reports whether the function literal references any
+// variable declared outside itself (below package level) — the
+// captures that force a heap-allocated closure object.
+func capturesOuter(pkg *Pkg, lit *ast.FuncLit) bool {
+	declared := make(map[types.Object]bool)
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if o := pkg.Info.Defs[id]; o != nil {
+				declared[o] = true
+			}
+		}
+		return true
+	})
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o, ok := pkg.Info.Uses[id].(*types.Var)
+		if !ok || declared[o] {
+			return true
+		}
+		// Package-level variables are not captures.
+		if o.Parent() == pkg.Types.Scope() || o.Parent() == types.Universe {
+			return true
+		}
+		// A variable declared inside the literal but used before the
+		// Defs pass saw it would be in `declared`; anything else from an
+		// enclosing scope is a capture.
+		if o.Pos() < lit.Pos() || o.Pos() > lit.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}

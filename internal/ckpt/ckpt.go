@@ -29,7 +29,6 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"time"
 
 	"dmfsgd/internal/metrics"
 	"dmfsgd/internal/wire"
@@ -348,7 +347,7 @@ func Read(r io.Reader) (*Checkpoint, error) {
 // fsync, atomic rename. A crash mid-write leaves any previous file at
 // path intact.
 func WriteFile(path string, c *Checkpoint) error {
-	start := time.Now()
+	start := startTimer()
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -385,7 +384,7 @@ func WriteFile(path string, c *Checkpoint) error {
 			return syncErr
 		}
 	}
-	dur := time.Since(start)
+	dur := sinceDur(start)
 	mSaves.Inc()
 	mSaveBytes.Add(uint64(size))
 	mSaveSec.Observe(dur.Seconds())

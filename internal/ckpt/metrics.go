@@ -1,6 +1,10 @@
 package ckpt
 
-import "dmfsgd/internal/metrics"
+import (
+	"time"
+
+	"dmfsgd/internal/metrics"
+)
 
 // Durability series (DESIGN.md §12).
 var (
@@ -13,3 +17,14 @@ var (
 	mRestores = metrics.Default().Counter("dmf_ckpt_restores_total",
 		"Checkpoints read back successfully.")
 )
+
+// Wall-clock seam (dmfvet noclock exempts this file): save duration is
+// read here and feeds metrics and traces only. Checkpoint *content* is
+// a pure function of engine state — no timestamp enters the format.
+
+// startTimer reads the clock for a later sinceDur.
+func startTimer() time.Time { return time.Now() }
+
+// sinceDur returns the duration elapsed since t0, for observation and
+// trace emission.
+func sinceDur(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -1,6 +1,10 @@
 package cluster
 
-import "dmfsgd/internal/metrics"
+import (
+	"time"
+
+	"dmfsgd/internal/metrics"
+)
 
 // Lockstep-round series (DESIGN.md §12). Round latency and barrier
 // wait are histograms per the tail-latency argument in PAPERS.md
@@ -34,3 +38,18 @@ var (
 	mClockLag = metrics.Default().Gauge("dmf_cluster_clock_lag",
 		"Summed clock weight the newest peer broadcasts run ahead of the local clocks.")
 )
+
+// Wall-clock seam (dmfvet noclock exempts this file): round and barrier
+// durations are read here, feed metrics and traces only, and never
+// influence the round protocol. The barrier *timeout* is different — it
+// is protocol behavior and legitimately wall-clock, so it uses
+// time.NewTimer at the call site, which noclock does not flag.
+
+// startTimer reads the clock for a later observeSince/sinceDur.
+func startTimer() time.Time { return time.Now() }
+
+// observeSince records the seconds elapsed since t0 on h.
+func observeSince(h *metrics.Histogram, t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// sinceDur returns the duration elapsed since t0, for trace emission.
+func sinceDur(t0 time.Time) time.Duration { return time.Since(t0) }

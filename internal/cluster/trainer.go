@@ -178,6 +178,7 @@ func (t *Trainer) WaitRoster(ctx context.Context) error {
 	for {
 		t.mu.Lock()
 		ready := true
+		//dmf:allow detorder readiness is an order-independent conjunction over the roster
 		for id := range t.live {
 			if id != t.cfg.ID && t.addrs[id] == "" {
 				ready = false
@@ -253,13 +254,13 @@ type roundState struct {
 // aborts the round in flight; ErrEvicted means this trainer was
 // declared dead and must stop training.
 func (t *Trainer) Step(ctx context.Context, batch []engine.Sample) (n int, err error) {
-	start := time.Now()
+	start := startTimer()
 	// The pprof label attributes profile samples taken anywhere under the
 	// round — engine apply, wire encode, barrier wait — to the round loop.
 	pprof.Do(ctx, pprof.Labels("dmf_phase", "cluster_round"), func(ctx context.Context) {
 		n, err = t.step(ctx, batch)
 	})
-	dur := time.Since(start)
+	dur := sinceDur(start)
 	t.mu.Lock()
 	round := t.round
 	t.updateClockLagLocked()
@@ -497,12 +498,12 @@ func (t *Trainer) sendClock(id uint32, st *roundState, dirty []int) error {
 // peer misses the timeout (failover, ErrRoundAborted), or an ownership
 // change aborts the round.
 func (t *Trainer) await(ctx context.Context, st *roundState, clockPhase bool) error {
-	waitStart := time.Now()
+	waitStart := startTimer()
 	barrier := mBarrierRouted
 	if clockPhase {
 		barrier = mBarrierClock
 	}
-	defer func() { barrier.Observe(time.Since(waitStart).Seconds()) }()
+	defer func() { observeSince(barrier, waitStart) }()
 	timer := time.NewTimer(t.timeout)
 	defer timer.Stop()
 	for {
@@ -730,6 +731,7 @@ func (t *Trainer) failover(missing []uint32, round uint64) {
 		dead[id] = true
 	}
 	var survivors []uint32
+	//dmf:allow detorder Assign sorts the survivor set before computing ownership
 	for id := range t.live {
 		if !dead[id] {
 			survivors = append(survivors, id)
@@ -739,6 +741,7 @@ func (t *Trainer) failover(missing []uint32, round uint64) {
 	owners := Assign(len(t.owners), survivors)
 	t.installOwnersLocked(epoch, round+1, owners)
 	notify := make([]uint32, 0, len(t.addrs))
+	//dmf:allow detorder one fire-and-forget send per peer; delivery order is not part of the protocol
 	for id := range t.addrs {
 		if id != t.cfg.ID {
 			notify = append(notify, id)

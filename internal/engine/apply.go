@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 )
 
 // Sample is one externally supplied labeled measurement for the batch
@@ -92,9 +91,9 @@ func (e *Engine) ApplyBatchCtx(ctx context.Context, batch []Sample) (int, error)
 // advance the step counter or shard versions — that is
 // CommitBatchTargets' barrier.
 func (e *Engine) ApplyBatchOwned(ctx context.Context, batch []Sample, owned []bool) (int, []RoutedTarget, error) {
-	start := time.Now()
+	start := startTimer()
 	defer func() {
-		mBatchSec.Observe(time.Since(start).Seconds())
+		observeSince(mBatchSec, start)
 	}()
 	if len(batch) > math.MaxInt32 {
 		return 0, nil, fmt.Errorf("engine: batch of %d samples exceeds the %d limit", len(batch), math.MaxInt32)

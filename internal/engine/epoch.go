@@ -7,7 +7,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"dmfsgd/internal/metrics"
 )
@@ -93,14 +92,14 @@ func (e *Engine) RunEpochCtx(ctx context.Context, probesPerNode int) (int, error
 	if probesPerNode <= 0 {
 		panic("engine: probesPerNode must be positive")
 	}
-	start := time.Now()
+	start := startTimer()
 	total := 0
 	// The pprof label attributes worker-pool samples to the epoch
 	// scheduler in -pprof profiles.
 	pprof.Do(ctx, pprof.Labels("dmf_phase", "epoch"), func(ctx context.Context) {
 		total = e.runEpochLabeled(ctx, probesPerNode)
 	})
-	dur := time.Since(start)
+	dur := sinceDur(start)
 	mEpochSec.Observe(dur.Seconds())
 	mSteps.Add(uint64(total))
 	metrics.Emit("epoch", dur,

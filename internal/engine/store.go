@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"time"
 
 	"dmfsgd/internal/sgd"
 	"dmfsgd/internal/vec"
@@ -341,9 +340,9 @@ func (r Ref) View(fn func(c *sgd.Coordinates)) {
 // bumps the owning shard's version.
 func (r Ref) Update(fn func(c *sgd.Coordinates) bool) bool {
 	sh := &r.s.sh[r.id%r.s.shards]
-	t0 := time.Now()
+	t0 := startTimer()
 	sh.mu.Lock()
-	mLockWait.Observe(time.Since(t0).Seconds())
+	observeSince(mLockWait, t0)
 	ok := fn(sh.coords[r.id/r.s.shards])
 	if ok {
 		sh.ver++

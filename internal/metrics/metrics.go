@@ -34,9 +34,13 @@ type Counter struct {
 }
 
 // Inc adds 1.
+//
+//dmf:zeroalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n. Counters are monotonic; callers pass non-negative n.
+//
+//dmf:zeroalloc
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -48,12 +52,18 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//dmf:zeroalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // SetInt replaces the gauge value with an integer.
+//
+//dmf:zeroalloc
 func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
 
 // Add adds d (may be negative) with a CAS loop; no allocation.
+//
+//dmf:zeroalloc
 func (g *Gauge) Add(d float64) {
 	for {
 		old := g.bits.Load()
@@ -85,6 +95,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//dmf:zeroalloc
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -128,6 +128,7 @@ func (p *Peer) SetState(st *State) {
 	p.mu.Lock()
 	if p.cfg.Source || p.st == nil || st.Meta.Steps >= p.st.Meta.Steps {
 		p.st = st
+		//dmf:allow noclock liveness bookkeeping is inherently wall-clock and never feeds training state
 		p.lastAdvance = time.Now()
 	}
 	p.mu.Unlock()
@@ -192,6 +193,7 @@ func (p *Peer) gossip() {
 	var target string
 	if len(p.peers) > 0 {
 		k := p.rng.Intn(len(p.peers))
+		//dmf:allow detorder target choice is already randomized by the seeded rng; map order only permutes which peer k lands on
 		for a := range p.peers {
 			if k == 0 {
 				target = a
@@ -468,6 +470,7 @@ func (p *Peer) handleDelta(d *wire.Delta) {
 	next, applied, err := Apply(p.st, d)
 	if err == nil && applied > 0 {
 		p.st = next
+		//dmf:allow noclock liveness bookkeeping is inherently wall-clock and never feeds training state
 		p.lastAdvance = time.Now()
 		if bootstrap {
 			mShardsFull.Add(uint64(applied))

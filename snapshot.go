@@ -341,9 +341,12 @@ func (sn *Snapshot) Rank(i int, candidates []int) []int {
 // len(candidates) and receives the ranked node ids (it is also returned).
 // Scoring and sorting use a pooled keyed scratch slice, so steady-state
 // serving loops rank without allocating. candidates and out may alias.
+//
+//dmf:zeroalloc
 func (sn *Snapshot) RankInto(i int, candidates, out []int) []int {
 	sn.check(i, i)
 	if len(out) != len(candidates) {
+		//dmf:allow zeroalloc panic path: the caller violated the API contract, allocation cost is moot
 		panic(fmt.Sprintf("dmfsgd: RankInto out length %d, want %d", len(out), len(candidates)))
 	}
 	sc := rankPool.Get().(*rankScratch)
