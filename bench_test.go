@@ -24,6 +24,7 @@ import (
 
 	"dmfsgd"
 	"dmfsgd/internal/batch"
+	"dmfsgd/internal/ckpt"
 	"dmfsgd/internal/classify"
 	"dmfsgd/internal/dataset"
 	"dmfsgd/internal/engine"
@@ -633,6 +634,77 @@ func BenchmarkSnapshotFullRefresh(b *testing.B) {
 		}
 		if _, applied, err := replica.Apply(nil, &d); err != nil || applied != 8 {
 			b.Fatalf("applied=%d err=%v", applied, err)
+		}
+	}
+}
+
+// --- Checkpoint save benchmarks (full record vs delta record) ---
+//
+// What a periodic checkpoint costs a long-running trainer at
+// Meridian-2500 scale when little moved between saves: the full
+// variant rewrites the entire 2·n·r state every time (SaveCheckpoint),
+// the delta variant writes only the shards whose version advanced —
+// here 1 of 8, the quiet-trainer shape a CheckpointChain is built for.
+
+// checkpointBenchSetup builds consecutive 2500-node 8-shard captures
+// with one advanced shard between them.
+func checkpointBenchSetup(b *testing.B) (next *ckpt.Checkpoint, prevVers []uint64) {
+	b.Helper()
+	const n, rank, shards = 2500, 10, 8
+	store := engine.NewStore(n, rank, shards)
+	store.InitUniform(rand.New(rand.NewSource(1)))
+	prevVers = store.Versions(nil)
+	store.Ref(3).Update(func(c *sgd.Coordinates) bool { c.U[0] += 0.5; return true })
+	u, v := store.SnapshotFlat()
+	next = &ckpt.Checkpoint{
+		N: n, Rank: rank, Shards: shards, K: 32,
+		Steps: 2, Seed: 1, Draws: 9, Tau: 50,
+		Eta: 0.05, Lambda: 0.01,
+		Vers: store.Versions(nil),
+		U:    u, V: v,
+	}
+	return next, prevVers
+}
+
+func BenchmarkCheckpointFull(b *testing.B) {
+	next, _ := checkpointBenchSetup(b)
+	var buf bytes.Buffer
+	if err := ckpt.Write(&buf, next); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := ckpt.Write(&buf, next); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpointDelta(b *testing.B) {
+	next, prevVers := checkpointBenchSetup(b)
+	var full, buf bytes.Buffer
+	if err := ckpt.Write(&full, next); err != nil {
+		b.Fatal(err)
+	}
+	if err := ckpt.WriteDelta(&buf, next, prevVers); err != nil {
+		b.Fatal(err)
+	}
+	// The point of the delta format: a quiet save (1 of 8 shards
+	// advanced) writes a small fraction of the full record.
+	if buf.Len()*5 > full.Len() {
+		b.Fatalf("delta record %d bytes vs full %d: expected ≥5x savings", buf.Len(), full.Len())
+	}
+	b.ReportMetric(float64(full.Len())/float64(buf.Len()), "full/delta-bytes")
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := ckpt.WriteDelta(&buf, next, prevVers); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -2,8 +2,10 @@ package dmfsgd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 
 	"dmfsgd/internal/ckpt"
@@ -41,12 +43,17 @@ func (s *Session) Checkpoint(w io.Writer) error {
 // SaveCheckpoint durably checkpoints sess to path — temp file in the
 // same directory, fsync, atomic rename, so a crash mid-write leaves the
 // previous checkpoint intact — and then truncates the session's WAL (if
-// one is attached and its sink supports truncation) at the barrier: the
-// log's entries are all folded into the new checkpoint, so a restart
-// needs only the entries that follow. The crash-consistency order is
-// checkpoint-then-truncate; a crash between the two leaves a WAL whose
-// entries are all at or below the checkpoint's sequence, and replay
-// skips them (idempotent replay at the barrier).
+// one is attached and its sink supports truncation; a rotating dir-mode
+// log deletes its fully-covered segment files instead) at the barrier:
+// the log's entries are all folded into the new checkpoint, so a
+// restart needs only the entries that follow. The crash-consistency
+// order is checkpoint-then-truncate; a crash between the two leaves a
+// WAL whose entries are all at or below the checkpoint's sequence, and
+// replay skips them (idempotent replay at the barrier).
+//
+// Every save rewrites the full state. Long-running sessions that save
+// often should use a CheckpointChain, which writes small delta records
+// for the shards that actually advanced and a full base every K saves.
 func SaveCheckpoint(sess *Session, path string) error {
 	if err := sess.checkOpen(); err != nil {
 		return err
@@ -58,6 +65,87 @@ func SaveCheckpoint(sess *Session, path string) error {
 		return sess.wal.truncateBarrier()
 	}
 	return nil
+}
+
+// CheckpointChain is the incremental save policy over a checkpoint
+// chain rooted at path: the first save writes a full base; each
+// subsequent save writes a delta record carrying only the shards whose
+// version-vector entry advanced since the previous save; after
+// baseEvery deltas the next save rolls the chain — a fresh full base
+// replaces the file at path and the stale deltas are pruned. baseEvery
+// ≤ 0 degenerates to SaveCheckpoint's full-rewrite-every-time behavior.
+//
+// On disk a chain is path, path.d001, path.d002, …; LoadChain (and
+// Resume here) folds base + deltas back into one state, ignoring any
+// delta that does not extend its predecessor (a stale file from an
+// earlier chain epoch, or anything after a torn/corrupt record), so a
+// crash at any point between saves leaves a resumable prefix.
+type CheckpointChain struct {
+	cw *ckpt.ChainWriter
+}
+
+// NewCheckpointChain returns the save policy for the chain rooted at
+// path, rolling a fresh base after every baseEvery delta saves.
+func NewCheckpointChain(path string, baseEvery int) *CheckpointChain {
+	return &CheckpointChain{cw: ckpt.NewChainWriter(path, baseEvery)}
+}
+
+// Path returns the chain's base checkpoint path.
+func (cc *CheckpointChain) Path() string { return cc.cw.Path() }
+
+// Save checkpoints sess to the chain under the base-every-K policy and
+// then compacts the session's WAL at the barrier, exactly like
+// SaveCheckpoint (both record kinds capture the full counter set, so a
+// delta save is as strong a barrier as a base save).
+func (cc *CheckpointChain) Save(sess *Session) error {
+	if err := sess.checkOpen(); err != nil {
+		return err
+	}
+	if _, err := cc.cw.Save(sess.checkpointState()); err != nil {
+		return err
+	}
+	if sess.wal != nil {
+		return sess.wal.truncateBarrier()
+	}
+	return nil
+}
+
+// Resume rebuilds a session from the on-disk chain — base plus every
+// delta that extends it — and primes the writer so the next Save
+// continues that chain. src follows ResumeSessionFromSource's contract
+// when non-nil; a nil src builds the canonical source ResumeSession
+// would. wal is the log tail to replay: a single-file reader as in
+// ResumeSession, or nil when src carries a rotating dir-mode WAL (the
+// segment chain is found and replayed in order automatically). A
+// missing base file is the cold path: the session trains from the log
+// alone (ErrInvalidConfig when there is no log either); any other
+// chain-decode failure is ErrCheckpoint.
+func (cc *CheckpointChain) Resume(ds *Dataset, src Source, wal io.Reader, opts ...Option) (*Session, error) {
+	c, deltas, err := ckpt.LoadChain(cc.cw.Path())
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %w", ErrCheckpoint, err)
+	}
+	var vers []uint64
+	if c != nil {
+		vers = append([]uint64(nil), c.Vers...)
+	}
+	mk := func(set settings, k int) (Source, error) {
+		if src != nil {
+			return src, nil
+		}
+		if ds.Trace != nil {
+			return NewTraceSource(ds)
+		}
+		return NewMatrixSource(ds, k, set.seed)
+	}
+	s, err := resumeDecoded(ds, c, wal, opts, mk)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		cc.cw.Resume(vers, deltas)
+	}
+	return s, nil
 }
 
 // checkpointState assembles the capture.
@@ -142,18 +230,31 @@ func ResumeSessionFromSource(ds *Dataset, src Source, ckptR, wal io.Reader, opts
 	return resumeSession(ds, ckptR, wal, opts, func(settings, int) (Source, error) { return src, nil })
 }
 
-// resumeSession is the shared resume path; mkSrc builds the measurement
-// source once the checkpoint's configuration is merged. A nil ckptR
-// with a non-nil wal is the cold-replay path: the log's committed
-// entries rebuild the state from scratch into a session configured by
-// opts alone (which must match the run that wrote the log — the replay
+// resumeSession is the reader-based resume path: decode the checkpoint
+// (when given) and hand off to resumeDecoded. A nil ckptR with a
+// non-nil wal is the cold-replay path: the log's committed entries
+// rebuild the state from scratch into a session configured by opts
+// alone (which must match the run that wrote the log — the replay
 // step-counter cross-check catches a mismatch as ErrWAL).
 func resumeSession(ds *Dataset, ckptR, wal io.Reader, opts []Option, mkSrc func(set settings, k int) (Source, error)) (*Session, error) {
+	var c *ckpt.Checkpoint
+	if ckptR != nil {
+		var err error
+		if c, err = ckpt.Read(ckptR); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCheckpoint, err)
+		}
+	}
+	return resumeDecoded(ds, c, wal, opts, mkSrc)
+}
+
+// resumeDecoded is the shared resume path; mkSrc builds the measurement
+// source once the checkpoint's configuration is merged. With a nil wal
+// reader, a source chain carrying a rotating dir-mode WAL replays its
+// on-disk segment chain instead; "nothing to resume" (no checkpoint, no
+// log of either shape) is ErrInvalidConfig.
+func resumeDecoded(ds *Dataset, c *ckpt.Checkpoint, wal io.Reader, opts []Option, mkSrc func(set settings, k int) (Source, error)) (*Session, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("%w: nil dataset", ErrInvalidConfig)
-	}
-	if ckptR == nil && wal == nil {
-		return nil, fmt.Errorf("%w: nothing to resume from (no checkpoint, no WAL)", ErrInvalidConfig)
 	}
 	set := defaultSettings()
 	for _, opt := range opts {
@@ -164,12 +265,7 @@ func resumeSession(ds *Dataset, ckptR, wal io.Reader, opts []Option, mkSrc func(
 	if set.live {
 		return nil, fmt.Errorf("%w: a live swarm's schedule is not checkpointable; resume restores deterministic sessions", ErrLiveSession)
 	}
-	var c *ckpt.Checkpoint
-	if ckptR != nil {
-		var err error
-		if c, err = ckpt.Read(ckptR); err != nil {
-			return nil, fmt.Errorf("%w: %w", ErrCheckpoint, err)
-		}
+	if c != nil {
 		if err := mergeCheckpoint(&set, c, ds); err != nil {
 			return nil, err
 		}
@@ -225,10 +321,20 @@ func resumeSession(ds *Dataset, ckptR, wal io.Reader, opts []Option, mkSrc func(
 		// (replay advances it further from the last commit it applies).
 		s.wal.setSeq(barrier)
 	}
-	if wal != nil {
+	segmented := s.wal != nil && s.wal.rot != nil
+	switch {
+	case wal != nil && segmented:
+		return nil, fmt.Errorf("%w: a dir-mode WAL replays its own segment chain; pass a nil wal reader", ErrInvalidConfig)
+	case wal != nil:
 		if err := s.replayWAL(wal, barrier); err != nil {
 			return nil, err
 		}
+	case segmented:
+		if err := s.replayWALSegments(barrier); err != nil {
+			return nil, err
+		}
+	case c == nil:
+		return nil, fmt.Errorf("%w: nothing to resume from (no checkpoint, no WAL)", ErrInvalidConfig)
 	}
 	return s, nil
 }
@@ -279,6 +385,77 @@ func mergeCheckpoint(set *settings, c *ckpt.Checkpoint, ds *Dataset) error {
 	return nil
 }
 
+// walReplay is the record-at-a-time replay state machine shared by the
+// single-file and segmented resume paths: it applies committed batches
+// past the barrier, skips what the checkpoint already covers, and holds
+// the last commit for the final stream-position restore.
+type walReplay struct {
+	s       *Session
+	barrier uint64
+	cur     uint64
+	pending []Measurement
+	last    *dataset.WALCommit
+}
+
+// handle folds one scanned record into the replay.
+func (rp *walReplay) handle(rec *dataset.WALRecord) error {
+	switch rec.Kind {
+	case dataset.WALHeaderRecord:
+		if len(rp.pending) != 0 {
+			return fmt.Errorf("%w: segment header inside an uncommitted batch", ErrWAL)
+		}
+		rp.cur = rec.Base
+	case dataset.WALMeasurementRecord:
+		rp.cur++
+		if rp.cur > rp.barrier {
+			rp.pending = append(rp.pending, rec.M)
+		}
+	case dataset.WALCommitRecord:
+		co := rec.Commit
+		if co.Seq != rp.cur {
+			return fmt.Errorf("%w: commit at sequence %d, log position is %d", ErrWAL, co.Seq, rp.cur)
+		}
+		if co.Seq > rp.barrier {
+			if !co.Skip {
+				// Skip barriers cover measurements the original run
+				// logged but discarded (an interrupted collection);
+				// replay discards them the same way and only adopts
+				// the recorded stream positions.
+				if err := rp.s.applyReplayed(rp.pending, co.Batch); err != nil {
+					return err
+				}
+				mWALReplayed.Add(uint64(len(rp.pending)))
+			}
+			cc := co
+			rp.last = &cc
+		}
+		rp.pending = rp.pending[:0]
+	}
+	return nil
+}
+
+// finish restores the stream positions the last replayed barrier
+// recorded and cross-checks the step counter against the log's.
+func (rp *walReplay) finish() error {
+	s, last := rp.s, rp.last
+	if last == nil {
+		return nil
+	}
+	if got := uint64(s.drv.Steps()); got != last.Steps {
+		return fmt.Errorf("%w: replay reached step %d, log committed %d (log belongs to a different run?)", ErrWAL, got, last.Steps)
+	}
+	if err := s.drv.FastForwardMaster(last.Draws); err != nil {
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	if err := seekCursors(s.src, last.Cursors); err != nil {
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	if s.wal != nil {
+		s.wal.setSeq(last.Seq)
+	}
+	return nil
+}
+
 // replayWAL applies the log's committed tail past the checkpoint
 // barrier, then restores the stream positions the last barrier
 // recorded. Entries at or below the barrier are already in the restored
@@ -288,10 +465,8 @@ func mergeCheckpoint(set *settings, c *ckpt.Checkpoint, ds *Dataset) error {
 // truncated at the last whole commit so appended entries follow it.
 func (s *Session) replayWAL(r io.Reader, barrier uint64) error {
 	sc := dataset.NewWALScanner(r)
-	cur := uint64(0)
+	rp := &walReplay{s: s, barrier: barrier}
 	keepOffset := int64(0) // file offset after the last whole commit
-	var pending []Measurement
-	var last *dataset.WALCommit
 	for {
 		var rec dataset.WALRecord
 		err := sc.Next(&rec)
@@ -302,55 +477,115 @@ func (s *Session) replayWAL(r io.Reader, barrier uint64) error {
 			// Torn or corrupt tail: trust exactly the committed prefix.
 			break
 		}
-		switch rec.Kind {
-		case dataset.WALHeaderRecord:
-			if len(pending) != 0 {
-				return fmt.Errorf("%w: segment header inside an uncommitted batch", ErrWAL)
-			}
-			cur = rec.Base
-		case dataset.WALMeasurementRecord:
-			cur++
-			if cur > barrier {
-				pending = append(pending, rec.M)
-			}
-		case dataset.WALCommitRecord:
-			co := rec.Commit
-			if co.Seq != cur {
-				return fmt.Errorf("%w: commit at sequence %d, log position is %d", ErrWAL, co.Seq, cur)
-			}
-			if co.Seq > barrier {
-				if !co.Skip {
-					// Skip barriers cover measurements the original run
-					// logged but discarded (an interrupted collection);
-					// replay discards them the same way and only adopts
-					// the recorded stream positions.
-					if err := s.applyReplayed(pending, co.Batch); err != nil {
-						return err
-					}
-					mWALReplayed.Add(uint64(len(pending)))
-				}
-				cc := co
-				last = &cc
-			}
-			pending = pending[:0]
+		if err := rp.handle(&rec); err != nil {
+			return err
+		}
+		if rec.Kind == dataset.WALCommitRecord {
 			keepOffset = sc.Offset()
 		}
 	}
-	if last != nil {
-		if got := uint64(s.drv.Steps()); got != last.Steps {
-			return fmt.Errorf("%w: replay reached step %d, log committed %d (log belongs to a different run?)", ErrWAL, got, last.Steps)
-		}
-		if err := s.drv.FastForwardMaster(last.Draws); err != nil {
-			return fmt.Errorf("%w: %v", ErrWAL, err)
-		}
-		if err := seekCursors(s.src, last.Cursors); err != nil {
-			return fmt.Errorf("%w: %v", ErrWAL, err)
-		}
-		if s.wal != nil {
-			s.wal.setSeq(last.Seq)
-		}
+	if err := rp.finish(); err != nil {
+		return err
 	}
 	return s.alignWALFile(r, keepOffset)
+}
+
+// replayWALSegments is replayWAL for a rotating dir-mode log: the
+// on-disk segments are scanned in index order as one logical stream. A
+// torn record ends the trusted prefix — the rest of that segment and
+// every later one are discarded (a segment whose very first line is
+// torn, or an empty zero-byte segment from a crash between create and
+// header write, counts as such a tail). Afterwards the chain is aligned
+// for appends: segments past the last commit are deleted, the segment
+// holding it is truncated there and adopted as the active append
+// target, and fully-covered older segments stay until the next
+// checkpoint barrier deletes them.
+func (s *Session) replayWALSegments(barrier uint64) error {
+	rot := s.wal.rot
+	idxs, err := dataset.ListWALSegments(rot.dir)
+	if err != nil {
+		return fmt.Errorf("%w: segment dir: %v", ErrWAL, err)
+	}
+	rp := &walReplay{s: s, barrier: barrier}
+	keepSeg := 0 // segment holding the last whole commit (0 = none)
+	keepOff := int64(0)
+scan:
+	for _, idx := range idxs {
+		f, err := os.Open(rot.segPath(idx))
+		if err != nil {
+			return fmt.Errorf("%w: segment %d: %v", ErrWAL, idx, err)
+		}
+		sc := dataset.NewWALScanner(f)
+		for {
+			var rec dataset.WALRecord
+			err := sc.Next(&rec)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				f.Close()
+				break scan // torn tail: trust exactly the committed prefix
+			}
+			if err := rp.handle(&rec); err != nil {
+				f.Close()
+				return err
+			}
+			if rec.Kind == dataset.WALCommitRecord {
+				keepSeg, keepOff = idx, sc.Offset()
+			}
+		}
+		f.Close()
+	}
+	if err := rp.finish(); err != nil {
+		return err
+	}
+	return s.alignWALSegments(keepSeg, keepOff, idxs)
+}
+
+// alignWALSegments positions the rotating log for appends after a
+// segmented replay: everything past the last whole commit is dropped
+// (whole segments deleted, the kept segment truncated), and the kept
+// segment becomes the active append target. With no commit anywhere the
+// chain is cleared entirely — the resumed source re-emits the torn
+// measurements, and the next append starts a fresh segment.
+func (s *Session) alignWALSegments(keepSeg int, keepOff int64, idxs []int) error {
+	rot := s.wal.rot
+	var live []int
+	for _, idx := range idxs {
+		if keepSeg == 0 || idx > keepSeg {
+			if err := os.Remove(rot.segPath(idx)); err != nil {
+				return fmt.Errorf("%w: drop torn segment %d: %v", ErrWAL, idx, err)
+			}
+			continue
+		}
+		live = append(live, idx)
+	}
+	rot.live = live
+	if keepSeg == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(rot.segPath(keepSeg), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: adopt segment %d: %v", ErrWAL, keepSeg, err)
+	}
+	if err := f.Truncate(keepOff); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: truncate tail: %v", ErrWAL, err)
+	}
+	if _, err := f.Seek(keepOff, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: seek: %v", ErrWAL, err)
+	}
+	// The scanner's offset excludes the newline after the last commit's
+	// JSON value; keep the log line-shaped.
+	if _, err := f.WriteString("\n"); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: %v", ErrWAL, err)
+	}
+	rot.f = f
+	rot.size = keepOff + 1
+	s.wal.headered = true // the kept prefix starts with this segment's header
+	return nil
 }
 
 // applyReplayed trains on one committed WAL batch through the same path

@@ -60,6 +60,7 @@ import (
 	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,7 @@ import (
 	"dmfsgd"
 	"dmfsgd/internal/ckpt"
 	"dmfsgd/internal/cluster"
+	"dmfsgd/internal/dataset"
 	"dmfsgd/internal/member"
 	"dmfsgd/internal/metrics"
 	"dmfsgd/internal/replica"
@@ -98,9 +100,11 @@ func main() {
 		peerList    = flag.String("peer", "", "comma-separated bootstrap gossip peers; serve as a read replica (no local training)")
 		gossipEvery = flag.Duration("gossip-interval", 500*time.Millisecond, "anti-entropy gossip period")
 
-		ckptPath  = flag.String("checkpoint", "", "durability: checkpoint file — restored at startup (restart-without-retrain), saved after training bursts, periodically and at shutdown, always via atomic rename")
-		walPath   = flag.String("wal", "", "durability: measurement write-ahead log (trainer only) — the training stream is teed into it and its tail is replayed on restart; truncated at every checkpoint barrier")
-		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "minimum period between periodic checkpoint saves while training continues")
+		ckptPath      = flag.String("checkpoint", "", "durability: checkpoint file — restored at startup (restart-without-retrain), saved after training bursts, periodically and at shutdown, always via atomic rename")
+		walPath       = flag.String("wal", "", "durability: measurement write-ahead log (trainer only) — the training stream is teed into it and its tail is replayed on restart; truncated at every checkpoint barrier")
+		ckptEvery     = flag.Duration("checkpoint-interval", 30*time.Second, "minimum period between periodic checkpoint saves while training continues")
+		ckptBaseEvery = flag.Int("checkpoint-base-every", 0, "durability: save incremental delta checkpoints (only the shards that advanced), rolling a fresh full base after this many deltas; 0 = rewrite the full checkpoint every save")
+		walSegBytes   = flag.Int64("wal-segments", 0, "durability: treat -wal as a directory of rotating log segments, starting a new segment past this many bytes (checkpoint barriers delete covered segments); 0 = one growing file truncated at barriers")
 
 		pprofAddr = flag.String("pprof", "", "profiling: expose net/http/pprof on this separate (loopback) listener, e.g. 127.0.0.1:6060; empty = off")
 		tracePath = flag.String("trace", "", "observability: append NDJSON round/epoch/gossip trace events ("+metrics.TraceSchema+") to this file; empty = off")
@@ -241,9 +245,11 @@ func main() {
 			listen = "127.0.0.1:0"
 		}
 		// Peek the persisted incarnation before gossip starts, so this
-		// lifetime announces itself one past the previous one.
+		// lifetime announces itself one past the previous one. LoadChain
+		// (not ReadFile) so an incarnation recorded by a delta save after
+		// the last base roll is not missed.
 		if *ckptPath != "" {
-			if c, err := ckpt.ReadFile(*ckptPath); err == nil {
+			if c, _, err := ckpt.LoadChain(*ckptPath); err == nil {
 				selfInc = c.Incarnation + 1
 			}
 		}
@@ -273,11 +279,14 @@ func main() {
 		defer tr.Close()
 
 		if *ckptPath != "" {
-			// Bootstrap from the local checkpoint when one exists: the
+			// Bootstrap from the local checkpoint chain when one exists —
+			// the full base plus every delta save that extends it: the
 			// replica serves immediately, and the restored version vector
 			// makes gossip pull only the shards that advanced while it was
 			// down — not the whole state.
-			if c, err := ckpt.ReadFile(*ckptPath); err == nil {
+			cw := ckpt.NewChainWriter(*ckptPath, *ckptBaseEvery)
+			if c, deltas, err := ckpt.LoadChain(*ckptPath); err == nil {
+				vers := append([]uint64(nil), c.Vers...)
 				st, err := replica.FromCheckpoint(c)
 				if err != nil {
 					log.Fatalf("dmfserve: checkpoint %s: %v", *ckptPath, err)
@@ -292,17 +301,19 @@ func main() {
 					publishState(cur)
 				}
 				ckptSteps.Store(int64(st.Meta.Steps))
-				log.Printf("checkpoint restored: %d updates, serving before first gossip pull", st.Meta.Steps)
+				cw.Resume(vers, deltas)
+				log.Printf("checkpoint restored: %d updates (base + %d deltas), serving before first gossip pull", st.Meta.Steps, deltas)
 			} else if !errors.Is(err, os.ErrNotExist) {
 				log.Fatalf("dmfserve: checkpoint %s: %v", *ckptPath, err)
 			}
-			// Persist whatever state gossip converges to.
+			// Persist whatever state gossip converges to, writing only the
+			// shards that advanced since the previous save.
 			saveState := func() {
 				st := repPeer.State()
 				if st == nil || uint64(ckptSteps.Load()) == st.Meta.Steps {
 					return
 				}
-				if err := ckpt.WriteFile(*ckptPath, st.Checkpoint()); err != nil {
+				if _, err := cw.Save(st.Checkpoint()); err != nil {
 					log.Printf("dmfserve: checkpoint save: %v", err)
 					return
 				}
@@ -367,21 +378,49 @@ func main() {
 		if *trainerID >= 0 && resume {
 			// The restart contract: resume one past the persisted
 			// incarnation, and record the bumped value in every checkpoint
-			// this lifetime writes.
-			c, peekErr := ckpt.ReadFile(*ckptPath)
+			// this lifetime writes. LoadChain so an incarnation recorded
+			// by a delta save after the last base roll is not missed.
+			c, _, peekErr := ckpt.LoadChain(*ckptPath)
 			if peekErr != nil {
 				log.Fatalf("dmfserve: checkpoint %s: %v", *ckptPath, peekErr)
 			}
 			selfInc = c.Incarnation + 1
 			opts = append(opts, dmfsgd.WithIncarnation(selfInc))
 		}
+		segmented := *walPath != "" && *walSegBytes > 0
 		// No checkpoint but a non-empty WAL: the process died before its
 		// first save. The log's committed entries are still replayable
 		// into a fresh session (cold replay) — don't throw them away.
 		coldWAL := false
 		if !resume && *walPath != "" {
-			if fi, statErr := os.Stat(*walPath); statErr == nil && fi.Size() > 0 {
+			if segmented {
+				if idxs, lerr := dataset.ListWALSegments(*walPath); lerr == nil && len(idxs) > 0 {
+					coldWAL = true
+				}
+			} else if fi, statErr := os.Stat(*walPath); statErr == nil && fi.Size() > 0 {
 				coldWAL = true
+			}
+		}
+		// dropWAL discards an unreplayable log: truncate the single file,
+		// or delete every segment of a rotating directory.
+		dropWAL := func(src dmfsgd.Source) {
+			if segmented {
+				idxs, lerr := dataset.ListWALSegments(*walPath)
+				if lerr != nil {
+					log.Fatalf("dmfserve: WAL dir %s: %v", *walPath, lerr)
+				}
+				for _, idx := range idxs {
+					if rerr := os.Remove(filepath.Join(*walPath, dataset.WALSegmentName(idx))); rerr != nil {
+						log.Fatalf("dmfserve: WAL dir %s: %v", *walPath, rerr)
+					}
+				}
+				return
+			}
+			if ws, ok := src.(*dmfsgd.WALSource); ok {
+				if f, ok := ws.Sink().(*os.File); ok {
+					f.Truncate(0)
+					f.Close()
+				}
 			}
 		}
 		mkSource := func() (dmfsgd.Source, error) {
@@ -394,6 +433,17 @@ func main() {
 			}
 			if err != nil || *walPath == "" {
 				return src, err
+			}
+			if segmented {
+				// The directory belongs to the log: with neither a
+				// checkpoint nor replayable entries, leftover segments are
+				// a stale run's and would contradict the fresh one.
+				if !resume && !coldWAL {
+					if idxs, lerr := dataset.ListWALSegments(*walPath); lerr == nil && len(idxs) > 0 {
+						dropWAL(nil)
+					}
+				}
+				return dmfsgd.WithWALDir(src, *walPath, *walSegBytes)
 			}
 			// With neither a checkpoint nor replayable entries, a
 			// leftover WAL is garbage: truncate it, or fresh records
@@ -420,22 +470,27 @@ func main() {
 			}
 			return nil
 		}
+		// The chain is the save policy for every checkpoint this process
+		// writes: -checkpoint-base-every 0 degenerates to a full rewrite
+		// per save, exactly the old behavior.
+		var chain *dmfsgd.CheckpointChain
+		if *ckptPath != "" {
+			chain = dmfsgd.NewCheckpointChain(*ckptPath, *ckptBaseEvery)
+		}
 		src, err := mkSource()
 		if err != nil {
 			log.Fatalf("dmfserve: %v", err)
 		}
 		switch {
 		case resume:
-			ckptF, err := os.Open(*ckptPath)
-			if err != nil {
-				log.Fatalf("dmfserve: %v", err)
-			}
+			// Chain resume: base + deltas folded into one state, the
+			// single-file WAL tail (or the rotating segment chain, found
+			// from the source's own directory) replayed past its barrier.
 			var walR io.Reader
 			if f := walFile(src); f != nil {
 				walR = f
 			}
-			sess, err = dmfsgd.ResumeSessionFromSource(ds, src, ckptF, walR, opts...)
-			ckptF.Close()
+			sess, err = chain.Resume(ds, src, walR, opts...)
 			if err != nil {
 				log.Fatalf("dmfserve: resume from %s: %v (if -wal was added or removed since the checkpoint was written, restart with the original flags, or delete the checkpoint and WAL to retrain)", *ckptPath, err)
 			}
@@ -451,10 +506,7 @@ func main() {
 				// already truncated at a barrier whose checkpoint is
 				// gone): start fresh rather than crash-loop.
 				log.Printf("dmfserve: WAL %s not replayable into this configuration (%v); starting fresh", *walPath, err)
-				if f := walFile(src); f != nil {
-					f.Truncate(0)
-					f.Close()
-				}
+				dropWAL(src)
 				if src, err = mkSource(); err != nil {
 					log.Fatalf("dmfserve: %v", err)
 				}
@@ -547,10 +599,10 @@ func main() {
 		}
 
 		saveCkpt := func() {
-			if *ckptPath == "" {
+			if chain == nil {
 				return
 			}
-			if err := dmfsgd.SaveCheckpoint(sess, *ckptPath); err != nil {
+			if err := chain.Save(sess); err != nil {
 				log.Printf("dmfserve: checkpoint save: %v", err)
 				return
 			}

@@ -67,7 +67,13 @@
 // relearning from scratch. WithWAL tees any source chain into an NDJSON
 // measurement write-ahead log whose committed tail replays on resume;
 // entries already covered by a checkpoint are skipped (idempotent
-// replay at the barrier). See DESIGN.md §8.
+// replay at the barrier). Both paths scale incrementally:
+// CheckpointChain saves per-shard delta checkpoints keyed on the
+// version vector with a fresh full base every K saves, and WithWALDir
+// rotates the log across bounded segment files that checkpoint
+// barriers delete — resume folds the delta chain and replays the
+// ordered segment tail to the same bit-identical state. See
+// DESIGN.md §8.
 //
 // Distributed training: Session.RunCluster drains the measurement
 // source through a trainer cluster (internal/cluster) instead of the

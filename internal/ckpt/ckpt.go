@@ -6,18 +6,30 @@
 // and per-node streams, the measurement-WAL sequence already folded in,
 // and the stream cursors of the measurement source chain.
 //
+// Version 3 makes the format incremental. State is stored as per-shard
+// chunked records (the store's node→shard assignment, node i → shard
+// i mod shards), which lifts the old one-frame n·rank ≤
+// wire.MaxStateFloats bound — million-node states checkpoint shard by
+// shard. A file is either a full base (every shard present) or a
+// *delta* carrying only the shards whose version-vector entry advanced
+// since the previous save, linked to its predecessor by that previous
+// version vector (PrevVers). LoadChain resolves base + d001, d002, …
+// into the newest consistent state; ChainWriter implements the
+// base-every-K save policy.
+//
 // The format follows the wire package's codec discipline: fixed-layout
 // big-endian fields, a (magic, version) header, and decoders that
 // validate every declared length against hard protocol limits before
 // allocating, so a truncated, corrupt or malicious file yields a typed
 // error — never a panic or an attacker-sized allocation. Variable
 // sections are read in bounded chunks, so allocation grows only as
-// payload bytes actually arrive. A CRC-32 trailer detects torn or
+// payload bytes actually arrive; the flat state array itself is sized
+// by the validated geometry. A CRC-32 trailer detects torn or
 // bit-rotted files.
 //
-// Writers should go through WriteFile, which writes to a temporary file
-// in the destination directory, syncs it, and renames it into place —
-// a crash mid-checkpoint leaves the previous checkpoint intact.
+// Writers should go through WriteFile/WriteDeltaFile, which write to a
+// temporary file in the destination directory, sync it, and rename it
+// into place — a crash mid-checkpoint leaves the previous chain intact.
 package ckpt
 
 import (
@@ -37,17 +49,24 @@ import (
 // Format constants.
 const (
 	// Version is the checkpoint format version this package writes.
-	// Version 2 appends the writer's incarnation counter to the fixed
-	// header. Read accepts version 1 files (incarnation 0) for
-	// compatibility with pre-cluster checkpoints and rejects anything
-	// else with ErrBadVersion — a process must never guess at the
-	// meaning of a future (or corrupted) layout.
-	Version = 2
+	// Version 3 adds a record-kind byte (full base vs delta) and stores
+	// coordinates as per-shard chunked records, lifting the
+	// n·rank ≤ wire.MaxStateFloats bound of versions 1 and 2. Read
+	// accepts versions 1..3 and rejects anything else with
+	// ErrBadVersion — a process must never guess at the meaning of a
+	// future (or corrupted) layout.
+	Version = 3
 
 	// MaxCursorLayers bounds the source-chain cursor count.
 	MaxCursorLayers = 64
 	// MaxCursorVals bounds the values one cursor layer may carry.
 	MaxCursorVals = 64
+)
+
+// Record kinds (version ≥ 3).
+const (
+	kindFull  = 0
+	kindDelta = 1
 )
 
 // magic identifies a DMFSGD checkpoint file.
@@ -62,6 +81,15 @@ var (
 	ErrTooLarge   = errors.New("ckpt: field exceeds format limit")
 	ErrInvalid    = errors.New("ckpt: inconsistent checkpoint")
 	ErrChecksum   = errors.New("ckpt: checksum mismatch")
+	// ErrKind is returned when a full checkpoint is expected but the
+	// file holds a delta record, or vice versa.
+	ErrKind = errors.New("ckpt: record kind mismatch")
+	// ErrChain is returned by ApplyDelta when a delta does not extend
+	// the base it is applied to: its previous version vector (or its
+	// geometry, seed or hyper-parameters) disagrees with the base. A
+	// stale delta left behind by an earlier chain fails exactly this
+	// way, so LoadChain stops at the longest consistent prefix.
+	ErrChain = errors.New("ckpt: delta does not extend this base")
 )
 
 // Checkpoint is one decoded training-state capture.
@@ -105,17 +133,50 @@ type Checkpoint struct {
 	U, V []float64
 }
 
+// Delta is one decoded incremental record: the full counter/config head
+// of the state it captures (Head.U and Head.V are nil — a delta never
+// carries the whole state) plus the coordinate blocks of exactly the
+// shards whose version advanced since PrevVers, packed in within-shard
+// node order. ApplyDelta folds it into the base it extends.
+type Delta struct {
+	Head     *Checkpoint
+	PrevVers []uint64
+	Blocks   []ShardBlock
+}
+
+// ShardBlock is one shard's packed coordinate rows: the shard owns
+// nodes shard, shard+Shards, shard+2·Shards, …; U and V carry those
+// rows in that order, Rank floats per row.
+type ShardBlock struct {
+	Shard int
+	U, V  []float64
+}
+
 // Validate checks the checkpoint's geometry and section lengths against
 // the format limits — everything Write enforces and Read guarantees.
 func (c *Checkpoint) Validate() error {
+	if err := c.validateHead(); err != nil {
+		return err
+	}
+	if len(c.U) != c.N*c.Rank || len(c.V) != c.N*c.Rank {
+		return fmt.Errorf("%w: flat arrays %d/%d, want %d", ErrInvalid, len(c.U), len(c.V), c.N*c.Rank)
+	}
+	for k := range c.U {
+		if math.IsNaN(c.U[k]) || math.IsInf(c.U[k], 0) || math.IsNaN(c.V[k]) || math.IsInf(c.V[k], 0) {
+			return fmt.Errorf("%w: non-finite coordinate at row %d", ErrInvalid, k/c.Rank)
+		}
+	}
+	return nil
+}
+
+// validateHead checks everything but the flat state arrays — the part a
+// delta record shares with a full checkpoint.
+func (c *Checkpoint) validateHead() error {
 	if c.N < 1 || c.N > wire.MaxNodes {
 		return fmt.Errorf("%w: n=%d out of [1,%d]", ErrTooLarge, c.N, wire.MaxNodes)
 	}
 	if c.Rank < 1 || c.Rank > wire.MaxRank {
 		return fmt.Errorf("%w: rank=%d out of [1,%d]", ErrTooLarge, c.Rank, wire.MaxRank)
-	}
-	if uint64(c.N)*uint64(c.Rank) > wire.MaxStateFloats {
-		return fmt.Errorf("%w: n·rank=%d exceeds %d", ErrTooLarge, uint64(c.N)*uint64(c.Rank), wire.MaxStateFloats)
 	}
 	if c.Shards < 1 || c.Shards > wire.MaxShards || c.Shards > c.N {
 		return fmt.Errorf("%w: shards=%d out of [1,min(%d,n)]", ErrTooLarge, c.Shards, wire.MaxShards)
@@ -137,49 +198,110 @@ func (c *Checkpoint) Validate() error {
 	if len(c.Vers) != c.Shards {
 		return fmt.Errorf("%w: version vector of %d for %d shards", ErrInvalid, len(c.Vers), c.Shards)
 	}
-	if len(c.U) != c.N*c.Rank || len(c.V) != c.N*c.Rank {
-		return fmt.Errorf("%w: flat arrays %d/%d, want %d", ErrInvalid, len(c.U), len(c.V), c.N*c.Rank)
-	}
 	for _, x := range []float64{c.Tau, c.Eta, c.Lambda} {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
 			return fmt.Errorf("%w: non-finite hyper-parameter", ErrInvalid)
-		}
-	}
-	for k := range c.U {
-		if math.IsNaN(c.U[k]) || math.IsInf(c.U[k], 0) || math.IsNaN(c.V[k]) || math.IsInf(c.V[k], 0) {
-			return fmt.Errorf("%w: non-finite coordinate at row %d", ErrInvalid, k/c.Rank)
 		}
 	}
 	return nil
 }
 
 // headerLenV1 is the byte length of the version-1 fixed header that
-// follows the (magic, version) prefix; version 2 appends incarnation[4].
+// follows the (magic, version) prefix; versions ≥ 2 append
+// incarnation[4].
 const headerLenV1 = 4 + 2 + 2 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + 1 + 4
 const headerLen = headerLenV1 + 4
 
-// Write encodes c to w. The layout is:
+// Write encodes c to w as a full (base) checkpoint. The layout is:
 //
-//	magic[4] version[2]
+//	magic[4] version[2] kind[1]
 //	n[4] rank[2] shards[2] k[4] steps[8] seed[8] draws[8] walSeq[8]
 //	tau[8] eta[8] lambda[8] loss[1] metric[1] nodeDrawCount[4]
-//	incarnation[4]            (version ≥ 2)
+//	incarnation[4]
 //	nodeDraws[8·count]
 //	cursorLayers[2] { vals[2] val[8]·vals }·layers
-//	vers[8·shards] u[8·n·rank] v[8·n·rank]
+//	vers[8·shards]
+//	prevVers[8·shards]        (kind = delta only)
+//	blocks[4] { shard[4] u[8·rows·rank] v[8·rows·rank] }·blocks
 //	crc32[4]
 //
-// all big-endian; the CRC-32 (IEEE) covers every preceding byte.
+// all big-endian; shard ids are strictly ascending; the CRC-32 (IEEE)
+// covers every preceding byte. A full record carries every shard, a
+// delta exactly the shards with vers[p] ≠ prevVers[p].
 func Write(w io.Writer, c *Checkpoint) error {
 	if err := c.Validate(); err != nil {
 		return err
 	}
 	crc := crc32.NewIEEE()
 	mw := io.MultiWriter(w, crc)
+	if err := writeHead(mw, c, kindFull); err != nil {
+		return err
+	}
+	var small [4]byte
+	binary.BigEndian.PutUint32(small[:4], uint32(c.Shards))
+	if _, err := mw.Write(small[:4]); err != nil {
+		return err
+	}
+	for p := 0; p < c.Shards; p++ {
+		if err := writeShardBlock(mw, c, p); err != nil {
+			return err
+		}
+	}
+	binary.BigEndian.PutUint32(small[:4], crc.Sum32())
+	_, err := w.Write(small[:4])
+	return err
+}
 
-	buf := make([]byte, 0, 64)
+// WriteDelta encodes the state c as an incremental record against a
+// predecessor whose version vector was prevVers: only shards with
+// c.Vers[p] ≠ prevVers[p] are written. A save where nothing advanced is
+// a valid (tiny) delta of zero blocks — the counters still move.
+func WriteDelta(w io.Writer, c *Checkpoint, prevVers []uint64) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if len(prevVers) != c.Shards {
+		return fmt.Errorf("%w: previous version vector of %d for %d shards", ErrInvalid, len(prevVers), c.Shards)
+	}
+	changed := 0
+	for p := range prevVers {
+		if c.Vers[p] != prevVers[p] {
+			changed++
+		}
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w, crc)
+	if err := writeHead(mw, c, kindDelta); err != nil {
+		return err
+	}
+	if err := writeUint64s(mw, prevVers); err != nil {
+		return err
+	}
+	var small [4]byte
+	binary.BigEndian.PutUint32(small[:4], uint32(changed))
+	if _, err := mw.Write(small[:4]); err != nil {
+		return err
+	}
+	for p := 0; p < c.Shards; p++ {
+		if c.Vers[p] == prevVers[p] {
+			continue
+		}
+		if err := writeShardBlock(mw, c, p); err != nil {
+			return err
+		}
+	}
+	binary.BigEndian.PutUint32(small[:4], crc.Sum32())
+	_, err := w.Write(small[:4])
+	return err
+}
+
+// writeHead writes the magic/version/kind prefix, the fixed header and
+// the nodeDraws/cursors/vers sections shared by both record kinds.
+func writeHead(mw io.Writer, c *Checkpoint, kind byte) error {
+	buf := make([]byte, 0, 96)
 	buf = append(buf, magic[:]...)
 	buf = binary.BigEndian.AppendUint16(buf, Version)
+	buf = append(buf, kind)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(c.N))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Rank))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(c.Shards))
@@ -200,52 +322,93 @@ func Write(w io.Writer, c *Checkpoint) error {
 	if err := writeUint64s(mw, c.NodeDraws); err != nil {
 		return err
 	}
-	var small [8]byte
-	binary.BigEndian.PutUint16(small[:2], uint16(len(c.Cursors)))
-	if _, err := mw.Write(small[:2]); err != nil {
+	var small [2]byte
+	binary.BigEndian.PutUint16(small[:], uint16(len(c.Cursors)))
+	if _, err := mw.Write(small[:]); err != nil {
 		return err
 	}
 	for _, cur := range c.Cursors {
-		binary.BigEndian.PutUint16(small[:2], uint16(len(cur)))
-		if _, err := mw.Write(small[:2]); err != nil {
+		binary.BigEndian.PutUint16(small[:], uint16(len(cur)))
+		if _, err := mw.Write(small[:]); err != nil {
 			return err
 		}
 		if err := writeUint64s(mw, cur); err != nil {
 			return err
 		}
 	}
-	if err := writeUint64s(mw, c.Vers); err != nil {
-		return err
-	}
-	if err := writeFloats(mw, c.U); err != nil {
-		return err
-	}
-	if err := writeFloats(mw, c.V); err != nil {
-		return err
-	}
-	binary.BigEndian.PutUint32(small[:4], crc.Sum32())
-	_, err := w.Write(small[:4])
-	return err
+	return writeUint64s(mw, c.Vers)
 }
 
-// Read decodes one checkpoint from r, validating every declared length
-// before the corresponding allocation and verifying the CRC trailer.
-// Exactly the checkpoint's bytes are consumed; trailing bytes (when r
-// is a file read to its end) are rejected as ErrInvalid.
+// writeShardBlock writes shard p's id and its packed U and V rows
+// gathered from the flat arrays.
+func writeShardBlock(mw io.Writer, c *Checkpoint, p int) error {
+	var small [4]byte
+	binary.BigEndian.PutUint32(small[:], uint32(p))
+	if _, err := mw.Write(small[:]); err != nil {
+		return err
+	}
+	if err := writeShardSide(mw, c.U, c.N, c.Rank, c.Shards, p); err != nil {
+		return err
+	}
+	return writeShardSide(mw, c.V, c.N, c.Rank, c.Shards, p)
+}
+
+// Read decodes one full checkpoint from r, validating every declared
+// length before the corresponding allocation and verifying the CRC
+// trailer. Versions 1..3 are accepted; a version-3 delta record yields
+// ErrKind (use ReadDelta). Exactly the checkpoint's bytes are consumed;
+// trailing bytes (when r is a file read to its end) are rejected as
+// ErrInvalid.
 func Read(r io.Reader) (*Checkpoint, error) {
+	c, d, err := decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if d != nil {
+		return nil, fmt.Errorf("%w: delta record where a full checkpoint is expected", ErrKind)
+	}
+	return c, nil
+}
+
+// ReadDelta decodes one incremental record from r (version 3 only —
+// earlier versions have no deltas). A full record yields ErrKind.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	_, d, err := decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("%w: full checkpoint where a delta record is expected", ErrKind)
+	}
+	return d, nil
+}
+
+// decode reads one record of either kind. Exactly one of the returns is
+// non-nil on success.
+func decode(r io.Reader) (*Checkpoint, *Delta, error) {
 	crc := crc32.NewIEEE()
 	tr := io.TeeReader(r, crc)
 
-	var pre [6]byte
-	if _, err := io.ReadFull(tr, pre[:]); err != nil {
-		return nil, truncated(err)
+	var pre [7]byte
+	if _, err := io.ReadFull(tr, pre[:6]); err != nil {
+		return nil, nil, truncated(err)
 	}
 	if [4]byte(pre[:4]) != magic {
-		return nil, ErrBadMagic
+		return nil, nil, ErrBadMagic
 	}
 	v := binary.BigEndian.Uint16(pre[4:])
-	if v != 1 && v != Version {
-		return nil, fmt.Errorf("%w: version %d, this build reads 1..%d", ErrBadVersion, v, Version)
+	if v < 1 || v > Version {
+		return nil, nil, fmt.Errorf("%w: version %d, this build reads 1..%d", ErrBadVersion, v, Version)
+	}
+	kind := byte(kindFull)
+	if v >= 3 {
+		if _, err := io.ReadFull(tr, pre[6:7]); err != nil {
+			return nil, nil, truncated(err)
+		}
+		kind = pre[6]
+		if kind != kindFull && kind != kindDelta {
+			return nil, nil, fmt.Errorf("%w: unknown record kind %d", ErrInvalid, kind)
+		}
 	}
 	hdrLen := headerLen
 	if v == 1 {
@@ -254,7 +417,7 @@ func Read(r io.Reader) (*Checkpoint, error) {
 	var hdrBuf [headerLen]byte
 	hdr := hdrBuf[:hdrLen]
 	if _, err := io.ReadFull(tr, hdr); err != nil {
-		return nil, truncated(err)
+		return nil, nil, truncated(err)
 	}
 	c := &Checkpoint{
 		N:      int(binary.BigEndian.Uint32(hdr[0:])),
@@ -271,17 +434,22 @@ func Read(r io.Reader) (*Checkpoint, error) {
 		Loss:   hdr[68],
 		Metric: hdr[69],
 	}
-	// Geometry limits before any sized allocation.
+	// Geometry limits before any sized allocation. Versions ≤ 2 store
+	// the state as one flat section and keep their historical
+	// n·rank ≤ wire.MaxStateFloats bound; version 3 is chunked per
+	// shard and bounded by MaxNodes·MaxRank alone.
 	if c.N < 1 || c.N > wire.MaxNodes ||
 		c.Rank < 1 || c.Rank > wire.MaxRank ||
-		uint64(c.N)*uint64(c.Rank) > wire.MaxStateFloats ||
 		c.Shards < 1 || c.Shards > wire.MaxShards || c.Shards > c.N ||
 		c.K < 0 || c.K >= c.N {
-		return nil, fmt.Errorf("%w: geometry n=%d rank=%d shards=%d k=%d", ErrTooLarge, c.N, c.Rank, c.Shards, c.K)
+		return nil, nil, fmt.Errorf("%w: geometry n=%d rank=%d shards=%d k=%d", ErrTooLarge, c.N, c.Rank, c.Shards, c.K)
+	}
+	if v < 3 && uint64(c.N)*uint64(c.Rank) > wire.MaxStateFloats {
+		return nil, nil, fmt.Errorf("%w: n·rank=%d exceeds %d", ErrTooLarge, uint64(c.N)*uint64(c.Rank), wire.MaxStateFloats)
 	}
 	nodeDraws := int(binary.BigEndian.Uint32(hdr[70:]))
 	if nodeDraws != 0 && nodeDraws != c.N {
-		return nil, fmt.Errorf("%w: %d node draw counts for %d nodes", ErrInvalid, nodeDraws, c.N)
+		return nil, nil, fmt.Errorf("%w: %d node draw counts for %d nodes", ErrInvalid, nodeDraws, c.N)
 	}
 	if v >= 2 {
 		c.Incarnation = binary.BigEndian.Uint32(hdr[74:])
@@ -289,28 +457,28 @@ func Read(r io.Reader) (*Checkpoint, error) {
 
 	var err error
 	if c.NodeDraws, err = readUint64s(tr, nodeDraws); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var small [4]byte
 	if _, err := io.ReadFull(tr, small[:2]); err != nil {
-		return nil, truncated(err)
+		return nil, nil, truncated(err)
 	}
 	layers := int(binary.BigEndian.Uint16(small[:2]))
 	if layers > MaxCursorLayers {
-		return nil, fmt.Errorf("%w: %d cursor layers exceed %d", ErrTooLarge, layers, MaxCursorLayers)
+		return nil, nil, fmt.Errorf("%w: %d cursor layers exceed %d", ErrTooLarge, layers, MaxCursorLayers)
 	}
 	if layers > 0 {
 		c.Cursors = make([][]uint64, layers)
 		for i := range c.Cursors {
 			if _, err := io.ReadFull(tr, small[:2]); err != nil {
-				return nil, truncated(err)
+				return nil, nil, truncated(err)
 			}
 			vals := int(binary.BigEndian.Uint16(small[:2]))
 			if vals > MaxCursorVals {
-				return nil, fmt.Errorf("%w: cursor layer %d carries %d values, limit %d", ErrTooLarge, i, vals, MaxCursorVals)
+				return nil, nil, fmt.Errorf("%w: cursor layer %d carries %d values, limit %d", ErrTooLarge, i, vals, MaxCursorVals)
 			}
 			if c.Cursors[i], err = readUint64s(tr, vals); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			if c.Cursors[i] == nil {
 				c.Cursors[i] = []uint64{}
@@ -318,29 +486,175 @@ func Read(r io.Reader) (*Checkpoint, error) {
 		}
 	}
 	if c.Vers, err = readUint64s(tr, c.Shards); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if c.U, err = readFloats(tr, c.N*c.Rank); err != nil {
-		return nil, err
-	}
-	if c.V, err = readFloats(tr, c.N*c.Rank); err != nil {
-		return nil, err
+
+	var d *Delta
+	switch {
+	case kind == kindDelta:
+		d = &Delta{Head: c}
+		if d.PrevVers, err = readUint64s(tr, c.Shards); err != nil {
+			return nil, nil, err
+		}
+		changed := 0
+		for p := range c.Vers {
+			if c.Vers[p] != d.PrevVers[p] {
+				changed++
+			}
+		}
+		if _, err := io.ReadFull(tr, small[:4]); err != nil {
+			return nil, nil, truncated(err)
+		}
+		if got := int(binary.BigEndian.Uint32(small[:4])); got != changed {
+			return nil, nil, fmt.Errorf("%w: %d blocks for %d advanced shards", ErrInvalid, got, changed)
+		}
+		if changed > 0 {
+			d.Blocks = make([]ShardBlock, 0, changed)
+		}
+		prev := -1
+		for len(d.Blocks) < changed {
+			if _, err := io.ReadFull(tr, small[:4]); err != nil {
+				return nil, nil, truncated(err)
+			}
+			p := int(binary.BigEndian.Uint32(small[:4]))
+			if p >= c.Shards || p <= prev {
+				return nil, nil, fmt.Errorf("%w: block shard %d out of order (after %d, of %d)", ErrInvalid, p, prev, c.Shards)
+			}
+			if c.Vers[p] == d.PrevVers[p] {
+				return nil, nil, fmt.Errorf("%w: block for unadvanced shard %d", ErrInvalid, p)
+			}
+			prev = p
+			want := wire.ShardNodes(c.N, p, c.Shards) * c.Rank
+			b := ShardBlock{Shard: p}
+			if b.U, err = readFloats(tr, want); err != nil {
+				return nil, nil, err
+			}
+			if b.V, err = readFloats(tr, want); err != nil {
+				return nil, nil, err
+			}
+			d.Blocks = append(d.Blocks, b)
+		}
+	case v >= 3:
+		if _, err := io.ReadFull(tr, small[:4]); err != nil {
+			return nil, nil, truncated(err)
+		}
+		if got := int(binary.BigEndian.Uint32(small[:4])); got != c.Shards {
+			return nil, nil, fmt.Errorf("%w: %d blocks in a full record of %d shards", ErrInvalid, got, c.Shards)
+		}
+		c.U = make([]float64, c.N*c.Rank)
+		c.V = make([]float64, c.N*c.Rank)
+		for p := 0; p < c.Shards; p++ {
+			if _, err := io.ReadFull(tr, small[:4]); err != nil {
+				return nil, nil, truncated(err)
+			}
+			if got := int(binary.BigEndian.Uint32(small[:4])); got != p {
+				return nil, nil, fmt.Errorf("%w: block shard %d where %d is expected", ErrInvalid, got, p)
+			}
+			if err := readShardSide(tr, c.U, c.N, c.Rank, c.Shards, p); err != nil {
+				return nil, nil, err
+			}
+			if err := readShardSide(tr, c.V, c.N, c.Rank, c.Shards, p); err != nil {
+				return nil, nil, err
+			}
+		}
+	default:
+		if c.U, err = readFloats(tr, c.N*c.Rank); err != nil {
+			return nil, nil, err
+		}
+		if c.V, err = readFloats(tr, c.N*c.Rank); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	sum := crc.Sum32() // everything up to (not including) the trailer
 	if _, err := io.ReadFull(r, small[:4]); err != nil {
-		return nil, truncated(err)
+		return nil, nil, truncated(err)
 	}
 	if binary.BigEndian.Uint32(small[:4]) != sum {
-		return nil, ErrChecksum
+		return nil, nil, ErrChecksum
 	}
 	if n, _ := r.Read(small[:1]); n != 0 {
-		return nil, fmt.Errorf("%w: trailing bytes after checkpoint", ErrInvalid)
+		return nil, nil, fmt.Errorf("%w: trailing bytes after checkpoint", ErrInvalid)
+	}
+	if d != nil {
+		if err := d.validate(); err != nil {
+			return nil, nil, err
+		}
+		return nil, d, nil
 	}
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return c, nil
+	return c, nil, nil
+}
+
+// validate checks a decoded delta: head consistency plus finite block
+// values (the full-record finite sweep lives in Checkpoint.Validate).
+func (d *Delta) validate() error {
+	if err := d.Head.validateHead(); err != nil {
+		return err
+	}
+	for _, b := range d.Blocks {
+		for k := range b.U {
+			if math.IsNaN(b.U[k]) || math.IsInf(b.U[k], 0) || math.IsNaN(b.V[k]) || math.IsInf(b.V[k], 0) {
+				return fmt.Errorf("%w: non-finite coordinate in shard %d block", ErrInvalid, b.Shard)
+			}
+		}
+	}
+	return nil
+}
+
+// ApplyDelta folds d into base in place: the delta must extend exactly
+// this base — same geometry, seed, topology and hyper-parameters, and a
+// PrevVers equal to the base's version vector — else ErrChain. On
+// success the base carries the delta's counters, cursors and version
+// vector, with the advanced shards' coordinates overwritten.
+func ApplyDelta(base *Checkpoint, d *Delta) error {
+	h := d.Head
+	if h.N != base.N || h.Rank != base.Rank || h.Shards != base.Shards {
+		return fmt.Errorf("%w: geometry n=%d rank=%d shards=%d over base n=%d rank=%d shards=%d",
+			ErrChain, h.N, h.Rank, h.Shards, base.N, base.Rank, base.Shards)
+	}
+	if h.K != base.K || h.Seed != base.Seed || h.Loss != base.Loss || h.Metric != base.Metric ||
+		h.Tau != base.Tau || h.Eta != base.Eta || h.Lambda != base.Lambda {
+		return fmt.Errorf("%w: run configuration differs from the base", ErrChain)
+	}
+	if h.Steps < base.Steps {
+		return fmt.Errorf("%w: steps regress %d → %d", ErrChain, base.Steps, h.Steps)
+	}
+	for p := range base.Vers {
+		if d.PrevVers[p] != base.Vers[p] {
+			return fmt.Errorf("%w: shard %d version %d, delta expects %d", ErrChain, p, base.Vers[p], d.PrevVers[p])
+		}
+	}
+	for _, b := range d.Blocks {
+		rows := wire.ShardNodes(base.N, b.Shard, base.Shards)
+		if b.Shard < 0 || b.Shard >= base.Shards || len(b.U) != rows*base.Rank || len(b.V) != rows*base.Rank {
+			return fmt.Errorf("%w: malformed block for shard %d", ErrInvalid, b.Shard)
+		}
+	}
+	for _, b := range d.Blocks {
+		rows := wire.ShardNodes(base.N, b.Shard, base.Shards)
+		for li := 0; li < rows; li++ {
+			node := b.Shard + li*base.Shards
+			copy(base.U[node*base.Rank:(node+1)*base.Rank], b.U[li*base.Rank:])
+			copy(base.V[node*base.Rank:(node+1)*base.Rank], b.V[li*base.Rank:])
+		}
+	}
+	base.Steps = h.Steps
+	base.Draws = h.Draws
+	base.WALSeq = h.WALSeq
+	base.Incarnation = h.Incarnation
+	base.NodeDraws = h.NodeDraws
+	base.Cursors = h.Cursors
+	copy(base.Vers, h.Vers)
+	return nil
+}
+
+// DeltaPath names the i-th delta (i ≥ 1) of the chain rooted at the
+// base checkpoint path: "<path>.d001", "<path>.d002", …
+func DeltaPath(path string, i int) string {
+	return fmt.Sprintf("%s.d%03d", path, i)
 }
 
 // WriteFile durably writes c to path: temp file in the same directory,
@@ -348,41 +662,9 @@ func Read(r io.Reader) (*Checkpoint, error) {
 // path intact.
 func WriteFile(path string, c *Checkpoint) error {
 	start := startTimer()
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	size, err := writeFileAtomic(path, func(w io.Writer) error { return Write(w, c) })
 	if err != nil {
 		return err
-	}
-	tmp := f.Name()
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := Write(f, c); err != nil {
-		return fail(err)
-	}
-	size, _ := f.Seek(0, io.SeekCurrent)
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	// Make the rename itself durable before callers act on it (the
-	// checkpoint-then-truncate ordering of SaveCheckpoint depends on the
-	// new directory entry surviving a power cut).
-	if d, err := os.Open(dir); err == nil {
-		syncErr := d.Sync()
-		d.Close()
-		if syncErr != nil {
-			return syncErr
-		}
 	}
 	dur := sinceDur(start)
 	mSaves.Inc()
@@ -394,7 +676,66 @@ func WriteFile(path string, c *Checkpoint) error {
 	return nil
 }
 
-// ReadFile reads the checkpoint at path.
+// WriteDeltaFile durably writes the delta of c against prevVers to
+// path, with the same temp/fsync/rename discipline as WriteFile.
+func WriteDeltaFile(path string, c *Checkpoint, prevVers []uint64) error {
+	start := startTimer()
+	size, err := writeFileAtomic(path, func(w io.Writer) error { return WriteDelta(w, c, prevVers) })
+	if err != nil {
+		return err
+	}
+	dur := sinceDur(start)
+	mDeltaSaves.Inc()
+	mSaveBytes.Add(uint64(size))
+	mSaveSec.Observe(dur.Seconds())
+	metrics.Emit("ckpt_delta_save", dur,
+		metrics.KV{K: "bytes", V: size},
+		metrics.KV{K: "steps", V: int64(c.Steps)})
+	return nil
+}
+
+// writeFileAtomic streams enc to a temp file in path's directory,
+// syncs, renames into place, and syncs the directory so the rename
+// itself survives a power cut (the checkpoint-then-truncate ordering of
+// SaveCheckpoint depends on the new directory entry being durable).
+func writeFileAtomic(path string, enc func(io.Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := enc(f); err != nil {
+		return fail(err)
+	}
+	size, _ := f.Seek(0, io.SeekCurrent)
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if d, err := os.Open(dir); err == nil {
+		syncErr := d.Sync()
+		d.Close()
+		if syncErr != nil {
+			return 0, syncErr
+		}
+	}
+	return size, nil
+}
+
+// ReadFile reads the full checkpoint at path.
 func ReadFile(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -406,6 +747,106 @@ func ReadFile(path string) (*Checkpoint, error) {
 		mRestores.Inc()
 	}
 	return c, err
+}
+
+// ReadDeltaFile reads the delta record at path.
+func ReadDeltaFile(path string) (*Delta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDelta(f)
+}
+
+// LoadChain resolves the checkpoint chain rooted at path: the full base
+// plus every delta d001, d002, … that extends it, stopping at the first
+// gap, decode failure or linkage break (a stale delta from an earlier
+// chain fails its PrevVers check and is ignored — longest valid
+// prefix). Returns the resolved state and the number of deltas folded
+// in. A missing base is reported as the underlying os error
+// (errors.Is(err, fs.ErrNotExist)).
+func LoadChain(path string) (*Checkpoint, int, error) {
+	c, err := ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	for {
+		d, err := ReadDeltaFile(DeltaPath(path, n+1))
+		if err != nil {
+			break
+		}
+		if err := ApplyDelta(c, d); err != nil {
+			break
+		}
+		n++
+	}
+	return c, n, nil
+}
+
+// ChainWriter implements the base-every-K save policy over a
+// checkpoint chain: the first save (and every save after baseEvery
+// deltas have accumulated, and any save whose geometry changed) rewrites
+// the full base and prunes the now-stale deltas; every other save
+// appends a delta carrying only the shards that advanced since the
+// previous save. baseEvery ≤ 0 writes a full base every time — the
+// pre-v3 behavior.
+type ChainWriter struct {
+	path      string
+	baseEvery int
+	prevVers  []uint64 // version vector of the last save; nil → base next
+	deltas    int      // deltas since the current base
+}
+
+// NewChainWriter returns a writer for the chain rooted at path. Resume
+// primes it against an existing on-disk chain.
+func NewChainWriter(path string, baseEvery int) *ChainWriter {
+	return &ChainWriter{path: path, baseEvery: baseEvery}
+}
+
+// Path returns the base checkpoint path.
+func (cw *ChainWriter) Path() string { return cw.path }
+
+// Resume primes the writer against a chain already on disk, as resolved
+// by LoadChain: vers is the resolved state's version vector and deltas
+// the chain length. The next save extends that chain.
+func (cw *ChainWriter) Resume(vers []uint64, deltas int) {
+	cw.prevVers = append([]uint64(nil), vers...)
+	cw.deltas = deltas
+}
+
+// Save writes c to the chain under the policy and reports whether it
+// went out as a delta. After a base save, stale delta files from the
+// previous chain epoch are deleted; a crash between those two steps is
+// safe — LoadChain rejects the orphans on their PrevVers linkage.
+func (cw *ChainWriter) Save(c *Checkpoint) (delta bool, err error) {
+	if cw.baseEvery > 0 && cw.prevVers != nil && len(cw.prevVers) == len(c.Vers) && cw.deltas < cw.baseEvery {
+		if err := WriteDeltaFile(DeltaPath(cw.path, cw.deltas+1), c, cw.prevVers); err != nil {
+			return false, err
+		}
+		cw.deltas++
+		cw.prevVers = append(cw.prevVers[:0], c.Vers...)
+		return true, nil
+	}
+	if err := WriteFile(cw.path, c); err != nil {
+		return false, err
+	}
+	removeDeltas(cw.path, 1)
+	cw.deltas = 0
+	cw.prevVers = append([]uint64(nil), c.Vers...)
+	return false, nil
+}
+
+// removeDeltas deletes the contiguous run of delta files starting at
+// index from. Chains are contiguous by construction, so stopping at the
+// first missing index removes everything a future LoadChain could see.
+func removeDeltas(path string, from int) {
+	for i := from; ; i++ {
+		if err := os.Remove(DeltaPath(path, i)); err != nil {
+			return
+		}
+	}
 }
 
 // truncated maps short-read errors onto the package sentinel.
@@ -459,6 +900,55 @@ func readFloats(r io.Reader, count int) ([]float64, error) {
 	return out, nil
 }
 
+// readShardSide reads one shard's packed rows·rank floats in bounded
+// chunks and scatters them into the flat row-major array at the shard's
+// strided node rows (node = shard + li·shards).
+func readShardSide(r io.Reader, flat []float64, n, rank, shards, shard int) error {
+	rows := wire.ShardNodes(n, shard, shards)
+	var buf [chunkBytes]byte
+	li, j := 0, 0 // row within shard, column within row
+	total := rows * rank
+	for idx := 0; idx < total; {
+		want := min((total-idx)*8, chunkBytes)
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return truncated(err)
+		}
+		for off := 0; off < want; off += 8 {
+			flat[(shard+li*shards)*rank+j] = math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+			if j++; j == rank {
+				j = 0
+				li++
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// writeShardSide gathers one shard's strided rows from the flat array
+// and writes them packed, in bounded chunks.
+func writeShardSide(w io.Writer, flat []float64, n, rank, shards, shard int) error {
+	rows := wire.ShardNodes(n, shard, shards)
+	var buf [chunkBytes]byte
+	li, j := 0, 0
+	total := rows * rank
+	for idx := 0; idx < total; {
+		want := min((total-idx)*8, chunkBytes)
+		for off := 0; off < want; off += 8 {
+			binary.BigEndian.PutUint64(buf[off:], math.Float64bits(flat[(shard+li*shards)*rank+j]))
+			if j++; j == rank {
+				j = 0
+				li++
+			}
+			idx++
+		}
+		if _, err := w.Write(buf[:want]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // writeUint64s writes vs as big-endian uint64s in bounded chunks.
 func writeUint64s(w io.Writer, vs []uint64) error {
 	var buf [chunkBytes]byte
@@ -466,22 +956,6 @@ func writeUint64s(w io.Writer, vs []uint64) error {
 		n := min(len(vs), chunkBytes/8)
 		for i := 0; i < n; i++ {
 			binary.BigEndian.PutUint64(buf[8*i:], vs[i])
-		}
-		if _, err := w.Write(buf[:8*n]); err != nil {
-			return err
-		}
-		vs = vs[n:]
-	}
-	return nil
-}
-
-// writeFloats writes vs as big-endian float64 bit patterns.
-func writeFloats(w io.Writer, vs []float64) error {
-	var buf [chunkBytes]byte
-	for len(vs) > 0 {
-		n := min(len(vs), chunkBytes/8)
-		for i := 0; i < n; i++ {
-			binary.BigEndian.PutUint64(buf[8*i:], math.Float64bits(vs[i]))
 		}
 		if _, err := w.Write(buf[:8*n]); err != nil {
 			return err

@@ -54,13 +54,13 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
-// TestGoldenFile pins the current (v2) byte layout: encoding the fixture
+// TestGoldenFile pins the current (v3) byte layout: encoding the fixture
 // must reproduce the committed file exactly, and decoding the committed
 // file must reproduce the fixture. Any layout change breaks this test —
 // bump Version and add a new fixture instead of silently reshaping an
 // existing version.
 func TestGoldenFile(t *testing.T) {
-	path := filepath.Join("testdata", "checkpoint_v2.golden")
+	path := filepath.Join("testdata", "checkpoint_v3.golden")
 	enc := encode(t, goldenCheckpoint())
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -75,7 +75,7 @@ func TestGoldenFile(t *testing.T) {
 		t.Fatalf("read golden (run with -update to create): %v", err)
 	}
 	if !bytes.Equal(enc, want) {
-		t.Errorf("encoding drifted from the committed v2 fixture (%d vs %d bytes)", len(enc), len(want))
+		t.Errorf("encoding drifted from the committed v3 fixture (%d vs %d bytes)", len(enc), len(want))
 	}
 	dec, err := Read(bytes.NewReader(want))
 	if err != nil {
@@ -83,6 +83,36 @@ func TestGoldenFile(t *testing.T) {
 	}
 	if !reflect.DeepEqual(dec, goldenCheckpoint()) {
 		t.Errorf("golden decode mismatch: %+v", dec)
+	}
+}
+
+// TestGoldenDeltaFile pins the v3 delta byte layout the same way.
+func TestGoldenDeltaFile(t *testing.T) {
+	path := filepath.Join("testdata", "delta_v3.golden")
+	c := goldenCheckpoint()
+	prev := []uint64{5, 4} // shard 1 advanced (4 → 9), shard 0 quiet
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, c, prev); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("delta encoding drifted from the committed fixture (%d vs %d bytes)", buf.Len(), len(want))
+	}
+	d, err := ReadDelta(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("decode golden delta: %v", err)
+	}
+	if len(d.Blocks) != 1 || d.Blocks[0].Shard != 1 {
+		t.Fatalf("golden delta blocks = %+v, want exactly shard 1", d.Blocks)
 	}
 }
 
@@ -102,6 +132,23 @@ func TestGoldenV1Decode(t *testing.T) {
 	expect.Incarnation = 0 // predates the field
 	if !reflect.DeepEqual(dec, expect) {
 		t.Errorf("v1 golden decode mismatch:\n got %+v\nwant %+v", dec, expect)
+	}
+}
+
+// TestGoldenV2Decode pins backward compatibility with the last
+// flat-layout version: the committed version-2 file keeps decoding to
+// the same state the version-3 encoder would capture.
+func TestGoldenV2Decode(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "checkpoint_v2.golden"))
+	if err != nil {
+		t.Fatalf("read v2 golden: %v", err)
+	}
+	dec, err := Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("decode v2 golden: %v", err)
+	}
+	if !reflect.DeepEqual(dec, goldenCheckpoint()) {
+		t.Errorf("v2 golden decode mismatch:\n got %+v\nwant %+v", dec, goldenCheckpoint())
 	}
 }
 
@@ -143,7 +190,7 @@ func TestReadRejectsBadHeader(t *testing.T) {
 func TestReadRejectsOversizedGeometry(t *testing.T) {
 	enc := encode(t, goldenCheckpoint())
 	huge := bytes.Clone(enc)
-	binary.BigEndian.PutUint32(huge[6:], 1<<30) // n field
+	binary.BigEndian.PutUint32(huge[7:], 1<<30) // n field (after the kind byte)
 	if _, err := Read(bytes.NewReader(huge)); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("huge n: got %v, want ErrTooLarge", err)
 	}
@@ -196,5 +243,235 @@ func TestWriteFileAtomic(t *testing.T) {
 	}
 	if len(ents) != 1 {
 		t.Errorf("temp files left behind: %v", ents)
+	}
+}
+
+// advance mutates c as one more save interval of training would: shard
+// p's rows move and its version bumps; counters advance.
+func advance(c *Checkpoint, shard int, by float64) {
+	for i := shard; i < c.N; i += c.Shards {
+		for j := 0; j < c.Rank; j++ {
+			c.U[i*c.Rank+j] += by
+			c.V[i*c.Rank+j] -= by
+		}
+	}
+	c.Vers[shard]++
+	c.Steps += 100
+	c.Draws += 7
+	c.WALSeq += 3
+}
+
+func TestDeltaRoundTripAndApply(t *testing.T) {
+	base := goldenCheckpoint()
+	next := goldenCheckpoint()
+	advance(next, 1, 0.5)
+
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, next, base.Vers); err != nil {
+		t.Fatalf("WriteDelta: %v", err)
+	}
+	if full := len(encode(t, next)); buf.Len() >= full {
+		t.Errorf("one-dirty-shard delta (%d bytes) not smaller than full (%d bytes)", buf.Len(), full)
+	}
+	d, err := ReadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadDelta: %v", err)
+	}
+	if len(d.Blocks) != 1 || d.Blocks[0].Shard != 1 {
+		t.Fatalf("blocks = %+v, want exactly shard 1", d.Blocks)
+	}
+	if err := ApplyDelta(base, d); err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if !reflect.DeepEqual(base, next) {
+		t.Errorf("base+delta mismatch:\n got %+v\nwant %+v", base, next)
+	}
+
+	// A delta where nothing advanced still carries the counters.
+	quiet := goldenCheckpoint()
+	quiet.Steps, quiet.WALSeq = 99999, 77
+	buf.Reset()
+	if err := WriteDelta(&buf, quiet, quiet.Vers); err != nil {
+		t.Fatalf("WriteDelta quiet: %v", err)
+	}
+	d, err = ReadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadDelta quiet: %v", err)
+	}
+	if len(d.Blocks) != 0 || d.Head.Steps != 99999 || d.Head.WALSeq != 77 {
+		t.Fatalf("quiet delta = %d blocks, steps %d", len(d.Blocks), d.Head.Steps)
+	}
+}
+
+func TestApplyDeltaRejectsWrongBase(t *testing.T) {
+	base := goldenCheckpoint()
+	next := goldenCheckpoint()
+	advance(next, 0, 1)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, next, base.Vers); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadDelta(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	moved := goldenCheckpoint()
+	moved.Vers[0] = 100 // not the state the delta was cut against
+	if err := ApplyDelta(moved, d); !errors.Is(err, ErrChain) {
+		t.Errorf("version mismatch: got %v, want ErrChain", err)
+	}
+	reseeded := goldenCheckpoint()
+	reseeded.Seed = 1
+	if err := ApplyDelta(reseeded, d); !errors.Is(err, ErrChain) {
+		t.Errorf("seed mismatch: got %v, want ErrChain", err)
+	}
+}
+
+func TestReadKindMismatch(t *testing.T) {
+	full := encode(t, goldenCheckpoint())
+	if _, err := ReadDelta(bytes.NewReader(full)); !errors.Is(err, ErrKind) {
+		t.Errorf("ReadDelta on full: got %v, want ErrKind", err)
+	}
+	next := goldenCheckpoint()
+	advance(next, 1, 0.5)
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, next, goldenCheckpoint().Vers); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrKind) {
+		t.Errorf("Read on delta: got %v, want ErrKind", err)
+	}
+}
+
+// TestChainWriterAndLoadChain drives the base-every-K policy through
+// two chain epochs and checks LoadChain resolves each prefix, prunes
+// land where they should, and stale deltas from the previous epoch are
+// ignored on their PrevVers linkage.
+func TestChainWriterAndLoadChain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	cw := NewChainWriter(path, 3)
+
+	cur := goldenCheckpoint()
+	saves := []*Checkpoint{}
+	save := func(wantDelta bool) {
+		t.Helper()
+		snap := cloneCheckpoint(cur)
+		delta, err := cw.Save(snap)
+		if err != nil {
+			t.Fatalf("save %d: %v", len(saves), err)
+		}
+		if delta != wantDelta {
+			t.Fatalf("save %d: delta=%v, want %v", len(saves), delta, wantDelta)
+		}
+		saves = append(saves, snap)
+		got, n, err := LoadChain(path)
+		if err != nil {
+			t.Fatalf("LoadChain after save %d: %v", len(saves)-1, err)
+		}
+		if !reflect.DeepEqual(got, snap) {
+			t.Fatalf("LoadChain after save %d drifted:\n got %+v\nwant %+v", len(saves)-1, got, snap)
+		}
+		wantN := (len(saves) - 1) % 4 // each epoch is base + 3 deltas
+		if n != wantN {
+			t.Fatalf("LoadChain after save %d: %d deltas, want %d", len(saves)-1, n, wantN)
+		}
+	}
+
+	save(false) // base
+	advance(cur, 0, 0.25)
+	save(true) // d001
+	advance(cur, 1, 0.25)
+	save(true) // d002
+	advance(cur, 0, 0.25)
+	advance(cur, 1, 0.25)
+	save(true) // d003
+	advance(cur, 0, 0.25)
+	save(false) // rolls to a new base, prunes d001..d003
+	for i := 1; i <= 3; i++ {
+		if _, err := os.Stat(DeltaPath(path, i)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("stale delta %d survived the base roll: %v", i, err)
+		}
+	}
+	advance(cur, 1, 0.25)
+	save(true) // d001 of the new epoch
+
+	// A stale orphan beyond the live chain must not extend it.
+	stale := cloneCheckpoint(cur)
+	stale.Vers[0] += 41 // linkage that matches no real state
+	if err := WriteDeltaFile(DeltaPath(path, 2), stale, stale.Vers); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := LoadChain(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || !reflect.DeepEqual(got, saves[len(saves)-1]) {
+		t.Errorf("stale orphan extended the chain: n=%d", n)
+	}
+}
+
+func cloneCheckpoint(c *Checkpoint) *Checkpoint {
+	out := *c
+	out.NodeDraws = append([]uint64(nil), c.NodeDraws...)
+	out.Cursors = make([][]uint64, len(c.Cursors))
+	for i, cur := range c.Cursors {
+		out.Cursors[i] = append([]uint64{}, cur...)
+	}
+	out.Vers = append([]uint64(nil), c.Vers...)
+	out.U = append([]float64(nil), c.U...)
+	out.V = append([]float64(nil), c.V...)
+	return &out
+}
+
+// TestLargeStateRoundTrip pins the point of the v3 chunked layout: a
+// state past the one-frame wire budget (n·rank > wire.MaxStateFloats,
+// unwritable before v3) round-trips through file save/load.
+func TestLargeStateRoundTrip(t *testing.T) {
+	n, rank := 4100, 512 // n·rank = 2,099,200 > 2,097,152
+	c := &Checkpoint{
+		N: n, Rank: rank, Shards: 64, K: 10,
+		Steps: 5, Seed: 3, Tau: 50, Eta: 0.1, Lambda: 0.01,
+		Vers: make([]uint64, 64),
+		U:    make([]float64, n*rank),
+		V:    make([]float64, n*rank),
+	}
+	for i := range c.U {
+		c.U[i] = float64(i%97) * 0.125
+		c.V[i] = -float64(i%89) * 0.25
+	}
+	for p := range c.Vers {
+		c.Vers[p] = uint64(p)
+	}
+	path := filepath.Join(t.TempDir(), "big.ckpt")
+	if err := WriteFile(path, c); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Error("large state drifted through the chunked layout")
+	}
+	// And incrementally: dirty one shard, save a delta, re-resolve.
+	advance(c, 7, 0.5)
+	if err := WriteDeltaFile(DeltaPath(path, 1), c, got.Vers); err != nil {
+		t.Fatalf("WriteDeltaFile: %v", err)
+	}
+	st, err := os.Stat(DeltaPath(path, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full, _ := os.Stat(path); st.Size() > full.Size()/8 {
+		t.Errorf("one shard of 64 dirty: delta %d bytes vs full %d", st.Size(), full.Size())
+	}
+	resolved, nd, err := LoadChain(path)
+	if err != nil || nd != 1 {
+		t.Fatalf("LoadChain: n=%d, %v", nd, err)
+	}
+	if !reflect.DeepEqual(resolved, c) {
+		t.Error("large-state delta chain drifted")
 	}
 }

@@ -16,6 +16,8 @@ var (
 		"Durable checkpoint write duration, fsyncs included.", metrics.DurationBuckets)
 	mRestores = metrics.Default().Counter("dmf_ckpt_restores_total",
 		"Checkpoints read back successfully.")
+	mDeltaSaves = metrics.Default().Counter("dmf_ckpt_delta_saves_total",
+		"Incremental (delta) checkpoint records durably written.")
 )
 
 // Wall-clock seam (dmfvet noclock exempts this file): save duration is

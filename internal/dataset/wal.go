@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 // Measurement WAL line formats. A WAL is an NDJSON log mixing three
@@ -156,6 +160,62 @@ func WriteWALCommit(w io.Writer, c WALCommit) error {
 	}{walCommitJSON{
 		Seq: c.Seq, Mode: mode, Steps: c.Steps, Draws: c.Draws, Cur: c.Cursors,
 	}})
+}
+
+// WAL segment files. A rotating WAL is a directory of NDJSON segments
+// named wal-000001.ndjson, wal-000002.ndjson, …, each opening with its
+// own header line whose base sequence counts the measurements already
+// committed when the segment began. Replay concatenates the segments in
+// index order into one logical log; a checkpoint barrier deletes the
+// segments it fully covers instead of truncating one growing file.
+
+const (
+	walSegPrefix = "wal-"
+	walSegSuffix = ".ndjson"
+)
+
+// WALSegmentName returns the file name of segment index (≥ 1).
+func WALSegmentName(index int) string {
+	return fmt.Sprintf("%s%06d%s", walSegPrefix, index, walSegSuffix)
+}
+
+// ParseWALSegmentName extracts the index from a segment file name; ok
+// is false for anything that is not a WAL segment name.
+func ParseWALSegmentName(name string) (index int, ok bool) {
+	digits, found := strings.CutPrefix(name, walSegPrefix)
+	if !found {
+		return 0, false
+	}
+	digits, found = strings.CutSuffix(digits, walSegSuffix)
+	if !found || len(digits) < 6 {
+		return 0, false
+	}
+	idx, err := strconv.Atoi(digits)
+	if err != nil || idx < 1 || WALSegmentName(idx) != name {
+		return 0, false
+	}
+	return idx, true
+}
+
+// ListWALSegments returns the indices of the WAL segments present in
+// dir, ascending numerically (the zero-padded names sort lexically only
+// up to six digits). Non-segment files are ignored.
+func ListWALSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if idx, ok := ParseWALSegmentName(e.Name()); ok {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	return idxs, nil
 }
 
 // WALScanner reads a WAL record by record without buffering the log,

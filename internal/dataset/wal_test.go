@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -110,6 +112,80 @@ func TestWALTornTail(t *testing.T) {
 	recs2, _, err := scanAll(t, buf.String()[:sc.Offset()])
 	if err != nil || len(recs2) != 3 {
 		t.Errorf("truncated log: %d records, %v", len(recs2), err)
+	}
+}
+
+// TestWALTornHeader pins resume behavior when a segment's very first
+// line — the header — is the torn one: a zero-length segment (crash
+// between file create and header write) is a clean empty log (io.EOF,
+// no records), and a partial header line is a torn tail at offset 0.
+// Either way the trusted prefix is empty, so segmented resume treats
+// the segment as contributing nothing and drops it.
+func TestWALTornHeader(t *testing.T) {
+	recs, sc, err := scanAll(t, "")
+	if err != nil || len(recs) != 0 {
+		t.Errorf("zero-length segment: %d records, err=%v; want clean empty", len(recs), err)
+	}
+	if sc.Offset() != 0 {
+		t.Errorf("zero-length segment: offset %d, want 0", sc.Offset())
+	}
+	for _, torn := range []string{`{"wal":1,`, `{"wa`, "{"} {
+		recs, sc, err := scanAll(t, torn)
+		if err == nil {
+			t.Errorf("torn header %q scanned cleanly", torn)
+		}
+		if len(recs) != 0 {
+			t.Errorf("torn header %q: %d records, want 0", torn, len(recs))
+		}
+		if sc.Offset() != 0 {
+			t.Errorf("torn header %q: offset %d, want 0 (nothing trusted)", torn, sc.Offset())
+		}
+	}
+}
+
+// TestWALSegmentNames: the segment file-name codec round-trips every
+// index, rejects non-segment names, and ListWALSegments orders a
+// directory numerically (lexical order breaks past six digits).
+func TestWALSegmentNames(t *testing.T) {
+	for _, idx := range []int{1, 2, 999999, 1000000, 12345678} {
+		name := WALSegmentName(idx)
+		got, ok := ParseWALSegmentName(name)
+		if !ok || got != idx {
+			t.Errorf("round trip %d → %q → (%d,%v)", idx, name, got, ok)
+		}
+	}
+	for _, bad := range []string{
+		"wal-000000.ndjson", // index 0 is reserved
+		"wal--00001.ndjson", // negative
+		"wal-1.ndjson",      // unpadded
+		"wal-0000001x.ndjson",
+		"wal-000001.ndjson.tmp",
+		"checkpoint.dmf",
+		"wal-000001",
+	} {
+		if idx, ok := ParseWALSegmentName(bad); ok {
+			t.Errorf("accepted %q as segment %d", bad, idx)
+		}
+	}
+	dir := t.TempDir()
+	for _, name := range []string{
+		WALSegmentName(3), WALSegmentName(1), WALSegmentName(1000000),
+		WALSegmentName(999999), "notes.txt",
+	} {
+		if err := os.WriteFile(dir+"/"+name, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(dir+"/"+WALSegmentName(7), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	idxs, err := ListWALSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 999999, 1000000}
+	if !reflect.DeepEqual(idxs, want) {
+		t.Errorf("ListWALSegments = %v, want %v", idxs, want)
 	}
 }
 

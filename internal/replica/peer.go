@@ -423,7 +423,11 @@ func (p *Peer) handleDeltaRequest(req *wire.DeltaRequest, from string) {
 	if st == nil {
 		return
 	}
-	frames := st.DeltasFor(p.cfg.ID, req.Shards, wire.MaxStateFloats)
+	frames, err := st.DeltasFor(p.cfg.ID, req.Shards, wire.MaxStateFloats)
+	if err != nil {
+		p.logf("replica: delta to %s: %v", from, err)
+		return
+	}
 	if len(frames) == 0 {
 		return
 	}

@@ -2,6 +2,7 @@ package replica
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -198,7 +199,10 @@ func TestDeltasForChunking(t *testing.T) {
 	}
 	// Each shard block is 2 nodes × rank 2 = 4 floats per side; a budget
 	// of 10 fits two blocks per frame → 4 frames.
-	frames := trainer.DeltasFor(1, all, 10)
+	frames, err := trainer.DeltasFor(1, all, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(frames) != 4 {
 		t.Fatalf("got %d frames, want 4", len(frames))
 	}
@@ -224,8 +228,18 @@ func TestDeltasForChunking(t *testing.T) {
 	}
 	statesEqual(t, trainer, follower, "reverse-order chunked bootstrap")
 	// A hole-free state re-chunks identically under the default budget.
-	if got := len(follower.DeltasFor(2, all, 0)); got != 1 {
+	refr, err := follower.DeltasFor(2, all, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(refr); got != 1 {
 		t.Errorf("full-budget chunking produced %d frames, want 1", got)
+	}
+	// A budget smaller than a single shard block (4 floats per side) is
+	// rejected up front with the typed sentinel instead of emitting a
+	// frame doomed to fail at encode.
+	if _, err := trainer.DeltasFor(1, all, 3); !errors.Is(err, ErrShardTooLarge) {
+		t.Errorf("undersized budget: err=%v, want ErrShardTooLarge", err)
 	}
 }
 
@@ -242,7 +256,11 @@ func TestPeerPublishGatedOnComplete(t *testing.T) {
 	for p := range all {
 		all[p] = uint16(p)
 	}
-	for _, frame := range trainer.DeltasFor(1, all, 10) {
+	frames, err := trainer.DeltasFor(1, all, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frame := range frames {
 		buf, err := wire.AppendDelta(nil, frame)
 		if err != nil {
 			t.Fatal(err)

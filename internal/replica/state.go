@@ -22,10 +22,17 @@
 package replica
 
 import (
+	"errors"
 	"fmt"
 
 	"dmfsgd/internal/wire"
 )
+
+// ErrShardTooLarge marks a chunked-bootstrap request whose per-frame
+// budget cannot fit even one shard block: shard granularity is the
+// chunking floor, so the state must be sharded finer (or the budget
+// raised) before it can be served.
+var ErrShardTooLarge = errors.New("replica: shard block exceeds the per-frame budget")
 
 // Meta is the serving metadata replicated alongside the coordinates.
 type Meta struct {
@@ -200,12 +207,13 @@ func (st *State) deltaHeader(from uint32) *wire.Delta {
 // frames of at most budget floats per coordinate side (0 means
 // wire.MaxStateFloats) — the chunked bootstrap path for states whose
 // full geometry exceeds one frame. Unknown shard ids and holes are
-// skipped. A single shard block larger than the budget still gets its
-// own frame: shard granularity is the chunking floor, and such a frame
-// fails at encode (shard the state finer). Each frame repeats the
-// header; Apply attaches frames in any order, so losing one frame
-// costs one re-pull, not the bootstrap.
-func (st *State) DeltasFor(from uint32, shards []uint16, budget int) []*wire.Delta {
+// skipped. A single shard block larger than the budget is detected up
+// front and returns ErrShardTooLarge — shard granularity is the
+// chunking floor, so no frame the budget permits could carry it, and
+// failing here beats emitting a frame that dies at encode. Each frame
+// repeats the header; Apply attaches frames in any order, so losing
+// one frame costs one re-pull, not the bootstrap.
+func (st *State) DeltasFor(from uint32, shards []uint16, budget int) ([]*wire.Delta, error) {
 	if budget <= 0 {
 		budget = wire.MaxStateFloats
 	}
@@ -218,6 +226,10 @@ func (st *State) DeltasFor(from uint32, shards []uint16, budget int) []*wire.Del
 			continue
 		}
 		want := len(st.blocks[p].u)
+		if want > budget {
+			return nil, fmt.Errorf("%w: shard %d carries %d floats per side, budget %d (shard the state finer)",
+				ErrShardTooLarge, p, want, budget)
+		}
 		if len(cur.Blocks) > 0 && total+want > budget {
 			out = append(out, cur)
 			cur = st.deltaHeader(from)
@@ -234,7 +246,7 @@ func (st *State) DeltasFor(from uint32, shards []uint16, budget int) []*wire.Del
 	if len(cur.Blocks) > 0 {
 		out = append(out, cur)
 	}
-	return out
+	return out, nil
 }
 
 // Complete reports whether every shard's block has landed. States built

@@ -11,4 +11,6 @@ var (
 		"Commit barriers written.")
 	mWALReplayed = metrics.Default().Counter("dmf_wal_replayed_records_total",
 		"Committed measurements re-applied from the log on resume.")
+	mWALSegments = metrics.Default().Counter("dmf_wal_segments_total",
+		"WAL segment files opened by the rotating log.")
 )

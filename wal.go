@@ -2,9 +2,12 @@ package dmfsgd
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 
 	"dmfsgd/internal/dataset"
 )
@@ -36,7 +39,8 @@ import (
 // unlogged measurements.
 type WALSource struct {
 	src Source
-	w   io.Writer
+	w   io.Writer   // single-file (or arbitrary-sink) mode; nil in dir mode
+	rot *walRotator // rotating-segment mode; nil in single-file mode
 
 	seq       uint64 // measurements written to the log, ever
 	commitSeq uint64 // sequence of the last commit barrier
@@ -53,6 +57,115 @@ func WithWAL(src Source, w io.Writer) *WALSource {
 	return &WALSource{src: src, w: w}
 }
 
+// DefaultWALSegmentBytes is the rotation threshold WithWALDir applies
+// when the caller passes segmentBytes ≤ 0.
+const DefaultWALSegmentBytes = 64 << 20
+
+// WithWALDir decorates src with a rotating write-ahead log: NDJSON
+// segments under dir (wal-000001.ndjson, wal-000002.ndjson, …), a new
+// segment once the active one reaches segmentBytes, one header line per
+// segment. Checkpoint barriers delete the covered segments outright
+// instead of truncating one growing file, so long-running trainers keep
+// bounded log footprint; resume replays the ordered segment chain
+// (ResumeSession / CheckpointChain.Resume with a nil WAL reader).
+//
+// The directory belongs to the log: any segments already present are
+// treated as the previous run's chain — a fresh (non-resume) run must
+// start with an empty directory, or the leftover segments will
+// contradict the new run at replay.
+func WithWALDir(src Source, dir string, segmentBytes int64) (*WALSource, error) {
+	if src == nil {
+		panic("dmfsgd: WithWALDir needs a source")
+	}
+	if segmentBytes <= 0 {
+		segmentBytes = DefaultWALSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("%w: segment dir: %v", ErrWAL, err)
+	}
+	idxs, err := dataset.ListWALSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%w: segment dir: %v", ErrWAL, err)
+	}
+	rot := &walRotator{dir: dir, limit: segmentBytes, live: idxs}
+	if len(idxs) > 0 {
+		rot.index = idxs[len(idxs)-1]
+	}
+	return &WALSource{src: src, rot: rot}, nil
+}
+
+// walRotator manages the segment files of a dir-mode WAL: the active
+// file with its byte count, the monotone segment index, and the set of
+// segments currently on disk (for barrier compaction).
+type walRotator struct {
+	dir   string
+	limit int64
+	f     *os.File
+	index int   // last segment index opened (monotone across barriers)
+	size  int64 // bytes written to the active segment
+	live  []int // segment indices currently on disk, ascending
+}
+
+// segPath names segment idx's file.
+func (r *walRotator) segPath(idx int) string {
+	return filepath.Join(r.dir, dataset.WALSegmentName(idx))
+}
+
+// roll returns the active segment's writer, opening the next segment
+// first when there is none or the active one is full. fresh reports
+// that a new segment started (the caller must re-header).
+func (r *walRotator) roll() (w io.Writer, fresh bool, err error) {
+	if r.f != nil && r.size < r.limit {
+		return countingWriter{r}, false, nil
+	}
+	if r.f != nil {
+		if err := r.f.Close(); err != nil {
+			return nil, false, err
+		}
+		r.f = nil
+	}
+	f, err := os.OpenFile(r.segPath(r.index+1), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	r.index++
+	r.f = f
+	r.size = 0
+	r.live = append(r.live, r.index)
+	mWALSegments.Inc()
+	return countingWriter{r}, true, nil
+}
+
+// reset deletes every live segment after a checkpoint barrier covered
+// the whole log. The next append opens a fresh segment (at the next
+// index — indices never rewind, so a crash can never confuse an old
+// segment for a new one).
+func (r *walRotator) reset() error {
+	if r.f != nil {
+		if err := r.f.Close(); err != nil {
+			return err
+		}
+		r.f = nil
+	}
+	for _, idx := range r.live {
+		if err := os.Remove(r.segPath(idx)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	r.live = nil
+	r.size = 0
+	return nil
+}
+
+// countingWriter tallies bytes into the rotator's active-segment size.
+type countingWriter struct{ r *walRotator }
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.r.f.Write(p)
+	cw.r.size += int64(n)
+	return n, err
+}
+
 // Unwrap returns the decorated source.
 func (ws *WALSource) Unwrap() Source { return ws.src }
 
@@ -60,11 +173,22 @@ func (ws *WALSource) Unwrap() Source { return ws.src }
 // measurements ever written (across truncations).
 func (ws *WALSource) Seq() uint64 { return ws.seq }
 
-// Sink returns the writer the log is appended to. Callers resuming
-// from a file use it to hand the same *os.File to ResumeSession as the
-// replay reader, which lets resume truncate the discarded tail in
-// place and continue appending.
+// Sink returns the writer the log is appended to, or nil in dir
+// (rotating-segment) mode, where the log manages its own files.
+// Callers resuming from a single file use it to hand the same *os.File
+// to ResumeSession as the replay reader, which lets resume truncate the
+// discarded tail in place and continue appending; dir-mode resume finds
+// and aligns the segment chain itself (pass a nil reader).
 func (ws *WALSource) Sink() io.Writer { return ws.w }
+
+// SegmentDir returns the rotating log's directory, or "" in
+// single-file mode.
+func (ws *WALSource) SegmentDir() string {
+	if ws.rot != nil {
+		return ws.rot.dir
+	}
+	return ""
+}
 
 // setSeq restores the log sequence on a fresh decorator (resume): the
 // next segment header records it as the base, so sequence numbering
@@ -81,7 +205,11 @@ func (ws *WALSource) setSeq(seq uint64) {
 // NextBatch pulls from the decorated source and logs what it got. A
 // log-write failure is returned (wrapping ErrWAL) with n = 0: the
 // fetched measurements are not handed to the consumer, so nothing
-// unlogged trains.
+// unlogged trains. When the inner source reported a terminal condition
+// (io.EOF, a decode error) in the same call, the two errors are joined
+// rather than the source's being dropped — errors.Is finds both ErrWAL
+// and the terminal error, so a consumer can still tell end-of-stream
+// from mid-stream log failure.
 func (ws *WALSource) NextBatch(ctx context.Context, buf []Measurement) (int, error) {
 	if ws.err != nil {
 		return 0, ws.err
@@ -90,6 +218,9 @@ func (ws *WALSource) NextBatch(ctx context.Context, buf []Measurement) (int, err
 	if n > 0 {
 		if werr := ws.append(buf[:n]); werr != nil {
 			ws.err = werr
+			if err != nil {
+				return 0, errors.Join(werr, err)
+			}
 			return 0, werr
 		}
 	}
@@ -128,13 +259,28 @@ func (ws *WALSource) append(ms []Measurement) error {
 	if len(keep) == 0 {
 		return nil
 	}
+	w := ws.w
+	if ws.rot != nil {
+		// Rotation happens only at batch boundaries, so a batch and the
+		// commit that covers it land in the same segment (the commit may
+		// trail measurements from an earlier segment — replay reads the
+		// chain as one logical stream, so that is fine).
+		nw, fresh, err := ws.rot.roll()
+		if err != nil {
+			return fmt.Errorf("%w: segment: %v", ErrWAL, err)
+		}
+		if fresh {
+			ws.headered = false
+		}
+		w = nw
+	}
 	if !ws.headered {
-		if err := dataset.WriteWALHeader(ws.w, ws.seq); err != nil {
+		if err := dataset.WriteWALHeader(w, ws.seq); err != nil {
 			return fmt.Errorf("%w: header: %v", ErrWAL, err)
 		}
 		ws.headered = true
 	}
-	if err := dataset.WriteStream(ws.w, keep); err != nil {
+	if err := dataset.WriteStream(w, keep); err != nil {
 		return fmt.Errorf("%w: %v", ErrWAL, err)
 	}
 	ws.seq += uint64(len(keep))
@@ -154,7 +300,12 @@ func (ws *WALSource) commit(c dataset.WALCommit) error {
 		return nil
 	}
 	c.Seq = ws.seq
-	if err := dataset.WriteWALCommit(ws.w, c); err != nil {
+	w := ws.w
+	if ws.rot != nil {
+		// seq > commitSeq implies an append opened the active segment.
+		w = countingWriter{ws.rot}
+	}
+	if err := dataset.WriteWALCommit(w, c); err != nil {
 		ws.err = fmt.Errorf("%w: commit: %v", ErrWAL, err)
 		return ws.err
 	}
@@ -172,12 +323,21 @@ type walTruncater interface {
 }
 
 // truncateBarrier empties the log after a durable checkpoint captured
-// everything in it. On sinks that cannot truncate (a pipe, a plain
-// buffer) it is a no-op — replay skips the already-covered entries by
-// sequence number, so an untruncated log stays correct, just longer.
+// everything in it. In dir mode the fully-covered segment files are
+// deleted outright. On single-file sinks that cannot truncate (a pipe,
+// a plain buffer) it is a no-op — replay skips the already-covered
+// entries by sequence number, so an untruncated log stays correct, just
+// longer.
 func (ws *WALSource) truncateBarrier() error {
 	if ws.err != nil {
 		return ws.err
+	}
+	if ws.rot != nil {
+		if err := ws.rot.reset(); err != nil {
+			return fmt.Errorf("%w: segment compaction: %v", ErrWAL, err)
+		}
+		ws.headered = false
+		return nil
 	}
 	tw, ok := ws.w.(walTruncater)
 	if !ok {
